@@ -1,0 +1,91 @@
+#include "bench_util.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "topology/builders.hpp"
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+#include "workload/swf.hpp"
+
+namespace commsched::bench {
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const auto parsed = parse_int(v);
+  COMMSCHED_ASSERT_MSG(parsed.has_value() && *parsed > 0,
+                       std::string(name) + " must be a positive integer");
+  return static_cast<int>(*parsed);
+}
+
+JobLog load_or_generate(const std::string& name, const char* env,
+                        int cores_per_node, const LogProfile& profile,
+                        int n_jobs, std::uint64_t seed) {
+  if (const char* path = std::getenv(env); path != nullptr && *path != '\0') {
+    std::cerr << "[bench] " << name << ": loading real SWF log from " << path
+              << "\n";
+    SwfOptions opts;
+    opts.cores_per_node = cores_per_node;
+    opts.max_jobs = static_cast<std::size_t>(n_jobs);
+    return filter_power_of_two(load_swf(path, opts));
+  }
+  return filter_power_of_two(generate_log(profile, n_jobs, seed));
+}
+
+}  // namespace
+
+int jobs_per_log() { return env_int("COMMSCHED_JOBS", 1000); }
+
+std::uint64_t base_seed() {
+  return static_cast<std::uint64_t>(env_int("COMMSCHED_SEED", 20200817));
+}
+
+std::vector<MachineCase> paper_machines(int n_jobs) {
+  if (n_jobs <= 0) n_jobs = jobs_per_log();
+  const std::uint64_t seed = base_seed();
+  std::vector<MachineCase> machines;
+  machines.push_back({"Intrepid", make_intrepid(),
+                      load_or_generate("Intrepid", "COMMSCHED_SWF_INTREPID", 4,
+                                       intrepid_profile(), n_jobs, seed + 1)});
+  machines.push_back({"Theta", make_theta(),
+                      load_or_generate("Theta", "COMMSCHED_SWF_THETA", 64,
+                                       theta_profile(), n_jobs, seed + 2)});
+  machines.push_back({"Mira", make_mira(),
+                      load_or_generate("Mira", "COMMSCHED_SWF_MIRA", 16,
+                                       mira_profile(), n_jobs, seed + 3)});
+  return machines;
+}
+
+MachineCase paper_machine(const std::string& name, int n_jobs) {
+  auto machines = paper_machines(n_jobs);
+  for (auto& m : machines)
+    if (m.name == name) return std::move(m);
+  COMMSCHED_ASSERT_MSG(false, "unknown machine '" + name + "'");
+  std::abort();  // unreachable: the assert above throws
+}
+
+SimResult run_with_mix(const MachineCase& machine, const MixSpec& spec,
+                       AllocatorKind kind, const SchedOptions* base) {
+  JobLog log = machine.base_log;
+  apply_mix(log, spec, base_seed() + 17);
+  SchedOptions options = base != nullptr ? *base : SchedOptions{};
+  options.allocator = kind;
+  return run_continuous(machine.tree, log, options);
+}
+
+void emit(const std::string& title, const TextTable& table,
+          const std::string& stem) {
+  std::cout << "\n== " << title << " ==\n" << table.render(2);
+  const std::string path = "bench_out/" + stem + ".csv";
+  if (table.write_csv(path))
+    std::cout << "  [csv] " << path << "\n";
+  else
+    std::cout << "  [csv] failed to write " << path << "\n";
+}
+
+std::string pattern_row_label(Pattern p) { return pattern_name(p); }
+
+}  // namespace commsched::bench

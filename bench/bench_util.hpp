@@ -1,0 +1,59 @@
+// Shared plumbing for the per-table/figure benchmark harnesses.
+//
+// Each harness regenerates one of the paper's tables or figures: it builds
+// (or loads) the three machine workloads, runs the scheduler simulator under
+// all four policies, prints a paper-shaped text table, and drops a CSV under
+// ./bench_out/ for plotting.
+//
+// Environment knobs:
+//   COMMSCHED_JOBS          jobs per log (default 1000, the paper's slice)
+//   COMMSCHED_SEED          base RNG seed (default 20200817, the ICPP date)
+//   COMMSCHED_SWF_INTREPID  path to a real SWF log to use instead of the
+//   COMMSCHED_SWF_THETA     synthetic Intrepid/Theta/Mira generators
+//   COMMSCHED_SWF_MIRA      (cores/node: 4 / 64 / 16)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/allocator_factory.hpp"
+#include "sched/simulator.hpp"
+#include "topology/tree.hpp"
+#include "util/table.hpp"
+#include "workload/job.hpp"
+#include "workload/mixes.hpp"
+#include "workload/synthetic.hpp"
+
+namespace commsched::bench {
+
+/// One machine under evaluation: its topology plus an undecorated job log
+/// (communication attributes are applied per experiment by apply_mix).
+struct MachineCase {
+  std::string name;      // "Intrepid", "Theta", "Mira"
+  Tree tree;
+  JobLog base_log;       // power-of-two jobs, sorted by submit time
+};
+
+int jobs_per_log();
+std::uint64_t base_seed();
+
+/// Build the paper's three machine cases (synthetic unless the SWF env vars
+/// point at real logs). `n_jobs` <= 0 uses jobs_per_log().
+std::vector<MachineCase> paper_machines(int n_jobs = 0);
+
+/// A single machine case by paper name ("Intrepid" / "Theta" / "Mira").
+MachineCase paper_machine(const std::string& name, int n_jobs = 0);
+
+/// Decorate a copy of the base log with `spec` and run it under `kind`.
+SimResult run_with_mix(const MachineCase& machine, const MixSpec& spec,
+                       AllocatorKind kind, const SchedOptions* base = nullptr);
+
+/// Print the table to stdout and write CSV to bench_out/<stem>.csv.
+void emit(const std::string& title, const TextTable& table,
+          const std::string& stem);
+
+/// "Intrepid" -> header label used across benches.
+std::string pattern_row_label(Pattern p);
+
+}  // namespace commsched::bench

@@ -1,0 +1,90 @@
+// Figure 8 reproduction: communication cost (Eq. 6) of the allocations,
+// binned by job node count, for all three logs under the binomial pattern
+// with 90% communication-intensive jobs — one sub-plot per log, one series
+// per policy.  Also §6.4's text numbers: the average per-pattern cost
+// reduction (RD / RHVD / binomial) per log.
+//
+// Shape targets: every proposed policy prices at or below default; balanced
+// and adaptive cut more than greedy.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "metrics/summary.hpp"
+
+namespace {
+using namespace commsched;
+using commsched::bench::MachineCase;
+
+int max_exp_for(const std::string& machine) {
+  if (machine == "Theta") return 9;
+  if (machine == "Mira") return 14;
+  return 15;  // Intrepid
+}
+
+int min_exp_for(const std::string& machine) {
+  if (machine == "Theta") return 5;
+  if (machine == "Mira") return 9;
+  return 6;
+}
+}  // namespace
+
+int main() {
+  TextTable bins_table;
+  bins_table.set_header({"Log", "node-range", "jobs", "cost(def)",
+                         "cost(greedy)", "cost(bal)", "cost(adap)"});
+  TextTable reductions;
+  reductions.set_header(
+      {"Log", "Pattern", "avg cost reduction % (over proposed algorithms)"});
+
+  for (const MachineCase& machine : commsched::bench::paper_machines()) {
+    // --- The figure: binomial, cost-by-node-range, per policy -------------
+    const MixSpec binom = uniform_mix(Pattern::kBinomial, 0.9, 0.8);
+    std::vector<SimResult> runs;
+    for (const AllocatorKind kind : kAllAllocatorKinds) {
+      runs.push_back(commsched::bench::run_with_mix(machine, binom, kind));
+      std::cout << "." << std::flush;
+    }
+    const auto edges = power_of_two_bin_edges(min_exp_for(machine.name),
+                                              max_exp_for(machine.name), 2);
+    std::vector<std::vector<double>> means;
+    for (const SimResult& r : runs)
+      means.push_back(average_cost_by_node_bin(r, edges));
+    const auto counts = job_count_by_node_bin(runs[0], edges);
+    for (std::size_t b = 0; b + 1 < edges.size(); ++b) {
+      if (counts[b] == 0) continue;
+      const std::string range = cell(edges[b], 0) + "-" + cell(edges[b + 1], 0);
+      bins_table.add_row({machine.name, range, std::to_string(counts[b]),
+                          cell(means[0][b], 1), cell(means[1][b], 1),
+                          cell(means[2][b], 1), cell(means[3][b], 1)});
+    }
+
+    // --- §6.4 text: per-pattern average cost reduction ---------------------
+    for (const Pattern pattern :
+         {Pattern::kRecursiveDoubling, Pattern::kRecursiveHalvingVD,
+          Pattern::kBinomial}) {
+      const MixSpec spec = uniform_mix(pattern, 0.9, 0.8);
+      const RunSummary def = summarize(commsched::bench::run_with_mix(
+          machine, spec, AllocatorKind::kDefault));
+      double sum = 0.0;
+      for (const AllocatorKind kind :
+           {AllocatorKind::kGreedy, AllocatorKind::kBalanced,
+            AllocatorKind::kAdaptive}) {
+        const RunSummary s =
+            summarize(commsched::bench::run_with_mix(machine, spec, kind));
+        sum += improvement_percent(def.total_cost, s.total_cost);
+        std::cout << "." << std::flush;
+      }
+      reductions.add_row(
+          {machine.name, pattern_name(pattern), cell(sum / 3.0, 2)});
+    }
+  }
+  std::cout << "\n";
+  commsched::bench::emit(
+      "Figure 8 — communication cost by node range (binomial, 90% comm)",
+      bins_table, "fig8_cost_bins");
+  commsched::bench::emit(
+      "Figure 8 / §6.4 — average communication-cost reduction per pattern",
+      reductions, "fig8_cost_reductions");
+  return 0;
+}

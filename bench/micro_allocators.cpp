@@ -1,0 +1,92 @@
+// Scheduling-decision overhead (paper §5.2: "the proposed algorithms have
+// negligible overhead (less than 0.1 second)").  Measures a single select()
+// call per policy on machine-scale cluster states at several request sizes,
+// with google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cluster/state.hpp"
+#include "core/allocator_factory.hpp"
+#include "topology/builders.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace commsched;
+
+// Fragment ~45% of the machine so the policies have real sorting to do.
+void fragment(ClusterState& state, std::uint64_t seed) {
+  Rng rng(seed);
+  JobId job = 1;
+  for (const SwitchId leaf : state.tree().leaves()) {
+    std::vector<NodeId> busy;
+    for (const NodeId n : state.tree().nodes_of_leaf(leaf))
+      if (rng.bernoulli(0.45)) busy.push_back(n);
+    if (!busy.empty()) state.allocate(job++, rng.bernoulli(0.5), busy);
+  }
+}
+
+struct MachineFixture {
+  Tree tree;
+  ClusterState state;
+  explicit MachineFixture(Tree t) : tree(std::move(t)), state(tree) {
+    fragment(state, 4242);
+  }
+};
+
+MachineFixture& theta_fixture() {
+  static MachineFixture f(make_theta());
+  return f;
+}
+
+MachineFixture& mira_fixture() {
+  static MachineFixture f(make_mira());
+  return f;
+}
+
+void run_select(benchmark::State& bench_state, MachineFixture& machine,
+                AllocatorKind kind, int nodes, Pattern pattern) {
+  const auto allocator = make_allocator(kind);
+  AllocationRequest request;
+  request.job = 999'999;
+  request.num_nodes = nodes;
+  request.comm_intensive = true;
+  request.pattern = pattern;
+  for (auto _ : bench_state) {
+    auto result = allocator->select(machine.state, request);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void BM_ThetaSelect(benchmark::State& state) {
+  const auto kind = static_cast<AllocatorKind>(state.range(0));
+  const int nodes = static_cast<int>(state.range(1));
+  run_select(state, theta_fixture(), kind, nodes,
+             Pattern::kRecursiveHalvingVD);
+}
+
+void BM_MiraSelect(benchmark::State& state) {
+  const auto kind = static_cast<AllocatorKind>(state.range(0));
+  const int nodes = static_cast<int>(state.range(1));
+  run_select(state, mira_fixture(), kind, nodes,
+             Pattern::kRecursiveHalvingVD);
+}
+
+void ApplyArgs(benchmark::internal::Benchmark* b, int max_nodes) {
+  for (int kind = 0; kind < 4; ++kind)
+    for (int nodes = 64; nodes <= max_nodes; nodes *= 8)
+      b->Args({kind, nodes});
+}
+
+BENCHMARK(BM_ThetaSelect)->Apply([](benchmark::internal::Benchmark* b) {
+  ApplyArgs(b, 512);
+})->Unit(benchmark::kMicrosecond);
+
+BENCHMARK(BM_MiraSelect)->Apply([](benchmark::internal::Benchmark* b) {
+  ApplyArgs(b, 16384);
+})->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

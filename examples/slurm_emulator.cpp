@@ -1,0 +1,142 @@
+// A miniature SLURM front end over the scheduler simulator: read a
+// slurm.conf, a topology.conf, and a set of sbatch scripts; "run" the
+// workload; print squeue/sacct-style accounting.
+//
+//   $ ./slurm_emulator --conf slurm.conf --topology topology.conf ...
+//     (followed by job1.sbatch job2.sbatch ...)
+//   $ ./slurm_emulator --demo        # built-in config + demo scripts
+//
+// Each script's --begin directive (seconds) is its submit time; runtimes
+// are drawn as a deterministic fraction of the walltime since scripts do
+// not know their own durations (80%, the common estimate-accuracy figure).
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "metrics/extended.hpp"
+#include "metrics/summary.hpp"
+#include "sched/simulator.hpp"
+#include "slurm/conf.hpp"
+#include "slurm/duration.hpp"
+#include "slurm/sbatch.hpp"
+#include "topology/builders.hpp"
+#include "topology/conf.hpp"
+#include "util/table.hpp"
+
+using namespace commsched;
+
+namespace {
+
+constexpr const char* kDemoConf =
+    "SchedulerType=sched/backfill\n"
+    "SelectType=select/linear\n"
+    "TopologyPlugin=topology/tree\n"
+    "JobAware=adaptive\n";
+
+std::vector<SbatchJob> demo_jobs() {
+  const char* scripts[] = {
+      "#SBATCH --job-name=cfd-solve\n#SBATCH --nodes=16\n"
+      "#SBATCH --time=01:00:00\n#SBATCH --comment=comm:RHVD:0.7\n",
+      "#SBATCH --job-name=param-sweep\n#SBATCH --nodes=8\n"
+      "#SBATCH --time=02:00:00\n#SBATCH --comment=compute\n"
+      "#SBATCH --begin=now+60\n",
+      "#SBATCH --job-name=spectral-fft\n#SBATCH --nodes=32\n"
+      "#SBATCH --time=00:45:00\n#SBATCH --comment=comm:Alltoall:0.8\n"
+      "#SBATCH --begin=now+120\n",
+      "#SBATCH --job-name=md-prod\n#SBATCH --nodes=16\n"
+      "#SBATCH --time=03:00:00\n#SBATCH --comment=comm:RD:0.5\n"
+      "#SBATCH --begin=now+180\n",
+      "#SBATCH --job-name=postproc\n#SBATCH --nodes=4\n"
+      "#SBATCH --time=00:30:00\n#SBATCH --comment=compute\n"
+      "#SBATCH --begin=now+240\n",
+  };
+  std::vector<SbatchJob> jobs;
+  for (const char* text : scripts) {
+    std::istringstream in(text);
+    jobs.push_back(parse_sbatch_script(in));
+  }
+  return jobs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string conf_path, topo_path;
+  std::vector<std::string> scripts;
+  bool demo = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--conf" && i + 1 < argc) conf_path = argv[++i];
+    else if (arg == "--topology" && i + 1 < argc) topo_path = argv[++i];
+    else if (arg == "--demo") demo = true;
+    else scripts.push_back(arg);
+  }
+  if (!demo && (scripts.empty() || topo_path.empty())) {
+    std::cerr << "usage: slurm_emulator --conf slurm.conf --topology "
+                 "topology.conf job.sbatch...\n"
+              << "       slurm_emulator --demo\n";
+    return 2;
+  }
+
+  SlurmConf conf;
+  if (!conf_path.empty()) {
+    conf = load_slurm_conf(conf_path);
+  } else {
+    std::istringstream in(kDemoConf);
+    conf = parse_slurm_conf(in);
+  }
+  Tree tree = topo_path.empty() ? make_two_level_tree(4, 16)
+                                : load_topology_conf(topo_path);
+
+  std::vector<SbatchJob> jobs;
+  if (demo) jobs = demo_jobs();
+  for (const auto& path : scripts) jobs.push_back(load_sbatch_script(path));
+
+  std::cout << "slurm_emulator: " << tree.node_count() << " nodes, "
+            << tree.leaf_count() << " leaf switches, allocator "
+            << allocator_kind_name(conf.sched.allocator) << ", "
+            << (conf.sched.easy_backfill ? "backfill" : "builtin")
+            << " scheduler\n\n";
+
+  JobLog log;
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    JobRecord rec = jobs[i].record;
+    rec.id = static_cast<WorkloadJobId>(i) + 1;
+    rec.runtime = rec.walltime * 0.8;  // scripts do not know their runtime
+    log.push_back(rec);
+    names.push_back(jobs[i].name);
+  }
+  std::stable_sort(log.begin(), log.end(),
+                   [](const JobRecord& a, const JobRecord& b) {
+                     return a.submit_time < b.submit_time;
+                   });
+
+  const SimResult result = run_continuous(tree, log, conf.sched);
+
+  TextTable acct;
+  acct.set_header({"JOBID", "NAME", "NODES", "CLASS", "SUBMIT", "START",
+                   "ELAPSED", "WAIT"});
+  for (const JobResult& jr : result.jobs) {
+    acct.add_row({std::to_string(jr.id),
+                  names[static_cast<std::size_t>(jr.id - 1)],
+                  std::to_string(jr.num_nodes),
+                  jr.comm_intensive
+                      ? std::string("comm/") + pattern_name(jr.pattern)
+                      : "compute",
+                  format_slurm_duration(jr.submit_time),
+                  format_slurm_duration(jr.start_time),
+                  format_slurm_duration(jr.actual_runtime),
+                  format_slurm_duration(jr.wait_time())});
+  }
+  std::cout << acct.render(2) << "\n";
+
+  const RunSummary s = summarize(result);
+  std::cout << "makespan " << format_slurm_duration(result.makespan)
+            << ", machine utilization "
+            << cell(average_utilization(result, tree.node_count()) * 100, 1)
+            << "%, total wait " << cell(s.total_wait_hours, 2) << " h\n";
+  return 0;
+}

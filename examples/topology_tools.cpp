@@ -1,0 +1,85 @@
+// Generate, validate and summarize SLURM topology.conf files for the
+// machine profiles bundled with commsched.
+//
+//   $ ./topology_tools list
+//   $ ./topology_tools show theta
+//   $ ./topology_tools write theta theta.conf
+//   $ ./topology_tools check some/topology.conf
+#include <iostream>
+#include <string>
+
+#include "topology/builders.hpp"
+#include "topology/conf.hpp"
+#include "topology/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace commsched;
+
+namespace {
+
+constexpr const char* kMachines[] = {"figure2", "department", "iitk",
+                                     "lbnl", "theta", "intrepid", "mira"};
+
+void summarize_tree(const Tree& tree) {
+  std::cout << "  root switch: " << tree.switch_name(tree.root()) << "\n";
+  std::cout << format_topology_stats(compute_topology_stats(tree));
+}
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: topology_tools list\n"
+            << "       topology_tools show  <machine>\n"
+            << "       topology_tools write <machine> <file>\n"
+            << "       topology_tools check <topology.conf>\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+
+  if (cmd == "list") {
+    std::cout << "bundled machine profiles:\n";
+    for (const char* name : kMachines) {
+      const Tree tree = make_machine(name);
+      std::cout << "  " << name << ": " << tree.node_count() << " nodes, "
+                << tree.leaf_count() << " leaves, " << tree.depth()
+                << " levels\n";
+    }
+    return 0;
+  }
+  if (cmd == "show" && argc >= 3) {
+    const Tree tree = make_machine(argv[2]);
+    summarize_tree(tree);
+    if (tree.node_count() <= 64)
+      std::cout << "\n" << write_topology_conf(tree);
+    else
+      std::cout << "\n(topology.conf omitted — " << tree.node_count()
+                << " nodes; use 'write' to export)\n";
+    return 0;
+  }
+  if (cmd == "write" && argc >= 4) {
+    const Tree tree = make_machine(argv[2]);
+    if (!save_topology_conf(tree, argv[3])) {
+      std::cerr << "failed to write " << argv[3] << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << argv[3] << " (" << tree.node_count()
+              << " nodes)\n";
+    return 0;
+  }
+  if (cmd == "check" && argc >= 3) {
+    try {
+      const Tree tree = load_topology_conf(argv[2]);
+      std::cout << argv[2] << " is a valid tree topology:\n";
+      summarize_tree(tree);
+      return 0;
+    } catch (const std::exception& e) {
+      std::cerr << "invalid topology: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  usage();
+}

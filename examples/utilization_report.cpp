@@ -1,0 +1,84 @@
+// Machine-utilization analysis of a simulated run: replay a synthetic log
+// under two policies and print an ASCII utilization timeline plus queue
+// statistics — the view an operator uses to judge whether job-aware
+// allocation actually moves throughput (§6.5's "improved system
+// throughput").
+//
+//   $ ./utilization_report [--machine theta] [--jobs N] [--buckets B]
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "metrics/extended.hpp"
+#include "metrics/summary.hpp"
+#include "sched/simulator.hpp"
+#include "topology/builders.hpp"
+#include "util/strings.hpp"
+#include "workload/mixes.hpp"
+#include "workload/synthetic.hpp"
+
+using namespace commsched;
+
+namespace {
+
+void print_timeline(const std::string& label, const SimResult& result,
+                    int machine_nodes, int buckets) {
+  const double bucket_s =
+      std::max(result.makespan / std::max(buckets, 1), 1.0);
+  const auto util = utilization_timeline(result, machine_nodes, bucket_s);
+  std::cout << label << " (one row = "
+            << format_double(bucket_s / 3600.0, 2) << " h):\n";
+  for (std::size_t b = 0; b < util.size(); ++b) {
+    const int bar = static_cast<int>(util[b] * 50.0);
+    std::cout << "  " << format_double(static_cast<double>(b) * bucket_s / 3600.0, 1)
+              << "h |" << std::string(static_cast<std::size_t>(bar), '#')
+              << " " << format_double(util[b] * 100.0, 0) << "%\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string machine = "theta";
+  int jobs = 400;
+  int buckets = 18;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string arg = argv[i];
+    if (arg == "--machine") machine = argv[i + 1];
+    else if (arg == "--jobs") jobs = static_cast<int>(*parse_int(argv[i + 1]));
+    else if (arg == "--buckets") buckets = static_cast<int>(*parse_int(argv[i + 1]));
+  }
+
+  const Tree tree = make_machine(machine);
+  LogProfile profile = machine == "intrepid" ? intrepid_profile()
+                       : machine == "mira"   ? mira_profile()
+                                             : theta_profile();
+  JobLog log = filter_power_of_two(generate_log(profile, jobs, 11));
+  apply_mix(log, uniform_mix(Pattern::kRecursiveHalvingVD, 0.9, 0.8), 12);
+
+  for (const AllocatorKind kind :
+       {AllocatorKind::kDefault, AllocatorKind::kAdaptive}) {
+    SchedOptions opts;
+    opts.allocator = kind;
+    const SimResult result = run_continuous(tree, log, opts);
+    const RunSummary s = summarize(result);
+    const DistSummary waits = wait_summary(result);
+    const DistSummary slow = slowdown_summary(result);
+
+    std::cout << "=== " << s.allocator << " ===\n";
+    print_timeline("utilization", result, tree.node_count(), buckets);
+    std::cout << "  makespan " << format_double(s.makespan_hours, 1)
+              << " h, avg utilization "
+              << format_double(
+                     average_utilization(result, tree.node_count()) * 100, 1)
+              << "%\n"
+              << "  waits: mean " << format_double(waits.mean / 3600.0, 2)
+              << " h, p90 " << format_double(waits.p90 / 3600.0, 2)
+              << " h, max " << format_double(waits.max / 3600.0, 2) << " h\n"
+              << "  bounded slowdown: mean " << format_double(slow.mean, 2)
+              << ", p99 " << format_double(slow.p99, 2) << "\n\n";
+  }
+  std::cout << "A shorter makespan at equal work = higher throughput; the\n"
+               "adaptive policy earns it by shrinking communication phases.\n";
+  return 0;
+}

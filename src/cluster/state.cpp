@@ -1,0 +1,161 @@
+#include "cluster/state.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace commsched {
+
+ClusterState::ClusterState(const Tree& tree) : tree_(&tree) {
+  node_owner_.assign(static_cast<std::size_t>(tree.node_count()), kInvalidJob);
+  leaf_busy_.assign(static_cast<std::size_t>(tree.switch_count()), 0);
+  leaf_comm_.assign(static_cast<std::size_t>(tree.switch_count()), 0);
+  leaf_io_.assign(static_cast<std::size_t>(tree.switch_count()), 0);
+  switch_free_.resize(static_cast<std::size_t>(tree.switch_count()));
+  for (SwitchId s = 0; s < tree.switch_count(); ++s)
+    switch_free_[static_cast<std::size_t>(s)] = tree.node_count_under(s);
+  free_total_ = tree.node_count();
+}
+
+void ClusterState::transition(NodeId n, JobId new_owner, bool comm, bool io,
+                              int delta) {
+  node_owner_[static_cast<std::size_t>(n)] = new_owner;
+  const SwitchId leaf = tree_->leaf_of(n);
+  leaf_busy_[static_cast<std::size_t>(leaf)] += delta;
+  if (comm) leaf_comm_[static_cast<std::size_t>(leaf)] += delta;
+  if (io) leaf_io_[static_cast<std::size_t>(leaf)] += delta;
+  for (SwitchId s = leaf; s != kInvalidSwitch; s = tree_->parent(s))
+    switch_free_[static_cast<std::size_t>(s)] -= delta;
+  free_total_ -= delta;
+}
+
+void ClusterState::allocate(JobId job, bool comm_intensive,
+                            std::span<const NodeId> nodes,
+                            bool io_intensive) {
+  COMMSCHED_ASSERT_MSG(job != kInvalidJob, "invalid job id");
+  COMMSCHED_ASSERT_MSG(!jobs_.contains(job), "job id already allocated");
+  COMMSCHED_ASSERT_MSG(!nodes.empty(), "allocation must contain nodes");
+  // Check before mutating so a failed precondition leaves state untouched.
+  std::unordered_set<NodeId> seen;
+  for (const NodeId n : nodes) {
+    COMMSCHED_ASSERT_MSG(n >= 0 && n < tree_->node_count(),
+                         "node id out of range");
+    COMMSCHED_ASSERT_MSG(seen.insert(n).second, "duplicate node in allocation");
+    COMMSCHED_ASSERT_MSG(is_free(n), "node already allocated");
+  }
+  JobRec rec;
+  rec.comm_intensive = comm_intensive;
+  rec.io_intensive = io_intensive;
+  rec.nodes.assign(nodes.begin(), nodes.end());
+  for (const NodeId n : nodes)
+    transition(n, job, comm_intensive, io_intensive, +1);
+  jobs_.emplace(job, std::move(rec));
+}
+
+void ClusterState::release(JobId job) {
+  const auto it = jobs_.find(job);
+  COMMSCHED_ASSERT_MSG(it != jobs_.end(), "releasing unknown job");
+  for (const NodeId n : it->second.nodes)
+    transition(n, kInvalidJob, it->second.comm_intensive,
+               it->second.io_intensive, -1);
+  jobs_.erase(it);
+}
+
+bool ClusterState::is_free(NodeId n) const { return owner(n) == kInvalidJob; }
+
+JobId ClusterState::owner(NodeId n) const {
+  COMMSCHED_ASSERT_MSG(n >= 0 && n < tree_->node_count(), "node id out of range");
+  return node_owner_[static_cast<std::size_t>(n)];
+}
+
+bool ClusterState::has_job(JobId job) const { return jobs_.contains(job); }
+
+std::span<const NodeId> ClusterState::job_nodes(JobId job) const {
+  const auto it = jobs_.find(job);
+  COMMSCHED_ASSERT_MSG(it != jobs_.end(), "unknown job");
+  return it->second.nodes;
+}
+
+bool ClusterState::job_is_comm(JobId job) const {
+  const auto it = jobs_.find(job);
+  COMMSCHED_ASSERT_MSG(it != jobs_.end(), "unknown job");
+  return it->second.comm_intensive;
+}
+
+int ClusterState::leaf_nodes(SwitchId leaf) const {
+  COMMSCHED_ASSERT_MSG(tree_->is_leaf(leaf), "not a leaf switch");
+  return static_cast<int>(tree_->nodes_of_leaf(leaf).size());
+}
+
+int ClusterState::leaf_busy(SwitchId leaf) const {
+  COMMSCHED_ASSERT_MSG(tree_->is_leaf(leaf), "not a leaf switch");
+  return leaf_busy_[static_cast<std::size_t>(leaf)];
+}
+
+int ClusterState::leaf_comm(SwitchId leaf) const {
+  COMMSCHED_ASSERT_MSG(tree_->is_leaf(leaf), "not a leaf switch");
+  return leaf_comm_[static_cast<std::size_t>(leaf)];
+}
+
+int ClusterState::leaf_io(SwitchId leaf) const {
+  COMMSCHED_ASSERT_MSG(tree_->is_leaf(leaf), "not a leaf switch");
+  return leaf_io_[static_cast<std::size_t>(leaf)];
+}
+
+int ClusterState::free_under(SwitchId s) const {
+  COMMSCHED_ASSERT(s >= 0 && s < tree_->switch_count());
+  return switch_free_[static_cast<std::size_t>(s)];
+}
+
+std::vector<NodeId> ClusterState::free_nodes_of_leaf(SwitchId leaf) const {
+  COMMSCHED_ASSERT_MSG(tree_->is_leaf(leaf), "not a leaf switch");
+  std::vector<NodeId> out;
+  for (const NodeId n : tree_->nodes_of_leaf(leaf))
+    if (is_free(n)) out.push_back(n);
+  return out;
+}
+
+void ClusterState::validate() const {
+  // Recompute every counter from the ground-truth per-node owner table.
+  std::vector<int> busy(static_cast<std::size_t>(tree_->switch_count()), 0);
+  std::vector<int> comm(static_cast<std::size_t>(tree_->switch_count()), 0);
+  std::vector<int> io(static_cast<std::size_t>(tree_->switch_count()), 0);
+  int total_busy = 0;
+  for (NodeId n = 0; n < tree_->node_count(); ++n) {
+    const JobId j = node_owner_[static_cast<std::size_t>(n)];
+    if (j == kInvalidJob) continue;
+    const auto it = jobs_.find(j);
+    COMMSCHED_ASSERT_MSG(it != jobs_.end(), "node owned by unknown job");
+    COMMSCHED_ASSERT_MSG(
+        std::find(it->second.nodes.begin(), it->second.nodes.end(), n) !=
+            it->second.nodes.end(),
+        "node/job ownership tables disagree");
+    const SwitchId leaf = tree_->leaf_of(n);
+    ++busy[static_cast<std::size_t>(leaf)];
+    if (it->second.comm_intensive) ++comm[static_cast<std::size_t>(leaf)];
+    if (it->second.io_intensive) ++io[static_cast<std::size_t>(leaf)];
+    ++total_busy;
+  }
+  COMMSCHED_ASSERT(free_total_ == tree_->node_count() - total_busy);
+  for (const SwitchId leaf : tree_->leaves()) {
+    COMMSCHED_ASSERT(leaf_busy_[static_cast<std::size_t>(leaf)] ==
+                     busy[static_cast<std::size_t>(leaf)]);
+    COMMSCHED_ASSERT(leaf_comm_[static_cast<std::size_t>(leaf)] ==
+                     comm[static_cast<std::size_t>(leaf)]);
+    COMMSCHED_ASSERT(leaf_io_[static_cast<std::size_t>(leaf)] ==
+                     io[static_cast<std::size_t>(leaf)]);
+  }
+  for (SwitchId s = 0; s < tree_->switch_count(); ++s) {
+    int free_sub = 0;
+    for (const SwitchId leaf : tree_->leaves_under(s))
+      free_sub += static_cast<int>(tree_->nodes_of_leaf(leaf).size()) -
+                  busy[static_cast<std::size_t>(leaf)];
+    COMMSCHED_ASSERT(switch_free_[static_cast<std::size_t>(s)] == free_sub);
+  }
+  std::size_t nodes_in_jobs = 0;
+  for (const auto& [id, rec] : jobs_) nodes_in_jobs += rec.nodes.size();
+  COMMSCHED_ASSERT(nodes_in_jobs == static_cast<std::size_t>(total_busy));
+}
+
+}  // namespace commsched

@@ -1,0 +1,91 @@
+// Cluster allocation state — the SLURM select/linear node-state equivalent.
+//
+// Tracks which whole nodes each job occupies, and maintains the per-leaf
+// counters the paper's algorithms consume (Table 1):
+//   L_nodes — nodes attached to the leaf switch,
+//   L_busy  — nodes currently allocated on the leaf,
+//   L_comm  — nodes running communication-intensive jobs on the leaf,
+// plus per-switch subtree free counts for the lowest-level-switch search.
+// All counters are updated incrementally in O(depth) per node transition;
+// validate() recomputes them from scratch for tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "topology/tree.hpp"
+
+namespace commsched {
+
+using JobId = std::int64_t;
+inline constexpr JobId kInvalidJob = -1;
+
+/// Mutable allocation state over an immutable Tree. The Tree must outlive
+/// the ClusterState.
+class ClusterState {
+ public:
+  explicit ClusterState(const Tree& tree);
+
+  const Tree& tree() const noexcept { return *tree_; }
+
+  /// Mark `nodes` as occupied by `job`. Preconditions: the job id is unused,
+  /// every node is currently free, and `nodes` has no duplicates.
+  /// `io_intensive` feeds the L_io counter of the I/O-aware extension
+  /// (paper §7 future work); it is independent of the communication class.
+  void allocate(JobId job, bool comm_intensive, std::span<const NodeId> nodes,
+                bool io_intensive = false);
+
+  /// Free every node held by `job`. Precondition: the job is allocated.
+  void release(JobId job);
+
+  bool is_free(NodeId n) const;
+  JobId owner(NodeId n) const;  ///< kInvalidJob when free
+
+  bool has_job(JobId job) const;
+  /// Nodes held by `job`, in allocation order.
+  std::span<const NodeId> job_nodes(JobId job) const;
+  bool job_is_comm(JobId job) const;
+  std::size_t job_count() const noexcept { return jobs_.size(); }
+
+  int total_nodes() const noexcept { return tree_->node_count(); }
+  int total_free() const noexcept { return free_total_; }
+
+  // --- Paper Table 1 counters -------------------------------------------
+  int leaf_nodes(SwitchId leaf) const;  ///< L_nodes
+  int leaf_busy(SwitchId leaf) const;   ///< L_busy
+  int leaf_comm(SwitchId leaf) const;   ///< L_comm
+  int leaf_io(SwitchId leaf) const;     ///< L_io (§7 I/O-aware extension)
+  int leaf_free(SwitchId leaf) const { return leaf_nodes(leaf) - leaf_busy(leaf); }
+
+  /// Free nodes in the subtree of any switch (== leaf_free for leaves).
+  int free_under(SwitchId s) const;
+
+  /// Free nodes on a leaf switch, in ascending node-id order.
+  std::vector<NodeId> free_nodes_of_leaf(SwitchId leaf) const;
+
+  /// Recompute all counters from the per-node table and compare with the
+  /// incremental ones. Throws InvariantError on mismatch (test hook).
+  void validate() const;
+
+ private:
+  struct JobRec {
+    bool comm_intensive = false;
+    bool io_intensive = false;
+    std::vector<NodeId> nodes;
+  };
+
+  void transition(NodeId n, JobId new_owner, bool comm, bool io, int delta);
+
+  const Tree* tree_;
+  std::vector<JobId> node_owner_;       // per node
+  std::vector<int> leaf_busy_;          // per switch (leaves used)
+  std::vector<int> leaf_comm_;          // per switch (leaves used)
+  std::vector<int> leaf_io_;            // per switch (leaves used)
+  std::vector<int> switch_free_;        // per switch, subtree free count
+  int free_total_ = 0;
+  std::unordered_map<JobId, JobRec> jobs_;
+};
+
+}  // namespace commsched

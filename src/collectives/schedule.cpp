@@ -1,0 +1,225 @@
+#include "collectives/schedule.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace commsched {
+
+const char* pattern_name(Pattern p) {
+  switch (p) {
+    case Pattern::kRecursiveDoubling: return "RD";
+    case Pattern::kRecursiveHalvingVD: return "RHVD";
+    case Pattern::kBinomial: return "Binomial";
+    case Pattern::kRing: return "Ring";
+    case Pattern::kPairwiseAlltoall: return "Alltoall";
+  }
+  return "?";
+}
+
+namespace {
+
+int floor_log2(int x) {
+  COMMSCHED_ASSERT(x >= 1);
+  int l = 0;
+  while ((1 << (l + 1)) <= x) ++l;
+  return l;
+}
+
+// MPICH-style fold of p ranks onto a 2^floor(lg p) core.
+//
+// r = p - 2^floor(lg p) extra ranks exist. Ranks 0..2r-1 pair up
+// (even, even+1); the even rank of each pair then sits out of the core
+// phase. Core ranks are the odd ranks below 2r plus every rank >= 2r.
+struct Fold {
+  std::vector<std::int32_t> core;  // core_index -> original rank
+  CommStep pre;                    // empty pairs when p is a power of two
+};
+
+Fold fold_to_pow2(int p, double msize) {
+  const int lg = floor_log2(p);
+  const int r = p - (1 << lg);
+  Fold f;
+  f.pre.msize = msize;
+  for (int i = 0; i < r; ++i)
+    f.pre.pairs.emplace_back(2 * i, 2 * i + 1);
+  for (int i = 0; i < 2 * r; i += 2) f.core.push_back(i + 1);
+  for (int i = 2 * r; i < p; ++i) f.core.push_back(i);
+  // Keep core ranks in ascending original-rank order (they already are).
+  COMMSCHED_ASSERT(static_cast<int>(f.core.size()) == (1 << lg));
+  return f;
+}
+
+// Power-of-two recursive doubling: step k exchanges i <-> i ^ 2^k.
+void append_rd_core(CommSchedule& out, const std::vector<std::int32_t>& core,
+                    double msize) {
+  const int q = static_cast<int>(core.size());
+  if (q < 2) return;
+  const int lg = floor_log2(q);
+  for (int k = 0; k < lg; ++k) {
+    CommStep step;
+    step.msize = msize;
+    const int dist = 1 << k;
+    for (int i = 0; i < q; ++i) {
+      const int j = i ^ dist;
+      if (i < j) step.pairs.emplace_back(core[static_cast<std::size_t>(i)],
+                                         core[static_cast<std::size_t>(j)]);
+    }
+    out.push_back(std::move(step));
+  }
+}
+
+// Power-of-two recursive halving with vector doubling: the exchange distance
+// halves each step (q/2, q/4, ..., 1) while the per-pair message doubles
+// (m, 2m, ..., m*q/2). The heaviest exchanges are therefore between
+// rank-adjacent processes — the structural reason balanced power-of-two
+// allocations help this pattern the most (§6.1).
+void append_rhvd_core(CommSchedule& out, const std::vector<std::int32_t>& core,
+                      double msize) {
+  const int q = static_cast<int>(core.size());
+  if (q < 2) return;
+  const int lg = floor_log2(q);
+  for (int k = 0; k < lg; ++k) {
+    CommStep step;
+    step.msize = msize * static_cast<double>(1 << k);
+    const int dist = q >> (k + 1);
+    for (int i = 0; i < q; ++i) {
+      const int j = i ^ dist;
+      if (i < j) step.pairs.emplace_back(core[static_cast<std::size_t>(i)],
+                                         core[static_cast<std::size_t>(j)]);
+    }
+    out.push_back(std::move(step));
+  }
+}
+
+CommSchedule make_rd_like(int p, double msize, bool vector_doubling) {
+  CommSchedule out;
+  if (p < 2) return out;
+  Fold f = fold_to_pow2(p, msize);
+  const bool folded = !f.pre.pairs.empty();
+  if (folded) out.push_back(f.pre);
+  if (vector_doubling)
+    append_rhvd_core(out, f.core, msize);
+  else
+    append_rd_core(out, f.core, msize);
+  if (folded) {
+    // Mirror step: core partners hand the (possibly grown) result back.
+    CommStep post = f.pre;
+    post.msize = vector_doubling
+                     ? msize * static_cast<double>(f.core.size())
+                     : msize;
+    out.push_back(std::move(post));
+  }
+  return out;
+}
+
+CommSchedule make_binomial(int p, double msize) {
+  CommSchedule out;
+  if (p < 2) return out;
+  // Binomial broadcast tree rooted at 0: at step k every rank i < 2^k with
+  // i + 2^k < p sends to i + 2^k.
+  for (int k = 0; (1 << k) < p; ++k) {
+    CommStep step;
+    step.msize = msize;
+    const int dist = 1 << k;
+    for (int i = 0; i < dist && i + dist < p; ++i)
+      step.pairs.emplace_back(i, i + dist);
+    out.push_back(std::move(step));
+  }
+  return out;
+}
+
+CommSchedule make_pairwise_alltoall(int p, double msize) {
+  COMMSCHED_ASSERT_MSG(p <= 1024,
+                       "pairwise alltoall schedules are O(p^2); capped at "
+                       "1024 ranks");
+  CommSchedule out;
+  if (p < 2) return out;
+  const bool pow2 = (p & (p - 1)) == 0;
+  for (int k = 1; k < p; ++k) {
+    CommStep step;
+    step.msize = msize;
+    if (pow2) {
+      // XOR exchange: a perfect matching every step.
+      for (int i = 0; i < p; ++i) {
+        const int j = i ^ k;
+        if (i < j) step.pairs.emplace_back(i, j);
+      }
+    } else {
+      // Ring-shift exchange: rank i talks to (i + k) mod p; each unordered
+      // pair is listed once per step, every rank appears twice.
+      for (int i = 0; i < p; ++i) {
+        const int j = (i + k) % p;
+        if (i < j) step.pairs.emplace_back(i, j);
+        // For even p at k == p/2, i and (i + k) pair up symmetrically; the
+        // i < j filter already de-duplicates that case.
+      }
+    }
+    out.push_back(std::move(step));
+  }
+  return out;
+}
+
+CommSchedule make_ring(int p, double msize) {
+  CommSchedule out;
+  if (p < 2) return out;
+  CommStep step;
+  step.msize = msize;
+  step.repeat = p - 1;
+  for (int i = 0; i < p; ++i) {
+    const int j = (i + 1) % p;
+    // For p == 2 the wrap-around would duplicate the (0,1) pair.
+    if (p == 2 && i == 1) break;
+    step.pairs.emplace_back(std::min(i, j), std::max(i, j));
+  }
+  out.push_back(std::move(step));
+  return out;
+}
+
+}  // namespace
+
+CommSchedule make_schedule(Pattern pattern, int nprocs, double base_msize) {
+  COMMSCHED_ASSERT_MSG(nprocs >= 1, "nprocs must be positive");
+  COMMSCHED_ASSERT_MSG(base_msize >= 0.0, "message size must be non-negative");
+  switch (pattern) {
+    case Pattern::kRecursiveDoubling:
+      return make_rd_like(nprocs, base_msize, /*vector_doubling=*/false);
+    case Pattern::kRecursiveHalvingVD:
+      return make_rd_like(nprocs, base_msize, /*vector_doubling=*/true);
+    case Pattern::kBinomial:
+      return make_binomial(nprocs, base_msize);
+    case Pattern::kRing:
+      return make_ring(nprocs, base_msize);
+    case Pattern::kPairwiseAlltoall:
+      return make_pairwise_alltoall(nprocs, base_msize);
+  }
+  COMMSCHED_ASSERT_MSG(false, "unknown pattern");
+  return {};
+}
+
+double total_bytes(const CommSchedule& schedule) {
+  double bytes = 0.0;
+  for (const auto& step : schedule)
+    bytes += static_cast<double>(step.pairs.size()) * step.msize *
+             static_cast<double>(step.repeat);
+  return bytes;
+}
+
+std::int64_t total_pair_messages(const CommSchedule& schedule) {
+  std::int64_t n = 0;
+  for (const auto& step : schedule)
+    n += static_cast<std::int64_t>(step.pairs.size()) * step.repeat;
+  return n;
+}
+
+const CommSchedule& ScheduleCache::get(Pattern pattern, int nprocs) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(pattern) << 32) |
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(nprocs));
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) return it->second;
+  return entries_.emplace(key, make_schedule(pattern, nprocs, base_msize_))
+      .first->second;
+}
+
+}  // namespace commsched

@@ -1,0 +1,86 @@
+// Step-wise models of the MPI collective algorithms the paper optimizes for
+// (§3.3): recursive doubling (RD), recursive halving with vector doubling
+// (RHVD), binomial tree, and — from the paper's future-work list — ring.
+//
+// A schedule is the sequence of communication steps the algorithm performs;
+// each step lists the rank pairs that exchange simultaneously and the
+// per-pair message size at that step.  The cost model (Eq. 6) consumes
+// schedules directly: "our strategies consider all stages of algorithms
+// (RD, RHVD, Binomial) and allocate based on the costliest communication
+// step/stage".
+//
+// Non-power-of-two process counts use the MPICH construction (Thakur et al.):
+// fold the r = p - 2^floor(lg p) excess ranks into a power-of-two core with a
+// pre-exchange step, run the power-of-two algorithm on the core, and mirror
+// the fold in a post step.  The binomial tree and ring handle any p natively.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace commsched {
+
+/// The communication patterns studied in the paper (+ ring, §7 future work).
+enum class Pattern : std::uint8_t {
+  kRecursiveDoubling,   ///< e.g. MPI_Allreduce (Figure 3)
+  kRecursiveHalvingVD,  ///< e.g. MPI_Allgather (vector doubles per step)
+  kBinomial,            ///< e.g. MPI_Bcast / MPI_Reduce
+  kRing,                ///< future-work pattern (neighbor exchange, p-1 rounds)
+  /// MPI_Alltoall's pairwise-exchange algorithm (the FFTW/CPMD-style
+  /// workload the paper's §1/§3.3 cite). p-1 steps; at step k rank i
+  /// exchanges with i XOR k (power-of-two p, perfect matching per step) or
+  /// with i±k mod p otherwise. Schedules are O(p^2) pairs, so this pattern
+  /// is capped at 1024 ranks.
+  kPairwiseAlltoall,
+};
+
+const char* pattern_name(Pattern p);
+
+/// One synchronized step of a collective: the rank pairs that communicate in
+/// parallel, the per-pair message size (bytes), and how many times the step
+/// repeats back-to-back (used to model the ring's p-1 identical rounds
+/// without materializing them all).
+struct CommStep {
+  std::vector<std::pair<std::int32_t, std::int32_t>> pairs;
+  double msize = 0.0;
+  int repeat = 1;
+};
+
+using CommSchedule = std::vector<CommStep>;
+
+/// Build the schedule of `pattern` over ranks 0..nprocs-1 with base message
+/// size `base_msize` bytes. nprocs >= 1; nprocs == 1 yields an empty
+/// schedule.
+CommSchedule make_schedule(Pattern pattern, int nprocs, double base_msize);
+
+/// Total bytes moved by the schedule (sum over steps of pairs * msize *
+/// repeat). The paper's observation that RHVD is "more communication-heavy"
+/// than RD is visible here: RHVD moves O(p * msize) versus RD's
+/// O(log p * msize) per rank.
+double total_bytes(const CommSchedule& schedule);
+
+/// Total number of pair-communications (pairs summed over steps, with
+/// repeats).
+std::int64_t total_pair_messages(const CommSchedule& schedule);
+
+/// Memoizing wrapper: schedules depend only on (pattern, nprocs, base_msize
+/// fixed at construction), and the simulator prices thousands of jobs with
+/// the same node counts, so caching avoids rebuilding O(p log p) pair lists.
+class ScheduleCache {
+ public:
+  explicit ScheduleCache(double base_msize) : base_msize_(base_msize) {}
+
+  /// Returned references stay valid for the cache's lifetime (node-based
+  /// storage), so callers may hold several schedules at once.
+  const CommSchedule& get(Pattern pattern, int nprocs);
+  double base_msize() const noexcept { return base_msize_; }
+
+ private:
+  double base_msize_;
+  // key: (pattern << 32) | nprocs
+  std::unordered_map<std::uint64_t, CommSchedule> entries_;
+};
+
+}  // namespace commsched

@@ -1,0 +1,42 @@
+#include "core/adaptive_allocator.hpp"
+
+namespace commsched {
+
+AdaptiveAllocator::AdaptiveAllocator(CostOptions cost_options)
+    : cost_options_(cost_options), schedule_cache_(1 << 20) {}
+
+std::optional<std::vector<NodeId>> AdaptiveAllocator::select(
+    const ClusterState& state, const AllocationRequest& request) const {
+  auto greedy_pick = greedy_.select(state, request);
+  auto balanced_pick = balanced_.select(state, request);
+  if (!greedy_pick && !balanced_pick) return std::nullopt;
+  if (!greedy_pick || !balanced_pick) {
+    auto& only = greedy_pick ? greedy_pick : balanced_pick;
+    last_chose_balanced_ = !greedy_pick;
+    last_cost_ = 0.0;
+    return only;
+  }
+
+  const CostModel model(state.tree(), cost_options_);
+  const CommSchedule& schedule =
+      schedule_cache_.get(request.pattern, request.num_nodes);
+  const double greedy_cost = model.candidate_cost(
+      state, *greedy_pick, request.comm_intensive, schedule);
+  const double balanced_cost = model.candidate_cost(
+      state, *balanced_pick, request.comm_intensive, schedule);
+
+  // Lower cost wins for communication-intensive jobs; higher for compute
+  // jobs (they are insensitive, and the cheap placement stays available).
+  // Ties go to balanced, whose power-of-two structure also helps later jobs.
+  bool choose_balanced;
+  if (request.comm_intensive)
+    choose_balanced = balanced_cost <= greedy_cost;
+  else
+    choose_balanced = balanced_cost >= greedy_cost;
+
+  last_chose_balanced_ = choose_balanced;
+  last_cost_ = choose_balanced ? balanced_cost : greedy_cost;
+  return choose_balanced ? std::move(balanced_pick) : std::move(greedy_pick);
+}
+
+}  // namespace commsched

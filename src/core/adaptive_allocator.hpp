@@ -1,0 +1,46 @@
+// Adaptive allocation — the paper's §4.3.
+//
+// Runs both the greedy and the balanced policy hypothetically, prices each
+// candidate allocation with the effective-hops cost model (Eq. 6) against
+// the job's collective schedule, and commits to the cheaper one for
+// communication-intensive jobs (the pricier one for compute-intensive jobs,
+// which keeps the better placement free for communicating workloads).
+#pragma once
+
+#include <memory>
+
+#include "core/allocator.hpp"
+#include "core/balanced_allocator.hpp"
+#include "core/cost_model.hpp"
+#include "core/greedy_allocator.hpp"
+
+namespace commsched {
+
+class AdaptiveAllocator final : public Allocator {
+ public:
+  /// `cost_options` selects the candidate-pricing variant (Eq. 6 hops by
+  /// default; hop-bytes for the ablation in bench_ablation).
+  explicit AdaptiveAllocator(CostOptions cost_options = {});
+
+  const char* name() const noexcept override { return "adaptive"; }
+
+  std::optional<std::vector<NodeId>> select(
+      const ClusterState& state, const AllocationRequest& request) const override;
+
+  /// Cost of the candidate chosen by the last select() call, and whether
+  /// balanced won (diagnostics for the benches; meaningful only directly
+  /// after a successful select()).
+  double last_cost() const noexcept { return last_cost_; }
+  bool last_chose_balanced() const noexcept { return last_chose_balanced_; }
+
+ private:
+  GreedyAllocator greedy_;
+  BalancedAllocator balanced_;
+  CostOptions cost_options_;
+  // Schedules depend only on (pattern, nprocs); memoized across calls.
+  mutable ScheduleCache schedule_cache_;
+  mutable double last_cost_ = 0.0;
+  mutable bool last_chose_balanced_ = false;
+};
+
+}  // namespace commsched

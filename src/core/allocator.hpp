@@ -1,0 +1,55 @@
+// Node-allocation interface (paper §4).
+//
+// An Allocator is a pure selection policy: given the current cluster state
+// and a job's request it returns the ordered node set the job should run on,
+// without mutating the state — the scheduler commits the allocation.  Rank r
+// of the job runs on the r-th returned node (SLURM block distribution), which
+// is what ties the returned order to the collective schedules priced by the
+// cost model.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cluster/state.hpp"
+#include "collectives/schedule.hpp"
+#include "topology/tree.hpp"
+
+namespace commsched {
+
+/// Everything an allocation decision may consider about a job. The paper
+/// extends SLURM's (job, node count) request with the communication class
+/// and the dominant collective's algorithm (§1, §4).
+struct AllocationRequest {
+  JobId job = kInvalidJob;
+  int num_nodes = 0;
+  bool comm_intensive = false;
+  /// Algorithm of the job's most time-consuming MPI collective (§3.3).
+  Pattern pattern = Pattern::kRecursiveDoubling;
+  /// Base message size in bytes (used by hop-byte cost variants).
+  double msize = 1 << 20;
+
+  // --- §7 I/O-aware extension -------------------------------------------
+  bool io_intensive = false;
+  /// T_comm / T and T_io / T; only the I/O-aware policy weighs candidates
+  /// by them (the paper's policies use the class flags alone).
+  double comm_fraction = 0.5;
+  double io_fraction = 0.0;
+};
+
+/// Abstract node-selection policy.
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  /// Human-readable policy name ("default", "greedy", ...).
+  virtual const char* name() const noexcept = 0;
+
+  /// Select request.num_nodes free nodes. Returns std::nullopt when the
+  /// cluster cannot satisfy the request right now (the job must wait).
+  /// Never mutates `state`; never returns an occupied or duplicated node.
+  virtual std::optional<std::vector<NodeId>> select(
+      const ClusterState& state, const AllocationRequest& request) const = 0;
+};
+
+}  // namespace commsched

@@ -1,0 +1,43 @@
+#include "core/allocator_common.hpp"
+
+#include "util/assert.hpp"
+
+namespace commsched {
+
+SwitchId find_lowest_level_switch(const ClusterState& state, int num_nodes) {
+  COMMSCHED_ASSERT_MSG(num_nodes >= 1, "request must be positive");
+  const Tree& tree = state.tree();
+  for (int lvl = 1; lvl <= tree.depth(); ++lvl) {
+    SwitchId best = kInvalidSwitch;
+    for (const SwitchId s : tree.switches_at_level(lvl)) {
+      const int free = state.free_under(s);
+      if (free < num_nodes) continue;
+      if (best == kInvalidSwitch || free < state.free_under(best)) best = s;
+    }
+    if (best != kInvalidSwitch) return best;
+  }
+  return kInvalidSwitch;
+}
+
+void take_free_nodes(const ClusterState& state, SwitchId leaf, int count,
+                     std::vector<NodeId>& out) {
+  COMMSCHED_ASSERT(count >= 0);
+  if (count == 0) return;
+  int taken = 0;
+  for (const NodeId n : state.tree().nodes_of_leaf(leaf)) {
+    if (!state.is_free(n)) continue;
+    out.push_back(n);
+    if (++taken == count) return;
+  }
+  COMMSCHED_ASSERT_MSG(false, "leaf has fewer free nodes than requested");
+}
+
+double communication_ratio(const ClusterState& state, SwitchId leaf) {
+  const double nodes = state.leaf_nodes(leaf);
+  const double busy = state.leaf_busy(leaf);
+  const double comm = state.leaf_comm(leaf);
+  const double contention_term = busy > 0.0 ? comm / busy : 0.0;
+  return contention_term + busy / nodes;
+}
+
+}  // namespace commsched

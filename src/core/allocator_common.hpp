@@ -1,0 +1,28 @@
+// Shared building blocks of the four allocation policies.
+#pragma once
+
+#include <vector>
+
+#include "cluster/state.hpp"
+#include "topology/tree.hpp"
+
+namespace commsched {
+
+/// SLURM topology/tree search (§3.1): the lowest-level switch whose subtree
+/// holds at least `num_nodes` free nodes; among equals at that level, the one
+/// with the fewest free nodes (best-fit), ties broken by switch id.
+/// Returns kInvalidSwitch when even the root cannot satisfy the request.
+SwitchId find_lowest_level_switch(const ClusterState& state, int num_nodes);
+
+/// Append the first `count` free nodes of `leaf` (ascending node id) to
+/// `out`. Requires leaf_free(leaf) >= count.
+void take_free_nodes(const ClusterState& state, SwitchId leaf, int count,
+                     std::vector<NodeId>& out);
+
+/// Paper Eq. 1: communication ratio of a leaf switch,
+///   L_comm / L_busy + L_busy / L_nodes.
+/// An idle leaf (L_busy == 0) has no communicating jobs, so the first term
+/// is taken as 0 (the paper leaves the 0/0 case implicit).
+double communication_ratio(const ClusterState& state, SwitchId leaf);
+
+}  // namespace commsched

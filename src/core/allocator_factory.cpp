@@ -1,0 +1,69 @@
+#include "core/allocator_factory.hpp"
+
+#include <cstdlib>
+
+#include "core/adaptive_allocator.hpp"
+#include "core/balanced_allocator.hpp"
+#include "core/default_allocator.hpp"
+#include "core/exclusive_allocator.hpp"
+#include "core/io_aware_allocator.hpp"
+#include "core/greedy_allocator.hpp"
+#include "util/assert.hpp"
+
+namespace commsched {
+
+const char* allocator_kind_name(AllocatorKind kind) {
+  switch (kind) {
+    case AllocatorKind::kDefault: return "default";
+    case AllocatorKind::kGreedy: return "greedy";
+    case AllocatorKind::kBalanced: return "balanced";
+    case AllocatorKind::kAdaptive: return "adaptive";
+    case AllocatorKind::kExclusive: return "exclusive";
+    case AllocatorKind::kIoAware: return "io_aware";
+  }
+  return "?";
+}
+
+std::optional<AllocatorKind> allocator_kind_from_string(const std::string& s) {
+  if (s == "default") return AllocatorKind::kDefault;
+  if (s == "greedy") return AllocatorKind::kGreedy;
+  if (s == "balanced") return AllocatorKind::kBalanced;
+  if (s == "adaptive") return AllocatorKind::kAdaptive;
+  if (s == "exclusive") return AllocatorKind::kExclusive;
+  if (s == "io_aware") return AllocatorKind::kIoAware;
+  return std::nullopt;
+}
+
+std::unique_ptr<Allocator> make_allocator(AllocatorKind kind,
+                                          CostOptions cost_options) {
+  switch (kind) {
+    case AllocatorKind::kDefault:
+      return std::make_unique<DefaultAllocator>();
+    case AllocatorKind::kGreedy:
+      return std::make_unique<GreedyAllocator>();
+    case AllocatorKind::kBalanced:
+      return std::make_unique<BalancedAllocator>();
+    case AllocatorKind::kAdaptive:
+      return std::make_unique<AdaptiveAllocator>(cost_options);
+    case AllocatorKind::kExclusive:
+      return std::make_unique<ExclusiveAllocator>();
+    case AllocatorKind::kIoAware:
+      return std::make_unique<IoAwareAllocator>(cost_options);
+  }
+  COMMSCHED_ASSERT_MSG(false, "unknown allocator kind");
+  return nullptr;
+}
+
+AllocatorKind allocator_kind_from_env() {
+  const char* value = std::getenv("JOBAWARE");
+  if (value == nullptr || *value == '\0') return AllocatorKind::kDefault;
+  const std::string s(value);
+  if (s == "1") return AllocatorKind::kAdaptive;
+  const auto kind = allocator_kind_from_string(s);
+  COMMSCHED_ASSERT_MSG(kind.has_value(),
+                       "JOBAWARE must be unset, 1, or one of "
+                       "default/greedy/balanced/adaptive (got '" + s + "')");
+  return *kind;
+}
+
+}  // namespace commsched

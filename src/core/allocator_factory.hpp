@@ -1,0 +1,49 @@
+// Policy selection, mirroring the paper's JOBAWARE environment switch (§5.2):
+// when JOBAWARE is set, SLURM runs the proposed algorithm named by its value;
+// unset, it runs the stock allocator.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/allocator.hpp"
+#include "core/cost_model.hpp"
+
+namespace commsched {
+
+enum class AllocatorKind : int {
+  kDefault = 0,
+  kGreedy = 1,
+  kBalanced = 2,
+  kAdaptive = 3,
+  /// Related-work baseline (§2, Pollard et al.): interference-free
+  /// whole-switch allocation. Not part of the paper's policy set, so it is
+  /// deliberately absent from kAllAllocatorKinds.
+  kExclusive = 4,
+  /// §7 future work: combines the communication cost model with the I/O
+  /// contention model. Also outside kAllAllocatorKinds.
+  kIoAware = 5,
+};
+
+/// The paper's four policies (Tables 3-4, Figures 6-9 iterate over these).
+inline constexpr AllocatorKind kAllAllocatorKinds[] = {
+    AllocatorKind::kDefault, AllocatorKind::kGreedy, AllocatorKind::kBalanced,
+    AllocatorKind::kAdaptive};
+
+const char* allocator_kind_name(AllocatorKind kind);
+
+/// Parse "default" / "greedy" / "balanced" / "adaptive" (case-sensitive).
+std::optional<AllocatorKind> allocator_kind_from_string(const std::string& s);
+
+/// Instantiate a policy. `cost_options` only affects the adaptive policy's
+/// candidate pricing.
+std::unique_ptr<Allocator> make_allocator(AllocatorKind kind,
+                                          CostOptions cost_options = {});
+
+/// The paper's JOBAWARE switch: reads the JOBAWARE environment variable.
+/// Unset or empty -> kDefault; "1" -> kAdaptive (the paper's best policy);
+/// otherwise the named policy. Throws InvariantError on unknown names.
+AllocatorKind allocator_kind_from_env();
+
+}  // namespace commsched

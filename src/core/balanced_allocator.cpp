@@ -1,0 +1,100 @@
+#include "core/balanced_allocator.hpp"
+
+#include <algorithm>
+
+#include "core/allocator_common.hpp"
+#include "util/assert.hpp"
+
+namespace commsched {
+
+std::optional<std::vector<NodeId>> BalancedAllocator::select(
+    const ClusterState& state, const AllocationRequest& request) const {
+  const SwitchId top = find_lowest_level_switch(state, request.num_nodes);
+  if (top == kInvalidSwitch) return std::nullopt;
+
+  std::vector<NodeId> alloc;
+  alloc.reserve(static_cast<std::size_t>(request.num_nodes));
+  // Algorithm 2 lines 3-5.
+  if (state.tree().is_leaf(top)) {
+    take_free_nodes(state, top, request.num_nodes, alloc);
+    return alloc;
+  }
+
+  std::vector<SwitchId> leaf_order(state.tree().leaves_under(top).begin(),
+                                   state.tree().leaves_under(top).end());
+  std::erase_if(leaf_order,
+                [&](SwitchId l) { return state.leaf_free(l) == 0; });
+
+  if (request.comm_intensive) {
+    // Lines 9-10: leaves in decreasing free-node order.
+    std::stable_sort(leaf_order.begin(), leaf_order.end(),
+                     [&](SwitchId a, SwitchId b) {
+                       const int fa = state.leaf_free(a);
+                       const int fb = state.leaf_free(b);
+                       if (fa != fb) return fa > fb;
+                       return a < b;
+                     });
+
+    // Per-leaf free node lists with a cursor, so the top-up pass cannot
+    // re-take nodes granted in the power-of-two pass.
+    std::vector<std::vector<NodeId>> free_nodes;
+    std::vector<std::size_t> cursor(leaf_order.size(), 0);
+    free_nodes.reserve(leaf_order.size());
+    for (const SwitchId leaf : leaf_order)
+      free_nodes.push_back(state.free_nodes_of_leaf(leaf));
+
+    // Lines 12-21: halve the chunk size S until it fits each leaf; allocate
+    // the largest power of two the leaf can hold. S persists across leaves
+    // (the Table 2 example: 512 -> 128,128,64,64,64,32,32).
+    int remaining = request.num_nodes;
+    int chunk = request.num_nodes;
+    for (std::size_t li = 0; li < leaf_order.size() && remaining > 0; ++li) {
+      const int free = static_cast<int>(free_nodes[li].size());
+      while (chunk > free) chunk /= 2;
+      if (chunk == 0) break;  // leaf smaller than any power-of-two chunk
+      const int take = std::min(chunk, remaining);
+      for (int t = 0; t < take; ++t)
+        alloc.push_back(free_nodes[li][cursor[li]++]);
+      remaining -= take;
+    }
+
+    // Lines 22-27: top up from the leftover free nodes, reverse order.
+    if (remaining > 0) {
+      for (std::size_t li = leaf_order.size(); li-- > 0 && remaining > 0;) {
+        const int avail =
+            static_cast<int>(free_nodes[li].size() - cursor[li]);
+        const int take = std::min(avail, remaining);
+        for (int t = 0; t < take; ++t)
+          alloc.push_back(free_nodes[li][cursor[li]++]);
+        remaining -= take;
+      }
+    }
+    COMMSCHED_ASSERT_MSG(remaining == 0,
+                         "lowest-level switch reported enough free nodes but "
+                         "leaves did not provide them");
+    return alloc;
+  }
+
+  // Lines 30-35: compute-intensive jobs fill leaves in increasing free-node
+  // order, preserving big free blocks for communication-intensive jobs.
+  std::stable_sort(leaf_order.begin(), leaf_order.end(),
+                   [&](SwitchId a, SwitchId b) {
+                     const int fa = state.leaf_free(a);
+                     const int fb = state.leaf_free(b);
+                     if (fa != fb) return fa < fb;
+                     return a < b;
+                   });
+  int remaining = request.num_nodes;
+  for (const SwitchId leaf : leaf_order) {
+    const int take = std::min(state.leaf_free(leaf), remaining);
+    take_free_nodes(state, leaf, take, alloc);
+    remaining -= take;
+    if (remaining == 0) return alloc;
+  }
+  COMMSCHED_ASSERT_MSG(false,
+                       "lowest-level switch reported enough free nodes but "
+                       "leaves did not provide them");
+  return std::nullopt;
+}
+
+}  // namespace commsched

@@ -1,0 +1,25 @@
+// Balanced allocation — the paper's Algorithm 2 (§4.2).
+//
+// For communication-intensive jobs, allocates nodes in powers of two per
+// leaf switch (largest leaves first), halving the chunk size until it fits a
+// leaf; this keeps the sub-groups of recursive-doubling-style algorithms
+// intact inside single switches and so minimizes inter-switch traffic.  Any
+// shortfall after the power-of-two pass is topped up from the same leaves in
+// reverse order (Algorithm 2 lines 22-27).  Compute-intensive jobs instead
+// fill the emptiest-last (ascending free count) so large free blocks survive
+// for communicating jobs.
+#pragma once
+
+#include "core/allocator.hpp"
+
+namespace commsched {
+
+class BalancedAllocator final : public Allocator {
+ public:
+  const char* name() const noexcept override { return "balanced"; }
+
+  std::optional<std::vector<NodeId>> select(
+      const ClusterState& state, const AllocationRequest& request) const override;
+};
+
+}  // namespace commsched

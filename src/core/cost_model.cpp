@@ -1,0 +1,118 @@
+#include "core/cost_model.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace commsched {
+
+LeafOverlay::LeafOverlay(const Tree& tree)
+    : extra_(static_cast<std::size_t>(tree.switch_count()), 0) {}
+
+void LeafOverlay::add_nodes(const Tree& tree, std::span<const NodeId> nodes) {
+  for (const NodeId n : nodes) {
+    const SwitchId leaf = tree.leaf_of(n);
+    if (extra_[static_cast<std::size_t>(leaf)] == 0) touched_.push_back(leaf);
+    ++extra_[static_cast<std::size_t>(leaf)];
+  }
+}
+
+void LeafOverlay::clear() {
+  for (const SwitchId s : touched_) extra_[static_cast<std::size_t>(s)] = 0;
+  touched_.clear();
+}
+
+int LeafOverlay::extra_comm(SwitchId leaf) const {
+  return extra_[static_cast<std::size_t>(leaf)];
+}
+
+std::vector<NodeId> expand_ranks_per_node(std::span<const NodeId> nodes,
+                                          int ranks_per_node) {
+  COMMSCHED_ASSERT_MSG(ranks_per_node >= 1, "need at least one rank per node");
+  std::vector<NodeId> ranks;
+  ranks.reserve(nodes.size() * static_cast<std::size_t>(ranks_per_node));
+  for (const NodeId n : nodes)
+    for (int r = 0; r < ranks_per_node; ++r) ranks.push_back(n);
+  return ranks;
+}
+
+CostModel::CostModel(const Tree& tree, CostOptions options)
+    : tree_(&tree), options_(options) {}
+
+namespace {
+double leaf_comm_fraction(const ClusterState& state, SwitchId leaf,
+                          const LeafOverlay* overlay) {
+  const double comm =
+      state.leaf_comm(leaf) + (overlay ? overlay->extra_comm(leaf) : 0);
+  return comm / static_cast<double>(state.leaf_nodes(leaf));
+}
+}  // namespace
+
+double CostModel::contention(const ClusterState& state, NodeId i, NodeId j,
+                             const LeafOverlay* overlay) const {
+  const SwitchId li = tree_->leaf_of(i);
+  const SwitchId lj = tree_->leaf_of(j);
+  if (li == lj) return leaf_comm_fraction(state, li, overlay);  // Eq. 2
+  // Eq. 3: per-leaf contention plus half the pooled contention at the
+  // lowest common switch (links double per level in a fat-tree).
+  const double ci =
+      static_cast<double>(state.leaf_comm(li) +
+                          (overlay ? overlay->extra_comm(li) : 0));
+  const double cj =
+      static_cast<double>(state.leaf_comm(lj) +
+                          (overlay ? overlay->extra_comm(lj) : 0));
+  const double ni = state.leaf_nodes(li);
+  const double nj = state.leaf_nodes(lj);
+  return ci / ni + cj / nj + 0.5 * (ci + cj) / (ni + nj);
+}
+
+double CostModel::effective_hops(const ClusterState& state, NodeId i, NodeId j,
+                                 const LeafOverlay* overlay) const {
+  if (i == j) return 0.0;
+  const double d = tree_->distance(i, j);
+  return d * (1.0 + contention(state, i, j, overlay));  // Eq. 5
+}
+
+double CostModel::cost_impl(const ClusterState& state,
+                            std::span<const NodeId> nodes,
+                            const CommSchedule& schedule,
+                            const LeafOverlay* overlay) const {
+  double total = 0.0;
+  for (const CommStep& step : schedule) {
+    double worst = 0.0;
+    for (const auto& [ri, rj] : step.pairs) {
+      COMMSCHED_ASSERT_MSG(
+          ri >= 0 && rj >= 0 &&
+              static_cast<std::size_t>(ri) < nodes.size() &&
+              static_cast<std::size_t>(rj) < nodes.size(),
+          "schedule rank out of range for this allocation");
+      const double h =
+          effective_hops(state, nodes[static_cast<std::size_t>(ri)],
+                         nodes[static_cast<std::size_t>(rj)], overlay);
+      worst = std::max(worst, h);
+    }
+    double step_cost = worst * static_cast<double>(step.repeat);
+    if (options_.hop_bytes) step_cost *= step.msize;
+    total += step_cost;
+  }
+  return total;
+}
+
+double CostModel::allocation_cost(const ClusterState& state,
+                                  std::span<const NodeId> nodes,
+                                  const CommSchedule& schedule) const {
+  return cost_impl(state, nodes, schedule, nullptr);
+}
+
+double CostModel::candidate_cost(const ClusterState& state,
+                                 std::span<const NodeId> nodes,
+                                 bool comm_intensive,
+                                 const CommSchedule& schedule) const {
+  if (!comm_intensive || !options_.include_candidate)
+    return cost_impl(state, nodes, schedule, nullptr);
+  LeafOverlay overlay(*tree_);
+  overlay.add_nodes(*tree_, nodes);
+  return cost_impl(state, nodes, schedule, &overlay);
+}
+
+}  // namespace commsched

@@ -1,0 +1,99 @@
+// The paper's communication-cost model (§5.3, Eqs. 2-6).
+//
+//   Contention factor C(i,j):
+//     same leaf      : L_comm / L_nodes                              (Eq. 2)
+//     different leaf : Li_comm/Li_nodes + Lj_comm/Lj_nodes
+//                      + (Li_comm + Lj_comm) / (2 (Li_nodes+Lj_nodes)) (Eq. 3)
+//   Distance   d(i,j) = 2 * level(lowest common switch)              (Eq. 4)
+//   Eff. hops  Hops(i,j) = d(i,j) * (1 + C(i,j))                     (Eq. 5)
+//   Job cost   Cost = sum over steps n of max_{(i,j) in S_n} Hops(i,j) (Eq. 6)
+//
+// Costs can be priced for a *candidate* allocation that is not committed yet:
+// the candidate job's own nodes then count toward each leaf's L_comm (the
+// paper's worked Figure 5 example includes the job under consideration), via
+// a per-leaf overlay so the ClusterState itself is never touched.
+#pragma once
+
+#include <span>
+
+#include "cluster/state.hpp"
+#include "collectives/schedule.hpp"
+#include "topology/tree.hpp"
+
+namespace commsched {
+
+struct CostOptions {
+  /// Weight each step's max-hops by the step's message size (hop-bytes,
+  /// §5.3). Off reproduces Eq. 6 exactly; on is the adaptive-estimator
+  /// ablation variant.
+  bool hop_bytes = false;
+  /// Count the candidate job's own nodes as communication-intensive load on
+  /// their leaves while pricing (matches the paper's Figure 5 arithmetic).
+  /// Only applies when the candidate is communication-intensive.
+  bool include_candidate = true;
+};
+
+/// Extra communication-intensive node counts per leaf switch, representing a
+/// hypothetical allocation on top of the committed ClusterState.
+class LeafOverlay {
+ public:
+  explicit LeafOverlay(const Tree& tree);
+
+  /// Add the candidate job's nodes (each contributes 1 to its leaf).
+  void add_nodes(const Tree& tree, std::span<const NodeId> nodes);
+  void clear();
+
+  int extra_comm(SwitchId leaf) const;
+
+ private:
+  std::vector<int> extra_;
+  std::vector<SwitchId> touched_;
+};
+
+/// Expand a whole-node allocation into a rank -> node map with
+/// `ranks_per_node` MPI ranks per node (SLURM block distribution: ranks
+/// 0..rpn-1 on the first node, and so on). Same-node rank pairs then price
+/// at distance 0 in the cost model, matching multi-core reality (the
+/// paper's machines run 4-64 ranks per node; §5.1).
+std::vector<NodeId> expand_ranks_per_node(std::span<const NodeId> nodes,
+                                          int ranks_per_node);
+
+/// Stateless evaluator bound to one topology; all methods are const and
+/// thread-compatible.
+class CostModel {
+ public:
+  explicit CostModel(const Tree& tree, CostOptions options = {});
+
+  const CostOptions& options() const noexcept { return options_; }
+
+  /// C(i,j) per Eqs. 2-3, with `overlay` contributing extra L_comm
+  /// (pass nullptr for committed-state-only pricing).
+  double contention(const ClusterState& state, NodeId i, NodeId j,
+                    const LeafOverlay* overlay = nullptr) const;
+
+  /// Hops(i,j) per Eq. 5.
+  double effective_hops(const ClusterState& state, NodeId i, NodeId j,
+                        const LeafOverlay* overlay = nullptr) const;
+
+  /// Eq. 6 over a committed job's allocation: `nodes[r]` is rank r's node.
+  double allocation_cost(const ClusterState& state,
+                         std::span<const NodeId> nodes,
+                         const CommSchedule& schedule) const;
+
+  /// Eq. 6 for a *candidate* allocation: per options_.include_candidate the
+  /// candidate's nodes are overlaid onto leaf L_comm counts when the job is
+  /// communication-intensive.
+  double candidate_cost(const ClusterState& state,
+                        std::span<const NodeId> nodes, bool comm_intensive,
+                        const CommSchedule& schedule) const;
+
+ private:
+  double cost_impl(const ClusterState& state, std::span<const NodeId> nodes,
+                   const CommSchedule& schedule,
+                   const LeafOverlay* overlay) const;
+
+  const Tree* tree_;
+  CostOptions options_;
+};
+
+}  // namespace commsched

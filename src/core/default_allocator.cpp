@@ -1,0 +1,49 @@
+#include "core/default_allocator.hpp"
+
+#include <algorithm>
+
+#include "core/allocator_common.hpp"
+#include "util/assert.hpp"
+
+namespace commsched {
+
+std::optional<std::vector<NodeId>> DefaultAllocator::select(
+    const ClusterState& state, const AllocationRequest& request) const {
+  const SwitchId root_switch = find_lowest_level_switch(state, request.num_nodes);
+  if (root_switch == kInvalidSwitch) return std::nullopt;
+
+  std::vector<NodeId> alloc;
+  alloc.reserve(static_cast<std::size_t>(request.num_nodes));
+  if (state.tree().is_leaf(root_switch)) {
+    take_free_nodes(state, root_switch, request.num_nodes, alloc);
+    return alloc;
+  }
+
+  // Best-fit across the leaves under the chosen switch: fewest free nodes
+  // first, so large contiguous blocks stay available for later jobs.
+  std::vector<SwitchId> leaf_order(state.tree().leaves_under(root_switch).begin(),
+                                   state.tree().leaves_under(root_switch).end());
+  std::erase_if(leaf_order,
+                [&](SwitchId l) { return state.leaf_free(l) == 0; });
+  std::stable_sort(leaf_order.begin(), leaf_order.end(),
+                   [&](SwitchId a, SwitchId b) {
+                     const int fa = state.leaf_free(a);
+                     const int fb = state.leaf_free(b);
+                     if (fa != fb) return fa < fb;
+                     return a < b;
+                   });
+
+  int remaining = request.num_nodes;
+  for (const SwitchId leaf : leaf_order) {
+    const int take = std::min(state.leaf_free(leaf), remaining);
+    take_free_nodes(state, leaf, take, alloc);
+    remaining -= take;
+    if (remaining == 0) return alloc;
+  }
+  COMMSCHED_ASSERT_MSG(false,
+                       "lowest-level switch reported enough free nodes but "
+                       "leaves did not provide them");
+  return std::nullopt;
+}
+
+}  // namespace commsched

@@ -1,0 +1,19 @@
+// SLURM's stock topology/tree + select/linear policy (§3.1) — the paper's
+// baseline.  Finds the lowest-level switch with enough free nodes, then
+// fills leaf switches under it best-fit (fewest free nodes first) to limit
+// fragmentation.  Job characteristics are ignored, exactly as in stock SLURM.
+#pragma once
+
+#include "core/allocator.hpp"
+
+namespace commsched {
+
+class DefaultAllocator final : public Allocator {
+ public:
+  const char* name() const noexcept override { return "default"; }
+
+  std::optional<std::vector<NodeId>> select(
+      const ClusterState& state, const AllocationRequest& request) const override;
+};
+
+}  // namespace commsched

@@ -1,0 +1,29 @@
+// Interference-free allocation — the related-work baseline the paper
+// contrasts against (§2, Pollard et al. [20], SC'18).
+//
+// Jobs are placed so that no leaf switch is shared between two jobs: a job
+// receives nodes only from leaf switches that are currently empty (plus, as
+// in the original policy, small jobs that fit inside a single leaf may share
+// that leaf with nothing). This eliminates inter-job link sharing at the
+// leaf level entirely — the strongest possible isolation on a two-level
+// tree — but refuses allocations a sharing policy would grant, which is
+// exactly the wait-time penalty the paper points out ("these restrictions
+// negatively impact the wait time").
+//
+// bench_related_work quantifies that trade-off against the paper's
+// policies.
+#pragma once
+
+#include "core/allocator.hpp"
+
+namespace commsched {
+
+class ExclusiveAllocator final : public Allocator {
+ public:
+  const char* name() const noexcept override { return "exclusive"; }
+
+  std::optional<std::vector<NodeId>> select(
+      const ClusterState& state, const AllocationRequest& request) const override;
+};
+
+}  // namespace commsched

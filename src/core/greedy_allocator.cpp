@@ -1,0 +1,52 @@
+#include "core/greedy_allocator.hpp"
+
+#include <algorithm>
+
+#include "core/allocator_common.hpp"
+#include "util/assert.hpp"
+
+namespace commsched {
+
+std::optional<std::vector<NodeId>> GreedyAllocator::select(
+    const ClusterState& state, const AllocationRequest& request) const {
+  const SwitchId top = find_lowest_level_switch(state, request.num_nodes);
+  if (top == kInvalidSwitch) return std::nullopt;
+
+  std::vector<NodeId> alloc;
+  alloc.reserve(static_cast<std::size_t>(request.num_nodes));
+  // Algorithm 1 lines 3-5: a single leaf satisfies the whole request.
+  if (state.tree().is_leaf(top)) {
+    take_free_nodes(state, top, request.num_nodes, alloc);
+    return alloc;
+  }
+
+  // Lines 7-10: order leaves by communication ratio; ascending for
+  // communication-intensive jobs, descending otherwise.
+  std::vector<SwitchId> leaf_order(state.tree().leaves_under(top).begin(),
+                                   state.tree().leaves_under(top).end());
+  std::erase_if(leaf_order,
+                [&](SwitchId l) { return state.leaf_free(l) == 0; });
+  std::stable_sort(leaf_order.begin(), leaf_order.end(),
+                   [&](SwitchId a, SwitchId b) {
+                     const double ra = communication_ratio(state, a);
+                     const double rb = communication_ratio(state, b);
+                     if (ra != rb)
+                       return request.comm_intensive ? ra < rb : ra > rb;
+                     return a < b;
+                   });
+
+  // Lines 11-18: fill leaves in sorted order.
+  int remaining = request.num_nodes;
+  for (const SwitchId leaf : leaf_order) {
+    const int take = std::min(state.leaf_free(leaf), remaining);
+    take_free_nodes(state, leaf, take, alloc);
+    remaining -= take;
+    if (remaining == 0) return alloc;
+  }
+  COMMSCHED_ASSERT_MSG(false,
+                       "lowest-level switch reported enough free nodes but "
+                       "leaves did not provide them");
+  return std::nullopt;
+}
+
+}  // namespace commsched

@@ -1,0 +1,22 @@
+// Greedy allocation — the paper's Algorithm 1 (§4.1).
+//
+// Orders the leaf switches under the lowest feasible switch by their
+// communication ratio (Eq. 1): ascending for communication-intensive jobs
+// (least-contended, emptiest leaves first) and descending for
+// compute-intensive jobs (so quiet leaves stay available for communicating
+// jobs), then fills leaves in that order.
+#pragma once
+
+#include "core/allocator.hpp"
+
+namespace commsched {
+
+class GreedyAllocator final : public Allocator {
+ public:
+  const char* name() const noexcept override { return "greedy"; }
+
+  std::optional<std::vector<NodeId>> select(
+      const ClusterState& state, const AllocationRequest& request) const override;
+};
+
+}  // namespace commsched

@@ -1,0 +1,130 @@
+#include "core/io_aware_allocator.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace commsched {
+
+IoAwareAllocator::IoAwareAllocator(CostOptions cost_options)
+    : cost_options_(cost_options), schedule_cache_(1 << 20) {}
+
+std::optional<std::vector<NodeId>> IoAwareAllocator::spread_candidate(
+    const ClusterState& state, int num_nodes) {
+  COMMSCHED_ASSERT(num_nodes >= 1);
+  if (state.total_free() < num_nodes) return std::nullopt;
+  const Tree& tree = state.tree();
+
+  // Leaves in ascending I/O-load order (fraction of nodes doing I/O),
+  // ties by more free nodes, then id.
+  std::vector<SwitchId> order(tree.leaves().begin(), tree.leaves().end());
+  std::erase_if(order, [&](SwitchId l) { return state.leaf_free(l) == 0; });
+  std::stable_sort(order.begin(), order.end(), [&](SwitchId a, SwitchId b) {
+    const double ia = static_cast<double>(state.leaf_io(a)) / state.leaf_nodes(a);
+    const double ib = static_cast<double>(state.leaf_io(b)) / state.leaf_nodes(b);
+    if (ia != ib) return ia < ib;
+    if (state.leaf_free(a) != state.leaf_free(b))
+      return state.leaf_free(a) > state.leaf_free(b);
+    return a < b;
+  });
+
+  // Even water-fill over the least-loaded leaves: every leaf gets an
+  // (almost) equal share, capped by its free capacity, with any deficit
+  // pushed onto the later (more loaded) leaves. Blocks stay contiguous in
+  // rank space so the communication term is not wrecked by interleaving.
+  const auto k = order.size();
+  std::vector<int> desired(k, 0);
+  const int base = num_nodes / static_cast<int>(k);
+  int extra = num_nodes % static_cast<int>(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    desired[i] = base + (static_cast<int>(i) < extra ? 1 : 0);
+  }
+  int deficit = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    desired[i] += deficit;
+    deficit = 0;
+    const int free = state.leaf_free(order[i]);
+    if (desired[i] > free) {
+      deficit = desired[i] - free;
+      desired[i] = free;
+    }
+  }
+  // Any residue wraps around to leaves with spare capacity.
+  for (std::size_t i = 0; i < k && deficit > 0; ++i) {
+    const int spare = state.leaf_free(order[i]) - desired[i];
+    const int take = std::min(spare, deficit);
+    desired[i] += take;
+    deficit -= take;
+  }
+  COMMSCHED_ASSERT_MSG(deficit == 0, "free-node accounting out of sync");
+
+  std::vector<NodeId> alloc;
+  alloc.reserve(static_cast<std::size_t>(num_nodes));
+  for (std::size_t i = 0; i < k; ++i) {
+    int taken = 0;
+    for (const NodeId n : tree.nodes_of_leaf(order[i])) {
+      if (taken == desired[i]) break;
+      if (state.is_free(n)) {
+        alloc.push_back(n);
+        ++taken;
+      }
+    }
+    COMMSCHED_ASSERT(taken == desired[i]);
+  }
+  return alloc;
+}
+
+std::optional<std::vector<NodeId>> IoAwareAllocator::select(
+    const ClusterState& state, const AllocationRequest& request) const {
+  // Candidates.
+  auto greedy_pick = greedy_.select(state, request);
+  auto balanced_pick = balanced_.select(state, request);
+  auto spread_pick = spread_candidate(state, request.num_nodes);
+  const auto default_pick = default_.select(state, request);
+  if (!default_pick) return std::nullopt;  // nothing fits at all
+
+  const CostModel comm_model(state.tree(), cost_options_);
+  const IoModel io_model(state.tree());
+  const CommSchedule& schedule =
+      schedule_cache_.get(request.pattern, request.num_nodes);
+
+  const double comm_base =
+      (request.comm_intensive && request.num_nodes >= 2)
+          ? comm_model.candidate_cost(state, *default_pick,
+                                      request.comm_intensive, schedule)
+          : 0.0;
+  const double io_base =
+      io_model.candidate_cost(state, *default_pick, request.io_intensive);
+
+  const auto score = [&](const std::vector<NodeId>& nodes) {
+    double s = 0.0;
+    if (request.comm_intensive && request.num_nodes >= 2 &&
+        request.comm_fraction > 0.0)
+      s += request.comm_fraction *
+           cost_ratio(comm_model.candidate_cost(state, nodes,
+                                                request.comm_intensive,
+                                                schedule),
+                      comm_base);
+    if (request.io_intensive && request.io_fraction > 0.0)
+      s += request.io_fraction *
+           cost_ratio(io_model.candidate_cost(state, nodes,
+                                              request.io_intensive),
+                      io_base);
+    return s;
+  };
+
+  std::optional<std::vector<NodeId>> best;
+  double best_score = 0.0;
+  for (auto* candidate : {&greedy_pick, &balanced_pick, &spread_pick}) {
+    if (!candidate->has_value()) continue;
+    const double s = score(**candidate);
+    if (!best || s < best_score) {
+      best_score = s;
+      best = std::move(*candidate);
+    }
+  }
+  if (!best) return default_pick;  // no candidate: fall back to stock
+  return best;
+}
+
+}  // namespace commsched

@@ -1,0 +1,49 @@
+// I/O-aware allocation — the paper's §7 future work, combining the
+// communication cost model with the I/O contention model.
+//
+// Three candidate placements are generated: greedy (Algorithm 1), balanced
+// (Algorithm 2) and an "I/O spread" that distributes the job's nodes evenly
+// across the leaves with the least I/O load (minimizing per-leaf L_io
+// stacking). Each candidate is scored by
+//
+//     comm_fraction * CommCost(c)/CommCost(default)
+//   + io_fraction   * IoCost(c)/IoCost(default)
+//
+// — the expected Eq. 7-style runtime multiplier of the candidate — and the
+// cheapest wins. A job with io_fraction 0 degenerates to the adaptive
+// policy's choice; a pure-I/O job gets the spread.
+#pragma once
+
+#include "core/allocator.hpp"
+#include "core/balanced_allocator.hpp"
+#include "core/cost_model.hpp"
+#include "core/default_allocator.hpp"
+#include "core/greedy_allocator.hpp"
+#include "core/io_model.hpp"
+
+namespace commsched {
+
+class IoAwareAllocator final : public Allocator {
+ public:
+  explicit IoAwareAllocator(CostOptions cost_options = {.hop_bytes = true});
+
+  const char* name() const noexcept override { return "io_aware"; }
+
+  std::optional<std::vector<NodeId>> select(
+      const ClusterState& state, const AllocationRequest& request) const override;
+
+  /// The I/O-spread candidate by itself (exposed for tests/benches):
+  /// near-equal contiguous blocks over the least-I/O-loaded leaves, so the
+  /// per-leaf L_io growth is minimal while rank blocks stay intact.
+  static std::optional<std::vector<NodeId>> spread_candidate(
+      const ClusterState& state, int num_nodes);
+
+ private:
+  GreedyAllocator greedy_;
+  BalancedAllocator balanced_;
+  DefaultAllocator default_;
+  CostOptions cost_options_;
+  mutable ScheduleCache schedule_cache_;
+};
+
+}  // namespace commsched

@@ -1,0 +1,56 @@
+#include "core/io_model.hpp"
+
+#include "util/assert.hpp"
+
+namespace commsched {
+
+IoModel::IoModel(const Tree& tree) : tree_(&tree) {}
+
+double IoModel::contention(const ClusterState& state, NodeId n,
+                           const LeafOverlay* overlay) const {
+  const SwitchId leaf = tree_->leaf_of(n);
+  const double io =
+      state.leaf_io(leaf) + (overlay ? overlay->extra_comm(leaf) : 0);
+  return io / static_cast<double>(state.leaf_nodes(leaf));
+}
+
+double IoModel::allocation_cost(const ClusterState& state,
+                                std::span<const NodeId> nodes) const {
+  const double d_io = 2.0 * tree_->depth();
+  double total = 0.0;
+  for (const NodeId n : nodes)
+    total += d_io * (1.0 + contention(state, n, nullptr));
+  return total;
+}
+
+double IoModel::candidate_cost(const ClusterState& state,
+                               std::span<const NodeId> nodes,
+                               bool io_intensive) const {
+  if (!io_intensive) return allocation_cost(state, nodes);
+  LeafOverlay overlay(*tree_);
+  overlay.add_nodes(*tree_, nodes);
+  const double d_io = 2.0 * tree_->depth();
+  double total = 0.0;
+  for (const NodeId n : nodes)
+    total += d_io * (1.0 + contention(state, n, &overlay));
+  return total;
+}
+
+double modified_runtime_with_io(double runtime, double comm_fraction,
+                                double comm_ratio_num, double comm_ratio_den,
+                                double io_fraction, double io_ratio_num,
+                                double io_ratio_den,
+                                const RuntimeModelOptions& options) {
+  COMMSCHED_ASSERT(runtime >= 0.0);
+  COMMSCHED_ASSERT(comm_fraction >= 0.0 && io_fraction >= 0.0);
+  COMMSCHED_ASSERT_MSG(comm_fraction + io_fraction <= 1.0 + 1e-12,
+                       "comm and I/O fractions exceed the runtime");
+  const double rc = cost_ratio(comm_ratio_num, comm_ratio_den, options);
+  const double rio = cost_ratio(io_ratio_num, io_ratio_den, options);
+  const double t_comm = runtime * comm_fraction;
+  const double t_io = runtime * io_fraction;
+  const double t_compute = runtime - t_comm - t_io;
+  return t_compute + t_comm * rc + t_io * rio;
+}
+
+}  // namespace commsched

@@ -1,0 +1,62 @@
+// I/O contention model — the paper's §7 future work ("I/O-aware scheduling
+// algorithms that consider I/O patterns in addition to communication
+// patterns"), built in the image of the communication model.
+//
+// The storage system hangs off the tree's root (the usual PFS-behind-the-
+// core design), so every node's I/O path climbs the full tree:
+//   d_io(n) = 2 * depth                                       (cf. Eq. 4)
+//   C_io(n) = Li_io / Li_nodes                                (cf. Eq. 2)
+//   IoCost(A) = sum over allocated nodes of d_io * (1 + C_io) (cf. Eq. 6)
+// where L_io counts nodes running I/O-intensive jobs on the node's leaf —
+// the leaf uplink is the first shared hop of the I/O path, so stacking
+// I/O-heavy jobs behind one leaf switch is what the model penalizes.
+// An I/O-aware policy therefore wants to *spread* I/O-heavy jobs across
+// leaves — the exact opposite pull of the balanced communication policy,
+// which is why the combined allocator weighs both terms by the job's time
+// fractions.
+//
+// Runtime impact extends Eq. 7 symmetrically:
+//   T' = T_compute + T_comm * ratio_comm + T_io * ratio_io.
+#pragma once
+
+#include <span>
+
+#include "cluster/state.hpp"
+#include "core/cost_model.hpp"
+#include "core/runtime_model.hpp"
+#include "topology/tree.hpp"
+
+namespace commsched {
+
+class IoModel {
+ public:
+  explicit IoModel(const Tree& tree);
+
+  /// C_io of one node's leaf, with an optional overlay of extra
+  /// I/O-intensive nodes (candidate pricing, as in the comm model).
+  double contention(const ClusterState& state, NodeId n,
+                    const LeafOverlay* overlay = nullptr) const;
+
+  /// IoCost of a committed allocation.
+  double allocation_cost(const ClusterState& state,
+                         std::span<const NodeId> nodes) const;
+
+  /// IoCost of a candidate allocation; when `io_intensive`, the candidate's
+  /// own nodes are overlaid onto the L_io counts.
+  double candidate_cost(const ClusterState& state,
+                        std::span<const NodeId> nodes,
+                        bool io_intensive) const;
+
+ private:
+  const Tree* tree_;
+};
+
+/// Eq. 7 extended with an I/O term. Fractions must satisfy
+/// comm_fraction + io_fraction <= 1; each ratio is clamped like Eq. 7's.
+double modified_runtime_with_io(double runtime, double comm_fraction,
+                                double comm_ratio_num, double comm_ratio_den,
+                                double io_fraction, double io_ratio_num,
+                                double io_ratio_den,
+                                const RuntimeModelOptions& options = {});
+
+}  // namespace commsched

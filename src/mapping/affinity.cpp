@@ -1,0 +1,98 @@
+#include "mapping/affinity.hpp"
+
+#include <algorithm>
+
+#include "mapping/reorder.hpp"
+#include "util/assert.hpp"
+
+namespace commsched {
+
+AffinityMatrix::AffinityMatrix(int nprocs, const CommSchedule& schedule)
+    : nprocs_(nprocs) {
+  COMMSCHED_ASSERT_MSG(nprocs >= 1 && nprocs <= 512,
+                       "affinity matrices are dense; capped at 512 ranks");
+  weights_.assign(static_cast<std::size_t>(nprocs) * nprocs, 0.0);
+  for (const CommStep& step : schedule) {
+    const double bytes = step.msize * step.repeat;
+    for (const auto& [a, b] : step.pairs) {
+      COMMSCHED_ASSERT(a >= 0 && a < nprocs && b >= 0 && b < nprocs);
+      weights_[static_cast<std::size_t>(a) * nprocs + b] += bytes;
+      weights_[static_cast<std::size_t>(b) * nprocs + a] += bytes;
+    }
+  }
+}
+
+double AffinityMatrix::at(int i, int j) const {
+  COMMSCHED_ASSERT(i >= 0 && i < nprocs_ && j >= 0 && j < nprocs_);
+  return weights_[static_cast<std::size_t>(i) * nprocs_ + j];
+}
+
+double AffinityMatrix::to_group(int i, std::span<const int> group) const {
+  double total = 0.0;
+  for (const int j : group) total += at(i, j);
+  return total;
+}
+
+std::vector<NodeId> affinity_map(const Tree& tree,
+                                 std::span<const NodeId> nodes,
+                                 const CommSchedule& schedule) {
+  const int p = static_cast<int>(nodes.size());
+  const AffinityMatrix affinity(p, schedule);
+
+  // Group the nodes per leaf, preserving switch-major order: group g gets
+  // filled with a set of mutually-affine ranks of exactly its size.
+  const std::vector<NodeId> ordered = switch_major_order(tree, nodes);
+  std::vector<std::vector<NodeId>> leaf_groups;
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    if (i == 0 ||
+        tree.leaf_of(ordered[i]) != tree.leaf_of(ordered[i - 1]))
+      leaf_groups.emplace_back();
+    leaf_groups.back().push_back(ordered[i]);
+  }
+
+  std::vector<bool> placed(static_cast<std::size_t>(p), false);
+  std::vector<NodeId> rank_to_node(static_cast<std::size_t>(p), kInvalidNode);
+  for (const auto& group_nodes : leaf_groups) {
+    std::vector<int> group_ranks;
+    // Seed: the unplaced rank with the largest total affinity (the most
+    // communication to co-locate), ties to the lowest rank.
+    int seed = -1;
+    double best_total = -1.0;
+    for (int r = 0; r < p; ++r) {
+      if (placed[static_cast<std::size_t>(r)]) continue;
+      double total = 0.0;
+      for (int q = 0; q < p; ++q) total += affinity.at(r, q);
+      if (total > best_total) {
+        best_total = total;
+        seed = r;
+      }
+    }
+    COMMSCHED_ASSERT(seed >= 0);
+    group_ranks.push_back(seed);
+    placed[static_cast<std::size_t>(seed)] = true;
+    // Grow: repeatedly add the rank most attached to the group so far.
+    while (group_ranks.size() < group_nodes.size()) {
+      int best = -1;
+      double best_affinity = -1.0;
+      for (int r = 0; r < p; ++r) {
+        if (placed[static_cast<std::size_t>(r)]) continue;
+        const double a = affinity.to_group(r, group_ranks);
+        if (a > best_affinity) {
+          best_affinity = a;
+          best = r;
+        }
+      }
+      COMMSCHED_ASSERT(best >= 0);
+      group_ranks.push_back(best);
+      placed[static_cast<std::size_t>(best)] = true;
+    }
+    // Assign the group's ranks (ascending, for determinism) to its nodes.
+    std::sort(group_ranks.begin(), group_ranks.end());
+    for (std::size_t k = 0; k < group_ranks.size(); ++k)
+      rank_to_node[static_cast<std::size_t>(group_ranks[k])] =
+          group_nodes[k];
+  }
+  return rank_to_node;
+}
+
+}  // namespace commsched

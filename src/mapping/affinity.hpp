@@ -1,0 +1,49 @@
+// Affinity-based process mapping — a TREEMATCH-style comparator (the
+// related-work approach of Georgiou et al. [12], §2): derive a rank-affinity
+// matrix from the collective's schedule (bytes exchanged per rank pair) and
+// greedily group heavily-communicating ranks onto the same leaf switch.
+//
+// Where switch_major_order() keeps rank-*adjacent* processes together (ideal
+// for the vector-doubling allgather), affinity grouping adapts to whatever
+// the schedule actually weighs — e.g. a collective whose heavy exchanges are
+// between ranks i and i + p/2 gets those pairs co-located.
+//
+// This is the paper's §2 contrast made runnable: communication-matrix-driven
+// mapping (this file) versus algorithm-structure-driven allocation (core/).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "collectives/schedule.hpp"
+#include "topology/tree.hpp"
+
+namespace commsched {
+
+/// Symmetric rank-affinity matrix: bytes exchanged between each rank pair
+/// over the whole schedule (msize * repeat summed over steps). nprocs is
+/// capped at 512 (the matrix is dense).
+class AffinityMatrix {
+ public:
+  AffinityMatrix(int nprocs, const CommSchedule& schedule);
+
+  int nprocs() const noexcept { return nprocs_; }
+  double at(int i, int j) const;
+  /// Total affinity of rank i to every rank in `group`.
+  double to_group(int i, std::span<const int> group) const;
+
+ private:
+  int nprocs_;
+  std::vector<double> weights_;  // row-major nprocs x nprocs
+};
+
+/// Map ranks onto `nodes` so heavily-communicating ranks share leaves:
+/// nodes are grouped per leaf (switch-major), then each leaf group is
+/// filled greedily — seed with the highest-affinity unplaced rank, then
+/// repeatedly add the rank with the largest affinity to the group.
+/// Returns the node list reordered so nodes[r] hosts rank r.
+std::vector<NodeId> affinity_map(const Tree& tree,
+                                 std::span<const NodeId> nodes,
+                                 const CommSchedule& schedule);
+
+}  // namespace commsched

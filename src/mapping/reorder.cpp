@@ -1,0 +1,65 @@
+#include "mapping/reorder.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace commsched {
+
+std::vector<NodeId> switch_major_order(const Tree& tree,
+                                       std::span<const NodeId> nodes) {
+  // Assign each leaf a rank by first appearance so the ordering is stable
+  // with respect to the allocator's leaf preference.
+  std::unordered_map<SwitchId, int> leaf_rank;
+  for (const NodeId n : nodes) {
+    const SwitchId leaf = tree.leaf_of(n);
+    leaf_rank.emplace(leaf, static_cast<int>(leaf_rank.size()));
+  }
+  std::vector<NodeId> out(nodes.begin(), nodes.end());
+  std::stable_sort(out.begin(), out.end(), [&](NodeId a, NodeId b) {
+    const int la = leaf_rank.at(tree.leaf_of(a));
+    const int lb = leaf_rank.at(tree.leaf_of(b));
+    if (la != lb) return la < lb;
+    return a < b;
+  });
+  return out;
+}
+
+std::vector<NodeId> improve_mapping(const ClusterState& state,
+                                    const CostModel& model,
+                                    const CommSchedule& schedule,
+                                    std::span<const NodeId> nodes,
+                                    bool comm_intensive,
+                                    const MappingOptions& options) {
+  COMMSCHED_ASSERT(options.max_passes >= 0);
+  std::vector<NodeId> best = switch_major_order(state.tree(), nodes);
+  if (static_cast<int>(best.size()) > options.max_swap_nodes) return best;
+
+  double best_cost =
+      model.candidate_cost(state, best, comm_intensive, schedule);
+  const Tree& tree = state.tree();
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    bool improved = false;
+    for (std::size_t i = 0; i + 1 < best.size(); ++i) {
+      for (std::size_t j = i + 1; j < best.size(); ++j) {
+        // Swapping two nodes on the same leaf cannot change any distance
+        // or contention term; skip the cost evaluation.
+        if (tree.leaf_of(best[i]) == tree.leaf_of(best[j])) continue;
+        std::swap(best[i], best[j]);
+        const double cost =
+            model.candidate_cost(state, best, comm_intensive, schedule);
+        if (cost < best_cost) {
+          best_cost = cost;
+          improved = true;
+        } else {
+          std::swap(best[i], best[j]);  // revert
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return best;
+}
+
+}  // namespace commsched

@@ -1,0 +1,99 @@
+#include "metrics/extended.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace commsched {
+
+DistSummary summarize_distribution(std::vector<double> values) {
+  DistSummary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.mean = mean(values);
+  s.p50 = percentile(values, 50.0);
+  s.p90 = percentile(values, 90.0);
+  s.p99 = percentile(values, 99.0);
+  s.max = *std::max_element(values.begin(), values.end());
+  return s;
+}
+
+double bounded_slowdown(const JobResult& job, double tau) {
+  COMMSCHED_ASSERT(tau > 0.0);
+  const double run = job.actual_runtime;
+  const double denom = std::max(run, tau);
+  return std::max(1.0, (job.wait_time() + run) / denom);
+}
+
+DistSummary slowdown_summary(const SimResult& result, double tau) {
+  std::vector<double> xs;
+  xs.reserve(result.jobs.size());
+  for (const JobResult& j : result.jobs) xs.push_back(bounded_slowdown(j, tau));
+  return summarize_distribution(std::move(xs));
+}
+
+DistSummary wait_summary(const SimResult& result) {
+  std::vector<double> xs;
+  xs.reserve(result.jobs.size());
+  for (const JobResult& j : result.jobs) xs.push_back(j.wait_time());
+  return summarize_distribution(std::move(xs));
+}
+
+RunSummary summarize_class(const SimResult& result, bool comm_intensive) {
+  SimResult filtered;
+  filtered.allocator_name = result.allocator_name;
+  filtered.makespan = result.makespan;
+  for (const JobResult& j : result.jobs)
+    if (j.comm_intensive == comm_intensive) filtered.jobs.push_back(j);
+  return summarize(filtered);
+}
+
+double walltime_kill_fraction(const SimResult& result) {
+  if (result.jobs.empty()) return 0.0;
+  std::size_t killed = 0;
+  for (const JobResult& j : result.jobs)
+    if (j.hit_walltime) ++killed;
+  return static_cast<double>(killed) / static_cast<double>(result.jobs.size());
+}
+
+std::vector<double> utilization_timeline(const SimResult& result,
+                                         int machine_nodes,
+                                         double bucket_seconds) {
+  COMMSCHED_ASSERT(machine_nodes > 0 && bucket_seconds > 0.0);
+  if (result.makespan <= 0.0) return {};
+  const auto buckets = static_cast<std::size_t>(
+      std::ceil(result.makespan / bucket_seconds));
+  std::vector<double> busy_node_seconds(buckets, 0.0);
+  for (const JobResult& j : result.jobs) {
+    // Spread the job's node-seconds over the buckets it overlaps.
+    const double t0 = j.start_time;
+    const double t1 = j.end_time;
+    auto b = static_cast<std::size_t>(t0 / bucket_seconds);
+    for (; b < buckets; ++b) {
+      const double lo = static_cast<double>(b) * bucket_seconds;
+      const double hi = lo + bucket_seconds;
+      const double overlap = std::min(t1, hi) - std::max(t0, lo);
+      if (overlap <= 0.0) break;
+      busy_node_seconds[b] += overlap * static_cast<double>(j.num_nodes);
+    }
+  }
+  std::vector<double> util(buckets);
+  for (std::size_t b = 0; b < buckets; ++b)
+    util[b] = busy_node_seconds[b] /
+              (bucket_seconds * static_cast<double>(machine_nodes));
+  return util;
+}
+
+double average_utilization(const SimResult& result, int machine_nodes) {
+  COMMSCHED_ASSERT(machine_nodes > 0);
+  if (result.makespan <= 0.0) return 0.0;
+  double node_seconds = 0.0;
+  for (const JobResult& j : result.jobs)
+    node_seconds += j.actual_runtime * static_cast<double>(j.num_nodes);
+  return node_seconds /
+         (result.makespan * static_cast<double>(machine_nodes));
+}
+
+}  // namespace commsched

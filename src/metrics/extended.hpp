@@ -1,0 +1,57 @@
+// Extended scheduling metrics beyond the paper's five (§5.4): bounded
+// slowdown (the standard queueing-fairness metric of the scheduling
+// literature), distribution summaries of waits/runtimes, per-class
+// (communication vs compute) breakdowns, and machine-utilization timelines.
+// These support the analysis examples and the ablation benches; the paper
+// reproduction itself only needs metrics/summary.hpp.
+#pragma once
+
+#include <vector>
+
+#include "metrics/summary.hpp"
+#include "sched/result.hpp"
+
+namespace commsched {
+
+/// Distribution summary of a per-job quantity.
+struct DistSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+DistSummary summarize_distribution(std::vector<double> values);
+
+/// Bounded slowdown of one job: max(1, (wait + run) / max(run, tau)) with
+/// the customary tau = 10 s guard against microscopic jobs dominating.
+double bounded_slowdown(const JobResult& job, double tau = 10.0);
+
+/// Distribution of bounded slowdowns over a run.
+DistSummary slowdown_summary(const SimResult& result, double tau = 10.0);
+
+/// Distribution of wait times (seconds).
+DistSummary wait_summary(const SimResult& result);
+
+/// Summary restricted to one job class (§6.1 discusses compute-intensive
+/// jobs benefiting indirectly; this makes that visible).
+RunSummary summarize_class(const SimResult& result, bool comm_intensive);
+
+/// Fraction of jobs that were truncated at their walltime
+/// (SchedOptions::enforce_walltime).
+double walltime_kill_fraction(const SimResult& result);
+
+/// Machine utilization over time: bucket b covers
+/// [b * bucket_seconds, (b+1) * bucket_seconds) and holds the average
+/// fraction of `machine_nodes` busy during that interval. The timeline
+/// spans [0, makespan].
+std::vector<double> utilization_timeline(const SimResult& result,
+                                         int machine_nodes,
+                                         double bucket_seconds);
+
+/// Node-seconds of work divided by machine capacity over the makespan.
+double average_utilization(const SimResult& result, int machine_nodes);
+
+}  // namespace commsched

@@ -1,0 +1,78 @@
+#include "metrics/summary.hpp"
+
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace commsched {
+
+namespace {
+constexpr double kSecondsPerHour = 3600.0;
+}
+
+RunSummary summarize(const SimResult& result) {
+  RunSummary s;
+  s.allocator = result.allocator_name;
+  s.job_count = result.jobs.size();
+  s.makespan_hours = result.makespan / kSecondsPerHour;
+
+  double total_turnaround = 0.0;
+  std::size_t comm_jobs = 0;
+  for (const JobResult& j : result.jobs) {
+    s.total_exec_hours += j.actual_runtime / kSecondsPerHour;
+    s.total_wait_hours += j.wait_time() / kSecondsPerHour;
+    total_turnaround += j.turnaround_time() / kSecondsPerHour;
+    s.total_node_hours += j.node_hours();
+    if (j.comm_intensive) {
+      s.total_cost += j.cost;
+      ++comm_jobs;
+    }
+  }
+  if (s.job_count > 0) {
+    const auto n = static_cast<double>(s.job_count);
+    s.avg_wait_hours = s.total_wait_hours / n;
+    s.avg_turnaround_hours = total_turnaround / n;
+    s.avg_node_hours = s.total_node_hours / n;
+  }
+  if (comm_jobs > 0)
+    s.avg_cost = s.total_cost / static_cast<double>(comm_jobs);
+  return s;
+}
+
+double improvement_percent(double baseline, double value) {
+  if (baseline == 0.0) return 0.0;
+  return (baseline - value) / baseline * 100.0;
+}
+
+std::vector<double> power_of_two_bin_edges(int min_exp, int max_exp,
+                                           int stride) {
+  COMMSCHED_ASSERT(min_exp >= 0 && max_exp >= min_exp && stride >= 1);
+  std::vector<double> edges;
+  for (int e = min_exp; e <= max_exp; e += stride)
+    edges.push_back(static_cast<double>(1LL << e));
+  if (edges.back() < static_cast<double>(1LL << max_exp))
+    edges.push_back(static_cast<double>(1LL << max_exp));
+  // A closing edge so the top power of two falls inside the last bin.
+  edges.push_back(edges.back() * 2.0);
+  return edges;
+}
+
+std::vector<double> average_cost_by_node_bin(const SimResult& result,
+                                             const std::vector<double>& edges) {
+  Histogram hist(edges);
+  for (const JobResult& j : result.jobs)
+    if (j.comm_intensive)
+      hist.add(static_cast<double>(j.num_nodes), j.cost);
+  std::vector<double> means(hist.bin_count());
+  for (std::size_t b = 0; b < hist.bin_count(); ++b) means[b] = hist.bin_mean(b);
+  return means;
+}
+
+std::vector<std::size_t> job_count_by_node_bin(
+    const SimResult& result, const std::vector<double>& edges) {
+  Histogram hist(edges);
+  for (const JobResult& j : result.jobs)
+    if (j.comm_intensive) hist.add(static_cast<double>(j.num_nodes));
+  return hist.counts;
+}
+
+}  // namespace commsched

@@ -1,0 +1,48 @@
+// Aggregation of simulator output into the paper's five evaluation metrics
+// (§5.4): execution time, wait time, turnaround time, node-hours and
+// communication cost — as run totals/averages (Tables 3, Figure 9) and as
+// per-node-range averages (Figure 8).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/result.hpp"
+
+namespace commsched {
+
+struct RunSummary {
+  std::string allocator;
+  std::size_t job_count = 0;
+
+  double total_exec_hours = 0.0;        ///< sum of actual runtimes
+  double total_wait_hours = 0.0;        ///< sum of (start - submit)
+  double avg_wait_hours = 0.0;
+  double avg_turnaround_hours = 0.0;
+  double total_node_hours = 0.0;
+  double avg_node_hours = 0.0;
+  double total_cost = 0.0;              ///< Eq. 6, comm-intensive jobs only
+  double avg_cost = 0.0;                ///< over comm-intensive jobs
+  double makespan_hours = 0.0;
+};
+
+RunSummary summarize(const SimResult& result);
+
+/// (baseline - value) / baseline * 100; 0 when the baseline is 0.
+double improvement_percent(double baseline, double value);
+
+/// Bin edges [2^min_exp, 2^(min_exp+stride), ...] up to and including
+/// 2^max_exp, for Figure 8's node-range x-axis.
+std::vector<double> power_of_two_bin_edges(int min_exp, int max_exp,
+                                           int stride = 1);
+
+/// Figure 8: average Eq. 6 cost of communication-intensive jobs, binned by
+/// node count. Returns one value per bin (0 for empty bins).
+std::vector<double> average_cost_by_node_bin(const SimResult& result,
+                                             const std::vector<double>& edges);
+
+/// Jobs-per-bin companion to average_cost_by_node_bin.
+std::vector<std::size_t> job_count_by_node_bin(const SimResult& result,
+                                               const std::vector<double>& edges);
+
+}  // namespace commsched

@@ -1,0 +1,111 @@
+#include "netsim/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace commsched {
+
+FlowNetwork::FlowNetwork(const Tree& tree, const LinkConfig& config)
+    : tree_(&tree), per_hop_latency_(config.per_hop_latency) {
+  COMMSCHED_ASSERT(config.node_link_bw > 0.0);
+  COMMSCHED_ASSERT(config.uplink_multiplier > 0.0);
+  COMMSCHED_ASSERT(config.per_hop_latency >= 0.0);
+  capacity_.resize(static_cast<std::size_t>(tree.node_count()) +
+                   static_cast<std::size_t>(tree.switch_count()));
+  for (NodeId n = 0; n < tree.node_count(); ++n)
+    capacity_[static_cast<std::size_t>(n)] = config.node_link_bw;
+  for (SwitchId s = 0; s < tree.switch_count(); ++s) {
+    // The root has no uplink; give it zero capacity and never route over it.
+    const double cap =
+        tree.parent(s) == kInvalidSwitch
+            ? 0.0
+            : config.node_link_bw *
+                  std::pow(config.uplink_multiplier, tree.level(s));
+    capacity_[static_cast<std::size_t>(tree.node_count() + s)] = cap;
+  }
+}
+
+double FlowNetwork::capacity(int link) const {
+  COMMSCHED_ASSERT(link >= 0 && link < link_count());
+  return capacity_[static_cast<std::size_t>(link)];
+}
+
+int FlowNetwork::uplink(SwitchId s) const {
+  COMMSCHED_ASSERT(tree_->parent(s) != kInvalidSwitch);
+  return tree_->node_count() + static_cast<int>(s);
+}
+
+std::vector<int> FlowNetwork::path(NodeId a, NodeId b) const {
+  COMMSCHED_ASSERT_MSG(a != b, "no path from a node to itself");
+  std::vector<int> links;
+  links.push_back(node_link(a));
+  const SwitchId lca = tree_->lowest_common_switch(a, b);
+  for (SwitchId s = tree_->leaf_of(a); s != lca; s = tree_->parent(s))
+    links.push_back(uplink(s));
+  for (SwitchId s = tree_->leaf_of(b); s != lca; s = tree_->parent(s))
+    links.push_back(uplink(s));
+  links.push_back(node_link(b));
+  return links;
+}
+
+double FlowNetwork::path_latency(const std::vector<int>& links) const {
+  return per_hop_latency_ * static_cast<double>(links.size());
+}
+
+void FlowNetwork::compute_maxmin_rates(std::span<Flow> flows) const {
+  // Progressive filling: repeatedly find the bottleneck link (smallest
+  // equal-share of residual capacity among its unfrozen flows), freeze its
+  // flows at that share, and continue until every flow is frozen.
+  std::vector<double> residual = capacity_;
+  std::vector<int> unfrozen_count(capacity_.size(), 0);
+  std::vector<bool> frozen(flows.size(), false);
+
+  std::size_t active = 0;
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    flows[f].rate = 0.0;
+    // Finished flows and flows still in their startup-latency phase occupy
+    // no bandwidth.
+    if (flows[f].remaining <= 0.0 || flows[f].latency > 0.0) {
+      frozen[f] = true;
+      continue;
+    }
+    ++active;
+    for (const int l : flows[f].links)
+      ++unfrozen_count[static_cast<std::size_t>(l)];
+  }
+
+  while (active > 0) {
+    // Find the bottleneck share.
+    double share = std::numeric_limits<double>::infinity();
+    int bottleneck = -1;
+    for (std::size_t l = 0; l < capacity_.size(); ++l) {
+      if (unfrozen_count[l] == 0) continue;
+      const double s = residual[l] / static_cast<double>(unfrozen_count[l]);
+      if (s < share) {
+        share = s;
+        bottleneck = static_cast<int>(l);
+      }
+    }
+    COMMSCHED_ASSERT_MSG(bottleneck >= 0, "active flow with no usable link");
+    // Freeze every unfrozen flow crossing the bottleneck at `share`.
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (frozen[f]) continue;
+      const bool crosses =
+          std::find(flows[f].links.begin(), flows[f].links.end(),
+                    bottleneck) != flows[f].links.end();
+      if (!crosses) continue;
+      flows[f].rate = share;
+      frozen[f] = true;
+      --active;
+      for (const int l : flows[f].links) {
+        residual[static_cast<std::size_t>(l)] -= share;
+        --unfrozen_count[static_cast<std::size_t>(l)];
+      }
+    }
+  }
+}
+
+}  // namespace commsched

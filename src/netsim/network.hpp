@@ -1,0 +1,79 @@
+// Flow-level model of a tree network (DESIGN.md §3, substitution 4).
+//
+// Links: one access link per compute node (node <-> its leaf switch) and one
+// uplink per non-root switch (switch <-> parent).  A flow between two nodes
+// traverses its source access link, the uplinks on both sides of the lowest
+// common switch, and the destination access link.  Concurrent flows share
+// link capacity max-min fairly — the fluid approximation of TCP-ish fair
+// sharing on the paper's 1G Ethernet department cluster.
+//
+// This is what turns "two jobs share switches" into measurable slowdown:
+// when J2's allgather traffic crosses the same leaf uplinks as J1's, the
+// max-min rates of J1's flows drop and its collective stretches — the spike
+// mechanism of the paper's Figure 1.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "topology/tree.hpp"
+
+namespace commsched {
+
+struct LinkConfig {
+  /// Access (node <-> leaf) link capacity, bytes/second. 1 Gbit/s default,
+  /// matching the paper's department cluster.
+  double node_link_bw = 125.0e6;
+  /// Uplink thickening factor per switch level: the uplink of a level-l
+  /// switch has capacity node_link_bw * pow(uplink_multiplier, l). 1.0
+  /// models the single-GigE trunks of the department cluster; >1 models
+  /// fat-tree thickening toward the core.
+  double uplink_multiplier = 1.0;
+  /// Per-link traversal latency (the alpha of the alpha-beta model),
+  /// seconds. A flow starts transferring only after latency * path-length
+  /// has elapsed, so longer-hop exchanges pay more even for tiny messages.
+  /// 0 (default) reproduces the pure bandwidth-sharing model.
+  double per_hop_latency = 0.0;
+};
+
+/// An active transfer between two nodes; `remaining` counts down as the
+/// simulator integrates rates over time.
+struct Flow {
+  std::vector<int> links;   ///< link indices along the path
+  double remaining = 0.0;   ///< bytes left
+  double rate = 0.0;        ///< bytes/second, set by compute_maxmin_rates
+  /// Startup latency left (alpha term); the flow occupies no bandwidth and
+  /// transfers nothing until this reaches 0.
+  double latency = 0.0;
+  int job = -1;             ///< owning simulated job (netsim bookkeeping)
+};
+
+class FlowNetwork {
+ public:
+  FlowNetwork(const Tree& tree, const LinkConfig& config);
+
+  const Tree& tree() const noexcept { return *tree_; }
+  int link_count() const noexcept { return static_cast<int>(capacity_.size()); }
+  double capacity(int link) const;
+
+  /// Link path between two distinct nodes (access links + uplinks to/from
+  /// the lowest common switch).
+  std::vector<int> path(NodeId a, NodeId b) const;
+
+  /// Startup latency of a path: per_hop_latency * path length.
+  double path_latency(const std::vector<int>& links) const;
+
+  /// Progressive-filling max-min fair rates for all flows with
+  /// remaining > 0 (zero-remaining flows get rate 0 and occupy no capacity).
+  void compute_maxmin_rates(std::span<Flow> flows) const;
+
+ private:
+  int node_link(NodeId n) const { return static_cast<int>(n); }
+  int uplink(SwitchId s) const;  ///< valid for non-root switches
+
+  const Tree* tree_;
+  std::vector<double> capacity_;  // node links first, then switch uplinks
+  double per_hop_latency_ = 0.0;
+};
+
+}  // namespace commsched

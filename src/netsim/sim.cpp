@@ -1,0 +1,187 @@
+#include "netsim/sim.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace commsched {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Guard against float drift when deciding whether a flow has finished.
+constexpr double kByteEpsilon = 1e-6;
+
+struct JobState {
+  CommSchedule schedule;
+  int execution = 0;      // completed executions
+  int step = 0;           // current step index while running
+  int step_repeat = 0;    // repeats of the current step still to run
+  int round = 0;          // current round within the execution
+  bool running = false;
+  double next_start = 0.0;
+  double exec_start = 0.0;
+  std::vector<std::size_t> flow_indices;  // into the flow pool
+};
+
+}  // namespace
+
+NetSimResult simulate_network(const FlowNetwork& network,
+                              const std::vector<RepeatingJob>& jobs,
+                              double duration, LinkUsage* usage) {
+  COMMSCHED_ASSERT(duration > 0.0);
+  const Tree& tree = network.tree();
+  for (const auto& job : jobs) {
+    COMMSCHED_ASSERT_MSG(job.nodes.size() >= 2, "netsim job needs >= 2 nodes");
+    COMMSCHED_ASSERT(job.rounds >= 1 && job.msize > 0.0);
+    for (const NodeId n : job.nodes)
+      COMMSCHED_ASSERT(n >= 0 && n < tree.node_count());
+  }
+
+  std::vector<JobState> states(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    states[j].schedule = make_schedule(jobs[j].pattern,
+                                       static_cast<int>(jobs[j].nodes.size()),
+                                       jobs[j].msize);
+    COMMSCHED_ASSERT_MSG(!states[j].schedule.empty(),
+                         "job schedule has no communication");
+    states[j].next_start = jobs[j].first_start;
+  }
+
+  std::vector<Flow> flows;  // compacted each event round
+  NetSimResult result;
+  result.per_job.resize(jobs.size());
+
+  const auto launch_step = [&](std::size_t j) {
+    JobState& st = states[j];
+    const CommStep& step = st.schedule[static_cast<std::size_t>(st.step)];
+    st.flow_indices.clear();
+    for (const auto& [ra, rb] : step.pairs) {
+      Flow f;
+      f.links = network.path(jobs[j].nodes[static_cast<std::size_t>(ra)],
+                             jobs[j].nodes[static_cast<std::size_t>(rb)]);
+      f.remaining = step.msize;
+      f.latency = network.path_latency(f.links);
+      f.job = static_cast<int>(j);
+      st.flow_indices.push_back(flows.size());
+      flows.push_back(std::move(f));
+    }
+  };
+
+  const auto start_execution = [&](std::size_t j, double now) {
+    JobState& st = states[j];
+    st.running = true;
+    st.exec_start = now;
+    st.step = 0;
+    st.round = 0;
+    st.step_repeat = st.schedule.front().repeat;
+    launch_step(j);
+  };
+
+  double now = 0.0;
+  while (now < duration) {
+    // Start any job whose start time has arrived.
+    for (std::size_t j = 0; j < jobs.size(); ++j)
+      if (!states[j].running && states[j].next_start <= now)
+        start_execution(j, now);
+
+    network.compute_maxmin_rates(flows);
+
+    // Next event: earliest latency expiry, flow completion, or pending job
+    // start.
+    double dt = kInf;
+    for (const Flow& f : flows) {
+      if (f.remaining <= kByteEpsilon) continue;
+      if (f.latency > 0.0)
+        dt = std::min(dt, f.latency);
+      else if (f.rate > 0.0)
+        dt = std::min(dt, f.remaining / f.rate);
+    }
+    for (std::size_t j = 0; j < jobs.size(); ++j)
+      if (!states[j].running && states[j].next_start > now)
+        dt = std::min(dt, states[j].next_start - now);
+    if (dt == kInf) break;  // nothing active and nothing scheduled
+    dt = std::min(dt, duration - now);
+    if (usage != nullptr) usage->record(flows, dt);
+
+    for (Flow& f : flows) {
+      if (f.remaining <= kByteEpsilon) continue;
+      if (f.latency > 0.0)
+        f.latency -= dt;  // rate is 0 while latent; dt <= latency
+      else
+        f.remaining -= f.rate * dt;
+    }
+    now += dt;
+    if (now >= duration) break;
+
+    // Advance jobs whose current step completed.
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      JobState& st = states[j];
+      if (!st.running) continue;
+      const bool step_done = std::all_of(
+          st.flow_indices.begin(), st.flow_indices.end(),
+          [&](std::size_t fi) { return flows[fi].remaining <= kByteEpsilon; });
+      if (!step_done) continue;
+
+      if (--st.step_repeat > 0) {
+        launch_step(j);  // same step again (ring rounds)
+        continue;
+      }
+      ++st.step;
+      if (st.step < static_cast<int>(st.schedule.size())) {
+        st.step_repeat = st.schedule[static_cast<std::size_t>(st.step)].repeat;
+        launch_step(j);
+        continue;
+      }
+      // Collective finished; next round or end of execution.
+      ++st.round;
+      if (st.round < jobs[j].rounds) {
+        st.step = 0;
+        st.step_repeat = st.schedule.front().repeat;
+        launch_step(j);
+        continue;
+      }
+      st.running = false;
+      st.flow_indices.clear();
+      result.per_job[j].push_back({st.exec_start, now - st.exec_start});
+      ++st.execution;
+      if (jobs[j].period <= 0.0) {
+        st.next_start = now;  // back-to-back
+      } else {
+        const double scheduled =
+            jobs[j].first_start +
+            static_cast<double>(st.execution) * jobs[j].period;
+        st.next_start = std::max(scheduled, now);
+      }
+    }
+
+    // Compact finished flows so the pool does not grow unboundedly.
+    // Rebuild job flow indices afterwards.
+    std::vector<Flow> live;
+    std::vector<std::size_t> remap(flows.size(),
+                                   std::numeric_limits<std::size_t>::max());
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (flows[f].remaining > kByteEpsilon) {
+        remap[f] = live.size();
+        live.push_back(std::move(flows[f]));
+      }
+    }
+    flows = std::move(live);
+    for (auto& st : states) {
+      if (!st.running) continue;
+      // Remap surviving flows; drop indices of flows that completed (a step
+      // with some pairs done and some pending keeps only the pending ones,
+      // which is consistent with the all-done check above).
+      std::vector<std::size_t> kept;
+      kept.reserve(st.flow_indices.size());
+      for (const std::size_t fi : st.flow_indices)
+        if (remap[fi] != std::numeric_limits<std::size_t>::max())
+          kept.push_back(remap[fi]);
+      st.flow_indices = std::move(kept);
+    }
+  }
+  return result;
+}
+
+}  // namespace commsched

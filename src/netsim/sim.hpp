@@ -1,0 +1,53 @@
+// Event-driven fluid simulation of concurrent collective jobs on a
+// FlowNetwork — the engine behind the Figure 1 reproduction.
+//
+// Each job repeatedly executes a collective (its CommSchedule) for a number
+// of back-to-back rounds; one such burst is an "execution" whose duration we
+// record.  A job either restarts immediately after each execution (the
+// paper's J1, run "repeatedly") or starts an execution at a fixed period
+// (J2, "every 30 minutes").  Steps inside a collective are synchronized:
+// the next step starts when the slowest pair of the current step finishes,
+// which is exactly why the cost model uses the per-step max (Eq. 6).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "collectives/schedule.hpp"
+#include "netsim/network.hpp"
+#include "netsim/usage.hpp"
+
+namespace commsched {
+
+struct RepeatingJob {
+  std::string name;
+  std::vector<NodeId> nodes;  ///< rank r runs on nodes[r]
+  Pattern pattern = Pattern::kRecursiveHalvingVD;
+  double msize = 1 << 20;     ///< bytes per base message (paper: 1 MB)
+  int rounds = 1;             ///< collective rounds per execution
+  double first_start = 0.0;   ///< seconds
+  /// 0 = restart immediately after finishing (J1); > 0 = execution k starts
+  /// at first_start + k * period (J2's 30-minute cadence). If an execution
+  /// overruns the period, the next starts as soon as the previous ends.
+  double period = 0.0;
+};
+
+struct ExecutionSample {
+  double start = 0.0;     ///< seconds
+  double duration = 0.0;  ///< seconds
+};
+
+struct NetSimResult {
+  /// per_job[j] = the execution samples of jobs[j], in time order.
+  std::vector<std::vector<ExecutionSample>> per_job;
+};
+
+/// Simulate all jobs concurrently for `duration` simulated seconds.
+/// Executions still in flight at the horizon are discarded. Pass a
+/// LinkUsage (constructed over the same network) to collect per-link bytes
+/// and busy time.
+NetSimResult simulate_network(const FlowNetwork& network,
+                              const std::vector<RepeatingJob>& jobs,
+                              double duration, LinkUsage* usage = nullptr);
+
+}  // namespace commsched

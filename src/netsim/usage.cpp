@@ -1,0 +1,45 @@
+#include "netsim/usage.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace commsched {
+
+LinkUsage::LinkUsage(const FlowNetwork& network)
+    : bytes_(static_cast<std::size_t>(network.link_count()), 0.0),
+      busy_(static_cast<std::size_t>(network.link_count()), 0.0),
+      active_scratch_(static_cast<std::size_t>(network.link_count()), 0) {}
+
+void LinkUsage::record(std::span<const Flow> flows, double dt) {
+  COMMSCHED_ASSERT(dt >= 0.0);
+  std::fill(active_scratch_.begin(), active_scratch_.end(), 0);
+  for (const Flow& f : flows) {
+    if (f.remaining <= 0.0 || f.latency > 0.0 || f.rate <= 0.0) continue;
+    const double moved = f.rate * dt;
+    for (const int l : f.links) {
+      bytes_[static_cast<std::size_t>(l)] += moved;
+      active_scratch_[static_cast<std::size_t>(l)] = 1;
+    }
+  }
+  for (std::size_t l = 0; l < busy_.size(); ++l)
+    if (active_scratch_[l]) busy_[l] += dt;
+}
+
+double LinkUsage::bytes(int link) const {
+  COMMSCHED_ASSERT(link >= 0 && link < link_count());
+  return bytes_[static_cast<std::size_t>(link)];
+}
+
+double LinkUsage::busy_time(int link) const {
+  COMMSCHED_ASSERT(link >= 0 && link < link_count());
+  return busy_[static_cast<std::size_t>(link)];
+}
+
+double LinkUsage::total_link_bytes() const {
+  double total = 0.0;
+  for (const double b : bytes_) total += b;
+  return total;
+}
+
+}  // namespace commsched

@@ -1,0 +1,33 @@
+// Per-link usage accounting for the flow-level simulator: bytes carried and
+// busy time per link, recorded while the fluid simulation advances. Used to
+// show *where* the Figure 1 contention lives (the two leaf uplinks) and to
+// assert flow conservation in tests.
+#pragma once
+
+#include <vector>
+
+#include "netsim/network.hpp"
+
+namespace commsched {
+
+class LinkUsage {
+ public:
+  explicit LinkUsage(const FlowNetwork& network);
+
+  /// Integrate all transferring flows over an interval of length dt.
+  void record(std::span<const Flow> flows, double dt);
+
+  double bytes(int link) const;
+  double busy_time(int link) const;  ///< time with >= 1 transferring flow
+  int link_count() const { return static_cast<int>(bytes_.size()); }
+
+  /// Total bytes over all links (each flow counts once per link crossed).
+  double total_link_bytes() const;
+
+ private:
+  std::vector<double> bytes_;
+  std::vector<double> busy_;
+  std::vector<char> active_scratch_;
+};
+
+}  // namespace commsched

@@ -1,0 +1,66 @@
+// Individual-run driver (§5.4, §6.3).
+//
+// The paper's second experiment type removes the divergent-cluster-state
+// confound of continuous runs: the cluster is first partially occupied, then
+// each probe job is submitted alone (the next only after the previous
+// completes), so every allocation policy sees the *same* cluster state for
+// every probe job and the allocations are directly comparable.
+//
+// Because only one probe runs at a time and frees its nodes before the next,
+// evaluating a probe is equivalent to: select nodes under each policy from
+// the common prefilled state, price each candidate with Eq. 6, and derive
+// the Eq. 7 runtime — without committing anything.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/allocator_factory.hpp"
+#include "core/cost_model.hpp"
+#include "core/runtime_model.hpp"
+#include "topology/tree.hpp"
+#include "workload/job.hpp"
+
+namespace commsched {
+
+inline constexpr std::size_t kNumAllocatorKinds = 4;
+
+struct IndividualOutcome {
+  WorkloadJobId id = 0;
+  int num_nodes = 0;
+  bool comm_intensive = false;
+  Pattern pattern = Pattern::kRecursiveDoubling;
+  /// Indexed by AllocatorKind (0 default, 1 greedy, 2 balanced, 3 adaptive).
+  std::array<double, kNumAllocatorKinds> cost{};
+  std::array<double, kNumAllocatorKinds> exec_time{};
+
+  double improvement_percent(AllocatorKind kind) const {
+    const double base = exec_time[0];
+    if (base <= 0.0) return 0.0;
+    return (base - exec_time[static_cast<std::size_t>(kind)]) / base * 100.0;
+  }
+};
+
+struct IndividualOptions {
+  /// Target fraction of the machine occupied before probing (the paper's
+  /// "partially occupy the cluster" step).
+  double occupancy = 0.5;
+  /// Fraction of prefill jobs that are communication-intensive, so the
+  /// probes see contended leaves.
+  double comm_prefill_fraction = 0.5;
+  /// Seed for prefill sizing/placement randomness.
+  std::uint64_t seed = 12345;
+  /// Pricing metric for the recorded costs and Eq. 7 runtimes (hop-byte
+  /// weighted by default, matching SchedOptions — see simulator.hpp).
+  CostOptions cost_options{.hop_bytes = true};
+  RuntimeModelOptions runtime_options{};
+};
+
+/// Evaluate every probe job under all four policies against one common
+/// prefilled cluster state. Probes that cannot fit in the remaining free
+/// nodes are skipped (not reported).
+std::vector<IndividualOutcome> run_individual(const Tree& tree,
+                                              const JobLog& probes,
+                                              const IndividualOptions& options);
+
+}  // namespace commsched

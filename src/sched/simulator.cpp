@@ -1,0 +1,327 @@
+#include "sched/simulator.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "cluster/state.hpp"
+#include "core/default_allocator.hpp"
+#include "core/io_model.hpp"
+#include "util/assert.hpp"
+
+namespace commsched {
+
+namespace {
+
+struct Completion {
+  double time = 0.0;
+  std::size_t job_index = 0;  // index into the log
+  bool operator>(const Completion& other) const {
+    if (time != other.time) return time > other.time;
+    return job_index > other.job_index;  // deterministic tie-break
+  }
+};
+
+struct RunningInfo {
+  double est_end = 0.0;  // start + walltime: what the scheduler believes
+  int num_nodes = 0;
+};
+
+class Simulation {
+ public:
+  Simulation(const Tree& tree, const JobLog& log, const SchedOptions& options)
+      : tree_(tree),
+        log_(log),
+        options_(options),
+        state_(tree),
+        allocator_(make_allocator(options.allocator, options.cost_options)),
+        pricing_model_(tree, options.cost_options),
+        metric_model_(tree,
+                      CostOptions{.hop_bytes = false,
+                                  .include_candidate =
+                                      options.cost_options.include_candidate}),
+        io_model_(tree),
+        schedule_cache_(log.empty() ? double{1 << 20} : log.front().msize) {
+    results_.resize(log.size());
+    running_info_.resize(log.size());
+  }
+
+  SimResult run() {
+    validate_log();
+    std::size_t next_submit = 0;
+    double makespan = 0.0;
+
+    while (next_submit < log_.size() || !completions_.empty() ||
+           !pending_.empty()) {
+      // Next event: completions win ties so freed nodes are visible to jobs
+      // submitted at the same instant.
+      double t;
+      const bool have_completion = !completions_.empty();
+      const bool have_submit = next_submit < log_.size();
+      COMMSCHED_ASSERT_MSG(have_completion || have_submit,
+                           "queue is non-empty but no future event exists — "
+                           "a pending job can never start");
+      if (have_completion &&
+          (!have_submit || completions_.top().time <= log_[next_submit].submit_time))
+        t = completions_.top().time;
+      else
+        t = log_[next_submit].submit_time;
+
+      while (!completions_.empty() && completions_.top().time <= t) {
+        const Completion c = completions_.top();
+        completions_.pop();
+        state_.release(job_id(c.job_index));
+        std::erase(running_, c.job_index);
+        makespan = std::max(makespan, c.time);
+        emit(TraceEvent::Kind::kEnd, c.time, c.job_index);
+      }
+      while (next_submit < log_.size() &&
+             log_[next_submit].submit_time <= t) {
+        emit(TraceEvent::Kind::kSubmit, log_[next_submit].submit_time,
+             next_submit);
+        pending_.push_back(next_submit);
+        ++next_submit;
+      }
+      try_schedule(t);
+    }
+
+    SimResult result;
+    result.allocator_name = allocator_->name();
+    result.jobs = std::move(results_);
+    result.makespan = makespan;
+    return result;
+  }
+
+ private:
+  static JobId job_id(std::size_t log_index) {
+    return static_cast<JobId>(log_index) + 1;
+  }
+
+  void emit(TraceEvent::Kind kind, double time, std::size_t idx) const {
+    if (!options_.trace) return;
+    TraceEvent event;
+    event.kind = kind;
+    event.time = time;
+    event.job = log_[idx].id;
+    event.num_nodes = log_[idx].num_nodes;
+    options_.trace(event);
+  }
+
+  void validate_log() const {
+    double prev_submit = 0.0;
+    for (const auto& job : log_) {
+      COMMSCHED_ASSERT_MSG(job.num_nodes >= 1 &&
+                               job.num_nodes <= tree_.node_count(),
+                           "job does not fit the machine");
+      COMMSCHED_ASSERT_MSG(job.runtime > 0.0, "job runtime must be positive");
+      COMMSCHED_ASSERT_MSG(job.walltime >= job.runtime,
+                           "walltime below runtime");
+      COMMSCHED_ASSERT_MSG(job.comm_fraction + job.io_fraction <= 1.0 + 1e-12,
+                           "comm and I/O fractions exceed the runtime");
+      COMMSCHED_ASSERT_MSG(job.submit_time >= prev_submit,
+                           "log must be sorted by submit time");
+      prev_submit = job.submit_time;
+    }
+  }
+
+  // Ask the policy for nodes. The count pre-check is only an optimization:
+  // policies such as `exclusive` may refuse a job the count test admits.
+  std::optional<std::vector<NodeId>> try_select(std::size_t idx) {
+    const JobRecord& job = log_[idx];
+    if (state_.total_free() < job.num_nodes) return std::nullopt;
+    return allocator_->select(state_, request_for(idx));
+  }
+
+  AllocationRequest request_for(std::size_t idx) const {
+    const JobRecord& job = log_[idx];
+    AllocationRequest request;
+    request.job = job_id(idx);
+    request.num_nodes = job.num_nodes;
+    request.comm_intensive = job.comm_intensive;
+    request.pattern = job.pattern;
+    request.msize = job.msize;
+    request.io_intensive = job.io_intensive;
+    request.comm_fraction = job.comm_fraction;
+    request.io_fraction = job.io_fraction;
+    return request;
+  }
+
+  // Reorder the pending queue per the configured policy. FIFO keeps submit
+  // order; the alternatives sort stably so equal keys stay FIFO.
+  void apply_queue_policy() {
+    if (options_.queue_policy == QueuePolicy::kFifo) return;
+    std::stable_sort(
+        pending_.begin(), pending_.end(), [&](std::size_t a, std::size_t b) {
+          if (options_.queue_policy == QueuePolicy::kShortestJobFirst)
+            return log_[a].walltime < log_[b].walltime;
+          return log_[a].num_nodes < log_[b].num_nodes;
+        });
+  }
+
+  void try_schedule(double t) {
+    apply_queue_policy();
+    // FIFO phase: start queue-head jobs while the policy grants them nodes.
+    while (!pending_.empty()) {
+      const std::size_t head = pending_.front();
+      auto nodes = try_select(head);
+      if (!nodes) break;
+      start_job(head, t, std::move(*nodes));
+      pending_.pop_front();
+    }
+    if (pending_.empty() || !options_.easy_backfill) return;
+    backfill(t);
+  }
+
+  // EASY backfill: reserve the head job's start, then let later jobs jump
+  // ahead only when they cannot delay that reservation.
+  void backfill(double t) {
+    int examined = 0;
+    for (std::size_t qi = 1; qi < pending_.size();) {
+      if (++examined > options_.backfill_depth) break;
+      const auto [shadow_time, extra_nodes] = head_reservation();
+      const std::size_t idx = pending_[qi];
+      const JobRecord& job = log_[idx];
+      const bool harmless = (t + job.walltime <= shadow_time) ||
+                            (job.num_nodes <= extra_nodes);
+      std::optional<std::vector<NodeId>> nodes;
+      if (harmless) nodes = try_select(idx);
+      if (nodes) {
+        start_job(idx, t, std::move(*nodes));
+        pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(qi));
+      } else {
+        ++qi;
+      }
+    }
+  }
+
+  // When (by walltime estimates) the queue head can start, and how many
+  // nodes beyond its need will be free at that time.
+  std::pair<double, int> head_reservation() {
+    const int needed = log_[pending_.front()].num_nodes;
+    std::vector<std::pair<double, int>> ends;  // (est_end, nodes)
+    ends.reserve(running_.size());
+    for (const std::size_t idx : running_)
+      ends.emplace_back(running_info_[idx].est_end,
+                        running_info_[idx].num_nodes);
+    std::sort(ends.begin(), ends.end());
+    int available = state_.total_free();
+    for (const auto& [end, nodes] : ends) {
+      available += nodes;
+      if (available >= needed) return {end, available - needed};
+    }
+    COMMSCHED_ASSERT_MSG(false,
+                         "head job cannot start even with an empty machine");
+    return {0.0, 0};
+  }
+
+  void start_job(std::size_t idx, double t, std::vector<NodeId> selected) {
+    const JobRecord& job = log_[idx];
+    const AllocationRequest request = request_for(idx);
+    const std::optional<std::vector<NodeId>> nodes(std::move(selected));
+    const bool is_default = options_.allocator == AllocatorKind::kDefault;
+    const bool price_comm = job.comm_intensive && job.num_nodes >= 2;
+    const bool price_io = job.io_intensive && job.io_fraction > 0.0;
+
+    // What stock SLURM would have done with this very state — the Eq. 7
+    // baseline for both the communication and the I/O terms.
+    std::optional<std::vector<NodeId>> default_nodes;
+    if (!is_default && (price_comm || price_io)) {
+      default_nodes = default_allocator_.select(state_, request);
+      COMMSCHED_ASSERT(default_nodes.has_value());
+    }
+
+    double cost = 0.0;
+    double cost_default = 0.0;
+    double priced = 0.0, priced_default = 0.0;  // comm pricing metric
+    if (price_comm) {
+      const CommSchedule& schedule =
+          schedule_cache_.get(job.pattern, job.num_nodes);
+      // Recorded metric: the paper's unweighted Eq. 6 cost (Figure 8).
+      cost = metric_model_.candidate_cost(state_, *nodes, job.comm_intensive,
+                                          schedule);
+      if (is_default) {
+        cost_default = cost;
+      } else {
+        cost_default = metric_model_.candidate_cost(
+            state_, *default_nodes, job.comm_intensive, schedule);
+        // Runtime ratio uses the (possibly msize-weighted) pricing metric.
+        priced = pricing_model_.candidate_cost(state_, *nodes,
+                                               job.comm_intensive, schedule);
+        priced_default = pricing_model_.candidate_cost(
+            state_, *default_nodes, job.comm_intensive, schedule);
+      }
+    }
+    double io_cost = 0.0, io_cost_default = 0.0;
+    if (price_io) {
+      io_cost = io_model_.candidate_cost(state_, *nodes, job.io_intensive);
+      io_cost_default =
+          is_default ? io_cost
+                     : io_model_.candidate_cost(state_, *default_nodes,
+                                                job.io_intensive);
+    }
+
+    double actual_runtime = job.runtime;
+    if (!is_default && (price_comm || price_io))
+      actual_runtime = modified_runtime_with_io(
+          job.runtime, price_comm ? job.comm_fraction : 0.0, priced,
+          priced_default, price_io ? job.io_fraction : 0.0, io_cost,
+          io_cost_default, options_.runtime_options);
+
+    bool hit_walltime = false;
+    if (options_.enforce_walltime && actual_runtime > job.walltime) {
+      actual_runtime = job.walltime;
+      hit_walltime = true;
+    }
+
+    state_.allocate(request.job, job.comm_intensive, *nodes,
+                    job.io_intensive);
+    running_.push_back(idx);
+    running_info_[idx] = {t + job.walltime, job.num_nodes};
+    completions_.push({t + actual_runtime, idx});
+    emit(TraceEvent::Kind::kStart, t, idx);
+
+    JobResult& r = results_[idx];
+    r.id = job.id;
+    r.num_nodes = job.num_nodes;
+    r.comm_intensive = job.comm_intensive;
+    r.pattern = job.pattern;
+    r.submit_time = job.submit_time;
+    r.start_time = t;
+    r.end_time = t + actual_runtime;
+    r.original_runtime = job.runtime;
+    r.actual_runtime = actual_runtime;
+    r.cost = cost;
+    r.cost_default = cost_default;
+    r.io_cost = io_cost;
+    r.io_cost_default = io_cost_default;
+    r.hit_walltime = hit_walltime;
+  }
+
+  const Tree& tree_;
+  const JobLog& log_;
+  const SchedOptions& options_;
+  ClusterState state_;
+  std::unique_ptr<Allocator> allocator_;
+  DefaultAllocator default_allocator_;
+  CostModel pricing_model_;  // Eq. 7 ratio + adaptive comparisons
+  CostModel metric_model_;   // pure Eq. 6, recorded in JobResult
+  IoModel io_model_;         // §7 I/O extension
+  ScheduleCache schedule_cache_;
+
+  std::deque<std::size_t> pending_;  // log indices, FIFO
+  std::vector<std::size_t> running_;
+  std::vector<RunningInfo> running_info_;
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      completions_;
+  std::vector<JobResult> results_;
+};
+
+}  // namespace
+
+SimResult run_continuous(const Tree& tree, const JobLog& log,
+                         const SchedOptions& options) {
+  return Simulation(tree, log, options).run();
+}
+
+}  // namespace commsched

@@ -1,0 +1,74 @@
+// Discrete-event SLURM-like scheduler simulator (DESIGN.md §3,
+// substitution 1).
+//
+// Reproduces the scheduling semantics the paper runs inside SLURM 19.05:
+//   - FIFO priority order with EASY backfilling (§3.1): the queue head gets
+//     a walltime-based reservation; later jobs may jump ahead only if they
+//     cannot delay that reservation.
+//   - Whole-node allocation through a pluggable Allocator (select/linear +
+//     topology/tree equivalents, §4).
+//   - Runtime estimation per the paper's Eq. 7: when a job-aware policy
+//     places a communication-intensive job, the simulator prices the chosen
+//     allocation and the hypothetical default allocation for the *same*
+//     cluster state with Eq. 6 and scales the job's communication time by
+//     the ratio. The default policy therefore runs at ratio 1.
+//
+// The simulation is deterministic: no randomness, event order is total
+// (completions before submissions at equal times, job order within a time
+// by queue position).
+#pragma once
+
+#include <memory>
+
+#include "core/allocator_factory.hpp"
+#include "core/cost_model.hpp"
+#include "core/runtime_model.hpp"
+#include "sched/result.hpp"
+#include "sched/trace.hpp"
+#include "topology/tree.hpp"
+#include "workload/job.hpp"
+
+namespace commsched {
+
+/// Queue ordering, the SLURM priority-plugin axis. The paper runs FIFO
+/// (+ backfill); the alternatives are provided for substrate completeness
+/// and ablations.
+enum class QueuePolicy : std::uint8_t {
+  kFifo,              ///< submit order (the paper's configuration)
+  kShortestJobFirst,  ///< ascending walltime estimate
+  kSmallestJobFirst,  ///< ascending node count
+};
+
+struct SchedOptions {
+  AllocatorKind allocator = AllocatorKind::kDefault;
+  /// Pricing metric for the Eq. 7 runtime ratio and the adaptive policy's
+  /// candidate comparison. Defaults to hop-byte weighting (§5.3: effective
+  /// hop-bytes "gives an indication of communication time"; msize doubles
+  /// per step under vector doubling). For constant-msize patterns (RD,
+  /// binomial, ring) the ratio is identical to the pure Eq. 6 ratio; for
+  /// RHVD the weighting is what gives balanced allocation its larger win
+  /// (§6.1). JobResult.cost / cost_default always record the *unweighted*
+  /// Eq. 6 cost, as plotted in Figure 8.
+  CostOptions cost_options{.hop_bytes = true};
+  RuntimeModelOptions runtime_options{};
+  /// EASY backfilling on/off (off = plain FIFO, blocks on the head job).
+  bool easy_backfill = true;
+  /// Max queued jobs examined per backfill pass (SLURM's bf_max_job_test).
+  int backfill_depth = 200;
+  /// Queue ordering (FIFO in the paper).
+  QueuePolicy queue_policy = QueuePolicy::kFifo;
+  /// Kill jobs at their requested walltime, as production SLURM does. Off
+  /// by default: the paper's Eq. 7 lets degraded placements overrun their
+  /// logged runtime, and killing them would hide that signal.
+  bool enforce_walltime = false;
+  /// Optional event sink (submit/start/end, non-decreasing time order).
+  TraceCallback trace;
+};
+
+/// Run a job log to completion under one allocation policy.
+/// Preconditions: every job fits the machine (num_nodes <= tree nodes) and
+/// has positive runtime; the log is sorted by submit_time.
+SimResult run_continuous(const Tree& tree, const JobLog& log,
+                         const SchedOptions& options);
+
+}  // namespace commsched

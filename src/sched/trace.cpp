@@ -1,0 +1,74 @@
+#include "sched/trace.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "util/strings.hpp"
+
+namespace commsched {
+
+const char* trace_kind_name(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kSubmit: return "submit";
+    case TraceEvent::Kind::kStart: return "start";
+    case TraceEvent::Kind::kEnd: return "end";
+  }
+  return "?";
+}
+
+std::string trace_event_to_json(const TraceEvent& event) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                R"({"ev":"%s","t":%.6f,"job":%lld,"nodes":%d})",
+                trace_kind_name(event.kind), event.time,
+                static_cast<long long>(event.job), event.num_nodes);
+  return buf;
+}
+
+std::optional<TraceEvent> trace_event_from_json(std::string_view line) {
+  // Deliberately narrow: parse only the writer's own field order.
+  const auto grab = [&](std::string_view key) -> std::optional<std::string> {
+    const std::string marker = "\"" + std::string(key) + "\":";
+    const auto pos = line.find(marker);
+    if (pos == std::string_view::npos) return std::nullopt;
+    auto rest = line.substr(pos + marker.size());
+    std::size_t end = 0;
+    if (!rest.empty() && rest.front() == '"') {
+      rest.remove_prefix(1);
+      end = rest.find('"');
+      if (end == std::string_view::npos) return std::nullopt;
+    } else {
+      end = rest.find_first_of(",}");
+      if (end == std::string_view::npos) return std::nullopt;
+    }
+    return std::string(rest.substr(0, end));
+  };
+
+  const auto ev = grab("ev");
+  const auto t = grab("t");
+  const auto job = grab("job");
+  const auto nodes = grab("nodes");
+  if (!ev || !t || !job || !nodes) return std::nullopt;
+
+  TraceEvent event;
+  if (*ev == "submit") event.kind = TraceEvent::Kind::kSubmit;
+  else if (*ev == "start") event.kind = TraceEvent::Kind::kStart;
+  else if (*ev == "end") event.kind = TraceEvent::Kind::kEnd;
+  else return std::nullopt;
+  const auto time = parse_double(*t);
+  const auto job_id = parse_int(*job);
+  const auto node_count = parse_int(*nodes);
+  if (!time || !job_id || !node_count) return std::nullopt;
+  event.time = *time;
+  event.job = *job_id;
+  event.num_nodes = static_cast<int>(*node_count);
+  return event;
+}
+
+TraceCallback make_json_trace_sink(std::ostream& out) {
+  return [&out](const TraceEvent& event) {
+    out << trace_event_to_json(event) << '\n';
+  };
+}
+
+}  // namespace commsched

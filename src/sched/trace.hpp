@@ -1,0 +1,43 @@
+// Scheduler event tracing: a stream of submit/start/end events emitted by
+// the simulator, and a JSON-lines writer/reader for offline analysis
+// (node-occupancy timelines, Gantt charts, queue-depth plots).
+//
+// The trace is also the strongest test oracle the simulator has: replaying
+// the event stream must never over-subscribe the machine, start a job
+// before its submit, or end a job that never started (see
+// tests/sched/trace_test.cpp).
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "workload/job.hpp"
+
+namespace commsched {
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kSubmit, kStart, kEnd };
+  Kind kind = Kind::kSubmit;
+  double time = 0.0;
+  WorkloadJobId job = 0;
+  int num_nodes = 0;
+};
+
+const char* trace_kind_name(TraceEvent::Kind kind);
+
+/// Invoked by the simulator for every event, in non-decreasing time order.
+using TraceCallback = std::function<void(const TraceEvent&)>;
+
+/// One event as a JSON line: {"ev":"start","t":12.5,"job":3,"nodes":64}.
+std::string trace_event_to_json(const TraceEvent& event);
+
+/// Parse one JSON trace line (accepts exactly the writer's format).
+/// std::nullopt on malformed input.
+std::optional<TraceEvent> trace_event_from_json(std::string_view line);
+
+/// Convenience sink: stream every event to an ostream as JSON lines.
+TraceCallback make_json_trace_sink(std::ostream& out);
+
+}  // namespace commsched

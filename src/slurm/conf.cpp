@@ -1,0 +1,104 @@
+#include "slurm/conf.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace commsched {
+
+namespace {
+
+[[noreturn]] void bad_value(const std::string& key, const std::string& value,
+                            int lineno) {
+  throw ParseError("slurm.conf:" + std::to_string(lineno) +
+                   ": unsupported value '" + value + "' for " + key);
+}
+
+}  // namespace
+
+SlurmConf parse_slurm_conf(std::istream& in) {
+  SlurmConf conf;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto t = trim(line);
+    if (t.empty()) continue;
+    const auto eq = t.find('=');
+    if (eq == std::string_view::npos)
+      throw ParseError("slurm.conf:" + std::to_string(lineno) +
+                       ": expected Key=Value, got '" + std::string(t) + "'");
+    const std::string key(trim(t.substr(0, eq)));
+    const std::string value(trim(t.substr(eq + 1)));
+
+    if (key == "SchedulerType") {
+      if (value == "sched/backfill") conf.sched.easy_backfill = true;
+      else if (value == "sched/builtin") conf.sched.easy_backfill = false;
+      else bad_value(key, value, lineno);
+    } else if (key == "SelectType") {
+      if (value != "select/linear") bad_value(key, value, lineno);
+    } else if (key == "TopologyPlugin") {
+      if (value == "topology/tree") conf.topology_aware = true;
+      else if (value == "topology/none") conf.topology_aware = false;
+      else bad_value(key, value, lineno);
+    } else if (key == "PriorityType") {
+      if (value == "priority/fifo")
+        conf.sched.queue_policy = QueuePolicy::kFifo;
+      else if (value == "priority/sjf")
+        conf.sched.queue_policy = QueuePolicy::kShortestJobFirst;
+      else if (value == "priority/smallest")
+        conf.sched.queue_policy = QueuePolicy::kSmallestJobFirst;
+      else bad_value(key, value, lineno);
+    } else if (key == "JobAware") {
+      const auto kind = allocator_kind_from_string(value);
+      if (!kind) bad_value(key, value, lineno);
+      conf.sched.allocator = *kind;
+    } else if (key == "BackfillDepth") {
+      const auto depth = parse_int(value);
+      if (!depth || *depth < 1) bad_value(key, value, lineno);
+      conf.sched.backfill_depth = static_cast<int>(*depth);
+    } else if (key == "EnforceWallTime") {
+      if (value == "yes") conf.sched.enforce_walltime = true;
+      else if (value == "no") conf.sched.enforce_walltime = false;
+      else bad_value(key, value, lineno);
+    }
+    // Unrecognized keys: silently accepted, like real slurm.conf parsing
+    // of plugin-specific options.
+  }
+  return conf;
+}
+
+SlurmConf load_slurm_conf(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw ParseError("cannot open slurm.conf '" + path + "'");
+  return parse_slurm_conf(f);
+}
+
+std::string write_slurm_conf(const SlurmConf& conf) {
+  std::ostringstream out;
+  out << "SchedulerType="
+      << (conf.sched.easy_backfill ? "sched/backfill" : "sched/builtin")
+      << "\n";
+  out << "SelectType=select/linear\n";
+  out << "TopologyPlugin="
+      << (conf.topology_aware ? "topology/tree" : "topology/none") << "\n";
+  switch (conf.sched.queue_policy) {
+    case QueuePolicy::kFifo: out << "PriorityType=priority/fifo\n"; break;
+    case QueuePolicy::kShortestJobFirst:
+      out << "PriorityType=priority/sjf\n";
+      break;
+    case QueuePolicy::kSmallestJobFirst:
+      out << "PriorityType=priority/smallest\n";
+      break;
+  }
+  out << "JobAware=" << allocator_kind_name(conf.sched.allocator) << "\n";
+  out << "BackfillDepth=" << conf.sched.backfill_depth << "\n";
+  out << "EnforceWallTime=" << (conf.sched.enforce_walltime ? "yes" : "no")
+      << "\n";
+  return out.str();
+}
+
+}  // namespace commsched

@@ -1,0 +1,39 @@
+// slurm.conf subset — the configuration surface the paper's deployment
+// touches (§3.1, §5.2): the scheduler plugin, the node-selection plugin,
+// the topology plugin, and our JOBAWARE job-aware switch, plus a few knobs
+// that map onto SchedOptions.
+//
+// Recognized keys (case-sensitive, Key=Value, '#' comments):
+//   SchedulerType      = sched/backfill | sched/builtin
+//   SelectType         = select/linear            (only supported value)
+//   TopologyPlugin     = topology/tree | topology/none
+//   PriorityType       = priority/fifo | priority/sjf | priority/smallest
+//   JobAware           = default | greedy | balanced | adaptive | exclusive
+//   BackfillDepth      = <int>
+//   EnforceWallTime    = yes | no
+// Unknown keys are ignored (slurm.conf carries dozens we do not model).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sched/simulator.hpp"
+
+namespace commsched {
+
+struct SlurmConf {
+  SchedOptions sched;          ///< derived scheduling options
+  bool topology_aware = true;  ///< TopologyPlugin=topology/tree
+};
+
+/// Parse slurm.conf text. Throws ParseError on malformed lines or
+/// unsupported values of recognized keys.
+SlurmConf parse_slurm_conf(std::istream& in);
+
+/// Parse from disk. Throws ParseError if unreadable.
+SlurmConf load_slurm_conf(const std::string& path);
+
+/// Render back to slurm.conf text.
+std::string write_slurm_conf(const SlurmConf& conf);
+
+}  // namespace commsched

@@ -1,0 +1,72 @@
+#include "slurm/duration.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "util/strings.hpp"
+
+namespace commsched {
+
+std::optional<double> parse_slurm_duration(std::string_view text) {
+  const auto t = trim(text);
+  if (t == "UNLIMITED" || t == "INFINITE")
+    return 365.0 * 24.0 * 3600.0;
+
+  // Optional "D-" prefix.
+  double days = 0.0;
+  std::string_view rest = t;
+  if (const auto dash = t.find('-'); dash != std::string_view::npos) {
+    const auto d = parse_int(t.substr(0, dash));
+    if (!d || *d < 0) return std::nullopt;
+    days = static_cast<double>(*d);
+    rest = t.substr(dash + 1);
+    if (rest.empty()) return std::nullopt;
+  }
+  const bool has_days = rest.data() != t.data();
+
+  const auto fields = split(std::string(rest), ':');
+  if (fields.size() > 3) return std::nullopt;
+  long long parts[3] = {0, 0, 0};
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    const auto v = parse_int(fields[i]);
+    if (!v || *v < 0) return std::nullopt;
+    parts[i] = *v;
+  }
+
+  double seconds = days * 86400.0;
+  if (has_days) {
+    // D-HH[:MM[:SS]] — fields are hours-first.
+    seconds += static_cast<double>(parts[0]) * 3600.0 +
+               static_cast<double>(parts[1]) * 60.0 +
+               static_cast<double>(parts[2]);
+  } else if (fields.size() == 1) {
+    seconds += static_cast<double>(parts[0]) * 60.0;  // "MM"
+  } else if (fields.size() == 2) {
+    seconds += static_cast<double>(parts[0]) * 60.0 +
+               static_cast<double>(parts[1]);  // "MM:SS"
+  } else {
+    seconds += static_cast<double>(parts[0]) * 3600.0 +
+               static_cast<double>(parts[1]) * 60.0 +
+               static_cast<double>(parts[2]);  // "HH:MM:SS"
+  }
+  if (seconds <= 0.0) return std::nullopt;
+  return seconds;
+}
+
+std::string format_slurm_duration(double seconds) {
+  auto total = static_cast<long long>(std::llround(seconds));
+  if (total < 0) total = 0;
+  const long long days = total / 86400;
+  total %= 86400;
+  const long long h = total / 3600;
+  const long long m = (total % 3600) / 60;
+  const long long s = total % 60;
+  char buf[48];
+  if (days > 0)
+    std::snprintf(buf, sizeof buf, "%lld-%02lld:%02lld:%02lld", days, h, m, s);
+  else
+    std::snprintf(buf, sizeof buf, "%02lld:%02lld:%02lld", h, m, s);
+  return buf;
+}
+
+}  // namespace commsched

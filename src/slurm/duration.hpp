@@ -1,0 +1,19 @@
+// SLURM time-limit grammar (the sbatch --time formats):
+//   "MM", "MM:SS", "HH:MM:SS", "D-HH", "D-HH:MM", "D-HH:MM:SS"
+// plus the special values "0" (no limit here: rejected) and "UNLIMITED".
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace commsched {
+
+/// Parse a SLURM duration into seconds. std::nullopt on malformed input or
+/// non-positive results. "UNLIMITED"/"INFINITE" map to a year.
+std::optional<double> parse_slurm_duration(std::string_view text);
+
+/// Render seconds in SLURM's canonical "D-HH:MM:SS" / "HH:MM:SS" form.
+std::string format_slurm_duration(double seconds);
+
+}  // namespace commsched

@@ -1,0 +1,210 @@
+#include "slurm/sbatch.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "slurm/duration.hpp"
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace commsched {
+
+namespace {
+
+std::optional<Pattern> pattern_from_string(std::string_view s) {
+  if (s == "RD") return Pattern::kRecursiveDoubling;
+  if (s == "RHVD") return Pattern::kRecursiveHalvingVD;
+  if (s == "Binomial") return Pattern::kBinomial;
+  if (s == "Ring") return Pattern::kRing;
+  if (s == "Alltoall") return Pattern::kPairwiseAlltoall;
+  return std::nullopt;
+}
+
+// Normalize "-N 4" / "--nodes 4" / "--nodes=4" into (key, value) form.
+struct Directive {
+  std::string key;
+  std::string value;
+};
+
+std::optional<Directive> parse_directive(std::string_view line, int lineno) {
+  auto rest = trim(line);
+  if (!starts_with(rest, "#SBATCH")) return std::nullopt;
+  rest = trim(rest.substr(7));
+  if (rest.empty())
+    throw ParseError("sbatch:" + std::to_string(lineno) + ": empty #SBATCH");
+  Directive d;
+  if (starts_with(rest, "--")) {
+    const auto eq = rest.find('=');
+    const auto sp = rest.find(' ');
+    const auto cut = std::min(eq, sp);
+    d.key = std::string(rest.substr(2, cut == std::string_view::npos
+                                           ? std::string_view::npos
+                                           : cut - 2));
+    if (cut != std::string_view::npos)
+      d.value = std::string(trim(rest.substr(cut + 1)));
+  } else if (starts_with(rest, "-") && rest.size() >= 2) {
+    const char flag = rest[1];
+    switch (flag) {
+      case 'J': d.key = "job-name"; break;
+      case 'N': d.key = "nodes"; break;
+      case 't': d.key = "time"; break;
+      default:
+        return std::nullopt;  // unknown short flag: ignore like sbatch
+    }
+    d.value = std::string(trim(rest.substr(2)));
+  } else {
+    throw ParseError("sbatch:" + std::to_string(lineno) +
+                     ": malformed directive '" + std::string(rest) + "'");
+  }
+  return d;
+}
+
+// One comma-separated clause of the comment annotation:
+//   compute | comm:<PATTERN>[:frac[:msize]] | io:<frac>
+void apply_comment_clause(SbatchJob& job, const std::string& clause,
+                          int lineno) {
+  const auto fields = split(clause, ':');
+  if (fields[0] == "compute") {
+    job.record.comm_intensive = false;
+    job.record.comm_fraction = 0.0;
+    return;
+  }
+  if (fields[0] == "io") {
+    if (fields.size() != 2)
+      throw ParseError("sbatch:" + std::to_string(lineno) +
+                       ": io clause is io:<fraction>");
+    const auto frac = parse_double(fields[1]);
+    if (!frac || *frac < 0.0 || *frac > 1.0)
+      throw ParseError("sbatch:" + std::to_string(lineno) +
+                       ": io fraction must be in [0,1]");
+    job.record.io_intensive = *frac > 0.0;
+    job.record.io_fraction = *frac;
+    return;
+  }
+  if (fields[0] != "comm")
+    return;  // unrelated comment text: not ours to interpret
+  if (fields.size() < 2)
+    throw ParseError("sbatch:" + std::to_string(lineno) +
+                     ": comm comment needs a pattern (comm:<PATTERN>[:frac[:msize]])");
+  const auto pattern = pattern_from_string(fields[1]);
+  if (!pattern)
+    throw ParseError("sbatch:" + std::to_string(lineno) +
+                     ": unknown pattern '" + fields[1] + "'");
+  job.record.comm_intensive = true;
+  job.record.pattern = *pattern;
+  job.record.comm_fraction = 0.5;
+  if (fields.size() >= 3) {
+    const auto frac = parse_double(fields[2]);
+    if (!frac || *frac < 0.0 || *frac > 1.0)
+      throw ParseError("sbatch:" + std::to_string(lineno) +
+                       ": comm fraction must be in [0,1]");
+    job.record.comm_fraction = *frac;
+  }
+  if (fields.size() >= 4) {
+    const auto msize = parse_double(fields[3]);
+    if (!msize || *msize <= 0.0)
+      throw ParseError("sbatch:" + std::to_string(lineno) +
+                       ": msize must be positive");
+    job.record.msize = *msize;
+  }
+}
+
+void apply_comment(SbatchJob& job, const std::string& value, int lineno) {
+  for (const auto& clause : split(value, ','))
+    apply_comment_clause(job, clause, lineno);
+  if (job.record.comm_fraction + job.record.io_fraction > 1.0)
+    throw ParseError("sbatch:" + std::to_string(lineno) +
+                     ": comm and io fractions exceed the runtime");
+}
+
+}  // namespace
+
+SbatchJob parse_sbatch_script(std::istream& in) {
+  SbatchJob job;
+  job.record.walltime = 3600.0;  // sbatch default when --time is absent
+  bool saw_nodes = false;
+
+  std::string line;
+  int lineno = 0;
+  bool past_header = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto t = trim(line);
+    if (lineno == 1 && starts_with(t, "#!")) continue;
+    if (t.empty()) continue;
+    if (!starts_with(t, "#")) {
+      past_header = true;  // script body begins; sbatch stops scanning
+      continue;
+    }
+    if (past_header || !starts_with(t, "#SBATCH")) continue;
+
+    const auto directive = parse_directive(t, lineno);
+    if (!directive) continue;
+    const auto& [key, value] = *directive;
+    if (key == "job-name") {
+      job.name = value;
+    } else if (key == "nodes") {
+      // "N" or SLURM's "min-max"; use the minimum.
+      const auto dash = value.find('-');
+      const auto n = parse_int(dash == std::string::npos
+                                   ? std::string_view(value)
+                                   : std::string_view(value).substr(0, dash));
+      if (!n || *n < 1)
+        throw ParseError("sbatch:" + std::to_string(lineno) +
+                         ": bad --nodes '" + value + "'");
+      job.record.num_nodes = static_cast<int>(*n);
+      saw_nodes = true;
+    } else if (key == "time") {
+      const auto secs = parse_slurm_duration(value);
+      if (!secs)
+        throw ParseError("sbatch:" + std::to_string(lineno) +
+                         ": bad --time '" + value + "'");
+      job.record.walltime = *secs;
+    } else if (key == "begin") {
+      std::string_view v = value;
+      if (starts_with(v, "now+")) v = v.substr(4);
+      const auto at = parse_double(v);
+      if (!at || *at < 0.0)
+        throw ParseError("sbatch:" + std::to_string(lineno) +
+                         ": bad --begin '" + value + "'");
+      job.record.submit_time = *at;
+    } else if (key == "comment") {
+      apply_comment(job, value, lineno);
+    }
+    // Other long options (mem, partition, ...) are accepted and ignored.
+  }
+  if (!saw_nodes)
+    throw ParseError("sbatch: script does not request nodes (--nodes)");
+  return job;
+}
+
+SbatchJob load_sbatch_script(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw ParseError("cannot open sbatch script '" + path + "'");
+  return parse_sbatch_script(f);
+}
+
+std::string write_sbatch_script(const SbatchJob& job) {
+  std::ostringstream out;
+  out << "#!/bin/bash\n";
+  out << "#SBATCH --job-name=" << job.name << "\n";
+  out << "#SBATCH --nodes=" << job.record.num_nodes << "\n";
+  out << "#SBATCH --time=" << format_slurm_duration(job.record.walltime)
+      << "\n";
+  if (job.record.submit_time > 0.0)
+    out << "#SBATCH --begin=now+"
+        << static_cast<long long>(job.record.submit_time) << "\n";
+  if (job.record.comm_intensive) {
+    out << "#SBATCH --comment=comm:" << pattern_name(job.record.pattern) << ':'
+        << job.record.comm_fraction << ':' << job.record.msize;
+    if (job.record.io_intensive) out << ",io:" << job.record.io_fraction;
+    out << "\n";
+  } else if (job.record.io_intensive) {
+    out << "#SBATCH --comment=io:" << job.record.io_fraction << "\n";
+  } else {
+    out << "#SBATCH --comment=compute\n";
+  }
+  return out.str();
+}
+
+}  // namespace commsched

@@ -1,0 +1,46 @@
+// sbatch batch-script front end.
+//
+// The paper's workflow submits jobs to SLURM with an extra job attribute —
+// whether the job is communication-intensive and which collective dominates
+// it ("It can also be done through user input", §4). The natural SLURM
+// channel for such annotations is the job comment, so this parser reads
+// standard #SBATCH headers plus:
+//
+//   #SBATCH --comment=comm:<PATTERN>[:<comm_fraction>[:<msize_bytes>]]
+//   #SBATCH --comment=compute
+//   #SBATCH --comment=io:<io_fraction>            (§7 I/O extension)
+//   #SBATCH --comment=comm:RHVD:0.5,io:0.3        (clauses combine)
+//
+// with <PATTERN> one of RD / RHVD / Binomial / Ring / Alltoall.
+//
+// Supported directives: --job-name/-J, --nodes/-N (a plain count or the
+// SLURM "min-max" form, of which the minimum is used), --time/-t,
+// --begin (seconds offset or "now+<sec>"), --comment. Unknown directives
+// are ignored, as sbatch does for plugins it does not know.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/job.hpp"
+
+namespace commsched {
+
+struct SbatchJob {
+  std::string name = "job";
+  JobRecord record;  ///< runtime is left 0 (unknown until execution)
+};
+
+/// Parse one batch script. Throws ParseError on malformed directives or if
+/// --nodes is missing. The returned record has walltime from --time
+/// (default 1 hour), submit_time from --begin (default 0), and the
+/// communication annotation from --comment.
+SbatchJob parse_sbatch_script(std::istream& in);
+
+/// Parse a script file from disk. Throws ParseError if unreadable.
+SbatchJob load_sbatch_script(const std::string& path);
+
+/// Render a JobRecord back into an equivalent #SBATCH script.
+std::string write_sbatch_script(const SbatchJob& job);
+
+}  // namespace commsched

@@ -1,0 +1,113 @@
+#include "topology/builders.hpp"
+
+#include "util/assert.hpp"
+
+namespace commsched {
+
+namespace {
+
+std::vector<std::string> node_range(const std::string& prefix, int first,
+                                    int count) {
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    names.push_back(prefix + std::to_string(first + i));
+  return names;
+}
+
+}  // namespace
+
+Tree make_two_level_tree(int leaves, int nodes_per_leaf,
+                         const std::string& node_prefix,
+                         const std::string& switch_prefix) {
+  COMMSCHED_ASSERT(leaves >= 1 && nodes_per_leaf >= 1);
+  TreeBuilder b;
+  std::vector<SwitchId> leaf_ids;
+  int next_node = 0;
+  for (int i = 0; i < leaves; ++i) {
+    leaf_ids.push_back(b.add_leaf(switch_prefix + std::to_string(i),
+                                  node_range(node_prefix, next_node,
+                                             nodes_per_leaf)));
+    next_node += nodes_per_leaf;
+  }
+  b.add_switch(switch_prefix + std::to_string(leaves), leaf_ids);
+  return b.build();
+}
+
+Tree make_three_level_tree(int groups, int leaves_per_group,
+                           int nodes_per_leaf, const std::string& node_prefix,
+                           const std::string& switch_prefix) {
+  COMMSCHED_ASSERT(groups >= 1 && leaves_per_group >= 1 && nodes_per_leaf >= 1);
+  TreeBuilder b;
+  std::vector<SwitchId> group_ids;
+  int next_node = 0;
+  int next_switch = 0;
+  for (int g = 0; g < groups; ++g) {
+    std::vector<SwitchId> leaf_ids;
+    for (int l = 0; l < leaves_per_group; ++l) {
+      leaf_ids.push_back(
+          b.add_leaf(switch_prefix + std::to_string(next_switch++),
+                     node_range(node_prefix, next_node, nodes_per_leaf)));
+      next_node += nodes_per_leaf;
+    }
+    group_ids.push_back(b.add_switch(
+        switch_prefix + std::to_string(next_switch++), leaf_ids));
+  }
+  b.add_switch(switch_prefix + std::to_string(next_switch), group_ids);
+  return b.build();
+}
+
+Tree make_figure2_tree() { return make_two_level_tree(2, 4); }
+
+Tree make_department_cluster() {
+  TreeBuilder b;
+  std::vector<SwitchId> leaves;
+  leaves.push_back(b.add_leaf("sw0", node_range("csews", 0, 16)));
+  leaves.push_back(b.add_leaf("sw1", node_range("csews", 16, 16)));
+  leaves.push_back(b.add_leaf("sw2", node_range("csews", 32, 16)));
+  leaves.push_back(b.add_leaf("sw3", node_range("csews", 48, 2)));
+  b.add_switch("swroot", leaves);
+  return b.build();
+}
+
+Tree make_iitk_hpc2010() {
+  return make_two_level_tree(48, 16, "hpc", "isw");
+}
+
+Tree make_lbnl_style() {
+  // Irregular big leaves: cycle through the 330-380 range the paper cites.
+  constexpr int kLeafSizes[] = {330, 350, 366, 380};
+  TreeBuilder b;
+  std::vector<SwitchId> leaves;
+  int next_node = 0;
+  for (int i = 0; i < 12; ++i) {
+    const int size = kLeafSizes[i % 4];
+    leaves.push_back(
+        b.add_leaf("lsw" + std::to_string(i), node_range("cori", next_node, size)));
+    next_node += size;
+  }
+  b.add_switch("lswroot", leaves);
+  return b.build();
+}
+
+Tree make_theta() { return make_two_level_tree(12, 366, "theta", "tsw"); }
+
+Tree make_intrepid() {
+  return make_two_level_tree(128, 320, "ib", "ibsw");
+}
+
+Tree make_mira() { return make_two_level_tree(128, 384, "mira", "msw"); }
+
+Tree make_machine(const std::string& name) {
+  if (name == "figure2") return make_figure2_tree();
+  if (name == "department") return make_department_cluster();
+  if (name == "iitk") return make_iitk_hpc2010();
+  if (name == "lbnl") return make_lbnl_style();
+  if (name == "theta") return make_theta();
+  if (name == "intrepid") return make_intrepid();
+  if (name == "mira") return make_mira();
+  COMMSCHED_ASSERT_MSG(false, "unknown machine profile '" + name + "'");
+  return make_figure2_tree();  // unreachable
+}
+
+}  // namespace commsched

@@ -1,0 +1,65 @@
+// Topology generators: regular two-/three-level trees plus profiles of the
+// machines the paper evaluates (§5.1–§5.2).
+//
+// Substitution note (see DESIGN.md §3): we could not ship the proprietary
+// IITK HPC2010 / LBNL Cori topology.conf files, so these builders generate
+// trees with the shapes the paper states — 16 nodes/leaf (IITK) and 330–380
+// nodes/leaf (LBNL-style) — and machine-scale trees for Intrepid / Theta /
+// Mira sized to the logs' node counts.
+#pragma once
+
+#include <string>
+
+#include "topology/tree.hpp"
+
+namespace commsched {
+
+/// Regular two-level tree: `leaves` leaf switches, `nodes_per_leaf` nodes
+/// each, one root. Node names "<node_prefix><i>", switch names
+/// "<switch_prefix><i>" with the root last (matching Figure 2's style).
+Tree make_two_level_tree(int leaves, int nodes_per_leaf,
+                         const std::string& node_prefix = "n",
+                         const std::string& switch_prefix = "s");
+
+/// Regular three-level tree: `groups` level-2 switches, each over
+/// `leaves_per_group` leaf switches of `nodes_per_leaf` nodes, one root.
+Tree make_three_level_tree(int groups, int leaves_per_group,
+                           int nodes_per_leaf,
+                           const std::string& node_prefix = "n",
+                           const std::string& switch_prefix = "s");
+
+/// The exact 8-node, 2-leaf fat-tree of the paper's Figure 2
+/// (s0=n0..n3, s1=n4..n7, s2 root).
+Tree make_figure2_tree();
+
+/// 50-node departmental cluster used in the paper's Figure 1 experiment:
+/// four leaf switches (16+16+16+2 nodes) under one root, 1G links.
+Tree make_department_cluster();
+
+/// IITK HPC2010-style tree: 48 leaf switches x 16 nodes (768 nodes),
+/// two levels.
+Tree make_iitk_hpc2010();
+
+/// LBNL/Cori-style tree: big leaves (330-380 nodes/switch). 12 leaves with
+/// node counts cycling through {330, 350, 366, 380} under one root.
+Tree make_lbnl_style();
+
+/// Theta-scale tree: 4392 nodes as 12 leaves x 366 nodes (paper max request
+/// is 512 nodes, so jobs regularly span leaves).
+Tree make_theta();
+
+/// Intrepid-scale tree: 40960 nodes as 128 leaves x 320 nodes. The paper
+/// emulates all logs on LBNL-style big-leaf trees (330-380 nodes/switch,
+/// §2/§5.2), so the big machines are flat two-level trees of big leaves.
+Tree make_intrepid();
+
+/// Mira-scale tree: 49152 nodes as 128 leaves x 384 nodes (two levels, see
+/// make_intrepid).
+Tree make_mira();
+
+/// Look up a builder by machine name ("figure2", "department", "iitk",
+/// "lbnl", "theta", "intrepid", "mira"). Throws InvariantError on unknown
+/// names.
+Tree make_machine(const std::string& name);
+
+}  // namespace commsched

@@ -1,0 +1,151 @@
+#include "topology/conf.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace commsched {
+
+namespace {
+
+struct ConfEntry {
+  std::string name;
+  std::vector<std::string> nodes;     // set for leaf entries
+  std::vector<std::string> switches;  // set for internal entries
+};
+
+ConfEntry parse_line(std::string_view line, int lineno) {
+  ConfEntry entry;
+  for (const auto& tok : split_ws(line)) {
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos)
+      throw ParseError("topology.conf:" + std::to_string(lineno) +
+                       ": expected key=value, got '" + tok + "'");
+    const std::string key = tok.substr(0, eq);
+    const std::string value = tok.substr(eq + 1);
+    if (key == "SwitchName") {
+      entry.name = value;
+    } else if (key == "Nodes") {
+      entry.nodes = expand_hostlist(value);
+    } else if (key == "Switches") {
+      entry.switches = expand_hostlist(value);
+    } else {
+      throw ParseError("topology.conf:" + std::to_string(lineno) +
+                       ": unknown key '" + key + "'");
+    }
+  }
+  if (entry.name.empty())
+    throw ParseError("topology.conf:" + std::to_string(lineno) +
+                     ": missing SwitchName");
+  if (entry.nodes.empty() == entry.switches.empty())
+    throw ParseError("topology.conf:" + std::to_string(lineno) +
+                     ": switch '" + entry.name +
+                     "' needs exactly one of Nodes= or Switches=");
+  return entry;
+}
+
+}  // namespace
+
+Tree parse_topology_conf(std::istream& in) {
+  std::vector<ConfEntry> entries;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto t = trim(line);
+    if (t.empty()) continue;
+    entries.push_back(parse_line(t, lineno));
+  }
+  if (entries.empty()) throw ParseError("topology.conf: no switches defined");
+
+  // Build leaves first, then repeatedly build internal switches whose
+  // children are all constructed (children may appear after their parent).
+  TreeBuilder builder;
+  std::map<std::string, SwitchId> built;
+  for (const auto& e : entries) {
+    if (!e.nodes.empty()) {
+      if (built.contains(e.name))
+        throw ParseError("topology.conf: duplicate switch '" + e.name + "'");
+      built[e.name] = builder.add_leaf(e.name, e.nodes);
+    }
+  }
+  std::vector<const ConfEntry*> pending;
+  for (const auto& e : entries)
+    if (!e.switches.empty()) {
+      if (built.contains(e.name))
+        throw ParseError("topology.conf: duplicate switch '" + e.name + "'");
+      pending.push_back(&e);
+    }
+  while (!pending.empty()) {
+    bool progressed = false;
+    for (auto it = pending.begin(); it != pending.end();) {
+      const ConfEntry& e = **it;
+      const bool ready = std::all_of(
+          e.switches.begin(), e.switches.end(),
+          [&](const std::string& child) { return built.contains(child); });
+      if (!ready) {
+        ++it;
+        continue;
+      }
+      std::vector<SwitchId> children;
+      children.reserve(e.switches.size());
+      for (const auto& child : e.switches) children.push_back(built.at(child));
+      built[e.name] = builder.add_switch(e.name, children);
+      it = pending.erase(it);
+      progressed = true;
+    }
+    if (!progressed) {
+      std::string missing;
+      for (const auto* e : pending) missing += " '" + e->name + "'";
+      throw ParseError(
+          "topology.conf: unresolvable switch references (cycle or missing "
+          "child) involving" + missing);
+    }
+  }
+  return builder.build();
+}
+
+Tree load_topology_conf(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw ParseError("cannot open topology file '" + path + "'");
+  return parse_topology_conf(f);
+}
+
+std::string write_topology_conf(const Tree& tree) {
+  std::ostringstream out;
+  // Leaves first, then internal switches in ascending level order, so the
+  // output is also valid input for stricter parsers.
+  for (int lvl = 1; lvl <= tree.depth(); ++lvl) {
+    for (const SwitchId s : tree.switches_at_level(lvl)) {
+      out << "SwitchName=" << tree.switch_name(s);
+      if (tree.is_leaf(s)) {
+        std::vector<std::string> names;
+        for (const NodeId n : tree.nodes_of_leaf(s))
+          names.push_back(tree.node_name(n));
+        out << " Nodes=" << compress_hostlist(names);
+      } else {
+        std::vector<std::string> names;
+        for (const SwitchId c : tree.children(s))
+          names.push_back(tree.switch_name(c));
+        out << " Switches=" << compress_hostlist(names);
+      }
+      out << '\n';
+    }
+  }
+  return out.str();
+}
+
+bool save_topology_conf(const Tree& tree, const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << write_topology_conf(tree);
+  return static_cast<bool>(f);
+}
+
+}  // namespace commsched

@@ -1,0 +1,32 @@
+// SLURM topology.conf reader/writer (§5.2 of the paper).
+//
+// Grammar (the subset SLURM's topology/tree plugin uses):
+//   SwitchName=<name> Nodes=<hostlist>      # leaf switch
+//   SwitchName=<name> Switches=<hostlist>   # internal switch
+// '#' starts a comment; blank lines are ignored.  Children may be declared
+// after the parent that references them (SLURM allows this), so parsing is
+// two-pass: gather entries, then build leaves-first.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topology/tree.hpp"
+
+namespace commsched {
+
+/// Parse topology.conf text. Throws ParseError on malformed syntax and
+/// InvariantError on structurally invalid topologies (cycles, several roots).
+Tree parse_topology_conf(std::istream& in);
+
+/// Parse a topology.conf file from disk. Throws ParseError if unreadable.
+Tree load_topology_conf(const std::string& path);
+
+/// Render a Tree back to topology.conf text (leaves first, then internal
+/// switches by ascending level; node/switch lists in hostlist notation).
+std::string write_topology_conf(const Tree& tree);
+
+/// Write to a file; returns false on I/O failure.
+bool save_topology_conf(const Tree& tree, const std::string& path);
+
+}  // namespace commsched

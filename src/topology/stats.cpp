@@ -1,0 +1,64 @@
+#include "topology/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace commsched {
+
+TopologyStats compute_topology_stats(const Tree& tree) {
+  TopologyStats s;
+  s.nodes = tree.node_count();
+  s.switches = tree.switch_count();
+  s.leaves = tree.leaf_count();
+  s.depth = tree.depth();
+
+  s.min_leaf_nodes = tree.node_count();
+  s.max_leaf_nodes = 0;
+  double leaf_sum = 0.0;
+  for (const SwitchId leaf : tree.leaves()) {
+    const int n = static_cast<int>(tree.nodes_of_leaf(leaf).size());
+    s.min_leaf_nodes = std::min(s.min_leaf_nodes, n);
+    s.max_leaf_nodes = std::max(s.max_leaf_nodes, n);
+    leaf_sum += n;
+  }
+  s.mean_leaf_nodes = leaf_sum / static_cast<double>(tree.leaf_count());
+
+  for (int lvl = 1; lvl <= tree.depth(); ++lvl) {
+    LevelStats level;
+    level.level = lvl;
+    for (const SwitchId sw : tree.switches_at_level(lvl)) {
+      ++level.switches;
+      level.downlinks += tree.is_leaf(sw)
+                             ? static_cast<int>(tree.nodes_of_leaf(sw).size())
+                             : static_cast<int>(tree.children(sw).size());
+      if (tree.parent(sw) != kInvalidSwitch) ++level.uplinks;
+    }
+    s.levels.push_back(level);
+  }
+  if (!s.levels.empty() && s.levels.front().uplinks > 0)
+    s.leaf_oversubscription =
+        static_cast<double>(s.levels.front().downlinks) /
+        static_cast<double>(s.levels.front().uplinks);
+  return s;
+}
+
+std::string format_topology_stats(const TopologyStats& stats) {
+  std::ostringstream out;
+  out << stats.nodes << " nodes, " << stats.switches << " switches ("
+      << stats.leaves << " leaves), " << stats.depth << " levels\n";
+  out << "nodes/leaf: " << stats.min_leaf_nodes << " - "
+      << stats.max_leaf_nodes << " (mean "
+      << format_double(stats.mean_leaf_nodes, 1) << ")\n";
+  for (const LevelStats& level : stats.levels)
+    out << "level " << level.level << ": " << level.switches << " switches, "
+        << level.downlinks << " downlinks, " << level.uplinks << " uplinks\n";
+  if (stats.leaf_oversubscription > 0.0)
+    out << "leaf oversubscription " +
+               format_double(stats.leaf_oversubscription, 1) +
+               ":1 (single-trunk tree)\n";
+  return out.str();
+}
+
+}  // namespace commsched

@@ -1,0 +1,41 @@
+// Structural statistics of a tree topology: per-level switch/link counts,
+// leaf-size spread, and an oversubscription estimate — the quantities one
+// checks before trusting a topology.conf (and the reason the paper's
+// "links double as we move up" factor appears in Eq. 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topology/tree.hpp"
+
+namespace commsched {
+
+struct LevelStats {
+  int level = 0;       ///< 1 = leaves
+  int switches = 0;    ///< switches at this level
+  int downlinks = 0;   ///< child links (nodes for leaves, switches above)
+  int uplinks = 0;     ///< links toward the parent level (0 for the root)
+};
+
+struct TopologyStats {
+  int nodes = 0;
+  int switches = 0;
+  int leaves = 0;
+  int depth = 0;
+  int min_leaf_nodes = 0;
+  int max_leaf_nodes = 0;
+  double mean_leaf_nodes = 0.0;
+  std::vector<LevelStats> levels;  ///< index 0 = level 1 (leaves)
+  /// Downlinks per uplink at the leaf level (nodes per leaf switch when
+  /// every switch has one uplink) — the classic oversubscription ratio of
+  /// a single-trunk tree. 0 for a single-switch topology.
+  double leaf_oversubscription = 0.0;
+};
+
+TopologyStats compute_topology_stats(const Tree& tree);
+
+/// Multi-line human-readable rendering.
+std::string format_topology_stats(const TopologyStats& stats);
+
+}  // namespace commsched

@@ -1,0 +1,202 @@
+#include "topology/tree.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace commsched {
+
+namespace {
+void check_switch(const Tree& t, SwitchId s) {
+  COMMSCHED_ASSERT_MSG(s >= 0 && s < t.switch_count(), "switch id out of range");
+}
+}  // namespace
+
+int Tree::level(SwitchId s) const {
+  check_switch(*this, s);
+  return switches_[static_cast<std::size_t>(s)].level;
+}
+
+SwitchId Tree::parent(SwitchId s) const {
+  check_switch(*this, s);
+  return switches_[static_cast<std::size_t>(s)].parent;
+}
+
+std::span<const SwitchId> Tree::children(SwitchId s) const {
+  check_switch(*this, s);
+  return switches_[static_cast<std::size_t>(s)].children;
+}
+
+std::vector<SwitchId> Tree::switches_at_level(int lvl) const {
+  std::vector<SwitchId> out;
+  for (SwitchId s = 0; s < switch_count(); ++s)
+    if (switches_[static_cast<std::size_t>(s)].level == lvl) out.push_back(s);
+  return out;
+}
+
+std::span<const SwitchId> Tree::leaves_under(SwitchId s) const {
+  check_switch(*this, s);
+  return switches_[static_cast<std::size_t>(s)].leaves_below;
+}
+
+std::span<const NodeId> Tree::nodes_of_leaf(SwitchId s) const {
+  check_switch(*this, s);
+  COMMSCHED_ASSERT_MSG(is_leaf(s), "nodes_of_leaf on a non-leaf switch");
+  return switches_[static_cast<std::size_t>(s)].nodes;
+}
+
+int Tree::node_count_under(SwitchId s) const {
+  check_switch(*this, s);
+  return switches_[static_cast<std::size_t>(s)].subtree_nodes;
+}
+
+SwitchId Tree::leaf_of(NodeId n) const {
+  COMMSCHED_ASSERT_MSG(n >= 0 && n < node_count(), "node id out of range");
+  return node_leaf_[static_cast<std::size_t>(n)];
+}
+
+SwitchId Tree::lowest_common_switch(NodeId a, NodeId b) const {
+  const SwitchId la = leaf_of(a);
+  const SwitchId lb = leaf_of(b);
+  if (la == lb) return la;
+  // Walk the root-first ancestor chains in lockstep; the last matching entry
+  // is the lowest common switch.  Chains are at most depth() long.
+  const auto& ca = leaf_chain_[static_cast<std::size_t>(la)];
+  const auto& cb = leaf_chain_[static_cast<std::size_t>(lb)];
+  const std::size_t n = std::min(ca.size(), cb.size());
+  SwitchId lca = root_;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ca[i] != cb[i]) break;
+    lca = ca[i];
+  }
+  return lca;
+}
+
+int Tree::lca_level(NodeId a, NodeId b) const {
+  return level(lowest_common_switch(a, b));
+}
+
+int Tree::distance(NodeId a, NodeId b) const {
+  if (a == b) return 0;
+  return 2 * lca_level(a, b);
+}
+
+const std::string& Tree::node_name(NodeId n) const {
+  COMMSCHED_ASSERT(n >= 0 && n < node_count());
+  return node_names_[static_cast<std::size_t>(n)];
+}
+
+const std::string& Tree::switch_name(SwitchId s) const {
+  check_switch(*this, s);
+  return switches_[static_cast<std::size_t>(s)].name;
+}
+
+std::optional<NodeId> Tree::node_by_name(const std::string& name) const {
+  for (NodeId n = 0; n < node_count(); ++n)
+    if (node_names_[static_cast<std::size_t>(n)] == name) return n;
+  return std::nullopt;
+}
+
+std::optional<SwitchId> Tree::switch_by_name(const std::string& name) const {
+  for (SwitchId s = 0; s < switch_count(); ++s)
+    if (switches_[static_cast<std::size_t>(s)].name == name) return s;
+  return std::nullopt;
+}
+
+SwitchId TreeBuilder::add_leaf(std::string name,
+                               std::vector<std::string> node_names) {
+  COMMSCHED_ASSERT_MSG(!node_names.empty(), "a leaf switch needs nodes");
+  const auto id = static_cast<SwitchId>(tree_.switches_.size());
+  Tree::SwitchRec rec;
+  rec.name = std::move(name);
+  rec.level = 1;
+  rec.subtree_nodes = static_cast<int>(node_names.size());
+  for (auto& nn : node_names) {
+    const auto nid = static_cast<NodeId>(tree_.node_names_.size());
+    tree_.node_names_.push_back(std::move(nn));
+    tree_.node_leaf_.push_back(id);
+    rec.nodes.push_back(nid);
+  }
+  rec.leaves_below.push_back(id);
+  tree_.switches_.push_back(std::move(rec));
+  tree_.leaves_.push_back(id);
+  has_parent_.push_back(false);
+  return id;
+}
+
+SwitchId TreeBuilder::add_switch(std::string name,
+                                 std::vector<SwitchId> child_switches) {
+  COMMSCHED_ASSERT_MSG(!child_switches.empty(),
+                       "an internal switch needs children");
+  const auto id = static_cast<SwitchId>(tree_.switches_.size());
+  Tree::SwitchRec rec;
+  rec.name = std::move(name);
+  int max_child_level = 0;
+  for (const SwitchId c : child_switches) {
+    COMMSCHED_ASSERT_MSG(c >= 0 && c < id, "child switch must already exist");
+    COMMSCHED_ASSERT_MSG(!has_parent_[static_cast<std::size_t>(c)],
+                         "child switch already has a parent");
+    auto& child = tree_.switches_[static_cast<std::size_t>(c)];
+    child.parent = id;
+    has_parent_[static_cast<std::size_t>(c)] = true;
+    max_child_level = std::max(max_child_level, child.level);
+    rec.subtree_nodes += child.subtree_nodes;
+    rec.leaves_below.insert(rec.leaves_below.end(), child.leaves_below.begin(),
+                            child.leaves_below.end());
+  }
+  rec.level = max_child_level + 1;
+  rec.children = std::move(child_switches);
+  tree_.switches_.push_back(std::move(rec));
+  has_parent_.push_back(false);
+  return id;
+}
+
+Tree TreeBuilder::build() {
+  COMMSCHED_ASSERT_MSG(!tree_.switches_.empty(), "empty topology");
+
+  // Exactly one parentless switch: the root.
+  SwitchId root = kInvalidSwitch;
+  for (SwitchId s = 0; s < tree_.switch_count(); ++s) {
+    if (!has_parent_[static_cast<std::size_t>(s)]) {
+      COMMSCHED_ASSERT_MSG(root == kInvalidSwitch,
+                           "topology has multiple roots (switch '" +
+                               tree_.switches_[static_cast<std::size_t>(s)].name +
+                               "' is disconnected)");
+      root = s;
+    }
+  }
+  COMMSCHED_ASSERT_MSG(root != kInvalidSwitch, "topology has a cycle");
+  tree_.root_ = root;
+  tree_.depth_ = tree_.switches_[static_cast<std::size_t>(root)].level;
+
+  // Unique names.
+  std::unordered_set<std::string> names;
+  for (const auto& sw : tree_.switches_)
+    COMMSCHED_ASSERT_MSG(names.insert(sw.name).second,
+                         "duplicate switch name '" + sw.name + "'");
+  names.clear();
+  for (const auto& nn : tree_.node_names_)
+    COMMSCHED_ASSERT_MSG(names.insert(nn).second,
+                         "duplicate node name '" + nn + "'");
+
+  // The root must span every node.
+  COMMSCHED_ASSERT_MSG(
+      tree_.switches_[static_cast<std::size_t>(root)].subtree_nodes ==
+          tree_.node_count(),
+      "root does not span all nodes — disconnected topology");
+
+  // Precompute root-first ancestor chains per leaf for LCA queries.
+  tree_.leaf_chain_.assign(tree_.switches_.size(), {});
+  for (const SwitchId leaf : tree_.leaves_) {
+    std::vector<SwitchId> chain;
+    for (SwitchId s = leaf; s != kInvalidSwitch;
+         s = tree_.switches_[static_cast<std::size_t>(s)].parent)
+      chain.push_back(s);
+    std::reverse(chain.begin(), chain.end());
+    tree_.leaf_chain_[static_cast<std::size_t>(leaf)] = std::move(chain);
+  }
+  return std::move(tree_);
+}
+
+}  // namespace commsched

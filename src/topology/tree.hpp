@@ -1,0 +1,122 @@
+// Tree / fat-tree network topology model (SLURM topology/tree equivalent).
+//
+// The model matches the paper's abstraction (§3.2): compute nodes hang off
+// level-1 "leaf" switches; higher-level switches connect switches below them;
+// a single root spans the machine.  Every structural query the allocators and
+// the cost model need is answered here: leaf membership, lowest common
+// switch, the paper's distance metric d(i,j) = 2 * level(LCA) (Eq. 4), and
+// subtree node counts for the lowest-level-switch search.
+//
+// Node and switch handles are dense indices (NodeId / SwitchId), assigned in
+// construction order; names are retained for topology.conf round-trips.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace commsched {
+
+using NodeId = std::int32_t;
+using SwitchId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr SwitchId kInvalidSwitch = -1;
+
+/// Immutable tree topology. Construct via TreeBuilder or topology-conf I/O.
+class Tree {
+ public:
+  int node_count() const noexcept { return static_cast<int>(node_names_.size()); }
+  int switch_count() const noexcept { return static_cast<int>(switches_.size()); }
+  int leaf_count() const noexcept { return static_cast<int>(leaves_.size()); }
+
+  /// Number of switch levels; leaves are level 1, the root is level `depth()`.
+  int depth() const noexcept { return depth_; }
+
+  SwitchId root() const noexcept { return root_; }
+
+  bool is_leaf(SwitchId s) const { return level(s) == 1; }
+  int level(SwitchId s) const;
+  SwitchId parent(SwitchId s) const;  ///< kInvalidSwitch for the root
+  std::span<const SwitchId> children(SwitchId s) const;  ///< empty for leaves
+
+  /// All leaf switches, in id order.
+  std::span<const SwitchId> leaves() const noexcept { return leaves_; }
+
+  /// All switches with the given level (1 = leaves).
+  std::vector<SwitchId> switches_at_level(int lvl) const;
+
+  /// Leaf switches in the subtree rooted at `s` (s itself if a leaf).
+  std::span<const SwitchId> leaves_under(SwitchId s) const;
+
+  /// Compute nodes attached to leaf switch `s`. Requires is_leaf(s).
+  std::span<const NodeId> nodes_of_leaf(SwitchId s) const;
+
+  /// Total compute nodes in the subtree rooted at `s`.
+  int node_count_under(SwitchId s) const;
+
+  /// Leaf switch a node is attached to.
+  SwitchId leaf_of(NodeId n) const;
+
+  /// Lowest common switch of two nodes (their shared leaf if co-located).
+  SwitchId lowest_common_switch(NodeId a, NodeId b) const;
+
+  /// Level of the lowest common switch (1 when both are on the same leaf).
+  int lca_level(NodeId a, NodeId b) const;
+
+  /// Paper Eq. 4: d(i,j) = 2 * level(lowest common switch); 0 when i == j.
+  int distance(NodeId a, NodeId b) const;
+
+  const std::string& node_name(NodeId n) const;
+  const std::string& switch_name(SwitchId s) const;
+  std::optional<NodeId> node_by_name(const std::string& name) const;
+  std::optional<SwitchId> switch_by_name(const std::string& name) const;
+
+ private:
+  friend class TreeBuilder;
+  Tree() = default;
+
+  struct SwitchRec {
+    std::string name;
+    SwitchId parent = kInvalidSwitch;
+    int level = 1;
+    std::vector<SwitchId> children;      // child switches (empty for leaves)
+    std::vector<NodeId> nodes;           // directly attached (leaves only)
+    std::vector<SwitchId> leaves_below;  // descendant leaves (self if leaf)
+    int subtree_nodes = 0;
+  };
+
+  std::vector<SwitchRec> switches_;
+  std::vector<SwitchId> leaves_;
+  std::vector<std::string> node_names_;
+  std::vector<SwitchId> node_leaf_;
+  // Root-first ancestor chain per leaf: chain[0] = root ... chain.back() = leaf.
+  std::vector<std::vector<SwitchId>> leaf_chain_;
+  SwitchId root_ = kInvalidSwitch;
+  int depth_ = 0;
+};
+
+/// Incremental construction of a Tree. Leaves must be added before any
+/// internal switch that references them; build() validates the result.
+class TreeBuilder {
+ public:
+  /// Add a leaf switch with its attached node names. Node ids are assigned
+  /// in the order nodes are added across all leaves.
+  SwitchId add_leaf(std::string name, std::vector<std::string> node_names);
+
+  /// Add an internal switch over previously added child switches.
+  SwitchId add_switch(std::string name, std::vector<SwitchId> child_switches);
+
+  /// Finalize. Validates: a unique root exists, every non-root switch has a
+  /// parent, levels are consistent, node/switch names are unique, every leaf
+  /// has at least one node. Throws InvariantError on violation.
+  Tree build();
+
+ private:
+  Tree tree_;
+  std::vector<bool> has_parent_;
+};
+
+}  // namespace commsched

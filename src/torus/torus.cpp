@@ -1,0 +1,229 @@
+#include "torus/torus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace commsched {
+
+Torus::Torus(int x, int y, int z) : x_(x), y_(y), z_(z) {
+  COMMSCHED_ASSERT_MSG(x >= 1 && y >= 1 && z >= 1,
+                       "torus dimensions must be positive");
+}
+
+TorusCoord Torus::coord_of(TorusNodeId n) const {
+  COMMSCHED_ASSERT(n >= 0 && n < node_count());
+  TorusCoord c;
+  c.x = n % x_;
+  c.y = (n / x_) % y_;
+  c.z = n / (x_ * y_);
+  return c;
+}
+
+TorusNodeId Torus::id_of(const TorusCoord& c) const {
+  const auto wrap = [](int v, int dim) {
+    const int m = v % dim;
+    return m < 0 ? m + dim : m;
+  };
+  return wrap(c.x, x_) + wrap(c.y, y_) * x_ + wrap(c.z, z_) * x_ * y_;
+}
+
+int Torus::ring_distance(int a, int b, int dim) {
+  const int direct = std::abs(a - b);
+  return std::min(direct, dim - direct);
+}
+
+int Torus::distance(TorusNodeId a, TorusNodeId b) const {
+  const TorusCoord ca = coord_of(a);
+  const TorusCoord cb = coord_of(b);
+  return ring_distance(ca.x, cb.x, x_) + ring_distance(ca.y, cb.y, y_) +
+         ring_distance(ca.z, cb.z, z_);
+}
+
+TorusState::TorusState(const Torus& torus)
+    : torus_(&torus),
+      busy_(static_cast<std::size_t>(torus.node_count()), 0),
+      comm_(static_cast<std::size_t>(torus.node_count()), 0),
+      free_(torus.node_count()) {}
+
+void TorusState::occupy(std::span<const TorusNodeId> nodes,
+                        bool comm_intensive) {
+  for (const TorusNodeId n : nodes) {
+    COMMSCHED_ASSERT(n >= 0 && n < torus_->node_count());
+    COMMSCHED_ASSERT_MSG(!busy_[static_cast<std::size_t>(n)],
+                         "torus node already occupied");
+  }
+  for (const TorusNodeId n : nodes) {
+    busy_[static_cast<std::size_t>(n)] = 1;
+    comm_[static_cast<std::size_t>(n)] = comm_intensive ? 1 : 0;
+    --free_;
+  }
+}
+
+void TorusState::release(std::span<const TorusNodeId> nodes) {
+  for (const TorusNodeId n : nodes) {
+    COMMSCHED_ASSERT(n >= 0 && n < torus_->node_count());
+    COMMSCHED_ASSERT_MSG(busy_[static_cast<std::size_t>(n)],
+                         "releasing a free torus node");
+    busy_[static_cast<std::size_t>(n)] = 0;
+    comm_[static_cast<std::size_t>(n)] = 0;
+    ++free_;
+  }
+}
+
+bool TorusState::is_free(TorusNodeId n) const {
+  COMMSCHED_ASSERT(n >= 0 && n < torus_->node_count());
+  return !busy_[static_cast<std::size_t>(n)];
+}
+
+bool TorusState::is_comm(TorusNodeId n) const {
+  COMMSCHED_ASSERT(n >= 0 && n < torus_->node_count());
+  return comm_[static_cast<std::size_t>(n)] != 0;
+}
+
+namespace {
+
+// Iterate the minimal wraparound box spanned by two coordinates: for each
+// dimension pick the shorter arc (ties toward the direct direction).
+struct Arc {
+  int start = 0;
+  int length = 1;  // number of coordinates covered, >= 1
+};
+
+Arc minimal_arc(int a, int b, int dim) {
+  const int direct = std::abs(a - b);
+  const int wrapped = dim - direct;
+  Arc arc;
+  if (direct <= wrapped) {
+    arc.start = std::min(a, b);
+    arc.length = direct + 1;
+  } else {
+    arc.start = std::max(a, b);
+    arc.length = wrapped + 1;
+  }
+  return arc;
+}
+
+}  // namespace
+
+double torus_contention(const TorusState& state, TorusNodeId a,
+                        TorusNodeId b) {
+  const Torus& torus = state.torus();
+  const TorusCoord ca = torus.coord_of(a);
+  const TorusCoord cb = torus.coord_of(b);
+  const Arc ax = minimal_arc(ca.x, cb.x, torus.dim_x());
+  const Arc ay = minimal_arc(ca.y, cb.y, torus.dim_y());
+  const Arc az = minimal_arc(ca.z, cb.z, torus.dim_z());
+
+  int comm_nodes = 0;
+  const int box = ax.length * ay.length * az.length;
+  for (int dz = 0; dz < az.length; ++dz)
+    for (int dy = 0; dy < ay.length; ++dy)
+      for (int dx = 0; dx < ax.length; ++dx) {
+        TorusCoord c;
+        c.x = ax.start + dx;
+        c.y = ay.start + dy;
+        c.z = az.start + dz;
+        if (state.is_comm(torus.id_of(c))) ++comm_nodes;
+      }
+  return static_cast<double>(comm_nodes) / static_cast<double>(box);
+}
+
+double torus_effective_hops(const TorusState& state, TorusNodeId a,
+                            TorusNodeId b) {
+  if (a == b) return 0.0;
+  const double d = state.torus().distance(a, b);
+  return d * (1.0 + torus_contention(state, a, b));
+}
+
+double torus_cost(const TorusState& state,
+                  std::span<const TorusNodeId> nodes,
+                  const CommSchedule& schedule) {
+  double total = 0.0;
+  for (const CommStep& step : schedule) {
+    double worst = 0.0;
+    for (const auto& [ri, rj] : step.pairs) {
+      COMMSCHED_ASSERT(static_cast<std::size_t>(ri) < nodes.size() &&
+                       static_cast<std::size_t>(rj) < nodes.size());
+      worst = std::max(worst,
+                       torus_effective_hops(state,
+                                            nodes[static_cast<std::size_t>(ri)],
+                                            nodes[static_cast<std::size_t>(rj)]));
+    }
+    total += worst * static_cast<double>(step.repeat);
+  }
+  return total;
+}
+
+std::optional<std::vector<TorusNodeId>> cuboid_allocation(
+    const TorusState& state, int num_nodes) {
+  COMMSCHED_ASSERT(num_nodes >= 1);
+  const Torus& torus = state.torus();
+  if (state.total_free() < num_nodes) return std::nullopt;
+
+  // Enumerate cuboid shapes (sx, sy, sz) with volume >= num_nodes, smallest
+  // surface first, and find a fully-free anchored placement. Shapes and
+  // anchors are bounded by the torus dimensions, so this is
+  // O(X^2 Y^2 Z^2) worst case — fine for partition-sized machines.
+  struct Shape {
+    int sx, sy, sz;
+    double badness;  // surface area, then volume slack
+  };
+  std::vector<Shape> shapes;
+  for (int sx = 1; sx <= torus.dim_x(); ++sx)
+    for (int sy = 1; sy <= torus.dim_y(); ++sy)
+      for (int sz = 1; sz <= torus.dim_z(); ++sz) {
+        const int volume = sx * sy * sz;
+        if (volume < num_nodes) continue;
+        const double surface = 2.0 * (sx * sy + sy * sz + sx * sz);
+        shapes.push_back({sx, sy, sz,
+                          surface + (volume - num_nodes) * 0.001});
+      }
+  std::sort(shapes.begin(), shapes.end(),
+            [](const Shape& a, const Shape& b) { return a.badness < b.badness; });
+
+  for (const Shape& shape : shapes) {
+    for (int ox = 0; ox < torus.dim_x(); ++ox)
+      for (int oy = 0; oy < torus.dim_y(); ++oy)
+        for (int oz = 0; oz < torus.dim_z(); ++oz) {
+          std::vector<TorusNodeId> nodes;
+          nodes.reserve(static_cast<std::size_t>(num_nodes));
+          bool ok = true;
+          for (int dz = 0; ok && dz < shape.sz; ++dz)
+            for (int dy = 0; ok && dy < shape.sy; ++dy)
+              for (int dx = 0; ok && dx < shape.sx; ++dx) {
+                TorusCoord c{ox + dx, oy + dy, oz + dz};
+                const TorusNodeId n = torus.id_of(c);
+                if (!state.is_free(n)) {
+                  ok = false;
+                  break;
+                }
+                if (static_cast<int>(nodes.size()) < num_nodes)
+                  nodes.push_back(n);
+              }
+          if (ok) {
+            nodes.resize(static_cast<std::size_t>(num_nodes));
+            return nodes;
+          }
+        }
+  }
+  return std::nullopt;  // free space exists but no free cuboid fits
+}
+
+std::optional<std::vector<TorusNodeId>> first_fit_allocation(
+    const TorusState& state, int num_nodes) {
+  COMMSCHED_ASSERT(num_nodes >= 1);
+  if (state.total_free() < num_nodes) return std::nullopt;
+  std::vector<TorusNodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(num_nodes));
+  for (TorusNodeId n = 0; n < state.torus().node_count(); ++n) {
+    if (!state.is_free(n)) continue;
+    nodes.push_back(n);
+    if (static_cast<int>(nodes.size()) == num_nodes) return nodes;
+  }
+  return std::nullopt;
+}
+
+}  // namespace commsched

@@ -1,0 +1,111 @@
+// 3D-torus topology extension — the paper's §7 future work ("we would also
+// like to extend our optimizations to other topologies using appropriate
+// contention factor").
+//
+// Intrepid and Mira are physically Blue Gene tori; the paper evaluates them
+// as trees because that is what SLURM's topology plugin models. This module
+// carries the paper's machinery over to the real geometry:
+//
+//   d(i,j)  = wraparound Manhattan distance                  (replaces Eq. 4)
+//   C(i,j)  = fraction of communication-intensive nodes inside the minimal
+//             routing box spanned by i and j — the region whose links
+//             dimension-ordered routing can use                (replaces Eqs. 2-3)
+//   Hops    = d * (1 + C)                                     (Eq. 5 unchanged)
+//   Cost    = sum over steps of max-pair Hops                 (Eq. 6 unchanged)
+//
+// and provides the torus analogue of the balanced allocator: compact
+// sub-cuboid partitions (what the Blue Gene control system actually handed
+// out) versus scattered free nodes. bench_torus quantifies the gap.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "collectives/schedule.hpp"
+
+namespace commsched {
+
+using TorusNodeId = std::int32_t;
+
+struct TorusCoord {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+  bool operator==(const TorusCoord&) const = default;
+};
+
+/// Immutable X x Y x Z torus geometry with wraparound links.
+class Torus {
+ public:
+  Torus(int x, int y, int z);
+
+  int dim_x() const noexcept { return x_; }
+  int dim_y() const noexcept { return y_; }
+  int dim_z() const noexcept { return z_; }
+  int node_count() const noexcept { return x_ * y_ * z_; }
+
+  TorusCoord coord_of(TorusNodeId n) const;
+  TorusNodeId id_of(const TorusCoord& c) const;  ///< coordinates wrap
+
+  /// Wraparound (shortest-path) distance along one dimension of size `dim`.
+  static int ring_distance(int a, int b, int dim);
+
+  /// Manhattan distance with wraparound — the dimension-ordered hop count.
+  int distance(TorusNodeId a, TorusNodeId b) const;
+
+ private:
+  int x_, y_, z_;
+};
+
+/// Node occupancy on a torus (the ClusterState analogue, reduced to what
+/// the cost evaluation needs: who is busy and who is communication-heavy).
+class TorusState {
+ public:
+  explicit TorusState(const Torus& torus);
+
+  const Torus& torus() const noexcept { return *torus_; }
+
+  void occupy(std::span<const TorusNodeId> nodes, bool comm_intensive);
+  void release(std::span<const TorusNodeId> nodes);
+
+  bool is_free(TorusNodeId n) const;
+  bool is_comm(TorusNodeId n) const;
+  int total_free() const noexcept { return free_; }
+
+ private:
+  const Torus* torus_;
+  std::vector<char> busy_;
+  std::vector<char> comm_;
+  int free_ = 0;
+};
+
+/// §7's "appropriate contention factor": the communication-intensive node
+/// density inside the minimal wraparound box spanned by a and b (the links
+/// dimension-ordered routing may traverse). In [0, 1].
+double torus_contention(const TorusState& state, TorusNodeId a,
+                        TorusNodeId b);
+
+/// Hops(i,j) = d(i,j) * (1 + C(i,j)); 0 for i == j.
+double torus_effective_hops(const TorusState& state, TorusNodeId a,
+                            TorusNodeId b);
+
+/// Eq. 6 over a rank -> node map and a collective schedule.
+double torus_cost(const TorusState& state,
+                  std::span<const TorusNodeId> nodes,
+                  const CommSchedule& schedule);
+
+/// Compact-partition allocation (the Blue Gene analogue of the balanced
+/// policy): the free sub-cuboid with the smallest surface that holds
+/// `num_nodes`, filled in x-major order. std::nullopt when no free cuboid
+/// of the required volume exists.
+std::optional<std::vector<TorusNodeId>> cuboid_allocation(
+    const TorusState& state, int num_nodes);
+
+/// Baseline scatter: the first `num_nodes` free nodes in id order (what a
+/// topology-oblivious allocator hands out on a fragmented machine).
+std::optional<std::vector<TorusNodeId>> first_fit_allocation(
+    const TorusState& state, int num_nodes);
+
+}  // namespace commsched

@@ -1,0 +1,42 @@
+// Invariant checking for commsched.
+//
+// COMMSCHED_ASSERT is an always-on precondition/invariant check (these guards
+// sit on scheduling decisions, not inner loops, so the cost is negligible).
+// Violations throw commsched::InvariantError so tests can assert on them and
+// long-running simulations fail loudly instead of corrupting state.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace commsched {
+
+/// Thrown when an internal invariant or precondition is violated.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::string what = std::string("invariant violated: ") + expr + " at " +
+                     file + ":" + std::to_string(line);
+  if (!msg.empty()) what += " (" + msg + ")";
+  throw InvariantError(what);
+}
+}  // namespace detail
+
+}  // namespace commsched
+
+#define COMMSCHED_ASSERT(expr)                                              \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::commsched::detail::assert_fail(#expr, __FILE__, __LINE__, "");      \
+  } while (false)
+
+#define COMMSCHED_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::commsched::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
+  } while (false)

@@ -1,0 +1,122 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace commsched {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t splitmix64(std::uint64_t& s) noexcept {
+  s += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  COMMSCHED_ASSERT(lo <= hi);
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>((*this)());  // full range
+  // Lemire-style rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % range);
+  std::uint64_t x;
+  do {
+    x = (*this)();
+  } while (x > limit);
+  return lo + static_cast<std::int64_t>(x % range);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  COMMSCHED_ASSERT(lo <= hi);
+  // 53 random bits -> [0, 1) double.
+  const double u = static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  return lo + u * (hi - lo);
+}
+
+double Rng::normal() {
+  // Box–Muller; reject u1 == 0 so log() is finite.
+  double u1 = 0.0;
+  while (u1 == 0.0) u1 = uniform_real(0.0, 1.0);
+  const double u2 = uniform_real(0.0, 1.0);
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(mu + sigma * normal());
+}
+
+double Rng::exponential(double mean) {
+  COMMSCHED_ASSERT(mean > 0.0);
+  double u = 0.0;
+  while (u == 0.0) u = uniform_real(0.0, 1.0);
+  return -mean * std::log(u);
+}
+
+double Rng::weibull(double shape, double scale) {
+  COMMSCHED_ASSERT(shape > 0.0 && scale > 0.0);
+  double u = 0.0;
+  while (u == 0.0) u = uniform_real(0.0, 1.0);
+  return scale * std::pow(-std::log(u), 1.0 / shape);
+}
+
+bool Rng::bernoulli(double p) {
+  COMMSCHED_ASSERT(p >= 0.0 && p <= 1.0);
+  return uniform_real(0.0, 1.0) < p;
+}
+
+std::size_t Rng::discrete(std::span<const double> weights) {
+  COMMSCHED_ASSERT(!weights.empty());
+  double total = 0.0;
+  for (const double w : weights) {
+    COMMSCHED_ASSERT_MSG(w >= 0.0, "discrete() weights must be non-negative");
+    total += w;
+  }
+  COMMSCHED_ASSERT_MSG(total > 0.0, "discrete() weights must not all be zero");
+  double x = uniform_real(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge: fell off the end
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  COMMSCHED_ASSERT(k <= n);
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  // Partial Fisher–Yates: after k swaps the first k entries are the sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(
+        uniform_int(static_cast<std::int64_t>(i), static_cast<std::int64_t>(n) - 1));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+}  // namespace commsched

@@ -1,0 +1,78 @@
+// Deterministic random number generation for workload synthesis and
+// experiment sampling.
+//
+// All randomness in commsched flows through Rng so that every experiment is
+// reproducible from a single seed.  The generator is xoshiro256**, seeded via
+// SplitMix64, which is both fast and statistically strong — important when a
+// single benchmark draws millions of variates for synthetic job logs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace commsched {
+
+/// Deterministic PRNG (xoshiro256**) with distribution helpers.
+///
+/// Satisfies UniformRandomBitGenerator so it can also be handed to
+/// <random> distributions, but the built-in helpers below are preferred:
+/// they are guaranteed stable across standard-library implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  /// Next raw 64-bit value.
+  std::uint64_t operator()() noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Standard normal variate (Box–Muller, stable across platforms).
+  double normal();
+
+  /// Lognormal variate: exp(mu + sigma * N(0,1)).
+  double lognormal(double mu, double sigma);
+
+  /// Exponential variate with the given mean. Requires mean > 0.
+  double exponential(double mean);
+
+  /// Weibull variate with given shape k and scale lambda.
+  double weibull(double shape, double scale);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Index drawn from the discrete distribution given by `weights`
+  /// (non-negative, not all zero).
+  std::size_t discrete(std::span<const double> weights);
+
+  /// Fisher–Yates shuffle (stable across platforms, unlike std::shuffle).
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Draw k distinct indices from [0, n) in random order. Requires k <= n.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace commsched

@@ -1,0 +1,101 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace commsched {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return sum(xs) / static_cast<double>(xs.size());
+}
+
+double sum(std::span<const double> xs) {
+  double s = 0.0;
+  for (const double x : xs) s += x;
+  return s;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double percentile(std::span<const double> xs, double p) {
+  COMMSCHED_ASSERT(!xs.empty());
+  COMMSCHED_ASSERT(p >= 0.0 && p <= 100.0);
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v[0];
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= v.size()) return v.back();
+  return v[lo] * (1.0 - frac) + v[lo + 1] * frac;
+}
+
+double pearson_correlation(std::span<const double> xs,
+                           std::span<const double> ys) {
+  COMMSCHED_ASSERT(xs.size() == ys.size());
+  COMMSCHED_ASSERT(xs.size() >= 2);
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+Histogram::Histogram(std::vector<double> bin_edges) : edges(std::move(bin_edges)) {
+  COMMSCHED_ASSERT_MSG(edges.size() >= 2, "histogram needs at least one bin");
+  COMMSCHED_ASSERT_MSG(std::is_sorted(edges.begin(), edges.end()),
+                       "histogram edges must be sorted");
+  counts.assign(edges.size() - 1, 0);
+  sums.assign(edges.size() - 1, 0.0);
+}
+
+std::size_t Histogram::bin_of(double x) const {
+  if (x < edges.front()) return 0;
+  if (x >= edges.back()) return counts.size() - 1;
+  const auto it = std::upper_bound(edges.begin(), edges.end(), x);
+  const auto idx = static_cast<std::size_t>(it - edges.begin());
+  return idx == 0 ? 0 : idx - 1;
+}
+
+void Histogram::add(double x, double weight) {
+  const std::size_t b = bin_of(x);
+  counts[b] += 1;
+  sums[b] += weight;
+}
+
+double Histogram::bin_mean(std::size_t bin) const {
+  COMMSCHED_ASSERT(bin < counts.size());
+  return counts[bin] == 0 ? 0.0 : sums[bin] / static_cast<double>(counts[bin]);
+}
+
+}  // namespace commsched

@@ -1,0 +1,61 @@
+// Small descriptive-statistics toolkit used by the metrics and netsim layers:
+// running summaries, percentiles, Pearson correlation, and histogram binning.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace commsched {
+
+/// Single-pass running summary (Welford's algorithm for the variance).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< sample variance (n-1 denominator)
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+double mean(std::span<const double> xs);
+double sum(std::span<const double> xs);
+double median(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Requires non-empty input.
+double percentile(std::span<const double> xs, double p);
+
+/// Pearson correlation coefficient; 0 when either series is constant.
+/// Requires xs.size() == ys.size() and size >= 2.
+double pearson_correlation(std::span<const double> xs,
+                           std::span<const double> ys);
+
+/// A histogram over explicit bin edges: edges of size k+1 define k bins
+/// [e0,e1), [e1,e2), ..., [e_{k-1}, e_k]. Values outside are clamped into
+/// the first/last bin.
+struct Histogram {
+  std::vector<double> edges;
+  std::vector<std::size_t> counts;
+  std::vector<double> sums;  ///< per-bin sum of added values' weights
+
+  explicit Histogram(std::vector<double> bin_edges);
+  void add(double x, double weight = 1.0);
+  std::size_t bin_of(double x) const;
+  std::size_t bin_count() const { return counts.size(); }
+  /// Mean weight in the bin, 0 if the bin is empty.
+  double bin_mean(std::size_t bin) const;
+};
+
+}  // namespace commsched

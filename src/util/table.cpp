@@ -1,0 +1,105 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace commsched {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  COMMSCHED_ASSERT_MSG(rows_.empty(), "set_header before adding rows");
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (!header_.empty())
+    COMMSCHED_ASSERT_MSG(row.size() == header_.size(),
+                         "row width must match header width");
+  if (!rows_.empty())
+    COMMSCHED_ASSERT_MSG(row.size() == rows_.front().size(),
+                         "row width must match previous rows");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render(int indent) const {
+  const std::size_t ncols =
+      !header_.empty() ? header_.size() : (rows_.empty() ? 0 : rows_[0].size());
+  if (ncols == 0) return "";
+
+  std::vector<std::size_t> width(ncols, 0);
+  const auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < ncols; ++c)
+      width[c] = std::max(width[c], row[c].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream out;
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const auto emit = [&](const std::vector<std::string>& row) {
+    out << pad;
+    for (std::size_t c = 0; c < ncols; ++c) {
+      if (c) out << "  ";
+      out << row[c];
+      if (c + 1 < ncols)
+        out << std::string(width[c] - row[c].size(), ' ');
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    out << pad;
+    for (std::size_t c = 0; c < ncols; ++c) {
+      if (c) out << "  ";
+      out << std::string(width[c], '-');
+    }
+    out << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string TextTable::render_csv() const {
+  std::ostringstream out;
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << csv_escape(row[c]);
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+bool TextTable::write_csv(const std::string& path) const {
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return false;
+  f << render_csv();
+  return static_cast<bool>(f);
+}
+
+std::string cell(double v, int precision) { return format_double(v, precision); }
+
+}  // namespace commsched

@@ -1,0 +1,45 @@
+// Text-table and CSV rendering for benchmark harnesses.
+//
+// Benchmark binaries print tables shaped like the paper's (Table 3, Table 4,
+// ...) and also dump machine-readable CSV alongside.  TextTable handles
+// alignment and separators; the same cell matrix feeds both renderers.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace commsched {
+
+/// Column-aligned text table with an optional header row.
+class TextTable {
+ public:
+  /// Set the header row (also fixes the column count).
+  void set_header(std::vector<std::string> header);
+
+  /// Append a data row; must match the header width if a header was set.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows.
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render with column alignment, a rule under the header, and `indent`
+  /// leading spaces on every line.
+  std::string render(int indent = 0) const;
+
+  /// Render as CSV (RFC-4180 quoting where needed).
+  std::string render_csv() const;
+
+  /// Write the CSV rendering to a file, creating parent directories.
+  /// Returns false (and leaves no partial file) on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Convenience: "12.35" style fixed formatting (wraps format_double).
+std::string cell(double v, int precision = 2);
+
+}  // namespace commsched

@@ -1,0 +1,21 @@
+#include "workload/job.hpp"
+
+namespace commsched {
+
+JobLog filter_power_of_two(const JobLog& log) {
+  JobLog out;
+  out.reserve(log.size());
+  for (const auto& j : log)
+    if (is_power_of_two(j.num_nodes)) out.push_back(j);
+  return out;
+}
+
+double power_of_two_fraction(const JobLog& log) {
+  if (log.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const auto& j : log)
+    if (is_power_of_two(j.num_nodes)) ++n;
+  return static_cast<double>(n) / static_cast<double>(log.size());
+}
+
+}  // namespace commsched

@@ -1,0 +1,45 @@
+// Job-log records: everything the scheduler knows (or the paper assumes it
+// knows, §4: the communication class and dominant collective are "additional
+// input job parameters") about a submitted job.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "collectives/schedule.hpp"
+
+namespace commsched {
+
+using WorkloadJobId = std::int64_t;
+
+struct JobRecord {
+  WorkloadJobId id = 0;
+  double submit_time = 0.0;  ///< seconds from the log's epoch
+  int num_nodes = 0;         ///< whole-node request (select/linear)
+  double runtime = 0.0;      ///< logged execution time, seconds
+  double walltime = 0.0;     ///< user-requested limit, seconds (>= runtime)
+
+  // Paper extensions (filled in by the mix builders, §5.1/§6.2):
+  bool comm_intensive = false;
+  Pattern pattern = Pattern::kRecursiveDoubling;
+  double comm_fraction = 0.0;  ///< T_comm / T for communication-intensive jobs
+  double msize = 1 << 20;      ///< base collective message size, bytes
+
+  // §7 I/O-aware extension: comm_fraction + io_fraction <= 1.
+  bool io_intensive = false;
+  double io_fraction = 0.0;    ///< T_io / T for I/O-intensive jobs
+};
+
+using JobLog = std::vector<JobRecord>;
+
+/// True iff x is a power of two (x >= 1).
+constexpr bool is_power_of_two(int x) { return x >= 1 && (x & (x - 1)) == 0; }
+
+/// Keep only jobs with power-of-two node requests (§5.1: "we consider jobs
+/// with power-of-two node requirements ... also found in the logs").
+JobLog filter_power_of_two(const JobLog& log);
+
+/// Fraction of jobs with power-of-two requests (0 for an empty log).
+double power_of_two_fraction(const JobLog& log);
+
+}  // namespace commsched

@@ -1,0 +1,102 @@
+#include "workload/mixes.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace commsched {
+
+MixSpec uniform_mix(Pattern pattern, double comm_percent,
+                    double comm_fraction) {
+  MixSpec spec;
+  spec.name = pattern_name(pattern);
+  spec.comm_percent = comm_percent;
+  spec.comm_fraction = comm_fraction;
+  spec.patterns = {{pattern, 1.0}};
+  return spec;
+}
+
+MixSpec experiment_set(char which) {
+  MixSpec spec;
+  spec.comm_percent = 0.9;  // §6.2: "90% jobs ... spent significant time"
+  switch (which) {
+    case 'A':
+      spec.name = "A (67% compute, 33% RHVD)";
+      spec.comm_fraction = 0.33;
+      spec.patterns = {{Pattern::kRecursiveHalvingVD, 1.0}};
+      break;
+    case 'B':
+      spec.name = "B (50% compute, 50% RHVD)";
+      spec.comm_fraction = 0.50;
+      spec.patterns = {{Pattern::kRecursiveHalvingVD, 1.0}};
+      break;
+    case 'C':
+      spec.name = "C (30% compute, 70% RHVD)";
+      spec.comm_fraction = 0.70;
+      spec.patterns = {{Pattern::kRecursiveHalvingVD, 1.0}};
+      break;
+    case 'D':
+      spec.name = "D (50% compute, 15% RD + 35% Binomial)";
+      spec.comm_fraction = 0.50;
+      spec.patterns = {{Pattern::kRecursiveDoubling, 15.0},
+                       {Pattern::kBinomial, 35.0}};
+      break;
+    case 'E':
+      spec.name = "E (30% compute, 21% RD + 49% Binomial)";
+      spec.comm_fraction = 0.70;
+      spec.patterns = {{Pattern::kRecursiveDoubling, 21.0},
+                       {Pattern::kBinomial, 49.0}};
+      break;
+    default:
+      COMMSCHED_ASSERT_MSG(false, "experiment set must be 'A'..'E'");
+  }
+  return spec;
+}
+
+void apply_mix(JobLog& log, const MixSpec& spec, std::uint64_t seed) {
+  COMMSCHED_ASSERT(spec.comm_percent >= 0.0 && spec.comm_percent <= 1.0);
+  COMMSCHED_ASSERT(spec.comm_fraction >= 0.0 && spec.comm_fraction <= 1.0);
+  COMMSCHED_ASSERT(spec.io_percent >= 0.0 && spec.io_percent <= 1.0);
+  COMMSCHED_ASSERT(spec.io_fraction >= 0.0 && spec.io_fraction <= 1.0);
+  COMMSCHED_ASSERT_MSG(spec.comm_fraction + spec.io_fraction <= 1.0,
+                       "comm and I/O fractions exceed the runtime");
+  COMMSCHED_ASSERT(!spec.patterns.empty());
+  Rng rng(seed);
+
+  const auto n_comm = static_cast<std::size_t>(
+      std::lround(spec.comm_percent * static_cast<double>(log.size())));
+  const auto chosen = rng.sample_without_replacement(log.size(), n_comm);
+  std::vector<bool> is_comm(log.size(), false);
+  for (const std::size_t idx : chosen) is_comm[idx] = true;
+  std::vector<bool> is_io(log.size(), false);
+  if (spec.io_percent > 0.0) {
+    const auto n_io = static_cast<std::size_t>(
+        std::lround(spec.io_percent * static_cast<double>(log.size())));
+    for (const std::size_t idx :
+         rng.sample_without_replacement(log.size(), n_io))
+      is_io[idx] = true;
+  }
+
+  std::vector<double> weights;
+  weights.reserve(spec.patterns.size());
+  for (const auto& c : spec.patterns) weights.push_back(c.weight);
+
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    auto& job = log[i];
+    job.msize = spec.msize;
+    if (is_comm[i]) {
+      job.comm_intensive = true;
+      job.comm_fraction = spec.comm_fraction;
+      job.pattern = spec.patterns[rng.discrete(weights)].pattern;
+    } else {
+      job.comm_intensive = false;
+      job.comm_fraction = 0.0;
+      job.pattern = Pattern::kRecursiveDoubling;  // irrelevant, kept defined
+    }
+    job.io_intensive = is_io[i];
+    job.io_fraction = is_io[i] ? spec.io_fraction : 0.0;
+  }
+}
+
+}  // namespace commsched

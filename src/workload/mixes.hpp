@@ -1,0 +1,65 @@
+// Job-mix builders: mark a fraction of a log's jobs communication-intensive
+// and assign each one a dominant collective pattern and a communication
+// fraction (T_comm / T).
+//
+// Covers both evaluation axes of the paper:
+//   - §5.1 / §6.5: the communication-intensive percentage sweep (30/60/90%),
+//     with a uniform pattern per run (uniform_mix);
+//   - §6.2: experiment sets A-E, mixing compute/communication ratios and
+//     patterns within the log (CMC2D-like D/E combine RD and binomial).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace commsched {
+
+/// One pattern option within a mix, with its share of the job's
+/// communication time. Shares are normalized over the mix.
+struct MixComponent {
+  Pattern pattern = Pattern::kRecursiveDoubling;
+  double weight = 1.0;
+};
+
+/// How to decorate a log with communication attributes.
+struct MixSpec {
+  std::string name;
+  /// Fraction of jobs marked communication-intensive (paper: 0.3-0.9).
+  double comm_percent = 0.9;
+  /// T_comm / T within each communication-intensive job.
+  double comm_fraction = 0.5;
+  /// Pattern choices for communication-intensive jobs (weighted draw).
+  std::vector<MixComponent> patterns{{Pattern::kRecursiveDoubling, 1.0}};
+  /// Base collective message size in bytes.
+  double msize = 1 << 20;
+
+  // §7 I/O-aware extension: a further fraction of jobs (drawn independently
+  // of the communication class) is marked I/O-intensive with the given
+  // T_io / T share. For jobs that end up both communication- and
+  // I/O-intensive, comm_fraction + io_fraction must stay <= 1.
+  double io_percent = 0.0;
+  double io_fraction = 0.0;
+};
+
+/// Every job with the same pattern: the Table 3 / Figure 8 / Figure 9 setup.
+MixSpec uniform_mix(Pattern pattern, double comm_percent = 0.9,
+                    double comm_fraction = 0.5);
+
+/// The paper's §6.2 experiment sets:
+///   A: 67% compute, 33% RHVD        B: 50% compute, 50% RHVD
+///   C: 30% compute, 70% RHVD        D: 50% compute, 15% RD + 35% binomial
+///   E: 30% compute, 21% RD + 49% binomial
+/// All with 90% of jobs communication-intensive. `which` in 'A'..'E'.
+MixSpec experiment_set(char which);
+
+/// Apply a mix to a log in place, deterministically from `seed`: exactly
+/// round(comm_percent * size) jobs (chosen uniformly) become
+/// communication-intensive with the spec's comm_fraction, msize and a
+/// weighted-random pattern; the rest become compute-intensive
+/// (comm_fraction 0).
+void apply_mix(JobLog& log, const MixSpec& spec, std::uint64_t seed);
+
+}  // namespace commsched

@@ -1,0 +1,68 @@
+#include "workload/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace commsched {
+
+LogStats compute_log_stats(const JobLog& log, int machine_nodes) {
+  LogStats s;
+  s.job_count = log.size();
+  if (log.empty()) return s;
+
+  std::vector<double> runtimes;
+  runtimes.reserve(log.size());
+  double node_sum = 0.0;
+  double node_seconds = 0.0;
+  double first_submit = log.front().submit_time;
+  double last_submit = log.front().submit_time;
+  std::size_t pow2 = 0, comm = 0;
+  s.min_nodes = log.front().num_nodes;
+  s.max_nodes = log.front().num_nodes;
+  for (const JobRecord& j : log) {
+    s.min_nodes = std::min(s.min_nodes, j.num_nodes);
+    s.max_nodes = std::max(s.max_nodes, j.num_nodes);
+    node_sum += j.num_nodes;
+    runtimes.push_back(j.runtime);
+    node_seconds += static_cast<double>(j.num_nodes) * j.runtime;
+    first_submit = std::min(first_submit, j.submit_time);
+    last_submit = std::max(last_submit, j.submit_time);
+    if (is_power_of_two(j.num_nodes)) ++pow2;
+    if (j.comm_intensive) ++comm;
+  }
+  const auto n = static_cast<double>(log.size());
+  s.mean_nodes = node_sum / n;
+  s.power_of_two_fraction = static_cast<double>(pow2) / n;
+  s.comm_job_fraction = static_cast<double>(comm) / n;
+  s.min_runtime = *std::min_element(runtimes.begin(), runtimes.end());
+  s.max_runtime = *std::max_element(runtimes.begin(), runtimes.end());
+  s.median_runtime = median(runtimes);
+  s.span_seconds = last_submit - first_submit;
+  if (machine_nodes > 0 && s.span_seconds > 0.0)
+    s.offered_load =
+        node_seconds / (s.span_seconds * static_cast<double>(machine_nodes));
+  return s;
+}
+
+std::string format_log_stats(const std::string& name, const LogStats& stats) {
+  std::ostringstream out;
+  out << name << ": " << stats.job_count << " jobs\n"
+      << "  nodes/job: " << stats.min_nodes << " - " << stats.max_nodes
+      << " (mean " << format_double(stats.mean_nodes, 1) << ", "
+      << format_double(stats.power_of_two_fraction * 100.0, 1)
+      << "% power of two)\n"
+      << "  runtime:   " << format_double(stats.min_runtime, 0) << " - "
+      << format_double(stats.max_runtime, 0) << " s (median "
+      << format_double(stats.median_runtime, 0) << " s)\n"
+      << "  span:      " << format_double(stats.span_seconds / 3600.0, 1)
+      << " h, offered load " << format_double(stats.offered_load, 2) << "\n"
+      << "  comm jobs: " << format_double(stats.comm_job_fraction * 100.0, 1)
+      << "%\n";
+  return out.str();
+}
+
+}  // namespace commsched

@@ -1,0 +1,39 @@
+// Descriptive statistics of a job log — the §5.1 characterization the paper
+// gives for its three logs (max request, power-of-two share, job counts),
+// plus runtime/size distributions and offered load. Used by log_replay and
+// the workload tests to verify synthetic logs match the paper's marginals.
+#pragma once
+
+#include <string>
+
+#include "workload/job.hpp"
+
+namespace commsched {
+
+struct LogStats {
+  std::size_t job_count = 0;
+  int min_nodes = 0;
+  int max_nodes = 0;
+  double mean_nodes = 0.0;
+  double power_of_two_fraction = 0.0;
+
+  double min_runtime = 0.0;
+  double median_runtime = 0.0;
+  double max_runtime = 0.0;
+
+  double span_seconds = 0.0;  ///< last submit - first submit
+  /// Total node-seconds divided by (machine_nodes * span); the demand the
+  /// log offers relative to machine capacity.
+  double offered_load = 0.0;
+
+  double comm_job_fraction = 0.0;
+};
+
+/// Compute statistics; machine_nodes sizes the offered load (pass 0 to skip
+/// the load computation).
+LogStats compute_log_stats(const JobLog& log, int machine_nodes);
+
+/// Multi-line human-readable rendering.
+std::string format_log_stats(const std::string& name, const LogStats& stats);
+
+}  // namespace commsched

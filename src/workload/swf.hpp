@@ -1,0 +1,44 @@
+// Standard Workload Format (SWF) reader/writer.
+//
+// The paper's Intrepid log comes from the Parallel Workloads Archive, which
+// distributes logs in SWF: one job per line, 18 whitespace-separated fields,
+// ';'-prefixed header comments.  This reader lets real archive logs (e.g.
+// ANL-Intrepid-2009-1.swf) drive the simulator in place of the bundled
+// synthetic generators; the writer round-trips logs for tests and lets users
+// export synthetic logs.
+//
+// Field map (1-based, per the archive spec): 1 job id, 2 submit, 3 wait,
+// 4 run time, 5 allocated processors, 8 requested processors, 9 requested
+// time.  Processor counts convert to nodes via cores_per_node.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/job.hpp"
+
+namespace commsched {
+
+struct SwfOptions {
+  /// Processors-per-node divisor (Intrepid 4, Mira 16, Theta 64).
+  int cores_per_node = 1;
+  /// Keep at most this many valid jobs (0 = no limit). The paper uses 1000
+  /// jobs per log.
+  std::size_t max_jobs = 0;
+  /// Drop jobs whose runtime or processor count is missing/non-positive.
+  bool drop_invalid = true;
+};
+
+/// Parse an SWF stream. Throws ParseError on malformed lines (field count
+/// or non-numeric fields); invalid-but-well-formed jobs are dropped or kept
+/// per options.drop_invalid.
+JobLog parse_swf(std::istream& in, const SwfOptions& options = {});
+
+/// Parse an SWF file from disk. Throws ParseError if unreadable.
+JobLog load_swf(const std::string& path, const SwfOptions& options = {});
+
+/// Render a JobLog as SWF text (fields we do not model are written as -1).
+/// Node counts are multiplied back by cores_per_node.
+std::string write_swf(const JobLog& log, int cores_per_node = 1);
+
+}  // namespace commsched

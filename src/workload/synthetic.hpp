@@ -1,0 +1,77 @@
+// Synthetic supercomputer job logs (DESIGN.md §3, substitution 2).
+//
+// The paper evaluates on 1000-job slices of the Intrepid (2009), Theta
+// (2018) and Mira (2019) logs, which we cannot redistribute.  These
+// generators produce logs with the marginals the paper states:
+//   - Intrepid: 40K-node machine, requests up to 40960, >99% power of two;
+//   - Theta:    4392-node machine, requests up to 512, ~90% power of two;
+//   - Mira:     48K-node machine, requests up to 16384, >99% power of two;
+// with heavy-tailed (lognormal) runtimes and Poisson arrivals whose rate is
+// calibrated to a target offered load, so queueing behaviour (and therefore
+// wait-time effects) resembles the corresponding machine.  Real SWF logs can
+// replace these via workload/swf.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace commsched {
+
+/// Statistical description of one machine's log.
+struct LogProfile {
+  std::string name;
+
+  int machine_nodes = 0;  ///< cluster size the log belongs to
+
+  // Node-request distribution: a power-of-two request draws its exponent
+  // uniformly from [min_exp, max_exp]; with probability
+  // (1 - pow2_fraction) the request is instead uniform in
+  // [2^min_exp, 2^max_exp] (Theta's log has ~10% such jobs).
+  int min_exp = 0;
+  int max_exp = 0;
+  double pow2_fraction = 1.0;
+
+  // Runtime: lognormal(log_median, sigma) seconds, clamped.
+  double runtime_log_median = 0.0;  ///< ln(median runtime in seconds)
+  double runtime_sigma = 1.0;
+  double min_runtime = 60.0;
+  double max_runtime = 12.0 * 3600.0;
+
+  // Requested walltime = runtime * U[factor_lo, factor_hi].
+  double walltime_factor_lo = 1.1;
+  double walltime_factor_hi = 3.0;
+
+  // Arrivals: exponential inter-arrival gaps with the rate chosen so the
+  // offered load (sum of node-seconds per wall-clock second, relative to
+  // machine_nodes) equals target_load. >1 builds a backlog like Theta's.
+  double target_load = 0.8;
+
+  // Diurnal modulation of the arrival rate: gap lengths are scaled by
+  // 1 / (1 + amplitude * sin(2*pi*t/day)), so amplitude 0 keeps Poisson
+  // arrivals and amplitude near 1 concentrates submissions into daily
+  // bursts (the shape real center logs show). Must be in [0, 1).
+  double diurnal_amplitude = 0.0;
+
+  // Walltime-accuracy realism: with this probability a job requests the
+  // queue's default limit instead of an informed estimate — the classic
+  // "users ask for the maximum" effect that degrades backfill quality.
+  double default_walltime_fraction = 0.0;
+  double default_walltime = 12.0 * 3600.0;
+};
+
+LogProfile intrepid_profile();
+LogProfile theta_profile();
+LogProfile mira_profile();
+
+/// All three paper profiles, in paper row order (Intrepid, Theta, Mira).
+std::vector<LogProfile> paper_profiles();
+
+/// Generate `n_jobs` jobs deterministically from `seed`. Jobs are returned
+/// in submit-time order with ids 1..n; communication attributes are left for
+/// the mix builders (workload/mixes.hpp).
+JobLog generate_log(const LogProfile& profile, int n_jobs, std::uint64_t seed);
+
+}  // namespace commsched

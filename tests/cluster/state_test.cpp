@@ -1,0 +1,178 @@
+#include "cluster/state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "topology/builders.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace commsched {
+namespace {
+
+class ClusterStateTest : public ::testing::Test {
+ protected:
+  ClusterStateTest() : tree_(make_figure2_tree()), state_(tree_) {}
+  Tree tree_;
+  ClusterState state_;
+};
+
+TEST_F(ClusterStateTest, StartsAllFree) {
+  EXPECT_EQ(state_.total_free(), 8);
+  EXPECT_EQ(state_.job_count(), 0u);
+  for (NodeId n = 0; n < 8; ++n) {
+    EXPECT_TRUE(state_.is_free(n));
+    EXPECT_EQ(state_.owner(n), kInvalidJob);
+  }
+  for (const SwitchId leaf : tree_.leaves()) {
+    EXPECT_EQ(state_.leaf_busy(leaf), 0);
+    EXPECT_EQ(state_.leaf_comm(leaf), 0);
+    EXPECT_EQ(state_.leaf_free(leaf), 4);
+    EXPECT_EQ(state_.leaf_nodes(leaf), 4);
+  }
+}
+
+TEST_F(ClusterStateTest, AllocateUpdatesCounters) {
+  const std::vector<NodeId> nodes{0, 1, 4};
+  state_.allocate(7, /*comm_intensive=*/true, nodes);
+  EXPECT_EQ(state_.total_free(), 5);
+  EXPECT_FALSE(state_.is_free(0));
+  EXPECT_EQ(state_.owner(0), 7);
+  const SwitchId s0 = *tree_.switch_by_name("s0");
+  const SwitchId s1 = *tree_.switch_by_name("s1");
+  EXPECT_EQ(state_.leaf_busy(s0), 2);
+  EXPECT_EQ(state_.leaf_comm(s0), 2);
+  EXPECT_EQ(state_.leaf_busy(s1), 1);
+  EXPECT_EQ(state_.leaf_comm(s1), 1);
+  EXPECT_EQ(state_.free_under(tree_.root()), 5);
+  EXPECT_EQ(state_.free_under(s0), 2);
+  state_.validate();
+}
+
+TEST_F(ClusterStateTest, ComputeJobDoesNotCountAsComm) {
+  state_.allocate(1, /*comm_intensive=*/false, std::vector<NodeId>{0, 1});
+  const SwitchId s0 = *tree_.switch_by_name("s0");
+  EXPECT_EQ(state_.leaf_busy(s0), 2);
+  EXPECT_EQ(state_.leaf_comm(s0), 0);
+}
+
+TEST_F(ClusterStateTest, ReleaseRestoresEverything) {
+  state_.allocate(1, true, std::vector<NodeId>{0, 1, 2});
+  state_.allocate(2, false, std::vector<NodeId>{4, 5});
+  state_.release(1);
+  EXPECT_EQ(state_.total_free(), 6);
+  EXPECT_TRUE(state_.is_free(0));
+  const SwitchId s0 = *tree_.switch_by_name("s0");
+  EXPECT_EQ(state_.leaf_busy(s0), 0);
+  EXPECT_EQ(state_.leaf_comm(s0), 0);
+  state_.release(2);
+  EXPECT_EQ(state_.total_free(), 8);
+  EXPECT_EQ(state_.job_count(), 0u);
+  state_.validate();
+}
+
+TEST_F(ClusterStateTest, JobNodesPreservesOrder) {
+  const std::vector<NodeId> nodes{5, 2, 7};
+  state_.allocate(3, true, nodes);
+  const auto got = state_.job_nodes(3);
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), nodes.begin(), nodes.end()));
+  EXPECT_TRUE(state_.job_is_comm(3));
+}
+
+TEST_F(ClusterStateTest, FreeNodesOfLeafAscending) {
+  state_.allocate(1, true, std::vector<NodeId>{1, 2});
+  const SwitchId s0 = *tree_.switch_by_name("s0");
+  EXPECT_EQ(state_.free_nodes_of_leaf(s0), (std::vector<NodeId>{0, 3}));
+}
+
+TEST_F(ClusterStateTest, DoubleAllocationOfNodeThrows) {
+  state_.allocate(1, true, std::vector<NodeId>{0});
+  EXPECT_THROW(state_.allocate(2, true, std::vector<NodeId>{0}),
+               InvariantError);
+  // Failed allocation must not leak partial state.
+  EXPECT_EQ(state_.total_free(), 7);
+  state_.validate();
+}
+
+TEST_F(ClusterStateTest, DuplicateNodesInRequestThrow) {
+  EXPECT_THROW(state_.allocate(1, true, std::vector<NodeId>{2, 2}),
+               InvariantError);
+  EXPECT_EQ(state_.total_free(), 8);
+}
+
+TEST_F(ClusterStateTest, ReusedJobIdThrows) {
+  state_.allocate(1, true, std::vector<NodeId>{0});
+  EXPECT_THROW(state_.allocate(1, true, std::vector<NodeId>{1}),
+               InvariantError);
+}
+
+TEST_F(ClusterStateTest, ReleaseUnknownJobThrows) {
+  EXPECT_THROW(state_.release(99), InvariantError);
+}
+
+TEST_F(ClusterStateTest, EmptyAllocationThrows) {
+  EXPECT_THROW(state_.allocate(1, true, std::vector<NodeId>{}),
+               InvariantError);
+}
+
+TEST_F(ClusterStateTest, OutOfRangeNodeThrows) {
+  EXPECT_THROW(state_.allocate(1, true, std::vector<NodeId>{8}),
+               InvariantError);
+  EXPECT_THROW(state_.allocate(2, true, std::vector<NodeId>{-1}),
+               InvariantError);
+}
+
+TEST(ClusterStateThreeLevelTest, SubtreeFreeCountsPropagate) {
+  const Tree tree = make_three_level_tree(2, 2, 4);
+  ClusterState state(tree);
+  // Allocate 3 nodes on leaf 0 (nodes 0-3) and 1 on leaf 2 (nodes 8-11).
+  state.allocate(1, true, std::vector<NodeId>{0, 1, 2});
+  state.allocate(2, false, std::vector<NodeId>{8});
+  const auto level2 = tree.switches_at_level(2);
+  ASSERT_EQ(level2.size(), 2u);
+  EXPECT_EQ(state.free_under(level2[0]), 5);  // 8 - 3
+  EXPECT_EQ(state.free_under(level2[1]), 7);  // 8 - 1
+  EXPECT_EQ(state.free_under(tree.root()), 12);
+  state.validate();
+}
+
+// Property sweep: random allocate/release sequences keep every incremental
+// counter consistent with a from-scratch recomputation.
+class ClusterStateRandomOps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClusterStateRandomOps, ValidateAfterEveryStep) {
+  const Tree tree = make_three_level_tree(2, 4, 8);  // 64 nodes
+  ClusterState state(tree);
+  Rng rng(GetParam());
+  std::vector<JobId> live;
+  JobId next = 1;
+  for (int step = 0; step < 300; ++step) {
+    const bool do_alloc = live.empty() || (state.total_free() > 0 &&
+                                           rng.bernoulli(0.6));
+    if (do_alloc) {
+      const int want = static_cast<int>(
+          rng.uniform_int(1, std::min(state.total_free(), 12)));
+      std::vector<NodeId> nodes;
+      for (NodeId n = 0; n < tree.node_count() &&
+                         static_cast<int>(nodes.size()) < want; ++n)
+        if (state.is_free(n) && rng.bernoulli(0.5)) nodes.push_back(n);
+      if (nodes.empty()) continue;
+      state.allocate(next, rng.bernoulli(0.5), nodes);
+      live.push_back(next++);
+    } else {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      state.release(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    state.validate();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterStateRandomOps,
+                         ::testing::Values(1, 7, 42, 1234, 987654));
+
+}  // namespace
+}  // namespace commsched

@@ -1,0 +1,128 @@
+// Parameterized property sweep over all four allocation policies, several
+// machine shapes, request sizes and occupancy patterns.  These are the
+// invariants every policy must uphold regardless of its placement strategy:
+//   1. exactly N nodes, all distinct, all currently free;
+//   2. success iff the machine has N free nodes at all;
+//   3. determinism (same state + request -> same answer);
+//   4. selection never mutates the cluster state.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "cluster/state.hpp"
+#include "core/allocator_factory.hpp"
+#include "topology/builders.hpp"
+#include "util/rng.hpp"
+
+namespace commsched {
+namespace {
+
+struct PropertyCase {
+  const char* machine;
+  AllocatorKind kind;
+  int request;
+  std::uint64_t occupancy_seed;
+  double occupancy;
+  bool comm_intensive;
+};
+
+void occupy_randomly(ClusterState& state, double fraction, std::uint64_t seed) {
+  Rng rng(seed);
+  const Tree& tree = state.tree();
+  const auto target =
+      static_cast<int>(fraction * static_cast<double>(tree.node_count()));
+  std::vector<NodeId> nodes;
+  JobId job = 1;
+  int occupied = 0;
+  while (occupied < target) {
+    nodes.clear();
+    const int chunk = static_cast<int>(rng.uniform_int(1, 16));
+    for (NodeId n = 0; n < tree.node_count() &&
+                       static_cast<int>(nodes.size()) < chunk; ++n)
+      if (state.is_free(n) && rng.bernoulli(0.25)) nodes.push_back(n);
+    if (nodes.empty()) break;
+    state.allocate(job++, rng.bernoulli(0.5), nodes);
+    occupied += static_cast<int>(nodes.size());
+  }
+}
+
+class AllocatorPropertyTest : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(AllocatorPropertyTest, SelectionInvariants) {
+  const PropertyCase& param = GetParam();
+  const Tree tree = make_machine(param.machine);
+  ClusterState state(tree);
+  occupy_randomly(state, param.occupancy, param.occupancy_seed);
+  const int free_before = state.total_free();
+
+  AllocationRequest request;
+  request.job = 7777;
+  request.num_nodes = param.request;
+  request.comm_intensive = param.comm_intensive;
+  request.pattern = Pattern::kRecursiveHalvingVD;
+
+  const auto alloc = make_allocator(param.kind);
+  const auto nodes = alloc->select(state, request);
+
+  // (2) feasibility is exactly total_free >= N.
+  EXPECT_EQ(nodes.has_value(), free_before >= param.request);
+  // (4) selection never mutates state.
+  EXPECT_EQ(state.total_free(), free_before);
+  state.validate();
+  if (!nodes) return;
+
+  // (1) exactly N distinct, free nodes.
+  EXPECT_EQ(nodes->size(), static_cast<std::size_t>(param.request));
+  std::set<NodeId> unique(nodes->begin(), nodes->end());
+  EXPECT_EQ(unique.size(), nodes->size());
+  for (const NodeId n : *nodes) {
+    ASSERT_GE(n, 0);
+    ASSERT_LT(n, tree.node_count());
+    EXPECT_TRUE(state.is_free(n));
+  }
+
+  // (3) determinism.
+  const auto again = alloc->select(state, request);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*nodes, *again);
+
+  // The allocation must actually commit cleanly.
+  state.allocate(request.job, request.comm_intensive, *nodes);
+  state.validate();
+}
+
+std::vector<PropertyCase> make_cases() {
+  std::vector<PropertyCase> cases;
+  const AllocatorKind kinds[] = {AllocatorKind::kDefault,
+                                 AllocatorKind::kGreedy,
+                                 AllocatorKind::kBalanced,
+                                 AllocatorKind::kAdaptive};
+  const struct {
+    const char* machine;
+    std::vector<int> requests;
+  } shapes[] = {
+      {"figure2", {1, 2, 3, 5, 8}},
+      {"department", {1, 4, 8, 12, 32, 50}},
+      {"iitk", {2, 16, 17, 64, 100, 512}},
+  };
+  for (const auto& shape : shapes)
+    for (const AllocatorKind kind : kinds)
+      for (const int request : shape.requests)
+        for (const auto& [seed, occupancy] :
+             {std::pair<std::uint64_t, double>{11, 0.0},
+              {22, 0.4},
+              {33, 0.85}})
+          for (const bool comm : {true, false})
+            cases.push_back(
+                {shape.machine, kind, request, seed, occupancy, comm});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AllocatorPropertyTest,
+                         ::testing::ValuesIn(make_cases()));
+
+}  // namespace
+}  // namespace commsched

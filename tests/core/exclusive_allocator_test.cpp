@@ -1,0 +1,101 @@
+#include "core/exclusive_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/allocator_factory.hpp"
+#include "topology/builders.hpp"
+
+namespace commsched {
+namespace {
+
+AllocationRequest request_of(int nodes, bool comm = true) {
+  AllocationRequest r;
+  r.job = 321;
+  r.num_nodes = nodes;
+  r.comm_intensive = comm;
+  return r;
+}
+
+TEST(ExclusiveAllocatorTest, SmallJobGetsBestFittingIdleLeaf) {
+  // Leaves of 16 nodes; one leaf partially busy. A 4-node job must land on
+  // an entirely idle leaf, not the one with traffic.
+  const Tree tree = make_two_level_tree(3, 16);
+  ClusterState state(tree);
+  state.allocate(1, true, std::vector<NodeId>{0, 1});
+  const ExclusiveAllocator alloc;
+  const auto nodes = alloc.select(state, request_of(4));
+  ASSERT_TRUE(nodes.has_value());
+  const SwitchId leaf = tree.leaf_of((*nodes)[0]);
+  EXPECT_EQ(state.leaf_busy(leaf), 0);
+  for (const NodeId n : *nodes) EXPECT_EQ(tree.leaf_of(n), leaf);
+}
+
+TEST(ExclusiveAllocatorTest, RefusesWhenOnlySharedLeavesHaveRoom) {
+  // Both leaves have free nodes, but both already host a job -> exclusive
+  // refuses even though the count test passes.
+  const Tree tree = make_two_level_tree(2, 8);
+  ClusterState state(tree);
+  state.allocate(1, true, std::vector<NodeId>{0});
+  state.allocate(2, true, std::vector<NodeId>{8});
+  EXPECT_EQ(state.total_free(), 14);
+  const ExclusiveAllocator alloc;
+  EXPECT_FALSE(alloc.select(state, request_of(4)).has_value());
+}
+
+TEST(ExclusiveAllocatorTest, LargeJobSpansOnlyIdleLeaves) {
+  const Tree tree = make_two_level_tree(4, 8);
+  ClusterState state(tree);
+  state.allocate(1, false, std::vector<NodeId>{0});  // leaf 0 is tainted
+  const ExclusiveAllocator alloc;
+  const auto nodes = alloc.select(state, request_of(20));
+  ASSERT_TRUE(nodes.has_value());
+  EXPECT_EQ(nodes->size(), 20u);
+  std::set<SwitchId> used;
+  for (const NodeId n : *nodes) {
+    used.insert(tree.leaf_of(n));
+    EXPECT_NE(tree.leaf_of(n), tree.leaf_of(0));
+  }
+  EXPECT_EQ(used.size(), 3u);  // 8 + 8 + 4 from the three idle leaves
+}
+
+TEST(ExclusiveAllocatorTest, IgnoresJobType) {
+  const Tree tree = make_two_level_tree(2, 8);
+  const ClusterState state(tree);
+  const ExclusiveAllocator alloc;
+  EXPECT_EQ(*alloc.select(state, request_of(4, true)),
+            *alloc.select(state, request_of(4, false)));
+}
+
+TEST(ExclusiveAllocatorTest, EmptyMachineAcceptsFullMachineJob) {
+  const Tree tree = make_two_level_tree(2, 8);
+  const ClusterState state(tree);
+  const ExclusiveAllocator alloc;
+  const auto nodes = alloc.select(state, request_of(16));
+  ASSERT_TRUE(nodes.has_value());
+  EXPECT_EQ(nodes->size(), 16u);
+}
+
+TEST(ExclusiveAllocatorTest, FactoryIntegration) {
+  const auto alloc = make_allocator(AllocatorKind::kExclusive);
+  EXPECT_STREQ(alloc->name(), "exclusive");
+  EXPECT_EQ(allocator_kind_from_string("exclusive"),
+            AllocatorKind::kExclusive);
+  // Deliberately NOT part of the paper's policy set.
+  for (const AllocatorKind kind : kAllAllocatorKinds)
+    EXPECT_NE(kind, AllocatorKind::kExclusive);
+}
+
+TEST(ExclusiveAllocatorTest, SelectionDoesNotMutateState) {
+  const Tree tree = make_two_level_tree(2, 8);
+  ClusterState state(tree);
+  const ExclusiveAllocator alloc;
+  (void)alloc.select(state, request_of(4));
+  EXPECT_EQ(state.total_free(), 16);
+  state.validate();
+}
+
+}  // namespace
+}  // namespace commsched

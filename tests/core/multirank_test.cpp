@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/state.hpp"
+#include "core/cost_model.hpp"
+#include "topology/builders.hpp"
+#include "util/assert.hpp"
+
+namespace commsched {
+namespace {
+
+TEST(ExpandRanksPerNodeTest, BlockDistribution) {
+  const std::vector<NodeId> nodes{5, 9};
+  EXPECT_EQ(expand_ranks_per_node(nodes, 3),
+            (std::vector<NodeId>{5, 5, 5, 9, 9, 9}));
+  EXPECT_EQ(expand_ranks_per_node(nodes, 1), nodes);
+  EXPECT_THROW(expand_ranks_per_node(nodes, 0), InvariantError);
+}
+
+TEST(ExpandRanksPerNodeTest, IntraNodePairsAreFree) {
+  // 4 ranks on 2 nodes: RD step 0 pairs (0,1) and (2,3) stay on-node ->
+  // hops 0; step 1 pairs (0,2),(1,3) cross nodes.
+  const Tree tree = make_figure2_tree();
+  const ClusterState state(tree);
+  const CostModel model(tree);
+  const std::vector<NodeId> nodes{0, 4};  // different leaves
+  const auto ranks = expand_ranks_per_node(nodes, 2);
+  const auto sched = make_schedule(Pattern::kRecursiveDoubling, 4, 1.0);
+  // Step 0 max hops = 0 (same node); step 1 max = cross-leaf distance 4.
+  EXPECT_DOUBLE_EQ(model.allocation_cost(state, ranks, sched), 4.0);
+}
+
+TEST(ExpandRanksPerNodeTest, MultiRankLowersPerRankCost) {
+  // The same 8-rank job on 8 spread nodes vs 2 ranks/node on 4 nodes:
+  // on-node pairs make the dense variant strictly cheaper.
+  const Tree tree = make_two_level_tree(2, 8);
+  const ClusterState state(tree);
+  const CostModel model(tree);
+  const auto sched = make_schedule(Pattern::kRecursiveHalvingVD, 8, 1.0);
+  const std::vector<NodeId> eight{0, 1, 2, 3, 8, 9, 10, 11};
+  const std::vector<NodeId> four{0, 1, 8, 9};
+  EXPECT_LT(model.allocation_cost(state, expand_ranks_per_node(four, 2), sched),
+            model.allocation_cost(state, eight, sched));
+}
+
+}  // namespace
+}  // namespace commsched

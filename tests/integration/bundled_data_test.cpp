@@ -1,0 +1,76 @@
+// The files shipped under data/ must stay loadable and consistent with the
+// demo workflows in the README: a 64-node topology, a paper-configured
+// slurm.conf, four sbatch scripts, and a 60-job SWF log sized for the demo
+// cluster.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "sched/simulator.hpp"
+#include "slurm/conf.hpp"
+#include "slurm/sbatch.hpp"
+#include "topology/conf.hpp"
+#include "workload/mixes.hpp"
+#include "workload/swf.hpp"
+
+namespace commsched {
+namespace {
+
+std::string data_path(const std::string& name) {
+  return std::string(COMMSCHED_DATA_DIR) + "/" + name;
+}
+
+TEST(BundledDataTest, DemoTopologyLoads) {
+  const Tree tree = load_topology_conf(data_path("demo-topology.conf"));
+  EXPECT_EQ(tree.node_count(), 64);
+  EXPECT_EQ(tree.leaf_count(), 4);
+  EXPECT_EQ(tree.depth(), 2);
+  EXPECT_EQ(tree.switch_name(tree.root()), "spine");
+}
+
+TEST(BundledDataTest, DemoSlurmConfMatchesPaperSetup) {
+  const SlurmConf conf = load_slurm_conf(data_path("demo-slurm.conf"));
+  EXPECT_TRUE(conf.sched.easy_backfill);
+  EXPECT_TRUE(conf.topology_aware);
+  EXPECT_EQ(conf.sched.allocator, AllocatorKind::kAdaptive);
+  EXPECT_EQ(conf.sched.queue_policy, QueuePolicy::kFifo);
+  EXPECT_EQ(conf.sched.backfill_depth, 100);
+}
+
+TEST(BundledDataTest, SbatchScriptsLoadAndFitTheDemoCluster) {
+  const Tree tree = load_topology_conf(data_path("demo-topology.conf"));
+  const char* scripts[] = {"allgather-heavy.sbatch", "allreduce-solver.sbatch",
+                           "bcast-pipeline.sbatch", "postprocess.sbatch"};
+  int comm_jobs = 0;
+  for (const char* script : scripts) {
+    const SbatchJob job = load_sbatch_script(data_path("jobs/") + script);
+    EXPECT_GE(job.record.num_nodes, 1) << script;
+    EXPECT_LE(job.record.num_nodes, tree.node_count()) << script;
+    EXPECT_GT(job.record.walltime, 0.0) << script;
+    if (job.record.comm_intensive) ++comm_jobs;
+  }
+  EXPECT_EQ(comm_jobs, 3);  // three comm patterns + one compute job
+}
+
+TEST(BundledDataTest, DemoSwfReplaysOnTheDemoTopology) {
+  const Tree tree = load_topology_conf(data_path("demo-topology.conf"));
+  JobLog log = load_swf(data_path("demo-64node.swf"));
+  ASSERT_EQ(log.size(), 60u);
+  for (const auto& j : log) {
+    EXPECT_LE(j.num_nodes, tree.node_count());
+    EXPECT_GE(j.walltime, j.runtime);
+  }
+  apply_mix(log, uniform_mix(Pattern::kRecursiveHalvingVD, 0.9, 0.6), 5);
+  const SlurmConf conf = load_slurm_conf(data_path("demo-slurm.conf"));
+  const SimResult r = run_continuous(tree, log, conf.sched);
+  EXPECT_EQ(r.jobs.size(), 60u);
+  EXPECT_GT(r.makespan, 0.0);
+}
+
+TEST(BundledDataTest, DataDirectoryExists) {
+  EXPECT_TRUE(std::filesystem::is_directory(COMMSCHED_DATA_DIR));
+}
+
+}  // namespace
+}  // namespace commsched

@@ -1,0 +1,137 @@
+// Parser robustness sweeps: every text front end (topology.conf, SWF,
+// sbatch, slurm.conf, hostlists) must respond to corrupted input with a
+// clean ParseError/InvariantError or a successful parse — never a crash,
+// hang, or silent partial state. Inputs are valid documents mutated
+// deterministically (byte flips, truncations, deletions, duplications).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "slurm/conf.hpp"
+#include "slurm/sbatch.hpp"
+#include "topology/conf.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "workload/swf.hpp"
+
+namespace commsched {
+namespace {
+
+constexpr const char* kTopology =
+    "SwitchName=s0 Nodes=n[0-3]\n"
+    "SwitchName=s1 Nodes=n[4-7]\n"
+    "SwitchName=s2 Switches=s[0-1]\n";
+
+constexpr const char* kSwf =
+    "; header\n"
+    "1 0 10 3600 64 -1 -1 64 7200 -1 1 5 1 -1 1 -1 -1 -1\n"
+    "2 100 0 1800 128 -1 -1 128 3600 -1 1 5 1 -1 1 -1 -1 -1\n";
+
+constexpr const char* kSbatch =
+    "#!/bin/bash\n"
+    "#SBATCH --job-name=robust\n"
+    "#SBATCH --nodes=16\n"
+    "#SBATCH --time=01:30:00\n"
+    "#SBATCH --comment=comm:RHVD:0.6\n";
+
+constexpr const char* kSlurmConf =
+    "SchedulerType=sched/backfill\n"
+    "SelectType=select/linear\n"
+    "TopologyPlugin=topology/tree\n"
+    "JobAware=balanced\n";
+
+std::string mutate(const std::string& base, Rng& rng) {
+  std::string s = base;
+  switch (rng.uniform_int(0, 4)) {
+    case 0: {  // flip a byte to a printable character
+      if (s.empty()) break;
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(s.size()) - 1));
+      s[pos] = static_cast<char>(rng.uniform_int(32, 126));
+      break;
+    }
+    case 1: {  // truncate
+      const auto keep = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(s.size())));
+      s.resize(keep);
+      break;
+    }
+    case 2: {  // delete a span
+      if (s.size() < 4) break;
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(s.size()) - 3));
+      s.erase(pos, static_cast<std::size_t>(rng.uniform_int(1, 16)));
+      break;
+    }
+    case 3: {  // duplicate a span
+      if (s.empty()) break;
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(s.size()) - 1));
+      const auto len = std::min<std::size_t>(
+          static_cast<std::size_t>(rng.uniform_int(1, 24)), s.size() - pos);
+      s.insert(pos, s.substr(pos, len));
+      break;
+    }
+    default: {  // inject a junk line
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(s.size())));
+      s.insert(pos, "\x01garbage \xff line\n");
+      break;
+    }
+  }
+  return s;
+}
+
+template <typename ParseFn>
+void sweep(const std::string& base, std::uint64_t seed, ParseFn&& parse) {
+  Rng rng(seed);
+  for (int i = 0; i < 400; ++i) {
+    const std::string text = mutate(base, rng);
+    try {
+      parse(text);  // success on a still-valid mutation is fine
+    } catch (const ParseError&) {
+    } catch (const InvariantError&) {
+    }
+    // Anything else (segfault, std::bad_alloc from runaway parsing,
+    // uncaught logic errors) fails the test by crashing or by gtest's
+    // unexpected-exception handling.
+  }
+}
+
+TEST(RobustnessTest, TopologyConfSurvivesMutations) {
+  sweep(kTopology, 101, [](const std::string& text) {
+    std::istringstream in(text);
+    (void)parse_topology_conf(in);
+  });
+}
+
+TEST(RobustnessTest, SwfSurvivesMutations) {
+  sweep(kSwf, 202, [](const std::string& text) {
+    std::istringstream in(text);
+    (void)parse_swf(in);
+  });
+}
+
+TEST(RobustnessTest, SbatchSurvivesMutations) {
+  sweep(kSbatch, 303, [](const std::string& text) {
+    std::istringstream in(text);
+    (void)parse_sbatch_script(in);
+  });
+}
+
+TEST(RobustnessTest, SlurmConfSurvivesMutations) {
+  sweep(kSlurmConf, 404, [](const std::string& text) {
+    std::istringstream in(text);
+    (void)parse_slurm_conf(in);
+  });
+}
+
+TEST(RobustnessTest, HostlistSurvivesMutations) {
+  sweep("n[0-3,8,10-11],gpu[01-03]", 505, [](const std::string& text) {
+    (void)expand_hostlist(text);
+  });
+}
+
+}  // namespace
+}  // namespace commsched

@@ -1,0 +1,110 @@
+#include "mapping/reorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "topology/builders.hpp"
+
+namespace commsched {
+namespace {
+
+TEST(SwitchMajorOrderTest, GroupsNodesByLeaf) {
+  const Tree tree = make_figure2_tree();
+  // Interleaved leaves: n0(s0), n4(s1), n1(s0), n5(s1).
+  const std::vector<NodeId> nodes{0, 4, 1, 5};
+  const auto ordered = switch_major_order(tree, nodes);
+  // s0 appears first -> its nodes lead, ascending ids within each leaf.
+  EXPECT_EQ(ordered, (std::vector<NodeId>{0, 1, 4, 5}));
+}
+
+TEST(SwitchMajorOrderTest, PreservesLeafFirstAppearance) {
+  const Tree tree = make_figure2_tree();
+  const std::vector<NodeId> nodes{5, 0, 4};
+  const auto ordered = switch_major_order(tree, nodes);
+  // s1 seen first -> s1 block first.
+  EXPECT_EQ(ordered, (std::vector<NodeId>{4, 5, 0}));
+}
+
+TEST(SwitchMajorOrderTest, IsAPermutation) {
+  const Tree tree = make_three_level_tree(2, 2, 4);
+  const std::vector<NodeId> nodes{13, 2, 7, 0, 9, 14};
+  auto ordered = switch_major_order(tree, nodes);
+  EXPECT_EQ(ordered.size(), nodes.size());
+  std::set<NodeId> a(nodes.begin(), nodes.end());
+  std::set<NodeId> b(ordered.begin(), ordered.end());
+  EXPECT_EQ(a, b);
+}
+
+class MappingFixture : public ::testing::Test {
+ protected:
+  MappingFixture()
+      : tree_(make_two_level_tree(2, 8)), state_(tree_), model_(tree_) {}
+  Tree tree_;
+  ClusterState state_;
+  CostModel model_;
+};
+
+TEST_F(MappingFixture, ImproveMappingNeverWorseThanSwitchMajor) {
+  const auto schedule = make_schedule(Pattern::kRecursiveHalvingVD, 8, 1.0);
+  // A deliberately bad interleaving across the two leaves.
+  const std::vector<NodeId> nodes{0, 8, 1, 9, 2, 10, 3, 11};
+  const auto base = switch_major_order(tree_, nodes);
+  const auto improved =
+      improve_mapping(state_, model_, schedule, nodes, true);
+  EXPECT_LE(model_.candidate_cost(state_, improved, true, schedule),
+            model_.candidate_cost(state_, base, true, schedule) + 1e-9);
+}
+
+TEST_F(MappingFixture, ImproveMappingBeatsInterleavedOrder) {
+  // Under the pure Eq. 6 (hops-only) cost every 4+4 split of an RHVD job
+  // prices the same — exactly one step must cross switches. The hop-bytes
+  // variant breaks the tie: crossing on the *light* first step is cheaper
+  // than crossing on the heavy last step, so the interleaved order (which
+  // crosses at the end) must improve.
+  const CostModel hop_bytes_model(tree_, CostOptions{.hop_bytes = true});
+  const auto schedule = make_schedule(Pattern::kRecursiveHalvingVD, 8, 1.0);
+  const std::vector<NodeId> interleaved{0, 8, 1, 9, 2, 10, 3, 11};
+  const double before =
+      hop_bytes_model.candidate_cost(state_, interleaved, true, schedule);
+  const auto improved = improve_mapping(state_, hop_bytes_model, schedule,
+                                        interleaved, true);
+  const double after =
+      hop_bytes_model.candidate_cost(state_, improved, true, schedule);
+  EXPECT_LT(after, before);
+}
+
+TEST_F(MappingFixture, ImproveMappingIsAPermutation) {
+  const auto schedule = make_schedule(Pattern::kRecursiveDoubling, 8, 1.0);
+  const std::vector<NodeId> nodes{0, 8, 1, 9, 2, 10, 3, 11};
+  const auto improved =
+      improve_mapping(state_, model_, schedule, nodes, true);
+  std::set<NodeId> a(nodes.begin(), nodes.end());
+  std::set<NodeId> b(improved.begin(), improved.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(MappingFixture, LargeJobsSkipTheSwapScan) {
+  // With max_swap_nodes = 4, an 8-rank job falls back to switch-major.
+  const auto schedule = make_schedule(Pattern::kRecursiveDoubling, 8, 1.0);
+  const std::vector<NodeId> nodes{0, 8, 1, 9, 2, 10, 3, 11};
+  MappingOptions opts;
+  opts.max_swap_nodes = 4;
+  const auto mapped =
+      improve_mapping(state_, model_, schedule, nodes, true, opts);
+  EXPECT_EQ(mapped, switch_major_order(tree_, nodes));
+}
+
+TEST_F(MappingFixture, SingleLeafAllocationIsAlreadyOptimal) {
+  const auto schedule = make_schedule(Pattern::kRecursiveDoubling, 4, 1.0);
+  const std::vector<NodeId> nodes{3, 1, 0, 2};  // all on leaf 0
+  const auto improved =
+      improve_mapping(state_, model_, schedule, nodes, true);
+  // All same-leaf orderings cost the same; the result is the sorted block.
+  EXPECT_EQ(improved, (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace commsched

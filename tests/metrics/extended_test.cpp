@@ -1,0 +1,128 @@
+#include "metrics/extended.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace commsched {
+namespace {
+
+JobResult jr(int nodes, double submit, double start, double runtime,
+             bool comm = false) {
+  JobResult r;
+  r.num_nodes = nodes;
+  r.submit_time = submit;
+  r.start_time = start;
+  r.actual_runtime = runtime;
+  r.original_runtime = runtime;
+  r.end_time = start + runtime;
+  r.comm_intensive = comm;
+  return r;
+}
+
+TEST(DistSummaryTest, KnownDistribution) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  const DistSummary s = summarize_distribution(xs);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_NEAR(s.p50, 50.5, 0.01);
+  EXPECT_NEAR(s.p90, 90.1, 0.01);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+TEST(DistSummaryTest, EmptyIsZero) {
+  const DistSummary s = summarize_distribution({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(BoundedSlowdownTest, Definition) {
+  // wait 90, run 10 -> (90+10)/10 = 10.
+  EXPECT_DOUBLE_EQ(bounded_slowdown(jr(1, 0.0, 90.0, 10.0)), 10.0);
+  // no wait -> 1.
+  EXPECT_DOUBLE_EQ(bounded_slowdown(jr(1, 0.0, 0.0, 100.0)), 1.0);
+  // tiny job: tau bounds the denominator. wait 5, run 1 -> (5+1)/10.
+  EXPECT_DOUBLE_EQ(bounded_slowdown(jr(1, 0.0, 5.0, 1.0)), 1.0);
+  EXPECT_DOUBLE_EQ(bounded_slowdown(jr(1, 0.0, 95.0, 1.0)), 9.6);
+}
+
+TEST(BoundedSlowdownTest, RejectsBadTau) {
+  EXPECT_THROW(bounded_slowdown(jr(1, 0, 0, 1), 0.0), InvariantError);
+}
+
+TEST(SlowdownSummaryTest, AggregatesOverRun) {
+  SimResult r;
+  r.jobs = {jr(1, 0.0, 0.0, 100.0), jr(1, 0.0, 100.0, 100.0)};
+  const DistSummary s = slowdown_summary(r);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.mean, (1.0 + 2.0) / 2.0);
+}
+
+TEST(WaitSummaryTest, Percentiles) {
+  SimResult r;
+  for (int i = 0; i < 10; ++i)
+    r.jobs.push_back(jr(1, 0.0, static_cast<double>(i * 10), 5.0));
+  const DistSummary s = wait_summary(r);
+  EXPECT_DOUBLE_EQ(s.max, 90.0);
+  EXPECT_DOUBLE_EQ(s.mean, 45.0);
+}
+
+TEST(ClassSummaryTest, SplitsByCommFlag) {
+  SimResult r;
+  r.allocator_name = "x";
+  r.makespan = 1000.0;
+  r.jobs = {jr(2, 0, 0, 3600.0, true), jr(4, 0, 0, 3600.0, false),
+            jr(8, 0, 0, 7200.0, true)};
+  const RunSummary comm = summarize_class(r, true);
+  const RunSummary compute = summarize_class(r, false);
+  EXPECT_EQ(comm.job_count, 2u);
+  EXPECT_EQ(compute.job_count, 1u);
+  EXPECT_DOUBLE_EQ(comm.total_exec_hours, 3.0);
+  EXPECT_DOUBLE_EQ(compute.total_exec_hours, 1.0);
+}
+
+TEST(WalltimeKillFractionTest, CountsFlags) {
+  SimResult r;
+  r.jobs = {jr(1, 0, 0, 1), jr(1, 0, 0, 1), jr(1, 0, 0, 1), jr(1, 0, 0, 1)};
+  r.jobs[1].hit_walltime = true;
+  EXPECT_DOUBLE_EQ(walltime_kill_fraction(r), 0.25);
+  EXPECT_DOUBLE_EQ(walltime_kill_fraction(SimResult{}), 0.0);
+}
+
+TEST(UtilizationTest, SingleFullMachineJob) {
+  SimResult r;
+  r.makespan = 100.0;
+  r.jobs = {jr(8, 0.0, 0.0, 100.0)};
+  const auto util = utilization_timeline(r, 8, 10.0);
+  ASSERT_EQ(util.size(), 10u);
+  for (const double u : util) EXPECT_DOUBLE_EQ(u, 1.0);
+  EXPECT_DOUBLE_EQ(average_utilization(r, 8), 1.0);
+}
+
+TEST(UtilizationTest, PartialOverlapSplitsAcrossBuckets) {
+  SimResult r;
+  r.makespan = 20.0;
+  r.jobs = {jr(4, 0.0, 5.0, 10.0)};  // busy 5..15 on half the machine
+  const auto util = utilization_timeline(r, 8, 10.0);
+  ASSERT_EQ(util.size(), 2u);
+  EXPECT_DOUBLE_EQ(util[0], 0.25);  // 4 nodes for 5 of 10 s
+  EXPECT_DOUBLE_EQ(util[1], 0.25);
+  EXPECT_DOUBLE_EQ(average_utilization(r, 8), 4.0 * 10.0 / (20.0 * 8.0));
+}
+
+TEST(UtilizationTest, EmptyRun) {
+  EXPECT_TRUE(utilization_timeline(SimResult{}, 8, 10.0).empty());
+  EXPECT_DOUBLE_EQ(average_utilization(SimResult{}, 8), 0.0);
+}
+
+TEST(UtilizationTest, RejectsBadArguments) {
+  SimResult r;
+  r.makespan = 10.0;
+  EXPECT_THROW(utilization_timeline(r, 0, 10.0), InvariantError);
+  EXPECT_THROW(utilization_timeline(r, 8, 0.0), InvariantError);
+  EXPECT_THROW(average_utilization(r, 0), InvariantError);
+}
+
+}  // namespace
+}  // namespace commsched

@@ -1,0 +1,102 @@
+#include "metrics/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace commsched {
+namespace {
+
+JobResult jr(WorkloadJobId id, int nodes, double submit, double start,
+             double runtime, bool comm, double cost) {
+  JobResult r;
+  r.id = id;
+  r.num_nodes = nodes;
+  r.submit_time = submit;
+  r.start_time = start;
+  r.actual_runtime = runtime;
+  r.original_runtime = runtime;
+  r.end_time = start + runtime;
+  r.comm_intensive = comm;
+  r.cost = cost;
+  return r;
+}
+
+TEST(JobResultTest, DerivedQuantities) {
+  const JobResult r = jr(1, 4, 100.0, 160.0, 3600.0, true, 10.0);
+  EXPECT_DOUBLE_EQ(r.wait_time(), 60.0);
+  EXPECT_DOUBLE_EQ(r.turnaround_time(), 3660.0);
+  EXPECT_DOUBLE_EQ(r.node_hours(), 4.0);
+}
+
+TEST(SummarizeTest, AggregatesHoursAndCosts) {
+  SimResult result;
+  result.allocator_name = "balanced";
+  result.makespan = 7200.0;
+  result.jobs = {jr(1, 2, 0.0, 0.0, 3600.0, true, 10.0),
+                 jr(2, 4, 0.0, 1800.0, 7200.0, false, 0.0),
+                 jr(3, 1, 900.0, 900.0, 1800.0, true, 20.0)};
+  const RunSummary s = summarize(result);
+  EXPECT_EQ(s.allocator, "balanced");
+  EXPECT_EQ(s.job_count, 3u);
+  EXPECT_DOUBLE_EQ(s.total_exec_hours, 1.0 + 2.0 + 0.5);
+  EXPECT_DOUBLE_EQ(s.total_wait_hours, 0.5);
+  EXPECT_DOUBLE_EQ(s.avg_wait_hours, 0.5 / 3.0);
+  EXPECT_DOUBLE_EQ(s.total_node_hours, 2.0 + 8.0 + 0.5);
+  EXPECT_DOUBLE_EQ(s.total_cost, 30.0);
+  EXPECT_DOUBLE_EQ(s.avg_cost, 15.0);  // over the two comm jobs
+  EXPECT_DOUBLE_EQ(s.makespan_hours, 2.0);
+  // Turnarounds: 1h, 2.5h, 0.5h -> mean 4/3.
+  EXPECT_NEAR(s.avg_turnaround_hours, 4.0 / 3.0, 1e-12);
+}
+
+TEST(SummarizeTest, EmptyRun) {
+  SimResult result;
+  result.allocator_name = "default";
+  const RunSummary s = summarize(result);
+  EXPECT_EQ(s.job_count, 0u);
+  EXPECT_DOUBLE_EQ(s.total_exec_hours, 0.0);
+  EXPECT_DOUBLE_EQ(s.avg_cost, 0.0);
+}
+
+TEST(ImprovementTest, Percentages) {
+  EXPECT_DOUBLE_EQ(improvement_percent(100.0, 90.0), 10.0);
+  EXPECT_DOUBLE_EQ(improvement_percent(100.0, 120.0), -20.0);
+  EXPECT_DOUBLE_EQ(improvement_percent(0.0, 5.0), 0.0);
+}
+
+TEST(BinEdgesTest, PowersOfTwo) {
+  const auto edges = power_of_two_bin_edges(4, 8, 2);
+  // 16, 64, 256, plus make-whole edge 256? max 2^8=256 reached by stride:
+  // 16, 64, 256 then closing edge 512.
+  ASSERT_EQ(edges.size(), 4u);
+  EXPECT_DOUBLE_EQ(edges[0], 16.0);
+  EXPECT_DOUBLE_EQ(edges[1], 64.0);
+  EXPECT_DOUBLE_EQ(edges[2], 256.0);
+  EXPECT_DOUBLE_EQ(edges[3], 512.0);
+}
+
+TEST(BinEdgesTest, StrideNotDividingRangeStillCoversMax) {
+  const auto edges = power_of_two_bin_edges(4, 7, 2);  // 16, 64, then 128, 256
+  EXPECT_DOUBLE_EQ(edges[edges.size() - 2], 128.0);
+  EXPECT_DOUBLE_EQ(edges.back(), 256.0);
+}
+
+TEST(CostBinningTest, AveragesPerNodeRange) {
+  SimResult result;
+  result.jobs = {jr(1, 16, 0, 0, 100, true, 10.0),
+                 jr(2, 20, 0, 0, 100, true, 30.0),
+                 jr(3, 100, 0, 0, 100, true, 50.0),
+                 jr(4, 100, 0, 0, 100, false, 999.0)};  // compute: excluded
+  const std::vector<double> edges{16.0, 64.0, 256.0};
+  const auto means = average_cost_by_node_bin(result, edges);
+  ASSERT_EQ(means.size(), 2u);
+  EXPECT_DOUBLE_EQ(means[0], 20.0);  // (10+30)/2
+  EXPECT_DOUBLE_EQ(means[1], 50.0);
+  const auto counts = job_count_by_node_bin(result, edges);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+}
+
+}  // namespace
+}  // namespace commsched

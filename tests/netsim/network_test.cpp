@@ -1,0 +1,201 @@
+#include "netsim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "topology/builders.hpp"
+#include "util/assert.hpp"
+
+namespace commsched {
+namespace {
+
+constexpr double kGigE = 125.0e6;
+
+TEST(FlowNetworkTest, LinkCountAndCapacities) {
+  const Tree tree = make_figure2_tree();
+  const FlowNetwork net(tree, LinkConfig{});
+  EXPECT_EQ(net.link_count(), 8 + 3);  // 8 access links + 3 switch slots
+  for (int l = 0; l < 8; ++l) EXPECT_DOUBLE_EQ(net.capacity(l), kGigE);
+  // Root "uplink" slot exists but has zero capacity and is never routed.
+  EXPECT_DOUBLE_EQ(net.capacity(8 + static_cast<int>(tree.root())), 0.0);
+}
+
+TEST(FlowNetworkTest, UplinkMultiplierThickensUpperLevels) {
+  const Tree tree = make_figure2_tree();
+  const FlowNetwork net(tree, LinkConfig{.node_link_bw = 100.0,
+                                         .uplink_multiplier = 4.0});
+  const SwitchId s0 = *tree.switch_by_name("s0");
+  EXPECT_DOUBLE_EQ(net.capacity(8 + static_cast<int>(s0)), 400.0);
+}
+
+TEST(FlowNetworkTest, SameLeafPathUsesOnlyAccessLinks) {
+  const Tree tree = make_figure2_tree();
+  const FlowNetwork net(tree, LinkConfig{});
+  const auto path = net.path(0, 1);
+  EXPECT_EQ(path, (std::vector<int>{0, 1}));
+}
+
+TEST(FlowNetworkTest, CrossLeafPathIncludesBothUplinks) {
+  const Tree tree = make_figure2_tree();
+  const FlowNetwork net(tree, LinkConfig{});
+  const SwitchId s0 = *tree.switch_by_name("s0");
+  const SwitchId s1 = *tree.switch_by_name("s1");
+  const auto path = net.path(0, 4);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[0], 0);
+  EXPECT_EQ(path[1], 8 + static_cast<int>(s0));
+  EXPECT_EQ(path[2], 8 + static_cast<int>(s1));
+  EXPECT_EQ(path[3], 4);
+}
+
+TEST(FlowNetworkTest, ThreeLevelPathClimbsToLca) {
+  const Tree tree = make_three_level_tree(2, 2, 2);  // 8 nodes
+  const FlowNetwork net(tree, LinkConfig{});
+  // Nodes 0 and 7 are in different groups: 2 access + 2 leaf uplinks +
+  // 2 group uplinks.
+  EXPECT_EQ(net.path(0, 7).size(), 6u);
+  // Same group, different leaf: 2 access + 2 leaf uplinks.
+  EXPECT_EQ(net.path(0, 2).size(), 4u);
+}
+
+TEST(FlowNetworkTest, PathToSelfThrows) {
+  const Tree tree = make_figure2_tree();
+  const FlowNetwork net(tree, LinkConfig{});
+  EXPECT_THROW(net.path(3, 3), InvariantError);
+}
+
+Flow make_flow(const FlowNetwork& net, NodeId a, NodeId b, double bytes) {
+  Flow f;
+  f.links = net.path(a, b);
+  f.remaining = bytes;
+  return f;
+}
+
+TEST(MaxMinTest, SingleFlowGetsFullBandwidth) {
+  const Tree tree = make_figure2_tree();
+  const FlowNetwork net(tree, LinkConfig{});
+  std::vector<Flow> flows{make_flow(net, 0, 1, 1e6)};
+  net.compute_maxmin_rates(flows);
+  EXPECT_DOUBLE_EQ(flows[0].rate, kGigE);
+}
+
+TEST(MaxMinTest, SharedAccessLinkSplitsEvenly) {
+  const Tree tree = make_figure2_tree();
+  const FlowNetwork net(tree, LinkConfig{});
+  // Both flows terminate at node 1 -> share its access link.
+  std::vector<Flow> flows{make_flow(net, 0, 1, 1e6),
+                          make_flow(net, 2, 1, 1e6)};
+  net.compute_maxmin_rates(flows);
+  EXPECT_DOUBLE_EQ(flows[0].rate, kGigE / 2);
+  EXPECT_DOUBLE_EQ(flows[1].rate, kGigE / 2);
+}
+
+TEST(MaxMinTest, DisjointFlowsDoNotInterfere) {
+  const Tree tree = make_figure2_tree();
+  const FlowNetwork net(tree, LinkConfig{});
+  std::vector<Flow> flows{make_flow(net, 0, 1, 1e6),
+                          make_flow(net, 2, 3, 1e6),
+                          make_flow(net, 4, 5, 1e6)};
+  net.compute_maxmin_rates(flows);
+  for (const Flow& f : flows) EXPECT_DOUBLE_EQ(f.rate, kGigE);
+}
+
+TEST(MaxMinTest, UplinkContentionThrottlesCrossSwitchFlows) {
+  const Tree tree = make_figure2_tree();
+  const FlowNetwork net(tree, LinkConfig{});
+  // Three cross-switch flows share both leaf uplinks -> a third each.
+  std::vector<Flow> flows{make_flow(net, 0, 4, 1e6),
+                          make_flow(net, 1, 5, 1e6),
+                          make_flow(net, 2, 6, 1e6)};
+  net.compute_maxmin_rates(flows);
+  for (const Flow& f : flows) EXPECT_NEAR(f.rate, kGigE / 3, 1.0);
+}
+
+TEST(MaxMinTest, BottleneckLeftoverGoesToUnconstrainedFlow) {
+  const Tree tree = make_figure2_tree();
+  const FlowNetwork net(tree, LinkConfig{});
+  // Two flows share node 0's access link; one of them also crosses the
+  // uplink where a third flow lives. Max-min: flows on link0 get 1/2 each;
+  // the third flow then gets the remaining uplink capacity.
+  std::vector<Flow> flows{make_flow(net, 0, 1, 1e6),
+                          make_flow(net, 0, 4, 1e6),
+                          make_flow(net, 2, 5, 1e6)};
+  net.compute_maxmin_rates(flows);
+  EXPECT_DOUBLE_EQ(flows[0].rate, kGigE / 2);
+  EXPECT_DOUBLE_EQ(flows[1].rate, kGigE / 2);
+  EXPECT_DOUBLE_EQ(flows[2].rate, kGigE / 2);
+}
+
+TEST(MaxMinTest, NoLinkIsOversubscribed) {
+  const Tree tree = make_department_cluster();
+  const FlowNetwork net(tree, LinkConfig{});
+  // A dense random-ish flow pattern across the cluster.
+  std::vector<Flow> flows;
+  for (NodeId a = 0; a < 20; ++a)
+    flows.push_back(make_flow(net, a, (a + 17) % 50, 1e6));
+  net.compute_maxmin_rates(flows);
+  std::vector<double> load(static_cast<std::size_t>(net.link_count()), 0.0);
+  for (const Flow& f : flows) {
+    EXPECT_GT(f.rate, 0.0);
+    for (const int l : f.links) load[static_cast<std::size_t>(l)] += f.rate;
+  }
+  for (int l = 0; l < net.link_count(); ++l)
+    EXPECT_LE(load[static_cast<std::size_t>(l)], net.capacity(l) + 1e-3);
+}
+
+// The defining property of a max-min fair allocation: every flow has a
+// bottleneck link — a saturated link on its path where no other flow gets
+// a higher rate. (Bertsekas & Gallager's characterization.)
+TEST(MaxMinTest, EveryFlowHasABottleneckLink) {
+  const Tree tree = make_department_cluster();
+  const FlowNetwork net(tree, LinkConfig{});
+  std::vector<Flow> flows;
+  // A deterministic but irregular mesh of flows.
+  for (int k = 0; k < 30; ++k) {
+    const NodeId a = (k * 7) % 50;
+    const NodeId b = (k * 13 + 5) % 50;
+    if (a == b) continue;
+    Flow f;
+    f.links = net.path(a, b);
+    f.remaining = 1e6;
+    flows.push_back(std::move(f));
+  }
+  net.compute_maxmin_rates(flows);
+
+  std::vector<double> load(static_cast<std::size_t>(net.link_count()), 0.0);
+  for (const Flow& f : flows)
+    for (const int l : f.links) load[static_cast<std::size_t>(l)] += f.rate;
+
+  constexpr double kEps = 1.0;  // bytes/s slack on 125 MB/s links
+  for (const Flow& f : flows) {
+    bool has_bottleneck = false;
+    for (const int l : f.links) {
+      if (load[static_cast<std::size_t>(l)] < net.capacity(l) - kEps)
+        continue;  // not saturated
+      double max_rate_on_link = 0.0;
+      for (const Flow& g : flows)
+        if (std::find(g.links.begin(), g.links.end(), l) != g.links.end())
+          max_rate_on_link = std::max(max_rate_on_link, g.rate);
+      if (f.rate >= max_rate_on_link - kEps) {
+        has_bottleneck = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(has_bottleneck) << "flow lacks a bottleneck link";
+  }
+}
+
+TEST(MaxMinTest, FinishedFlowsAreIgnored) {
+  const Tree tree = make_figure2_tree();
+  const FlowNetwork net(tree, LinkConfig{});
+  std::vector<Flow> flows{make_flow(net, 0, 1, 0.0),
+                          make_flow(net, 0, 1, 1e6)};
+  net.compute_maxmin_rates(flows);
+  EXPECT_DOUBLE_EQ(flows[0].rate, 0.0);
+  EXPECT_DOUBLE_EQ(flows[1].rate, kGigE);  // dead flow frees the link
+}
+
+}  // namespace
+}  // namespace commsched

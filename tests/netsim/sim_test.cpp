@@ -1,0 +1,243 @@
+#include "netsim/sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "topology/builders.hpp"
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace commsched {
+namespace {
+
+constexpr double kGigE = 125.0e6;
+
+RepeatingJob pair_job(std::vector<NodeId> nodes, double msize, int rounds = 1,
+                      double period = 0.0, double first_start = 0.0) {
+  RepeatingJob j;
+  j.name = "job";
+  j.nodes = std::move(nodes);
+  j.pattern = Pattern::kRecursiveDoubling;
+  j.msize = msize;
+  j.rounds = rounds;
+  j.period = period;
+  j.first_start = first_start;
+  return j;
+}
+
+TEST(NetSimTest, SinglePairTransferTimeIsExact) {
+  const Tree tree = make_figure2_tree();
+  const FlowNetwork net(tree, LinkConfig{});
+  // One RD exchange of 125 MB over a 125 MB/s path: exactly 1 second.
+  const auto r = simulate_network(net, {pair_job({0, 1}, kGigE)}, 10.0);
+  ASSERT_GE(r.per_job[0].size(), 2u);  // repeats back-to-back
+  EXPECT_NEAR(r.per_job[0][0].duration, 1.0, 1e-9);
+  EXPECT_NEAR(r.per_job[0][0].start, 0.0, 1e-9);
+  EXPECT_NEAR(r.per_job[0][1].start, 1.0, 1e-9);
+}
+
+TEST(NetSimTest, RoundsMultiplyDuration) {
+  const Tree tree = make_figure2_tree();
+  const FlowNetwork net(tree, LinkConfig{});
+  const auto r =
+      simulate_network(net, {pair_job({0, 1}, kGigE, /*rounds=*/3)}, 10.0);
+  ASSERT_FALSE(r.per_job[0].empty());
+  EXPECT_NEAR(r.per_job[0][0].duration, 3.0, 1e-9);
+}
+
+TEST(NetSimTest, MultiStepCollectiveSerializesSteps) {
+  const Tree tree = make_figure2_tree();
+  const FlowNetwork net(tree, LinkConfig{});
+  // RD over nodes {0,1,2,3} (same leaf): 2 steps, each pairwise-disjoint on
+  // access links, so each step runs at full rate: 2 * msize / bw.
+  const auto r = simulate_network(net, {pair_job({0, 1, 2, 3}, kGigE)}, 10.0);
+  ASSERT_FALSE(r.per_job[0].empty());
+  EXPECT_NEAR(r.per_job[0][0].duration, 2.0, 1e-9);
+}
+
+TEST(NetSimTest, SharedUplinkDoublesExchangeTime) {
+  const Tree tree = make_figure2_tree();
+  const FlowNetwork net(tree, LinkConfig{});
+  // Two independent cross-switch pair jobs: both flows share each leaf
+  // uplink -> each runs at half rate.
+  const auto r = simulate_network(
+      net, {pair_job({0, 4}, kGigE), pair_job({1, 5}, kGigE)}, 10.0);
+  ASSERT_FALSE(r.per_job[0].empty());
+  ASSERT_FALSE(r.per_job[1].empty());
+  EXPECT_NEAR(r.per_job[0][0].duration, 2.0, 1e-9);
+  EXPECT_NEAR(r.per_job[1][0].duration, 2.0, 1e-9);
+}
+
+TEST(NetSimTest, PeriodicJobHonorsItsSchedule) {
+  const Tree tree = make_figure2_tree();
+  const FlowNetwork net(tree, LinkConfig{});
+  // A fast job launched every 4 s.
+  const auto r = simulate_network(
+      net, {pair_job({0, 1}, kGigE / 4, 1, /*period=*/4.0)}, 20.0);
+  const auto& execs = r.per_job[0];
+  ASSERT_GE(execs.size(), 4u);
+  for (std::size_t k = 0; k < 4; ++k)
+    EXPECT_NEAR(execs[k].start, 4.0 * static_cast<double>(k), 1e-9);
+}
+
+TEST(NetSimTest, DelayedFirstStart) {
+  const Tree tree = make_figure2_tree();
+  const FlowNetwork net(tree, LinkConfig{});
+  const auto r = simulate_network(
+      net, {pair_job({0, 1}, kGigE, 1, 0.0, /*first_start=*/5.0)}, 8.0);
+  ASSERT_FALSE(r.per_job[0].empty());
+  EXPECT_NEAR(r.per_job[0][0].start, 5.0, 1e-9);
+}
+
+TEST(NetSimTest, HorizonDiscardsInFlightExecution) {
+  const Tree tree = make_figure2_tree();
+  const FlowNetwork net(tree, LinkConfig{});
+  // 1-second executions, horizon 2.5 s -> exactly 2 completed samples.
+  const auto r = simulate_network(net, {pair_job({0, 1}, kGigE)}, 2.5);
+  EXPECT_EQ(r.per_job[0].size(), 2u);
+}
+
+TEST(NetSimTest, Figure1ShapeInterferenceSpikes) {
+  // The paper's Figure 1 in miniature: J1 (8 nodes, 4+4 across two
+  // switches) runs continuously; J2 (12 nodes, 6+6) arrives periodically.
+  // J1's execution time must spike while J2 overlaps and return to the
+  // baseline in between.
+  // Node lists are interleaved across the two switches — the
+  // communication-oblivious placement the paper's default SLURM produced,
+  // which makes the heavy (vector-doubled) RHVD exchanges cross-switch.
+  const Tree tree = make_department_cluster();
+  const FlowNetwork net(tree, LinkConfig{});
+  RepeatingJob j1;
+  j1.name = "J1";
+  j1.nodes = {0, 16, 1, 17, 2, 18, 3, 19};  // 4 on sw0 + 4 on sw1
+  j1.pattern = Pattern::kRecursiveHalvingVD;
+  j1.msize = 1 << 20;
+  j1.rounds = 4;
+  RepeatingJob j2;
+  j2.name = "J2";
+  j2.nodes = {4, 20, 5, 21, 6, 22, 7, 23, 8, 24, 9, 25};  // 6 + 6
+  j2.pattern = Pattern::kRecursiveHalvingVD;
+  j2.msize = 1 << 20;
+  j2.rounds = 6;  // a several-second burst, like the paper's long-lived J2
+  j2.period = 15.0;
+  j2.first_start = 3.0;
+
+  const auto r = simulate_network(net, {j1, j2}, 60.0);
+  const auto& e1 = r.per_job[0];
+  ASSERT_GE(e1.size(), 10u);
+  ASSERT_GE(r.per_job[1].size(), 2u);
+
+  // Partition J1 executions: fully inside a J2 burst vs fully outside
+  // (partial overlaps are dropped — they dilute both classes).
+  std::vector<double> solo, contended;
+  for (const auto& ex : e1) {
+    bool fully_inside = false;
+    bool any_overlap = false;
+    for (const auto& ex2 : r.per_job[1]) {
+      const double b2 = ex2.start, e2 = ex2.start + ex2.duration;
+      if (ex.start < e2 && b2 < ex.start + ex.duration) any_overlap = true;
+      if (ex.start >= b2 && ex.start + ex.duration <= e2) fully_inside = true;
+    }
+    if (fully_inside)
+      contended.push_back(ex.duration);
+    else if (!any_overlap)
+      solo.push_back(ex.duration);
+  }
+  ASSERT_FALSE(solo.empty());
+  ASSERT_FALSE(contended.empty());
+  // Spikes: contended executions are noticeably slower.
+  EXPECT_GT(mean(contended), mean(solo) * 1.3);
+}
+
+TEST(NetSimTest, ThreeLevelTreesRouteThroughGroupUplinks) {
+  // 2 groups x 2 leaves x 2 nodes. A cross-group pair traverses 6 links;
+  // with a same-group pair sharing only the leaf uplink section, rates
+  // split where paths overlap.
+  const Tree tree = make_three_level_tree(2, 2, 2);
+  const FlowNetwork net(tree, LinkConfig{});
+  // Cross-group exchange (node 0 <-> node 7) alone: full rate.
+  const auto solo = simulate_network(net, {pair_job({0, 7}, kGigE)}, 5.0);
+  ASSERT_FALSE(solo.per_job[0].empty());
+  EXPECT_NEAR(solo.per_job[0][0].duration, 1.0, 1e-9);
+  // Two cross-group pairs sharing the group uplinks: half rate each.
+  const auto shared = simulate_network(
+      net, {pair_job({0, 7}, kGigE), pair_job({1, 6}, kGigE)}, 5.0);
+  EXPECT_NEAR(shared.per_job[0][0].duration, 2.0, 1e-9);
+  EXPECT_NEAR(shared.per_job[1][0].duration, 2.0, 1e-9);
+}
+
+TEST(NetSimTest, FatterUplinksRemoveTheBottleneck) {
+  // With uplink_multiplier 4, a leaf uplink carries 4 node-links' worth:
+  // the two cross-switch flows of the previous test no longer contend.
+  const Tree tree = make_figure2_tree();
+  const FlowNetwork net(tree, LinkConfig{.node_link_bw = kGigE,
+                                         .uplink_multiplier = 4.0});
+  const auto r = simulate_network(
+      net, {pair_job({0, 4}, kGigE), pair_job({1, 5}, kGigE)}, 5.0);
+  EXPECT_NEAR(r.per_job[0][0].duration, 1.0, 1e-9);
+  EXPECT_NEAR(r.per_job[1][0].duration, 1.0, 1e-9);
+}
+
+TEST(NetSimTest, PerHopLatencyDelaysTransfers) {
+  const Tree tree = make_figure2_tree();
+  LinkConfig config;
+  config.per_hop_latency = 0.1;
+  const FlowNetwork net(tree, config);
+  // Same-leaf pair: path = 2 links -> 0.2 s latency + 1 s transfer.
+  const auto r = simulate_network(net, {pair_job({0, 1}, kGigE)}, 5.0);
+  ASSERT_FALSE(r.per_job[0].empty());
+  EXPECT_NEAR(r.per_job[0][0].duration, 1.2, 1e-9);
+}
+
+TEST(NetSimTest, LatencyScalesWithPathLength) {
+  const Tree tree = make_figure2_tree();
+  LinkConfig config;
+  config.per_hop_latency = 0.1;
+  const FlowNetwork net(tree, config);
+  // Cross-leaf pair: path = 4 links -> 0.4 s latency + 1 s transfer.
+  const auto r = simulate_network(net, {pair_job({0, 4}, kGigE)}, 5.0);
+  ASSERT_FALSE(r.per_job[0].empty());
+  EXPECT_NEAR(r.per_job[0][0].duration, 1.4, 1e-9);
+}
+
+TEST(NetSimTest, LatentFlowsConsumeNoBandwidth) {
+  const Tree tree = make_figure2_tree();
+  LinkConfig config;
+  config.per_hop_latency = 0.5;
+  const FlowNetwork net(tree, config);
+  std::vector<Flow> flows;
+  Flow latent;
+  latent.links = net.path(0, 1);
+  latent.remaining = 1e6;
+  latent.latency = 0.5;
+  Flow active;
+  active.links = net.path(2, 1);  // shares node 1's access link
+  active.remaining = 1e6;
+  flows.push_back(latent);
+  flows.push_back(active);
+  net.compute_maxmin_rates(flows);
+  EXPECT_DOUBLE_EQ(flows[0].rate, 0.0);
+  EXPECT_DOUBLE_EQ(flows[1].rate, kGigE);
+}
+
+TEST(NetSimTest, RejectsBadJobs) {
+  const Tree tree = make_figure2_tree();
+  const FlowNetwork net(tree, LinkConfig{});
+  EXPECT_THROW(simulate_network(net, {pair_job({0}, kGigE)}, 1.0),
+               InvariantError);
+  EXPECT_THROW(simulate_network(net, {pair_job({0, 99}, kGigE)}, 1.0),
+               InvariantError);
+  EXPECT_THROW(simulate_network(net, {pair_job({0, 1}, kGigE)}, 0.0),
+               InvariantError);
+}
+
+TEST(NetSimTest, NoJobsIsEmptyResult) {
+  const Tree tree = make_figure2_tree();
+  const FlowNetwork net(tree, LinkConfig{});
+  const auto r = simulate_network(net, {}, 1.0);
+  EXPECT_TRUE(r.per_job.empty());
+}
+
+}  // namespace
+}  // namespace commsched

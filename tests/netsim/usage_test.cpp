@@ -1,0 +1,111 @@
+#include "netsim/usage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netsim/sim.hpp"
+#include "topology/builders.hpp"
+#include "util/assert.hpp"
+
+namespace commsched {
+namespace {
+
+constexpr double kGigE = 125.0e6;
+
+RepeatingJob simple_job(std::vector<NodeId> nodes, double msize) {
+  RepeatingJob j;
+  j.name = "j";
+  j.nodes = std::move(nodes);
+  j.pattern = Pattern::kRecursiveDoubling;
+  j.msize = msize;
+  j.rounds = 1;
+  j.period = 1e9;  // run exactly once within any reasonable horizon
+  return j;
+}
+
+TEST(LinkUsageTest, RecordAccumulatesBytesAndBusyTime) {
+  const Tree tree = make_figure2_tree();
+  const FlowNetwork net(tree, LinkConfig{});
+  LinkUsage usage(net);
+  std::vector<Flow> flows(1);
+  flows[0].links = net.path(0, 1);
+  flows[0].remaining = 100.0;
+  flows[0].rate = 10.0;
+  usage.record(flows, 2.0);
+  EXPECT_DOUBLE_EQ(usage.bytes(0), 20.0);
+  EXPECT_DOUBLE_EQ(usage.bytes(1), 20.0);
+  EXPECT_DOUBLE_EQ(usage.busy_time(0), 2.0);
+  EXPECT_DOUBLE_EQ(usage.bytes(2), 0.0);
+  EXPECT_DOUBLE_EQ(usage.busy_time(2), 0.0);
+}
+
+TEST(LinkUsageTest, LatentAndFinishedFlowsIgnored) {
+  const Tree tree = make_figure2_tree();
+  const FlowNetwork net(tree, LinkConfig{});
+  LinkUsage usage(net);
+  std::vector<Flow> flows(2);
+  flows[0].links = net.path(0, 1);
+  flows[0].remaining = 100.0;
+  flows[0].rate = 10.0;
+  flows[0].latency = 0.5;  // still starting up
+  flows[1].links = net.path(2, 3);
+  flows[1].remaining = 0.0;  // done
+  flows[1].rate = 10.0;
+  usage.record(flows, 1.0);
+  EXPECT_DOUBLE_EQ(usage.total_link_bytes(), 0.0);
+  EXPECT_DOUBLE_EQ(usage.busy_time(0), 0.0);
+}
+
+TEST(LinkUsageTest, SimulationConservesBytes) {
+  // One RD exchange between two same-leaf nodes: msize bytes over each of
+  // the two access links.
+  const Tree tree = make_figure2_tree();
+  const FlowNetwork net(tree, LinkConfig{});
+  LinkUsage usage(net);
+  const double msize = kGigE;  // 1 second worth
+  const auto r =
+      simulate_network(net, {simple_job({0, 1}, msize)}, 10.0, &usage);
+  ASSERT_EQ(r.per_job[0].size(), 1u);
+  EXPECT_NEAR(usage.bytes(0), msize, 1.0);
+  EXPECT_NEAR(usage.bytes(1), msize, 1.0);
+  EXPECT_NEAR(usage.total_link_bytes(), 2 * msize, 1.0);
+  EXPECT_NEAR(usage.busy_time(0), 1.0, 1e-6);
+}
+
+TEST(LinkUsageTest, CrossSwitchTrafficShowsOnUplinks) {
+  const Tree tree = make_figure2_tree();
+  const FlowNetwork net(tree, LinkConfig{});
+  LinkUsage usage(net);
+  const auto r =
+      simulate_network(net, {simple_job({0, 4}, kGigE)}, 10.0, &usage);
+  ASSERT_FALSE(r.per_job[0].empty());
+  const SwitchId s0 = *tree.switch_by_name("s0");
+  const SwitchId s1 = *tree.switch_by_name("s1");
+  EXPECT_NEAR(usage.bytes(8 + static_cast<int>(s0)), kGigE, 1.0);
+  EXPECT_NEAR(usage.bytes(8 + static_cast<int>(s1)), kGigE, 1.0);
+}
+
+TEST(LinkUsageTest, BusyTimeNeverExceedsHorizon) {
+  const Tree tree = make_department_cluster();
+  const FlowNetwork net(tree, LinkConfig{});
+  LinkUsage usage(net);
+  RepeatingJob j1 = simple_job({0, 16, 1, 17}, 1 << 20);
+  j1.pattern = Pattern::kRecursiveHalvingVD;
+  j1.period = 0.0;  // back to back
+  const double horizon = 2.0;
+  simulate_network(net, {j1}, horizon, &usage);
+  for (int l = 0; l < usage.link_count(); ++l) {
+    EXPECT_GE(usage.busy_time(l), 0.0);
+    EXPECT_LE(usage.busy_time(l), horizon + 1e-9);
+  }
+}
+
+TEST(LinkUsageTest, RejectsNegativeInterval) {
+  const Tree tree = make_figure2_tree();
+  const FlowNetwork net(tree, LinkConfig{});
+  LinkUsage usage(net);
+  std::vector<Flow> flows;
+  EXPECT_THROW(usage.record(flows, -1.0), InvariantError);
+}
+
+}  // namespace
+}  // namespace commsched

@@ -1,0 +1,140 @@
+#include "sched/individual.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "topology/builders.hpp"
+#include "util/assert.hpp"
+#include "workload/mixes.hpp"
+#include "workload/synthetic.hpp"
+
+namespace commsched {
+namespace {
+
+JobLog make_probes(int count, int nodes, bool comm, Pattern pattern) {
+  JobLog log;
+  for (int i = 0; i < count; ++i) {
+    JobRecord j;
+    j.id = i + 1;
+    j.num_nodes = nodes;
+    j.runtime = 1000.0;
+    j.walltime = 1500.0;
+    j.comm_intensive = comm;
+    j.comm_fraction = comm ? 0.6 : 0.0;
+    j.pattern = pattern;
+    log.push_back(j);
+  }
+  return log;
+}
+
+TEST(IndividualRunTest, ReportsEveryFittingProbe) {
+  const Tree tree = make_two_level_tree(4, 16);
+  const JobLog probes = make_probes(10, 8, true, Pattern::kRecursiveDoubling);
+  const auto outcomes = run_individual(tree, probes, IndividualOptions{});
+  EXPECT_EQ(outcomes.size(), 10u);
+}
+
+TEST(IndividualRunTest, SkipsProbesThatCannotFit) {
+  const Tree tree = make_two_level_tree(2, 8);  // 16 nodes
+  IndividualOptions opts;
+  opts.occupancy = 0.6;  // ~9 nodes busy
+  const JobLog probes = make_probes(3, 16, true, Pattern::kRecursiveDoubling);
+  const auto outcomes = run_individual(tree, probes, opts);
+  EXPECT_TRUE(outcomes.empty());
+}
+
+TEST(IndividualRunTest, DefaultImprovementIsZeroByConstruction) {
+  const Tree tree = make_two_level_tree(4, 16);
+  const JobLog probes = make_probes(5, 8, true, Pattern::kBinomial);
+  const auto outcomes = run_individual(tree, probes, IndividualOptions{});
+  for (const auto& o : outcomes) {
+    EXPECT_DOUBLE_EQ(o.improvement_percent(AllocatorKind::kDefault), 0.0);
+    EXPECT_DOUBLE_EQ(o.exec_time[0], 1000.0);
+  }
+}
+
+TEST(IndividualRunTest, AdaptiveCostNeverAboveBothCandidates) {
+  const Tree tree = make_two_level_tree(6, 16);
+  JobLog probes = make_probes(20, 16, true, Pattern::kRecursiveHalvingVD);
+  IndividualOptions opts;
+  opts.occupancy = 0.55;
+  const auto outcomes = run_individual(tree, probes, opts);
+  ASSERT_FALSE(outcomes.empty());
+  for (const auto& o : outcomes) {
+    const double g = o.cost[static_cast<std::size_t>(AllocatorKind::kGreedy)];
+    const double b = o.cost[static_cast<std::size_t>(AllocatorKind::kBalanced)];
+    const double a = o.cost[static_cast<std::size_t>(AllocatorKind::kAdaptive)];
+    EXPECT_LE(a, std::min(g, b) + 1e-9);
+  }
+}
+
+TEST(IndividualRunTest, ComputeProbesKeepTheirRuntime) {
+  const Tree tree = make_two_level_tree(4, 16);
+  const JobLog probes = make_probes(5, 8, false, Pattern::kRecursiveDoubling);
+  const auto outcomes = run_individual(tree, probes, IndividualOptions{});
+  for (const auto& o : outcomes)
+    for (const double t : o.exec_time) EXPECT_DOUBLE_EQ(t, 1000.0);
+}
+
+TEST(IndividualRunTest, ExecTimeFollowsCostRatio) {
+  const Tree tree = make_two_level_tree(6, 16);
+  JobLog probes = make_probes(10, 32, true, Pattern::kRecursiveDoubling);
+  IndividualOptions opts;
+  opts.occupancy = 0.5;
+  const auto outcomes = run_individual(tree, probes, opts);
+  for (const auto& o : outcomes) {
+    for (const AllocatorKind kind : kAllAllocatorKinds) {
+      const auto i = static_cast<std::size_t>(kind);
+      if (o.cost[0] == 0.0) continue;
+      const double ratio = std::clamp(o.cost[i] / o.cost[0], 0.05, 20.0);
+      EXPECT_NEAR(o.exec_time[i], 400.0 + 600.0 * ratio, 1e-6);
+    }
+  }
+}
+
+TEST(IndividualRunTest, DeterministicForFixedSeed) {
+  const Tree tree = make_two_level_tree(4, 16);
+  const JobLog probes = make_probes(8, 16, true, Pattern::kRecursiveHalvingVD);
+  IndividualOptions opts;
+  opts.seed = 77;
+  const auto a = run_individual(tree, probes, opts);
+  const auto b = run_individual(tree, probes, opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t k = 0; k < kNumAllocatorKinds; ++k)
+      EXPECT_DOUBLE_EQ(a[i].cost[k], b[i].cost[k]);
+}
+
+TEST(IndividualRunTest, RejectsFullOccupancy) {
+  const Tree tree = make_two_level_tree(2, 8);
+  IndividualOptions opts;
+  opts.occupancy = 1.0;
+  EXPECT_THROW(run_individual(tree, {}, opts), InvariantError);
+}
+
+TEST(IndividualRunTest, PaperStyleWorkload) {
+  // 200 random probes from a Theta-like log (§6.3), on the Theta topology.
+  const Tree tree = make_theta();
+  JobLog log = generate_log(theta_profile(), 200, 31);
+  apply_mix(log, uniform_mix(Pattern::kRecursiveDoubling, 0.9, 0.5), 32);
+  IndividualOptions opts;
+  opts.occupancy = 0.5;
+  const auto outcomes = run_individual(tree, log, opts);
+  ASSERT_GT(outcomes.size(), 150u);
+  // Balanced/adaptive must not lose to default on average (Table 4 shape).
+  double bal = 0.0, ada = 0.0;
+  int comm_count = 0;
+  for (const auto& o : outcomes) {
+    if (!o.comm_intensive) continue;
+    ++comm_count;
+    bal += o.improvement_percent(AllocatorKind::kBalanced);
+    ada += o.improvement_percent(AllocatorKind::kAdaptive);
+  }
+  ASSERT_GT(comm_count, 0);
+  EXPECT_GE(bal / comm_count, 0.0);
+  EXPECT_GE(ada / comm_count, 0.0);
+}
+
+}  // namespace
+}  // namespace commsched

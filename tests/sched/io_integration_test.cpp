@@ -1,0 +1,103 @@
+// End-to-end behaviour of the §7 I/O extension inside the simulator:
+// pricing, runtime impact, and the io_aware policy under load.
+#include <gtest/gtest.h>
+
+#include "metrics/summary.hpp"
+#include "sched/simulator.hpp"
+#include "util/assert.hpp"
+#include "topology/builders.hpp"
+#include "workload/mixes.hpp"
+#include "workload/synthetic.hpp"
+
+namespace commsched {
+namespace {
+
+JobLog mixed_log(int n_jobs, std::uint64_t seed) {
+  LogProfile p = theta_profile();
+  p.machine_nodes = 4 * 366;
+  JobLog log = filter_power_of_two(generate_log(p, n_jobs, seed));
+  MixSpec spec = uniform_mix(Pattern::kRecursiveHalvingVD, 0.9, 0.5);
+  spec.io_percent = 0.5;
+  spec.io_fraction = 0.3;
+  apply_mix(log, spec, seed + 1);
+  return log;
+}
+
+Tree small_theta() { return make_two_level_tree(4, 366, "theta", "tsw"); }
+
+TEST(IoIntegrationTest, IoCostsRecordedForIoJobsOnly) {
+  const Tree tree = small_theta();
+  const JobLog log = mixed_log(120, 3);
+  SchedOptions opts;
+  opts.allocator = AllocatorKind::kIoAware;
+  const SimResult r = run_continuous(tree, log, opts);
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    if (log[i].io_intensive) {
+      EXPECT_GT(r.jobs[i].io_cost, 0.0);
+      EXPECT_GT(r.jobs[i].io_cost_default, 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(r.jobs[i].io_cost, 0.0);
+    }
+  }
+}
+
+TEST(IoIntegrationTest, DefaultPolicyUnaffectedByIoFlags) {
+  const Tree tree = small_theta();
+  const JobLog log = mixed_log(120, 5);
+  SchedOptions opts;  // default allocator
+  const SimResult r = run_continuous(tree, log, opts);
+  for (const auto& j : r.jobs)
+    EXPECT_DOUBLE_EQ(j.actual_runtime, j.original_runtime);
+}
+
+TEST(IoIntegrationTest, MixExactIoCount) {
+  const JobLog log = mixed_log(200, 7);
+  std::size_t io_jobs = 0;
+  for (const auto& j : log) {
+    if (j.io_intensive) {
+      ++io_jobs;
+      EXPECT_DOUBLE_EQ(j.io_fraction, 0.3);
+      EXPECT_LE(j.comm_fraction + j.io_fraction, 1.0);
+    } else {
+      EXPECT_DOUBLE_EQ(j.io_fraction, 0.0);
+    }
+  }
+  EXPECT_EQ(io_jobs, log.size() / 2);
+}
+
+TEST(IoIntegrationTest, IoAwareNotWorseThanAdaptiveOnMixedLoad) {
+  const Tree tree = small_theta();
+  const JobLog log = mixed_log(200, 11);
+  SchedOptions a;
+  a.allocator = AllocatorKind::kAdaptive;
+  SchedOptions b;
+  b.allocator = AllocatorKind::kIoAware;
+  const RunSummary adaptive = summarize(run_continuous(tree, log, a));
+  const RunSummary io_aware = summarize(run_continuous(tree, log, b));
+  EXPECT_LE(io_aware.total_exec_hours, adaptive.total_exec_hours * 1.02);
+}
+
+TEST(IoIntegrationTest, MixRejectsOverfullFractions) {
+  JobLog log = mixed_log(10, 13);
+  MixSpec bad = uniform_mix(Pattern::kRecursiveDoubling, 0.9, 0.8);
+  bad.io_percent = 0.5;
+  bad.io_fraction = 0.3;  // 0.8 + 0.3 > 1
+  EXPECT_THROW(apply_mix(log, bad, 1), InvariantError);
+}
+
+TEST(IoIntegrationTest, SimulatorRejectsOverfullJobFractions) {
+  const Tree tree = make_figure2_tree();
+  JobLog log(1);
+  log[0].id = 1;
+  log[0].num_nodes = 2;
+  log[0].runtime = 100.0;
+  log[0].walltime = 100.0;
+  log[0].comm_intensive = true;
+  log[0].comm_fraction = 0.8;
+  log[0].io_intensive = true;
+  log[0].io_fraction = 0.4;
+  EXPECT_THROW(run_continuous(tree, log, SchedOptions{}), InvariantError);
+}
+
+}  // namespace
+}  // namespace commsched

@@ -1,0 +1,138 @@
+// Scheduler substrate extensions: queue policies (SLURM priority plugins),
+// walltime enforcement, and the exclusive (interference-free) policy inside
+// the event loop.
+#include <gtest/gtest.h>
+
+#include "sched/simulator.hpp"
+#include "topology/builders.hpp"
+
+namespace commsched {
+namespace {
+
+JobRecord job(WorkloadJobId id, double submit, int nodes, double runtime,
+              double walltime = 0.0) {
+  JobRecord j;
+  j.id = id;
+  j.submit_time = submit;
+  j.num_nodes = nodes;
+  j.runtime = runtime;
+  j.walltime = walltime > 0.0 ? walltime : runtime;
+  return j;
+}
+
+TEST(QueuePolicyTest, ShortestJobFirstReordersBlockedQueue) {
+  // Machine full until t=100; three waiting jobs with distinct walltimes.
+  // SJF must start them shortest-first regardless of submit order.
+  const Tree tree = make_figure2_tree();
+  JobLog log{job(1, 0.0, 8, 100.0), job(2, 1.0, 8, 300.0),
+             job(3, 2.0, 8, 50.0), job(4, 3.0, 8, 200.0)};
+  SchedOptions opts;
+  opts.queue_policy = QueuePolicy::kShortestJobFirst;
+  const SimResult r = run_continuous(tree, log, opts);
+  EXPECT_DOUBLE_EQ(r.jobs[2].start_time, 100.0);  // 50 s job first
+  EXPECT_DOUBLE_EQ(r.jobs[3].start_time, 150.0);  // then 200 s
+  EXPECT_DOUBLE_EQ(r.jobs[1].start_time, 350.0);  // 300 s job last
+}
+
+TEST(QueuePolicyTest, SmallestJobFirstReordersByNodeCount) {
+  // 8-node machine full until t=100; the 2-node job jumps the 6-node one
+  // and both fit together once the machine frees up.
+  const Tree tree = make_figure2_tree();
+  JobLog log{job(1, 0.0, 8, 100.0), job(2, 1.0, 6, 100.0),
+             job(3, 2.0, 2, 100.0)};
+  SchedOptions opts;
+  opts.queue_policy = QueuePolicy::kSmallestJobFirst;
+  opts.easy_backfill = false;
+  const SimResult r = run_continuous(tree, log, opts);
+  EXPECT_DOUBLE_EQ(r.jobs[2].start_time, 100.0);
+  EXPECT_DOUBLE_EQ(r.jobs[1].start_time, 100.0);
+}
+
+TEST(QueuePolicyTest, FifoTiesPreservedUnderSort) {
+  // Equal keys stay in submit order (stable sort).
+  const Tree tree = make_figure2_tree();
+  JobLog log{job(1, 0.0, 8, 100.0), job(2, 1.0, 4, 100.0),
+             job(3, 2.0, 4, 100.0)};
+  SchedOptions opts;
+  opts.queue_policy = QueuePolicy::kShortestJobFirst;
+  const SimResult r = run_continuous(tree, log, opts);
+  EXPECT_LE(r.jobs[1].start_time, r.jobs[2].start_time);
+}
+
+TEST(WalltimeTest, EnforcementTruncatesOverruns) {
+  // Pin the Eq. 7 ratio at 3 via the clamp so the fully-communication job
+  // deterministically overruns its walltime (T' = 300 s > 120 s limit).
+  const Tree tree = make_figure2_tree();
+  JobLog log{job(1, 0.0, 4, 100.0, 120.0)};
+  log[0].comm_intensive = true;
+  log[0].comm_fraction = 1.0;
+  SchedOptions opts;
+  opts.allocator = AllocatorKind::kBalanced;
+  opts.runtime_options.min_ratio = 3.0;
+  opts.runtime_options.max_ratio = 3.0;
+
+  opts.enforce_walltime = true;
+  SimResult r = run_continuous(tree, log, opts);
+  EXPECT_TRUE(r.jobs[0].hit_walltime);
+  EXPECT_DOUBLE_EQ(r.jobs[0].actual_runtime, 120.0);
+
+  opts.enforce_walltime = false;
+  r = run_continuous(tree, log, opts);
+  EXPECT_FALSE(r.jobs[0].hit_walltime);
+  EXPECT_DOUBLE_EQ(r.jobs[0].actual_runtime, 300.0);
+}
+
+TEST(WalltimeTest, NoEnforcementByDefault) {
+  const Tree tree = make_figure2_tree();
+  JobLog log{job(1, 0.0, 4, 100.0, 100.0)};
+  const SimResult r = run_continuous(tree, log, SchedOptions{});
+  EXPECT_FALSE(r.jobs[0].hit_walltime);
+}
+
+TEST(ExclusiveInSimulatorTest, JobsWaitForIdleSwitchesInsteadOfSharing) {
+  // Job 1 taints one leaf with 5 of its 8 nodes; job 2 needs 10 nodes and
+  // under exclusive requires two fully idle leaves -> it must wait, while a
+  // sharing policy starts it immediately (10 <= 11 free).
+  const Tree tree = make_two_level_tree(2, 8);
+  JobLog log{job(1, 0.0, 5, 100.0), job(2, 1.0, 10, 100.0)};
+
+  SchedOptions sharing;
+  sharing.allocator = AllocatorKind::kDefault;
+  const SimResult a = run_continuous(tree, log, sharing);
+  EXPECT_DOUBLE_EQ(a.jobs[1].start_time, 1.0);
+
+  SchedOptions excl;
+  excl.allocator = AllocatorKind::kExclusive;
+  const SimResult b = run_continuous(tree, log, excl);
+  EXPECT_DOUBLE_EQ(b.jobs[0].start_time, 0.0);
+  EXPECT_DOUBLE_EQ(b.jobs[1].start_time, 100.0);  // §2's wait-time penalty
+}
+
+TEST(ExclusiveInSimulatorTest, BackfillStillWorksAroundBlockedHead) {
+  // Head needs 2 idle leaves, only one is idle; a small job that fits the
+  // idle leaf and ends before the reservation may still backfill.
+  const Tree tree = make_two_level_tree(2, 8);
+  JobLog log{job(1, 0.0, 6, 100.0),   // occupies leaf 0 (exclusive)
+             job(2, 1.0, 12, 100.0),  // needs both leaves -> waits
+             job(3, 2.0, 4, 50.0)};   // fits the idle leaf, ends by t=100
+  SchedOptions opts;
+  opts.allocator = AllocatorKind::kExclusive;
+  const SimResult r = run_continuous(tree, log, opts);
+  EXPECT_DOUBLE_EQ(r.jobs[2].start_time, 2.0);
+  EXPECT_DOUBLE_EQ(r.jobs[1].start_time, 100.0);
+}
+
+TEST(ExclusiveInSimulatorTest, EveryJobEventuallyRuns) {
+  const Tree tree = make_two_level_tree(4, 8);
+  JobLog log;
+  for (int i = 0; i < 20; ++i)
+    log.push_back(job(i + 1, i * 2.0, 1 + (i * 5) % 12, 30.0 + i));
+  SchedOptions opts;
+  opts.allocator = AllocatorKind::kExclusive;
+  const SimResult r = run_continuous(tree, log, opts);
+  ASSERT_EQ(r.jobs.size(), log.size());
+  for (const auto& jr : r.jobs) EXPECT_GT(jr.actual_runtime, 0.0);
+}
+
+}  // namespace
+}  // namespace commsched

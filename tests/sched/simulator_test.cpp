@@ -1,0 +1,252 @@
+#include "sched/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "topology/builders.hpp"
+#include "util/assert.hpp"
+
+namespace commsched {
+namespace {
+
+JobRecord job(WorkloadJobId id, double submit, int nodes, double runtime,
+              double walltime = 0.0, bool comm = false,
+              double comm_fraction = 0.0) {
+  JobRecord j;
+  j.id = id;
+  j.submit_time = submit;
+  j.num_nodes = nodes;
+  j.runtime = runtime;
+  j.walltime = walltime > 0.0 ? walltime : runtime;
+  j.comm_intensive = comm;
+  j.comm_fraction = comm_fraction;
+  j.pattern = Pattern::kRecursiveDoubling;
+  return j;
+}
+
+SchedOptions options(AllocatorKind kind, bool backfill = true) {
+  SchedOptions o;
+  o.allocator = kind;
+  o.easy_backfill = backfill;
+  return o;
+}
+
+TEST(SimulatorTest, SingleJobRunsImmediately) {
+  const Tree tree = make_figure2_tree();
+  const JobLog log{job(1, 0.0, 4, 100.0)};
+  const SimResult r =
+      run_continuous(tree, log, options(AllocatorKind::kDefault));
+  ASSERT_EQ(r.jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.jobs[0].start_time, 0.0);
+  EXPECT_DOUBLE_EQ(r.jobs[0].end_time, 100.0);
+  EXPECT_DOUBLE_EQ(r.jobs[0].wait_time(), 0.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 100.0);
+  EXPECT_EQ(r.allocator_name, "default");
+}
+
+TEST(SimulatorTest, FifoOrderWhenMachineIsFull) {
+  // Machine of 8; two 8-node jobs: second waits for the first.
+  const Tree tree = make_figure2_tree();
+  const JobLog log{job(1, 0.0, 8, 100.0), job(2, 10.0, 8, 50.0)};
+  const SimResult r =
+      run_continuous(tree, log, options(AllocatorKind::kDefault));
+  EXPECT_DOUBLE_EQ(r.jobs[0].start_time, 0.0);
+  EXPECT_DOUBLE_EQ(r.jobs[1].start_time, 100.0);
+  EXPECT_DOUBLE_EQ(r.jobs[1].wait_time(), 90.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 150.0);
+}
+
+TEST(SimulatorTest, ConcurrentJobsShareTheMachine) {
+  const Tree tree = make_figure2_tree();
+  const JobLog log{job(1, 0.0, 4, 100.0), job(2, 0.0, 4, 80.0)};
+  const SimResult r =
+      run_continuous(tree, log, options(AllocatorKind::kDefault));
+  EXPECT_DOUBLE_EQ(r.jobs[0].start_time, 0.0);
+  EXPECT_DOUBLE_EQ(r.jobs[1].start_time, 0.0);
+}
+
+TEST(SimulatorTest, BackfillLetsSmallJobJumpAhead) {
+  // J1 takes the whole machine until t=100. J2 (8 nodes) must wait for it.
+  // J3 (2 nodes, walltime 50) fits now and ends before J2's reservation
+  // at t=100 -> EASY starts it immediately.
+  const Tree tree = make_figure2_tree();
+  const JobLog log{job(1, 0.0, 6, 100.0), job(2, 1.0, 8, 100.0),
+                   job(3, 2.0, 2, 50.0)};
+  const SimResult r =
+      run_continuous(tree, log, options(AllocatorKind::kDefault));
+  EXPECT_DOUBLE_EQ(r.jobs[2].start_time, 2.0);   // backfilled
+  EXPECT_DOUBLE_EQ(r.jobs[1].start_time, 100.0); // head not delayed
+}
+
+TEST(SimulatorTest, BackfillRefusesJobThatWouldDelayHead) {
+  // Same but J3's walltime (200) overlaps the head's reservation and would
+  // occupy nodes the head needs -> must not backfill.
+  const Tree tree = make_figure2_tree();
+  const JobLog log{job(1, 0.0, 6, 100.0), job(2, 1.0, 8, 100.0),
+                   job(3, 2.0, 2, 200.0)};
+  const SimResult r =
+      run_continuous(tree, log, options(AllocatorKind::kDefault));
+  EXPECT_DOUBLE_EQ(r.jobs[1].start_time, 100.0);
+  EXPECT_GE(r.jobs[2].start_time, 100.0);
+}
+
+TEST(SimulatorTest, BackfillIntoSpareNodesBeyondHeadNeed) {
+  // Head needs 6 of 8 nodes at its reservation; a long 2-node job fits the
+  // 2 spare nodes and may run despite overlapping the reservation.
+  const Tree tree = make_figure2_tree();
+  const JobLog log{job(1, 0.0, 8, 100.0), job(2, 1.0, 6, 100.0),
+                   job(3, 2.0, 2, 500.0)};
+  const SimResult r =
+      run_continuous(tree, log, options(AllocatorKind::kDefault));
+  EXPECT_DOUBLE_EQ(r.jobs[1].start_time, 100.0);
+  EXPECT_DOUBLE_EQ(r.jobs[2].start_time, 100.0);  // extra-nodes backfill
+}
+
+TEST(SimulatorTest, NoBackfillBlocksBehindHead) {
+  const Tree tree = make_figure2_tree();
+  const JobLog log{job(1, 0.0, 6, 100.0), job(2, 1.0, 8, 100.0),
+                   job(3, 2.0, 2, 50.0)};
+  const SimResult r = run_continuous(
+      tree, log, options(AllocatorKind::kDefault, /*backfill=*/false));
+  EXPECT_GE(r.jobs[2].start_time, 100.0);  // strict FIFO
+}
+
+TEST(SimulatorTest, DefaultAllocatorNeverChangesRuntime) {
+  const Tree tree = make_figure2_tree();
+  JobLog log{job(1, 0.0, 8, 100.0, 150.0, true, 0.9),
+             job(2, 0.0, 4, 60.0, 90.0, true, 0.9)};
+  const SimResult r =
+      run_continuous(tree, log, options(AllocatorKind::kDefault));
+  for (const auto& jr : r.jobs)
+    EXPECT_DOUBLE_EQ(jr.actual_runtime, jr.original_runtime);
+}
+
+TEST(SimulatorTest, JobAwareRunsRecordBothCosts) {
+  const Tree tree = make_two_level_tree(4, 8);
+  JobLog log;
+  for (int i = 0; i < 6; ++i)
+    log.push_back(job(i + 1, i * 5.0, 8, 300.0, 400.0, true, 0.8));
+  const SimResult r =
+      run_continuous(tree, log, options(AllocatorKind::kBalanced));
+  for (const auto& jr : r.jobs) {
+    EXPECT_GT(jr.cost, 0.0);
+    EXPECT_GT(jr.cost_default, 0.0);
+    // Eq. 7: actual = 0.2*T + 0.8*T*ratio.
+    const double ratio = jr.cost / jr.cost_default;
+    const double expected =
+        0.2 * jr.original_runtime +
+        0.8 * jr.original_runtime * std::clamp(ratio, 0.05, 20.0);
+    EXPECT_NEAR(jr.actual_runtime, expected, 1e-9);
+  }
+}
+
+TEST(SimulatorTest, ComputeJobsNeverPriced) {
+  const Tree tree = make_figure2_tree();
+  JobLog log{job(1, 0.0, 8, 100.0, 100.0, false)};
+  const SimResult r =
+      run_continuous(tree, log, options(AllocatorKind::kAdaptive));
+  EXPECT_DOUBLE_EQ(r.jobs[0].cost, 0.0);
+  EXPECT_DOUBLE_EQ(r.jobs[0].actual_runtime, 100.0);
+}
+
+TEST(SimulatorTest, EveryJobRunsExactlyOnce) {
+  const Tree tree = make_two_level_tree(4, 8);
+  JobLog log;
+  for (int i = 0; i < 40; ++i)
+    log.push_back(job(i + 1, i * 3.0, 1 + (i % 16), 50.0 + i, 0.0,
+                      i % 2 == 0, 0.5));
+  for (const AllocatorKind kind : kAllAllocatorKinds) {
+    const SimResult r = run_continuous(tree, log, options(kind));
+    ASSERT_EQ(r.jobs.size(), log.size());
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      EXPECT_EQ(r.jobs[i].id, log[i].id);
+      EXPECT_GE(r.jobs[i].start_time, log[i].submit_time);
+      EXPECT_GT(r.jobs[i].actual_runtime, 0.0);
+      EXPECT_NEAR(r.jobs[i].end_time,
+                  r.jobs[i].start_time + r.jobs[i].actual_runtime, 1e-9);
+    }
+  }
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  const Tree tree = make_two_level_tree(4, 8);
+  JobLog log;
+  for (int i = 0; i < 30; ++i)
+    log.push_back(job(i + 1, i * 2.0, 1 + (i * 7) % 20, 40.0 + i, 0.0,
+                      i % 3 != 0, 0.6));
+  const SimResult a =
+      run_continuous(tree, log, options(AllocatorKind::kAdaptive));
+  const SimResult b =
+      run_continuous(tree, log, options(AllocatorKind::kAdaptive));
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].start_time, b.jobs[i].start_time);
+    EXPECT_DOUBLE_EQ(a.jobs[i].actual_runtime, b.jobs[i].actual_runtime);
+    EXPECT_DOUBLE_EQ(a.jobs[i].cost, b.jobs[i].cost);
+  }
+}
+
+TEST(SimulatorTest, MakespanIsLastCompletion) {
+  const Tree tree = make_figure2_tree();
+  const JobLog log{job(1, 0.0, 2, 100.0), job(2, 5.0, 2, 30.0)};
+  const SimResult r =
+      run_continuous(tree, log, options(AllocatorKind::kGreedy));
+  double last_end = 0.0;
+  for (const auto& jr : r.jobs) last_end = std::max(last_end, jr.end_time);
+  EXPECT_DOUBLE_EQ(r.makespan, last_end);
+}
+
+TEST(SimulatorTest, RejectsOversizedJob) {
+  const Tree tree = make_figure2_tree();
+  const JobLog log{job(1, 0.0, 9, 100.0)};
+  EXPECT_THROW(run_continuous(tree, log, options(AllocatorKind::kDefault)),
+               InvariantError);
+}
+
+TEST(SimulatorTest, RejectsUnsortedLog) {
+  const Tree tree = make_figure2_tree();
+  const JobLog log{job(1, 10.0, 2, 100.0), job(2, 5.0, 2, 100.0)};
+  EXPECT_THROW(run_continuous(tree, log, options(AllocatorKind::kDefault)),
+               InvariantError);
+}
+
+TEST(SimulatorTest, RejectsNonPositiveRuntime) {
+  const Tree tree = make_figure2_tree();
+  JobLog log{job(1, 0.0, 2, 0.0)};
+  log[0].walltime = 10.0;
+  EXPECT_THROW(run_continuous(tree, log, options(AllocatorKind::kDefault)),
+               InvariantError);
+}
+
+TEST(SimulatorTest, EmptyLogIsFine) {
+  const Tree tree = make_figure2_tree();
+  const SimResult r =
+      run_continuous(tree, {}, options(AllocatorKind::kDefault));
+  EXPECT_TRUE(r.jobs.empty());
+  EXPECT_DOUBLE_EQ(r.makespan, 0.0);
+}
+
+// Backfill must never delay the queue head relative to plain FIFO.
+class BackfillHeadProtection : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackfillHeadProtection, HeadStartsNoLaterThanWithoutBackfill) {
+  const Tree tree = make_two_level_tree(2, 8);
+  JobLog log;
+  const int variant = GetParam();
+  // A full-machine head job behind a long runner, plus small filler jobs.
+  log.push_back(job(1, 0.0, 10, 200.0));
+  log.push_back(job(2, 1.0, 16, 100.0));  // head-of-queue big job
+  for (int i = 0; i < 6; ++i)
+    log.push_back(job(3 + i, 2.0 + i, 1 + (i * variant) % 5,
+                      20.0 + 10.0 * ((i + variant) % 4)));
+  const SimResult with = run_continuous(tree, log, options(AllocatorKind::kDefault, true));
+  const SimResult without = run_continuous(tree, log, options(AllocatorKind::kDefault, false));
+  // Job 2 (index 1) is the job the reservation protects.
+  EXPECT_LE(with.jobs[1].start_time, without.jobs[1].start_time + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, BackfillHeadProtection,
+                         ::testing::Values(1, 2, 3, 5, 7));
+
+}  // namespace
+}  // namespace commsched

@@ -1,0 +1,132 @@
+#include "sched/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "sched/simulator.hpp"
+#include "topology/builders.hpp"
+#include "workload/mixes.hpp"
+#include "workload/synthetic.hpp"
+
+namespace commsched {
+namespace {
+
+TEST(TraceJsonTest, RoundTripsEachKind) {
+  for (const auto kind :
+       {TraceEvent::Kind::kSubmit, TraceEvent::Kind::kStart,
+        TraceEvent::Kind::kEnd}) {
+    TraceEvent e;
+    e.kind = kind;
+    e.time = 123.456;
+    e.job = 42;
+    e.num_nodes = 64;
+    const auto parsed = trace_event_from_json(trace_event_to_json(e));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->kind, e.kind);
+    EXPECT_NEAR(parsed->time, e.time, 1e-6);
+    EXPECT_EQ(parsed->job, e.job);
+    EXPECT_EQ(parsed->num_nodes, e.num_nodes);
+  }
+}
+
+TEST(TraceJsonTest, RejectsMalformedLines) {
+  EXPECT_FALSE(trace_event_from_json("").has_value());
+  EXPECT_FALSE(trace_event_from_json("{}").has_value());
+  EXPECT_FALSE(trace_event_from_json(
+                   R"({"ev":"levitate","t":1,"job":1,"nodes":1})")
+                   .has_value());
+  EXPECT_FALSE(trace_event_from_json(
+                   R"({"ev":"start","t":"xx","job":1,"nodes":1})")
+                   .has_value());
+}
+
+TEST(TraceJsonTest, SinkWritesOneLinePerEvent) {
+  std::ostringstream out;
+  const auto sink = make_json_trace_sink(out);
+  sink({TraceEvent::Kind::kSubmit, 0.0, 1, 4});
+  sink({TraceEvent::Kind::kStart, 1.0, 1, 4});
+  std::istringstream in(out.str());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(trace_event_from_json(line).has_value());
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+}
+
+// --- The trace as a simulator oracle --------------------------------------
+
+std::vector<TraceEvent> trace_of(const Tree& tree, const JobLog& log,
+                                 AllocatorKind kind) {
+  std::vector<TraceEvent> events;
+  SchedOptions opts;
+  opts.allocator = kind;
+  opts.trace = [&](const TraceEvent& e) { events.push_back(e); };
+  run_continuous(tree, log, opts);
+  return events;
+}
+
+class TraceOracle : public ::testing::TestWithParam<AllocatorKind> {};
+
+TEST_P(TraceOracle, EventStreamIsConsistent) {
+  const Tree tree = make_two_level_tree(4, 8);
+  LogProfile profile = theta_profile();
+  profile.machine_nodes = 32;
+  profile.min_exp = 0;
+  profile.max_exp = 5;
+  JobLog log = generate_log(profile, 120, 77);
+  apply_mix(log, uniform_mix(Pattern::kRecursiveHalvingVD, 0.7, 0.5), 78);
+
+  const auto events = trace_of(tree, log, GetParam());
+  // Every job contributes exactly submit, start, end.
+  EXPECT_EQ(events.size(), log.size() * 3);
+
+  double prev_time = 0.0;
+  std::map<WorkloadJobId, TraceEvent::Kind> last_kind;
+  std::map<WorkloadJobId, double> submit_at, start_at;
+  int nodes_busy = 0;
+  for (const TraceEvent& e : events) {
+    EXPECT_GE(e.time, prev_time) << "events out of order";
+    prev_time = e.time;
+    switch (e.kind) {
+      case TraceEvent::Kind::kSubmit:
+        EXPECT_FALSE(last_kind.contains(e.job)) << "double submit";
+        submit_at[e.job] = e.time;
+        break;
+      case TraceEvent::Kind::kStart:
+        ASSERT_TRUE(last_kind.contains(e.job)) << "start before submit";
+        EXPECT_EQ(last_kind[e.job], TraceEvent::Kind::kSubmit);
+        EXPECT_GE(e.time, submit_at[e.job]);
+        start_at[e.job] = e.time;
+        nodes_busy += e.num_nodes;
+        // The machine must never be oversubscribed.
+        EXPECT_LE(nodes_busy, tree.node_count());
+        break;
+      case TraceEvent::Kind::kEnd:
+        ASSERT_TRUE(last_kind.contains(e.job)) << "end before submit";
+        EXPECT_EQ(last_kind[e.job], TraceEvent::Kind::kStart);
+        EXPECT_GT(e.time, start_at[e.job]);
+        nodes_busy -= e.num_nodes;
+        EXPECT_GE(nodes_busy, 0);
+        break;
+    }
+    last_kind[e.job] = e.kind;
+  }
+  EXPECT_EQ(nodes_busy, 0) << "machine not empty at the end";
+  for (const auto& [job, kind] : last_kind)
+    EXPECT_EQ(kind, TraceEvent::Kind::kEnd) << "job " << job << " unfinished";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, TraceOracle,
+                         ::testing::Values(AllocatorKind::kDefault,
+                                           AllocatorKind::kGreedy,
+                                           AllocatorKind::kBalanced,
+                                           AllocatorKind::kAdaptive,
+                                           AllocatorKind::kExclusive));
+
+}  // namespace
+}  // namespace commsched

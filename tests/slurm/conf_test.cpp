@@ -1,0 +1,104 @@
+#include "slurm/conf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace commsched {
+namespace {
+
+SlurmConf parse(const std::string& text) {
+  std::istringstream in(text);
+  return parse_slurm_conf(in);
+}
+
+TEST(SlurmConfTest, Defaults) {
+  const SlurmConf conf = parse("");
+  EXPECT_TRUE(conf.sched.easy_backfill);
+  EXPECT_EQ(conf.sched.allocator, AllocatorKind::kDefault);
+  EXPECT_EQ(conf.sched.queue_policy, QueuePolicy::kFifo);
+  EXPECT_TRUE(conf.topology_aware);
+  EXPECT_FALSE(conf.sched.enforce_walltime);
+}
+
+TEST(SlurmConfTest, PaperConfiguration) {
+  // §3.1/§5.2: FIFO + backfill, select/linear, topology/tree, job-aware on.
+  const SlurmConf conf = parse(
+      "SchedulerType=sched/backfill\n"
+      "SelectType=select/linear\n"
+      "TopologyPlugin=topology/tree\n"
+      "JobAware=adaptive\n");
+  EXPECT_TRUE(conf.sched.easy_backfill);
+  EXPECT_EQ(conf.sched.allocator, AllocatorKind::kAdaptive);
+  EXPECT_TRUE(conf.topology_aware);
+}
+
+TEST(SlurmConfTest, BuiltinSchedulerDisablesBackfill) {
+  EXPECT_FALSE(parse("SchedulerType=sched/builtin\n").sched.easy_backfill);
+}
+
+TEST(SlurmConfTest, PriorityPlugins) {
+  EXPECT_EQ(parse("PriorityType=priority/sjf\n").sched.queue_policy,
+            QueuePolicy::kShortestJobFirst);
+  EXPECT_EQ(parse("PriorityType=priority/smallest\n").sched.queue_policy,
+            QueuePolicy::kSmallestJobFirst);
+  EXPECT_EQ(parse("PriorityType=priority/fifo\n").sched.queue_policy,
+            QueuePolicy::kFifo);
+}
+
+TEST(SlurmConfTest, AllAllocatorValues) {
+  for (const char* name :
+       {"default", "greedy", "balanced", "adaptive", "exclusive"}) {
+    const SlurmConf conf = parse(std::string("JobAware=") + name + "\n");
+    EXPECT_STREQ(allocator_kind_name(conf.sched.allocator), name);
+  }
+}
+
+TEST(SlurmConfTest, NumericAndBooleanKnobs) {
+  const SlurmConf conf = parse(
+      "BackfillDepth=50\n"
+      "EnforceWallTime=yes\n");
+  EXPECT_EQ(conf.sched.backfill_depth, 50);
+  EXPECT_TRUE(conf.sched.enforce_walltime);
+}
+
+TEST(SlurmConfTest, CommentsAndUnknownKeysIgnored) {
+  const SlurmConf conf = parse(
+      "# production config\n"
+      "ClusterName=hpc2010   # unmodeled key\n"
+      "JobAware=balanced  # job-aware on\n");
+  EXPECT_EQ(conf.sched.allocator, AllocatorKind::kBalanced);
+}
+
+TEST(SlurmConfTest, Rejections) {
+  EXPECT_THROW(parse("SchedulerType=sched/unknown\n"), ParseError);
+  EXPECT_THROW(parse("SelectType=select/cons_res\n"), ParseError);
+  EXPECT_THROW(parse("TopologyPlugin=topology/3d_torus\n"), ParseError);
+  EXPECT_THROW(parse("PriorityType=priority/multifactor\n"), ParseError);
+  EXPECT_THROW(parse("JobAware=psychic\n"), ParseError);
+  EXPECT_THROW(parse("BackfillDepth=0\n"), ParseError);
+  EXPECT_THROW(parse("EnforceWallTime=maybe\n"), ParseError);
+  EXPECT_THROW(parse("not a key value line\n"), ParseError);
+}
+
+TEST(SlurmConfTest, WriteThenParseRoundTrips) {
+  SlurmConf conf;
+  conf.sched.easy_backfill = false;
+  conf.sched.allocator = AllocatorKind::kBalanced;
+  conf.sched.queue_policy = QueuePolicy::kShortestJobFirst;
+  conf.sched.backfill_depth = 77;
+  conf.sched.enforce_walltime = true;
+  conf.topology_aware = false;
+  const SlurmConf parsed = parse(write_slurm_conf(conf));
+  EXPECT_EQ(parsed.sched.easy_backfill, conf.sched.easy_backfill);
+  EXPECT_EQ(parsed.sched.allocator, conf.sched.allocator);
+  EXPECT_EQ(parsed.sched.queue_policy, conf.sched.queue_policy);
+  EXPECT_EQ(parsed.sched.backfill_depth, conf.sched.backfill_depth);
+  EXPECT_EQ(parsed.sched.enforce_walltime, conf.sched.enforce_walltime);
+  EXPECT_EQ(parsed.topology_aware, conf.topology_aware);
+}
+
+}  // namespace
+}  // namespace commsched

@@ -1,0 +1,69 @@
+#include "slurm/duration.hpp"
+
+#include <gtest/gtest.h>
+
+namespace commsched {
+namespace {
+
+TEST(SlurmDurationTest, MinutesOnly) {
+  EXPECT_DOUBLE_EQ(*parse_slurm_duration("90"), 5400.0);
+  EXPECT_DOUBLE_EQ(*parse_slurm_duration("1"), 60.0);
+}
+
+TEST(SlurmDurationTest, MinutesSeconds) {
+  EXPECT_DOUBLE_EQ(*parse_slurm_duration("10:30"), 630.0);
+}
+
+TEST(SlurmDurationTest, HoursMinutesSeconds) {
+  EXPECT_DOUBLE_EQ(*parse_slurm_duration("01:30:00"), 5400.0);
+  EXPECT_DOUBLE_EQ(*parse_slurm_duration("12:00:01"), 43201.0);
+}
+
+TEST(SlurmDurationTest, DaysForms) {
+  EXPECT_DOUBLE_EQ(*parse_slurm_duration("1-0"), 86400.0);
+  EXPECT_DOUBLE_EQ(*parse_slurm_duration("1-12"), 86400.0 + 12 * 3600.0);
+  EXPECT_DOUBLE_EQ(*parse_slurm_duration("2-03:30"),
+                   2 * 86400.0 + 3 * 3600.0 + 30 * 60.0);
+  EXPECT_DOUBLE_EQ(*parse_slurm_duration("1-00:00:30"), 86430.0);
+}
+
+TEST(SlurmDurationTest, Unlimited) {
+  EXPECT_DOUBLE_EQ(*parse_slurm_duration("UNLIMITED"), 365.0 * 86400.0);
+  EXPECT_DOUBLE_EQ(*parse_slurm_duration("INFINITE"), 365.0 * 86400.0);
+}
+
+TEST(SlurmDurationTest, WhitespaceTolerant) {
+  EXPECT_DOUBLE_EQ(*parse_slurm_duration("  30  "), 1800.0);
+}
+
+TEST(SlurmDurationTest, RejectsMalformed) {
+  EXPECT_FALSE(parse_slurm_duration("").has_value());
+  EXPECT_FALSE(parse_slurm_duration("abc").has_value());
+  EXPECT_FALSE(parse_slurm_duration("1:2:3:4").has_value());
+  EXPECT_FALSE(parse_slurm_duration("-5").has_value());
+  EXPECT_FALSE(parse_slurm_duration("1-").has_value());
+  EXPECT_FALSE(parse_slurm_duration("0").has_value());  // non-positive
+  EXPECT_FALSE(parse_slurm_duration("1:xx").has_value());
+}
+
+TEST(SlurmDurationTest, FormatCanonical) {
+  EXPECT_EQ(format_slurm_duration(5400.0), "01:30:00");
+  EXPECT_EQ(format_slurm_duration(86430.0), "1-00:00:30");
+  EXPECT_EQ(format_slurm_duration(59.0), "00:00:59");
+}
+
+class DurationRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(DurationRoundTrip, FormatThenParseIsIdentity) {
+  const double seconds = GetParam();
+  const auto parsed = parse_slurm_duration(format_slurm_duration(seconds));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(*parsed, seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Durations, DurationRoundTrip,
+                         ::testing::Values(60.0, 90.0, 3600.0, 5400.0,
+                                           86400.0, 90061.0, 31 * 86400.0));
+
+}  // namespace
+}  // namespace commsched

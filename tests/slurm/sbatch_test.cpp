@@ -1,0 +1,184 @@
+#include "slurm/sbatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace commsched {
+namespace {
+
+SbatchJob parse(const std::string& text) {
+  std::istringstream in(text);
+  return parse_sbatch_script(in);
+}
+
+constexpr const char* kFullScript = R"(#!/bin/bash
+#SBATCH --job-name=lammps-run
+#SBATCH --nodes=64
+#SBATCH --time=02:00:00
+#SBATCH --comment=comm:RHVD:0.6:2097152
+#SBATCH --partition=batch
+
+srun ./lammps -in in.lj
+)";
+
+TEST(SbatchTest, ParsesFullScript) {
+  const SbatchJob job = parse(kFullScript);
+  EXPECT_EQ(job.name, "lammps-run");
+  EXPECT_EQ(job.record.num_nodes, 64);
+  EXPECT_DOUBLE_EQ(job.record.walltime, 7200.0);
+  EXPECT_TRUE(job.record.comm_intensive);
+  EXPECT_EQ(job.record.pattern, Pattern::kRecursiveHalvingVD);
+  EXPECT_DOUBLE_EQ(job.record.comm_fraction, 0.6);
+  EXPECT_DOUBLE_EQ(job.record.msize, 2097152.0);
+}
+
+TEST(SbatchTest, ShortFlags) {
+  const SbatchJob job = parse(
+      "#!/bin/sh\n#SBATCH -J quick\n#SBATCH -N 4\n#SBATCH -t 30\n");
+  EXPECT_EQ(job.name, "quick");
+  EXPECT_EQ(job.record.num_nodes, 4);
+  EXPECT_DOUBLE_EQ(job.record.walltime, 1800.0);
+}
+
+TEST(SbatchTest, DefaultsWhenOnlyNodesGiven) {
+  const SbatchJob job = parse("#SBATCH --nodes=8\n");
+  EXPECT_EQ(job.name, "job");
+  EXPECT_DOUBLE_EQ(job.record.walltime, 3600.0);  // sbatch default
+  EXPECT_FALSE(job.record.comm_intensive);
+  EXPECT_DOUBLE_EQ(job.record.submit_time, 0.0);
+}
+
+TEST(SbatchTest, CommCommentDefaultsFraction) {
+  const SbatchJob job =
+      parse("#SBATCH --nodes=2\n#SBATCH --comment=comm:Binomial\n");
+  EXPECT_TRUE(job.record.comm_intensive);
+  EXPECT_EQ(job.record.pattern, Pattern::kBinomial);
+  EXPECT_DOUBLE_EQ(job.record.comm_fraction, 0.5);
+}
+
+TEST(SbatchTest, ComputeComment) {
+  const SbatchJob job =
+      parse("#SBATCH --nodes=2\n#SBATCH --comment=compute\n");
+  EXPECT_FALSE(job.record.comm_intensive);
+  EXPECT_DOUBLE_EQ(job.record.comm_fraction, 0.0);
+}
+
+TEST(SbatchTest, UnrelatedCommentIgnored) {
+  const SbatchJob job =
+      parse("#SBATCH --nodes=2\n#SBATCH --comment=weekly-regression\n");
+  EXPECT_FALSE(job.record.comm_intensive);
+}
+
+TEST(SbatchTest, MinMaxNodesUsesMinimum) {
+  const SbatchJob job = parse("#SBATCH --nodes=16-32\n");
+  EXPECT_EQ(job.record.num_nodes, 16);
+}
+
+TEST(SbatchTest, BeginOffset) {
+  const SbatchJob job =
+      parse("#SBATCH --nodes=1\n#SBATCH --begin=now+300\n");
+  EXPECT_DOUBLE_EQ(job.record.submit_time, 300.0);
+}
+
+TEST(SbatchTest, DirectivesAfterScriptBodyIgnored) {
+  const SbatchJob job = parse(
+      "#SBATCH --nodes=4\n"
+      "echo hello\n"
+      "#SBATCH --nodes=999\n");
+  EXPECT_EQ(job.record.num_nodes, 4);
+}
+
+TEST(SbatchTest, UnknownLongOptionsIgnored) {
+  const SbatchJob job = parse(
+      "#SBATCH --nodes=4\n#SBATCH --mem=64G\n#SBATCH --exclusive\n");
+  EXPECT_EQ(job.record.num_nodes, 4);
+}
+
+TEST(SbatchTest, Rejections) {
+  EXPECT_THROW(parse("echo no directives\n"), ParseError);       // no nodes
+  EXPECT_THROW(parse("#SBATCH --nodes=0\n"), ParseError);
+  EXPECT_THROW(parse("#SBATCH --nodes=x\n"), ParseError);
+  EXPECT_THROW(parse("#SBATCH --nodes=2\n#SBATCH --time=zzz\n"), ParseError);
+  EXPECT_THROW(parse("#SBATCH --nodes=2\n#SBATCH --comment=comm\n"),
+               ParseError);
+  EXPECT_THROW(parse("#SBATCH --nodes=2\n#SBATCH --comment=comm:FOO\n"),
+               ParseError);
+  EXPECT_THROW(parse("#SBATCH --nodes=2\n#SBATCH --comment=comm:RD:2.0\n"),
+               ParseError);
+  EXPECT_THROW(parse("#SBATCH --nodes=2\n#SBATCH --begin=-3\n"), ParseError);
+}
+
+TEST(SbatchTest, IoClauseAloneAndCombined) {
+  const SbatchJob io_only =
+      parse("#SBATCH --nodes=4\n#SBATCH --comment=io:0.4\n");
+  EXPECT_FALSE(io_only.record.comm_intensive);
+  EXPECT_TRUE(io_only.record.io_intensive);
+  EXPECT_DOUBLE_EQ(io_only.record.io_fraction, 0.4);
+
+  const SbatchJob both =
+      parse("#SBATCH --nodes=4\n#SBATCH --comment=comm:RHVD:0.5,io:0.3\n");
+  EXPECT_TRUE(both.record.comm_intensive);
+  EXPECT_TRUE(both.record.io_intensive);
+  EXPECT_DOUBLE_EQ(both.record.comm_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(both.record.io_fraction, 0.3);
+}
+
+TEST(SbatchTest, IoClauseRejections) {
+  EXPECT_THROW(parse("#SBATCH --nodes=2\n#SBATCH --comment=io\n"),
+               ParseError);
+  EXPECT_THROW(parse("#SBATCH --nodes=2\n#SBATCH --comment=io:1.5\n"),
+               ParseError);
+  // Overfull fractions.
+  EXPECT_THROW(
+      parse("#SBATCH --nodes=2\n#SBATCH --comment=comm:RD:0.8,io:0.4\n"),
+      ParseError);
+}
+
+TEST(SbatchTest, IoRoundTrips) {
+  SbatchJob job;
+  job.name = "io-heavy";
+  job.record.num_nodes = 8;
+  job.record.walltime = 600.0;
+  job.record.comm_intensive = true;
+  job.record.pattern = Pattern::kRecursiveHalvingVD;
+  job.record.comm_fraction = 0.5;
+  job.record.io_intensive = true;
+  job.record.io_fraction = 0.25;
+  const SbatchJob parsed = parse(write_sbatch_script(job));
+  EXPECT_TRUE(parsed.record.io_intensive);
+  EXPECT_DOUBLE_EQ(parsed.record.io_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(parsed.record.comm_fraction, 0.5);
+
+  SbatchJob pure_io = job;
+  pure_io.record.comm_intensive = false;
+  const SbatchJob parsed2 = parse(write_sbatch_script(pure_io));
+  EXPECT_FALSE(parsed2.record.comm_intensive);
+  EXPECT_TRUE(parsed2.record.io_intensive);
+}
+
+TEST(SbatchTest, WriteThenParseRoundTrips) {
+  SbatchJob job;
+  job.name = "roundtrip";
+  job.record.num_nodes = 128;
+  job.record.walltime = 5400.0;
+  job.record.submit_time = 60.0;
+  job.record.comm_intensive = true;
+  job.record.pattern = Pattern::kRecursiveDoubling;
+  job.record.comm_fraction = 0.75;
+  job.record.msize = 4096.0;
+  const SbatchJob parsed = parse(write_sbatch_script(job));
+  EXPECT_EQ(parsed.name, job.name);
+  EXPECT_EQ(parsed.record.num_nodes, job.record.num_nodes);
+  EXPECT_DOUBLE_EQ(parsed.record.walltime, job.record.walltime);
+  EXPECT_DOUBLE_EQ(parsed.record.submit_time, job.record.submit_time);
+  EXPECT_TRUE(parsed.record.comm_intensive);
+  EXPECT_EQ(parsed.record.pattern, job.record.pattern);
+  EXPECT_DOUBLE_EQ(parsed.record.comm_fraction, job.record.comm_fraction);
+  EXPECT_DOUBLE_EQ(parsed.record.msize, job.record.msize);
+}
+
+}  // namespace
+}  // namespace commsched

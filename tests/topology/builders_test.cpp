@@ -1,0 +1,99 @@
+#include "topology/builders.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace commsched {
+namespace {
+
+TEST(BuildersTest, TwoLevelShape) {
+  const Tree t = make_two_level_tree(3, 5);
+  EXPECT_EQ(t.node_count(), 15);
+  EXPECT_EQ(t.leaf_count(), 3);
+  EXPECT_EQ(t.depth(), 2);
+}
+
+TEST(BuildersTest, ThreeLevelShape) {
+  const Tree t = make_three_level_tree(2, 3, 4);
+  EXPECT_EQ(t.node_count(), 24);
+  EXPECT_EQ(t.leaf_count(), 6);
+  EXPECT_EQ(t.switch_count(), 6 + 2 + 1);
+  EXPECT_EQ(t.depth(), 3);
+}
+
+TEST(BuildersTest, DepartmentClusterHasFiftyNodes) {
+  // §1: "our department cluster (50-node ...)".
+  const Tree t = make_department_cluster();
+  EXPECT_EQ(t.node_count(), 50);
+  EXPECT_EQ(t.depth(), 2);
+  EXPECT_GE(t.leaf_count(), 2);  // Figure 1 needs two shared switches
+}
+
+TEST(BuildersTest, IitkHas16NodesPerLeaf) {
+  // §5.2: "The former has 16 nodes/leaf switch".
+  const Tree t = make_iitk_hpc2010();
+  for (const SwitchId leaf : t.leaves())
+    EXPECT_EQ(t.nodes_of_leaf(leaf).size(), 16u);
+}
+
+TEST(BuildersTest, LbnlLeavesAreInPaperRange) {
+  // §2/§5.2: "a tree topology with 330-380 nodes/switch".
+  const Tree t = make_lbnl_style();
+  for (const SwitchId leaf : t.leaves()) {
+    EXPECT_GE(t.nodes_of_leaf(leaf).size(), 330u);
+    EXPECT_LE(t.nodes_of_leaf(leaf).size(), 380u);
+  }
+}
+
+TEST(BuildersTest, ThetaMatchesMachineSize) {
+  // §5.1: "The Theta supercomputer consists of 4,392 ... nodes".
+  const Tree t = make_theta();
+  EXPECT_EQ(t.node_count(), 4392);
+  EXPECT_EQ(t.depth(), 2);
+  // Big-leaf topology: in the 330-380 nodes/switch range the paper cites.
+  for (const SwitchId leaf : t.leaves()) {
+    EXPECT_GE(t.nodes_of_leaf(leaf).size(), 330u);
+    EXPECT_LE(t.nodes_of_leaf(leaf).size(), 380u);
+  }
+}
+
+TEST(BuildersTest, IntrepidFitsMaxRequest) {
+  // §5.1: Intrepid max request 40960 -> machine must hold it. Emulated as
+  // an LBNL-style big-leaf two-level tree (§2: 330-380 nodes/switch).
+  const Tree t = make_intrepid();
+  EXPECT_EQ(t.node_count(), 40960);
+  EXPECT_EQ(t.depth(), 2);
+  for (const SwitchId leaf : t.leaves())
+    EXPECT_EQ(t.nodes_of_leaf(leaf).size(), 320u);
+}
+
+TEST(BuildersTest, MiraFitsMaxRequest) {
+  // §5.1: Mira is a 48K-node system; max request 16384.
+  const Tree t = make_mira();
+  EXPECT_EQ(t.node_count(), 49152);
+  EXPECT_GE(t.node_count(), 16384);
+  EXPECT_EQ(t.depth(), 2);
+}
+
+TEST(BuildersTest, MakeMachineDispatch) {
+  EXPECT_EQ(make_machine("figure2").node_count(), 8);
+  EXPECT_EQ(make_machine("theta").node_count(), 4392);
+  EXPECT_THROW(make_machine("summit"), InvariantError);
+}
+
+TEST(BuildersTest, RejectsNonPositiveShapes) {
+  EXPECT_THROW(make_two_level_tree(0, 4), InvariantError);
+  EXPECT_THROW(make_two_level_tree(4, 0), InvariantError);
+  EXPECT_THROW(make_three_level_tree(1, 0, 4), InvariantError);
+}
+
+TEST(BuildersTest, NodeNamesAreUniqueAndPrefixed) {
+  const Tree t = make_two_level_tree(2, 3, "cn", "sw");
+  EXPECT_EQ(t.node_name(0), "cn0");
+  EXPECT_EQ(t.node_name(5), "cn5");
+  EXPECT_EQ(t.switch_name(t.root()), "sw2");
+}
+
+}  // namespace
+}  // namespace commsched

@@ -1,0 +1,168 @@
+#include "topology/conf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "topology/builders.hpp"
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace commsched {
+namespace {
+
+Tree parse(const std::string& text) {
+  std::istringstream in(text);
+  return parse_topology_conf(in);
+}
+
+TEST(ConfParseTest, PaperExample) {
+  // Verbatim from §5.2 of the paper.
+  const Tree tree = parse(
+      "SwitchName=s0 Nodes=n[0-3]\n"
+      "SwitchName=s1 Nodes=n[4-7]\n"
+      "SwitchName=s2 Switches=s[0-1]\n");
+  EXPECT_EQ(tree.node_count(), 8);
+  EXPECT_EQ(tree.leaf_count(), 2);
+  EXPECT_EQ(tree.depth(), 2);
+  EXPECT_EQ(tree.switch_name(tree.root()), "s2");
+  EXPECT_EQ(tree.distance(*tree.node_by_name("n0"), *tree.node_by_name("n4")),
+            4);
+}
+
+TEST(ConfParseTest, ParentBeforeChildren) {
+  // SLURM allows parents to be declared before the switches they contain.
+  const Tree tree = parse(
+      "SwitchName=root Switches=a,b\n"
+      "SwitchName=a Nodes=x[0-1]\n"
+      "SwitchName=b Nodes=y[0-2]\n");
+  EXPECT_EQ(tree.node_count(), 5);
+  EXPECT_EQ(tree.switch_name(tree.root()), "root");
+}
+
+TEST(ConfParseTest, CommentsAndBlankLines) {
+  const Tree tree = parse(
+      "# full-line comment\n"
+      "\n"
+      "SwitchName=s0 Nodes=n[0-1]  # trailing comment\n"
+      "SwitchName=s1 Nodes=n[2-3]\n"
+      "SwitchName=top Switches=s[0-1]\n");
+  EXPECT_EQ(tree.node_count(), 4);
+}
+
+TEST(ConfParseTest, ThreeLevels) {
+  const Tree tree = parse(
+      "SwitchName=l0 Nodes=n[0-3]\n"
+      "SwitchName=l1 Nodes=n[4-7]\n"
+      "SwitchName=l2 Nodes=n[8-11]\n"
+      "SwitchName=l3 Nodes=n[12-15]\n"
+      "SwitchName=g0 Switches=l[0-1]\n"
+      "SwitchName=g1 Switches=l[2-3]\n"
+      "SwitchName=root Switches=g[0-1]\n");
+  EXPECT_EQ(tree.depth(), 3);
+  EXPECT_EQ(tree.distance(0, 15), 6);
+}
+
+TEST(ConfParseTest, RejectsMissingSwitchName) {
+  EXPECT_THROW(parse("Nodes=n[0-3]\n"), ParseError);
+}
+
+TEST(ConfParseTest, RejectsBothNodesAndSwitches) {
+  EXPECT_THROW(parse("SwitchName=s0 Nodes=n0 Switches=x\n"), ParseError);
+}
+
+TEST(ConfParseTest, RejectsNeitherNodesNorSwitches) {
+  EXPECT_THROW(parse("SwitchName=s0\n"), ParseError);
+}
+
+TEST(ConfParseTest, RejectsUnknownKey) {
+  EXPECT_THROW(parse("SwitchName=s0 Hosts=n0\n"), ParseError);
+}
+
+TEST(ConfParseTest, RejectsDanglingReference) {
+  EXPECT_THROW(parse("SwitchName=s0 Nodes=n0\n"
+                     "SwitchName=top Switches=s0,ghost\n"),
+               ParseError);
+}
+
+TEST(ConfParseTest, RejectsSwitchCycle) {
+  EXPECT_THROW(parse("SwitchName=a Switches=b\n"
+                     "SwitchName=b Switches=a\n"),
+               ParseError);
+}
+
+TEST(ConfParseTest, RejectsDuplicateSwitch) {
+  EXPECT_THROW(parse("SwitchName=s0 Nodes=n0\n"
+                     "SwitchName=s0 Nodes=n1\n"),
+               ParseError);
+}
+
+TEST(ConfParseTest, RejectsEmptyFile) {
+  EXPECT_THROW(parse("# only comments\n\n"), ParseError);
+}
+
+TEST(ConfParseTest, RejectsMultipleRoots) {
+  EXPECT_THROW(parse("SwitchName=s0 Nodes=n0\n"
+                     "SwitchName=s1 Nodes=n1\n"),
+               InvariantError);
+}
+
+TEST(ConfWriteTest, EmitsHostlistNotation) {
+  const Tree tree = make_figure2_tree();
+  const std::string text = write_topology_conf(tree);
+  EXPECT_NE(text.find("SwitchName=s0 Nodes=n[0-3]"), std::string::npos);
+  EXPECT_NE(text.find("SwitchName=s1 Nodes=n[4-7]"), std::string::npos);
+  EXPECT_NE(text.find("SwitchName=s2 Switches=s[0-1]"), std::string::npos);
+}
+
+void expect_same_structure(const Tree& a, const Tree& b) {
+  ASSERT_EQ(a.node_count(), b.node_count());
+  ASSERT_EQ(a.switch_count(), b.switch_count());
+  ASSERT_EQ(a.leaf_count(), b.leaf_count());
+  ASSERT_EQ(a.depth(), b.depth());
+  // Node names must map to the same leaf names and pairwise distances.
+  for (NodeId n = 0; n < a.node_count(); n += 97) {
+    const NodeId m = *b.node_by_name(a.node_name(n));
+    EXPECT_EQ(a.switch_name(a.leaf_of(n)), b.switch_name(b.leaf_of(m)));
+  }
+  for (NodeId x = 0; x < a.node_count(); x += 131) {
+    for (NodeId y = 0; y < a.node_count(); y += 173) {
+      const NodeId bx = *b.node_by_name(a.node_name(x));
+      const NodeId by = *b.node_by_name(a.node_name(y));
+      EXPECT_EQ(a.distance(x, y), b.distance(bx, by));
+    }
+  }
+}
+
+class ConfRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ConfRoundTrip, WriteThenParsePreservesStructure) {
+  const Tree original = make_machine(GetParam());
+  std::istringstream in(write_topology_conf(original));
+  const Tree reparsed = parse_topology_conf(in);
+  expect_same_structure(original, reparsed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, ConfRoundTrip,
+                         ::testing::Values("figure2", "department", "iitk",
+                                           "lbnl", "theta", "intrepid",
+                                           "mira"));
+
+TEST(ConfFileTest, SaveAndLoad) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "commsched_conf_test.conf";
+  const Tree tree = make_department_cluster();
+  ASSERT_TRUE(save_topology_conf(tree, path.string()));
+  const Tree loaded = load_topology_conf(path.string());
+  expect_same_structure(tree, loaded);
+  std::filesystem::remove(path);
+}
+
+TEST(ConfFileTest, LoadMissingFileThrows) {
+  EXPECT_THROW(load_topology_conf("/nonexistent/topology.conf"), ParseError);
+}
+
+}  // namespace
+}  // namespace commsched

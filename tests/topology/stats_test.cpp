@@ -1,0 +1,66 @@
+#include "topology/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/builders.hpp"
+
+namespace commsched {
+namespace {
+
+TEST(TopologyStatsTest, TwoLevelTree) {
+  const TopologyStats s = compute_topology_stats(make_two_level_tree(4, 16));
+  EXPECT_EQ(s.nodes, 64);
+  EXPECT_EQ(s.switches, 5);
+  EXPECT_EQ(s.leaves, 4);
+  EXPECT_EQ(s.depth, 2);
+  EXPECT_EQ(s.min_leaf_nodes, 16);
+  EXPECT_EQ(s.max_leaf_nodes, 16);
+  EXPECT_DOUBLE_EQ(s.mean_leaf_nodes, 16.0);
+  ASSERT_EQ(s.levels.size(), 2u);
+  EXPECT_EQ(s.levels[0].switches, 4);
+  EXPECT_EQ(s.levels[0].downlinks, 64);  // node links
+  EXPECT_EQ(s.levels[0].uplinks, 4);
+  EXPECT_EQ(s.levels[1].switches, 1);
+  EXPECT_EQ(s.levels[1].downlinks, 4);
+  EXPECT_EQ(s.levels[1].uplinks, 0);  // the root
+  EXPECT_DOUBLE_EQ(s.leaf_oversubscription, 16.0);
+}
+
+TEST(TopologyStatsTest, ThreeLevelTree) {
+  const TopologyStats s =
+      compute_topology_stats(make_three_level_tree(2, 3, 4));
+  EXPECT_EQ(s.depth, 3);
+  ASSERT_EQ(s.levels.size(), 3u);
+  EXPECT_EQ(s.levels[0].switches, 6);
+  EXPECT_EQ(s.levels[1].switches, 2);
+  EXPECT_EQ(s.levels[1].downlinks, 6);
+  EXPECT_EQ(s.levels[1].uplinks, 2);
+  EXPECT_EQ(s.levels[2].switches, 1);
+}
+
+TEST(TopologyStatsTest, IrregularLeavesReported) {
+  const TopologyStats s = compute_topology_stats(make_lbnl_style());
+  EXPECT_EQ(s.min_leaf_nodes, 330);
+  EXPECT_EQ(s.max_leaf_nodes, 380);
+  EXPECT_GT(s.mean_leaf_nodes, 330.0);
+  EXPECT_LT(s.mean_leaf_nodes, 380.0);
+}
+
+TEST(TopologyStatsTest, SingleLeafHasNoOversubscription) {
+  TreeBuilder b;
+  b.add_leaf("only", {"n0", "n1", "n2"});
+  const TopologyStats s = compute_topology_stats(b.build());
+  EXPECT_DOUBLE_EQ(s.leaf_oversubscription, 0.0);
+  EXPECT_EQ(s.levels[0].uplinks, 0);
+}
+
+TEST(TopologyStatsTest, FormatMentionsKeyNumbers) {
+  const std::string text =
+      format_topology_stats(compute_topology_stats(make_theta()));
+  EXPECT_NE(text.find("4392 nodes"), std::string::npos);
+  EXPECT_NE(text.find("12 leaves"), std::string::npos);
+  EXPECT_NE(text.find("366.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace commsched

@@ -1,0 +1,192 @@
+#include "torus/torus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace commsched {
+namespace {
+
+TEST(TorusGeometryTest, CoordinateRoundTrip) {
+  const Torus t(4, 3, 2);
+  EXPECT_EQ(t.node_count(), 24);
+  for (TorusNodeId n = 0; n < t.node_count(); ++n)
+    EXPECT_EQ(t.id_of(t.coord_of(n)), n);
+}
+
+TEST(TorusGeometryTest, IdOfWrapsNegativeAndOverflowing) {
+  const Torus t(4, 4, 4);
+  EXPECT_EQ(t.id_of({-1, 0, 0}), t.id_of({3, 0, 0}));
+  EXPECT_EQ(t.id_of({5, 0, 0}), t.id_of({1, 0, 0}));
+  EXPECT_EQ(t.id_of({0, -2, 9}), t.id_of({0, 2, 1}));
+}
+
+TEST(TorusGeometryTest, RingDistanceWrapsAround) {
+  EXPECT_EQ(Torus::ring_distance(0, 3, 8), 3);
+  EXPECT_EQ(Torus::ring_distance(0, 7, 8), 1);  // wrap
+  EXPECT_EQ(Torus::ring_distance(2, 6, 8), 4);  // tie: direct == wrapped
+  EXPECT_EQ(Torus::ring_distance(5, 5, 8), 0);
+}
+
+TEST(TorusGeometryTest, ManhattanWithWraparound) {
+  const Torus t(8, 8, 8);
+  const TorusNodeId a = t.id_of({0, 0, 0});
+  EXPECT_EQ(t.distance(a, t.id_of({1, 0, 0})), 1);
+  EXPECT_EQ(t.distance(a, t.id_of({7, 0, 0})), 1);   // wrap in x
+  EXPECT_EQ(t.distance(a, t.id_of({4, 4, 4})), 12);  // farthest corner
+  EXPECT_EQ(t.distance(a, t.id_of({7, 7, 7})), 3);   // wraps everywhere
+  EXPECT_EQ(t.distance(a, a), 0);
+}
+
+TEST(TorusGeometryTest, DistanceIsSymmetric) {
+  const Torus t(5, 4, 3);
+  for (TorusNodeId a = 0; a < t.node_count(); a += 7)
+    for (TorusNodeId b = 0; b < t.node_count(); b += 5)
+      EXPECT_EQ(t.distance(a, b), t.distance(b, a));
+}
+
+TEST(TorusStateTest, OccupyReleaseBookkeeping) {
+  const Torus t(4, 4, 1);
+  TorusState state(t);
+  EXPECT_EQ(state.total_free(), 16);
+  const std::vector<TorusNodeId> nodes{0, 1, 5};
+  state.occupy(nodes, /*comm=*/true);
+  EXPECT_EQ(state.total_free(), 13);
+  EXPECT_FALSE(state.is_free(0));
+  EXPECT_TRUE(state.is_comm(0));
+  state.release(nodes);
+  EXPECT_EQ(state.total_free(), 16);
+  EXPECT_TRUE(state.is_free(0));
+  EXPECT_FALSE(state.is_comm(0));
+}
+
+TEST(TorusStateTest, PreconditionsThrow) {
+  const Torus t(2, 2, 1);
+  TorusState state(t);
+  const std::vector<TorusNodeId> n0{0};
+  state.occupy(n0, false);
+  EXPECT_THROW(state.occupy(n0, false), InvariantError);
+  const std::vector<TorusNodeId> n1{1};
+  EXPECT_THROW(state.release(n1), InvariantError);
+}
+
+TEST(TorusContentionTest, EmptyMachineIsZero) {
+  const Torus t(4, 4, 4);
+  const TorusState state(t);
+  EXPECT_DOUBLE_EQ(torus_contention(state, 0, 5), 0.0);
+}
+
+TEST(TorusContentionTest, CommDensityInRoutingBox) {
+  const Torus t(4, 1, 1);
+  TorusState state(t);
+  // Box between x=0 and x=2 covers {0,1,2}. Put a comm node at x=1.
+  const std::vector<TorusNodeId> busy{1};
+  state.occupy(busy, /*comm=*/true);
+  EXPECT_DOUBLE_EQ(torus_contention(state, 0, 2), 1.0 / 3.0);
+  // The wrap-side pair (0, 3) has box {3, 0}: no comm nodes there.
+  EXPECT_DOUBLE_EQ(torus_contention(state, 0, 3), 0.0);
+}
+
+TEST(TorusContentionTest, HopsScaleWithContention) {
+  const Torus t(4, 4, 1);
+  TorusState state(t);
+  EXPECT_DOUBLE_EQ(torus_effective_hops(state, 0, 1), 1.0);
+  const std::vector<TorusNodeId> busy{0, 1};
+  state.occupy(busy, true);
+  // C(0,1) over box {0,1} is now 1.0 -> hops 1 * (1 + 1) = 2.
+  EXPECT_DOUBLE_EQ(torus_effective_hops(state, 0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(torus_effective_hops(state, 2, 2), 0.0);
+}
+
+TEST(TorusCostTest, SumsPerStepMaxima) {
+  const Torus t(8, 1, 1);
+  const TorusState state(t);
+  // RD over 4 ranks on the x-ring at positions 0..3.
+  const std::vector<TorusNodeId> nodes{0, 1, 2, 3};
+  const auto sched = make_schedule(Pattern::kRecursiveDoubling, 4, 1.0);
+  // Step 0: pairs (0,1),(2,3) -> max distance 1. Step 1: (0,2),(1,3) -> 2.
+  EXPECT_DOUBLE_EQ(torus_cost(state, nodes, sched), 1.0 + 2.0);
+}
+
+TEST(CuboidAllocationTest, PicksCompactBlock) {
+  const Torus t(8, 8, 8);
+  const TorusState state(t);
+  const auto nodes = cuboid_allocation(state, 8);
+  ASSERT_TRUE(nodes.has_value());
+  EXPECT_EQ(nodes->size(), 8u);
+  // A 2x2x2 block: max pairwise distance 3.
+  int max_d = 0;
+  for (const TorusNodeId a : *nodes)
+    for (const TorusNodeId b : *nodes)
+      max_d = std::max(max_d, t.distance(a, b));
+  EXPECT_LE(max_d, 3);
+  const std::set<TorusNodeId> unique(nodes->begin(), nodes->end());
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(CuboidAllocationTest, AvoidsOccupiedRegions) {
+  const Torus t(4, 4, 1);
+  TorusState state(t);
+  // Occupy the whole left half (x in {0,1}).
+  std::vector<TorusNodeId> busy;
+  for (int y = 0; y < 4; ++y)
+    for (int x = 0; x < 2; ++x) busy.push_back(t.id_of({x, y, 0}));
+  state.occupy(busy, false);
+  const auto nodes = cuboid_allocation(state, 4);
+  ASSERT_TRUE(nodes.has_value());
+  for (const TorusNodeId n : *nodes) {
+    EXPECT_TRUE(state.is_free(n));
+    EXPECT_GE(t.coord_of(n).x, 2);
+  }
+}
+
+TEST(CuboidAllocationTest, NulloptWhenOnlyFragmentsRemain) {
+  const Torus t(4, 1, 1);
+  TorusState state(t);
+  // Occupy x=1 and x=3: only isolated single nodes remain.
+  const std::vector<TorusNodeId> busy{1, 3};
+  state.occupy(busy, false);
+  EXPECT_TRUE(cuboid_allocation(state, 1).has_value());
+  EXPECT_FALSE(cuboid_allocation(state, 2).has_value());
+  EXPECT_FALSE(cuboid_allocation(state, 5).has_value());  // over capacity
+}
+
+TEST(FirstFitAllocationTest, TakesLowestFreeIds) {
+  const Torus t(4, 2, 1);
+  TorusState state(t);
+  const std::vector<TorusNodeId> busy{0, 2};
+  state.occupy(busy, false);
+  const auto nodes = first_fit_allocation(state, 3);
+  ASSERT_TRUE(nodes.has_value());
+  EXPECT_EQ(*nodes, (std::vector<TorusNodeId>{1, 3, 4}));
+  EXPECT_FALSE(first_fit_allocation(state, 7).has_value());
+}
+
+TEST(TorusThesisTest, CompactBlocksPriceBelowScatteredAllocations) {
+  // The paper's thesis transplanted to the torus: a compact cuboid beats a
+  // fragmented first-fit allocation on Eq. 6 cost for RD/RHVD.
+  const Torus t(8, 8, 4);
+  TorusState state(t);
+  // Fragment the id space: occupy every other node in the low-id region.
+  std::vector<TorusNodeId> busy;
+  for (TorusNodeId n = 0; n < 128; n += 2) busy.push_back(n);
+  state.occupy(busy, /*comm=*/true);
+
+  for (const Pattern p :
+       {Pattern::kRecursiveDoubling, Pattern::kRecursiveHalvingVD}) {
+    const auto sched = make_schedule(p, 32, 1.0);
+    const auto compact = cuboid_allocation(state, 32);
+    const auto scattered = first_fit_allocation(state, 32);
+    ASSERT_TRUE(compact.has_value());
+    ASSERT_TRUE(scattered.has_value());
+    EXPECT_LT(torus_cost(state, *compact, sched),
+              torus_cost(state, *scattered, sched))
+        << pattern_name(p);
+  }
+}
+
+}  // namespace
+}  // namespace commsched

@@ -1,0 +1,192 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace commsched {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() != b()) ++differing;
+  EXPECT_GT(differing, 90);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(3, 3), 3);
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIntRejectsInvertedRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(2, 1), InvariantError);
+}
+
+TEST(RngTest, UniformRealStaysInRange) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform_real(0.5, 1.5);
+    EXPECT_GE(v, 0.5);
+    EXPECT_LT(v, 1.5);
+  }
+}
+
+TEST(RngTest, UniformRealMeanIsCentered) {
+  Rng rng(17);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform_real(0.0, 1.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(19);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(RngTest, ExponentialMeanAndPositivity) {
+  Rng rng(23);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.exponential(3.0);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 3.0, 0.1);
+}
+
+TEST(RngTest, LognormalMedian) {
+  Rng rng(29);
+  std::vector<double> xs;
+  for (int i = 0; i < 50001; ++i) xs.push_back(rng.lognormal(2.0, 0.5));
+  std::nth_element(xs.begin(), xs.begin() + 25000, xs.end());
+  EXPECT_NEAR(xs[25000], std::exp(2.0), 0.15);
+}
+
+TEST(RngTest, WeibullShapeOneIsExponential) {
+  Rng rng(31);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.weibull(1.0, 2.0);
+  EXPECT_NEAR(sum / kN, 2.0, 0.1);  // Weibull(k=1, lambda) has mean lambda
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(37);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(41);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(43);
+  const std::array<double, 3> weights{1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.discrete(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kN, 0.75, 0.02);
+}
+
+TEST(RngTest, DiscreteRejectsAllZeroWeights) {
+  Rng rng(47);
+  const std::array<double, 2> weights{0.0, 0.0};
+  EXPECT_THROW(rng.discrete(weights), InvariantError);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(53);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identical
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(59);
+  const auto sample = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  const std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const auto idx : sample) EXPECT_LT(idx, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(61);
+  const auto sample = rng.sample_without_replacement(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, SampleWithoutReplacementRejectsOversizedRequest) {
+  Rng rng(67);
+  EXPECT_THROW(rng.sample_without_replacement(5, 6), InvariantError);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformIntIsRoughlyUniform) {
+  Rng rng(GetParam());
+  std::array<int, 8> counts{};
+  constexpr int kN = 80000;
+  for (int i = 0; i < kN; ++i) ++counts[static_cast<std::size_t>(rng.uniform_int(0, 7))];
+  for (const int c : counts)
+    EXPECT_NEAR(static_cast<double>(c) / kN, 0.125, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1, 2, 3, 1000, 99999, 0xdeadbeef));
+
+}  // namespace
+}  // namespace commsched

@@ -1,0 +1,148 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace commsched {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownValues) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, SingleValueVarianceIsZero) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(RunningStatsTest, MatchesDirectComputation) {
+  Rng rng(5);
+  std::vector<double> xs;
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform_real(-10, 10);
+    xs.push_back(x);
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), mean(xs), 1e-9);
+  double var = 0.0;
+  for (const double x : xs) var += (x - s.mean()) * (x - s.mean());
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.variance(), var, 1e-9);
+}
+
+TEST(MeanSumTest, Basics) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.0);
+  EXPECT_DOUBLE_EQ(sum(xs), 6.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(PercentileTest, MedianOfOddAndEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(PercentileTest, Extremes) {
+  const std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 5.0);
+}
+
+TEST(PercentileTest, Interpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+}
+
+TEST(PercentileTest, RejectsEmptyAndBadP) {
+  EXPECT_THROW(percentile(std::vector<double>{}, 50.0), InvariantError);
+  EXPECT_THROW(percentile(std::vector<double>{1.0}, -1.0), InvariantError);
+  EXPECT_THROW(percentile(std::vector<double>{1.0}, 101.0), InvariantError);
+}
+
+TEST(CorrelationTest, PerfectPositiveAndNegative) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> up{2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> down{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson_correlation(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_correlation(xs, down), -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, ConstantSeriesGivesZero) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> c{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(pearson_correlation(xs, c), 0.0);
+}
+
+TEST(CorrelationTest, IndependentSeriesNearZero) {
+  Rng rng(99);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20000; ++i) {
+    xs.push_back(rng.uniform_real(0, 1));
+    ys.push_back(rng.uniform_real(0, 1));
+  }
+  EXPECT_NEAR(pearson_correlation(xs, ys), 0.0, 0.02);
+}
+
+TEST(CorrelationTest, RejectsMismatchedSizes) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_THROW(pearson_correlation(xs, ys), InvariantError);
+}
+
+TEST(HistogramTest, BinAssignment) {
+  Histogram h({0.0, 10.0, 20.0, 30.0});
+  EXPECT_EQ(h.bin_of(0.0), 0u);
+  EXPECT_EQ(h.bin_of(9.99), 0u);
+  EXPECT_EQ(h.bin_of(10.0), 1u);
+  EXPECT_EQ(h.bin_of(29.99), 2u);
+  EXPECT_EQ(h.bin_of(30.0), 2u);   // top edge clamps into last bin
+  EXPECT_EQ(h.bin_of(-5.0), 0u);   // below-range clamps into first bin
+  EXPECT_EQ(h.bin_of(100.0), 2u);  // above-range clamps into last bin
+}
+
+TEST(HistogramTest, CountsAndWeights) {
+  Histogram h({0.0, 1.0, 2.0});
+  h.add(0.5, 10.0);
+  h.add(0.7, 20.0);
+  h.add(1.5, 6.0);
+  EXPECT_EQ(h.counts[0], 2u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_DOUBLE_EQ(h.bin_mean(0), 15.0);
+  EXPECT_DOUBLE_EQ(h.bin_mean(1), 6.0);
+}
+
+TEST(HistogramTest, EmptyBinMeanIsZero) {
+  Histogram h({0.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.bin_mean(0), 0.0);
+}
+
+TEST(HistogramTest, RejectsBadEdges) {
+  EXPECT_THROW(Histogram({1.0}), InvariantError);
+  EXPECT_THROW(Histogram({2.0, 1.0}), InvariantError);
+}
+
+}  // namespace
+}  // namespace commsched

@@ -1,0 +1,127 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace commsched {
+namespace {
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t x \n"), "x");
+  EXPECT_EQ(trim("nospace"), "nospace");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(SplitTest, KeepsEmptyTokens) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitWsTest, DropsEmptyTokens) {
+  EXPECT_EQ(split_ws("  a  b\tc \n"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+  EXPECT_TRUE(split_ws("").empty());
+}
+
+TEST(ParseIntTest, ParsesAndRejects) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int(" 42 "), 42);
+  EXPECT_EQ(parse_int("-17"), -17);
+  EXPECT_FALSE(parse_int("4x").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("1.5").has_value());
+}
+
+TEST(ParseDoubleTest, ParsesAndRejects) {
+  EXPECT_DOUBLE_EQ(*parse_double("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*parse_double("-1e3"), -1000.0);
+  EXPECT_DOUBLE_EQ(*parse_double("7"), 7.0);
+  EXPECT_FALSE(parse_double("abc").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+}
+
+TEST(HostlistTest, PlainNamePassesThrough) {
+  EXPECT_EQ(expand_hostlist("login1"), (std::vector<std::string>{"login1"}));
+}
+
+TEST(HostlistTest, ExpandsPaperExample) {
+  // The exact notation from the paper's §5.2 topology.conf example.
+  EXPECT_EQ(expand_hostlist("n[0-3]"),
+            (std::vector<std::string>{"n0", "n1", "n2", "n3"}));
+  EXPECT_EQ(expand_hostlist("s[0-1]"),
+            (std::vector<std::string>{"s0", "s1"}));
+}
+
+TEST(HostlistTest, ExpandsMixedRangesAndSingles) {
+  EXPECT_EQ(expand_hostlist("n[0-2,5,7-8]"),
+            (std::vector<std::string>{"n0", "n1", "n2", "n5", "n7", "n8"}));
+}
+
+TEST(HostlistTest, PreservesZeroPadding) {
+  EXPECT_EQ(expand_hostlist("gpu[01-03]"),
+            (std::vector<std::string>{"gpu01", "gpu02", "gpu03"}));
+  EXPECT_EQ(expand_hostlist("c[098-101]"),
+            (std::vector<std::string>{"c098", "c099", "c100", "c101"}));
+}
+
+TEST(HostlistTest, ExpandsCommaSeparatedExpressions) {
+  EXPECT_EQ(expand_hostlist("a[0-1],b2,c[5]"),
+            (std::vector<std::string>{"a0", "a1", "b2", "c5"}));
+}
+
+TEST(HostlistTest, RejectsMalformedExpressions) {
+  EXPECT_THROW(expand_hostlist("n[0-"), ParseError);
+  EXPECT_THROW(expand_hostlist("n0]"), ParseError);
+  EXPECT_THROW(expand_hostlist("n[]"), ParseError);
+  EXPECT_THROW(expand_hostlist("n[3-1]"), ParseError);
+  EXPECT_THROW(expand_hostlist("n[x]"), ParseError);
+  EXPECT_THROW(expand_hostlist("n[1]x"), ParseError);
+}
+
+TEST(HostlistTest, CompressesConsecutiveRun) {
+  EXPECT_EQ(compress_hostlist({"n0", "n1", "n2", "n3"}), "n[0-3]");
+}
+
+TEST(HostlistTest, CompressesWithGaps) {
+  EXPECT_EQ(compress_hostlist({"n0", "n1", "n5", "n7", "n8"}),
+            "n[0-1,5,7-8]");
+}
+
+TEST(HostlistTest, CompressesMixedPrefixes) {
+  EXPECT_EQ(compress_hostlist({"a0", "a1", "b3"}), "a[0-1],b[3]");
+}
+
+TEST(HostlistTest, CompressEmptyAndPlain) {
+  EXPECT_EQ(compress_hostlist({}), "");
+  EXPECT_EQ(compress_hostlist({"login"}), "login");
+}
+
+TEST(HostlistTest, RoundTripLargeRange) {
+  std::vector<std::string> hosts;
+  for (int i = 0; i < 500; ++i) hosts.push_back("x" + std::to_string(i));
+  EXPECT_EQ(expand_hostlist(compress_hostlist(hosts)), hosts);
+}
+
+TEST(HostlistTest, RoundTripPaddedNames) {
+  const std::vector<std::string> hosts{"c01", "c02", "c03", "c10"};
+  EXPECT_EQ(expand_hostlist(compress_hostlist(hosts)), hosts);
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(starts_with("SwitchName=s0", "SwitchName="));
+  EXPECT_FALSE(starts_with("Nodes=n0", "SwitchName="));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_FALSE(starts_with("ab", "abc"));
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-1.005, 1), "-1.0");
+}
+
+}  // namespace
+}  // namespace commsched

@@ -1,0 +1,84 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/assert.hpp"
+
+namespace commsched {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name       value"), std::string::npos);
+  EXPECT_NE(out.find("a          1"), std::string::npos);
+  EXPECT_NE(out.find("long-name  22"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTableTest, IndentPrefixesEveryLine) {
+  TextTable t;
+  t.add_row({"x"});
+  EXPECT_EQ(t.render(4), "    x\n");
+}
+
+TEST(TextTableTest, EmptyTableRendersNothing) {
+  TextTable t;
+  EXPECT_EQ(t.render(), "");
+  EXPECT_EQ(t.render_csv(), "");
+}
+
+TEST(TextTableTest, RowWidthMismatchThrows) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvariantError);
+}
+
+TEST(TextTableTest, RowWidthMustMatchPreviousRows) {
+  TextTable t;
+  t.add_row({"a", "b"});
+  EXPECT_THROW(t.add_row({"x"}), InvariantError);
+}
+
+TEST(TextTableTest, CsvEscapesSpecialCharacters) {
+  TextTable t;
+  t.add_row({"plain", "with,comma", "with\"quote"});
+  EXPECT_EQ(t.render_csv(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(TextTableTest, CsvIncludesHeader) {
+  TextTable t;
+  t.set_header({"h1", "h2"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.render_csv(), "h1,h2\n1,2\n");
+}
+
+TEST(TextTableTest, WriteCsvCreatesDirectories) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "commsched_table_test" / "nested";
+  const auto path = dir / "out.csv";
+  std::filesystem::remove_all(dir.parent_path());
+  TextTable t;
+  t.add_row({"x", "y"});
+  ASSERT_TRUE(t.write_csv(path.string()));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "x,y");
+  std::filesystem::remove_all(dir.parent_path());
+}
+
+TEST(CellTest, FormatsDoubles) {
+  EXPECT_EQ(cell(3.14159), "3.14");
+  EXPECT_EQ(cell(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace commsched

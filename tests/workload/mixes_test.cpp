@@ -1,0 +1,124 @@
+#include "workload/mixes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "util/assert.hpp"
+#include "workload/synthetic.hpp"
+
+namespace commsched {
+namespace {
+
+std::size_t count_comm(const JobLog& log) {
+  std::size_t n = 0;
+  for (const auto& j : log)
+    if (j.comm_intensive) ++n;
+  return n;
+}
+
+TEST(UniformMixTest, Fields) {
+  const MixSpec spec = uniform_mix(Pattern::kBinomial, 0.6, 0.4);
+  EXPECT_EQ(spec.name, "Binomial");
+  EXPECT_DOUBLE_EQ(spec.comm_percent, 0.6);
+  EXPECT_DOUBLE_EQ(spec.comm_fraction, 0.4);
+  ASSERT_EQ(spec.patterns.size(), 1u);
+  EXPECT_EQ(spec.patterns[0].pattern, Pattern::kBinomial);
+}
+
+TEST(ApplyMixTest, ExactCommCount) {
+  JobLog log = generate_log(theta_profile(), 1000, 1);
+  apply_mix(log, uniform_mix(Pattern::kRecursiveDoubling, 0.9, 0.5), 7);
+  EXPECT_EQ(count_comm(log), 900u);
+  apply_mix(log, uniform_mix(Pattern::kRecursiveDoubling, 0.3, 0.5), 7);
+  EXPECT_EQ(count_comm(log), 300u);
+  apply_mix(log, uniform_mix(Pattern::kRecursiveDoubling, 0.0, 0.5), 7);
+  EXPECT_EQ(count_comm(log), 0u);
+  apply_mix(log, uniform_mix(Pattern::kRecursiveDoubling, 1.0, 0.5), 7);
+  EXPECT_EQ(count_comm(log), 1000u);
+}
+
+TEST(ApplyMixTest, CommJobsGetFractionAndPattern) {
+  JobLog log = generate_log(theta_profile(), 200, 2);
+  apply_mix(log, uniform_mix(Pattern::kBinomial, 0.5, 0.7), 9);
+  for (const auto& j : log) {
+    if (j.comm_intensive) {
+      EXPECT_DOUBLE_EQ(j.comm_fraction, 0.7);
+      EXPECT_EQ(j.pattern, Pattern::kBinomial);
+    } else {
+      EXPECT_DOUBLE_EQ(j.comm_fraction, 0.0);
+    }
+  }
+}
+
+TEST(ApplyMixTest, DeterministicSelection) {
+  JobLog a = generate_log(theta_profile(), 300, 3);
+  JobLog b = a;
+  apply_mix(a, uniform_mix(Pattern::kRecursiveHalvingVD, 0.6, 0.5), 42);
+  apply_mix(b, uniform_mix(Pattern::kRecursiveHalvingVD, 0.6, 0.5), 42);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].comm_intensive, b[i].comm_intensive);
+    EXPECT_EQ(a[i].pattern, b[i].pattern);
+  }
+}
+
+TEST(ApplyMixTest, WeightedPatternsRoughlyProportional) {
+  JobLog log = generate_log(theta_profile(), 2000, 4);
+  MixSpec spec = uniform_mix(Pattern::kRecursiveDoubling, 1.0, 0.5);
+  spec.patterns = {{Pattern::kRecursiveDoubling, 1.0},
+                   {Pattern::kBinomial, 3.0}};
+  apply_mix(log, spec, 11);
+  std::map<Pattern, int> counts;
+  for (const auto& j : log) ++counts[j.pattern];
+  EXPECT_NEAR(static_cast<double>(counts[Pattern::kRecursiveDoubling]) / 2000.0,
+              0.25, 0.04);
+  EXPECT_NEAR(static_cast<double>(counts[Pattern::kBinomial]) / 2000.0, 0.75,
+              0.04);
+}
+
+TEST(ExperimentSetTest, PaperParameters) {
+  // §6.2: A 67/33 RHVD; B 50/50 RHVD; C 30/70 RHVD; D 50% compute with
+  // 15% RD + 35% binomial; E 30% compute with 21% RD + 49% binomial.
+  const MixSpec a = experiment_set('A');
+  EXPECT_DOUBLE_EQ(a.comm_fraction, 0.33);
+  EXPECT_EQ(a.patterns[0].pattern, Pattern::kRecursiveHalvingVD);
+
+  const MixSpec b = experiment_set('B');
+  EXPECT_DOUBLE_EQ(b.comm_fraction, 0.50);
+
+  const MixSpec c = experiment_set('C');
+  EXPECT_DOUBLE_EQ(c.comm_fraction, 0.70);
+
+  const MixSpec d = experiment_set('D');
+  EXPECT_DOUBLE_EQ(d.comm_fraction, 0.50);
+  ASSERT_EQ(d.patterns.size(), 2u);
+  // RD:binomial weights in the 15:35 ratio.
+  EXPECT_DOUBLE_EQ(d.patterns[0].weight / d.patterns[1].weight, 15.0 / 35.0);
+
+  const MixSpec e = experiment_set('E');
+  EXPECT_DOUBLE_EQ(e.comm_fraction, 0.70);
+  EXPECT_DOUBLE_EQ(e.patterns[0].weight / e.patterns[1].weight, 21.0 / 49.0);
+
+  // All sets mark 90% of jobs communication-intensive.
+  for (const char which : {'A', 'B', 'C', 'D', 'E'})
+    EXPECT_DOUBLE_EQ(experiment_set(which).comm_percent, 0.9);
+}
+
+TEST(ExperimentSetTest, RejectsUnknownSet) {
+  EXPECT_THROW(experiment_set('F'), InvariantError);
+  EXPECT_THROW(experiment_set('a'), InvariantError);
+}
+
+TEST(ApplyMixTest, RejectsInvalidSpec) {
+  JobLog log = generate_log(theta_profile(), 10, 5);
+  MixSpec bad = uniform_mix(Pattern::kRing, 0.5, 0.5);
+  bad.comm_percent = 1.5;
+  EXPECT_THROW(apply_mix(log, bad, 1), InvariantError);
+  bad = uniform_mix(Pattern::kRing, 0.5, 0.5);
+  bad.patterns.clear();
+  EXPECT_THROW(apply_mix(log, bad, 1), InvariantError);
+}
+
+}  // namespace
+}  // namespace commsched

@@ -1,0 +1,84 @@
+#include "workload/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/mixes.hpp"
+#include "workload/synthetic.hpp"
+
+namespace commsched {
+namespace {
+
+JobLog tiny_log() {
+  JobLog log;
+  const int nodes[] = {4, 8, 6, 16};
+  const double runtimes[] = {100.0, 200.0, 300.0, 400.0};
+  for (int i = 0; i < 4; ++i) {
+    JobRecord j;
+    j.id = i + 1;
+    j.submit_time = i * 50.0;
+    j.num_nodes = nodes[i];
+    j.runtime = runtimes[i];
+    j.walltime = runtimes[i] * 2;
+    j.comm_intensive = (i % 2 == 0);
+    log.push_back(j);
+  }
+  return log;
+}
+
+TEST(LogStatsTest, BasicAggregates) {
+  const LogStats s = compute_log_stats(tiny_log(), 32);
+  EXPECT_EQ(s.job_count, 4u);
+  EXPECT_EQ(s.min_nodes, 4);
+  EXPECT_EQ(s.max_nodes, 16);
+  EXPECT_DOUBLE_EQ(s.mean_nodes, 8.5);
+  EXPECT_DOUBLE_EQ(s.power_of_two_fraction, 0.75);  // 6 is not a power of 2
+  EXPECT_DOUBLE_EQ(s.comm_job_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(s.min_runtime, 100.0);
+  EXPECT_DOUBLE_EQ(s.max_runtime, 400.0);
+  EXPECT_DOUBLE_EQ(s.median_runtime, 250.0);
+  EXPECT_DOUBLE_EQ(s.span_seconds, 150.0);
+  // node-seconds: 400 + 1600 + 1800 + 6400 = 10200, over 150 s * 32 nodes.
+  EXPECT_DOUBLE_EQ(s.offered_load, 10200.0 / (150.0 * 32.0));
+}
+
+TEST(LogStatsTest, EmptyLog) {
+  const LogStats s = compute_log_stats({}, 32);
+  EXPECT_EQ(s.job_count, 0u);
+  EXPECT_DOUBLE_EQ(s.offered_load, 0.0);
+}
+
+TEST(LogStatsTest, ZeroMachineSkipsLoad) {
+  const LogStats s = compute_log_stats(tiny_log(), 0);
+  EXPECT_DOUBLE_EQ(s.offered_load, 0.0);
+  EXPECT_EQ(s.max_nodes, 16);
+}
+
+TEST(LogStatsTest, SyntheticProfilesMatchTheirOwnStats) {
+  for (const LogProfile& profile : paper_profiles()) {
+    const JobLog log = generate_log(profile, 1000, 77);
+    const LogStats s = compute_log_stats(log, profile.machine_nodes);
+    EXPECT_NEAR(s.power_of_two_fraction, profile.pow2_fraction, 0.03)
+        << profile.name;
+    EXPECT_NEAR(s.offered_load, profile.target_load,
+                profile.target_load * 0.3)
+        << profile.name;
+    EXPECT_LE(s.max_nodes, 1 << profile.max_exp) << profile.name;
+  }
+}
+
+TEST(LogStatsTest, FormatMentionsKeyNumbers) {
+  const std::string text = format_log_stats("Tiny", compute_log_stats(tiny_log(), 32));
+  EXPECT_NE(text.find("Tiny: 4 jobs"), std::string::npos);
+  EXPECT_NE(text.find("4 - 16"), std::string::npos);
+  EXPECT_NE(text.find("75.0% power of two"), std::string::npos);
+}
+
+TEST(LogStatsTest, CommFractionTracksMix) {
+  JobLog log = generate_log(theta_profile(), 400, 9);
+  apply_mix(log, uniform_mix(Pattern::kRecursiveDoubling, 0.6, 0.5), 10);
+  const LogStats s = compute_log_stats(log, 0);
+  EXPECT_DOUBLE_EQ(s.comm_job_fraction, 0.6);
+}
+
+}  // namespace
+}  // namespace commsched

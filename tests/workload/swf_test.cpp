@@ -1,0 +1,158 @@
+#include "workload/swf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace commsched {
+namespace {
+
+constexpr const char* kSample =
+    "; SWF header comment\n"
+    ";  another comment line\n"
+    "1 0 10 3600 64 -1 -1 64 7200 -1 1 5 1 -1 1 -1 -1 -1\n"
+    "2 100 0 1800 128 -1 -1 128 3600 -1 1 5 1 -1 1 -1 -1 -1\n"
+    "3 200 0 -1 64 -1 -1 64 3600 -1 0 5 1 -1 1 -1 -1 -1\n"   // invalid runtime
+    "4 300 0 600 0 -1 -1 256 900 -1 1 5 1 -1 1 -1 -1 -1\n";  // procs via field 8
+
+JobLog parse(const std::string& text, const SwfOptions& opts = {}) {
+  std::istringstream in(text);
+  return parse_swf(in, opts);
+}
+
+TEST(SwfParseTest, FieldMapping) {
+  const JobLog log = parse(kSample);
+  ASSERT_EQ(log.size(), 3u);  // job 3 dropped (runtime -1)
+  EXPECT_EQ(log[0].id, 1);
+  EXPECT_DOUBLE_EQ(log[0].submit_time, 0.0);
+  EXPECT_DOUBLE_EQ(log[0].runtime, 3600.0);
+  EXPECT_EQ(log[0].num_nodes, 64);
+  EXPECT_DOUBLE_EQ(log[0].walltime, 7200.0);
+}
+
+TEST(SwfParseTest, FallsBackToRequestedProcessors) {
+  const JobLog log = parse(kSample);
+  EXPECT_EQ(log[2].id, 4);
+  EXPECT_EQ(log[2].num_nodes, 256);  // allocated procs was 0
+}
+
+TEST(SwfParseTest, CoresPerNodeDivides) {
+  const JobLog log = parse(kSample, SwfOptions{.cores_per_node = 4});
+  EXPECT_EQ(log[0].num_nodes, 16);   // 64 procs / 4
+  EXPECT_EQ(log[1].num_nodes, 32);   // 128 / 4
+}
+
+TEST(SwfParseTest, CoresPerNodeRoundsUp) {
+  std::istringstream in(
+      "1 0 0 100 5 -1 -1 5 200 -1 1 1 1 -1 1 -1 -1 -1\n");
+  const JobLog log = parse_swf(in, SwfOptions{.cores_per_node = 4});
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].num_nodes, 2);  // ceil(5/4)
+}
+
+TEST(SwfParseTest, MaxJobsTruncates) {
+  const JobLog log = parse(kSample, SwfOptions{.max_jobs = 2});
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(SwfParseTest, KeepInvalidWhenRequested) {
+  const JobLog log = parse(kSample, SwfOptions{.drop_invalid = false});
+  EXPECT_EQ(log.size(), 4u);
+}
+
+TEST(SwfParseTest, WalltimeNeverBelowRuntime) {
+  std::istringstream in(
+      "1 0 0 5000 8 -1 -1 8 100 -1 1 1 1 -1 1 -1 -1 -1\n");  // req time < runtime
+  const JobLog log = parse_swf(in);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_GE(log[0].walltime, log[0].runtime);
+}
+
+TEST(SwfParseTest, MissingRequestedTimeGetsDefault) {
+  std::istringstream in(
+      "1 0 0 1000 8 -1 -1 8 -1 -1 1 1 1 -1 1 -1 -1 -1\n");
+  const JobLog log = parse_swf(in);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_DOUBLE_EQ(log[0].walltime, 1500.0);
+}
+
+TEST(SwfParseTest, RejectsShortLines) {
+  EXPECT_THROW(parse("1 2 3\n"), ParseError);
+}
+
+TEST(SwfParseTest, RejectsNonNumericFields) {
+  EXPECT_THROW(parse("1 0 0 abc 64 -1 -1 64 100 -1 1 1 1 -1 1 -1 -1 -1\n"),
+               ParseError);
+}
+
+TEST(SwfParseTest, EmptyStreamGivesEmptyLog) {
+  EXPECT_TRUE(parse("; nothing here\n").empty());
+}
+
+TEST(SwfWriteTest, RoundTrip) {
+  JobLog log;
+  for (int i = 0; i < 5; ++i) {
+    JobRecord j;
+    j.id = i + 1;
+    j.submit_time = i * 100.0;
+    j.num_nodes = 1 << i;
+    j.runtime = 500.0 + i;
+    j.walltime = 1000.0 + i;
+    log.push_back(j);
+  }
+  std::istringstream in(write_swf(log));
+  const JobLog parsed = parse_swf(in);
+  ASSERT_EQ(parsed.size(), log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(parsed[i].id, log[i].id);
+    EXPECT_DOUBLE_EQ(parsed[i].submit_time, log[i].submit_time);
+    EXPECT_EQ(parsed[i].num_nodes, log[i].num_nodes);
+    EXPECT_DOUBLE_EQ(parsed[i].runtime, log[i].runtime);
+    EXPECT_DOUBLE_EQ(parsed[i].walltime, log[i].walltime);
+  }
+}
+
+TEST(SwfWriteTest, RoundTripWithCoresPerNode) {
+  JobLog log;
+  JobRecord j;
+  j.id = 1;
+  j.num_nodes = 16;
+  j.runtime = 100.0;
+  j.walltime = 200.0;
+  log.push_back(j);
+  std::istringstream in(write_swf(log, 4));
+  const JobLog parsed = parse_swf(in, SwfOptions{.cores_per_node = 4});
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].num_nodes, 16);
+}
+
+TEST(SwfFileTest, MissingFileThrows) {
+  EXPECT_THROW(load_swf("/does/not/exist.swf"), ParseError);
+}
+
+TEST(JobHelpersTest, PowerOfTwoPredicate) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_FALSE(is_power_of_two(-4));
+}
+
+TEST(JobHelpersTest, FilterAndFraction) {
+  JobLog log;
+  for (const int n : {1, 2, 3, 4, 6, 8}) {
+    JobRecord j;
+    j.num_nodes = n;
+    log.push_back(j);
+  }
+  EXPECT_DOUBLE_EQ(power_of_two_fraction(log), 4.0 / 6.0);
+  const JobLog filtered = filter_power_of_two(log);
+  EXPECT_EQ(filtered.size(), 4u);
+  EXPECT_DOUBLE_EQ(power_of_two_fraction(filtered), 1.0);
+  EXPECT_DOUBLE_EQ(power_of_two_fraction(JobLog{}), 0.0);
+}
+
+}  // namespace
+}  // namespace commsched

@@ -1,0 +1,149 @@
+#include "workload/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "workload/job.hpp"
+
+namespace commsched {
+namespace {
+
+TEST(SyntheticTest, DeterministicForSameSeed) {
+  const LogProfile p = theta_profile();
+  const JobLog a = generate_log(p, 200, 42);
+  const JobLog b = generate_log(p, 200, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].num_nodes, b[i].num_nodes);
+    EXPECT_DOUBLE_EQ(a[i].runtime, b[i].runtime);
+    EXPECT_DOUBLE_EQ(a[i].submit_time, b[i].submit_time);
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  const LogProfile p = theta_profile();
+  const JobLog a = generate_log(p, 100, 1);
+  const JobLog b = generate_log(p, 100, 2);
+  int differing = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].num_nodes != b[i].num_nodes) ++differing;
+  EXPECT_GT(differing, 10);
+}
+
+TEST(SyntheticTest, SubmitTimesAreSortedFromZero) {
+  const JobLog log = generate_log(mira_profile(), 300, 7);
+  EXPECT_DOUBLE_EQ(log.front().submit_time, 0.0);
+  EXPECT_TRUE(std::is_sorted(log.begin(), log.end(),
+                             [](const JobRecord& a, const JobRecord& b) {
+                               return a.submit_time < b.submit_time;
+                             }));
+}
+
+TEST(SyntheticTest, WalltimeAtLeastRuntime) {
+  for (const auto& profile : paper_profiles())
+    for (const auto& job : generate_log(profile, 500, 11))
+      EXPECT_GE(job.walltime, job.runtime) << profile.name;
+}
+
+TEST(SyntheticTest, RuntimesWithinProfileBounds) {
+  const LogProfile p = intrepid_profile();
+  for (const auto& job : generate_log(p, 500, 13)) {
+    EXPECT_GE(job.runtime, p.min_runtime);
+    EXPECT_LE(job.runtime, p.max_runtime);
+  }
+}
+
+class ProfileSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProfileSweep, MarginalsMatchPaper) {
+  const LogProfile profile = paper_profiles()[static_cast<std::size_t>(GetParam())];
+  const JobLog log = generate_log(profile, 1000, 99);
+  ASSERT_EQ(log.size(), 1000u);
+
+  int max_request = 0;
+  for (const auto& job : log) {
+    EXPECT_GE(job.num_nodes, 1);
+    EXPECT_LE(job.num_nodes, profile.machine_nodes);
+    max_request = std::max(max_request, job.num_nodes);
+  }
+  // Paper §5.1 maxima: Theta 512, Mira 16384, Intrepid up to the machine.
+  EXPECT_LE(max_request, 1 << profile.max_exp);
+
+  // Power-of-two share close to the profile's target (paper: Theta ~90%,
+  // Intrepid/Mira > 99%).
+  EXPECT_NEAR(power_of_two_fraction(log), profile.pow2_fraction, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperLogs, ProfileSweep, ::testing::Values(0, 1, 2));
+
+TEST(SyntheticTest, PaperProfileMaxRequests) {
+  EXPECT_EQ(1 << theta_profile().max_exp, 512);
+  EXPECT_EQ(1 << mira_profile().max_exp, 16384);
+  EXPECT_EQ(1 << intrepid_profile().max_exp, 32768);
+}
+
+TEST(SyntheticTest, OfferedLoadIsNearTarget) {
+  const LogProfile p = theta_profile();
+  const JobLog log = generate_log(p, 1000, 5);
+  double node_seconds = 0.0;
+  for (const auto& job : log)
+    node_seconds += static_cast<double>(job.num_nodes) * job.runtime;
+  const double span = log.back().submit_time;
+  ASSERT_GT(span, 0.0);
+  const double load =
+      node_seconds / (span * static_cast<double>(p.machine_nodes));
+  // Arrival gaps are random; the realized load should be within ~25% of the
+  // calibration target.
+  EXPECT_NEAR(load, p.target_load, p.target_load * 0.25);
+}
+
+TEST(SyntheticTest, EmptyLogRequest) {
+  EXPECT_TRUE(generate_log(theta_profile(), 0, 1).empty());
+}
+
+TEST(SyntheticTest, DefaultWalltimeUsersRequestTheQueueLimit) {
+  LogProfile p = theta_profile();
+  p.default_walltime_fraction = 0.5;
+  p.default_walltime = 6.0 * 3600.0;
+  const JobLog log = generate_log(p, 2000, 21);
+  int at_default = 0;
+  for (const auto& job : log) {
+    EXPECT_GE(job.walltime, job.runtime);
+    if (job.walltime == std::max(p.default_walltime, job.runtime))
+      ++at_default;
+  }
+  EXPECT_NEAR(static_cast<double>(at_default) / 2000.0, 0.5, 0.05);
+}
+
+TEST(SyntheticTest, DiurnalAmplitudeModulatesArrivalDensity) {
+  LogProfile p = theta_profile();
+  p.diurnal_amplitude = 0.9;
+  const JobLog log = generate_log(p, 4000, 23);
+  // Count submissions in the "fast" half-day (sin > 0) vs the slow one.
+  int fast = 0, slow = 0;
+  for (const auto& job : log) {
+    const double day_pos = std::fmod(job.submit_time, 86400.0);
+    (day_pos < 43200.0 ? fast : slow) += 1;
+  }
+  // With 0.9 amplitude the fast half should carry clearly more arrivals.
+  EXPECT_GT(fast, slow * 5 / 4);
+}
+
+TEST(SyntheticTest, DiurnalAmplitudeValidated) {
+  LogProfile p = theta_profile();
+  p.diurnal_amplitude = 1.0;
+  EXPECT_THROW(generate_log(p, 10, 1), InvariantError);
+}
+
+TEST(SyntheticTest, CommunicationAttributesLeftToMixes) {
+  for (const auto& job : generate_log(theta_profile(), 50, 3)) {
+    EXPECT_FALSE(job.comm_intensive);
+    EXPECT_DOUBLE_EQ(job.comm_fraction, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace commsched
