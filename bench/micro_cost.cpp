@@ -1,0 +1,175 @@
+// Micro-benchmark: leaf-aggregated fast cost kernel vs the pair-by-pair
+// reference path (Eqs. 5/6), on a Theta-like tree with a realistic
+// background load. For each pattern and rank count it times
+// candidate_cost (the overlay path AdaptiveAllocator::select exercises)
+// through both kernels and reports ns per cost call.
+//
+// Outputs:
+//   bench_out/micro_cost.csv      one row per (pattern, nranks)
+//   BENCH_cost_model.json         perf snapshot at the repo root (run from
+//                                 there) so future PRs can track regressions
+//
+// Run from the repo root: ./build/bench/bench_micro_cost
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cluster/state.hpp"
+#include "collectives/schedule.hpp"
+#include "core/cost_model.hpp"
+#include "topology/builders.hpp"
+#include "util/rng.hpp"
+
+namespace commsched {
+namespace {
+
+// Allocation that stripes across leaves (greedy/balanced picks span leaves
+// whenever a job outgrows one), so distinct leaf pairs are actually hit.
+std::vector<NodeId> striped_allocation(const Tree& tree, int num_nodes,
+                                       const ClusterState& state) {
+  std::vector<NodeId> nodes;
+  const auto leaves = tree.leaves();
+  for (std::size_t round = 0; static_cast<int>(nodes.size()) < num_nodes;
+       ++round) {
+    bool any = false;
+    for (const SwitchId leaf : leaves) {
+      const auto attached = tree.nodes_of_leaf(leaf);
+      if (round >= attached.size()) continue;
+      const NodeId n = attached[round];
+      if (!state.is_free(n)) continue;
+      nodes.push_back(n);
+      any = true;
+      if (static_cast<int>(nodes.size()) == num_nodes) break;
+    }
+    if (!any) break;
+  }
+  return nodes;
+}
+
+struct Row {
+  std::string pattern;
+  int nranks = 0;
+  std::int64_t pair_messages = 0;
+  double ref_ns = 0.0;
+  double fast_ns = 0.0;
+};
+
+template <typename F>
+double time_ns_per_call(F&& call, int min_reps) {
+  // Warm up (first fast call sizes the scratch), then time enough reps for
+  // a stable average.
+  volatile double sink = call();
+  const auto start = std::chrono::steady_clock::now();
+  int reps = 0;
+  double elapsed_ns = 0.0;
+  do {
+    for (int i = 0; i < min_reps; ++i) sink = call();
+    reps += min_reps;
+    elapsed_ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  } while (elapsed_ns < 2e8);  // at least 0.2 s per measurement
+  (void)sink;
+  return elapsed_ns / reps;
+}
+
+int run() {
+  // Open both outputs up front so a wrong working directory fails in
+  // milliseconds, not after the full measurement sweep.
+  std::ofstream csv("bench_out/micro_cost.csv");
+  std::ofstream json("BENCH_cost_model.json");
+  if (!csv || !json) {
+    std::cerr << "cannot open bench_out/micro_cost.csv or "
+                 "BENCH_cost_model.json (run from the repo root)\n";
+    return 1;
+  }
+
+  const Tree tree = make_theta();  // 12 leaves x 366 nodes
+  ClusterState state(tree);
+
+  // ~40% background occupancy, half of it communication-intensive, spread
+  // over the leaves like a mixed running workload.
+  Rng rng(20200817);
+  std::vector<NodeId> comm_nodes, quiet_nodes;
+  for (NodeId n = 0; n < tree.node_count(); ++n) {
+    const double p = rng.uniform_real(0.0, 1.0);
+    if (p < 0.2)
+      comm_nodes.push_back(n);
+    else if (p < 0.4)
+      quiet_nodes.push_back(n);
+  }
+  state.allocate(1, /*comm=*/true, comm_nodes);
+  state.allocate(2, /*comm=*/false, quiet_nodes);
+
+  const CostModel model(tree);  // unweighted Eq. 6, candidate overlay on
+
+  constexpr Pattern kPatterns[] = {
+      Pattern::kRecursiveDoubling, Pattern::kRecursiveHalvingVD,
+      Pattern::kBinomial, Pattern::kRing, Pattern::kPairwiseAlltoall};
+  constexpr int kRanks[] = {64, 512, 1024};
+
+  std::vector<Row> rows;
+  for (const int nranks : kRanks) {
+    const auto nodes = striped_allocation(tree, nranks, state);
+    if (static_cast<int>(nodes.size()) < nranks) continue;
+    for (const Pattern pattern : kPatterns) {
+      const auto schedule = make_schedule(pattern, nranks, 1 << 20);
+      Row row;
+      row.pattern = pattern_name(pattern);
+      row.nranks = nranks;
+      row.pair_messages = total_pair_messages(schedule);
+      row.ref_ns = time_ns_per_call(
+          [&] {
+            return model.candidate_cost_reference(state, nodes, true,
+                                                  schedule);
+          },
+          4);
+      row.fast_ns = time_ns_per_call(
+          [&] { return model.candidate_cost(state, nodes, true, schedule); },
+          4);
+      rows.push_back(row);
+      std::printf("%-22s p=%5d pairs=%9lld ref=%12.1f ns fast=%12.1f ns  %6.1fx\n",
+                  row.pattern.c_str(), row.nranks,
+                  static_cast<long long>(row.pair_messages), row.ref_ns,
+                  row.fast_ns, row.ref_ns / row.fast_ns);
+    }
+  }
+
+  csv << "pattern,nranks,pair_messages,reference_ns_per_call,fast_ns_per_call,"
+         "speedup\n";
+  for (const Row& row : rows)
+    csv << row.pattern << ',' << row.nranks << ',' << row.pair_messages << ','
+        << row.ref_ns << ',' << row.fast_ns << ','
+        << row.ref_ns / row.fast_ns << '\n';
+
+  json << "{\n"
+       << "  \"bench\": \"micro_cost\",\n"
+       << "  \"machine\": \"theta (12 leaves x 366 nodes)\",\n"
+       << "  \"metric\": \"ns per candidate_cost call\",\n"
+       << "  \"before\": \"pair-by-pair reference kernel "
+          "(cost_impl_reference)\",\n"
+       << "  \"after\": \"leaf-aggregated fast kernel (cost_impl)\",\n"
+       << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    json << "    {\"pattern\": \"" << row.pattern
+         << "\", \"nranks\": " << row.nranks
+         << ", \"pair_messages\": " << row.pair_messages
+         << ", \"before_ns\": " << row.ref_ns
+         << ", \"after_ns\": " << row.fast_ns
+         << ", \"speedup\": " << row.ref_ns / row.fast_ns << "}"
+         << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  json << "  ]\n}\n";
+  std::cout << "wrote bench_out/micro_cost.csv and BENCH_cost_model.json\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace commsched
+
+int main() { return commsched::run(); }

@@ -5,6 +5,12 @@ namespace commsched {
 AdaptiveAllocator::AdaptiveAllocator(CostOptions cost_options)
     : cost_options_(cost_options), schedule_cache_(1 << 20) {}
 
+const CostModel& AdaptiveAllocator::cost_model_for(const Tree& tree) const {
+  if (!cost_model_ || &cost_model_->tree() != &tree)
+    cost_model_.emplace(tree, cost_options_);
+  return *cost_model_;
+}
+
 std::optional<std::vector<NodeId>> AdaptiveAllocator::select(
     const ClusterState& state, const AllocationRequest& request) const {
   auto greedy_pick = greedy_.select(state, request);
@@ -17,7 +23,7 @@ std::optional<std::vector<NodeId>> AdaptiveAllocator::select(
     return only;
   }
 
-  const CostModel model(state.tree(), cost_options_);
+  const CostModel& model = cost_model_for(state.tree());
   const CommSchedule& schedule =
       schedule_cache_.get(request.pattern, request.num_nodes);
   const double greedy_cost = model.candidate_cost(

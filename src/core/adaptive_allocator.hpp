@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "core/allocator.hpp"
 #include "core/balanced_allocator.hpp"
@@ -34,9 +35,15 @@ class AdaptiveAllocator final : public Allocator {
   bool last_chose_balanced() const noexcept { return last_chose_balanced_; }
 
  private:
+  /// The CostModel bound to `tree`, built on first use and kept across
+  /// select() calls so its leaf-pair scratch buffers are reused (rebuilt
+  /// only if the allocator is pointed at a different topology).
+  const CostModel& cost_model_for(const Tree& tree) const;
+
   GreedyAllocator greedy_;
   BalancedAllocator balanced_;
   CostOptions cost_options_;
+  mutable std::optional<CostModel> cost_model_;
   // Schedules depend only on (pattern, nprocs); memoized across calls.
   mutable ScheduleCache schedule_cache_;
   mutable double last_cost_ = 0.0;

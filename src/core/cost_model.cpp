@@ -37,7 +37,7 @@ std::vector<NodeId> expand_ranks_per_node(std::span<const NodeId> nodes,
 }
 
 CostModel::CostModel(const Tree& tree, CostOptions options)
-    : tree_(&tree), options_(options) {}
+    : tree_(&tree), options_(options), overlay_(tree) {}
 
 namespace {
 double leaf_comm_fraction(const ClusterState& state, SwitchId leaf,
@@ -73,10 +73,90 @@ double CostModel::effective_hops(const ClusterState& state, NodeId i, NodeId j,
   return d * (1.0 + contention(state, i, j, overlay));  // Eq. 5
 }
 
+// Fast kernel: compact the allocation's leaves once, freeze the per-leaf
+// contention inputs, then memoize effective hops per (leaf, leaf) slot pair.
+// Each rank pair after the first with the same leaf pair is a single array
+// load, and the arithmetic matches cost_impl_reference operation-for-
+// operation so the two paths agree bit-for-bit.
 double CostModel::cost_impl(const ClusterState& state,
                             std::span<const NodeId> nodes,
                             const CommSchedule& schedule,
                             const LeafOverlay* overlay) const {
+  const Tree& tree = *tree_;
+  const auto n_leaves = static_cast<std::size_t>(tree.leaf_count());
+  if (leaf_slot_.size() != n_leaves) leaf_slot_.assign(n_leaves, -1);
+
+  call_leaves_.clear();
+  call_leaf_comm_.clear();
+  call_leaf_nodes_.clear();
+  rank_slot_.resize(nodes.size());
+  for (std::size_t r = 0; r < nodes.size(); ++r) {
+    const SwitchId leaf = tree.leaf_of(nodes[r]);
+    const auto li = static_cast<std::size_t>(tree.leaf_index(leaf));
+    std::int32_t slot = leaf_slot_[li];
+    if (slot < 0) {
+      slot = static_cast<std::int32_t>(call_leaves_.size());
+      leaf_slot_[li] = slot;
+      call_leaves_.push_back(leaf);
+      call_leaf_comm_.push_back(static_cast<double>(
+          state.leaf_comm(leaf) + (overlay ? overlay->extra_comm(leaf) : 0)));
+      call_leaf_nodes_.push_back(
+          static_cast<double>(state.leaf_nodes(leaf)));
+    }
+    rank_slot_[r] = slot;
+  }
+  const std::size_t k = call_leaves_.size();
+  pair_hops_.assign(k * k, -1.0);
+
+  double total = 0.0;
+  for (const CommStep& step : schedule) {
+    double worst = 0.0;
+    for (const auto& [ri, rj] : step.pairs) {
+      COMMSCHED_ASSERT_MSG(
+          ri >= 0 && rj >= 0 &&
+              static_cast<std::size_t>(ri) < nodes.size() &&
+              static_cast<std::size_t>(rj) < nodes.size(),
+          "schedule rank out of range for this allocation");
+      if (nodes[static_cast<std::size_t>(ri)] ==
+          nodes[static_cast<std::size_t>(rj)])
+        continue;  // same node: zero hops
+      const auto sa =
+          static_cast<std::size_t>(rank_slot_[static_cast<std::size_t>(ri)]);
+      const auto sb =
+          static_cast<std::size_t>(rank_slot_[static_cast<std::size_t>(rj)]);
+      double& memo = pair_hops_[sa * k + sb];
+      if (memo < 0.0) {
+        double contention;
+        if (sa == sb) {
+          contention = call_leaf_comm_[sa] / call_leaf_nodes_[sa];  // Eq. 2
+        } else {
+          const double ci = call_leaf_comm_[sa];
+          const double cj = call_leaf_comm_[sb];
+          const double ni = call_leaf_nodes_[sa];
+          const double nj = call_leaf_nodes_[sb];
+          contention = ci / ni + cj / nj + 0.5 * (ci + cj) / (ni + nj);  // Eq. 3
+        }
+        const double d = tree.leaf_distance(call_leaves_[sa], call_leaves_[sb]);
+        memo = d * (1.0 + contention);  // Eq. 5
+        pair_hops_[sb * k + sa] = memo;
+      }
+      worst = std::max(worst, memo);
+    }
+    double step_cost = worst * static_cast<double>(step.repeat);
+    if (options_.hop_bytes) step_cost *= step.msize;
+    total += step_cost;
+  }
+
+  // Restore the leaf -> slot map for the next call.
+  for (const SwitchId leaf : call_leaves_)
+    leaf_slot_[static_cast<std::size_t>(tree.leaf_index(leaf))] = -1;
+  return total;
+}
+
+double CostModel::cost_impl_reference(const ClusterState& state,
+                                      std::span<const NodeId> nodes,
+                                      const CommSchedule& schedule,
+                                      const LeafOverlay* overlay) const {
   double total = 0.0;
   for (const CommStep& step : schedule) {
     double worst = 0.0;
@@ -110,9 +190,28 @@ double CostModel::candidate_cost(const ClusterState& state,
                                  const CommSchedule& schedule) const {
   if (!comm_intensive || !options_.include_candidate)
     return cost_impl(state, nodes, schedule, nullptr);
+  overlay_.clear();
+  overlay_.add_nodes(*tree_, nodes);
+  const double cost = cost_impl(state, nodes, schedule, &overlay_);
+  overlay_.clear();
+  return cost;
+}
+
+double CostModel::allocation_cost_reference(const ClusterState& state,
+                                            std::span<const NodeId> nodes,
+                                            const CommSchedule& schedule) const {
+  return cost_impl_reference(state, nodes, schedule, nullptr);
+}
+
+double CostModel::candidate_cost_reference(const ClusterState& state,
+                                           std::span<const NodeId> nodes,
+                                           bool comm_intensive,
+                                           const CommSchedule& schedule) const {
+  if (!comm_intensive || !options_.include_candidate)
+    return cost_impl_reference(state, nodes, schedule, nullptr);
   LeafOverlay overlay(*tree_);
   overlay.add_nodes(*tree_, nodes);
-  return cost_impl(state, nodes, schedule, &overlay);
+  return cost_impl_reference(state, nodes, schedule, &overlay);
 }
 
 }  // namespace commsched

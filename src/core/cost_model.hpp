@@ -14,7 +14,9 @@
 // a per-leaf overlay so the ClusterState itself is never touched.
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "cluster/state.hpp"
 #include "collectives/schedule.hpp"
@@ -58,12 +60,19 @@ class LeafOverlay {
 std::vector<NodeId> expand_ranks_per_node(std::span<const NodeId> nodes,
                                           int ranks_per_node);
 
-/// Stateless evaluator bound to one topology; all methods are const and
-/// thread-compatible.
+/// Evaluator bound to one topology. Eq. 6 evaluations run through a
+/// leaf-aggregated fast kernel: `effective_hops(i, j)` depends only on
+/// (leaf_of(i), leaf_of(j)) and on leaf-level state that is frozen for the
+/// duration of one cost call, so each call maps ranks to leaves once and
+/// memoizes per-leaf-pair hops — O(distinct leaf pairs) expensive
+/// evaluations instead of O(rank pairs). The memo lives in member scratch
+/// buffers reused across calls; methods are const, but concurrent calls on
+/// ONE instance race on the scratch — use one CostModel per thread.
 class CostModel {
  public:
   explicit CostModel(const Tree& tree, CostOptions options = {});
 
+  const Tree& tree() const noexcept { return *tree_; }
   const CostOptions& options() const noexcept { return options_; }
 
   /// C(i,j) per Eqs. 2-3, with `overlay` contributing extra L_comm
@@ -87,13 +96,39 @@ class CostModel {
                         std::span<const NodeId> nodes, bool comm_intensive,
                         const CommSchedule& schedule) const;
 
+  /// Pair-by-pair Eq. 6 evaluation (one effective_hops call per rank pair,
+  /// no memoization). Kept for differential testing of the fast kernel; the
+  /// results must match allocation_cost/candidate_cost bit-for-bit.
+  double allocation_cost_reference(const ClusterState& state,
+                                   std::span<const NodeId> nodes,
+                                   const CommSchedule& schedule) const;
+  double candidate_cost_reference(const ClusterState& state,
+                                  std::span<const NodeId> nodes,
+                                  bool comm_intensive,
+                                  const CommSchedule& schedule) const;
+
  private:
   double cost_impl(const ClusterState& state, std::span<const NodeId> nodes,
                    const CommSchedule& schedule,
                    const LeafOverlay* overlay) const;
+  double cost_impl_reference(const ClusterState& state,
+                             std::span<const NodeId> nodes,
+                             const CommSchedule& schedule,
+                             const LeafOverlay* overlay) const;
 
   const Tree* tree_;
   CostOptions options_;
+
+  // Per-call scratch (ClusterState and overlay are frozen within a call).
+  // leaf_slot_ maps dense leaf index -> compact slot in the current call's
+  // leaf set (-1 when untouched; restored at the end of each call).
+  mutable std::vector<std::int32_t> leaf_slot_;
+  mutable std::vector<SwitchId> call_leaves_;    // distinct leaves, by slot
+  mutable std::vector<double> call_leaf_comm_;   // L_comm (+overlay), by slot
+  mutable std::vector<double> call_leaf_nodes_;  // L_nodes, by slot
+  mutable std::vector<std::int32_t> rank_slot_;  // rank -> compact slot
+  mutable std::vector<double> pair_hops_;        // slot×slot memo, -1 unset
+  mutable LeafOverlay overlay_;                  // candidate_cost scratch
 };
 
 }  // namespace commsched

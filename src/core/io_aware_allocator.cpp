@@ -83,7 +83,9 @@ std::optional<std::vector<NodeId>> IoAwareAllocator::select(
   const auto default_pick = default_.select(state, request);
   if (!default_pick) return std::nullopt;  // nothing fits at all
 
-  const CostModel comm_model(state.tree(), cost_options_);
+  if (!cost_model_ || &cost_model_->tree() != &state.tree())
+    cost_model_.emplace(state.tree(), cost_options_);
+  const CostModel& comm_model = *cost_model_;
   const IoModel io_model(state.tree());
   const CommSchedule& schedule =
       schedule_cache_.get(request.pattern, request.num_nodes);

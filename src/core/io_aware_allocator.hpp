@@ -14,6 +14,8 @@
 // policy's choice; a pure-I/O job gets the spread.
 #pragma once
 
+#include <optional>
+
 #include "core/allocator.hpp"
 #include "core/balanced_allocator.hpp"
 #include "core/cost_model.hpp"
@@ -43,6 +45,9 @@ class IoAwareAllocator final : public Allocator {
   BalancedAllocator balanced_;
   DefaultAllocator default_;
   CostOptions cost_options_;
+  // Kept across select() calls so the cost kernel's leaf-pair scratch is
+  // reused; rebuilt only when pointed at a different topology.
+  mutable std::optional<CostModel> cost_model_;
   mutable ScheduleCache schedule_cache_;
 };
 

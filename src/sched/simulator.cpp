@@ -176,9 +176,14 @@ class Simulation {
   // ahead only when they cannot delay that reservation.
   void backfill(double t) {
     int examined = 0;
+    // The head reservation depends only on the running set and the free-node
+    // count, both of which change within this pass only when a backfilled
+    // job actually starts — so compute it once and refresh after starts
+    // instead of re-sorting the running jobs per examined candidate.
+    auto reservation = head_reservation();
     for (std::size_t qi = 1; qi < pending_.size();) {
       if (++examined > options_.backfill_depth) break;
-      const auto [shadow_time, extra_nodes] = head_reservation();
+      const auto [shadow_time, extra_nodes] = reservation;
       const std::size_t idx = pending_[qi];
       const JobRecord& job = log_[idx];
       const bool harmless = (t + job.walltime <= shadow_time) ||
@@ -188,6 +193,7 @@ class Simulation {
       if (nodes) {
         start_job(idx, t, std::move(*nodes));
         pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(qi));
+        reservation = head_reservation();
       } else {
         ++qi;
       }

@@ -1,7 +1,6 @@
 #include "topology/tree.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "util/assert.hpp"
 
@@ -56,30 +55,36 @@ SwitchId Tree::leaf_of(NodeId n) const {
   return node_leaf_[static_cast<std::size_t>(n)];
 }
 
+int Tree::leaf_index(SwitchId s) const {
+  check_switch(*this, s);
+  const std::int32_t idx = leaf_index_[static_cast<std::size_t>(s)];
+  COMMSCHED_ASSERT_MSG(idx >= 0, "leaf_index on a non-leaf switch");
+  return idx;
+}
+
+SwitchId Tree::leaf_lca(SwitchId la, SwitchId lb) const {
+  const auto row = static_cast<std::size_t>(leaf_index(la));
+  const auto col = static_cast<std::size_t>(leaf_index(lb));
+  return leaf_lca_[row * static_cast<std::size_t>(leaf_count()) + col];
+}
+
+int Tree::leaf_distance(SwitchId la, SwitchId lb) const {
+  const auto row = static_cast<std::size_t>(leaf_index(la));
+  const auto col = static_cast<std::size_t>(leaf_index(lb));
+  return leaf_dist_[row * static_cast<std::size_t>(leaf_count()) + col];
+}
+
 SwitchId Tree::lowest_common_switch(NodeId a, NodeId b) const {
-  const SwitchId la = leaf_of(a);
-  const SwitchId lb = leaf_of(b);
-  if (la == lb) return la;
-  // Walk the root-first ancestor chains in lockstep; the last matching entry
-  // is the lowest common switch.  Chains are at most depth() long.
-  const auto& ca = leaf_chain_[static_cast<std::size_t>(la)];
-  const auto& cb = leaf_chain_[static_cast<std::size_t>(lb)];
-  const std::size_t n = std::min(ca.size(), cb.size());
-  SwitchId lca = root_;
-  for (std::size_t i = 0; i < n; ++i) {
-    if (ca[i] != cb[i]) break;
-    lca = ca[i];
-  }
-  return lca;
+  return leaf_lca(leaf_of(a), leaf_of(b));
 }
 
 int Tree::lca_level(NodeId a, NodeId b) const {
-  return level(lowest_common_switch(a, b));
+  return leaf_distance(leaf_of(a), leaf_of(b)) / 2;
 }
 
 int Tree::distance(NodeId a, NodeId b) const {
   if (a == b) return 0;
-  return 2 * lca_level(a, b);
+  return leaf_distance(leaf_of(a), leaf_of(b));
 }
 
 const std::string& Tree::node_name(NodeId n) const {
@@ -93,15 +98,15 @@ const std::string& Tree::switch_name(SwitchId s) const {
 }
 
 std::optional<NodeId> Tree::node_by_name(const std::string& name) const {
-  for (NodeId n = 0; n < node_count(); ++n)
-    if (node_names_[static_cast<std::size_t>(n)] == name) return n;
-  return std::nullopt;
+  const auto it = node_index_.find(name);
+  if (it == node_index_.end()) return std::nullopt;
+  return it->second;
 }
 
 std::optional<SwitchId> Tree::switch_by_name(const std::string& name) const {
-  for (SwitchId s = 0; s < switch_count(); ++s)
-    if (switches_[static_cast<std::size_t>(s)].name == name) return s;
-  return std::nullopt;
+  const auto it = switch_index_.find(name);
+  if (it == switch_index_.end()) return std::nullopt;
+  return it->second;
 }
 
 SwitchId TreeBuilder::add_leaf(std::string name,
@@ -170,15 +175,19 @@ Tree TreeBuilder::build() {
   tree_.root_ = root;
   tree_.depth_ = tree_.switches_[static_cast<std::size_t>(root)].level;
 
-  // Unique names.
-  std::unordered_set<std::string> names;
-  for (const auto& sw : tree_.switches_)
-    COMMSCHED_ASSERT_MSG(names.insert(sw.name).second,
+  // Unique names; the maps double as the O(1) by-name lookup indices.
+  tree_.switch_index_.reserve(tree_.switches_.size());
+  for (SwitchId s = 0; s < tree_.switch_count(); ++s) {
+    const auto& sw = tree_.switches_[static_cast<std::size_t>(s)];
+    COMMSCHED_ASSERT_MSG(tree_.switch_index_.emplace(sw.name, s).second,
                          "duplicate switch name '" + sw.name + "'");
-  names.clear();
-  for (const auto& nn : tree_.node_names_)
-    COMMSCHED_ASSERT_MSG(names.insert(nn).second,
+  }
+  tree_.node_index_.reserve(tree_.node_names_.size());
+  for (NodeId n = 0; n < tree_.node_count(); ++n) {
+    const auto& nn = tree_.node_names_[static_cast<std::size_t>(n)];
+    COMMSCHED_ASSERT_MSG(tree_.node_index_.emplace(nn, n).second,
                          "duplicate node name '" + nn + "'");
+  }
 
   // The root must span every node.
   COMMSCHED_ASSERT_MSG(
@@ -186,15 +195,44 @@ Tree TreeBuilder::build() {
           tree_.node_count(),
       "root does not span all nodes — disconnected topology");
 
-  // Precompute root-first ancestor chains per leaf for LCA queries.
-  tree_.leaf_chain_.assign(tree_.switches_.size(), {});
-  for (const SwitchId leaf : tree_.leaves_) {
-    std::vector<SwitchId> chain;
-    for (SwitchId s = leaf; s != kInvalidSwitch;
+  // Precompute the dense leaf×leaf LCA/distance tables. Root-first ancestor
+  // chains are walked once per leaf pair here — O(L² · depth) at build time —
+  // so every later pairwise query is a single array load.
+  const auto n_leaves = tree_.leaves_.size();
+  tree_.leaf_index_.assign(tree_.switches_.size(), -1);
+  for (std::size_t i = 0; i < n_leaves; ++i)
+    tree_.leaf_index_[static_cast<std::size_t>(tree_.leaves_[i])] =
+        static_cast<std::int32_t>(i);
+  std::vector<std::vector<SwitchId>> chains(n_leaves);
+  for (std::size_t i = 0; i < n_leaves; ++i) {
+    auto& chain = chains[i];
+    for (SwitchId s = tree_.leaves_[i]; s != kInvalidSwitch;
          s = tree_.switches_[static_cast<std::size_t>(s)].parent)
       chain.push_back(s);
     std::reverse(chain.begin(), chain.end());
-    tree_.leaf_chain_[static_cast<std::size_t>(leaf)] = std::move(chain);
+  }
+  tree_.leaf_lca_.assign(n_leaves * n_leaves, kInvalidSwitch);
+  tree_.leaf_dist_.assign(n_leaves * n_leaves, 0);
+  for (std::size_t i = 0; i < n_leaves; ++i) {
+    // Diagonal: distinct nodes on one leaf meet at the leaf itself (level 1).
+    tree_.leaf_lca_[i * n_leaves + i] = tree_.leaves_[i];
+    tree_.leaf_dist_[i * n_leaves + i] = 2;
+    for (std::size_t j = i + 1; j < n_leaves; ++j) {
+      const auto& ca = chains[i];
+      const auto& cb = chains[j];
+      const std::size_t common = std::min(ca.size(), cb.size());
+      SwitchId lca = root;
+      for (std::size_t d = 0; d < common; ++d) {
+        if (ca[d] != cb[d]) break;
+        lca = ca[d];
+      }
+      const auto dist = static_cast<std::int16_t>(
+          2 * tree_.switches_[static_cast<std::size_t>(lca)].level);
+      tree_.leaf_lca_[i * n_leaves + j] = lca;
+      tree_.leaf_lca_[j * n_leaves + i] = lca;
+      tree_.leaf_dist_[i * n_leaves + j] = dist;
+      tree_.leaf_dist_[j * n_leaves + i] = dist;
+    }
   }
   return std::move(tree_);
 }

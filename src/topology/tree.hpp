@@ -9,12 +9,18 @@
 //
 // Node and switch handles are dense indices (NodeId / SwitchId), assigned in
 // construction order; names are retained for topology.conf round-trips.
+//
+// Pairwise queries are O(1): build() precomputes a dense leaf×leaf table of
+// lowest-common-switch ids and Eq. 4 distances (O(L²) memory, L = leaf
+// count; big-leaf machines keep L in the low hundreds), so the cost model's
+// hot path never walks ancestor chains. Name lookups are hash maps.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace commsched {
@@ -60,6 +66,18 @@ class Tree {
   /// Leaf switch a node is attached to.
   SwitchId leaf_of(NodeId n) const;
 
+  /// Dense index of a leaf switch in leaves() order, in [0, leaf_count()).
+  /// Requires is_leaf(s).
+  int leaf_index(SwitchId s) const;
+
+  /// Lowest common switch of two leaves (the leaf itself when la == lb).
+  /// O(1) table lookup.
+  SwitchId leaf_lca(SwitchId la, SwitchId lb) const;
+
+  /// Paper Eq. 4 distance between two *distinct* nodes attached to leaves
+  /// `la` and `lb` (2 when la == lb: the shared leaf is the LCA). O(1).
+  int leaf_distance(SwitchId la, SwitchId lb) const;
+
   /// Lowest common switch of two nodes (their shared leaf if co-located).
   SwitchId lowest_common_switch(NodeId a, NodeId b) const;
 
@@ -92,8 +110,15 @@ class Tree {
   std::vector<SwitchId> leaves_;
   std::vector<std::string> node_names_;
   std::vector<SwitchId> node_leaf_;
-  // Root-first ancestor chain per leaf: chain[0] = root ... chain.back() = leaf.
-  std::vector<std::vector<SwitchId>> leaf_chain_;
+  // Per switch: dense leaf index, or -1 for internal switches.
+  std::vector<std::int32_t> leaf_index_;
+  // Dense leaf×leaf tables, indexed [leaf_index(la) * leaf_count() +
+  // leaf_index(lb)]: lowest common switch and Eq. 4 distance. O(L²) memory
+  // buys O(1) pairwise queries (the cost model's hot path).
+  std::vector<SwitchId> leaf_lca_;
+  std::vector<std::int16_t> leaf_dist_;
+  std::unordered_map<std::string, NodeId> node_index_;
+  std::unordered_map<std::string, SwitchId> switch_index_;
   SwitchId root_ = kInvalidSwitch;
   int depth_ = 0;
 };
