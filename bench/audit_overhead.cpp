@@ -1,0 +1,85 @@
+// Runtime cost of the invariant auditor (src/audit/) on an end-to-end
+// continuous simulation: the same workload is scheduled with the audit at
+// off / cheap / full and the wall-clock per run is compared. DESIGN.md
+// "Correctness & analysis" targets cheap <= ~5% over off; full is the
+// debugging level and may be arbitrarily slower (it re-validates the whole
+// cluster state after every event).
+//
+// Environment knobs: COMMSCHED_JOBS, COMMSCHED_SEED (see bench_util.hpp).
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "audit/level.hpp"
+#include "bench_util.hpp"
+#include "metrics/summary.hpp"
+
+namespace {
+using namespace std::chrono;
+using commsched::AllocatorKind;
+using commsched::AuditLevel;
+using commsched::MixSpec;
+using commsched::Pattern;
+using commsched::SchedOptions;
+using commsched::SimResult;
+using commsched::TextTable;
+using commsched::bench::MachineCase;
+
+double timed_run_seconds(const MachineCase& machine, const MixSpec& spec,
+                         AllocatorKind kind, AuditLevel level,
+                         double* exec_hours) {
+  SchedOptions base;
+  base.audit = level;
+  const auto t0 = steady_clock::now();
+  const SimResult r =
+      commsched::bench::run_with_mix(machine, spec, kind, &base);
+  const auto t1 = steady_clock::now();
+  *exec_hours = commsched::summarize(r).total_exec_hours;
+  return duration<double>(t1 - t0).count();
+}
+}  // namespace
+
+int main() {
+  const MachineCase machine = commsched::bench::paper_machine("Theta");
+  const MixSpec spec = uniform_mix(Pattern::kRecursiveHalvingVD, 0.9, 0.8);
+  const AuditLevel levels[] = {AuditLevel::kOff, AuditLevel::kCheap,
+                               AuditLevel::kFull};
+  const AllocatorKind kinds[] = {AllocatorKind::kDefault,
+                                 AllocatorKind::kAdaptive};
+
+  TextTable table;
+  table.set_header({"Alloc", "Level", "Time(s)", "Overhead%", "Exec(h)"});
+  for (const AllocatorKind kind : kinds) {
+    double base_seconds = 0.0;
+    double base_exec = 0.0;
+    for (const AuditLevel level : levels) {
+      // Warm-up pass on the first level so allocator caches and the page
+      // cache do not bias the off-level baseline.
+      double exec_hours = 0.0;
+      if (level == AuditLevel::kOff)
+        (void)timed_run_seconds(machine, spec, kind, level, &exec_hours);
+      const double seconds =
+          timed_run_seconds(machine, spec, kind, level, &exec_hours);
+      if (level == AuditLevel::kOff) {
+        base_seconds = seconds;
+        base_exec = exec_hours;
+      } else if (exec_hours != base_exec) {
+        // The auditor must be an observer: any simulated-metric drift
+        // between audit levels is itself a bug.
+        std::cerr << "audit level changed simulated results: " << base_exec
+                  << " vs " << exec_hours << "\n";
+        return 1;
+      }
+      const double overhead =
+          base_seconds > 0.0 ? (seconds / base_seconds - 1.0) * 100.0 : 0.0;
+      table.add_row({commsched::allocator_kind_name(kind),
+                     commsched::audit_level_name(level),
+                     commsched::cell(seconds, 3), commsched::cell(overhead, 1),
+                     commsched::cell(exec_hours, 0)});
+    }
+  }
+  commsched::bench::emit("Audit overhead (end-to-end continuous run, Theta)",
+                         table, "audit_overhead");
+  return 0;
+}

@@ -1,0 +1,338 @@
+#include "audit/auditor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace commsched {
+
+namespace {
+
+std::string node_set_repr(std::span<const NodeId> nodes) {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) os << ',';
+    if (i == 16) {  // keep violation reports readable for large jobs
+      os << "... " << nodes.size() << " nodes";
+      break;
+    }
+    os << nodes[i];
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace
+
+StateAuditor::StateAuditor(const Tree& tree, AuditLevel level)
+    : level_(level), tree_(&tree) {
+  if (!enabled()) return;
+  shadow_owner_.assign(static_cast<std::size_t>(tree.node_count()),
+                       kInvalidJob);
+  shadow_free_ = tree.node_count();
+}
+
+void StateAuditor::violation(const std::string& detail) const {
+  throw InvariantError("audit violation " + context() + ": " + detail);
+}
+
+namespace {
+// "end job 3" from the literal label + optional job id, only on the error
+// paths — the per-event hot path stores the pieces without formatting them.
+void append_event(std::ostream& os, std::string_view what, JobId job) {
+  os << "'" << what;
+  if (job != kInvalidJob) os << " " << job;
+  os << "'";
+}
+}  // namespace
+
+std::string StateAuditor::context() const {
+  std::ostringstream os;
+  os << "[level=" << audit_level_name(level_) << ", event #" << events_;
+  if (saw_event_) {
+    os << " ";
+    append_event(os, last_event_, last_job_);
+    os << " at t=" << last_time_;
+  }
+  os << "]";
+  return os.str();
+}
+
+void StateAuditor::on_event(double time, std::string_view what, JobId job) {
+  if (!enabled()) return;
+  ++checks_;
+  if (saw_event_ && time < last_time_) {
+    std::ostringstream os;
+    os << "event clock ran backwards: ";
+    append_event(os, what, job);
+    os << " at t=" << time << " after ";
+    append_event(os, last_event_, last_job_);
+    os << " at t=" << last_time_;
+    violation(os.str());
+  }
+  if (!std::isfinite(time)) {
+    std::ostringstream os;
+    os << "event ";
+    append_event(os, what, job);
+    os << " has non-finite time " << time;
+    violation(os.str());
+  }
+  ++events_;
+  last_time_ = time;
+  last_event_ = what;
+  last_job_ = job;
+  saw_event_ = true;
+}
+
+void StateAuditor::on_allocate(const ClusterState& state, JobId job,
+                               std::span<const NodeId> nodes) {
+  if (!enabled()) return;
+  ++checks_;
+  if (job == kInvalidJob) violation("allocation uses the invalid job id");
+  if (live_.contains(job))
+    violation("job " + std::to_string(job) +
+              " allocated twice without an intervening release");
+  if (nodes.empty())
+    violation("job " + std::to_string(job) + " allocated an empty node set");
+  // Checking and writing the shadow in one pass keeps this allocation-free
+  // beyond the stored copy; a duplicate node inside `nodes` trips the
+  // ownership check on its second occurrence (prior == job).
+  for (const NodeId n : nodes) {
+    if (n < 0 || n >= tree_->node_count()) {
+      std::ostringstream os;
+      os << "job " << job << " allocated out-of-range node " << n;
+      violation(os.str());
+    }
+    const JobId prior = shadow_owner_[static_cast<std::size_t>(n)];
+    if (prior == job) {
+      std::ostringstream os;
+      os << "job " << job << " allocation contains duplicate node " << n
+         << " (allocation " << node_set_repr(nodes) << ")";
+      violation(os.str());
+    }
+    if (prior != kInvalidJob) {
+      std::ostringstream os;
+      os << "allocation disjointness broken: node " << n << " given to job "
+         << job << " while still held by job " << prior
+         << " (allocation " << node_set_repr(nodes) << ")";
+      violation(os.str());
+    }
+    // Per-node cross-validation against the cluster is an out-of-line call
+    // per node: full only. Cheap still catches aggregate divergence through
+    // the O(1) free-count check below.
+    if (level_ == AuditLevel::kFull && state.owner(n) != job) {
+      std::ostringstream os;
+      os << "cluster state disagrees: node " << n << " should be owned by job "
+         << job << " after allocation but owner() reports " << state.owner(n);
+      violation(os.str());
+    }
+    shadow_owner_[static_cast<std::size_t>(n)] = job;
+  }
+  shadow_free_ -= static_cast<int>(nodes.size());
+  live_.emplace(job, std::vector<NodeId>(nodes.begin(), nodes.end()));
+  if (state.total_free() != shadow_free_) {
+    std::ostringstream os;
+    os << "free-node count diverged after allocating job " << job
+       << ": cluster reports " << state.total_free()
+       << ", shadow table expects " << shadow_free_;
+    violation(os.str());
+  }
+}
+
+void StateAuditor::on_release(const ClusterState& state, JobId job,
+                              std::span<const NodeId> freed) {
+  if (!enabled()) return;
+  ++checks_;
+  const auto it = live_.find(job);
+  if (it == live_.end())
+    violation("release of job " + std::to_string(job) +
+              " which the auditor never saw allocated");
+  // Fast path: ClusterState::release returns nodes in allocation order, so
+  // an honest release matches the stored copy element-for-element. Only on a
+  // mismatch pay for the order-insensitive comparison — the invariant is set
+  // equality, not ordering.
+  if (!std::equal(freed.begin(), freed.end(), it->second.begin(),
+                  it->second.end())) {
+    std::vector<NodeId> got(freed.begin(), freed.end());
+    std::vector<NodeId> expected = it->second;
+    std::sort(got.begin(), got.end());
+    std::sort(expected.begin(), expected.end());
+    if (got != expected) {
+      std::ostringstream os;
+      os << "release of job " << job << " returned " << node_set_repr(got)
+         << " but the job allocated " << node_set_repr(expected);
+      violation(os.str());
+    }
+  }
+  for (const NodeId n : freed) {
+    // Symmetric to on_allocate: the per-node is_free() round-trip into the
+    // cluster is full-level; cheap keeps the local shadow bookkeeping.
+    if (level_ == AuditLevel::kFull && !state.is_free(n)) {
+      std::ostringstream os;
+      os << "node " << n << " still busy after releasing its job " << job;
+      violation(os.str());
+    }
+    shadow_owner_[static_cast<std::size_t>(n)] = kInvalidJob;
+  }
+  shadow_free_ += static_cast<int>(freed.size());
+  live_.erase(it);
+  if (state.total_free() != shadow_free_) {
+    std::ostringstream os;
+    os << "free-node count diverged after releasing job " << job
+       << ": cluster reports " << state.total_free()
+       << ", shadow table expects " << shadow_free_;
+    violation(os.str());
+  }
+}
+
+void StateAuditor::check_backfill(double now, JobId job, double walltime,
+                                  int num_nodes, double shadow_time,
+                                  int extra_nodes) {
+  if (!enabled()) return;
+  ++checks_;
+  const bool ends_before_shadow = now + walltime <= shadow_time;
+  const bool fits_spare = num_nodes <= extra_nodes;
+  if (!ends_before_shadow && !fits_spare) {
+    std::ostringstream os;
+    os << "EASY backfill violated the head reservation: job " << job
+       << " (" << num_nodes << " nodes, walltime " << walltime
+       << ") started at t=" << now << " but the head starts at t="
+       << shadow_time << " with only " << extra_nodes << " spare nodes";
+    violation(os.str());
+  }
+}
+
+void StateAuditor::check_cost(double cost, JobId job,
+                              std::string_view metric) {
+  if (!enabled()) return;
+  ++checks_;
+  if (!std::isfinite(cost) || cost < 0.0) {
+    std::ostringstream os;
+    os << metric << " for job " << job << " is " << cost
+       << "; Eq. 5/6 values must be finite and non-negative";
+    violation(os.str());
+  }
+}
+
+void StateAuditor::check_cost_symmetry(const CostModel& model,
+                                       const ClusterState& state,
+                                       std::span<const NodeId> nodes,
+                                       JobId job) {
+  if (level_ != AuditLevel::kFull) return;
+  if (nodes.size() < 2) return;
+  // Deterministic sample: pair opposite ends of the allocation, at most 4
+  // pairs, so the check stays O(1) per job regardless of job size.
+  const std::size_t pairs = std::min<std::size_t>(4, nodes.size() / 2);
+  for (std::size_t k = 0; k < pairs; ++k) {
+    ++checks_;
+    const NodeId i = nodes[k];
+    const NodeId j = nodes[nodes.size() - 1 - k];
+    if (i == j) continue;
+    if (tree_->distance(i, j) != tree_->distance(j, i)) {
+      std::ostringstream os;
+      os << "Eq. 4 distance asymmetric for job " << job << ": d(" << i << ","
+         << j << ")=" << tree_->distance(i, j) << " but d(" << j << "," << i
+         << ")=" << tree_->distance(j, i);
+      violation(os.str());
+    }
+    const double hij = model.effective_hops(state, i, j);
+    const double hji = model.effective_hops(state, j, i);
+    if (!(hij == hji) || !std::isfinite(hij) || hij < 0.0) {
+      std::ostringstream os;
+      os << "Eq. 5 effective hops invalid for job " << job << ": Hops(" << i
+         << "," << j << ")=" << hij << ", Hops(" << j << "," << i
+         << ")=" << hji << " (must be equal, finite and non-negative)";
+      violation(os.str());
+    }
+  }
+}
+
+void StateAuditor::check_flow(double remaining, double rate, double latency,
+                              int job) {
+  if (level_ != AuditLevel::kFull) return;
+  ++checks_;
+  // The fluid solver drains flows to within a byte epsilon of zero; allow
+  // that drift but catch real sign/NaN corruption.
+  constexpr double kByteSlack = 1e-3;
+  if (!std::isfinite(remaining) || remaining < -kByteSlack ||
+      !std::isfinite(rate) || rate < 0.0 || !std::isfinite(latency) ||
+      latency < -kByteSlack) {
+    std::ostringstream os;
+    os << "netsim flow of job " << job << " corrupted: remaining=" << remaining
+       << " bytes, rate=" << rate << " B/s, latency=" << latency << " s";
+    violation(os.str());
+  }
+}
+
+void StateAuditor::check_state(const ClusterState& state) {
+  if (level_ != AuditLevel::kFull) return;
+  ++checks_;
+  // From-scratch recomputation of every incremental counter.
+  state.validate();
+
+  // Cross-check against the shadow table built from the event stream.
+  if (state.job_count() != live_.size()) {
+    std::ostringstream os;
+    os << "live-job count diverged: cluster tracks " << state.job_count()
+       << " jobs, auditor saw " << live_.size();
+    violation(os.str());
+  }
+  for (const auto& [job, shadow_nodes] : live_) {
+    if (!state.has_job(job))
+      violation("job " + std::to_string(job) +
+                " is live in the shadow table but unknown to the cluster");
+    const auto span = state.job_nodes(job);
+    std::vector<NodeId> cluster_nodes(span.begin(), span.end());
+    std::vector<NodeId> audit_nodes = shadow_nodes;
+    std::sort(cluster_nodes.begin(), cluster_nodes.end());
+    std::sort(audit_nodes.begin(), audit_nodes.end());
+    if (cluster_nodes != audit_nodes) {
+      std::ostringstream os;
+      os << "job " << job << " node sets diverged: cluster holds "
+         << node_set_repr(cluster_nodes) << ", auditor recorded "
+         << node_set_repr(audit_nodes);
+      violation(os.str());
+    }
+  }
+  if (state.total_free() != shadow_free_) {
+    std::ostringstream os;
+    os << "total_free diverged: cluster reports " << state.total_free()
+       << ", shadow table expects " << shadow_free_;
+    violation(os.str());
+  }
+
+  // Per-leaf availability vs. the topology: busy counts must stay within
+  // the leaf's attached-node budget and match the shadow ownership table.
+  for (const SwitchId leaf : tree_->leaves()) {
+    int shadow_busy = 0;
+    for (const NodeId n : tree_->nodes_of_leaf(leaf))
+      if (shadow_owner_[static_cast<std::size_t>(n)] != kInvalidJob)
+        ++shadow_busy;
+    const int busy = state.leaf_busy(leaf);
+    const int cap = state.leaf_nodes(leaf);
+    if (busy < 0 || busy > cap || busy != shadow_busy) {
+      std::ostringstream os;
+      os << "leaf " << tree_->switch_name(leaf) << " availability diverged: "
+         << "L_busy=" << busy << " (shadow " << shadow_busy << ", L_nodes="
+         << cap << ")";
+      violation(os.str());
+    }
+    if (state.leaf_comm(leaf) < 0 || state.leaf_comm(leaf) > busy) {
+      std::ostringstream os;
+      os << "leaf " << tree_->switch_name(leaf) << " has L_comm="
+         << state.leaf_comm(leaf) << " outside [0, L_busy=" << busy << "]";
+      violation(os.str());
+    }
+  }
+  if (state.free_under(tree_->root()) != state.total_free()) {
+    std::ostringstream os;
+    os << "root subtree free count " << state.free_under(tree_->root())
+       << " != total_free " << state.total_free();
+    violation(os.str());
+  }
+}
+
+}  // namespace commsched

@@ -1,0 +1,40 @@
+#include "audit/level.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace commsched {
+
+const char* audit_level_name(AuditLevel level) noexcept {
+  switch (level) {
+    case AuditLevel::kOff:
+      return "off";
+    case AuditLevel::kCheap:
+      return "cheap";
+    case AuditLevel::kFull:
+      return "full";
+  }
+  return "off";
+}
+
+std::optional<AuditLevel> audit_level_from_string(
+    std::string_view s) noexcept {
+  if (s == "off") return AuditLevel::kOff;
+  if (s == "cheap") return AuditLevel::kCheap;
+  if (s == "full") return AuditLevel::kFull;
+  return std::nullopt;
+}
+
+AuditLevel audit_level_from_env() {
+  const char* value = std::getenv("COMMSCHED_AUDIT");
+  if (value == nullptr || *value == '\0') return AuditLevel::kOff;
+  const auto level = audit_level_from_string(value);
+  COMMSCHED_ASSERT_MSG(level.has_value(),
+                       "COMMSCHED_AUDIT must be off|cheap|full, got '" +
+                           std::string(value) + "'");
+  return *level;
+}
+
+}  // namespace commsched

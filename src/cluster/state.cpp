@@ -53,13 +53,15 @@ void ClusterState::allocate(JobId job, bool comm_intensive,
   jobs_.emplace(job, std::move(rec));
 }
 
-void ClusterState::release(JobId job) {
+std::vector<NodeId> ClusterState::release(JobId job) {
   const auto it = jobs_.find(job);
   COMMSCHED_ASSERT_MSG(it != jobs_.end(), "releasing unknown job");
-  for (const NodeId n : it->second.nodes)
+  std::vector<NodeId> freed = std::move(it->second.nodes);
+  for (const NodeId n : freed)
     transition(n, kInvalidJob, it->second.comm_intensive,
                it->second.io_intensive, -1);
   jobs_.erase(it);
+  return freed;
 }
 
 bool ClusterState::is_free(NodeId n) const { return owner(n) == kInvalidJob; }
@@ -137,25 +139,25 @@ void ClusterState::validate() const {
     if (it->second.io_intensive) ++io[static_cast<std::size_t>(leaf)];
     ++total_busy;
   }
-  COMMSCHED_ASSERT(free_total_ == tree_->node_count() - total_busy);
+  COMMSCHED_ASSERT_EQ(free_total_, tree_->node_count() - total_busy);
   for (const SwitchId leaf : tree_->leaves()) {
-    COMMSCHED_ASSERT(leaf_busy_[static_cast<std::size_t>(leaf)] ==
-                     busy[static_cast<std::size_t>(leaf)]);
-    COMMSCHED_ASSERT(leaf_comm_[static_cast<std::size_t>(leaf)] ==
-                     comm[static_cast<std::size_t>(leaf)]);
-    COMMSCHED_ASSERT(leaf_io_[static_cast<std::size_t>(leaf)] ==
-                     io[static_cast<std::size_t>(leaf)]);
+    COMMSCHED_ASSERT_EQ(leaf_busy_[static_cast<std::size_t>(leaf)],
+                        busy[static_cast<std::size_t>(leaf)]);
+    COMMSCHED_ASSERT_EQ(leaf_comm_[static_cast<std::size_t>(leaf)],
+                        comm[static_cast<std::size_t>(leaf)]);
+    COMMSCHED_ASSERT_EQ(leaf_io_[static_cast<std::size_t>(leaf)],
+                        io[static_cast<std::size_t>(leaf)]);
   }
   for (SwitchId s = 0; s < tree_->switch_count(); ++s) {
     int free_sub = 0;
     for (const SwitchId leaf : tree_->leaves_under(s))
       free_sub += static_cast<int>(tree_->nodes_of_leaf(leaf).size()) -
                   busy[static_cast<std::size_t>(leaf)];
-    COMMSCHED_ASSERT(switch_free_[static_cast<std::size_t>(s)] == free_sub);
+    COMMSCHED_ASSERT_EQ(switch_free_[static_cast<std::size_t>(s)], free_sub);
   }
   std::size_t nodes_in_jobs = 0;
   for (const auto& [id, rec] : jobs_) nodes_in_jobs += rec.nodes.size();
-  COMMSCHED_ASSERT(nodes_in_jobs == static_cast<std::size_t>(total_busy));
+  COMMSCHED_ASSERT_EQ(nodes_in_jobs, static_cast<std::size_t>(total_busy));
 }
 
 }  // namespace commsched

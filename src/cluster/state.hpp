@@ -37,8 +37,10 @@ class ClusterState {
   void allocate(JobId job, bool comm_intensive, std::span<const NodeId> nodes,
                 bool io_intensive = false);
 
-  /// Free every node held by `job`. Precondition: the job is allocated.
-  void release(JobId job);
+  /// Free every node held by `job` and return exactly the node set the job
+  /// allocated (in allocation order) — the audit layer cross-checks it.
+  /// Precondition: the job is allocated.
+  std::vector<NodeId> release(JobId job);
 
   bool is_free(NodeId n) const;
   JobId owner(NodeId n) const;  ///< kInvalidJob when free
@@ -70,6 +72,9 @@ class ClusterState {
   void validate() const;
 
  private:
+  // Deliberate-corruption hook for validate()/auditor failure-path tests.
+  friend struct ClusterStateTestPeer;
+
   struct JobRec {
     bool comm_intensive = false;
     bool io_intensive = false;

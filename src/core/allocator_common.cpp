@@ -5,7 +5,7 @@
 namespace commsched {
 
 SwitchId find_lowest_level_switch(const ClusterState& state, int num_nodes) {
-  COMMSCHED_ASSERT_MSG(num_nodes >= 1, "request must be positive");
+  COMMSCHED_ASSERT_GE_MSG(num_nodes, 1, "request must be positive");
   const Tree& tree = state.tree();
   for (int lvl = 1; lvl <= tree.depth(); ++lvl) {
     SwitchId best = kInvalidSwitch;
@@ -21,7 +21,7 @@ SwitchId find_lowest_level_switch(const ClusterState& state, int num_nodes) {
 
 void take_free_nodes(const ClusterState& state, SwitchId leaf, int count,
                      std::vector<NodeId>& out) {
-  COMMSCHED_ASSERT(count >= 0);
+  COMMSCHED_ASSERT_GE(count, 0);
   if (count == 0) return;
   int taken = 0;
   for (const NodeId n : state.tree().nodes_of_leaf(leaf)) {

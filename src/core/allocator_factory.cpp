@@ -6,8 +6,8 @@
 #include "core/balanced_allocator.hpp"
 #include "core/default_allocator.hpp"
 #include "core/exclusive_allocator.hpp"
-#include "core/io_aware_allocator.hpp"
 #include "core/greedy_allocator.hpp"
+#include "core/io_aware_allocator.hpp"
 #include "util/assert.hpp"
 
 namespace commsched {

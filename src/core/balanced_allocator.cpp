@@ -69,9 +69,9 @@ std::optional<std::vector<NodeId>> BalancedAllocator::select(
         remaining -= take;
       }
     }
-    COMMSCHED_ASSERT_MSG(remaining == 0,
-                         "lowest-level switch reported enough free nodes but "
-                         "leaves did not provide them");
+    COMMSCHED_ASSERT_EQ_MSG(remaining, 0,
+                            "lowest-level switch reported enough free nodes "
+                            "but leaves did not provide them");
     return alloc;
   }
 

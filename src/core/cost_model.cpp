@@ -28,7 +28,8 @@ int LeafOverlay::extra_comm(SwitchId leaf) const {
 
 std::vector<NodeId> expand_ranks_per_node(std::span<const NodeId> nodes,
                                           int ranks_per_node) {
-  COMMSCHED_ASSERT_MSG(ranks_per_node >= 1, "need at least one rank per node");
+  COMMSCHED_ASSERT_GE_MSG(ranks_per_node, 1,
+                          "need at least one rank per node");
   std::vector<NodeId> ranks;
   ranks.reserve(nodes.size() * static_cast<std::size_t>(ranks_per_node));
   for (const NodeId n : nodes)

@@ -11,7 +11,7 @@ IoAwareAllocator::IoAwareAllocator(CostOptions cost_options)
 
 std::optional<std::vector<NodeId>> IoAwareAllocator::spread_candidate(
     const ClusterState& state, int num_nodes) {
-  COMMSCHED_ASSERT(num_nodes >= 1);
+  COMMSCHED_ASSERT_GE(num_nodes, 1);
   if (state.total_free() < num_nodes) return std::nullopt;
   const Tree& tree = state.tree();
 
@@ -56,7 +56,7 @@ std::optional<std::vector<NodeId>> IoAwareAllocator::spread_candidate(
     desired[i] += take;
     deficit -= take;
   }
-  COMMSCHED_ASSERT_MSG(deficit == 0, "free-node accounting out of sync");
+  COMMSCHED_ASSERT_EQ_MSG(deficit, 0, "free-node accounting out of sync");
 
   std::vector<NodeId> alloc;
   alloc.reserve(static_cast<std::size_t>(num_nodes));
@@ -69,7 +69,7 @@ std::optional<std::vector<NodeId>> IoAwareAllocator::spread_candidate(
         ++taken;
       }
     }
-    COMMSCHED_ASSERT(taken == desired[i]);
+    COMMSCHED_ASSERT_EQ(taken, desired[i]);
   }
   return alloc;
 }

@@ -41,10 +41,10 @@ double modified_runtime_with_io(double runtime, double comm_fraction,
                                 double io_fraction, double io_ratio_num,
                                 double io_ratio_den,
                                 const RuntimeModelOptions& options) {
-  COMMSCHED_ASSERT(runtime >= 0.0);
+  COMMSCHED_ASSERT_GE(runtime, 0.0);
   COMMSCHED_ASSERT(comm_fraction >= 0.0 && io_fraction >= 0.0);
-  COMMSCHED_ASSERT_MSG(comm_fraction + io_fraction <= 1.0 + 1e-12,
-                       "comm and I/O fractions exceed the runtime");
+  COMMSCHED_ASSERT_LE_MSG(comm_fraction + io_fraction, 1.0 + 1e-12,
+                          "comm and I/O fractions exceed the runtime");
   const double rc = cost_ratio(comm_ratio_num, comm_ratio_den, options);
   const double rio = cost_ratio(io_ratio_num, io_ratio_den, options);
   const double t_comm = runtime * comm_fraction;

@@ -17,7 +17,7 @@ double cost_ratio(double cost_jobaware, double cost_default,
 double modified_runtime(double runtime, double comm_fraction,
                         double cost_jobaware, double cost_default,
                         const RuntimeModelOptions& options) {
-  COMMSCHED_ASSERT(runtime >= 0.0);
+  COMMSCHED_ASSERT_GE(runtime, 0.0);
   COMMSCHED_ASSERT(comm_fraction >= 0.0 && comm_fraction <= 1.0);
   const double ratio = cost_ratio(cost_jobaware, cost_default, options);
   const double t_comm = runtime * comm_fraction;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "audit/auditor.hpp"
 #include "util/assert.hpp"
 
 namespace commsched {
@@ -79,14 +80,22 @@ NetSimResult simulate_network(const FlowNetwork& network,
     launch_step(j);
   };
 
+  // Runtime invariant auditing (COMMSCHED_AUDIT): monotone event clock at
+  // cheap, per-flow sanity after every rate computation at full.
+  StateAuditor auditor(tree, audit_level_from_env());
+
   double now = 0.0;
   while (now < duration) {
+    if (auditor.enabled()) auditor.on_event(now, "netsim step");
     // Start any job whose start time has arrived.
     for (std::size_t j = 0; j < jobs.size(); ++j)
       if (!states[j].running && states[j].next_start <= now)
         start_execution(j, now);
 
     network.compute_maxmin_rates(flows);
+    if (auditor.level() == AuditLevel::kFull)
+      for (const Flow& f : flows)
+        auditor.check_flow(f.remaining, f.rate, f.latency, f.job);
 
     // Next event: earliest latency expiry, flow completion, or pending job
     // start.

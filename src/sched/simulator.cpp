@@ -4,6 +4,7 @@
 #include <deque>
 #include <queue>
 
+#include "audit/auditor.hpp"
 #include "cluster/state.hpp"
 #include "core/default_allocator.hpp"
 #include "core/io_model.hpp"
@@ -41,7 +42,8 @@ class Simulation {
                                   .include_candidate =
                                       options.cost_options.include_candidate}),
         io_model_(tree),
-        schedule_cache_(log.empty() ? double{1 << 20} : log.front().msize) {
+        schedule_cache_(log.empty() ? double{1 << 20} : log.front().msize),
+        auditor_(tree, options.audit.value_or(audit_level_from_env())) {
     results_.resize(log.size());
     running_info_.resize(log.size());
   }
@@ -70,19 +72,27 @@ class Simulation {
       while (!completions_.empty() && completions_.top().time <= t) {
         const Completion c = completions_.top();
         completions_.pop();
-        state_.release(job_id(c.job_index));
+        const std::vector<NodeId> freed = state_.release(job_id(c.job_index));
+        if (auditor_.enabled()) {
+          auditor_.on_event(c.time, "end job", log_[c.job_index].id);
+          auditor_.on_release(state_, job_id(c.job_index), freed);
+        }
         std::erase(running_, c.job_index);
         makespan = std::max(makespan, c.time);
         emit(TraceEvent::Kind::kEnd, c.time, c.job_index);
       }
       while (next_submit < log_.size() &&
              log_[next_submit].submit_time <= t) {
+        if (auditor_.enabled())
+          auditor_.on_event(log_[next_submit].submit_time, "submit job",
+                            log_[next_submit].id);
         emit(TraceEvent::Kind::kSubmit, log_[next_submit].submit_time,
              next_submit);
         pending_.push_back(next_submit);
         ++next_submit;
       }
       try_schedule(t);
+      auditor_.check_state(state_);  // no-op below AuditLevel::kFull
     }
 
     SimResult result;
@@ -113,13 +123,15 @@ class Simulation {
       COMMSCHED_ASSERT_MSG(job.num_nodes >= 1 &&
                                job.num_nodes <= tree_.node_count(),
                            "job does not fit the machine");
-      COMMSCHED_ASSERT_MSG(job.runtime > 0.0, "job runtime must be positive");
-      COMMSCHED_ASSERT_MSG(job.walltime >= job.runtime,
-                           "walltime below runtime");
-      COMMSCHED_ASSERT_MSG(job.comm_fraction + job.io_fraction <= 1.0 + 1e-12,
-                           "comm and I/O fractions exceed the runtime");
-      COMMSCHED_ASSERT_MSG(job.submit_time >= prev_submit,
-                           "log must be sorted by submit time");
+      COMMSCHED_ASSERT_GT_MSG(job.runtime, 0.0,
+                              "job runtime must be positive");
+      COMMSCHED_ASSERT_GE_MSG(job.walltime, job.runtime,
+                              "walltime below runtime");
+      COMMSCHED_ASSERT_LE_MSG(job.comm_fraction + job.io_fraction,
+                              1.0 + 1e-12,
+                              "comm and I/O fractions exceed the runtime");
+      COMMSCHED_ASSERT_GE_MSG(job.submit_time, prev_submit,
+                              "log must be sorted by submit time");
       prev_submit = job.submit_time;
     }
   }
@@ -191,6 +203,8 @@ class Simulation {
       std::optional<std::vector<NodeId>> nodes;
       if (harmless) nodes = try_select(idx);
       if (nodes) {
+        auditor_.check_backfill(t, job_id(idx), job.walltime, job.num_nodes,
+                                shadow_time, extra_nodes);
         start_job(idx, t, std::move(*nodes));
         pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(qi));
         reservation = head_reservation();
@@ -281,6 +295,20 @@ class Simulation {
 
     state_.allocate(request.job, job.comm_intensive, *nodes,
                     job.io_intensive);
+    if (auditor_.enabled()) {
+      auditor_.on_event(t, "start job", job.id);
+      auditor_.on_allocate(state_, request.job, *nodes);
+      if (price_comm) {
+        auditor_.check_cost(cost, request.job, "Eq. 6 cost");
+        auditor_.check_cost(cost_default, request.job, "Eq. 6 default cost");
+        auditor_.check_cost_symmetry(metric_model_, state_, *nodes,
+                                     request.job);
+      }
+      if (price_io) {
+        auditor_.check_cost(io_cost, request.job, "I/O cost");
+        auditor_.check_cost(io_cost_default, request.job, "I/O default cost");
+      }
+    }
     running_.push_back(idx);
     running_info_[idx] = {t + job.walltime, job.num_nodes};
     completions_.push({t + actual_runtime, idx});
@@ -313,6 +341,7 @@ class Simulation {
   CostModel metric_model_;   // pure Eq. 6, recorded in JobResult
   IoModel io_model_;         // §7 I/O extension
   ScheduleCache schedule_cache_;
+  StateAuditor auditor_;     // runtime invariant checks (src/audit)
 
   std::deque<std::size_t> pending_;  // log indices, FIFO
   std::vector<std::size_t> running_;

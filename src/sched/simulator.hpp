@@ -19,7 +19,9 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
+#include "audit/level.hpp"
 #include "core/allocator_factory.hpp"
 #include "core/cost_model.hpp"
 #include "core/runtime_model.hpp"
@@ -63,6 +65,11 @@ struct SchedOptions {
   bool enforce_walltime = false;
   /// Optional event sink (submit/start/end, non-decreasing time order).
   TraceCallback trace;
+  /// Runtime invariant auditing (src/audit): off disables all checks, cheap
+  /// runs O(event) shadow-table checks, full re-validates every counter
+  /// after every event. Unset reads the COMMSCHED_AUDIT environment
+  /// variable (off when that is unset too).
+  std::optional<AuditLevel> audit;
 };
 
 /// Run a job log to completion under one allocation policy.

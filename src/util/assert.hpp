@@ -4,8 +4,14 @@
 // sit on scheduling decisions, not inner loops, so the cost is negligible).
 // Violations throw commsched::InvariantError so tests can assert on them and
 // long-running simulations fail loudly instead of corrupting state.
+//
+// The comparison forms (COMMSCHED_ASSERT_EQ/NE/LT/LE/GT/GE) report both
+// operand values in the violation message, so a failed check in a week-long
+// trace replay says "expected free == 12, got 11" instead of just naming the
+// expression. Operands are evaluated exactly once.
 #pragma once
 
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -18,6 +24,7 @@ class InvariantError : public std::logic_error {
 };
 
 namespace detail {
+
 [[noreturn]] inline void assert_fail(const char* expr, const char* file,
                                      int line, const std::string& msg) {
   std::string what = std::string("invariant violated: ") + expr + " at " +
@@ -25,6 +32,29 @@ namespace detail {
   if (!msg.empty()) what += " (" + msg + ")";
   throw InvariantError(what);
 }
+
+/// Render an operand for a violation message via operator<<.
+template <typename T>
+std::string value_repr(const T& value) {
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
+[[noreturn]] inline void assert_cmp_fail(const char* lhs_expr, const char* op,
+                                         const char* rhs_expr,
+                                         const std::string& lhs_value,
+                                         const std::string& rhs_value,
+                                         const char* file, int line,
+                                         const std::string& msg) {
+  std::string what = std::string("invariant violated: ") + lhs_expr + " " +
+                     op + " " + rhs_expr + " (with " + lhs_expr + " = " +
+                     lhs_value + ", " + rhs_expr + " = " + rhs_value +
+                     ") at " + file + ":" + std::to_string(line);
+  if (!msg.empty()) what += " (" + msg + ")";
+  throw InvariantError(what);
+}
+
 }  // namespace detail
 
 }  // namespace commsched
@@ -40,3 +70,36 @@ namespace detail {
     if (!(expr))                                                            \
       ::commsched::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
   } while (false)
+
+// Shared implementation of the comparison asserts. Operands bind to
+// forwarding references so each is evaluated once even when the check fires.
+#define COMMSCHED_ASSERT_CMP_(lhs, op, rhs, msg)                            \
+  do {                                                                      \
+    auto&& commsched_lhs_ = (lhs);                                          \
+    auto&& commsched_rhs_ = (rhs);                                          \
+    if (!(commsched_lhs_ op commsched_rhs_))                                \
+      ::commsched::detail::assert_cmp_fail(                                 \
+          #lhs, #op, #rhs, ::commsched::detail::value_repr(commsched_lhs_), \
+          ::commsched::detail::value_repr(commsched_rhs_), __FILE__,        \
+          __LINE__, (msg));                                                 \
+  } while (false)
+
+#define COMMSCHED_ASSERT_EQ(lhs, rhs) COMMSCHED_ASSERT_CMP_(lhs, ==, rhs, "")
+#define COMMSCHED_ASSERT_NE(lhs, rhs) COMMSCHED_ASSERT_CMP_(lhs, !=, rhs, "")
+#define COMMSCHED_ASSERT_LT(lhs, rhs) COMMSCHED_ASSERT_CMP_(lhs, <, rhs, "")
+#define COMMSCHED_ASSERT_LE(lhs, rhs) COMMSCHED_ASSERT_CMP_(lhs, <=, rhs, "")
+#define COMMSCHED_ASSERT_GT(lhs, rhs) COMMSCHED_ASSERT_CMP_(lhs, >, rhs, "")
+#define COMMSCHED_ASSERT_GE(lhs, rhs) COMMSCHED_ASSERT_CMP_(lhs, >=, rhs, "")
+
+#define COMMSCHED_ASSERT_EQ_MSG(lhs, rhs, msg) \
+  COMMSCHED_ASSERT_CMP_(lhs, ==, rhs, (msg))
+#define COMMSCHED_ASSERT_NE_MSG(lhs, rhs, msg) \
+  COMMSCHED_ASSERT_CMP_(lhs, !=, rhs, (msg))
+#define COMMSCHED_ASSERT_LT_MSG(lhs, rhs, msg) \
+  COMMSCHED_ASSERT_CMP_(lhs, <, rhs, (msg))
+#define COMMSCHED_ASSERT_LE_MSG(lhs, rhs, msg) \
+  COMMSCHED_ASSERT_CMP_(lhs, <=, rhs, (msg))
+#define COMMSCHED_ASSERT_GT_MSG(lhs, rhs, msg) \
+  COMMSCHED_ASSERT_CMP_(lhs, >, rhs, (msg))
+#define COMMSCHED_ASSERT_GE_MSG(lhs, rhs, msg) \
+  COMMSCHED_ASSERT_CMP_(lhs, >=, rhs, (msg))

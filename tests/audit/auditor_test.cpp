@@ -1,0 +1,244 @@
+#include "audit/auditor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "audit/level.hpp"
+#include "cluster/state.hpp"
+#include "core/cost_model.hpp"
+#include "topology/builders.hpp"
+#include "util/assert.hpp"
+
+namespace commsched {
+namespace {
+
+// Each invariant class gets a deliberate-corruption test proving the exact
+// auditor check can fire, plus a matching happy-path check — the ISSUE's
+// guarantee that a passing COMMSCHED_AUDIT=full run means something.
+
+std::string violation_message(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const InvariantError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected an InvariantError";
+  return {};
+}
+
+class AuditorTest : public ::testing::Test {
+ protected:
+  AuditorTest()
+      : tree_(make_figure2_tree()),
+        state_(tree_),
+        auditor_(tree_, AuditLevel::kFull) {}
+
+  Tree tree_;           // 8 nodes, 2 leaves
+  ClusterState state_;
+  StateAuditor auditor_;
+};
+
+TEST_F(AuditorTest, OffLevelChecksNothing) {
+  StateAuditor off(tree_, AuditLevel::kOff);
+  EXPECT_FALSE(off.enabled());
+  off.on_event(5.0, "e1");
+  off.on_event(1.0, "e2");  // would violate monotonicity when enabled
+  off.check_cost(-1.0, 1, "cost");
+  EXPECT_EQ(off.events_seen(), 0u);
+  EXPECT_EQ(off.checks_run(), 0u);
+}
+
+TEST_F(AuditorTest, EventMonotonicityFires) {
+  auditor_.on_event(5.0, "end job", 1);
+  EXPECT_NO_THROW(auditor_.on_event(5.0, "submit job", 2));  // ties are fine
+  const std::string msg = violation_message(
+      [&] { auditor_.on_event(4.0, "submit job", 3); });
+  EXPECT_NE(msg.find("event clock ran backwards"), std::string::npos);
+  EXPECT_NE(msg.find("submit job 3"), std::string::npos);  // offending event
+  EXPECT_NE(msg.find("submit job 2"), std::string::npos);  // prior context
+}
+
+TEST_F(AuditorTest, NonFiniteEventTimeFires) {
+  const std::string msg = violation_message(
+      [&] { auditor_.on_event(std::nan(""), "end job 1"); });
+  EXPECT_NE(msg.find("non-finite time"), std::string::npos);
+}
+
+TEST_F(AuditorTest, AllocationDisjointnessFires) {
+  state_.allocate(1, true, std::vector<NodeId>{0, 1});
+  auditor_.on_allocate(state_, 1, state_.job_nodes(1));
+  // Bypass the auditor: release in the cluster only, then hand the reused
+  // node to another job. The shadow table still holds it for job 1.
+  state_.release(1);
+  state_.allocate(2, true, std::vector<NodeId>{1, 2});
+  const std::string msg = violation_message(
+      [&] { auditor_.on_allocate(state_, 2, state_.job_nodes(2)); });
+  EXPECT_NE(msg.find("allocation disjointness broken"), std::string::npos);
+  EXPECT_NE(msg.find("node 1"), std::string::npos);
+  EXPECT_NE(msg.find("held by job 1"), std::string::npos);
+}
+
+TEST_F(AuditorTest, DoubleAllocationOfJobFires) {
+  state_.allocate(1, true, std::vector<NodeId>{0});
+  auditor_.on_allocate(state_, 1, state_.job_nodes(1));
+  const std::string msg = violation_message(
+      [&] { auditor_.on_allocate(state_, 1, state_.job_nodes(1)); });
+  EXPECT_NE(msg.find("allocated twice"), std::string::npos);
+}
+
+TEST_F(AuditorTest, ClusterOwnerDisagreementFires) {
+  // The auditor is told job 3 got node 5, but the cluster never did it.
+  const std::vector<NodeId> claimed{5};
+  const std::string msg = violation_message(
+      [&] { auditor_.on_allocate(state_, 3, claimed); });
+  EXPECT_NE(msg.find("cluster state disagrees"), std::string::npos);
+}
+
+TEST_F(AuditorTest, FreeCountDivergenceOnAllocateFires) {
+  // Allocate two jobs in the cluster but report only one to the auditor:
+  // total_free() then disagrees with the shadow count.
+  state_.allocate(1, true, std::vector<NodeId>{0});
+  state_.allocate(2, true, std::vector<NodeId>{1});
+  const std::string msg = violation_message(
+      [&] { auditor_.on_allocate(state_, 2, state_.job_nodes(2)); });
+  EXPECT_NE(msg.find("free-node count diverged"), std::string::npos);
+}
+
+TEST_F(AuditorTest, ReleaseOfUnknownJobFires) {
+  const std::vector<NodeId> freed{0};
+  const std::string msg = violation_message(
+      [&] { auditor_.on_release(state_, 9, freed); });
+  EXPECT_NE(msg.find("never saw allocated"), std::string::npos);
+}
+
+TEST_F(AuditorTest, ReleaseSetMismatchFires) {
+  state_.allocate(1, true, std::vector<NodeId>{0, 1, 2});
+  auditor_.on_allocate(state_, 1, state_.job_nodes(1));
+  const std::vector<NodeId> freed = state_.release(1);
+  ASSERT_EQ(freed, (std::vector<NodeId>{0, 1, 2}));
+  const std::vector<NodeId> partial{0, 1};  // claim fewer nodes came back
+  const std::string msg = violation_message(
+      [&] { auditor_.on_release(state_, 1, partial); });
+  EXPECT_NE(msg.find("but the job allocated"), std::string::npos);
+}
+
+TEST_F(AuditorTest, ReleaseLeavingNodeBusyFires) {
+  state_.allocate(1, true, std::vector<NodeId>{0, 1});
+  auditor_.on_allocate(state_, 1, state_.job_nodes(1));
+  // Release in the cluster, reallocate node 1 to someone else, then report
+  // the original release: node 1 must be flagged as still busy.
+  state_.release(1);
+  state_.allocate(2, true, std::vector<NodeId>{1});
+  const std::vector<NodeId> freed{0, 1};
+  const std::string msg = violation_message(
+      [&] { auditor_.on_release(state_, 1, freed); });
+  EXPECT_NE(msg.find("still busy"), std::string::npos);
+}
+
+TEST_F(AuditorTest, BackfillGuardFires) {
+  // Harmless cases: ends before the shadow time, or fits the spare nodes.
+  EXPECT_NO_THROW(auditor_.check_backfill(10.0, 7, 5.0, 4, 15.0, 0));
+  EXPECT_NO_THROW(auditor_.check_backfill(10.0, 7, 50.0, 4, 15.0, 4));
+  const std::string msg = violation_message(
+      [&] { auditor_.check_backfill(10.0, 7, 50.0, 4, 15.0, 2); });
+  EXPECT_NE(msg.find("EASY backfill violated the head reservation"),
+            std::string::npos);
+  EXPECT_NE(msg.find("job 7"), std::string::npos);
+}
+
+TEST_F(AuditorTest, NegativeCostFires) {
+  EXPECT_NO_THROW(auditor_.check_cost(0.0, 1, "Eq. 6 cost"));
+  EXPECT_NO_THROW(auditor_.check_cost(12.5, 1, "Eq. 6 cost"));
+  const std::string neg = violation_message(
+      [&] { auditor_.check_cost(-0.25, 1, "Eq. 6 cost"); });
+  EXPECT_NE(neg.find("finite and non-negative"), std::string::npos);
+  const std::string nan = violation_message(
+      [&] { auditor_.check_cost(std::nan(""), 1, "Eq. 6 cost"); });
+  EXPECT_NE(nan.find("finite and non-negative"), std::string::npos);
+}
+
+TEST_F(AuditorTest, CostSymmetryHoldsOnRealModel) {
+  state_.allocate(1, true, std::vector<NodeId>{0, 1, 4, 5});
+  auditor_.on_allocate(state_, 1, state_.job_nodes(1));
+  const CostModel model(tree_);
+  EXPECT_NO_THROW(
+      auditor_.check_cost_symmetry(model, state_, state_.job_nodes(1), 1));
+}
+
+TEST_F(AuditorTest, FlowCorruptionFires) {
+  EXPECT_NO_THROW(auditor_.check_flow(1024.0, 1e9, 0.0, 0));
+  EXPECT_NO_THROW(auditor_.check_flow(-1e-6, 0.0, 0.0, 0));  // byte epsilon
+  const std::string msg = violation_message(
+      [&] { auditor_.check_flow(-1.0, 1e9, 0.0, 3); });
+  EXPECT_NE(msg.find("netsim flow of job 3 corrupted"), std::string::npos);
+  EXPECT_THROW(auditor_.check_flow(10.0, -1.0, 0.0, 3), InvariantError);
+  EXPECT_THROW(auditor_.check_flow(10.0, std::nan(""), 0.0, 3),
+               InvariantError);
+}
+
+TEST_F(AuditorTest, CheckStateCrossValidationFires) {
+  state_.allocate(1, true, std::vector<NodeId>{0, 1});
+  auditor_.on_allocate(state_, 1, state_.job_nodes(1));
+  EXPECT_NO_THROW(auditor_.check_state(state_));
+  // Allocate behind the auditor's back: the job count diverges.
+  state_.allocate(2, false, std::vector<NodeId>{4});
+  const std::string msg =
+      violation_message([&] { auditor_.check_state(state_); });
+  EXPECT_NE(msg.find("live-job count diverged"), std::string::npos);
+}
+
+TEST_F(AuditorTest, CheckStateNodeSetDivergenceFires) {
+  state_.allocate(1, true, std::vector<NodeId>{0, 1});
+  auditor_.on_allocate(state_, 1, state_.job_nodes(1));
+  // Swap the allocation for a different node set without telling the
+  // auditor: same job count, different nodes.
+  state_.release(1);
+  state_.allocate(1, true, std::vector<NodeId>{2, 3});
+  const std::string msg =
+      violation_message([&] { auditor_.check_state(state_); });
+  EXPECT_NE(msg.find("node sets diverged"), std::string::npos);
+}
+
+TEST_F(AuditorTest, CheapLevelSkipsFullChecks) {
+  StateAuditor cheap(tree_, AuditLevel::kCheap);
+  state_.allocate(1, true, std::vector<NodeId>{0, 1});
+  cheap.on_allocate(state_, 1, state_.job_nodes(1));
+  // Diverge the state behind the auditor's back: full would fire,
+  // cheap's check_state is a documented no-op.
+  state_.allocate(2, false, std::vector<NodeId>{4});
+  EXPECT_NO_THROW(cheap.check_state(state_));
+  EXPECT_NO_THROW(cheap.check_flow(-5.0, 0.0, 0.0, 0));
+  // ... but the cheap event/ownership checks still run.
+  cheap.on_event(3.0, "e1");
+  EXPECT_THROW(cheap.on_event(2.0, "e2"), InvariantError);
+  EXPECT_GT(cheap.checks_run(), 0u);
+}
+
+TEST(AuditLevelTest, NamesRoundTrip) {
+  for (const AuditLevel level :
+       {AuditLevel::kOff, AuditLevel::kCheap, AuditLevel::kFull})
+    EXPECT_EQ(audit_level_from_string(audit_level_name(level)), level);
+  EXPECT_EQ(audit_level_from_string("verbose"), std::nullopt);
+  EXPECT_EQ(audit_level_from_string(""), std::nullopt);
+}
+
+TEST(AuditLevelTest, EnvSelectsLevel) {
+  ASSERT_EQ(setenv("COMMSCHED_AUDIT", "cheap", 1), 0);
+  EXPECT_EQ(audit_level_from_env(), AuditLevel::kCheap);
+  ASSERT_EQ(setenv("COMMSCHED_AUDIT", "full", 1), 0);
+  EXPECT_EQ(audit_level_from_env(), AuditLevel::kFull);
+  ASSERT_EQ(setenv("COMMSCHED_AUDIT", "", 1), 0);
+  EXPECT_EQ(audit_level_from_env(), AuditLevel::kOff);
+  ASSERT_EQ(setenv("COMMSCHED_AUDIT", "FULL", 1), 0);  // case-sensitive
+  EXPECT_THROW(audit_level_from_env(), InvariantError);
+  ASSERT_EQ(unsetenv("COMMSCHED_AUDIT"), 0);
+  EXPECT_EQ(audit_level_from_env(), AuditLevel::kOff);
+}
+
+}  // namespace
+}  // namespace commsched

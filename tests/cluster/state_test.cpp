@@ -10,6 +10,33 @@
 #include "util/rng.hpp"
 
 namespace commsched {
+
+// Friend of ClusterState: corrupts one internal counter at a time so the
+// validate() failure paths can be proven to fire (ISSUE 2 satellite).
+struct ClusterStateTestPeer {
+  static void corrupt_leaf_busy(ClusterState& s, SwitchId leaf, int delta) {
+    s.leaf_busy_[static_cast<std::size_t>(leaf)] += delta;
+  }
+  static void corrupt_leaf_comm(ClusterState& s, SwitchId leaf, int delta) {
+    s.leaf_comm_[static_cast<std::size_t>(leaf)] += delta;
+  }
+  static void corrupt_leaf_io(ClusterState& s, SwitchId leaf, int delta) {
+    s.leaf_io_[static_cast<std::size_t>(leaf)] += delta;
+  }
+  static void corrupt_switch_free(ClusterState& s, SwitchId sw, int delta) {
+    s.switch_free_[static_cast<std::size_t>(sw)] += delta;
+  }
+  static void corrupt_free_total(ClusterState& s, int delta) {
+    s.free_total_ += delta;
+  }
+  static void corrupt_owner(ClusterState& s, NodeId n, JobId owner) {
+    s.node_owner_[static_cast<std::size_t>(n)] = owner;
+  }
+  static void drop_job_node(ClusterState& s, JobId job) {
+    s.jobs_.at(job).nodes.pop_back();
+  }
+};
+
 namespace {
 
 class ClusterStateTest : public ::testing::Test {
@@ -136,6 +163,75 @@ TEST(ClusterStateThreeLevelTest, SubtreeFreeCountsPropagate) {
   EXPECT_EQ(state.free_under(level2[1]), 7);  // 8 - 1
   EXPECT_EQ(state.free_under(tree.root()), 12);
   state.validate();
+}
+
+TEST_F(ClusterStateTest, ReleaseReturnsExactAllocationSet) {
+  const std::vector<NodeId> nodes{5, 2, 7};
+  state_.allocate(1, true, nodes);
+  EXPECT_EQ(state_.release(1), nodes);  // allocation order preserved
+}
+
+// Deliberate-corruption coverage: every counter validate() recomputes has a
+// test that breaks it and asserts the InvariantError fires (ISSUE 2).
+class ClusterStateCorruptionTest : public ClusterStateTest {
+ protected:
+  ClusterStateCorruptionTest() {
+    state_.allocate(1, /*comm_intensive=*/true, std::vector<NodeId>{0, 1, 4},
+                    /*io_intensive=*/true);
+    state_.validate();  // clean before each test corrupts one counter
+    leaf_ = *tree_.switch_by_name("s0");
+  }
+  SwitchId leaf_ = kInvalidSwitch;
+};
+
+TEST_F(ClusterStateCorruptionTest, CorruptLeafBusyFires) {
+  ClusterStateTestPeer::corrupt_leaf_busy(state_, leaf_, +1);
+  EXPECT_THROW(state_.validate(), InvariantError);
+}
+
+TEST_F(ClusterStateCorruptionTest, CorruptLeafCommFires) {
+  ClusterStateTestPeer::corrupt_leaf_comm(state_, leaf_, -1);
+  EXPECT_THROW(state_.validate(), InvariantError);
+}
+
+TEST_F(ClusterStateCorruptionTest, CorruptLeafIoFires) {
+  ClusterStateTestPeer::corrupt_leaf_io(state_, leaf_, +1);
+  EXPECT_THROW(state_.validate(), InvariantError);
+}
+
+TEST_F(ClusterStateCorruptionTest, CorruptSubtreeFreeFires) {
+  ClusterStateTestPeer::corrupt_switch_free(state_, tree_.root(), -1);
+  EXPECT_THROW(state_.validate(), InvariantError);
+}
+
+TEST_F(ClusterStateCorruptionTest, CorruptFreeTotalFires) {
+  ClusterStateTestPeer::corrupt_free_total(state_, +1);
+  EXPECT_THROW(state_.validate(), InvariantError);
+}
+
+TEST_F(ClusterStateCorruptionTest, NodeOwnedByUnknownJobFires) {
+  ClusterStateTestPeer::corrupt_owner(state_, 7, /*owner=*/42);
+  EXPECT_THROW(state_.validate(), InvariantError);
+}
+
+TEST_F(ClusterStateCorruptionTest, OwnershipTableDisagreementFires) {
+  // node_owner_ says node 4 belongs to job 1 but the job record no longer
+  // lists it.
+  ClusterStateTestPeer::drop_job_node(state_, 1);
+  EXPECT_THROW(state_.validate(), InvariantError);
+}
+
+TEST_F(ClusterStateCorruptionTest, ViolationMessageCarriesValues) {
+  ClusterStateTestPeer::corrupt_free_total(state_, +3);
+  try {
+    state_.validate();
+    FAIL() << "expected InvariantError";
+  } catch (const InvariantError& e) {
+    // The comparison macros report both operand values.
+    EXPECT_NE(std::string(e.what()).find("free_total_ = 8"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 // Property sweep: random allocate/release sequences keep every incremental

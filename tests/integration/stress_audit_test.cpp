@@ -1,0 +1,149 @@
+// Randomized differential stress test (ISSUE 2): drive all four allocation
+// policies through fuzzed workloads with the runtime invariant auditor at
+// full strength. Any silent state corruption — double-allocated node, stale
+// backfill reservation, negative Eq. 6 cost, broken counter — turns into an
+// InvariantError instead of a skewed metric. CI also runs this binary under
+// ASan and UBSan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "audit/level.hpp"
+#include "core/allocator_factory.hpp"
+#include "sched/simulator.hpp"
+#include "topology/builders.hpp"
+#include "util/rng.hpp"
+#include "workload/job.hpp"
+
+namespace commsched {
+namespace {
+
+constexpr Pattern kPatterns[] = {
+    Pattern::kRecursiveDoubling, Pattern::kRecursiveHalvingVD,
+    Pattern::kBinomial, Pattern::kRing, Pattern::kPairwiseAlltoall};
+
+// A deliberately hostile log: bursty arrivals (many ties), node requests
+// from single nodes to half the machine (power-of-two and ragged), tight
+// and loose walltimes, and mixed comm/I/O classes.
+JobLog fuzz_log(int n_jobs, int machine_nodes, std::uint64_t seed) {
+  Rng rng(seed);
+  JobLog log;
+  log.reserve(static_cast<std::size_t>(n_jobs));
+  double submit = 0.0;
+  for (int i = 0; i < n_jobs; ++i) {
+    JobRecord job;
+    job.id = i + 1;
+    if (rng.bernoulli(0.3)) submit += rng.uniform_real(0.0, 400.0);
+    job.submit_time = submit;
+    if (rng.bernoulli(0.7)) {
+      const auto exp = rng.uniform_int(0, 5);  // 1..32 nodes, power of two
+      job.num_nodes = std::min(1 << exp, machine_nodes);
+    } else {
+      job.num_nodes = static_cast<int>(
+          rng.uniform_int(1, std::max(2, machine_nodes / 2)));
+    }
+    job.runtime = rng.uniform_real(30.0, 4000.0);
+    job.walltime = job.runtime * rng.uniform_real(1.0, 4.0);
+    job.comm_intensive = rng.bernoulli(0.7);
+    if (job.comm_intensive) {
+      job.pattern = kPatterns[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(std::size(kPatterns)) - 1))];
+      job.comm_fraction = rng.uniform_real(0.1, 0.7);
+    }
+    job.msize = 1 << 20;
+    job.io_intensive = rng.bernoulli(0.2);
+    if (job.io_intensive)
+      job.io_fraction = rng.uniform_real(0.05, 1.0 - job.comm_fraction);
+    log.push_back(job);
+  }
+  return log;
+}
+
+struct StressCase {
+  AllocatorKind kind;
+  std::uint64_t seed;
+  bool easy_backfill;
+  bool enforce_walltime;
+};
+
+std::string case_name(const ::testing::TestParamInfo<StressCase>& info) {
+  return std::string(allocator_kind_name(info.param.kind)) + "_seed" +
+         std::to_string(info.param.seed) +
+         (info.param.easy_backfill ? "_backfill" : "_fifo") +
+         (info.param.enforce_walltime ? "_kill" : "");
+}
+
+class FuzzedAuditStress : public ::testing::TestWithParam<StressCase> {};
+
+TEST_P(FuzzedAuditStress, FullAuditRunsClean) {
+  const StressCase& param = GetParam();
+  const Tree tree = make_three_level_tree(2, 4, 8);  // 64 nodes
+  const JobLog log = fuzz_log(160, tree.node_count(), param.seed);
+
+  SchedOptions options;
+  options.allocator = param.kind;
+  options.easy_backfill = param.easy_backfill;
+  options.enforce_walltime = param.enforce_walltime;
+  options.audit = AuditLevel::kFull;
+
+  const SimResult result = run_continuous(tree, log, options);
+
+  ASSERT_EQ(result.jobs.size(), log.size());
+  for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+    const JobResult& r = result.jobs[i];
+    EXPECT_GE(r.start_time, log[i].submit_time) << "job " << r.id;
+    EXPECT_GT(r.end_time, r.start_time) << "job " << r.id;
+    EXPECT_GE(r.cost, 0.0) << "job " << r.id;
+    EXPECT_GE(r.cost_default, 0.0) << "job " << r.id;
+  }
+  EXPECT_GT(result.makespan, 0.0);
+}
+
+std::vector<StressCase> stress_cases() {
+  std::vector<StressCase> cases;
+  for (const AllocatorKind kind : kAllAllocatorKinds)
+    for (const std::uint64_t seed : {11u, 29u, 73u})
+      cases.push_back({kind, seed, /*easy_backfill=*/true,
+                       /*enforce_walltime=*/false});
+  // Policy-axis variants on one policy each keep the matrix small.
+  cases.push_back({AllocatorKind::kAdaptive, 5, /*easy_backfill=*/false,
+                   /*enforce_walltime=*/false});
+  cases.push_back({AllocatorKind::kBalanced, 5, /*easy_backfill=*/true,
+                   /*enforce_walltime=*/true});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAllocators, FuzzedAuditStress,
+                         ::testing::ValuesIn(stress_cases()), case_name);
+
+// The cheap level must accept the same runs (it is a strict subset of full).
+TEST(FuzzedAuditStressCheap, CheapAuditRunsClean) {
+  const Tree tree = make_three_level_tree(2, 4, 8);
+  const JobLog log = fuzz_log(160, tree.node_count(), 97);
+  for (const AllocatorKind kind : kAllAllocatorKinds) {
+    SchedOptions options;
+    options.allocator = kind;
+    options.audit = AuditLevel::kCheap;
+    const SimResult result = run_continuous(tree, log, options);
+    EXPECT_EQ(result.jobs.size(), log.size());
+  }
+}
+
+// The COMMSCHED_AUDIT env var must reach the simulator when the config
+// field is unset.
+TEST(FuzzedAuditStressEnv, EnvVarSelectsFullAudit) {
+  ASSERT_EQ(setenv("COMMSCHED_AUDIT", "full", 1), 0);
+  const Tree tree = make_three_level_tree(2, 2, 4);
+  const JobLog log = fuzz_log(40, tree.node_count(), 3);
+  SchedOptions options;  // audit unset -> env
+  options.allocator = AllocatorKind::kAdaptive;
+  const SimResult result = run_continuous(tree, log, options);
+  EXPECT_EQ(result.jobs.size(), log.size());
+  ASSERT_EQ(unsetenv("COMMSCHED_AUDIT"), 0);
+}
+
+}  // namespace
+}  // namespace commsched

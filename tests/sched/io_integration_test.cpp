@@ -4,8 +4,8 @@
 
 #include "metrics/summary.hpp"
 #include "sched/simulator.hpp"
-#include "util/assert.hpp"
 #include "topology/builders.hpp"
+#include "util/assert.hpp"
 #include "workload/mixes.hpp"
 #include "workload/synthetic.hpp"
 
