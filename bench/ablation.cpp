@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "collectives/comm_cache.hpp"
 #include "collectives/schedule.hpp"
 #include "core/cost_model.hpp"
 #include "mapping/reorder.hpp"
@@ -86,7 +87,7 @@ int main() {
   // the leaves it touches, then reorder.
   const auto default_alloc = make_allocator(AllocatorKind::kDefault);
   const CostModel model(theta.tree, CostOptions{.hop_bytes = true});
-  ScheduleCache schedules(1 << 20);
+  CommCache schedules(1 << 20);
   double cost_striped = 0.0, cost_major = 0.0, cost_climbed = 0.0;
   int evaluated = 0;
   for (const auto& job : probes) {
@@ -117,7 +118,8 @@ int main() {
       for (const auto& leaf_nodes : per_leaf_nodes)
         if (round < leaf_nodes.size()) striped.push_back(leaf_nodes[round]);
 
-    const CommSchedule& schedule = schedules.get(job.pattern, job.num_nodes);
+    const CommSchedule& schedule =
+        schedules.schedule(job.pattern, job.num_nodes);
     cost_striped += model.candidate_cost(state, striped, true, schedule);
     const auto major = switch_major_order(theta.tree, striped);
     cost_major += model.candidate_cost(state, major, true, schedule);

@@ -1,13 +1,24 @@
-// Micro-benchmark: leaf-aggregated fast cost kernel vs the pair-by-pair
-// reference path (Eqs. 5/6), on a Theta-like tree with a realistic
-// background load. For each pattern and rank count it times
-// candidate_cost (the overlay path AdaptiveAllocator::select exercises)
-// through both kernels and reports ns per cost call.
+// Micro-benchmark: the three Eq. 5/6 evaluation paths against each other —
+// pair-by-pair reference, leaf-aggregated fast kernel (PR 1), and the
+// shape-canonicalized LeafCommProfile path through a warm CommCache — on a
+// Theta-like tree with a realistic background load.
+//
+// Two scenarios:
+//   striped   allocation striped across all 12 leaves (worst case for leaf
+//             dedup), rpn=1; times reference vs fast vs warm-profile;
+//   block8    fixed leaf footprint — 8 leaves, block-contiguous, 2 ranks per
+//             node — at 512/1024/4096 ranks; times fast vs cold profile
+//             build vs warm profile. With the leaf footprint fixed, the
+//             warm-profile cost per call should stay roughly flat as ranks
+//             grow (the class count depends on the shape, not on p), while
+//             the fast kernel still walks every rank pair. The reference
+//             path is skipped here (minutes per call at 4096-rank alltoall).
 //
 // Outputs:
-//   bench_out/micro_cost.csv      one row per (pattern, nranks)
-//   BENCH_cost_model.json         perf snapshot at the repo root (run from
-//                                 there) so future PRs can track regressions
+//   bench_out/micro_cost.csv           one row per (pattern, nranks), striped
+//   bench_out/micro_cost_profile.csv   one row per (pattern, nranks), block8
+//   BENCH_cost_model.json              perf snapshot at the repo root (run
+//                                      from there) for regression tracking
 //
 // Run from the repo root: ./build/bench/bench_micro_cost
 #include <chrono>
@@ -18,6 +29,7 @@
 #include <vector>
 
 #include "cluster/state.hpp"
+#include "collectives/comm_cache.hpp"
 #include "collectives/schedule.hpp"
 #include "core/cost_model.hpp"
 #include "topology/builders.hpp"
@@ -49,12 +61,38 @@ std::vector<NodeId> striped_allocation(const Tree& tree, int num_nodes,
   return nodes;
 }
 
+// Fixed leaf footprint for the flat-scaling scenario: `num_nodes` nodes
+// block-contiguous over the first 8 leaves (grow p by adding nodes/ranks to
+// the same leaves; the canonical shape keeps exactly 8 slots).
+std::vector<NodeId> block8_allocation(const Tree& tree, int num_nodes) {
+  std::vector<NodeId> nodes;
+  const int per_leaf = num_nodes / 8;
+  const auto leaves = tree.leaves();
+  for (int l = 0; l < 8; ++l) {
+    const auto attached = tree.nodes_of_leaf(leaves[static_cast<std::size_t>(l)]);
+    for (int i = 0; i < per_leaf; ++i)
+      nodes.push_back(attached[static_cast<std::size_t>(i)]);
+  }
+  return nodes;
+}
+
 struct Row {
   std::string pattern;
   int nranks = 0;
   std::int64_t pair_messages = 0;
   double ref_ns = 0.0;
   double fast_ns = 0.0;
+  double profile_warm_ns = 0.0;
+};
+
+struct ProfileRow {
+  std::string pattern;
+  int nranks = 0;
+  std::size_t classes = 0;
+  std::size_t steps = 0;
+  double fast_ns = 0.0;
+  double cold_ns = 0.0;
+  double warm_ns = 0.0;
 };
 
 template <typename F>
@@ -81,9 +119,10 @@ int run() {
   // Open both outputs up front so a wrong working directory fails in
   // milliseconds, not after the full measurement sweep.
   std::ofstream csv("bench_out/micro_cost.csv");
+  std::ofstream profile_csv("bench_out/micro_cost_profile.csv");
   std::ofstream json("BENCH_cost_model.json");
-  if (!csv || !json) {
-    std::cerr << "cannot open bench_out/micro_cost.csv or "
+  if (!csv || !profile_csv || !json) {
+    std::cerr << "cannot open bench_out/micro_cost*.csv or "
                  "BENCH_cost_model.json (run from the repo root)\n";
     return 1;
   }
@@ -106,12 +145,15 @@ int run() {
   state.allocate(2, /*comm=*/false, quiet_nodes);
 
   const CostModel model(tree);  // unweighted Eq. 6, candidate overlay on
+  CommCache cache(1 << 20);
+  CostWorkspace workspace;
 
   constexpr Pattern kPatterns[] = {
       Pattern::kRecursiveDoubling, Pattern::kRecursiveHalvingVD,
       Pattern::kBinomial, Pattern::kRing, Pattern::kPairwiseAlltoall};
-  constexpr int kRanks[] = {64, 512, 1024};
 
+  // --- striped scenario: reference vs fast vs warm profile ----------------
+  constexpr int kRanks[] = {64, 512, 1024};
   std::vector<Row> rows;
   for (const int nranks : kRanks) {
     const auto nodes = striped_allocation(tree, nranks, state);
@@ -131,20 +173,88 @@ int run() {
       row.fast_ns = time_ns_per_call(
           [&] { return model.candidate_cost(state, nodes, true, schedule); },
           4);
+      // Warm profile path, full caller sequence: canonicalize the shape,
+      // hit the cache, evaluate per class.
+      row.profile_warm_ns = time_ns_per_call(
+          [&] {
+            const ShapeKey key = make_shape_key(tree, nodes);
+            const LeafCommProfile& profile = cache.profile(pattern, 1, key);
+            return model.candidate_cost(state, nodes, true, profile,
+                                        workspace);
+          },
+          16);
       rows.push_back(row);
-      std::printf("%-22s p=%5d pairs=%9lld ref=%12.1f ns fast=%12.1f ns  %6.1fx\n",
-                  row.pattern.c_str(), row.nranks,
-                  static_cast<long long>(row.pair_messages), row.ref_ns,
-                  row.fast_ns, row.ref_ns / row.fast_ns);
+      std::printf(
+          "%-10s p=%5d pairs=%9lld ref=%11.1f fast=%11.1f warm=%9.1f ns  "
+          "fast/warm=%6.1fx\n",
+          row.pattern.c_str(), row.nranks,
+          static_cast<long long>(row.pair_messages), row.ref_ns, row.fast_ns,
+          row.profile_warm_ns, row.fast_ns / row.profile_warm_ns);
+    }
+  }
+
+  // --- block8 scenario: fixed leaf footprint, growing rank count ----------
+  constexpr int kBlockRanks[] = {512, 1024, 4096};
+  constexpr int kRpn = 2;
+  std::vector<ProfileRow> profile_rows;
+  for (const int nranks : kBlockRanks) {
+    const auto nodes = block8_allocation(tree, nranks / kRpn);
+    const auto expanded = expand_ranks_per_node(nodes, kRpn);
+    const ShapeKey key = make_shape_key(tree, nodes);
+    for (const Pattern pattern : kPatterns) {
+      const auto schedule = make_schedule(pattern, nranks, 1 << 20);
+      ProfileRow row;
+      row.pattern = pattern_name(pattern);
+      row.nranks = nranks;
+      const LeafCommProfile& warm_profile = cache.profile(pattern, kRpn, key);
+      row.classes = warm_profile.classes.size();
+      row.steps = warm_profile.steps.size();
+      row.fast_ns = time_ns_per_call(
+          [&] {
+            return model.candidate_cost(state, expanded, true, schedule);
+          },
+          2);
+      row.cold_ns = time_ns_per_call(
+          [&] {
+            const LeafCommProfile built =
+                make_leaf_comm_profile(pattern, 1 << 20, key, kRpn);
+            return static_cast<double>(built.steps.size());
+          },
+          1);
+      row.warm_ns = time_ns_per_call(
+          [&] {
+            const ShapeKey k = make_shape_key(tree, nodes);
+            const LeafCommProfile& profile = cache.profile(pattern, kRpn, k);
+            return model.candidate_cost(state, nodes, true, profile,
+                                        workspace);
+          },
+          16);
+      profile_rows.push_back(row);
+      std::printf(
+          "%-10s p=%5d classes=%4zu/%4zu fast=%11.1f cold=%11.1f "
+          "warm=%9.1f ns  fast/warm=%6.1fx\n",
+          row.pattern.c_str(), row.nranks, row.classes, row.steps, row.fast_ns,
+          row.cold_ns, row.warm_ns, row.fast_ns / row.warm_ns);
     }
   }
 
   csv << "pattern,nranks,pair_messages,reference_ns_per_call,fast_ns_per_call,"
-         "speedup\n";
+         "profile_warm_ns_per_call,speedup_ref_over_fast,"
+         "speedup_fast_over_warm\n";
   for (const Row& row : rows)
     csv << row.pattern << ',' << row.nranks << ',' << row.pair_messages << ','
-        << row.ref_ns << ',' << row.fast_ns << ','
-        << row.ref_ns / row.fast_ns << '\n';
+        << row.ref_ns << ',' << row.fast_ns << ',' << row.profile_warm_ns
+        << ',' << row.ref_ns / row.fast_ns << ','
+        << row.fast_ns / row.profile_warm_ns << '\n';
+
+  profile_csv << "pattern,nranks,classes,steps,fast_ns_per_call,"
+                 "profile_cold_ns_per_call,profile_warm_ns_per_call,"
+                 "speedup_fast_over_warm\n";
+  for (const ProfileRow& row : profile_rows)
+    profile_csv << row.pattern << ',' << row.nranks << ',' << row.classes
+                << ',' << row.steps << ',' << row.fast_ns << ',' << row.cold_ns
+                << ',' << row.warm_ns << ',' << row.fast_ns / row.warm_ns
+                << '\n';
 
   json << "{\n"
        << "  \"bench\": \"micro_cost\",\n"
@@ -161,11 +271,32 @@ int run() {
          << ", \"pair_messages\": " << row.pair_messages
          << ", \"before_ns\": " << row.ref_ns
          << ", \"after_ns\": " << row.fast_ns
+         << ", \"profile_warm_ns\": " << row.profile_warm_ns
          << ", \"speedup\": " << row.ref_ns / row.fast_ns << "}"
          << (i + 1 < rows.size() ? ",\n" : "\n");
   }
-  json << "  ]\n}\n";
-  std::cout << "wrote bench_out/micro_cost.csv and BENCH_cost_model.json\n";
+  json << "  ],\n"
+       << "  \"profile_block8\": {\n"
+       << "    \"scenario\": \"8 leaves, block-contiguous, 2 ranks/node — "
+          "fixed leaf footprint\",\n"
+       << "    \"before\": \"leaf-aggregated fast kernel (cost_impl)\",\n"
+       << "    \"after\": \"warm CommCache LeafCommProfile path "
+          "(cost_profile_impl)\",\n"
+       << "    \"cases\": [\n";
+  for (std::size_t i = 0; i < profile_rows.size(); ++i) {
+    const ProfileRow& row = profile_rows[i];
+    json << "      {\"pattern\": \"" << row.pattern
+         << "\", \"nranks\": " << row.nranks
+         << ", \"classes\": " << row.classes << ", \"steps\": " << row.steps
+         << ", \"fast_ns\": " << row.fast_ns
+         << ", \"profile_cold_ns\": " << row.cold_ns
+         << ", \"profile_warm_ns\": " << row.warm_ns
+         << ", \"speedup\": " << row.fast_ns / row.warm_ns << "}"
+         << (i + 1 < profile_rows.size() ? ",\n" : "\n");
+  }
+  json << "    ]\n  }\n}\n";
+  std::cout << "wrote bench_out/micro_cost.csv, bench_out/micro_cost_profile"
+               ".csv and BENCH_cost_model.json\n";
   return 0;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "util/assert.hpp"
 
@@ -247,6 +248,118 @@ void StateAuditor::check_cost_symmetry(const CostModel& model,
          << ")=" << hji << " (must be equal, finite and non-negative)";
       violation(os.str());
     }
+  }
+}
+
+void StateAuditor::check_profile(Pattern pattern,
+                                 const LeafCommProfile& profile,
+                                 std::span<const NodeId> nodes, JobId job) {
+  if (!enabled()) return;
+  ++checks_;
+  const int rpn = profile.ranks_per_node;
+  if (rpn < 1 ||
+      static_cast<int>(nodes.size()) * rpn != profile.nprocs) {
+    std::ostringstream os;
+    os << "profile for job " << job << " covers " << profile.nprocs
+       << " ranks (" << rpn << " per node) but the allocation has "
+       << nodes.size() << " nodes";
+    violation(os.str());
+  }
+  // Independent re-derivation of the canonical slot mapping (first
+  // appearance in rank order), bypassing make_shape_key.
+  std::vector<std::int32_t> slot_of_leaf(
+      static_cast<std::size_t>(tree_->leaf_count()), -1);
+  std::vector<std::int32_t> node_slot(nodes.size());
+  std::int32_t slots = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    auto& slot = slot_of_leaf[static_cast<std::size_t>(
+        tree_->leaf_index(tree_->leaf_of(nodes[i])))];
+    if (slot < 0) slot = slots++;
+    node_slot[i] = slot;
+  }
+  if (slots != profile.num_slots) {
+    std::ostringstream os;
+    os << "profile for job " << job << " has " << profile.num_slots
+       << " leaf slots but the allocation touches " << slots << " leaves";
+    violation(os.str());
+  }
+  if (profile.steps.empty()) return;  // single-rank jobs have no steps
+
+  // Sample one step among the first 32 (bounds the regeneration cost; the
+  // event counter rotates coverage across jobs).
+  const auto window = std::min<std::size_t>(profile.steps.size(), 32);
+  const auto target = static_cast<std::size_t>(events_ % window);
+  const ProfileStep& recorded = profile.steps[target];
+  if (recorded.cls < 0 ||
+      static_cast<std::size_t>(recorded.cls) >= profile.classes.size()) {
+    std::ostringstream os;
+    os << "profile step " << target << " for job " << job
+       << " references class " << recorded.cls << " of "
+       << profile.classes.size();
+    violation(os.str());
+  }
+
+  std::size_t index = 0;
+  bool checked = false;
+  for_each_schedule_step(
+      pattern, profile.nprocs, profile.base_msize,
+      [&](const CommStep& step) {
+        if (index++ != target) return true;  // keep streaming
+        std::vector<std::pair<std::int32_t, std::int32_t>> derived;
+        std::vector<std::uint8_t> seen(
+            static_cast<std::size_t>(slots) * static_cast<std::size_t>(slots),
+            0);
+        std::int64_t rank_pairs = 0, same_node = 0, same_leaf = 0;
+        for (const auto& [ri, rj] : step.pairs) {
+          ++rank_pairs;
+          const int ni = ri / rpn;
+          const int nj = rj / rpn;
+          if (ni == nj) {
+            ++same_node;
+            continue;
+          }
+          auto sa = node_slot[static_cast<std::size_t>(ni)];
+          auto sb = node_slot[static_cast<std::size_t>(nj)];
+          if (sa > sb) std::swap(sa, sb);
+          if (sa == sb) ++same_leaf;
+          auto& flag = seen[static_cast<std::size_t>(sa) *
+                                static_cast<std::size_t>(slots) +
+                            static_cast<std::size_t>(sb)];
+          if (!flag) {
+            flag = 1;
+            derived.emplace_back(sa, sb);
+          }
+        }
+        std::sort(derived.begin(), derived.end());
+        const ProfileStepClass& cls =
+            profile.classes[static_cast<std::size_t>(recorded.cls)];
+        if (derived != cls.leaf_pairs || rank_pairs != recorded.rank_pairs ||
+            same_node != recorded.same_node_pairs ||
+            same_leaf != recorded.same_leaf_pairs ||
+            step.msize != recorded.msize || step.repeat != recorded.repeat) {
+          std::ostringstream os;
+          os << "cached profile diverges from the schedule for job " << job
+             << " at step " << target << " (" << pattern_name(pattern) << ", "
+             << profile.nprocs << " ranks): re-derived " << derived.size()
+             << " distinct leaf pairs / " << rank_pairs << " rank pairs / "
+             << same_node << " same-node / " << same_leaf
+             << " same-leaf, msize=" << step.msize << ", repeat="
+             << step.repeat << "; profile records " << cls.leaf_pairs.size()
+             << " / " << recorded.rank_pairs << " / "
+             << recorded.same_node_pairs << " / " << recorded.same_leaf_pairs
+             << ", msize=" << recorded.msize << ", repeat="
+             << recorded.repeat;
+          violation(os.str());
+        }
+        checked = true;
+        return false;  // stop streaming: one sampled step per job
+      });
+  if (!checked) {
+    std::ostringstream os;
+    os << "profile for job " << job << " records " << profile.steps.size()
+       << " steps but the " << pattern_name(pattern) << " schedule at "
+       << profile.nprocs << " ranks ended before step " << target;
+    violation(os.str());
   }
 }
 

@@ -30,6 +30,8 @@
 
 #include "audit/level.hpp"
 #include "cluster/state.hpp"
+#include "collectives/comm_cache.hpp"
+#include "collectives/schedule.hpp"
 #include "core/cost_model.hpp"
 #include "topology/tree.hpp"
 
@@ -83,6 +85,17 @@ class StateAuditor {
   /// symmetric and non-negative, and Eq. 4 distance is symmetric.
   void check_cost_symmetry(const CostModel& model, const ClusterState& state,
                            std::span<const NodeId> nodes, JobId job);
+
+  /// Cheap level and up: cross-validate one sampled step of a cached
+  /// LeafCommProfile against the raw schedule. The step's distinct leaf-pair
+  /// set, same-node/same-leaf pair counts, msize, and repeat are re-derived
+  /// from scratch (streaming the schedule, independent slot mapping) and
+  /// must match the profile `nodes` was priced with. The sampled index
+  /// rotates with the event counter over the first 32 steps, so regeneration
+  /// stays O(steps-prefix) per job while successive jobs cover different
+  /// steps.
+  void check_profile(Pattern pattern, const LeafCommProfile& profile,
+                     std::span<const NodeId> nodes, JobId job);
 
   /// Full level: audit one netsim flow after a max-min rate computation —
   /// bytes remaining, rate, and startup latency must be finite and must not

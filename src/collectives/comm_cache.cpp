@@ -1,0 +1,154 @@
+#include "collectives/comm_cache.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace commsched {
+
+ShapeKey make_shape_key(const Tree& tree, std::span<const NodeId> nodes) {
+  ShapeKey key;
+  key.total_nodes = static_cast<int>(nodes.size());
+  key.runs.reserve(8);
+  // Dense leaf index -> first-appearance slot; rebuilt per call (leaf_count
+  // is small — one entry per leaf switch, not per node).
+  std::vector<std::int32_t> slot_of_leaf(
+      static_cast<std::size_t>(tree.leaf_count()), -1);
+  std::vector<std::uint8_t> seen_node(
+      static_cast<std::size_t>(tree.node_count()), 0);
+  for (const NodeId n : nodes) {
+    auto& seen = seen_node[static_cast<std::size_t>(n)];
+    COMMSCHED_ASSERT_MSG(!seen, "allocation lists a node twice");
+    seen = 1;
+    const SwitchId leaf = tree.leaf_of(n);
+    auto& slot = slot_of_leaf[static_cast<std::size_t>(tree.leaf_index(leaf))];
+    if (slot < 0) slot = key.num_slots++;
+    if (!key.runs.empty() && key.runs.back().first == slot)
+      ++key.runs.back().second;
+    else
+      key.runs.emplace_back(slot, 1);
+  }
+  return key;
+}
+
+LeafCommProfile make_leaf_comm_profile(Pattern pattern, double base_msize,
+                                       const ShapeKey& shape,
+                                       int ranks_per_node) {
+  COMMSCHED_ASSERT_GE_MSG(ranks_per_node, 1,
+                          "need at least one rank per node");
+  LeafCommProfile profile;
+  profile.num_slots = shape.num_slots;
+  profile.ranks_per_node = ranks_per_node;
+  profile.nprocs = shape.total_nodes * ranks_per_node;
+  profile.base_msize = base_msize;
+  if (profile.nprocs < 2) return profile;
+
+  // Expand the RLE back to node index -> leaf slot.
+  std::vector<std::int32_t> node_slot;
+  node_slot.reserve(static_cast<std::size_t>(shape.total_nodes));
+  for (const auto& [slot, count] : shape.runs) {
+    COMMSCHED_ASSERT(slot >= 0 && slot < shape.num_slots && count >= 1);
+    node_slot.insert(node_slot.end(), static_cast<std::size_t>(count),
+                     slot);
+  }
+  COMMSCHED_ASSERT_EQ_MSG(static_cast<int>(node_slot.size()),
+                          shape.total_nodes,
+                          "shape runs do not cover total_nodes");
+
+  const auto k = static_cast<std::size_t>(shape.num_slots);
+  std::vector<std::uint8_t> pair_seen(k * k, 0);
+  // Distinct leaf-pair set -> class id. An ordered map keeps the dedup
+  // allocation-light; the number of classes is small by construction.
+  std::map<std::vector<std::pair<std::int32_t, std::int32_t>>, std::int32_t>
+      class_ids;
+  std::vector<std::pair<std::int32_t, std::int32_t>> step_pairs;
+
+  for_each_schedule_step(
+      pattern, profile.nprocs, base_msize, [&](const CommStep& step) {
+        ProfileStep ps;
+        ps.msize = step.msize;
+        ps.repeat = step.repeat;
+        step_pairs.clear();
+        for (const auto& [ri, rj] : step.pairs) {
+          COMMSCHED_ASSERT_MSG(ri >= 0 && rj >= 0 && ri < profile.nprocs &&
+                                   rj < profile.nprocs,
+                               "schedule rank out of range for this shape");
+          ++ps.rank_pairs;
+          const int ni = ri / ranks_per_node;
+          const int nj = rj / ranks_per_node;
+          if (ni == nj) {
+            ++ps.same_node_pairs;  // zero hops, never priced
+            continue;
+          }
+          auto sa = node_slot[static_cast<std::size_t>(ni)];
+          auto sb = node_slot[static_cast<std::size_t>(nj)];
+          if (sa > sb) std::swap(sa, sb);
+          if (sa == sb) ++ps.same_leaf_pairs;
+          auto& seen = pair_seen[static_cast<std::size_t>(sa) * k +
+                                 static_cast<std::size_t>(sb)];
+          if (!seen) {
+            seen = 1;
+            step_pairs.emplace_back(sa, sb);
+          }
+        }
+        for (const auto& [sa, sb] : step_pairs)
+          pair_seen[static_cast<std::size_t>(sa) * k +
+                    static_cast<std::size_t>(sb)] = 0;
+        std::sort(step_pairs.begin(), step_pairs.end());
+        const auto [it, inserted] = class_ids.try_emplace(
+            step_pairs, static_cast<std::int32_t>(profile.classes.size()));
+        if (inserted) profile.classes.push_back({step_pairs});
+        ps.cls = it->second;
+        profile.steps.push_back(ps);
+        return true;
+      });
+  return profile;
+}
+
+std::size_t CommCache::ProfileKeyHash::operator()(
+    const ProfileKey& key) const noexcept {
+  // FNV-1a over the key's fields; the run list fully determines the shape.
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(static_cast<std::uint64_t>(key.pattern));
+  mix(static_cast<std::uint64_t>(key.ranks_per_node));
+  for (const auto& [slot, count] : key.shape.runs) {
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(slot)));
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(count)));
+  }
+  return static_cast<std::size_t>(h);
+}
+
+const CommSchedule& CommCache::schedule(Pattern pattern, int nprocs) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(pattern) << 32) |
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(nprocs));
+  const auto it = schedules_.find(key);
+  if (it != schedules_.end()) {
+    ++stats_.schedule_hits;
+    return it->second;
+  }
+  ++stats_.schedule_misses;
+  return schedules_.emplace(key, make_schedule(pattern, nprocs, base_msize_))
+      .first->second;
+}
+
+const LeafCommProfile& CommCache::profile(Pattern pattern, int ranks_per_node,
+                                          const ShapeKey& shape) {
+  ProfileKey key{pattern, ranks_per_node, shape};
+  const auto it = profiles_.find(key);
+  if (it != profiles_.end()) {
+    ++stats_.profile_hits;
+    return it->second;
+  }
+  ++stats_.profile_misses;
+  LeafCommProfile profile =
+      make_leaf_comm_profile(pattern, base_msize_, shape, ranks_per_node);
+  return profiles_.emplace(std::move(key), std::move(profile)).first->second;
+}
+
+}  // namespace commsched

@@ -1,6 +1,7 @@
 #include "collectives/schedule.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "util/assert.hpp"
 
@@ -18,6 +19,8 @@ const char* pattern_name(Pattern p) {
 }
 
 namespace {
+
+using StepVisitor = std::function<bool(const CommStep&)>;
 
 int floor_log2(int x) {
   COMMSCHED_ASSERT(x >= 1);
@@ -50,95 +53,76 @@ Fold fold_to_pow2(int p, double msize) {
   return f;
 }
 
-// Power-of-two recursive doubling: step k exchanges i <-> i ^ 2^k.
-void append_rd_core(CommSchedule& out, const std::vector<std::int32_t>& core,
-                    double msize) {
+// Power-of-two RD/RHVD core: step k exchanges i <-> i ^ dist. RD keeps the
+// message size and doubles the distance; RHVD halves the distance (q/2,
+// q/4, ..., 1) while the per-pair message doubles (m, 2m, ..., m*q/2) — the
+// heaviest exchanges are therefore between rank-adjacent processes, the
+// structural reason balanced power-of-two allocations help RHVD most (§6.1).
+bool emit_rd_core(const std::vector<std::int32_t>& core, double msize,
+                  bool vector_doubling, CommStep& step,
+                  const StepVisitor& visit) {
   const int q = static_cast<int>(core.size());
-  if (q < 2) return;
+  if (q < 2) return true;
   const int lg = floor_log2(q);
   for (int k = 0; k < lg; ++k) {
-    CommStep step;
-    step.msize = msize;
-    const int dist = 1 << k;
+    step.pairs.clear();
+    step.repeat = 1;
+    step.msize =
+        vector_doubling ? msize * static_cast<double>(1 << k) : msize;
+    const int dist = vector_doubling ? (q >> (k + 1)) : (1 << k);
     for (int i = 0; i < q; ++i) {
       const int j = i ^ dist;
       if (i < j) step.pairs.emplace_back(core[static_cast<std::size_t>(i)],
                                          core[static_cast<std::size_t>(j)]);
     }
-    out.push_back(std::move(step));
+    if (!visit(step)) return false;
   }
+  return true;
 }
 
-// Power-of-two recursive halving with vector doubling: the exchange distance
-// halves each step (q/2, q/4, ..., 1) while the per-pair message doubles
-// (m, 2m, ..., m*q/2). The heaviest exchanges are therefore between
-// rank-adjacent processes — the structural reason balanced power-of-two
-// allocations help this pattern the most (§6.1).
-void append_rhvd_core(CommSchedule& out, const std::vector<std::int32_t>& core,
-                      double msize) {
-  const int q = static_cast<int>(core.size());
-  if (q < 2) return;
-  const int lg = floor_log2(q);
-  for (int k = 0; k < lg; ++k) {
-    CommStep step;
-    step.msize = msize * static_cast<double>(1 << k);
-    const int dist = q >> (k + 1);
-    for (int i = 0; i < q; ++i) {
-      const int j = i ^ dist;
-      if (i < j) step.pairs.emplace_back(core[static_cast<std::size_t>(i)],
-                                         core[static_cast<std::size_t>(j)]);
-    }
-    out.push_back(std::move(step));
-  }
-}
-
-CommSchedule make_rd_like(int p, double msize, bool vector_doubling) {
-  CommSchedule out;
-  if (p < 2) return out;
+bool emit_rd_like(int p, double msize, bool vector_doubling,
+                  const StepVisitor& visit) {
+  if (p < 2) return true;
   Fold f = fold_to_pow2(p, msize);
   const bool folded = !f.pre.pairs.empty();
-  if (folded) out.push_back(f.pre);
-  if (vector_doubling)
-    append_rhvd_core(out, f.core, msize);
-  else
-    append_rd_core(out, f.core, msize);
+  if (folded && !visit(f.pre)) return false;
+  CommStep step;
+  if (!emit_rd_core(f.core, msize, vector_doubling, step, visit))
+    return false;
   if (folded) {
     // Mirror step: core partners hand the (possibly grown) result back.
-    CommStep post = f.pre;
+    CommStep post = std::move(f.pre);
     post.msize = vector_doubling
                      ? msize * static_cast<double>(f.core.size())
                      : msize;
-    out.push_back(std::move(post));
+    if (!visit(post)) return false;
   }
-  return out;
+  return true;
 }
 
-CommSchedule make_binomial(int p, double msize) {
-  CommSchedule out;
-  if (p < 2) return out;
+bool emit_binomial(int p, double msize, const StepVisitor& visit) {
+  if (p < 2) return true;
   // Binomial broadcast tree rooted at 0: at step k every rank i < 2^k with
   // i + 2^k < p sends to i + 2^k.
+  CommStep step;
+  step.msize = msize;
   for (int k = 0; (1 << k) < p; ++k) {
-    CommStep step;
-    step.msize = msize;
+    step.pairs.clear();
     const int dist = 1 << k;
     for (int i = 0; i < dist && i + dist < p; ++i)
       step.pairs.emplace_back(i, i + dist);
-    out.push_back(std::move(step));
+    if (!visit(step)) return false;
   }
-  return out;
+  return true;
 }
 
-CommSchedule make_pairwise_alltoall(int p, double msize) {
-  COMMSCHED_ASSERT_MSG(p <= 1024,
-                       "pairwise alltoall schedules are O(p^2); capped at "
-                       "1024 ranks");
-  CommSchedule out;
-  if (p < 2) return out;
+bool emit_pairwise_alltoall(int p, double msize, const StepVisitor& visit) {
+  if (p < 2) return true;
   const bool pow2 = (p & (p - 1)) == 0;
+  CommStep step;
+  step.msize = msize;
   for (int k = 1; k < p; ++k) {
-    CommStep step;
-    step.msize = msize;
+    step.pairs.clear();
     if (pow2) {
       // XOR exchange: a perfect matching every step.
       for (int i = 0; i < p; ++i) {
@@ -155,14 +139,13 @@ CommSchedule make_pairwise_alltoall(int p, double msize) {
         // i < j filter already de-duplicates that case.
       }
     }
-    out.push_back(std::move(step));
+    if (!visit(step)) return false;
   }
-  return out;
+  return true;
 }
 
-CommSchedule make_ring(int p, double msize) {
-  CommSchedule out;
-  if (p < 2) return out;
+bool emit_ring(int p, double msize, const StepVisitor& visit) {
+  if (p < 2) return true;
   CommStep step;
   step.msize = msize;
   step.repeat = p - 1;
@@ -172,29 +155,46 @@ CommSchedule make_ring(int p, double msize) {
     if (p == 2 && i == 1) break;
     step.pairs.emplace_back(std::min(i, j), std::max(i, j));
   }
-  out.push_back(std::move(step));
-  return out;
+  return visit(step);
 }
 
 }  // namespace
 
-CommSchedule make_schedule(Pattern pattern, int nprocs, double base_msize) {
+bool for_each_schedule_step(Pattern pattern, int nprocs, double base_msize,
+                            const std::function<bool(const CommStep&)>& visit) {
   COMMSCHED_ASSERT_MSG(nprocs >= 1, "nprocs must be positive");
   COMMSCHED_ASSERT_MSG(base_msize >= 0.0, "message size must be non-negative");
   switch (pattern) {
     case Pattern::kRecursiveDoubling:
-      return make_rd_like(nprocs, base_msize, /*vector_doubling=*/false);
+      return emit_rd_like(nprocs, base_msize, /*vector_doubling=*/false,
+                          visit);
     case Pattern::kRecursiveHalvingVD:
-      return make_rd_like(nprocs, base_msize, /*vector_doubling=*/true);
+      return emit_rd_like(nprocs, base_msize, /*vector_doubling=*/true, visit);
     case Pattern::kBinomial:
-      return make_binomial(nprocs, base_msize);
+      return emit_binomial(nprocs, base_msize, visit);
     case Pattern::kRing:
-      return make_ring(nprocs, base_msize);
+      return emit_ring(nprocs, base_msize, visit);
     case Pattern::kPairwiseAlltoall:
-      return make_pairwise_alltoall(nprocs, base_msize);
+      return emit_pairwise_alltoall(nprocs, base_msize, visit);
   }
   COMMSCHED_ASSERT_MSG(false, "unknown pattern");
-  return {};
+  return true;
+}
+
+CommSchedule make_schedule(Pattern pattern, int nprocs, double base_msize) {
+  COMMSCHED_ASSERT_MSG(
+      pattern != Pattern::kPairwiseAlltoall ||
+          nprocs <= kMaxMaterializedAlltoallRanks,
+      "materialized pairwise-alltoall schedules are O(p^2); capped at " +
+          std::to_string(kMaxMaterializedAlltoallRanks) +
+          " ranks (stream via for_each_schedule_step instead)");
+  CommSchedule out;
+  for_each_schedule_step(pattern, nprocs, base_msize,
+                         [&out](const CommStep& step) {
+                           out.push_back(step);
+                           return true;
+                         });
+  return out;
 }
 
 double total_bytes(const CommSchedule& schedule) {
@@ -210,16 +210,6 @@ std::int64_t total_pair_messages(const CommSchedule& schedule) {
   for (const auto& step : schedule)
     n += static_cast<std::int64_t>(step.pairs.size()) * step.repeat;
   return n;
-}
-
-const CommSchedule& ScheduleCache::get(Pattern pattern, int nprocs) {
-  const std::uint64_t key =
-      (static_cast<std::uint64_t>(pattern) << 32) |
-      static_cast<std::uint64_t>(static_cast<std::uint32_t>(nprocs));
-  const auto it = entries_.find(key);
-  if (it != entries_.end()) return it->second;
-  return entries_.emplace(key, make_schedule(pattern, nprocs, base_msize_))
-      .first->second;
 }
 
 }  // namespace commsched

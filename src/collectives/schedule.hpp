@@ -9,6 +9,13 @@
 // (RD, RHVD, Binomial) and allocate based on the costliest communication
 // step/stage".
 //
+// Schedules are generated step-by-step through for_each_schedule_step(); the
+// materialized CommSchedule form produced by make_schedule() is a convenience
+// built on top of it. Consumers that only need one pass over the steps (the
+// leaf-pair profile builder in comm_cache.cpp, the auditor's sampled
+// re-derivation) stream instead of materializing, which keeps O(p²)-pair
+// patterns affordable at large p.
+//
 // Non-power-of-two process counts use the MPICH construction (Thakur et al.):
 // fold the r = p - 2^floor(lg p) excess ranks into a power-of-two core with a
 // pre-exchange step, run the power-of-two algorithm on the core, and mirror
@@ -16,7 +23,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -31,12 +38,18 @@ enum class Pattern : std::uint8_t {
   /// MPI_Alltoall's pairwise-exchange algorithm (the FFTW/CPMD-style
   /// workload the paper's §1/§3.3 cite). p-1 steps; at step k rank i
   /// exchanges with i XOR k (power-of-two p, perfect matching per step) or
-  /// with i±k mod p otherwise. Schedules are O(p^2) pairs, so this pattern
-  /// is capped at 1024 ranks.
+  /// with i±k mod p otherwise. Materialized schedules are O(p^2) pairs, so
+  /// make_schedule() caps this pattern at kMaxMaterializedAlltoallRanks;
+  /// for_each_schedule_step() streams it at any p.
   kPairwiseAlltoall,
 };
 
 const char* pattern_name(Pattern p);
+
+/// Largest rank count make_schedule() will materialize for
+/// kPairwiseAlltoall (O(p^2) pairs ≈ 8M pairs / 134 MB at this cap). The
+/// streaming path has no cap.
+inline constexpr int kMaxMaterializedAlltoallRanks = 4096;
 
 /// One synchronized step of a collective: the rank pairs that communicate in
 /// parallel, the per-pair message size (bytes), and how many times the step
@@ -49,6 +62,15 @@ struct CommStep {
 };
 
 using CommSchedule = std::vector<CommStep>;
+
+/// Visit the steps of `pattern` over ranks 0..nprocs-1 in schedule order
+/// without materializing the whole schedule. The CommStep passed to `visit`
+/// is scratch owned by the generator and only valid for the duration of the
+/// callback. Return false from `visit` to stop early; the function returns
+/// false iff the visitor stopped the walk. nprocs >= 1; nprocs == 1 visits
+/// nothing.
+bool for_each_schedule_step(Pattern pattern, int nprocs, double base_msize,
+                            const std::function<bool(const CommStep&)>& visit);
 
 /// Build the schedule of `pattern` over ranks 0..nprocs-1 with base message
 /// size `base_msize` bytes. nprocs >= 1; nprocs == 1 yields an empty
@@ -64,23 +86,5 @@ double total_bytes(const CommSchedule& schedule);
 /// Total number of pair-communications (pairs summed over steps, with
 /// repeats).
 std::int64_t total_pair_messages(const CommSchedule& schedule);
-
-/// Memoizing wrapper: schedules depend only on (pattern, nprocs, base_msize
-/// fixed at construction), and the simulator prices thousands of jobs with
-/// the same node counts, so caching avoids rebuilding O(p log p) pair lists.
-class ScheduleCache {
- public:
-  explicit ScheduleCache(double base_msize) : base_msize_(base_msize) {}
-
-  /// Returned references stay valid for the cache's lifetime (node-based
-  /// storage), so callers may hold several schedules at once.
-  const CommSchedule& get(Pattern pattern, int nprocs);
-  double base_msize() const noexcept { return base_msize_; }
-
- private:
-  double base_msize_;
-  // key: (pattern << 32) | nprocs
-  std::unordered_map<std::uint64_t, CommSchedule> entries_;
-};
 
 }  // namespace commsched

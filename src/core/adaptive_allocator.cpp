@@ -1,14 +1,15 @@
 #include "core/adaptive_allocator.hpp"
 
+#include <utility>
+
+#include "core/allocator_common.hpp"
+
 namespace commsched {
 
-AdaptiveAllocator::AdaptiveAllocator(CostOptions cost_options)
-    : cost_options_(cost_options), schedule_cache_(1 << 20) {}
-
-const CostModel& AdaptiveAllocator::cost_model_for(const Tree& tree) const {
-  if (!cost_model_ || &cost_model_->tree() != &tree)
-    cost_model_.emplace(tree, cost_options_);
-  return *cost_model_;
+AdaptiveAllocator::AdaptiveAllocator(CostOptions cost_options,
+                                     std::shared_ptr<CommCache> cache)
+    : cost_options_(cost_options), cache_(std::move(cache)) {
+  if (!cache_) cache_ = std::make_shared<CommCache>(double{1 << 20});
 }
 
 std::optional<std::vector<NodeId>> AdaptiveAllocator::select(
@@ -23,13 +24,15 @@ std::optional<std::vector<NodeId>> AdaptiveAllocator::select(
     return only;
   }
 
-  const CostModel& model = cost_model_for(state.tree());
-  const CommSchedule& schedule =
-      schedule_cache_.get(request.pattern, request.num_nodes);
-  const double greedy_cost = model.candidate_cost(
-      state, *greedy_pick, request.comm_intensive, schedule);
-  const double balanced_cost = model.candidate_cost(
-      state, *balanced_pick, request.comm_intensive, schedule);
+  const CostModel model(state.tree(), cost_options_);
+  const double greedy_cost =
+      profiled_candidate_cost(model, *cache_, state, *greedy_pick,
+                              request.comm_intensive, request.pattern,
+                              workspace_);
+  const double balanced_cost =
+      profiled_candidate_cost(model, *cache_, state, *balanced_pick,
+                              request.comm_intensive, request.pattern,
+                              workspace_);
 
   // Lower cost wins for communication-intensive jobs; higher for compute
   // jobs (they are insensitive, and the cheap placement stays available).

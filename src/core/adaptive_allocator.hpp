@@ -5,11 +5,16 @@
 // the job's collective schedule, and commits to the cheaper one for
 // communication-intensive jobs (the pricier one for compute-intensive jobs,
 // which keeps the better placement free for communicating workloads).
+//
+// Candidate pricing goes through the shared CommCache's canonical-shape
+// profiles (allocator_common's profiled_candidate_cost); the simulator hands
+// every policy and pricing model of one run the same cache instance.
 #pragma once
 
 #include <memory>
 #include <optional>
 
+#include "collectives/comm_cache.hpp"
 #include "core/allocator.hpp"
 #include "core/balanced_allocator.hpp"
 #include "core/cost_model.hpp"
@@ -20,8 +25,11 @@ namespace commsched {
 class AdaptiveAllocator final : public Allocator {
  public:
   /// `cost_options` selects the candidate-pricing variant (Eq. 6 hops by
-  /// default; hop-bytes for the ablation in bench_ablation).
-  explicit AdaptiveAllocator(CostOptions cost_options = {});
+  /// default; hop-bytes for the ablation in bench_ablation). `cache` is the
+  /// run-wide schedule/profile cache; when null the allocator owns a private
+  /// one (standalone construction in tests/benches).
+  explicit AdaptiveAllocator(CostOptions cost_options = {},
+                             std::shared_ptr<CommCache> cache = nullptr);
 
   const char* name() const noexcept override { return "adaptive"; }
 
@@ -35,18 +43,17 @@ class AdaptiveAllocator final : public Allocator {
   bool last_chose_balanced() const noexcept { return last_chose_balanced_; }
 
  private:
-  /// The CostModel bound to `tree`, built on first use and kept across
-  /// select() calls so its leaf-pair scratch buffers are reused (rebuilt
-  /// only if the allocator is pointed at a different topology).
-  const CostModel& cost_model_for(const Tree& tree) const;
-
   GreedyAllocator greedy_;
   BalancedAllocator balanced_;
   CostOptions cost_options_;
-  mutable std::optional<CostModel> cost_model_;
-  // Schedules depend only on (pattern, nprocs); memoized across calls.
-  mutable ScheduleCache schedule_cache_;
+  std::shared_ptr<CommCache> cache_;
+  // workspace: cost-kernel scratch reused across const select() calls;
+  // observable state is untouched (CostModel itself is stateless).
+  mutable CostWorkspace workspace_;
+  // workspace: post-hoc diagnostics of the last select(), written once per
+  // call and only read back through the accessors above.
   mutable double last_cost_ = 0.0;
+  // workspace: see last_cost_.
   mutable bool last_chose_balanced_ = false;
 };
 

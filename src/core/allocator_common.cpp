@@ -40,4 +40,16 @@ double communication_ratio(const ClusterState& state, SwitchId leaf) {
   return contention_term + busy / nodes;
 }
 
+double profiled_candidate_cost(const CostModel& model, CommCache& cache,
+                               const ClusterState& state,
+                               std::span<const NodeId> nodes,
+                               bool comm_intensive, Pattern pattern,
+                               CostWorkspace& workspace) {
+  const ShapeKey shape = make_shape_key(state.tree(), nodes);
+  const LeafCommProfile& profile =
+      cache.profile(pattern, /*ranks_per_node=*/1, shape);
+  return model.candidate_cost(state, nodes, comm_intensive, profile,
+                              workspace);
+}
+
 }  // namespace commsched

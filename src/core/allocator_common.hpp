@@ -1,9 +1,12 @@
 // Shared building blocks of the four allocation policies.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "cluster/state.hpp"
+#include "collectives/comm_cache.hpp"
+#include "core/cost_model.hpp"
 #include "topology/tree.hpp"
 
 namespace commsched {
@@ -24,5 +27,17 @@ void take_free_nodes(const ClusterState& state, SwitchId leaf, int count,
 /// An idle leaf (L_busy == 0) has no communicating jobs, so the first term
 /// is taken as 0 (the paper leaves the 0/0 case implicit).
 double communication_ratio(const ClusterState& state, SwitchId leaf);
+
+/// Price a candidate allocation through the shared profile cache: derive the
+/// allocation's canonical ShapeKey, look up (or build) the leaf-comm profile
+/// for `pattern` at one rank per node, and evaluate Eq. 6 through the
+/// profile kernel. The common pricing path of the adaptive and I/O-aware
+/// policies and of run_individual; bit-for-bit equal to
+/// model.candidate_cost(state, nodes, comm_intensive, schedule).
+double profiled_candidate_cost(const CostModel& model, CommCache& cache,
+                               const ClusterState& state,
+                               std::span<const NodeId> nodes,
+                               bool comm_intensive, Pattern pattern,
+                               CostWorkspace& workspace);
 
 }  // namespace commsched

@@ -1,6 +1,7 @@
 #include "core/allocator_factory.hpp"
 
 #include <cstdlib>
+#include <utility>
 
 #include "core/adaptive_allocator.hpp"
 #include "core/balanced_allocator.hpp"
@@ -35,7 +36,8 @@ std::optional<AllocatorKind> allocator_kind_from_string(const std::string& s) {
 }
 
 std::unique_ptr<Allocator> make_allocator(AllocatorKind kind,
-                                          CostOptions cost_options) {
+                                          CostOptions cost_options,
+                                          std::shared_ptr<CommCache> cache) {
   switch (kind) {
     case AllocatorKind::kDefault:
       return std::make_unique<DefaultAllocator>();
@@ -44,11 +46,13 @@ std::unique_ptr<Allocator> make_allocator(AllocatorKind kind,
     case AllocatorKind::kBalanced:
       return std::make_unique<BalancedAllocator>();
     case AllocatorKind::kAdaptive:
-      return std::make_unique<AdaptiveAllocator>(cost_options);
+      return std::make_unique<AdaptiveAllocator>(cost_options,
+                                                 std::move(cache));
     case AllocatorKind::kExclusive:
       return std::make_unique<ExclusiveAllocator>();
     case AllocatorKind::kIoAware:
-      return std::make_unique<IoAwareAllocator>(cost_options);
+      return std::make_unique<IoAwareAllocator>(cost_options,
+                                                std::move(cache));
   }
   COMMSCHED_ASSERT_MSG(false, "unknown allocator kind");
   return nullptr;

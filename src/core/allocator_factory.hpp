@@ -7,6 +7,7 @@
 #include <optional>
 #include <string>
 
+#include "collectives/comm_cache.hpp"
 #include "core/allocator.hpp"
 #include "core/cost_model.hpp"
 
@@ -36,10 +37,13 @@ const char* allocator_kind_name(AllocatorKind kind);
 /// Parse "default" / "greedy" / "balanced" / "adaptive" (case-sensitive).
 std::optional<AllocatorKind> allocator_kind_from_string(const std::string& s);
 
-/// Instantiate a policy. `cost_options` only affects the adaptive policy's
-/// candidate pricing.
-std::unique_ptr<Allocator> make_allocator(AllocatorKind kind,
-                                          CostOptions cost_options = {});
+/// Instantiate a policy. `cost_options` only affects the adaptive and
+/// I/O-aware policies' candidate pricing. `cache` is the run-wide
+/// schedule/profile cache those policies should share with their caller
+/// (e.g. the simulator); when null, pricing policies create a private one.
+std::unique_ptr<Allocator> make_allocator(
+    AllocatorKind kind, CostOptions cost_options = {},
+    std::shared_ptr<CommCache> cache = nullptr);
 
 /// The paper's JOBAWARE switch: reads the JOBAWARE environment variable.
 /// Unset or empty -> kDefault; "1" -> kAdaptive (the paper's best policy);

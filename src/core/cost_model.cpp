@@ -9,11 +9,15 @@ namespace commsched {
 LeafOverlay::LeafOverlay(const Tree& tree)
     : extra_(static_cast<std::size_t>(tree.switch_count()), 0) {}
 
-void LeafOverlay::add_nodes(const Tree& tree, std::span<const NodeId> nodes) {
+void LeafOverlay::add_nodes(const Tree& tree, std::span<const NodeId> nodes,
+                            int copies) {
+  COMMSCHED_ASSERT_GE(copies, 1);
+  const auto n_switches = static_cast<std::size_t>(tree.switch_count());
+  if (extra_.size() < n_switches) extra_.resize(n_switches, 0);
   for (const NodeId n : nodes) {
     const SwitchId leaf = tree.leaf_of(n);
     if (extra_[static_cast<std::size_t>(leaf)] == 0) touched_.push_back(leaf);
-    ++extra_[static_cast<std::size_t>(leaf)];
+    extra_[static_cast<std::size_t>(leaf)] += copies;
   }
 }
 
@@ -23,7 +27,8 @@ void LeafOverlay::clear() {
 }
 
 int LeafOverlay::extra_comm(SwitchId leaf) const {
-  return extra_[static_cast<std::size_t>(leaf)];
+  const auto i = static_cast<std::size_t>(leaf);
+  return i < extra_.size() ? extra_[i] : 0;
 }
 
 std::vector<NodeId> expand_ranks_per_node(std::span<const NodeId> nodes,
@@ -38,15 +43,26 @@ std::vector<NodeId> expand_ranks_per_node(std::span<const NodeId> nodes,
 }
 
 CostModel::CostModel(const Tree& tree, CostOptions options)
-    : tree_(&tree), options_(options), overlay_(tree) {}
+    : tree_(&tree), options_(options) {}
 
 namespace {
+
 double leaf_comm_fraction(const ClusterState& state, SwitchId leaf,
                           const LeafOverlay* overlay) {
   const double comm =
       state.leaf_comm(leaf) + (overlay ? overlay->extra_comm(leaf) : 0);
   return comm / static_cast<double>(state.leaf_nodes(leaf));
 }
+
+/// Fallback scratch for the workspace-less convenience overloads. One per
+/// thread, so those overloads stay safe under concurrency too; callers in
+/// hot multi-threaded loops should still pass an explicit workspace to keep
+/// buffer reuse under their control.
+CostWorkspace& tls_workspace() {
+  static thread_local CostWorkspace workspace;
+  return workspace;
+}
+
 }  // namespace
 
 double CostModel::contention(const ClusterState& state, NodeId i, NodeId j,
@@ -74,6 +90,64 @@ double CostModel::effective_hops(const ClusterState& state, NodeId i, NodeId j,
   return d * (1.0 + contention(state, i, j, overlay));  // Eq. 5
 }
 
+std::size_t CostModel::map_leaves(const ClusterState& state,
+                                  std::span<const NodeId> nodes,
+                                  const LeafOverlay* overlay,
+                                  bool fill_rank_slot,
+                                  CostWorkspace& ws) const {
+  const Tree& tree = *tree_;
+  const auto n_leaves = static_cast<std::size_t>(tree.leaf_count());
+  if (ws.leaf_slot_.size() != n_leaves) ws.leaf_slot_.assign(n_leaves, -1);
+
+  ws.call_leaves_.clear();
+  ws.call_leaf_comm_.clear();
+  ws.call_leaf_nodes_.clear();
+  if (fill_rank_slot) ws.rank_slot_.resize(nodes.size());
+  for (std::size_t r = 0; r < nodes.size(); ++r) {
+    const SwitchId leaf = tree.leaf_of(nodes[r]);
+    const auto li = static_cast<std::size_t>(tree.leaf_index(leaf));
+    std::int32_t slot = ws.leaf_slot_[li];
+    if (slot < 0) {
+      slot = static_cast<std::int32_t>(ws.call_leaves_.size());
+      ws.leaf_slot_[li] = slot;
+      ws.call_leaves_.push_back(leaf);
+      ws.call_leaf_comm_.push_back(static_cast<double>(
+          state.leaf_comm(leaf) + (overlay ? overlay->extra_comm(leaf) : 0)));
+      ws.call_leaf_nodes_.push_back(
+          static_cast<double>(state.leaf_nodes(leaf)));
+    }
+    if (fill_rank_slot) ws.rank_slot_[r] = slot;
+  }
+  return ws.call_leaves_.size();
+}
+
+void CostModel::release_slots(CostWorkspace& ws) const {
+  for (const SwitchId leaf : ws.call_leaves_)
+    ws.leaf_slot_[static_cast<std::size_t>(tree_->leaf_index(leaf))] = -1;
+}
+
+double CostModel::slot_hops(const Tree& tree, CostWorkspace& ws,
+                            std::size_t sa, std::size_t sb, std::size_t k) {
+  double& memo = ws.pair_hops_[sa * k + sb];
+  if (memo < 0.0) {
+    double contention;
+    if (sa == sb) {
+      contention = ws.call_leaf_comm_[sa] / ws.call_leaf_nodes_[sa];  // Eq. 2
+    } else {
+      const double ci = ws.call_leaf_comm_[sa];
+      const double cj = ws.call_leaf_comm_[sb];
+      const double ni = ws.call_leaf_nodes_[sa];
+      const double nj = ws.call_leaf_nodes_[sb];
+      contention = ci / ni + cj / nj + 0.5 * (ci + cj) / (ni + nj);  // Eq. 3
+    }
+    const double d =
+        tree.leaf_distance(ws.call_leaves_[sa], ws.call_leaves_[sb]);
+    memo = d * (1.0 + contention);  // Eq. 5
+    ws.pair_hops_[sb * k + sa] = memo;
+  }
+  return memo;
+}
+
 // Fast kernel: compact the allocation's leaves once, freeze the per-leaf
 // contention inputs, then memoize effective hops per (leaf, leaf) slot pair.
 // Each rank pair after the first with the same leaf pair is a single array
@@ -82,32 +156,12 @@ double CostModel::effective_hops(const ClusterState& state, NodeId i, NodeId j,
 double CostModel::cost_impl(const ClusterState& state,
                             std::span<const NodeId> nodes,
                             const CommSchedule& schedule,
-                            const LeafOverlay* overlay) const {
+                            const LeafOverlay* overlay,
+                            CostWorkspace& ws) const {
   const Tree& tree = *tree_;
-  const auto n_leaves = static_cast<std::size_t>(tree.leaf_count());
-  if (leaf_slot_.size() != n_leaves) leaf_slot_.assign(n_leaves, -1);
-
-  call_leaves_.clear();
-  call_leaf_comm_.clear();
-  call_leaf_nodes_.clear();
-  rank_slot_.resize(nodes.size());
-  for (std::size_t r = 0; r < nodes.size(); ++r) {
-    const SwitchId leaf = tree.leaf_of(nodes[r]);
-    const auto li = static_cast<std::size_t>(tree.leaf_index(leaf));
-    std::int32_t slot = leaf_slot_[li];
-    if (slot < 0) {
-      slot = static_cast<std::int32_t>(call_leaves_.size());
-      leaf_slot_[li] = slot;
-      call_leaves_.push_back(leaf);
-      call_leaf_comm_.push_back(static_cast<double>(
-          state.leaf_comm(leaf) + (overlay ? overlay->extra_comm(leaf) : 0)));
-      call_leaf_nodes_.push_back(
-          static_cast<double>(state.leaf_nodes(leaf)));
-    }
-    rank_slot_[r] = slot;
-  }
-  const std::size_t k = call_leaves_.size();
-  pair_hops_.assign(k * k, -1.0);
+  const std::size_t k =
+      map_leaves(state, nodes, overlay, /*fill_rank_slot=*/true, ws);
+  ws.pair_hops_.assign(k * k, -1.0);
 
   double total = 0.0;
   for (const CommStep& step : schedule) {
@@ -122,35 +176,63 @@ double CostModel::cost_impl(const ClusterState& state,
           nodes[static_cast<std::size_t>(rj)])
         continue;  // same node: zero hops
       const auto sa =
-          static_cast<std::size_t>(rank_slot_[static_cast<std::size_t>(ri)]);
+          static_cast<std::size_t>(ws.rank_slot_[static_cast<std::size_t>(ri)]);
       const auto sb =
-          static_cast<std::size_t>(rank_slot_[static_cast<std::size_t>(rj)]);
-      double& memo = pair_hops_[sa * k + sb];
-      if (memo < 0.0) {
-        double contention;
-        if (sa == sb) {
-          contention = call_leaf_comm_[sa] / call_leaf_nodes_[sa];  // Eq. 2
-        } else {
-          const double ci = call_leaf_comm_[sa];
-          const double cj = call_leaf_comm_[sb];
-          const double ni = call_leaf_nodes_[sa];
-          const double nj = call_leaf_nodes_[sb];
-          contention = ci / ni + cj / nj + 0.5 * (ci + cj) / (ni + nj);  // Eq. 3
-        }
-        const double d = tree.leaf_distance(call_leaves_[sa], call_leaves_[sb]);
-        memo = d * (1.0 + contention);  // Eq. 5
-        pair_hops_[sb * k + sa] = memo;
-      }
-      worst = std::max(worst, memo);
+          static_cast<std::size_t>(ws.rank_slot_[static_cast<std::size_t>(rj)]);
+      worst = std::max(worst, slot_hops(tree, ws, sa, sb, k));
     }
     double step_cost = worst * static_cast<double>(step.repeat);
     if (options_.hop_bytes) step_cost *= step.msize;
     total += step_cost;
   }
 
-  // Restore the leaf -> slot map for the next call.
-  for (const SwitchId leaf : call_leaves_)
-    leaf_slot_[static_cast<std::size_t>(tree.leaf_index(leaf))] = -1;
+  release_slots(ws);
+  return total;
+}
+
+// Profile kernel: the per-step distinct leaf-pair sets are precomputed (and
+// deduplicated into classes) in the LeafCommProfile, so the expensive Eq. 5
+// evaluations run once per class pair and each step reduces to one
+// multiply-add. Each step's class max ranges over the distinct leaf pairs of
+// the step, which equals the reference's max over all rank pairs: duplicates
+// cannot change a max, same-node pairs contribute exactly 0 (the reference's
+// starting value), and the summation below visits steps in the identical
+// order with identical per-step arithmetic, so the result is bit-for-bit
+// equal to cost_impl / cost_impl_reference on the expanded rank list.
+double CostModel::cost_profile_impl(const ClusterState& state,
+                                    std::span<const NodeId> nodes,
+                                    const LeafCommProfile& profile,
+                                    const LeafOverlay* overlay,
+                                    CostWorkspace& ws) const {
+  COMMSCHED_ASSERT_EQ_MSG(
+      static_cast<int>(nodes.size()) * profile.ranks_per_node, profile.nprocs,
+      "node count does not match the profile's shape");
+  const Tree& tree = *tree_;
+  const std::size_t k =
+      map_leaves(state, nodes, overlay, /*fill_rank_slot=*/false, ws);
+  COMMSCHED_ASSERT_EQ_MSG(static_cast<int>(k), profile.num_slots,
+                          "allocation leaf structure does not match the "
+                          "profile's shape (stale ShapeKey?)");
+  ws.pair_hops_.assign(k * k, -1.0);
+
+  ws.class_worst_.resize(profile.classes.size());
+  for (std::size_t c = 0; c < profile.classes.size(); ++c) {
+    double worst = 0.0;
+    for (const auto& [sa, sb] : profile.classes[c].leaf_pairs)
+      worst = std::max(worst, slot_hops(tree, ws, static_cast<std::size_t>(sa),
+                                        static_cast<std::size_t>(sb), k));
+    ws.class_worst_[c] = worst;
+  }
+
+  double total = 0.0;
+  for (const ProfileStep& step : profile.steps) {
+    double step_cost = ws.class_worst_[static_cast<std::size_t>(step.cls)] *
+                       static_cast<double>(step.repeat);
+    if (options_.hop_bytes) step_cost *= step.msize;
+    total += step_cost;
+  }
+
+  release_slots(ws);
   return total;
 }
 
@@ -181,21 +263,76 @@ double CostModel::cost_impl_reference(const ClusterState& state,
 
 double CostModel::allocation_cost(const ClusterState& state,
                                   std::span<const NodeId> nodes,
+                                  const CommSchedule& schedule,
+                                  CostWorkspace& workspace) const {
+  return cost_impl(state, nodes, schedule, nullptr, workspace);
+}
+
+double CostModel::allocation_cost(const ClusterState& state,
+                                  std::span<const NodeId> nodes,
                                   const CommSchedule& schedule) const {
-  return cost_impl(state, nodes, schedule, nullptr);
+  return allocation_cost(state, nodes, schedule, tls_workspace());
+}
+
+double CostModel::candidate_cost(const ClusterState& state,
+                                 std::span<const NodeId> nodes,
+                                 bool comm_intensive,
+                                 const CommSchedule& schedule,
+                                 CostWorkspace& workspace) const {
+  if (!comm_intensive || !options_.include_candidate)
+    return cost_impl(state, nodes, schedule, nullptr, workspace);
+  workspace.overlay_.clear();
+  workspace.overlay_.add_nodes(*tree_, nodes);
+  const double cost =
+      cost_impl(state, nodes, schedule, &workspace.overlay_, workspace);
+  workspace.overlay_.clear();
+  return cost;
 }
 
 double CostModel::candidate_cost(const ClusterState& state,
                                  std::span<const NodeId> nodes,
                                  bool comm_intensive,
                                  const CommSchedule& schedule) const {
+  return candidate_cost(state, nodes, comm_intensive, schedule,
+                        tls_workspace());
+}
+
+double CostModel::allocation_cost(const ClusterState& state,
+                                  std::span<const NodeId> nodes,
+                                  const LeafCommProfile& profile,
+                                  CostWorkspace& workspace) const {
+  return cost_profile_impl(state, nodes, profile, nullptr, workspace);
+}
+
+double CostModel::allocation_cost(const ClusterState& state,
+                                  std::span<const NodeId> nodes,
+                                  const LeafCommProfile& profile) const {
+  return allocation_cost(state, nodes, profile, tls_workspace());
+}
+
+double CostModel::candidate_cost(const ClusterState& state,
+                                 std::span<const NodeId> nodes,
+                                 bool comm_intensive,
+                                 const LeafCommProfile& profile,
+                                 CostWorkspace& workspace) const {
   if (!comm_intensive || !options_.include_candidate)
-    return cost_impl(state, nodes, schedule, nullptr);
-  overlay_.clear();
-  overlay_.add_nodes(*tree_, nodes);
-  const double cost = cost_impl(state, nodes, schedule, &overlay_);
-  overlay_.clear();
+    return cost_profile_impl(state, nodes, profile, nullptr, workspace);
+  // The schedule kernels overlay the expanded rank list (one entry per
+  // rank); add ranks_per_node copies per node to match bit-for-bit.
+  workspace.overlay_.clear();
+  workspace.overlay_.add_nodes(*tree_, nodes, profile.ranks_per_node);
+  const double cost =
+      cost_profile_impl(state, nodes, profile, &workspace.overlay_, workspace);
+  workspace.overlay_.clear();
   return cost;
+}
+
+double CostModel::candidate_cost(const ClusterState& state,
+                                 std::span<const NodeId> nodes,
+                                 bool comm_intensive,
+                                 const LeafCommProfile& profile) const {
+  return candidate_cost(state, nodes, comm_intensive, profile,
+                        tls_workspace());
 }
 
 double CostModel::allocation_cost_reference(const ClusterState& state,

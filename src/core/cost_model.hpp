@@ -12,6 +12,16 @@
 // the candidate job's own nodes then count toward each leaf's L_comm (the
 // paper's worked Figure 5 example includes the job under consideration), via
 // a per-leaf overlay so the ClusterState itself is never touched.
+//
+// Three evaluation paths, fastest first:
+//   1. LeafCommProfile overloads — the allocation's canonical shape is looked
+//      up in a CommCache and the expensive hop arithmetic runs once per
+//      distinct leaf-pair *class*, independent of the rank count;
+//   2. CommSchedule overloads — the leaf-aggregated fast kernel maps ranks to
+//      leaves per call and memoizes hops per leaf pair (used where
+//      allocations are arbitrary rank permutations, e.g. mapping/reorder);
+//   3. *_reference — pair-by-pair Eq. 6, kept for differential testing.
+// All three agree bit-for-bit on the same inputs.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +29,7 @@
 #include <vector>
 
 #include "cluster/state.hpp"
+#include "collectives/comm_cache.hpp"
 #include "collectives/schedule.hpp"
 #include "topology/tree.hpp"
 
@@ -36,13 +47,20 @@ struct CostOptions {
 };
 
 /// Extra communication-intensive node counts per leaf switch, representing a
-/// hypothetical allocation on top of the committed ClusterState.
+/// hypothetical allocation on top of the committed ClusterState. Sized
+/// lazily, so a default-constructed overlay (inside CostWorkspace) binds to
+/// whichever topology it is first used with.
 class LeafOverlay {
  public:
+  LeafOverlay() = default;
   explicit LeafOverlay(const Tree& tree);
 
-  /// Add the candidate job's nodes (each contributes 1 to its leaf).
-  void add_nodes(const Tree& tree, std::span<const NodeId> nodes);
+  /// Add the candidate job's nodes, `copies` per node. The schedule kernels
+  /// price expanded rank lists (one entry per rank), so the profile path
+  /// passes copies = ranks_per_node over the distinct node list to overlay
+  /// the exact same per-leaf counts.
+  void add_nodes(const Tree& tree, std::span<const NodeId> nodes,
+                 int copies = 1);
   void clear();
 
   int extra_comm(SwitchId leaf) const;
@@ -60,14 +78,40 @@ class LeafOverlay {
 std::vector<NodeId> expand_ranks_per_node(std::span<const NodeId> nodes,
                                           int ranks_per_node);
 
-/// Evaluator bound to one topology. Eq. 6 evaluations run through a
-/// leaf-aggregated fast kernel: `effective_hops(i, j)` depends only on
+/// Per-call scratch for CostModel's fast kernels. A CostModel holds no
+/// mutable state; every evaluation writes only into the workspace the caller
+/// passes (or a thread-local default), so one CostModel is safe to share
+/// across threads as long as each thread brings its own CostWorkspace.
+/// A workspace is reusable across calls, models, and topologies; reuse keeps
+/// the scratch buffers' capacity warm.
+class CostWorkspace {
+ public:
+  CostWorkspace() = default;
+
+ private:
+  friend class CostModel;
+
+  // leaf_slot_ maps dense leaf index -> compact slot in the current call's
+  // leaf set (-1 when untouched; restored at the end of each call).
+  std::vector<std::int32_t> leaf_slot_;
+  std::vector<SwitchId> call_leaves_;    // distinct leaves, by slot
+  std::vector<double> call_leaf_comm_;   // L_comm (+overlay), by slot
+  std::vector<double> call_leaf_nodes_;  // L_nodes, by slot
+  std::vector<std::int32_t> rank_slot_;  // rank -> compact slot
+  std::vector<double> pair_hops_;        // slot×slot memo, -1 unset
+  std::vector<double> class_worst_;      // per profile step class: max hops
+  LeafOverlay overlay_;                  // candidate_cost scratch
+};
+
+/// Evaluator bound to one topology. Eq. 6 evaluations run through
+/// leaf-aggregated fast kernels: `effective_hops(i, j)` depends only on
 /// (leaf_of(i), leaf_of(j)) and on leaf-level state that is frozen for the
-/// duration of one cost call, so each call maps ranks to leaves once and
-/// memoizes per-leaf-pair hops — O(distinct leaf pairs) expensive
-/// evaluations instead of O(rank pairs). The memo lives in member scratch
-/// buffers reused across calls; methods are const, but concurrent calls on
-/// ONE instance race on the scratch — use one CostModel per thread.
+/// duration of one cost call, so each call maps the allocation to leaf slots
+/// once and memoizes per-leaf-pair hops — O(distinct leaf pairs) expensive
+/// evaluations instead of O(rank pairs). All methods are const and the model
+/// holds no mutable state; scratch lives in an explicit CostWorkspace, so
+/// concurrent calls on ONE instance are safe when each caller passes its own
+/// workspace (the workspace-less overloads use a thread-local one).
 class CostModel {
  public:
   explicit CostModel(const Tree& tree, CostOptions options = {});
@@ -87,6 +131,10 @@ class CostModel {
   /// Eq. 6 over a committed job's allocation: `nodes[r]` is rank r's node.
   double allocation_cost(const ClusterState& state,
                          std::span<const NodeId> nodes,
+                         const CommSchedule& schedule,
+                         CostWorkspace& workspace) const;
+  double allocation_cost(const ClusterState& state,
+                         std::span<const NodeId> nodes,
                          const CommSchedule& schedule) const;
 
   /// Eq. 6 for a *candidate* allocation: per options_.include_candidate the
@@ -94,10 +142,34 @@ class CostModel {
   /// communication-intensive.
   double candidate_cost(const ClusterState& state,
                         std::span<const NodeId> nodes, bool comm_intensive,
+                        const CommSchedule& schedule,
+                        CostWorkspace& workspace) const;
+  double candidate_cost(const ClusterState& state,
+                        std::span<const NodeId> nodes, bool comm_intensive,
                         const CommSchedule& schedule) const;
 
+  /// Profile-based Eq. 6: `nodes` is the *distinct ordered node list* whose
+  /// canonical shape produced `profile` (nodes.size() * ranks_per_node ==
+  /// profile.nprocs; ranks are block-distributed). Bit-for-bit equal to the
+  /// schedule overloads over expand_ranks_per_node(nodes, rpn), at
+  /// O(distinct leaf pairs per class) instead of O(rank pairs).
+  double allocation_cost(const ClusterState& state,
+                         std::span<const NodeId> nodes,
+                         const LeafCommProfile& profile,
+                         CostWorkspace& workspace) const;
+  double allocation_cost(const ClusterState& state,
+                         std::span<const NodeId> nodes,
+                         const LeafCommProfile& profile) const;
+  double candidate_cost(const ClusterState& state,
+                        std::span<const NodeId> nodes, bool comm_intensive,
+                        const LeafCommProfile& profile,
+                        CostWorkspace& workspace) const;
+  double candidate_cost(const ClusterState& state,
+                        std::span<const NodeId> nodes, bool comm_intensive,
+                        const LeafCommProfile& profile) const;
+
   /// Pair-by-pair Eq. 6 evaluation (one effective_hops call per rank pair,
-  /// no memoization). Kept for differential testing of the fast kernel; the
+  /// no memoization). Kept for differential testing of the fast kernels; the
   /// results must match allocation_cost/candidate_cost bit-for-bit.
   double allocation_cost_reference(const ClusterState& state,
                                    std::span<const NodeId> nodes,
@@ -109,26 +181,33 @@ class CostModel {
 
  private:
   double cost_impl(const ClusterState& state, std::span<const NodeId> nodes,
-                   const CommSchedule& schedule,
-                   const LeafOverlay* overlay) const;
+                   const CommSchedule& schedule, const LeafOverlay* overlay,
+                   CostWorkspace& ws) const;
+  double cost_profile_impl(const ClusterState& state,
+                           std::span<const NodeId> nodes,
+                           const LeafCommProfile& profile,
+                           const LeafOverlay* overlay,
+                           CostWorkspace& ws) const;
   double cost_impl_reference(const ClusterState& state,
                              std::span<const NodeId> nodes,
                              const CommSchedule& schedule,
                              const LeafOverlay* overlay) const;
+  /// Map the call's distinct leaves to compact slots and freeze the
+  /// per-leaf contention inputs in `ws`. Returns the slot count k and
+  /// leaves ws.leaf_slot_ populated for the visited leaves (reset via
+  /// release_slots). When `fill_rank_slot`, ws.rank_slot_[r] is the slot of
+  /// nodes[r].
+  std::size_t map_leaves(const ClusterState& state,
+                         std::span<const NodeId> nodes,
+                         const LeafOverlay* overlay, bool fill_rank_slot,
+                         CostWorkspace& ws) const;
+  void release_slots(CostWorkspace& ws) const;
+  /// Memoized Eq. 5 hops between two leaf slots (frozen call state in ws).
+  static double slot_hops(const Tree& tree, CostWorkspace& ws, std::size_t sa,
+                          std::size_t sb, std::size_t k);
 
   const Tree* tree_;
   CostOptions options_;
-
-  // Per-call scratch (ClusterState and overlay are frozen within a call).
-  // leaf_slot_ maps dense leaf index -> compact slot in the current call's
-  // leaf set (-1 when untouched; restored at the end of each call).
-  mutable std::vector<std::int32_t> leaf_slot_;
-  mutable std::vector<SwitchId> call_leaves_;    // distinct leaves, by slot
-  mutable std::vector<double> call_leaf_comm_;   // L_comm (+overlay), by slot
-  mutable std::vector<double> call_leaf_nodes_;  // L_nodes, by slot
-  mutable std::vector<std::int32_t> rank_slot_;  // rank -> compact slot
-  mutable std::vector<double> pair_hops_;        // slot×slot memo, -1 unset
-  mutable LeafOverlay overlay_;                  // candidate_cost scratch
 };
 
 }  // namespace commsched

@@ -1,13 +1,18 @@
 #include "core/io_aware_allocator.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "core/allocator_common.hpp"
 #include "util/assert.hpp"
 
 namespace commsched {
 
-IoAwareAllocator::IoAwareAllocator(CostOptions cost_options)
-    : cost_options_(cost_options), schedule_cache_(1 << 20) {}
+IoAwareAllocator::IoAwareAllocator(CostOptions cost_options,
+                                   std::shared_ptr<CommCache> cache)
+    : cost_options_(cost_options), cache_(std::move(cache)) {
+  if (!cache_) cache_ = std::make_shared<CommCache>(double{1 << 20});
+}
 
 std::optional<std::vector<NodeId>> IoAwareAllocator::spread_candidate(
     const ClusterState& state, int num_nodes) {
@@ -83,17 +88,14 @@ std::optional<std::vector<NodeId>> IoAwareAllocator::select(
   const auto default_pick = default_.select(state, request);
   if (!default_pick) return std::nullopt;  // nothing fits at all
 
-  if (!cost_model_ || &cost_model_->tree() != &state.tree())
-    cost_model_.emplace(state.tree(), cost_options_);
-  const CostModel& comm_model = *cost_model_;
+  const CostModel comm_model(state.tree(), cost_options_);
   const IoModel io_model(state.tree());
-  const CommSchedule& schedule =
-      schedule_cache_.get(request.pattern, request.num_nodes);
 
   const double comm_base =
       (request.comm_intensive && request.num_nodes >= 2)
-          ? comm_model.candidate_cost(state, *default_pick,
-                                      request.comm_intensive, schedule)
+          ? profiled_candidate_cost(comm_model, *cache_, state, *default_pick,
+                                    request.comm_intensive, request.pattern,
+                                    workspace_)
           : 0.0;
   const double io_base =
       io_model.candidate_cost(state, *default_pick, request.io_intensive);
@@ -103,9 +105,9 @@ std::optional<std::vector<NodeId>> IoAwareAllocator::select(
     if (request.comm_intensive && request.num_nodes >= 2 &&
         request.comm_fraction > 0.0)
       s += request.comm_fraction *
-           cost_ratio(comm_model.candidate_cost(state, nodes,
-                                                request.comm_intensive,
-                                                schedule),
+           cost_ratio(profiled_candidate_cost(comm_model, *cache_, state,
+                                              nodes, request.comm_intensive,
+                                              request.pattern, workspace_),
                       comm_base);
     if (request.io_intensive && request.io_fraction > 0.0)
       s += request.io_fraction *

@@ -11,11 +11,14 @@
 //
 // — the expected Eq. 7-style runtime multiplier of the candidate — and the
 // cheapest wins. A job with io_fraction 0 degenerates to the adaptive
-// policy's choice; a pure-I/O job gets the spread.
+// policy's choice; a pure-I/O job gets the spread. Communication terms are
+// priced through the shared CommCache's canonical-shape profiles.
 #pragma once
 
+#include <memory>
 #include <optional>
 
+#include "collectives/comm_cache.hpp"
 #include "core/allocator.hpp"
 #include "core/balanced_allocator.hpp"
 #include "core/cost_model.hpp"
@@ -27,7 +30,10 @@ namespace commsched {
 
 class IoAwareAllocator final : public Allocator {
  public:
-  explicit IoAwareAllocator(CostOptions cost_options = {.hop_bytes = true});
+  /// `cache` is the run-wide schedule/profile cache; when null the allocator
+  /// owns a private one (standalone construction in tests/benches).
+  explicit IoAwareAllocator(CostOptions cost_options = {.hop_bytes = true},
+                            std::shared_ptr<CommCache> cache = nullptr);
 
   const char* name() const noexcept override { return "io_aware"; }
 
@@ -45,10 +51,10 @@ class IoAwareAllocator final : public Allocator {
   BalancedAllocator balanced_;
   DefaultAllocator default_;
   CostOptions cost_options_;
-  // Kept across select() calls so the cost kernel's leaf-pair scratch is
-  // reused; rebuilt only when pointed at a different topology.
-  mutable std::optional<CostModel> cost_model_;
-  mutable ScheduleCache schedule_cache_;
+  std::shared_ptr<CommCache> cache_;
+  // workspace: cost-kernel scratch reused across const select() calls;
+  // observable state is untouched (CostModel itself is stateless).
+  mutable CostWorkspace workspace_;
 };
 
 }  // namespace commsched

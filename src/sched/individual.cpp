@@ -4,7 +4,9 @@
 #include <memory>
 
 #include "cluster/state.hpp"
+#include "collectives/comm_cache.hpp"
 #include "core/allocator.hpp"
+#include "core/allocator_common.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -64,13 +66,16 @@ std::vector<IndividualOutcome> run_individual(const Tree& tree,
   Rng rng(options.seed);
   prefill(state, options, rng);
 
+  // One shared schedule/profile cache serves the four policies' internal
+  // pricing and the probe pricing below.
+  const auto cache = std::make_shared<CommCache>(
+      probes.empty() ? double{1 << 20} : probes.front().msize);
   std::array<std::unique_ptr<Allocator>, kNumAllocatorKinds> allocators;
   for (const AllocatorKind kind : kAllAllocatorKinds)
     allocators[static_cast<std::size_t>(kind)] =
-        make_allocator(kind, options.cost_options);
+        make_allocator(kind, options.cost_options, cache);
   const CostModel model(tree, options.cost_options);
-  ScheduleCache schedules(probes.empty() ? double{1 << 20}
-                                         : probes.front().msize);
+  CostWorkspace workspace;
 
   std::vector<IndividualOutcome> outcomes;
   outcomes.reserve(probes.size());
@@ -83,8 +88,6 @@ std::vector<IndividualOutcome> run_individual(const Tree& tree,
     request.comm_intensive = job.comm_intensive;
     request.pattern = job.pattern;
     request.msize = job.msize;
-    const CommSchedule& schedule =
-        schedules.get(job.pattern, job.num_nodes);
 
     IndividualOutcome out;
     out.id = job.id;
@@ -98,8 +101,9 @@ std::vector<IndividualOutcome> run_individual(const Tree& tree,
       COMMSCHED_ASSERT_MSG(nodes.has_value(),
                            "policy failed although the probe fits");
       out.cost[i] = (job.comm_intensive && job.num_nodes >= 2)
-                        ? model.candidate_cost(state, *nodes,
-                                               job.comm_intensive, schedule)
+                        ? profiled_candidate_cost(model, *cache, state,
+                                                  *nodes, job.comm_intensive,
+                                                  job.pattern, workspace)
                         : 0.0;
     }
     for (const AllocatorKind kind : kAllAllocatorKinds) {

@@ -6,6 +6,7 @@
 
 #include "audit/auditor.hpp"
 #include "cluster/state.hpp"
+#include "collectives/comm_cache.hpp"
 #include "core/default_allocator.hpp"
 #include "core/io_model.hpp"
 #include "util/assert.hpp"
@@ -35,14 +36,16 @@ class Simulation {
         log_(log),
         options_(options),
         state_(tree),
-        allocator_(make_allocator(options.allocator, options.cost_options)),
+        comm_cache_(std::make_shared<CommCache>(
+            log.empty() ? double{1 << 20} : log.front().msize)),
+        allocator_(make_allocator(options.allocator, options.cost_options,
+                                  comm_cache_)),
         pricing_model_(tree, options.cost_options),
         metric_model_(tree,
                       CostOptions{.hop_bytes = false,
                                   .include_candidate =
                                       options.cost_options.include_candidate}),
         io_model_(tree),
-        schedule_cache_(log.empty() ? double{1 << 20} : log.front().msize),
         auditor_(tree, options.audit.value_or(audit_level_from_env())) {
     results_.resize(log.size());
     running_info_.resize(log.size());
@@ -253,22 +256,31 @@ class Simulation {
     double cost = 0.0;
     double cost_default = 0.0;
     double priced = 0.0, priced_default = 0.0;  // comm pricing metric
+    const LeafCommProfile* profile = nullptr;
     if (price_comm) {
-      const CommSchedule& schedule =
-          schedule_cache_.get(job.pattern, job.num_nodes);
+      // One canonical-shape profile per allocation serves both pricing
+      // models (and the auditor's consistency check below).
+      profile = &comm_cache_->profile(job.pattern, /*ranks_per_node=*/1,
+                                      make_shape_key(tree_, *nodes));
       // Recorded metric: the paper's unweighted Eq. 6 cost (Figure 8).
       cost = metric_model_.candidate_cost(state_, *nodes, job.comm_intensive,
-                                          schedule);
+                                          *profile, workspace_);
       if (is_default) {
         cost_default = cost;
       } else {
+        const LeafCommProfile& default_profile = comm_cache_->profile(
+            job.pattern, /*ranks_per_node=*/1,
+            make_shape_key(tree_, *default_nodes));
         cost_default = metric_model_.candidate_cost(
-            state_, *default_nodes, job.comm_intensive, schedule);
+            state_, *default_nodes, job.comm_intensive, default_profile,
+            workspace_);
         // Runtime ratio uses the (possibly msize-weighted) pricing metric.
         priced = pricing_model_.candidate_cost(state_, *nodes,
-                                               job.comm_intensive, schedule);
+                                               job.comm_intensive, *profile,
+                                               workspace_);
         priced_default = pricing_model_.candidate_cost(
-            state_, *default_nodes, job.comm_intensive, schedule);
+            state_, *default_nodes, job.comm_intensive, default_profile,
+            workspace_);
       }
     }
     double io_cost = 0.0, io_cost_default = 0.0;
@@ -303,6 +315,7 @@ class Simulation {
         auditor_.check_cost(cost_default, request.job, "Eq. 6 default cost");
         auditor_.check_cost_symmetry(metric_model_, state_, *nodes,
                                      request.job);
+        auditor_.check_profile(job.pattern, *profile, *nodes, request.job);
       }
       if (price_io) {
         auditor_.check_cost(io_cost, request.job, "I/O cost");
@@ -335,12 +348,16 @@ class Simulation {
   const JobLog& log_;
   const SchedOptions& options_;
   ClusterState state_;
+  // The run-wide schedule/profile cache; declared before allocator_ so it
+  // exists when make_allocator hands it to the pricing policies. Exactly one
+  // per simulation run.
+  std::shared_ptr<CommCache> comm_cache_;
   std::unique_ptr<Allocator> allocator_;
   DefaultAllocator default_allocator_;
   CostModel pricing_model_;  // Eq. 7 ratio + adaptive comparisons
   CostModel metric_model_;   // pure Eq. 6, recorded in JobResult
   IoModel io_model_;         // §7 I/O extension
-  ScheduleCache schedule_cache_;
+  CostWorkspace workspace_;  // cost-kernel scratch for the pricing models
   StateAuditor auditor_;     // runtime invariant checks (src/audit)
 
   std::deque<std::size_t> pending_;  // log indices, FIFO

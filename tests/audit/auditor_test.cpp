@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <functional>
 #include <string>
@@ -10,6 +11,8 @@
 
 #include "audit/level.hpp"
 #include "cluster/state.hpp"
+#include "collectives/comm_cache.hpp"
+#include "collectives/schedule.hpp"
 #include "core/cost_model.hpp"
 #include "topology/builders.hpp"
 #include "util/assert.hpp"
@@ -202,6 +205,112 @@ TEST_F(AuditorTest, CheckStateNodeSetDivergenceFires) {
   const std::string msg =
       violation_message([&] { auditor_.check_state(state_); });
   EXPECT_NE(msg.find("node sets diverged"), std::string::npos);
+}
+
+TEST_F(AuditorTest, ProfileConsistencyPassesOnHonestProfile) {
+  const std::vector<NodeId> nodes{0, 1, 4, 5};
+  for (const Pattern pattern :
+       {Pattern::kRecursiveDoubling, Pattern::kPairwiseAlltoall,
+        Pattern::kRing}) {
+    const LeafCommProfile profile = make_leaf_comm_profile(
+        pattern, 1024.0, make_shape_key(tree_, nodes), /*ranks_per_node=*/2);
+    EXPECT_NO_THROW(auditor_.check_profile(pattern, profile, nodes, 1));
+  }
+  EXPECT_GT(auditor_.checks_run(), 0u);
+}
+
+TEST_F(AuditorTest, ProfileRankCountMismatchFires) {
+  const std::vector<NodeId> nodes{0, 1, 4, 5};
+  const LeafCommProfile profile = make_leaf_comm_profile(
+      Pattern::kRecursiveDoubling, 1.0, make_shape_key(tree_, nodes), 1);
+  const std::vector<NodeId> fewer{0, 1, 4};
+  const std::string msg = violation_message([&] {
+    auditor_.check_profile(Pattern::kRecursiveDoubling, profile, fewer, 9);
+  });
+  EXPECT_NE(msg.find("covers 4 ranks"), std::string::npos);
+  EXPECT_NE(msg.find("3 nodes"), std::string::npos);
+}
+
+TEST_F(AuditorTest, ProfileShapeMismatchFires) {
+  // Profile built for a two-leaf shape, priced allocation sits on one leaf:
+  // same node count, wrong canonical shape (the "stale ShapeKey" bug class).
+  const LeafCommProfile profile = make_leaf_comm_profile(
+      Pattern::kRecursiveDoubling, 1.0,
+      make_shape_key(tree_, std::vector<NodeId>{0, 4}), 1);
+  const std::vector<NodeId> one_leaf{0, 1};
+  const std::string msg = violation_message([&] {
+    auditor_.check_profile(Pattern::kRecursiveDoubling, profile, one_leaf, 9);
+  });
+  EXPECT_NE(msg.find("2 leaf slots"), std::string::npos);
+  EXPECT_NE(msg.find("touches 1 leaves"), std::string::npos);
+}
+
+TEST_F(AuditorTest, ProfileCorruptionFires) {
+  // Deliberately corrupt each audited field of the sampled step (a fresh
+  // auditor has seen no events, so step 0 is sampled) and check the
+  // re-derivation catches every one.
+  const std::vector<NodeId> nodes{0, 1, 4, 5};
+  const LeafCommProfile honest = make_leaf_comm_profile(
+      Pattern::kPairwiseAlltoall, 1024.0, make_shape_key(tree_, nodes), 1);
+  EXPECT_NO_THROW(auditor_.check_profile(Pattern::kPairwiseAlltoall, honest,
+                                         nodes, 9));
+
+  LeafCommProfile bad_pairs = honest;
+  bad_pairs.classes[static_cast<std::size_t>(bad_pairs.steps[0].cls)]
+      .leaf_pairs.emplace_back(0, 1);
+  const std::string pairs_msg = violation_message([&] {
+    auditor_.check_profile(Pattern::kPairwiseAlltoall, bad_pairs, nodes, 9);
+  });
+  EXPECT_NE(pairs_msg.find("diverges from the schedule"), std::string::npos);
+
+  LeafCommProfile bad_counts = honest;
+  bad_counts.steps[0].same_node_pairs += 1;
+  EXPECT_THROW(auditor_.check_profile(Pattern::kPairwiseAlltoall, bad_counts,
+                                      nodes, 9),
+               InvariantError);
+
+  LeafCommProfile bad_msize = honest;
+  bad_msize.steps[0].msize *= 2.0;
+  EXPECT_THROW(auditor_.check_profile(Pattern::kPairwiseAlltoall, bad_msize,
+                                      nodes, 9),
+               InvariantError);
+
+  LeafCommProfile bad_class = honest;
+  bad_class.steps[0].cls = 1'000'000;
+  EXPECT_THROW(auditor_.check_profile(Pattern::kPairwiseAlltoall, bad_class,
+                                      nodes, 9),
+               InvariantError);
+}
+
+TEST_F(AuditorTest, ProfileWithPhantomStepsFires) {
+  // Pad the profile with steps the schedule never produces; advance the
+  // event counter so the rotating sample lands on a phantom step.
+  const std::vector<NodeId> nodes{0, 4};
+  LeafCommProfile padded = make_leaf_comm_profile(
+      Pattern::kRecursiveDoubling, 1.0, make_shape_key(tree_, nodes), 1);
+  ASSERT_EQ(padded.steps.size(), 1u);  // RD at p=2: a single step
+  padded.steps.push_back(padded.steps[0]);
+  auditor_.on_event(1.0, "tick");  // events_seen()=1 -> samples step 1
+  const std::string msg = violation_message([&] {
+    auditor_.check_profile(Pattern::kRecursiveDoubling, padded, nodes, 9);
+  });
+  EXPECT_NE(msg.find("records 2 steps"), std::string::npos);
+  EXPECT_NE(msg.find("ended before step 1"), std::string::npos);
+}
+
+TEST_F(AuditorTest, ProfileCheckRunsAtCheapLevel) {
+  StateAuditor cheap(tree_, AuditLevel::kCheap);
+  const std::vector<NodeId> nodes{0, 1};
+  LeafCommProfile profile = make_leaf_comm_profile(
+      Pattern::kRecursiveDoubling, 1.0, make_shape_key(tree_, nodes), 1);
+  EXPECT_NO_THROW(
+      cheap.check_profile(Pattern::kRecursiveDoubling, profile, nodes, 1));
+  const std::uint64_t before = cheap.checks_run();
+  EXPECT_GT(before, 0u);
+  profile.steps[0].same_leaf_pairs += 3;
+  EXPECT_THROW(
+      cheap.check_profile(Pattern::kRecursiveDoubling, profile, nodes, 1),
+      InvariantError);
 }
 
 TEST_F(AuditorTest, CheapLevelSkipsFullChecks) {

@@ -1,0 +1,174 @@
+#include "collectives/comm_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "collectives/schedule.hpp"
+#include "topology/builders.hpp"
+#include "util/assert.hpp"
+
+namespace commsched {
+namespace {
+
+using Runs = std::vector<std::pair<std::int32_t, std::int32_t>>;
+using Pairs = std::vector<std::pair<std::int32_t, std::int32_t>>;
+
+// --- ShapeKey canonicalization ---------------------------------------------
+
+TEST(ShapeKeyTest, CanonicalizesAwayConcreteLeafIdentity) {
+  // Figure 2 tree: n0..n3 under s0, n4..n7 under s1.
+  const Tree tree = make_figure2_tree();
+  const ShapeKey a = make_shape_key(tree, std::vector<NodeId>{0, 1});
+  const ShapeKey b = make_shape_key(tree, std::vector<NodeId>{4, 5});
+  EXPECT_EQ(a, b);  // "2 nodes under one leaf", whichever leaf it is
+  EXPECT_EQ(a.runs, (Runs{{0, 2}}));
+  EXPECT_EQ(a.total_nodes, 2);
+  EXPECT_EQ(a.num_slots, 1);
+
+  const ShapeKey c = make_shape_key(tree, std::vector<NodeId>{0, 1, 4, 5});
+  const ShapeKey d = make_shape_key(tree, std::vector<NodeId>{4, 5, 0, 1});
+  EXPECT_EQ(c, d);  // first-appearance slot naming hides which leaf is "0"
+  EXPECT_EQ(c.runs, (Runs{{0, 2}, {1, 2}}));
+  EXPECT_EQ(c.num_slots, 2);
+}
+
+TEST(ShapeKeyTest, DistinguishesDifferentRankToLeafStructures) {
+  const Tree tree = make_figure2_tree();
+  const ShapeKey block = make_shape_key(tree, std::vector<NodeId>{0, 1, 4, 5});
+  const ShapeKey striped =
+      make_shape_key(tree, std::vector<NodeId>{0, 4, 1, 5});
+  EXPECT_NE(block, striped);
+  EXPECT_EQ(striped.runs, (Runs{{0, 1}, {1, 1}, {0, 1}, {1, 1}}));
+  EXPECT_EQ(striped.num_slots, 2);  // revisiting a leaf reuses its slot
+}
+
+TEST(ShapeKeyTest, RevisitedLeafKeepsItsFirstAppearanceSlot) {
+  const Tree tree = make_figure2_tree();
+  const ShapeKey key = make_shape_key(tree, std::vector<NodeId>{4, 0, 5});
+  EXPECT_EQ(key.runs, (Runs{{0, 1}, {1, 1}, {0, 1}}));
+  EXPECT_EQ(key.total_nodes, 3);
+  EXPECT_EQ(key.num_slots, 2);
+}
+
+TEST(ShapeKeyTest, RejectsDuplicateNodes) {
+  const Tree tree = make_figure2_tree();
+  EXPECT_THROW(make_shape_key(tree, std::vector<NodeId>{0, 1, 0}),
+               InvariantError);
+}
+
+// --- Profile construction, hand-checked ------------------------------------
+
+TEST(LeafCommProfileTest, TwoRanksAcrossLeaves) {
+  const Tree tree = make_figure2_tree();
+  const ShapeKey shape = make_shape_key(tree, std::vector<NodeId>{0, 4});
+  const LeafCommProfile profile =
+      make_leaf_comm_profile(Pattern::kRecursiveDoubling, 256.0, shape, 1);
+  EXPECT_EQ(profile.nprocs, 2);
+  EXPECT_EQ(profile.num_slots, 2);
+  EXPECT_EQ(profile.ranks_per_node, 1);
+  ASSERT_EQ(profile.steps.size(), 1u);
+  const ProfileStep& step = profile.steps[0];
+  EXPECT_EQ(profile.classes.at(step.cls).leaf_pairs, (Pairs{{0, 1}}));
+  EXPECT_EQ(step.rank_pairs, 1);
+  EXPECT_EQ(step.same_node_pairs, 0);
+  EXPECT_EQ(step.same_leaf_pairs, 0);
+  EXPECT_DOUBLE_EQ(step.msize, 256.0);
+  EXPECT_EQ(step.repeat, 1);
+}
+
+TEST(LeafCommProfileTest, MultirankStepCanBeEntirelyOnNode) {
+  // 2 nodes x 2 ranks each, RD over 4 ranks: step 0 pairs ranks (0,1),(2,3)
+  // — both within a node, so the step's leaf-pair class is empty; step 1
+  // pairs (0,2),(1,3) both cross the two leaves.
+  const Tree tree = make_figure2_tree();
+  const ShapeKey shape = make_shape_key(tree, std::vector<NodeId>{0, 4});
+  const LeafCommProfile profile =
+      make_leaf_comm_profile(Pattern::kRecursiveDoubling, 64.0, shape, 2);
+  EXPECT_EQ(profile.nprocs, 4);
+  ASSERT_EQ(profile.steps.size(), 2u);
+  EXPECT_TRUE(profile.classes.at(profile.steps[0].cls).leaf_pairs.empty());
+  EXPECT_EQ(profile.steps[0].rank_pairs, 2);
+  EXPECT_EQ(profile.steps[0].same_node_pairs, 2);
+  EXPECT_EQ(profile.classes.at(profile.steps[1].cls).leaf_pairs,
+            (Pairs{{0, 1}}));
+  EXPECT_EQ(profile.steps[1].rank_pairs, 2);
+  EXPECT_EQ(profile.steps[1].same_node_pairs, 0);
+}
+
+TEST(LeafCommProfileTest, SameLeafCrossNodePairsAppearAsDiagonal) {
+  const Tree tree = make_figure2_tree();
+  const ShapeKey shape = make_shape_key(tree, std::vector<NodeId>{0, 1});
+  const LeafCommProfile profile =
+      make_leaf_comm_profile(Pattern::kRecursiveDoubling, 1.0, shape, 1);
+  ASSERT_EQ(profile.steps.size(), 1u);
+  EXPECT_EQ(profile.classes.at(profile.steps[0].cls).leaf_pairs,
+            (Pairs{{0, 0}}));
+  EXPECT_EQ(profile.steps[0].same_leaf_pairs, 1);
+}
+
+TEST(LeafCommProfileTest, AlltoallStreamsFarBeyondMaterializationCap) {
+  // 16 nodes block-contiguous over 2 leaves x 512 ranks/node = 8192 ranks,
+  // twice the materialization cap. XOR matching has no carries, so step k's
+  // structure depends only on k's high bits: k < 512 stays on-node (empty
+  // class), 512 <= k < 4096 stays on-leaf ({(0,0),(1,1)}), k >= 4096
+  // crosses ({(0,1)}). The profile must discover exactly those 3 classes.
+  const Tree tree = make_two_level_tree(2, 8);
+  std::vector<NodeId> nodes(16);
+  for (int i = 0; i < 16; ++i) nodes[i] = static_cast<NodeId>(i);
+  const ShapeKey shape = make_shape_key(tree, nodes);
+  const LeafCommProfile profile =
+      make_leaf_comm_profile(Pattern::kPairwiseAlltoall, 1.0, shape, 512);
+  EXPECT_EQ(profile.nprocs, 8192);
+  EXPECT_EQ(profile.steps.size(), 8191u);
+  EXPECT_EQ(profile.classes.size(), 3u);
+  std::int64_t rank_pairs = 0;
+  for (const ProfileStep& step : profile.steps) rank_pairs += step.rank_pairs;
+  EXPECT_EQ(rank_pairs, static_cast<std::int64_t>(8192) * 8191 / 2);
+}
+
+// --- CommCache memoization --------------------------------------------------
+
+TEST(CommCacheTest, ProfileHitsOnCanonicallyEqualShapes) {
+  const Tree tree = make_figure2_tree();
+  CommCache cache(1.0);
+  const ShapeKey a = make_shape_key(tree, std::vector<NodeId>{0, 1});
+  const ShapeKey b = make_shape_key(tree, std::vector<NodeId>{6, 7});
+  const LeafCommProfile& pa =
+      cache.profile(Pattern::kRecursiveDoubling, 1, a);
+  const LeafCommProfile& pb =
+      cache.profile(Pattern::kRecursiveDoubling, 1, b);
+  EXPECT_EQ(&pa, &pb);  // same canonical shape -> one cached profile
+  EXPECT_EQ(cache.stats().profile_misses, 1u);
+  EXPECT_EQ(cache.stats().profile_hits, 1u);
+
+  // Different pattern, rpn, or shape each miss separately.
+  cache.profile(Pattern::kBinomial, 1, a);
+  cache.profile(Pattern::kRecursiveDoubling, 2, a);
+  cache.profile(Pattern::kRecursiveDoubling, 1,
+                make_shape_key(tree, std::vector<NodeId>{0, 4}));
+  EXPECT_EQ(cache.stats().profile_misses, 4u);
+  EXPECT_EQ(cache.stats().profile_hits, 1u);
+}
+
+TEST(CommCacheTest, ProfileReferencesSurviveRehash) {
+  const Tree tree = make_two_level_tree(8, 4);
+  CommCache cache(1.0);
+  const ShapeKey first = make_shape_key(tree, std::vector<NodeId>{0, 1});
+  const LeafCommProfile& pinned =
+      cache.profile(Pattern::kRecursiveDoubling, 1, first);
+  const ProfileStep recorded = pinned.steps.at(0);
+  // Insert many distinct shapes to force table growth.
+  for (int n = 2; n <= 30; ++n) {
+    std::vector<NodeId> nodes;
+    for (int i = 0; i < n; ++i) nodes.push_back(static_cast<NodeId>(i));
+    cache.profile(Pattern::kRecursiveDoubling, 1, make_shape_key(tree, nodes));
+  }
+  EXPECT_EQ(&cache.profile(Pattern::kRecursiveDoubling, 1, first), &pinned);
+  EXPECT_EQ(pinned.steps.at(0).rank_pairs, recorded.rank_pairs);
+}
+
+}  // namespace
+}  // namespace commsched

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <set>
 #include <vector>
 
+#include "collectives/comm_cache.hpp"
 #include "util/assert.hpp"
 
 namespace commsched {
@@ -182,20 +184,79 @@ TEST(ScheduleTest, AlltoallMovesTheMostBytesAndSteps) {
   }
 }
 
-TEST(ScheduleTest, AlltoallIsCappedAt1024Ranks) {
-  EXPECT_NO_THROW(make_schedule(Pattern::kPairwiseAlltoall, 1024, 1.0));
-  EXPECT_THROW(make_schedule(Pattern::kPairwiseAlltoall, 1025, 1.0),
+TEST(ScheduleTest, AlltoallMaterializationIsCappedAt4096Ranks) {
+  // Beyond the old 1024-rank cap: profiles made large-p alltoall affordable,
+  // so materialization now goes up to kMaxMaterializedAlltoallRanks (the
+  // streaming path has no cap at all — see StreamingMatchesMaterialized).
+  const int cap = kMaxMaterializedAlltoallRanks;
+  ASSERT_EQ(cap, 4096);
+  const auto sched = make_schedule(Pattern::kPairwiseAlltoall, cap, 1.0);
+  EXPECT_EQ(sched.size(), static_cast<std::size_t>(cap - 1));
+  EXPECT_EQ(total_pair_messages(sched),
+            static_cast<std::int64_t>(cap) * (cap - 1) / 2);
+  EXPECT_THROW(make_schedule(Pattern::kPairwiseAlltoall, cap + 1, 1.0),
                InvariantError);
 }
 
-TEST(ScheduleCacheTest, ReturnsStableIdenticalSchedules) {
-  ScheduleCache cache(512.0);
-  const CommSchedule& a = cache.get(Pattern::kRecursiveDoubling, 16);
-  const CommSchedule& b = cache.get(Pattern::kBinomial, 16);
-  const CommSchedule& a2 = cache.get(Pattern::kRecursiveDoubling, 16);
+TEST(ScheduleTest, StreamingMatchesMaterialized) {
+  for (const Pattern pattern :
+       {Pattern::kRecursiveDoubling, Pattern::kRecursiveHalvingVD,
+        Pattern::kBinomial, Pattern::kRing, Pattern::kPairwiseAlltoall})
+    for (const int p : {1, 2, 3, 8, 13, 64, 100}) {
+      const CommSchedule materialized = make_schedule(pattern, p, 7.0);
+      CommSchedule streamed;
+      const bool completed = for_each_schedule_step(
+          pattern, p, 7.0, [&](const CommStep& step) {
+            streamed.push_back(step);
+            return true;
+          });
+      EXPECT_TRUE(completed);
+      ASSERT_EQ(streamed.size(), materialized.size())
+          << pattern_name(pattern) << " p=" << p;
+      for (std::size_t s = 0; s < streamed.size(); ++s) {
+        EXPECT_EQ(streamed[s].pairs, materialized[s].pairs);
+        EXPECT_DOUBLE_EQ(streamed[s].msize, materialized[s].msize);
+        EXPECT_EQ(streamed[s].repeat, materialized[s].repeat);
+      }
+    }
+}
+
+TEST(ScheduleTest, StreamingVisitorCanStopEarly) {
+  int visited = 0;
+  const bool completed = for_each_schedule_step(
+      Pattern::kPairwiseAlltoall, 512, 1.0, [&](const CommStep&) {
+        return ++visited < 3;
+      });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(visited, 3);
+}
+
+TEST(ScheduleTest, StreamingAlltoallScalesBeyondMaterializationCap) {
+  // 8192 ranks: materialization would be ~32M pairs; streaming touches one
+  // step at a time. Count steps and spot-check the XOR matching structure.
+  const int p = 8192;
+  std::int64_t steps = 0, pairs = 0;
+  for_each_schedule_step(Pattern::kPairwiseAlltoall, p, 1.0,
+                         [&](const CommStep& step) {
+                           ++steps;
+                           pairs += static_cast<std::int64_t>(
+                               step.pairs.size());
+                           return steps < 16;  // prefix is enough
+                         });
+  EXPECT_EQ(steps, 16);
+  EXPECT_EQ(pairs, 16 * (p / 2));  // perfect matchings
+}
+
+TEST(CommCacheTest, ReturnsStableIdenticalSchedules) {
+  CommCache cache(512.0);
+  const CommSchedule& a = cache.schedule(Pattern::kRecursiveDoubling, 16);
+  const CommSchedule& b = cache.schedule(Pattern::kBinomial, 16);
+  const CommSchedule& a2 = cache.schedule(Pattern::kRecursiveDoubling, 16);
   EXPECT_EQ(&a, &a2);  // memoized
   EXPECT_NE(&a, &b);
   EXPECT_EQ(a.size(), 4u);
+  EXPECT_EQ(cache.stats().schedule_misses, 2u);
+  EXPECT_EQ(cache.stats().schedule_hits, 1u);
 }
 
 // ---- Property sweeps over process counts --------------------------------

@@ -15,6 +15,11 @@ Enforces the project conventions clang-tidy cannot know about:
                      simulations fail loudly and tests can assert on them
   namespace          every src/ file declares `namespace commsched`
   no-using-namespace `using namespace` is forbidden at any scope
+  mutable-scratch    `mutable` members in src/core/ need a `// workspace:`
+                     justification on the same or an adjacent preceding line —
+                     hidden per-call scratch belongs in an explicit
+                     CostWorkspace so cost evaluation stays shareable across
+                     threads (DESIGN.md "Shape canonicalization & CommCache")
   whitespace         no tabs, no trailing whitespace, newline at EOF
 
 Usage: tools/lint.py [paths...]   (defaults to src/ and tests/)
@@ -85,6 +90,7 @@ ALLOC_CALL_RE = re.compile(r"(?<![\w_.:])(malloc|calloc|realloc|free)\s*\(")
 RAW_ASSERT_RE = re.compile(r"(?<![\w_])(assert|abort)\s*\(")
 EXIT_RE = re.compile(r"(?<![\w_.:])exit\s*\(")
 USING_NAMESPACE_RE = re.compile(r"(?<![\w_])using\s+namespace\b")
+MUTABLE_RE = re.compile(r"(?<![\w_])mutable\b")
 
 BANNED_INCLUDES = {
     "cassert": "use COMMSCHED_ASSERT (util/assert.hpp) instead of <cassert>",
@@ -177,6 +183,8 @@ def lint_includes(path: Path, raw: str) -> None:
 def lint_code(path: Path, raw: str) -> None:
     code = strip_comments_and_strings(raw)
     in_src = (REPO_ROOT / "src") in path.parents
+    in_core = (REPO_ROOT / "src" / "core") in path.parents
+    raw_lines = raw.split("\n")
     for lineno, line in enumerate(code.split("\n"), start=1):
         if USING_NAMESPACE_RE.search(line):
             report(path, lineno, "no-using-namespace",
@@ -198,6 +206,15 @@ def lint_code(path: Path, raw: str) -> None:
             if EXIT_RE.search(line):
                 report(path, lineno, "assert-macro",
                        "exit() in library code: throw instead")
+        if in_core and MUTABLE_RE.search(line):
+            # The justification comment may sit on the member's own line or
+            # on the (up to two) lines directly above it.
+            window = raw_lines[max(0, lineno - 3):lineno]
+            if not any("// workspace:" in w for w in window):
+                report(path, lineno, "mutable-scratch",
+                       "`mutable` member in src/core/ without a "
+                       "`// workspace:` justification: hidden per-call "
+                       "scratch belongs in an explicit CostWorkspace")
 
     if in_src and "namespace commsched" not in code:
         report(path, 1, "namespace",
