@@ -3,18 +3,22 @@
 //   1. Adaptive candidate estimator: Eq. 6 hops vs hop-bytes weighting.
 //      (§6.4 notes adaptive sometimes mis-ranks candidates — "errors in
 //      estimating the relative cost"; hop-bytes is the candidate fix.)
+//      Runs as one campaign over the SchedOptions-variant axis of the
+//      engine in src/exp.
 //   2. Candidate self-inclusion: price candidates with vs without the job's
 //      own nodes contributing to leaf contention.
 //   3. Process-mapping extension (paper §7 future work): Eq. 6 cost before
 //      vs after switch-major reordering + swap hill-climb, on individual
 //      probes.
 #include <iostream>
+#include <utility>
 #include <vector>
 
-#include "bench_util.hpp"
 #include "collectives/comm_cache.hpp"
 #include "collectives/schedule.hpp"
 #include "core/cost_model.hpp"
+#include "exp/campaign.hpp"
+#include "exp/emit.hpp"
 #include "mapping/reorder.hpp"
 #include "metrics/summary.hpp"
 #include "sched/individual.hpp"
@@ -22,55 +26,73 @@
 
 namespace {
 using namespace commsched;
-using commsched::bench::MachineCase;
+
+exp::OptionsVariant estimator_variant(const char* name, CostOptions options) {
+  exp::OptionsVariant v;
+  v.name = name;
+  v.options.cost_options = options;
+  return v;
 }
+}  // namespace
 
 int main() {
-  const MachineCase theta = commsched::bench::paper_machine("Theta");
-  const MixSpec spec = uniform_mix(Pattern::kRecursiveHalvingVD, 0.9, 0.8);
+  // --- 1 & 2: adaptive estimator variants, one campaign -------------------
+  exp::CampaignSpec spec;
+  spec.name = "ablation";
+  spec.machines.push_back(exp::paper_machine("Theta"));
+  spec.mixes.push_back(uniform_mix(Pattern::kRecursiveHalvingVD, 0.9, 0.8));
+  spec.allocators = {AllocatorKind::kDefault, AllocatorKind::kAdaptive};
+  spec.variants = {
+      estimator_variant("hop-bytes pricing (default)",
+                        CostOptions{.hop_bytes = true}),
+      estimator_variant("pure Eq. 6 hops pricing",
+                        CostOptions{.hop_bytes = false}),
+      estimator_variant("hop-bytes, no candidate self-inclusion",
+                        CostOptions{.hop_bytes = true,
+                                    .include_candidate = false}),
+  };
+  // The default allocator ignores the estimator, so one baseline cell is
+  // enough: default runs only under the first variant.
+  spec.filter = [](const exp::CampaignSpec& s, const exp::CellCoord& c) {
+    return s.allocators[c.allocator] == AllocatorKind::kAdaptive ||
+           c.variant == 0;
+  };
 
-  // --- 1 & 2: adaptive estimator variants ---------------------------------
+  exp::CampaignRunner runner(std::move(spec));
+  const exp::CampaignResult result = runner.run();
+  const exp::CampaignSpec& grid = runner.spec();
+  const exp::MachineCase& theta = grid.machines[0];
+  const MixSpec& mix = grid.mixes[0];
+
   TextTable variants;
   variants.set_header({"adaptive variant", "total exec (h)", "total wait (h)",
                        "total cost"});
-  const RunSummary def = summarize(
-      commsched::bench::run_with_mix(theta, spec, AllocatorKind::kDefault));
+  const RunSummary& def = result.at(0, 0, 0, 0, 0).summary;
   variants.add_row({"(default allocator baseline)",
                     cell(def.total_exec_hours, 1),
                     cell(def.total_wait_hours, 1), cell(def.total_cost, 0)});
-  const struct {
-    const char* name;
-    CostOptions options;
-  } cases[] = {
-      {"hop-bytes pricing (default)", CostOptions{.hop_bytes = true}},
-      {"pure Eq. 6 hops pricing", CostOptions{.hop_bytes = false}},
-      {"hop-bytes, no candidate self-inclusion",
-       CostOptions{.hop_bytes = true, .include_candidate = false}},
-  };
-  for (const auto& c : cases) {
-    SchedOptions base;
-    base.cost_options = c.options;
-    const RunSummary s = summarize(commsched::bench::run_with_mix(
-        theta, spec, AllocatorKind::kAdaptive, &base));
-    variants.add_row({c.name, cell(s.total_exec_hours, 1),
+  for (std::size_t v = 0; v < grid.variants.size(); ++v) {
+    const RunSummary& s = result.at(0, 0, 1, 0, v).summary;
+    variants.add_row({grid.variants[v].name, cell(s.total_exec_hours, 1),
                       cell(s.total_wait_hours, 1), cell(s.total_cost, 0)});
-    std::cout << "." << std::flush;
   }
-  commsched::bench::emit("Ablation — adaptive cost-estimator variants (Theta)",
-                         variants, "ablation_estimator");
+  exp::emit("Ablation — adaptive cost-estimator variants (Theta)",
+            variants, "ablation_estimator");
 
   // --- 3: process-mapping extension on individual probes ------------------
   // Build a prefilled state, allocate probes with the default policy, and
   // compare Eq. 6 costs of the raw rank order vs the remapped order.
+  const std::uint64_t seed =
+      exp::derive_mix_seed(exp::base_seed(), theta.name, mix.name);
   JobLog probes = theta.base_log;
-  apply_mix(probes, spec, commsched::bench::base_seed() + 53);
-  Rng rng(commsched::bench::base_seed() + 59);
+  apply_mix(probes, mix, seed + 1);
+  Rng rng(seed + 2);
   rng.shuffle(probes);
   if (probes.size() > 60) probes.resize(60);
 
   ClusterState state(theta.tree);
   // Fragment the machine so default allocations interleave leaves.
-  Rng fill(commsched::bench::base_seed() + 61);
+  Rng fill(seed + 3);
   JobId filler = 1'000'000;
   for (const SwitchId leaf : theta.tree.leaves()) {
     std::vector<NodeId> busy;
@@ -140,7 +162,7 @@ int main() {
       {"switch-major + swap hill-climb", cell(cost_climbed, 0),
        cell(improvement_percent(cost_striped, cost_climbed), 2),
        std::to_string(evaluated)});
-  commsched::bench::emit(
+  exp::emit(
       "Ablation — §7 process-mapping extension (default allocations, Theta)",
       mapping_table, "ablation_mapping");
   std::cout << "\n";

@@ -5,14 +5,18 @@
 // debugging level and may be arbitrarily slower (it re-validates the whole
 // cluster state after every event).
 //
-// Environment knobs: COMMSCHED_JOBS, COMMSCHED_SEED (see bench_util.hpp).
+// Runs stay serial on purpose — wall-clock timing under a shared worker
+// pool would measure scheduling noise, not the auditor.
+//
+// Environment knobs: COMMSCHED_JOBS, COMMSCHED_SEED (see exp/machines.hpp).
 #include <chrono>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "audit/level.hpp"
-#include "bench_util.hpp"
+#include "exp/campaign.hpp"
+#include "exp/emit.hpp"
 #include "metrics/summary.hpp"
 
 namespace {
@@ -24,7 +28,7 @@ using commsched::Pattern;
 using commsched::SchedOptions;
 using commsched::SimResult;
 using commsched::TextTable;
-using commsched::bench::MachineCase;
+using commsched::exp::MachineCase;
 
 double timed_run_seconds(const MachineCase& machine, const MixSpec& spec,
                          AllocatorKind kind, AuditLevel level,
@@ -32,8 +36,7 @@ double timed_run_seconds(const MachineCase& machine, const MixSpec& spec,
   SchedOptions base;
   base.audit = level;
   const auto t0 = steady_clock::now();
-  const SimResult r =
-      commsched::bench::run_with_mix(machine, spec, kind, &base);
+  const SimResult r = commsched::exp::run_one(machine, spec, kind, &base);
   const auto t1 = steady_clock::now();
   *exec_hours = commsched::summarize(r).total_exec_hours;
   return duration<double>(t1 - t0).count();
@@ -41,7 +44,7 @@ double timed_run_seconds(const MachineCase& machine, const MixSpec& spec,
 }  // namespace
 
 int main() {
-  const MachineCase machine = commsched::bench::paper_machine("Theta");
+  const MachineCase machine = commsched::exp::paper_machine("Theta");
   const MixSpec spec = uniform_mix(Pattern::kRecursiveHalvingVD, 0.9, 0.8);
   const AuditLevel levels[] = {AuditLevel::kOff, AuditLevel::kCheap,
                                AuditLevel::kFull};
@@ -79,7 +82,7 @@ int main() {
                      commsched::cell(exec_hours, 0)});
     }
   }
-  commsched::bench::emit("Audit overhead (end-to-end continuous run, Theta)",
-                         table, "audit_overhead");
+  commsched::exp::emit("Audit overhead (end-to-end continuous run, Theta)",
+                       table, "audit_overhead");
   return 0;
 }

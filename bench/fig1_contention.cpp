@@ -16,9 +16,9 @@
 #include <utility>
 #include <vector>
 
-#include "bench_util.hpp"
 #include "cluster/state.hpp"
 #include "core/cost_model.hpp"
+#include "exp/emit.hpp"
 #include "netsim/sim.hpp"
 #include "topology/builders.hpp"
 #include "util/stats.hpp"
@@ -112,7 +112,7 @@ int main() {
   const double corr = pearson_correlation(predicted, measured);
   summary.add_row({"corr(contention cost, exec time)", cell(corr, 2)});
   summary.add_row({"paper reference correlation", "0.83"});
-  commsched::bench::emit("Figure 1 — inter-job contention on shared switches",
+  commsched::exp::emit("Figure 1 — inter-job contention on shared switches",
                          summary, "fig1_summary");
 
   // --- Where the contention lives: the shared leaf uplinks ---------------
@@ -132,7 +132,7 @@ int main() {
     links.add_row({name, cell(usage.bytes(l) / 1e9, 2),
                    cell(usage.busy_time(l) / kHorizon, 3)});
   }
-  commsched::bench::emit(
+  commsched::exp::emit(
       "Figure 1 (diagnosis) — busiest links: the shared switch uplinks",
       links, "fig1_links");
 

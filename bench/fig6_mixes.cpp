@@ -4,84 +4,84 @@
 // per-log average improvements the paper quotes in the text for Intrepid
 // and Mira.
 //
+// The whole grid (machines × sets × allocators, plus the Theta-only
+// alltoall extension) is one declarative campaign executed by the parallel
+// engine in src/exp/; this file only builds the spec and shapes the paper's
+// tables from the cells.
+//
 // Shape targets: gains grow with the communication share (A < B < C, D < E),
 // and the RHVD-heavy sets B/C beat the RD+binomial sets D/E at equal
 // communication share.
-#include <iostream>
+#include <string>
+#include <utility>
 #include <vector>
 
-#include "bench_util.hpp"
+#include "exp/campaign.hpp"
+#include "exp/emit.hpp"
 #include "metrics/summary.hpp"
 
 namespace {
 using namespace commsched;
-using commsched::bench::MachineCase;
 
-constexpr char kSets[] = {'A', 'B', 'C', 'D', 'E'};
+constexpr std::size_t kNumSets = 5;  // A-E; index 5 is the extension mix
 }
 
 int main() {
+  exp::CampaignSpec spec;
+  spec.name = "fig6";
+  spec.machines = exp::paper_machines();
+  for (const char set : {'A', 'B', 'C', 'D', 'E'})
+    spec.mixes.push_back(experiment_set(set));
+  // Extension mix (ours): an MPI_Alltoall-dominated mix — the FFTW/CPMD
+  // workload the paper's introduction motivates but does not evaluate.
+  // Theta's 512-node cap fits the alltoall schedule limit, so the filter
+  // runs it on Theta only.
+  MixSpec extension = uniform_mix(Pattern::kPairwiseAlltoall, 0.9, 0.7);
+  extension.name = "X (30% compute, 70% Alltoall) [extension]";
+  spec.mixes.push_back(std::move(extension));
+  spec.filter = [](const exp::CampaignSpec& s, const exp::CellCoord& c) {
+    return c.mix < kNumSets || s.machines[c.machine].name == "Theta";
+  };
+
+  exp::CampaignRunner runner(std::move(spec));
+  const exp::CampaignResult result = runner.run();
+  const exp::CampaignSpec& grid = runner.spec();
+
   TextTable theta_table;
   theta_table.set_header({"Set", "Mix", "Impr%(greedy)", "Impr%(bal)",
                           "Impr%(adap)", "Impr%(avg)"});
   TextTable others;
   others.set_header({"Log", "Set", "Impr%(avg over algorithms)"});
 
-  for (const MachineCase& machine : commsched::bench::paper_machines()) {
-    for (const char set : kSets) {
-      const MixSpec spec = experiment_set(set);
-      const RunSummary def = summarize(commsched::bench::run_with_mix(
-          machine, spec, AllocatorKind::kDefault));
+  // One comparison group per admitted (machine, mix): default vs proposed.
+  for (std::size_t m = 0; m < grid.machines.size(); ++m) {
+    for (std::size_t x = 0; x < grid.mixes.size(); ++x) {
+      const exp::CellResult* def = result.find(m, x, 0);
+      if (def == nullptr) continue;  // filtered out
       std::vector<double> gains;
-      for (const AllocatorKind kind :
-           {AllocatorKind::kGreedy, AllocatorKind::kBalanced,
-            AllocatorKind::kAdaptive}) {
-        const RunSummary s =
-            summarize(commsched::bench::run_with_mix(machine, spec, kind));
-        gains.push_back(improvement_percent(def.total_exec_hours,
-                                            s.total_exec_hours));
-      }
+      for (std::size_t a = 1; a < 4; ++a)
+        gains.push_back(
+            improvement_percent(def->summary.total_exec_hours,
+                                result.at(m, x, a).summary.total_exec_hours));
       const double avg = (gains[0] + gains[1] + gains[2]) / 3.0;
-      if (machine.name == "Theta")
-        theta_table.add_row({std::string(1, set), spec.name, cell(gains[0], 2),
+      const std::string set_label =
+          x < kNumSets ? std::string(1, static_cast<char>('A' + x)) : "X";
+      if (def->machine == "Theta")
+        theta_table.add_row({set_label, def->mix, cell(gains[0], 2),
                              cell(gains[1], 2), cell(gains[2], 2),
                              cell(avg, 2)});
-      else
-        others.add_row({machine.name, std::string(1, set), cell(avg, 2)});
-      std::cout << "." << std::flush;
+      else if (x < kNumSets)
+        others.add_row({def->machine, set_label, cell(avg, 2)});
     }
-  }
-  std::cout << "\n";
-  // Extension row (ours): an MPI_Alltoall-dominated mix — the FFTW/CPMD
-  // workload the paper's introduction motivates but does not evaluate.
-  // Theta's 512-node cap fits the alltoall schedule limit.
-  {
-    const auto theta = commsched::bench::paper_machine("Theta");
-    MixSpec spec = uniform_mix(Pattern::kPairwiseAlltoall, 0.9, 0.7);
-    spec.name = "X (30% compute, 70% Alltoall) [extension]";
-    const RunSummary def = summarize(commsched::bench::run_with_mix(
-        theta, spec, AllocatorKind::kDefault));
-    std::vector<double> gains;
-    for (const AllocatorKind kind :
-         {AllocatorKind::kGreedy, AllocatorKind::kBalanced,
-          AllocatorKind::kAdaptive}) {
-      const RunSummary s =
-          summarize(commsched::bench::run_with_mix(theta, spec, kind));
-      gains.push_back(
-          improvement_percent(def.total_exec_hours, s.total_exec_hours));
-      std::cout << "." << std::flush;
-    }
-    theta_table.add_row({"X", spec.name, cell(gains[0], 2), cell(gains[1], 2),
-                         cell(gains[2], 2),
-                         cell((gains[0] + gains[1] + gains[2]) / 3.0, 2)});
-    std::cout << "\n";
   }
 
-  commsched::bench::emit(
+  exp::emit(
       "Figure 6 — % execution-time reduction, experiment sets A-E, Theta",
       theta_table, "fig6_theta");
-  commsched::bench::emit(
+  exp::emit(
       "Figure 6 (text) — average improvements for Intrepid and Mira", others,
       "fig6_other_logs");
+  exp::emit_campaign("Figure 6 — per-cell campaign summary", result,
+                     "fig6_cells");
   return 0;
 }

@@ -1,14 +1,16 @@
 // Figure 7 reproduction: per-job execution times for 200 Theta jobs using
 // the recursive doubling/halving pattern, under all four policies — once in
-// continuous runs (left sub-graph) and once in individual runs (right
-// sub-graph).  The full series goes to CSV; stdout carries decile summaries
-// plus the maximum observed reductions (paper: up to 70% continuous, 15%
-// individual for Theta).
+// continuous runs (left sub-graph, a four-cell campaign through src/exp)
+// and once in individual runs (right sub-graph).  The full series goes to
+// CSV; stdout carries decile summaries plus the maximum observed reductions
+// (paper: up to 70% continuous, 15% individual for Theta).
 #include <algorithm>
 #include <iostream>
+#include <utility>
 #include <vector>
 
-#include "bench_util.hpp"
+#include "exp/campaign.hpp"
+#include "exp/emit.hpp"
 #include "metrics/summary.hpp"
 #include "sched/individual.hpp"
 #include "util/stats.hpp"
@@ -20,32 +22,39 @@ constexpr int kJobs = 200;
 }
 
 int main() {
-  const auto machine = commsched::bench::paper_machine("Theta", kJobs);
-  const MixSpec spec = uniform_mix(Pattern::kRecursiveDoubling, 0.9, 0.8);
+  exp::CampaignSpec spec;
+  spec.name = "fig7";
+  spec.machines.push_back(exp::paper_machine("Theta", kJobs));
+  spec.mixes.push_back(uniform_mix(Pattern::kRecursiveDoubling, 0.9, 0.8));
 
-  // --- Continuous runs ----------------------------------------------------
-  std::vector<SimResult> cont;
-  for (const AllocatorKind kind : kAllAllocatorKinds)
-    cont.push_back(commsched::bench::run_with_mix(machine, spec, kind));
+  exp::CampaignRunner runner(std::move(spec));
+  const exp::CampaignResult result = runner.run();
+  const exp::MachineCase& machine = runner.spec().machines[0];
+  const MixSpec& mix = runner.spec().mixes[0];
 
-  // --- Individual runs ----------------------------------------------------
+  // --- Continuous runs: the four campaign cells ---------------------------
+  std::vector<const SimResult*> cont;
+  for (std::size_t a = 0; a < 4; ++a) cont.push_back(&result.at(0, 0, a).sim);
+
+  // --- Individual runs (same decorated log as the campaign cells) ---------
   JobLog probes = machine.base_log;
-  apply_mix(probes, spec, commsched::bench::base_seed() + 17);
+  apply_mix(probes, mix,
+            exp::derive_mix_seed(exp::base_seed(), machine.name, mix.name));
   IndividualOptions iopts;
   iopts.occupancy = 0.5;
-  iopts.seed = commsched::bench::base_seed() + 41;
+  iopts.seed = exp::base_seed() + 41;
   const auto indiv = run_individual(machine.tree, probes, iopts);
 
   // --- CSV with both series ----------------------------------------------
   TextTable series;
   series.set_header({"job", "mode", "default_s", "greedy_s", "balanced_s",
                      "adaptive_s"});
-  for (std::size_t i = 0; i < cont[0].jobs.size(); ++i)
-    series.add_row({std::to_string(cont[0].jobs[i].id), "continuous",
-                    cell(cont[0].jobs[i].actual_runtime, 1),
-                    cell(cont[1].jobs[i].actual_runtime, 1),
-                    cell(cont[2].jobs[i].actual_runtime, 1),
-                    cell(cont[3].jobs[i].actual_runtime, 1)});
+  for (std::size_t i = 0; i < cont[0]->jobs.size(); ++i)
+    series.add_row({std::to_string(cont[0]->jobs[i].id), "continuous",
+                    cell(cont[0]->jobs[i].actual_runtime, 1),
+                    cell(cont[1]->jobs[i].actual_runtime, 1),
+                    cell(cont[2]->jobs[i].actual_runtime, 1),
+                    cell(cont[3]->jobs[i].actual_runtime, 1)});
   for (const auto& o : indiv)
     series.add_row({std::to_string(o.id), "individual", cell(o.exec_time[0], 1),
                     cell(o.exec_time[1], 1), cell(o.exec_time[2], 1),
@@ -58,9 +67,9 @@ int main() {
   // --- Summary: max per-job reduction in each mode -------------------------
   const auto max_reduction_cont = [&](std::size_t kind) {
     double best = 0.0;
-    for (std::size_t i = 0; i < cont[0].jobs.size(); ++i) {
-      const double base = cont[0].jobs[i].actual_runtime;
-      const double ours = cont[kind].jobs[i].actual_runtime;
+    for (std::size_t i = 0; i < cont[0]->jobs.size(); ++i) {
+      const double base = cont[0]->jobs[i].actual_runtime;
+      const double ours = cont[kind]->jobs[i].actual_runtime;
       if (base > 0.0) best = std::max(best, (base - ours) / base * 100.0);
     }
     return best;
@@ -85,15 +94,15 @@ int main() {
   // Decile view of the continuous default-vs-adaptive series — the shape a
   // reader compares against the figure.
   std::vector<double> def_series, adap_series;
-  for (const auto& j : cont[0].jobs) def_series.push_back(j.actual_runtime);
-  for (const auto& j : cont[3].jobs) adap_series.push_back(j.actual_runtime);
+  for (const auto& j : cont[0]->jobs) def_series.push_back(j.actual_runtime);
+  for (const auto& j : cont[3]->jobs) adap_series.push_back(j.actual_runtime);
   for (const double p : {10.0, 50.0, 90.0}) {
     summary.add_row({"continuous",
                      "p" + std::to_string(static_cast<int>(p)) + " exec (s)",
                      "-", cell(percentile(def_series, p), 0) + " (default)",
                      cell(percentile(adap_series, p), 0) + " (adaptive)"});
   }
-  commsched::bench::emit(
+  exp::emit(
       "Figure 7 — continuous vs individual runs, Theta, RD pattern",
       summary, "fig7_summary");
   return 0;

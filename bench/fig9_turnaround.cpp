@@ -4,42 +4,62 @@
 // policy; plus the 90%-case turnaround reductions the paper quotes for
 // Theta and Mira.
 //
+// One campaign: all three machines × the three comm-share mixes × four
+// policies, with a filter keeping the 30%/60% sweeps Intrepid-only.
+//
 // Shape targets: all proposed policies <= default; gains grow with the
 // communication share.
-#include <iostream>
+#include <string>
+#include <utility>
 #include <vector>
 
-#include "bench_util.hpp"
+#include "exp/campaign.hpp"
+#include "exp/emit.hpp"
 #include "metrics/summary.hpp"
 
 namespace {
 using namespace commsched;
-using commsched::bench::MachineCase;
+
+constexpr double kShares[] = {0.3, 0.6, 0.9};
+constexpr std::size_t kFullShareMix = 2;  // the 90% mix index
 }
 
 int main() {
-  const MachineCase intrepid = commsched::bench::paper_machine("Intrepid");
+  exp::CampaignSpec spec;
+  spec.name = "fig9";
+  spec.machines = exp::paper_machines();
+  for (const double percent : kShares) {
+    MixSpec mix = uniform_mix(Pattern::kRecursiveHalvingVD, percent, 0.8);
+    mix.name += " " + cell(percent * 100, 0) + "% comm";
+    spec.mixes.push_back(std::move(mix));
+  }
+  // The sweep is Intrepid's sub-figure; Theta/Mira only contribute the
+  // paper's 90%-case text numbers.
+  spec.filter = [](const exp::CampaignSpec& s, const exp::CellCoord& c) {
+    return s.machines[c.machine].name == "Intrepid" ||
+           c.mix == kFullShareMix;
+  };
+
+  exp::CampaignRunner runner(std::move(spec));
+  const exp::CampaignResult result = runner.run();
+  const exp::CampaignSpec& grid = runner.spec();
 
   TextTable table;
   table.set_header({"comm %", "metric", "default", "greedy", "balanced",
                     "adaptive"});
-  for (const double percent : {0.3, 0.6, 0.9}) {
-    const MixSpec spec =
-        uniform_mix(Pattern::kRecursiveHalvingVD, percent, 0.8);
-    std::vector<RunSummary> s;
-    for (const AllocatorKind kind : kAllAllocatorKinds) {
-      s.push_back(
-          summarize(commsched::bench::run_with_mix(intrepid, spec, kind)));
-      std::cout << "." << std::flush;
-    }
-    const std::string label = cell(percent * 100, 0);
-    table.add_row({label, "avg turnaround (h)", cell(s[0].avg_turnaround_hours, 2),
-                   cell(s[1].avg_turnaround_hours, 2),
-                   cell(s[2].avg_turnaround_hours, 2),
-                   cell(s[3].avg_turnaround_hours, 2)});
-    table.add_row({label, "avg node-hours", cell(s[0].avg_node_hours, 1),
-                   cell(s[1].avg_node_hours, 1), cell(s[2].avg_node_hours, 1),
-                   cell(s[3].avg_node_hours, 1)});
+  for (std::size_t x = 0; x < grid.mixes.size(); ++x) {
+    std::vector<const RunSummary*> s;
+    for (std::size_t a = 0; a < 4; ++a)
+      s.push_back(&result.at(0, x, a).summary);  // machine 0 = Intrepid
+    const std::string label = cell(kShares[x] * 100, 0);
+    table.add_row({label, "avg turnaround (h)",
+                   cell(s[0]->avg_turnaround_hours, 2),
+                   cell(s[1]->avg_turnaround_hours, 2),
+                   cell(s[2]->avg_turnaround_hours, 2),
+                   cell(s[3]->avg_turnaround_hours, 2)});
+    table.add_row({label, "avg node-hours", cell(s[0]->avg_node_hours, 1),
+                   cell(s[1]->avg_node_hours, 1), cell(s[2]->avg_node_hours, 1),
+                   cell(s[3]->avg_node_hours, 1)});
   }
 
   // §6.5 text: 90%-case turnaround reductions for Theta and Mira, per
@@ -47,31 +67,25 @@ int main() {
   // greedy's Mira regression explicitly).
   TextTable others;
   others.set_header({"Log", "greedy %", "balanced %", "adaptive %", "avg %"});
-  for (const char* name : {"Theta", "Mira"}) {
-    const MachineCase machine = commsched::bench::paper_machine(name);
-    const MixSpec spec = uniform_mix(Pattern::kRecursiveHalvingVD, 0.9, 0.8);
-    const RunSummary def = summarize(commsched::bench::run_with_mix(
-        machine, spec, AllocatorKind::kDefault));
+  for (std::size_t m = 1; m < grid.machines.size(); ++m) {
+    const double def =
+        result.at(m, kFullShareMix, 0).summary.avg_turnaround_hours;
     std::vector<double> gains;
-    for (const AllocatorKind kind :
-         {AllocatorKind::kGreedy, AllocatorKind::kBalanced,
-          AllocatorKind::kAdaptive}) {
-      const RunSummary s =
-          summarize(commsched::bench::run_with_mix(machine, spec, kind));
-      gains.push_back(improvement_percent(def.avg_turnaround_hours,
-                                          s.avg_turnaround_hours));
-      std::cout << "." << std::flush;
-    }
-    others.add_row({name, cell(gains[0], 1), cell(gains[1], 1),
-                    cell(gains[2], 1),
+    for (std::size_t a = 1; a < 4; ++a)
+      gains.push_back(improvement_percent(
+          def, result.at(m, kFullShareMix, a).summary.avg_turnaround_hours));
+    others.add_row({grid.machines[m].name, cell(gains[0], 1),
+                    cell(gains[1], 1), cell(gains[2], 1),
                     cell((gains[0] + gains[1] + gains[2]) / 3.0, 1)});
   }
-  std::cout << "\n";
-  commsched::bench::emit(
+
+  exp::emit(
       "Figure 9 — turnaround and node-hours vs comm-job share (Intrepid, RHVD)",
       table, "fig9_turnaround");
-  commsched::bench::emit(
+  exp::emit(
       "Figure 9 / §6.5 — turnaround reductions for Theta and Mira (90%)",
       others, "fig9_other_logs");
+  exp::emit_campaign("Figure 9 — per-cell campaign summary", result,
+                     "fig9_cells");
   return 0;
 }

@@ -12,9 +12,10 @@
 // pack communication-heavy jobs onto few leaves, which *concentrates* those
 // jobs' I/O relative to default's fragmented placements — io_aware pays
 // that price only where the runtime score says it is worth it.
-#include <iostream>
+#include <utility>
 
-#include "bench_util.hpp"
+#include "exp/campaign.hpp"
+#include "exp/emit.hpp"
 #include "metrics/summary.hpp"
 
 namespace {
@@ -28,27 +29,33 @@ double total_io_cost(const SimResult& r) {
 }  // namespace
 
 int main() {
-  const auto theta = commsched::bench::paper_machine("Theta");
-  MixSpec spec = uniform_mix(Pattern::kRecursiveHalvingVD, 0.9, 0.5);
-  spec.io_percent = 0.4;
-  spec.io_fraction = 0.3;
+  MixSpec mix = uniform_mix(Pattern::kRecursiveHalvingVD, 0.9, 0.5);
+  mix.io_percent = 0.4;
+  mix.io_fraction = 0.3;
+
+  exp::CampaignSpec spec;
+  spec.name = "io_aware";
+  spec.machines.push_back(exp::paper_machine("Theta"));
+  spec.mixes.push_back(std::move(mix));
+  spec.allocators = {AllocatorKind::kDefault, AllocatorKind::kAdaptive,
+                     AllocatorKind::kIoAware};
+
+  exp::CampaignRunner runner(std::move(spec));
+  const exp::CampaignResult result = runner.run();
+  const exp::CampaignSpec& grid = runner.spec();
 
   TextTable table;
   table.set_header({"policy", "exec (h)", "wait (h)", "avg turnaround (h)",
                     "total Eq.6 cost", "total I/O cost"});
-  for (const AllocatorKind kind :
-       {AllocatorKind::kDefault, AllocatorKind::kAdaptive,
-        AllocatorKind::kIoAware}) {
-    const SimResult r = commsched::bench::run_with_mix(theta, spec, kind);
-    const RunSummary s = summarize(r);
+  for (std::size_t a = 0; a < grid.allocators.size(); ++a) {
+    const exp::CellResult& c = result.at(0, 0, a);
+    const RunSummary& s = c.summary;
     table.add_row({s.allocator, cell(s.total_exec_hours, 1),
                    cell(s.total_wait_hours, 1),
                    cell(s.avg_turnaround_hours, 2), cell(s.total_cost, 0),
-                   cell(total_io_cost(r), 0)});
-    std::cout << "." << std::flush;
+                   cell(total_io_cost(c.sim), 0)});
   }
-  std::cout << "\n";
-  commsched::bench::emit(
+  exp::emit(
       "§7 extension — I/O-aware allocation on a mixed comm+I/O workload "
       "(Theta)",
       table, "io_aware");

@@ -7,8 +7,10 @@
 // times". This bench makes that trade-off measurable: exclusive should show
 // the lowest communication costs but clearly higher waits than adaptive.
 #include <iostream>
+#include <utility>
 
-#include "bench_util.hpp"
+#include "exp/campaign.hpp"
+#include "exp/emit.hpp"
 #include "metrics/extended.hpp"
 #include "metrics/summary.hpp"
 
@@ -17,29 +19,31 @@ using namespace commsched;
 }
 
 int main() {
-  const auto theta = commsched::bench::paper_machine("Theta");
-  const MixSpec spec = uniform_mix(Pattern::kRecursiveHalvingVD, 0.9, 0.8);
+  exp::CampaignSpec spec;
+  spec.name = "related_work";
+  spec.machines.push_back(exp::paper_machine("Theta"));
+  spec.mixes.push_back(uniform_mix(Pattern::kRecursiveHalvingVD, 0.9, 0.8));
+  spec.allocators = {AllocatorKind::kDefault, AllocatorKind::kGreedy,
+                     AllocatorKind::kBalanced, AllocatorKind::kAdaptive,
+                     AllocatorKind::kExclusive};
+
+  exp::CampaignRunner runner(std::move(spec));
+  const exp::CampaignResult result = runner.run();
+  const exp::CampaignSpec& grid = runner.spec();
 
   TextTable table;
   table.set_header({"policy", "exec (h)", "wait (h)", "avg turnaround (h)",
                     "mean bounded slowdown", "avg Eq.6 cost"});
-  const AllocatorKind kinds[] = {AllocatorKind::kDefault,
-                                 AllocatorKind::kGreedy,
-                                 AllocatorKind::kBalanced,
-                                 AllocatorKind::kAdaptive,
-                                 AllocatorKind::kExclusive};
-  for (const AllocatorKind kind : kinds) {
-    const SimResult r = commsched::bench::run_with_mix(theta, spec, kind);
-    const RunSummary s = summarize(r);
-    const DistSummary slow = slowdown_summary(r);
+  for (std::size_t a = 0; a < grid.allocators.size(); ++a) {
+    const exp::CellResult& c = result.at(0, 0, a);
+    const RunSummary& s = c.summary;
+    const DistSummary slow = slowdown_summary(c.sim);
     table.add_row({s.allocator, cell(s.total_exec_hours, 1),
                    cell(s.total_wait_hours, 1),
                    cell(s.avg_turnaround_hours, 2), cell(slow.mean, 2),
                    cell(s.avg_cost, 1)});
-    std::cout << "." << std::flush;
   }
-  std::cout << "\n";
-  commsched::bench::emit(
+  exp::emit(
       "Related work — interference-free (exclusive) vs contention-aware "
       "policies (Theta, RHVD, 90% comm)",
       table, "related_work");

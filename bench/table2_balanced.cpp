@@ -8,9 +8,9 @@
 #include <string>
 #include <vector>
 
-#include "bench_util.hpp"
 #include "cluster/state.hpp"
 #include "core/balanced_allocator.hpp"
+#include "exp/emit.hpp"
 #include "topology/tree.hpp"
 #include "util/table.hpp"
 
@@ -74,7 +74,7 @@ int main() {
                    std::to_string(got), std::to_string(kPaper[i]),
                    ok ? "yes" : "NO"});
   }
-  commsched::bench::emit(
+  commsched::exp::emit(
       "Table 2 — balanced allocation of a 512-node job", table,
       "table2_balanced");
   std::cout << (all_match ? "Exact match with the paper's Table 2.\n"

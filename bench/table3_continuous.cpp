@@ -3,25 +3,33 @@
 // patterns, under default / greedy / balanced / adaptive allocation.
 // Reports total execution hours and total wait hours per configuration,
 // exactly the paper's layout, plus the derived improvement percentages.
+// The 3 × 2 × 4 grid runs as one campaign through src/exp.
 //
 // Shape targets (paper §6.1): balanced and adaptive beat default everywhere;
 // greedy helps Intrepid/Theta but can lose on Mira; RHVD gains exceed RD
 // gains.
-#include <iostream>
+#include <utility>
 #include <vector>
 
-#include "bench_util.hpp"
+#include "exp/campaign.hpp"
+#include "exp/emit.hpp"
 #include "metrics/summary.hpp"
 
 namespace {
 using namespace commsched;
-using commsched::bench::MachineCase;
 }
 
 int main() {
-  const auto machines = commsched::bench::paper_machines();
-  const Pattern patterns[] = {Pattern::kRecursiveHalvingVD,
-                              Pattern::kRecursiveDoubling};
+  exp::CampaignSpec spec;
+  spec.name = "table3";
+  spec.machines = exp::paper_machines();
+  for (const Pattern pattern :
+       {Pattern::kRecursiveHalvingVD, Pattern::kRecursiveDoubling})
+    spec.mixes.push_back(uniform_mix(pattern, 0.9, 0.8));
+
+  exp::CampaignRunner runner(std::move(spec));
+  const exp::CampaignResult result = runner.run();
+  const exp::CampaignSpec& grid = runner.spec();
 
   TextTable table;
   table.set_header({"Log", "Pattern",
@@ -32,47 +40,46 @@ int main() {
                    "ExecImpr%(adap)", "WaitImpr%(greedy)", "WaitImpr%(bal)",
                    "WaitImpr%(adap)"});
 
-  for (const MachineCase& machine : machines) {
-    for (const Pattern pattern : patterns) {
-      const MixSpec spec = uniform_mix(pattern, 0.9, 0.8);
-      std::vector<RunSummary> summaries;
-      for (const AllocatorKind kind : kAllAllocatorKinds)
-        summaries.push_back(
-            summarize(commsched::bench::run_with_mix(machine, spec, kind)));
+  for (std::size_t m = 0; m < grid.machines.size(); ++m) {
+    for (std::size_t x = 0; x < grid.mixes.size(); ++x) {
+      std::vector<const RunSummary*> s;
+      for (std::size_t a = 0; a < 4; ++a)
+        s.push_back(&result.at(m, x, a).summary);
 
-      const auto& d = summaries[0];
-      table.add_row({machine.name, pattern_name(pattern),
+      const RunSummary& d = *s[0];
+      table.add_row({grid.machines[m].name, grid.mixes[x].name,
                      cell(d.total_exec_hours, 0),
-                     cell(summaries[1].total_exec_hours, 0),
-                     cell(summaries[2].total_exec_hours, 0),
-                     cell(summaries[3].total_exec_hours, 0),
+                     cell(s[1]->total_exec_hours, 0),
+                     cell(s[2]->total_exec_hours, 0),
+                     cell(s[3]->total_exec_hours, 0),
                      cell(d.total_wait_hours, 0),
-                     cell(summaries[1].total_wait_hours, 0),
-                     cell(summaries[2].total_wait_hours, 0),
-                     cell(summaries[3].total_wait_hours, 0)});
+                     cell(s[1]->total_wait_hours, 0),
+                     cell(s[2]->total_wait_hours, 0),
+                     cell(s[3]->total_wait_hours, 0)});
       impr.add_row(
-          {machine.name, pattern_name(pattern),
+          {grid.machines[m].name, grid.mixes[x].name,
            cell(improvement_percent(d.total_exec_hours,
-                                    summaries[1].total_exec_hours), 1),
+                                    s[1]->total_exec_hours), 1),
            cell(improvement_percent(d.total_exec_hours,
-                                    summaries[2].total_exec_hours), 1),
+                                    s[2]->total_exec_hours), 1),
            cell(improvement_percent(d.total_exec_hours,
-                                    summaries[3].total_exec_hours), 1),
+                                    s[3]->total_exec_hours), 1),
            cell(improvement_percent(d.total_wait_hours,
-                                    summaries[1].total_wait_hours), 1),
+                                    s[1]->total_wait_hours), 1),
            cell(improvement_percent(d.total_wait_hours,
-                                    summaries[2].total_wait_hours), 1),
+                                    s[2]->total_wait_hours), 1),
            cell(improvement_percent(d.total_wait_hours,
-                                    summaries[3].total_wait_hours), 1)});
-      std::cout << "." << std::flush;
+                                    s[3]->total_wait_hours), 1)});
     }
   }
-  std::cout << "\n";
-  commsched::bench::emit(
+
+  exp::emit(
       "Table 3 — execution and wait times (hours), continuous runs, 90% comm",
       table, "table3_hours");
-  commsched::bench::emit(
+  exp::emit(
       "Table 3 (derived) — % improvement over default", impr,
       "table3_improvements");
+  exp::emit_campaign("Table 3 — per-cell campaign summary", result,
+                     "table3_cells");
   return 0;
 }

@@ -9,10 +9,9 @@
 //
 // Expected shape: compact wins everywhere, and the gap widens with both
 // job size and background contention — the tree results carry over.
-#include <iostream>
 #include <vector>
 
-#include "bench_util.hpp"
+#include "exp/emit.hpp"
 #include "torus/torus.hpp"
 #include "util/rng.hpp"
 
@@ -63,11 +62,9 @@ int main() {
                        cell(c_compact, 1),
                        cell((c_scatter - c_compact) / c_scatter * 100.0, 1)});
       }
-      std::cout << "." << std::flush;
     }
   }
-  std::cout << "\n";
-  commsched::bench::emit(
+  commsched::exp::emit(
       "§7 extension — compact vs scattered allocation on an 8x8x8 torus",
       table, "torus");
   return 0;

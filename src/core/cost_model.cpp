@@ -59,6 +59,7 @@ double leaf_comm_fraction(const ClusterState& state, SwitchId leaf,
 /// hot multi-threaded loops should still pass an explicit workspace to keep
 /// buffer reuse under their control.
 CostWorkspace& tls_workspace() {
+  // thread-safe: thread_local — each worker gets a private scratch buffer.
   static thread_local CostWorkspace workspace;
   return workspace;
 }

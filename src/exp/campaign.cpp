@@ -1,0 +1,208 @@
+#include "exp/campaign.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace commsched::exp {
+
+namespace {
+
+// SplitMix64 finalizer: a strong 64-bit mixer, stable across platforms.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Absorb a string into the running hash (FNV-1a style), then re-mix so
+// short labels still diffuse into all 64 bits.
+std::uint64_t absorb(std::uint64_t h, std::string_view s) {
+  for (const char c : s)
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  return mix64(h);
+}
+
+// Domain-separation tags so a mix seed can never collide with a cell seed
+// built from the same labels.
+constexpr std::uint64_t kMixDomain = 0x636f6d6d2d6d6978ULL;   // "comm-mix"
+constexpr std::uint64_t kCellDomain = 0x63616d7063656c6cULL;  // "campcell"
+
+bool quiet_env() {
+  const char* v = std::getenv("COMMSCHED_QUIET");
+  return v != nullptr && *v != '\0';
+}
+
+std::uint64_t resolve_base_seed(const CampaignSpec& spec, std::size_t index) {
+  return spec.base_seeds.empty() ? base_seed() : spec.base_seeds[index];
+}
+
+CellResult run_cell(const CampaignSpec& spec, const CellCoord& c) {
+  const MachineCase& machine = spec.machines[c.machine];
+  const MixSpec& mix = spec.mixes[c.mix];
+  const AllocatorKind kind = spec.allocators[c.allocator];
+  const OptionsVariant& variant = spec.variants[c.variant];
+
+  CellResult out;
+  out.coord = c;
+  out.machine = machine.name;
+  out.mix = mix.name;
+  out.allocator = allocator_kind_name(kind);
+  out.variant = variant.name;
+  out.base_seed = resolve_base_seed(spec, c.seed);
+  out.mix_seed = derive_mix_seed(out.base_seed, machine.name, mix.name);
+  out.cell_seed =
+      derive_cell_seed(out.base_seed, machine.name, mix.name, out.allocator);
+
+  // Per-cell log copy (decoration mutates); the Tree stays shared.
+  JobLog log = machine.base_log;
+  apply_mix(log, mix, out.mix_seed);
+
+  SchedOptions options = variant.options;
+  options.allocator = kind;
+  out.sim = run_continuous(machine.tree, log, options);
+  out.summary = summarize(out.sim);
+  return out;
+}
+
+}  // namespace
+
+std::vector<CellCoord> CampaignSpec::cells() const {
+  const std::size_t n_seeds = base_seeds.empty() ? 1 : base_seeds.size();
+  std::vector<CellCoord> coords;
+  for (std::size_t m = 0; m < machines.size(); ++m)
+    for (std::size_t x = 0; x < mixes.size(); ++x)
+      for (std::size_t a = 0; a < allocators.size(); ++a)
+        for (std::size_t s = 0; s < n_seeds; ++s)
+          for (std::size_t v = 0; v < variants.size(); ++v) {
+            const CellCoord c{m, x, a, s, v};
+            if (!filter || filter(*this, c)) coords.push_back(c);
+          }
+  return coords;
+}
+
+const CellResult* CampaignResult::find(std::size_t machine, std::size_t mix,
+                                       std::size_t allocator,
+                                       std::size_t seed,
+                                       std::size_t variant) const {
+  const CellCoord wanted{machine, mix, allocator, seed, variant};
+  for (const CellResult& cell : cells)
+    if (cell.coord == wanted) return &cell;
+  return nullptr;
+}
+
+const CellResult& CampaignResult::at(std::size_t machine, std::size_t mix,
+                                     std::size_t allocator, std::size_t seed,
+                                     std::size_t variant) const {
+  const CellResult* cell = find(machine, mix, allocator, seed, variant);
+  COMMSCHED_ASSERT_MSG(cell != nullptr,
+                       "no such campaign cell (filtered out or out of range)");
+  return *cell;
+}
+
+std::uint64_t derive_mix_seed(std::uint64_t base, std::string_view machine,
+                              std::string_view mix) {
+  std::uint64_t h = mix64(base ^ kMixDomain);
+  h = absorb(h, machine);
+  h = absorb(h, mix);
+  return h;
+}
+
+std::uint64_t derive_cell_seed(std::uint64_t base, std::string_view machine,
+                               std::string_view mix,
+                               std::string_view allocator) {
+  std::uint64_t h = mix64(base ^ kCellDomain);
+  h = absorb(h, machine);
+  h = absorb(h, mix);
+  h = absorb(h, allocator);
+  return h;
+}
+
+CampaignRunner::CampaignRunner(CampaignSpec spec) : spec_(std::move(spec)) {
+  COMMSCHED_ASSERT_MSG(!spec_.machines.empty(), "campaign needs machines");
+  COMMSCHED_ASSERT_MSG(!spec_.mixes.empty(), "campaign needs mixes");
+  COMMSCHED_ASSERT_MSG(!spec_.allocators.empty(), "campaign needs allocators");
+  COMMSCHED_ASSERT_MSG(!spec_.variants.empty(), "campaign needs >= 1 variant");
+}
+
+CampaignResult CampaignRunner::run() {
+  const std::vector<CellCoord> coords = spec_.cells();
+  const std::size_t total = coords.size();
+
+  std::vector<std::size_t> order(total);
+  for (std::size_t i = 0; i < total; ++i) order[i] = i;
+  if (!spec_.submission_order.empty()) {
+    COMMSCHED_ASSERT_EQ_MSG(spec_.submission_order.size(), total,
+                            "submission_order must permute all cells");
+    std::vector<bool> seen(total, false);
+    for (const std::size_t i : spec_.submission_order) {
+      COMMSCHED_ASSERT_MSG(i < total && !seen[i],
+                           "submission_order is not a permutation");
+      seen[i] = true;
+    }
+    order = spec_.submission_order;
+  }
+
+  const bool quiet = spec_.quiet || quiet_env();
+  std::vector<std::optional<CellResult>> slots(total);
+  std::vector<std::exception_ptr> errors(total);
+  {
+    ThreadPool pool(spec_.threads);
+    std::atomic<std::size_t> done{0};
+    std::mutex io_mutex;
+    const auto start = std::chrono::steady_clock::now();
+    for (const std::size_t i : order) {
+      pool.submit([this, &coords, &slots, &errors, &done, &io_mutex, start,
+                   total, quiet, i] {
+        try {
+          slots[i].emplace(run_cell(spec_, coords[i]));
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+        const std::size_t finished = done.fetch_add(1) + 1;
+        if (!quiet) {
+          const double elapsed =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+          const std::lock_guard<std::mutex> lock(io_mutex);
+          std::cerr << "[" << spec_.name << "] " << finished << "/" << total
+                    << " cells, " << static_cast<int>(elapsed * 10.0) / 10.0
+                    << "s elapsed\n";
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+
+  // Reduce in cell order: rethrow the lowest-index failure, else collect.
+  for (std::size_t i = 0; i < total; ++i)
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  CampaignResult result;
+  result.cells.reserve(total);
+  for (std::size_t i = 0; i < total; ++i)
+    result.cells.push_back(std::move(*slots[i]));
+  return result;
+}
+
+SimResult run_one(const MachineCase& machine, const MixSpec& mix,
+                  AllocatorKind kind, const SchedOptions* base,
+                  std::uint64_t seed) {
+  if (seed == 0) seed = base_seed();
+  JobLog log = machine.base_log;
+  apply_mix(log, mix, derive_mix_seed(seed, machine.name, mix.name));
+  SchedOptions options = base != nullptr ? *base : SchedOptions{};
+  options.allocator = kind;
+  return run_continuous(machine.tree, log, options);
+}
+
+}  // namespace commsched::exp

@@ -1,0 +1,164 @@
+// Parallel experiment campaign engine (DESIGN.md "Campaign engine &
+// parallel execution").
+//
+// The paper's whole evaluation (§6, Figures 6-9, Tables 3-4) is a grid of
+// independent simulations: machine × job mix × allocator (× base seed ×
+// scheduler-option variant). CampaignSpec declares that grid, CampaignRunner
+// executes every cell as one independent run_continuous call on a
+// fixed-size worker pool (util/thread_pool.hpp), and CampaignResult holds
+// the per-cell SimResult + RunSummary in cell order for table shaping.
+//
+// Determinism is the spine of the design:
+//   - every cell's RNG seed is *derived by hashing* (base seed, machine,
+//     mix, allocator) — never from iteration order, submission order or
+//     thread ids (derive_cell_seed / derive_mix_seed below);
+//   - the mix-decoration seed deliberately excludes the allocator, so the
+//     allocator columns of one comparison group run the exact same
+//     decorated log (improvement-% columns compare like with like);
+//   - ownership/sharing: the immutable Tree (and the CostModels the
+//     simulator builds over it) are shared across workers by const
+//     reference; each cell copies the base log for decoration and owns a
+//     private CommCache + CostWorkspace inside its run_continuous call;
+//   - results are reduced in cell order, so rendered tables/CSV are
+//     bit-identical at any thread count and under any submission order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/allocator_factory.hpp"
+#include "exp/machines.hpp"
+#include "metrics/summary.hpp"
+#include "sched/simulator.hpp"
+#include "workload/mixes.hpp"
+
+namespace commsched::exp {
+
+/// One named SchedOptions variant (ablation axis). The allocator field of
+/// `options` is overwritten per cell by the spec's allocator axis.
+struct OptionsVariant {
+  std::string name = "base";
+  SchedOptions options;
+};
+
+/// Coordinates of one cell in the campaign's cross product, as indices into
+/// the spec's axes.
+struct CellCoord {
+  std::size_t machine = 0;
+  std::size_t mix = 0;
+  std::size_t allocator = 0;
+  std::size_t seed = 0;
+  std::size_t variant = 0;
+
+  bool operator==(const CellCoord&) const = default;
+};
+
+/// The declarative campaign: every combination of the five axes (that the
+/// optional filter admits) becomes one independent simulation cell.
+struct CampaignSpec {
+  std::string name = "campaign";  ///< used in progress lines
+
+  std::vector<MachineCase> machines;  ///< built once, shared by const ref
+  std::vector<MixSpec> mixes;
+  std::vector<AllocatorKind> allocators{
+      kAllAllocatorKinds,
+      kAllAllocatorKinds + std::size(kAllAllocatorKinds)};
+  /// Base seeds; empty uses {exp::base_seed()} (the COMMSCHED_SEED knob).
+  std::vector<std::uint64_t> base_seeds;
+  std::vector<OptionsVariant> variants{{}};
+
+  /// Worker threads; <= 0 uses ThreadPool::default_thread_count()
+  /// (COMMSCHED_THREADS env, then hardware concurrency).
+  int threads = 0;
+
+  /// Suppress progress reporting (also settable via COMMSCHED_QUIET).
+  bool quiet = false;
+
+  /// Optional cell filter: return false to skip a combination (e.g. run an
+  /// extension mix on one machine only). Must be a pure function of the
+  /// coordinates for the cell list to stay deterministic.
+  std::function<bool(const CampaignSpec&, const CellCoord&)> filter;
+
+  /// Testing hook: order in which cells are handed to the pool (a
+  /// permutation of cell indices). Output must not depend on it; empty
+  /// means natural order.
+  std::vector<std::size_t> submission_order;
+
+  /// All admitted cells, in deterministic (machine, mix, allocator, seed,
+  /// variant) row-major order — the reduction order of the result.
+  std::vector<CellCoord> cells() const;
+};
+
+/// One executed cell: labels + seeds for table shaping, the full SimResult
+/// (per-job series, cache stats) and its RunSummary.
+struct CellResult {
+  CellCoord coord;
+  std::string machine;
+  std::string mix;
+  std::string allocator;
+  std::string variant;
+  std::uint64_t base_seed = 0;
+  std::uint64_t mix_seed = 0;   ///< hash(base, machine, mix)
+  std::uint64_t cell_seed = 0;  ///< hash(base, machine, mix, allocator)
+  SimResult sim;
+  RunSummary summary;
+};
+
+/// Campaign output, cells in CampaignSpec::cells() order.
+struct CampaignResult {
+  std::vector<CellResult> cells;
+
+  /// The cell at the given axis indices; throws InvariantError when the
+  /// combination was filtered out or out of range.
+  const CellResult& at(std::size_t machine, std::size_t mix,
+                       std::size_t allocator, std::size_t seed = 0,
+                       std::size_t variant = 0) const;
+
+  /// Linear lookup by axis indices; nullptr when absent.
+  const CellResult* find(std::size_t machine, std::size_t mix,
+                         std::size_t allocator, std::size_t seed = 0,
+                         std::size_t variant = 0) const;
+};
+
+/// Deterministic seed for decorating a cell's job log: depends on exactly
+/// (base seed, machine name, mix name). The allocator is excluded on
+/// purpose — all allocator columns of a comparison group must see the same
+/// decorated log.
+std::uint64_t derive_mix_seed(std::uint64_t base, std::string_view machine,
+                              std::string_view mix);
+
+/// Deterministic per-cell seed: depends on exactly (base seed, machine
+/// name, mix name, allocator name) — never on iteration order or thread id.
+/// Recorded in CellResult and available to future stochastic cell stages.
+std::uint64_t derive_cell_seed(std::uint64_t base, std::string_view machine,
+                               std::string_view mix,
+                               std::string_view allocator);
+
+/// Execute every admitted cell of `spec` on a worker pool and reduce in
+/// cell order. Exceptions thrown inside cells are rethrown on the calling
+/// thread (lowest cell index wins) after the pool drains.
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignSpec spec);
+
+  CampaignResult run();
+
+  const CampaignSpec& spec() const noexcept { return spec_; }
+
+ private:
+  CampaignSpec spec_;
+};
+
+/// Convenience for one-off runs outside a grid (single-cell harnesses like
+/// bench_audit_overhead): decorate a copy of the machine's log with `mix`
+/// (seeded via derive_mix_seed, so it matches the equivalent campaign cell
+/// bit for bit) and run it under `kind`. `base` supplies non-allocator
+/// SchedOptions; `seed` defaults to exp::base_seed().
+SimResult run_one(const MachineCase& machine, const MixSpec& mix,
+                  AllocatorKind kind, const SchedOptions* base = nullptr,
+                  std::uint64_t seed = 0);
+
+}  // namespace commsched::exp

@@ -1,0 +1,54 @@
+#include "exp/emit.hpp"
+
+#include <iostream>
+
+namespace commsched::exp {
+
+void emit(const std::string& title, const TextTable& table,
+          const std::string& stem) {
+  std::cout << "\n== " << title << " ==\n" << table.render(2);
+  const std::string path = "bench_out/" + stem + ".csv";
+  if (table.write_csv(path))
+    std::cout << "  [csv] " << path << "\n";
+  else
+    std::cout << "  [csv] failed to write " << path << "\n";
+}
+
+TextTable campaign_table(const CampaignResult& result) {
+  TextTable table;
+  table.set_header({"machine", "mix", "allocator", "variant", "base_seed",
+                    "mix_seed", "jobs", "exec_h", "wait_h", "turnaround_h",
+                    "node_h", "total_cost", "avg_cost", "makespan_h",
+                    "sched_hit", "sched_miss", "prof_hit", "prof_miss",
+                    "prof_hit_rate"});
+  for (const CellResult& c : result.cells) {
+    const RunSummary& s = c.summary;
+    table.add_row({c.machine, c.mix, c.allocator, c.variant,
+                   std::to_string(c.base_seed), std::to_string(c.mix_seed),
+                   std::to_string(s.job_count), cell(s.total_exec_hours, 2),
+                   cell(s.total_wait_hours, 2),
+                   cell(s.avg_turnaround_hours, 3), cell(s.total_node_hours, 1),
+                   cell(s.total_cost, 1), cell(s.avg_cost, 2),
+                   cell(s.makespan_hours, 2),
+                   std::to_string(s.cache.schedule_hits),
+                   std::to_string(s.cache.schedule_misses),
+                   std::to_string(s.cache.profile_hits),
+                   std::to_string(s.cache.profile_misses),
+                   cell(s.cache.profile_hit_rate(), 4)});
+  }
+  return table;
+}
+
+void emit_campaign(const std::string& title, const CampaignResult& result,
+                   const std::string& stem) {
+  const TextTable table = campaign_table(result);
+  const std::string path = "bench_out/" + stem + ".csv";
+  std::cout << "\n== " << title << " ==\n  " << result.cells.size()
+            << " cells";
+  if (table.write_csv(path))
+    std::cout << "  [csv] " << path << "\n";
+  else
+    std::cout << "  [csv] failed to write " << path << "\n";
+}
+
+}  // namespace commsched::exp

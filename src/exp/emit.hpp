@@ -1,0 +1,28 @@
+// Shared output layer for benches/examples (DESIGN.md "Campaign engine &
+// parallel execution"): the paper-shaped stdout table + bench_out/ CSV pair
+// every harness used to hand-roll, plus the long-form per-cell campaign
+// table (summary metrics and CommCache hit/miss stats per cell).
+#pragma once
+
+#include <string>
+
+#include "exp/campaign.hpp"
+#include "util/table.hpp"
+
+namespace commsched::exp {
+
+/// Print the table to stdout and write CSV to bench_out/<stem>.csv.
+void emit(const std::string& title, const TextTable& table,
+          const std::string& stem);
+
+/// One row per cell, in cell order: axis labels, seeds, the RunSummary
+/// metrics and the run's CommCache hit/miss counters. Deterministic — the
+/// parity tests compare its CSV rendering bit for bit across thread counts.
+TextTable campaign_table(const CampaignResult& result);
+
+/// Write campaign_table(result) as CSV to bench_out/<stem>.csv with a
+/// one-line stdout note (the long form is for plotting, not reading).
+void emit_campaign(const std::string& title, const CampaignResult& result,
+                   const std::string& stem);
+
+}  // namespace commsched::exp

@@ -1,4 +1,4 @@
-#include "bench_util.hpp"
+#include "exp/machines.hpp"
 
 #include <cstdlib>
 #include <iostream>
@@ -7,8 +7,9 @@
 #include "util/assert.hpp"
 #include "util/strings.hpp"
 #include "workload/swf.hpp"
+#include "workload/synthetic.hpp"
 
-namespace commsched::bench {
+namespace commsched::exp {
 
 namespace {
 
@@ -25,7 +26,7 @@ JobLog load_or_generate(const std::string& name, const char* env,
                         int cores_per_node, const LogProfile& profile,
                         int n_jobs, std::uint64_t seed) {
   if (const char* path = std::getenv(env); path != nullptr && *path != '\0') {
-    std::cerr << "[bench] " << name << ": loading real SWF log from " << path
+    std::cerr << "[exp] " << name << ": loading real SWF log from " << path
               << "\n";
     SwfOptions opts;
     opts.cores_per_node = cores_per_node;
@@ -63,29 +64,7 @@ MachineCase paper_machine(const std::string& name, int n_jobs) {
   auto machines = paper_machines(n_jobs);
   for (auto& m : machines)
     if (m.name == name) return std::move(m);
-  COMMSCHED_ASSERT_MSG(false, "unknown machine '" + name + "'");
-  std::abort();  // unreachable: the assert above throws
+  throw InvariantError("unknown machine '" + name + "'");
 }
 
-SimResult run_with_mix(const MachineCase& machine, const MixSpec& spec,
-                       AllocatorKind kind, const SchedOptions* base) {
-  JobLog log = machine.base_log;
-  apply_mix(log, spec, base_seed() + 17);
-  SchedOptions options = base != nullptr ? *base : SchedOptions{};
-  options.allocator = kind;
-  return run_continuous(machine.tree, log, options);
-}
-
-void emit(const std::string& title, const TextTable& table,
-          const std::string& stem) {
-  std::cout << "\n== " << title << " ==\n" << table.render(2);
-  const std::string path = "bench_out/" + stem + ".csv";
-  if (table.write_csv(path))
-    std::cout << "  [csv] " << path << "\n";
-  else
-    std::cout << "  [csv] failed to write " << path << "\n";
-}
-
-std::string pattern_row_label(Pattern p) { return pattern_name(p); }
-
-}  // namespace commsched::bench
+}  // namespace commsched::exp

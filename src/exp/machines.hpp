@@ -1,0 +1,45 @@
+// The machines under evaluation, built once per campaign (DESIGN.md
+// "Campaign engine & parallel execution").
+//
+// A MachineCase owns the immutable topology plus the undecorated job log of
+// one machine; campaign cells share both by const reference and decorate a
+// per-cell copy of the log (workload/mixes.hpp). Moved here from
+// bench/bench_util.* so benches, examples, tools and tests all build their
+// machines through one path instead of each harness regenerating them.
+//
+// Environment knobs:
+//   COMMSCHED_JOBS          jobs per log (default 1000, the paper's slice)
+//   COMMSCHED_SEED          base RNG seed (default 20200817, the ICPP date)
+//   COMMSCHED_SWF_INTREPID  path to a real SWF log to use instead of the
+//   COMMSCHED_SWF_THETA     synthetic Intrepid/Theta/Mira generators
+//   COMMSCHED_SWF_MIRA      (cores/node: 4 / 64 / 16)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/tree.hpp"
+#include "workload/job.hpp"
+
+namespace commsched::exp {
+
+/// One machine under evaluation: its topology plus an undecorated job log
+/// (communication attributes are applied per cell by apply_mix).
+struct MachineCase {
+  std::string name;  // "Intrepid", "Theta", "Mira"
+  Tree tree;
+  JobLog base_log;   // power-of-two jobs, sorted by submit time
+};
+
+int jobs_per_log();
+std::uint64_t base_seed();
+
+/// Build the paper's three machine cases (synthetic unless the SWF env vars
+/// point at real logs). `n_jobs` <= 0 uses jobs_per_log().
+std::vector<MachineCase> paper_machines(int n_jobs = 0);
+
+/// A single machine case by paper name ("Intrepid" / "Theta" / "Mira").
+MachineCase paper_machine(const std::string& name, int n_jobs = 0);
+
+}  // namespace commsched::exp

@@ -14,6 +14,7 @@ RunSummary summarize(const SimResult& result) {
   s.allocator = result.allocator_name;
   s.job_count = result.jobs.size();
   s.makespan_hours = result.makespan / kSecondsPerHour;
+  s.cache = result.cache_stats;
 
   double total_turnaround = 0.0;
   std::size_t comm_jobs = 0;

@@ -24,6 +24,7 @@ struct RunSummary {
   double total_cost = 0.0;              ///< Eq. 6, comm-intensive jobs only
   double avg_cost = 0.0;                ///< over comm-intensive jobs
   double makespan_hours = 0.0;
+  CacheStats cache;                     ///< run-wide CommCache hit/miss stats
 };
 
 RunSummary summarize(const SimResult& result);

@@ -3,6 +3,7 @@
 // wait time, turnaround time, node-hours and communication cost.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -40,10 +41,29 @@ struct JobResult {
   }
 };
 
+/// Hit/miss counters of the run's shared CommCache (schedule and leaf-comm
+/// profile lookups by the allocator and both pricing models). A plain copy
+/// of CommCache::Stats so result consumers (metrics, exp) do not need the
+/// collectives headers.
+struct CacheStats {
+  std::uint64_t schedule_hits = 0;
+  std::uint64_t schedule_misses = 0;
+  std::uint64_t profile_hits = 0;
+  std::uint64_t profile_misses = 0;
+
+  double profile_hit_rate() const {
+    const std::uint64_t total = profile_hits + profile_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(profile_hits) /
+                            static_cast<double>(total);
+  }
+};
+
 struct SimResult {
   std::string allocator_name;
   std::vector<JobResult> jobs;  ///< in job-log order
   double makespan = 0.0;        ///< last completion time, seconds
+  CacheStats cache_stats;       ///< run-wide CommCache hit/miss counters
 };
 
 }  // namespace commsched

@@ -102,6 +102,9 @@ class Simulation {
     result.allocator_name = allocator_->name();
     result.jobs = std::move(results_);
     result.makespan = makespan;
+    const CommCache::Stats& cache = comm_cache_->stats();
+    result.cache_stats = {cache.schedule_hits, cache.schedule_misses,
+                          cache.profile_hits, cache.profile_misses};
     return result;
   }
 

@@ -1,0 +1,76 @@
+#include "util/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/assert.hpp"
+#include "util/strings.hpp"
+
+namespace commsched {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) threads = default_thread_count();
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  COMMSCHED_ASSERT_MSG(static_cast<bool>(task), "cannot submit empty task");
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    COMMSCHED_ASSERT_MSG(!stopping_, "submit after ThreadPool shutdown");
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+int ThreadPool::default_thread_count() {
+  if (const char* v = std::getenv("COMMSCHED_THREADS");
+      v != nullptr && *v != '\0') {
+    const auto parsed = parse_int(v);
+    COMMSCHED_ASSERT_MSG(parsed.has_value() && *parsed > 0,
+                         "COMMSCHED_THREADS must be a positive integer");
+    return static_cast<int>(*parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // tasks are noexcept by contract (see header)
+    bool now_idle = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      now_idle = --in_flight_ == 0;
+    }
+    if (now_idle) idle_.notify_all();
+  }
+}
+
+}  // namespace commsched

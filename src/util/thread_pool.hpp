@@ -1,0 +1,73 @@
+// Fixed-size worker pool for the campaign engine (src/exp) and any other
+// embarrassingly parallel fan-out.
+//
+// Deliberately minimal: submit void() tasks, wait until all of them have
+// drained. Determinism is the caller's job — the pool makes no ordering
+// promises beyond "every submitted task runs exactly once", so callers that
+// need reproducible output must write results into pre-indexed slots and
+// reduce in index order (see DESIGN.md "Campaign engine & parallel
+// execution").
+//
+// The pool size defaults to the COMMSCHED_THREADS environment variable,
+// falling back to std::thread::hardware_concurrency().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace commsched {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers; <= 0 uses default_thread_count().
+  explicit ThreadPool(int threads = 0);
+
+  /// Joins all workers after draining the queue.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const noexcept { return static_cast<int>(workers_.size()); }
+
+  /// Enqueue a task. Tasks must not throw — wrap fallible work and capture
+  /// the exception (std::exception_ptr) for rethrow on the calling thread.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished executing.
+  void wait_idle();
+
+  /// COMMSCHED_THREADS when set (must be a positive integer), otherwise
+  /// std::thread::hardware_concurrency(), never below 1.
+  static int default_thread_count();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  ///< queued + currently executing tasks
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Run `count` independent cells `fn(0..count-1)` on a pool of `threads`
+/// workers and return the results in index order — bit-identical at any
+/// thread count as long as `fn` itself is deterministic per index. The
+/// first exception thrown by any cell (lowest index wins) is rethrown on
+/// the calling thread after the pool drains. `threads` <= 0 uses
+/// ThreadPool::default_thread_count().
+template <typename T>
+std::vector<T> run_indexed(int threads, std::size_t count,
+                           const std::function<T(std::size_t)>& fn);
+
+}  // namespace commsched
+
+#include "util/thread_pool_impl.hpp"

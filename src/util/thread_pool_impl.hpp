@@ -1,0 +1,41 @@
+// Template implementation detail of util/thread_pool.hpp (run_indexed).
+// Include thread_pool.hpp, not this file.
+#pragma once
+
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace commsched {
+
+template <typename T>
+std::vector<T> run_indexed(int threads, std::size_t count,
+                           const std::function<T(std::size_t)>& fn) {
+  COMMSCHED_ASSERT_MSG(static_cast<bool>(fn), "run_indexed needs a callable");
+  std::vector<std::optional<T>> slots(count);
+  std::vector<std::exception_ptr> errors(count);
+  {
+    ThreadPool pool(threads);
+    for (std::size_t i = 0; i < count; ++i) {
+      pool.submit([&, i] {
+        try {
+          slots[i].emplace(fn(i));
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  for (std::size_t i = 0; i < count; ++i)
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  std::vector<T> results;
+  results.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    results.push_back(std::move(*slots[i]));
+  return results;
+}
+
+}  // namespace commsched

@@ -1,0 +1,113 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace commsched {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i)
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i)
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::vector<int> order;  // single worker: no lock needed
+  for (int i = 0; i < 5; ++i)
+    pool.submit([&order, i] { order.push_back(i); });
+  pool.wait_idle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, TasksRunOnWorkerThreads) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  for (int i = 0; i < 20; ++i)
+    pool.submit([&] {
+      const std::lock_guard<std::mutex> lock(mu);
+      ids.insert(std::this_thread::get_id());
+    });
+  pool.wait_idle();
+  EXPECT_FALSE(ids.contains(std::this_thread::get_id()));
+}
+
+TEST(ThreadPool, DefaultThreadCountHonorsEnv) {
+  ::setenv("COMMSCHED_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 3);
+  ::unsetenv("COMMSCHED_THREADS");
+  EXPECT_GE(ThreadPool::default_thread_count(), 1);
+}
+
+TEST(RunIndexed, CollectsResultsInIndexOrder) {
+  for (const int threads : {1, 4}) {
+    const std::vector<int> out = run_indexed<int>(
+        threads, 32, [](std::size_t i) { return static_cast<int>(i * i); });
+    ASSERT_EQ(out.size(), 32u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+      EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(RunIndexed, EmptyCountIsFine) {
+  const std::vector<int> out =
+      run_indexed<int>(2, 0, [](std::size_t) { return 1; });
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RunIndexed, RethrowsLowestIndexException) {
+  try {
+    (void)run_indexed<int>(4, 16, [](std::size_t i) -> int {
+      if (i == 3 || i == 11) throw std::runtime_error("boom " + std::to_string(i));
+      return 0;
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 3");
+  }
+}
+
+TEST(RunIndexed, MoveOnlyResultsWork) {
+  const std::vector<std::vector<int>> out = run_indexed<std::vector<int>>(
+      2, 8, [](std::size_t i) { return std::vector<int>(i, 7); });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i].size(), i);
+}
+
+}  // namespace
+}  // namespace commsched

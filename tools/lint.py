@@ -20,6 +20,12 @@ Enforces the project conventions clang-tidy cannot know about:
                      hidden per-call scratch belongs in an explicit
                      CostWorkspace so cost evaluation stays shareable across
                      threads (DESIGN.md "Shape canonicalization & CommCache")
+  static-state       non-const `static` / `thread_local` variables in src/
+                     (globals or function-locals) need a `// thread-safe:`
+                     justification on the same or an adjacent preceding line —
+                     campaign cells run concurrently (DESIGN.md "Campaign
+                     engine & parallel execution"), so hidden mutable state
+                     is a data race unless explicitly argued otherwise
   whitespace         no tabs, no trailing whitespace, newline at EOF
 
 Usage: tools/lint.py [paths...]   (defaults to src/ and tests/)
@@ -91,6 +97,14 @@ RAW_ASSERT_RE = re.compile(r"(?<![\w_])(assert|abort)\s*\(")
 EXIT_RE = re.compile(r"(?<![\w_.:])exit\s*\(")
 USING_NAMESPACE_RE = re.compile(r"(?<![\w_])using\s+namespace\b")
 MUTABLE_RE = re.compile(r"(?<![\w_])mutable\b")
+# A `static` / `thread_local` variable declaration: the line starts with the
+# storage keyword(s) and declares an object, not a function (no parameter
+# list on the line — `static Foo helper(...)` declarations and
+# direct-initializers are out of this heuristic's reach on purpose; the rule
+# targets the common `static T name;` / `static T name = ...;` shapes).
+STATIC_STATE_RE = re.compile(
+    r"^\s*(?:static\s+thread_local|thread_local\s+static"
+    r"|static|thread_local)\s+[\w:<>,\s*&]+[\w\]]\s*(?:=[^=].*)?;")
 
 BANNED_INCLUDES = {
     "cassert": "use COMMSCHED_ASSERT (util/assert.hpp) instead of <cassert>",
@@ -206,6 +220,14 @@ def lint_code(path: Path, raw: str) -> None:
             if EXIT_RE.search(line):
                 report(path, lineno, "assert-macro",
                        "exit() in library code: throw instead")
+            m = STATIC_STATE_RE.match(line)
+            if m and "(" not in m.group(0) and "const" not in m.group(0):
+                window = raw_lines[max(0, lineno - 3):lineno]
+                if not any("// thread-safe:" in w for w in window):
+                    report(path, lineno, "static-state",
+                           "non-const static/thread_local state in src/ "
+                           "without a `// thread-safe:` justification: "
+                           "campaign cells run concurrently")
         if in_core and MUTABLE_RE.search(line):
             # The justification comment may sit on the member's own line or
             # on the (up to two) lines directly above it.
