@@ -10,13 +10,22 @@
 //   $ COMMSCHED_THREADS=1 ./campaign
 //   $ COMMSCHED_THREADS=8 ./campaign
 //
-// and diff the output.
+// and diff the output. The same determinism extends across processes
+// (DESIGN.md "Campaign persistence, sharding & resume"):
+//
+//   $ COMMSCHED_STREAM_DIR=out ./campaign    # streams cells to a JSONL file
+//                                            # and resumes it if killed
+//   $ COMMSCHED_SHARD=0/2 COMMSCHED_STREAM_DIR=out ./campaign   # half the
+//   $ COMMSCHED_SHARD=1/2 COMMSCHED_STREAM_DIR=out ./campaign   # grid each
+//   $ tools/campaign_merge merged out/example.s0of2.jsonl <shard-1 stream>
+//                                            # == the single-process bytes
 #include <cstdint>
 #include <iostream>
 #include <utility>
 
 #include "exp/campaign.hpp"
 #include "exp/emit.hpp"
+#include "exp/sink.hpp"
 #include "metrics/summary.hpp"
 
 using namespace commsched;
@@ -38,12 +47,28 @@ int main() {
   //   spec.base_seeds = {1, 2, 3}; // replicate the grid across seeds
   //   spec.variants = {...};       // SchedOptions ablations (see ablation.cpp)
   //   spec.filter = ...;           // drop cells from a partial grid
+  //   spec.stream_path = "x.jsonl";// crash-safe per-cell stream + resume
+  //                                // (else COMMSCHED_STREAM_DIR; see header)
 
   // 2. Run it. Cells execute in parallel; the result vector is reduced in
   //    cell order regardless of completion order.
   exp::CampaignRunner runner(std::move(spec));
   const exp::CampaignResult result = runner.run();
   const exp::CampaignSpec& grid = runner.spec();
+
+  // Under COMMSCHED_SHARD=i/N this process ran only its slice of the grid,
+  // so result.at() would throw for the other shards' cells. Emit the slice
+  // and point at the merge step instead of shaping partial tables.
+  const exp::ShardConfig shard = exp::shard_from_env();
+  if (shard.count > 1) {
+    exp::emit_campaign("example campaign (shard " +
+                           std::to_string(shard.index) + "/" +
+                           std::to_string(shard.count) + ")",
+                       result, "example_campaign");
+    std::cout << "sharded run: merge the per-shard streams with "
+                 "tools/campaign_merge for the full-grid tables\n";
+    return 0;
+  }
 
   // 3. Shape tables from cells. at(machine, mix, allocator) indexes the
   //    grid; every cell carries the SimResult, its RunSummary, and the

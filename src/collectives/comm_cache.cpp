@@ -106,20 +106,30 @@ LeafCommProfile make_leaf_comm_profile(Pattern pattern, double base_msize,
   return profile;
 }
 
+std::uint64_t hash_value(const ShapeKey& key) noexcept {
+  // FNV-1a over the run list; the runs fully determine the shape
+  // (total_nodes and num_slots are derived from them).
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const auto& [slot, count] : key.runs) {
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(slot)));
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(count)));
+  }
+  return h;
+}
+
 std::size_t CommCache::ProfileKeyHash::operator()(
     const ProfileKey& key) const noexcept {
-  // FNV-1a over the key's fields; the run list fully determines the shape.
-  std::uint64_t h = 1469598103934665603ULL;
+  std::uint64_t h = hash_value(key.shape);
   const auto mix = [&h](std::uint64_t v) {
     h ^= v;
     h *= 1099511628211ULL;
   };
   mix(static_cast<std::uint64_t>(key.pattern));
   mix(static_cast<std::uint64_t>(key.ranks_per_node));
-  for (const auto& [slot, count] : key.shape.runs) {
-    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(slot)));
-    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(count)));
-  }
   return static_cast<std::size_t>(h);
 }
 

@@ -62,6 +62,12 @@ struct ShapeKey {
 /// via ranks_per_node when building profiles.
 ShapeKey make_shape_key(const Tree& tree, std::span<const NodeId> nodes);
 
+/// Stable 64-bit hash of a ShapeKey (FNV-1a over the run list and
+/// dimensions). Used by CommCache's profile-key hashing and exercised
+/// directly by the shape-key property/fuzz tests, which check that distinct
+/// canonical shapes do not collide across large random samples.
+std::uint64_t hash_value(const ShapeKey& key) noexcept;
+
 /// One distinct per-step leaf-pair set: (slot a, slot b) with a <= b,
 /// sorted lexicographically, each pair listed once. Same-node pairs are
 /// excluded (they cost 0); same-leaf pairs appear as (s, s).

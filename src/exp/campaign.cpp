@@ -4,17 +4,20 @@
 #include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <filesystem>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <utility>
 
+#include "exp/sink.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 
 namespace commsched::exp {
 
-namespace {
+namespace detail {
 
 // SplitMix64 finalizer: a strong 64-bit mixer, stable across platforms.
 std::uint64_t mix64(std::uint64_t x) {
@@ -32,6 +35,13 @@ std::uint64_t absorb(std::uint64_t h, std::string_view s) {
   return mix64(h);
 }
 
+}  // namespace detail
+
+namespace {
+
+using detail::absorb;
+using detail::mix64;
+
 // Domain-separation tags so a mix seed can never collide with a cell seed
 // built from the same labels.
 constexpr std::uint64_t kMixDomain = 0x636f6d6d2d6d6978ULL;   // "comm-mix"
@@ -40,6 +50,22 @@ constexpr std::uint64_t kCellDomain = 0x63616d7063656c6cULL;  // "campcell"
 bool quiet_env() {
   const char* v = std::getenv("COMMSCHED_QUIET");
   return v != nullptr && *v != '\0';
+}
+
+// Explicit spec.stream_path wins; otherwise COMMSCHED_STREAM_DIR opts any
+// campaign harness into streaming (<dir>/<name>[.s<i>of<N>].jsonl); empty
+// means no persistence.
+std::string resolve_stream_path(const CampaignSpec& spec,
+                                const ShardConfig& shard) {
+  if (!spec.stream_path.empty()) return spec.stream_path;
+  const char* dir = std::getenv("COMMSCHED_STREAM_DIR");
+  if (dir == nullptr || *dir == '\0') return {};
+  std::string path = std::string(dir) + "/" + spec.name;
+  if (shard.count > 1)
+    path += ".s" + std::to_string(shard.index) + "of" +
+            std::to_string(shard.count);
+  path += ".jsonl";
+  return path;
 }
 
 std::uint64_t resolve_base_seed(const CampaignSpec& spec, std::size_t index) {
@@ -138,8 +164,21 @@ CampaignResult CampaignRunner::run() {
   const std::vector<CellCoord> coords = spec_.cells();
   const std::size_t total = coords.size();
 
-  std::vector<std::size_t> order(total);
-  for (std::size_t i = 0; i < total; ++i) order[i] = i;
+  // Process sharding: this process owns the cells whose deterministic
+  // label hash lands on its shard (exp/sink.hpp). Unsharded runs own all.
+  const ShardConfig shard = resolve_shard(spec_);
+  std::vector<char> is_mine(total, 1);
+  std::vector<std::size_t> mine;
+  mine.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    if (shard.count > 1 &&
+        shard_of_cell(spec_, coords[i], shard.count) != shard.index)
+      is_mine[i] = 0;
+    else
+      mine.push_back(i);
+  }
+
+  std::vector<std::size_t> order = mine;
   if (!spec_.submission_order.empty()) {
     COMMSCHED_ASSERT_EQ_MSG(spec_.submission_order.size(), total,
                             "submission_order must permute all cells");
@@ -149,22 +188,97 @@ CampaignResult CampaignRunner::run() {
                            "submission_order is not a permutation");
       seen[i] = true;
     }
-    order = spec_.submission_order;
+    order.clear();
+    for (const std::size_t i : spec_.submission_order)
+      if (is_mine[i]) order.push_back(i);
   }
 
-  const bool quiet = spec_.quiet || quiet_env();
   std::vector<std::optional<CellResult>> slots(total);
   std::vector<std::exception_ptr> errors(total);
+
+  // Persistence: resume from a matching stream, then append new cells.
+  const std::string stream_path = resolve_stream_path(spec_, shard);
+  std::unique_ptr<CampaignSink> sink;
+  std::size_t resumed_count = 0;
+  if (!stream_path.empty()) {
+    StreamHeader header;
+    header.spec_name = spec_.name;
+    header.fingerprint = spec_fingerprint(spec_);
+    header.total_cells = total;
+    header.shard = shard;
+
+    bool fresh = !spec_.resume;
+    if (spec_.resume && std::filesystem::exists(stream_path)) {
+      std::uint64_t valid_bytes = 0;
+      (void)read_complete_lines(stream_path, &valid_bytes);
+      if (valid_bytes == 0) {
+        // Zero complete lines: either a new empty file or a crash before
+        // the header landed. Start over (truncating partial bytes).
+        fresh = true;
+      } else {
+        const CampaignStream stream = load_stream(stream_path);
+        COMMSCHED_ASSERT_MSG(
+            stream.header.spec_name == spec_.name &&
+                stream.header.fingerprint == header.fingerprint &&
+                stream.header.total_cells == total,
+            "existing stream '" + stream_path + "' was written by a "
+            "different campaign spec; delete it or set resume = false");
+        COMMSCHED_ASSERT_MSG(
+            stream.header.shard == shard,
+            "existing stream '" + stream_path + "' belongs to shard " +
+                std::to_string(stream.header.shard.index) + "/" +
+                std::to_string(stream.header.shard.count) +
+                ", not this process's shard");
+        for (const StreamedCell& cell : stream.cells) {
+          COMMSCHED_ASSERT_MSG(cell.cell_index < total && is_mine[cell.cell_index],
+                               "streamed cell does not belong to this shard");
+          COMMSCHED_ASSERT_MSG(cell.result.coord == coords[cell.cell_index],
+                               "streamed cell coordinates disagree with the "
+                               "spec's cell list");
+          COMMSCHED_ASSERT_MSG(!slots[cell.cell_index].has_value(),
+                               "cell appears twice in the stream");
+          slots[cell.cell_index].emplace(cell.result);
+          ++resumed_count;
+        }
+        // Drop a partial trailing line (SIGKILL mid-append) so the file
+        // stays a clean sequence of complete records.
+        AppendFile trunc(stream_path);
+        if (trunc.size() > stream.valid_bytes)
+          trunc.truncate_to(stream.valid_bytes);
+      }
+    }
+    sink = std::make_unique<CampaignSink>(stream_path, header, fresh);
+  }
+
+  std::size_t to_run = 0;
+  for (const std::size_t i : order)
+    if (!slots[i].has_value()) ++to_run;
+
+  const bool quiet = spec_.quiet || quiet_env();
+  if (!quiet && (shard.count > 1 || resumed_count > 0)) {
+    std::cerr << "[" << spec_.name << "] shard " << shard.index << "/"
+              << shard.count << ": " << mine.size() << "/" << total
+              << " cells owned, " << resumed_count << " resumed, " << to_run
+              << " to run\n";
+  }
   {
     ThreadPool pool(spec_.threads);
     std::atomic<std::size_t> done{0};
     std::mutex io_mutex;
     const auto start = std::chrono::steady_clock::now();
     for (const std::size_t i : order) {
-      pool.submit([this, &coords, &slots, &errors, &done, &io_mutex, start,
-                   total, quiet, i] {
+      if (slots[i].has_value()) continue;  // resumed from the stream
+      pool.submit([this, &coords, &slots, &errors, &done, &io_mutex, &sink,
+                   start, to_run, quiet, i] {
         try {
-          slots[i].emplace(run_cell(spec_, coords[i]));
+          const auto cell_start = std::chrono::steady_clock::now();
+          CellResult cell = run_cell(spec_, coords[i]);
+          const double wall =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            cell_start)
+                  .count();
+          if (sink) sink->append(i, cell, wall, spec_.on_cell_streamed);
+          slots[i].emplace(std::move(cell));
         } catch (...) {
           errors[i] = std::current_exception();
         }
@@ -175,7 +289,7 @@ CampaignResult CampaignRunner::run() {
                                             start)
                   .count();
           const std::lock_guard<std::mutex> lock(io_mutex);
-          std::cerr << "[" << spec_.name << "] " << finished << "/" << total
+          std::cerr << "[" << spec_.name << "] " << finished << "/" << to_run
                     << " cells, " << static_cast<int>(elapsed * 10.0) / 10.0
                     << "s elapsed\n";
         }
@@ -185,11 +299,13 @@ CampaignResult CampaignRunner::run() {
   }
 
   // Reduce in cell order: rethrow the lowest-index failure, else collect.
-  for (std::size_t i = 0; i < total; ++i)
+  // A sharded run's result holds only this shard's cells; merge_streams
+  // reassembles the full campaign from the per-shard streams.
+  for (const std::size_t i : mine)
     if (errors[i]) std::rethrow_exception(errors[i]);
   CampaignResult result;
-  result.cells.reserve(total);
-  for (std::size_t i = 0; i < total; ++i)
+  result.cells.reserve(mine.size());
+  for (const std::size_t i : mine)
     result.cells.push_back(std::move(*slots[i]));
   return result;
 }

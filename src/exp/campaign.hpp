@@ -37,6 +37,16 @@
 
 namespace commsched::exp {
 
+namespace detail {
+/// SplitMix64 finalizer: the stable 64-bit mixer behind every derived seed,
+/// the spec fingerprint and the cell→shard assignment. Platform-independent
+/// by construction (pure integer arithmetic).
+std::uint64_t mix64(std::uint64_t x);
+/// Absorb a string into a running hash (FNV-1a step per byte, then a
+/// re-mix — the mix between labels keeps boundaries unambiguous).
+std::uint64_t absorb(std::uint64_t h, std::string_view s);
+}  // namespace detail
+
 /// One named SchedOptions variant (ablation axis). The allocator field of
 /// `options` is overwritten per cell by the spec's allocator axis.
 struct OptionsVariant {
@@ -87,6 +97,37 @@ struct CampaignSpec {
   /// means natural order.
   std::vector<std::size_t> submission_order;
 
+  // --- Persistence & process sharding (DESIGN.md "Campaign persistence,
+  // sharding & resume"). ---
+
+  /// When non-empty, every completed cell is appended to this JSONL stream
+  /// as it finishes (exp/sink.hpp): an fsync'd header line carrying the
+  /// spec fingerprint, then one fsync'd line per cell. Empty falls back to
+  /// the COMMSCHED_STREAM_DIR env var (<dir>/<name>[.s<i>of<N>].jsonl);
+  /// unset means no streaming.
+  std::string stream_path;
+
+  /// With streaming on and an existing stream whose header matches this
+  /// spec's fingerprint and shard, already-streamed cells are loaded and
+  /// skipped (their CellResult carries the summary but an empty SimResult,
+  /// with `resumed` set) — a SIGKILL'd campaign continues where it left
+  /// off. A fingerprint/shard mismatch throws InvariantError. false
+  /// truncates any existing stream and starts fresh.
+  bool resume = true;
+
+  /// Process sharding: this process executes only the cells whose
+  /// deterministic shard (hash of the cell's axis labels, mod shard_count)
+  /// equals shard_index. shard_count == 0 resolves COMMSCHED_SHARD=i/N
+  /// (default 0/1). The per-shard streams merge into the same reduced
+  /// result a single process would produce (exp::merge_streams).
+  int shard_index = 0;
+  int shard_count = 0;
+
+  /// Testing hook: called (under the sink lock) after each cell's line has
+  /// been appended and fsync'd, with the number streamed so far by this
+  /// process. The kill/resume test SIGKILLs itself from here.
+  std::function<void(std::size_t)> on_cell_streamed;
+
   /// All admitted cells, in deterministic (machine, mix, allocator, seed,
   /// variant) row-major order — the reduction order of the result.
   std::vector<CellCoord> cells() const;
@@ -105,6 +146,10 @@ struct CellResult {
   std::uint64_t cell_seed = 0;  ///< hash(base, machine, mix, allocator)
   SimResult sim;
   RunSummary summary;
+  /// True when this cell was loaded from a stream instead of executed: the
+  /// summary/seeds/labels are exact, but `sim` is empty (per-job series are
+  /// not persisted).
+  bool resumed = false;
 };
 
 /// Campaign output, cells in CampaignSpec::cells() order.

@@ -2,6 +2,9 @@
 
 #include <iostream>
 
+#include "exp/sink.hpp"
+#include "util/file_io.hpp"
+
 namespace commsched::exp {
 
 void emit(const std::string& title, const TextTable& table,
@@ -39,16 +42,29 @@ TextTable campaign_table(const CampaignResult& result) {
   return table;
 }
 
+std::string campaign_json(const CampaignResult& result) {
+  std::string out = "{\"cells\":[";
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    if (i) out += ',';
+    out += "\n" + cell_json(i, result.cells[i]);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
 void emit_campaign(const std::string& title, const CampaignResult& result,
                    const std::string& stem) {
   const TextTable table = campaign_table(result);
-  const std::string path = "bench_out/" + stem + ".csv";
+  const std::string csv_path = "bench_out/" + stem + ".csv";
+  const std::string json_path = "bench_out/" + stem + ".json";
   std::cout << "\n== " << title << " ==\n  " << result.cells.size()
             << " cells";
-  if (table.write_csv(path))
-    std::cout << "  [csv] " << path << "\n";
+  if (table.write_csv(csv_path))
+    std::cout << "  [csv] " << csv_path;
   else
-    std::cout << "  [csv] failed to write " << path << "\n";
+    std::cout << "  [csv] failed to write " << csv_path;
+  write_file_atomic(json_path, campaign_json(result));
+  std::cout << "  [json] " << json_path << "\n";
 }
 
 }  // namespace commsched::exp

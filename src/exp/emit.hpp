@@ -20,7 +20,16 @@ void emit(const std::string& title, const TextTable& table,
 /// parity tests compare its CSV rendering bit for bit across thread counts.
 TextTable campaign_table(const CampaignResult& result);
 
-/// Write campaign_table(result) as CSV to bench_out/<stem>.csv with a
+/// Machine-readable analogue of the long-form CSV: one JSON document,
+/// {"cells": [<cell payload>, ...]} in cell order, each payload the same
+/// deterministic object the persistence stream uses (exp/sink.hpp
+/// cell_json: coordinates, labels, seeds, RunSummary, CacheStats).
+/// Deterministic at any thread/shard count; regenerates the data behind
+/// the BENCH_*.json snapshots and feeds plotting scripts.
+std::string campaign_json(const CampaignResult& result);
+
+/// Write campaign_table(result) as CSV to bench_out/<stem>.csv and
+/// campaign_json(result) to bench_out/<stem>.json (atomically), with a
 /// one-line stdout note (the long form is for plotting, not reading).
 void emit_campaign(const std::string& title, const CampaignResult& result,
                    const std::string& stem);

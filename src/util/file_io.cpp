@@ -1,0 +1,171 @@
+#include "util/file_io.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace commsched {
+
+namespace {
+
+[[noreturn]] void io_fail(const std::string& what, const std::string& path) {
+  throw IoError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+void create_parent_dirs(const std::string& path) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(parent, ec);
+  if (ec) throw IoError("cannot create directory '" + parent.string() +
+                        "': " + ec.message());
+}
+
+}  // namespace
+
+AppendFile::AppendFile(const std::string& path, bool truncate) : path_(path) {
+  create_parent_dirs(path);
+  int flags = O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC;
+  if (truncate) flags |= O_TRUNC;
+  do {
+    fd_ = ::open(path.c_str(), flags, 0644);
+  } while (fd_ < 0 && errno == EINTR);
+  if (fd_ < 0) io_fail("cannot open", path);
+}
+
+AppendFile::~AppendFile() { close(); }
+
+AppendFile::AppendFile(AppendFile&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+void AppendFile::append_line(std::string_view line) {
+  COMMSCHED_ASSERT_MSG(is_open(), "append_line on a closed AppendFile");
+  COMMSCHED_ASSERT_MSG(line.find('\n') == std::string_view::npos,
+                       "a stream line must not contain '\\n'");
+  std::string buf;
+  buf.reserve(line.size() + 1);
+  buf.append(line);
+  buf.push_back('\n');
+  const char* p = buf.data();
+  std::size_t left = buf.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      io_fail("write failed on", path_);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+void AppendFile::sync() {
+  COMMSCHED_ASSERT_MSG(is_open(), "sync on a closed AppendFile");
+  int rc;
+  do {
+    rc = ::fsync(fd_);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) io_fail("fsync failed on", path_);
+}
+
+void AppendFile::truncate_to(std::uint64_t size) {
+  COMMSCHED_ASSERT_MSG(is_open(), "truncate_to on a closed AppendFile");
+  int rc;
+  do {
+    rc = ::ftruncate(fd_, static_cast<off_t>(size));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) io_fail("ftruncate failed on", path_);
+}
+
+std::uint64_t AppendFile::size() const {
+  COMMSCHED_ASSERT_MSG(is_open(), "size on a closed AppendFile");
+  struct stat st{};
+  if (::fstat(fd_, &st) < 0) io_fail("fstat failed on", path_);
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+void AppendFile::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::vector<std::string> read_complete_lines(const std::string& path,
+                                             std::uint64_t* valid_bytes) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw IoError("cannot read '" + path + "'");
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  const std::string text = buf.str();
+
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  std::size_t valid = 0;
+  for (;;) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) break;  // trailing partial line (if any) dropped
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+    valid = start;
+  }
+  if (valid_bytes != nullptr) *valid_bytes = valid;
+  return lines;
+}
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  create_parent_dirs(path);
+  const std::string tmp = path + ".tmp";
+  int fd;
+  do {
+    fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) io_fail("cannot open", tmp);
+
+  const char* p = content.data();
+  std::size_t left = content.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      io_fail("write failed on", tmp);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    ::close(fd);
+    io_fail("fsync failed on", tmp);
+  }
+  ::close(fd);
+
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) throw IoError("rename '" + tmp + "' -> '" + path +
+                        "' failed: " + ec.message());
+}
+
+}  // namespace commsched

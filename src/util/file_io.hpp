@@ -1,0 +1,84 @@
+// Crash-safe file primitives for the campaign persistence layer
+// (DESIGN.md "Campaign persistence, sharding & resume").
+//
+// The campaign stream's durability contract is line-granular: a process
+// killed at any instant leaves a file whose complete '\n'-terminated lines
+// are all valid records, plus at most one partial trailing line that the
+// loader drops (and the resuming writer truncates away). AppendFile gives
+// the writer side — one write(2) per line on an O_APPEND descriptor, with
+// explicit fsync — and read_complete_lines the loader side.
+//
+// POSIX-only (the project targets Linux). Failures throw IoError with the
+// errno text; callers treat persistence errors as fatal rather than
+// silently dropping results.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace commsched {
+
+/// Thrown on filesystem failures in the persistence layer.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Append-only line writer over a POSIX descriptor. Not thread-safe; the
+/// campaign sink serializes access externally.
+class AppendFile {
+ public:
+  AppendFile() = default;
+
+  /// Open (creating parent directories and the file as needed) for
+  /// appending; `truncate` discards existing content first.
+  explicit AppendFile(const std::string& path, bool truncate = false);
+
+  ~AppendFile();
+
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+  AppendFile(AppendFile&& other) noexcept;
+  AppendFile& operator=(AppendFile&& other) noexcept;
+
+  bool is_open() const noexcept { return fd_ >= 0; }
+  const std::string& path() const noexcept { return path_; }
+
+  /// Append `line` plus a trailing '\n' as one write(2) call (looping only
+  /// on EINTR/short writes). `line` must not itself contain '\n'.
+  void append_line(std::string_view line);
+
+  /// fsync(2) — the line is durable once this returns.
+  void sync();
+
+  /// Shrink the file to `size` bytes (drop a partial trailing line before
+  /// resuming a stream).
+  void truncate_to(std::uint64_t size);
+
+  /// Current size in bytes (fstat).
+  std::uint64_t size() const;
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Read a file and split it into its complete '\n'-terminated lines
+/// (without the terminator). A partial trailing line is dropped; when
+/// `valid_bytes` is non-null it receives the offset one past the last
+/// complete line (the resume truncation point). Throws IoError when the
+/// file cannot be read.
+std::vector<std::string> read_complete_lines(const std::string& path,
+                                             std::uint64_t* valid_bytes = nullptr);
+
+/// Write `content` to `path` atomically: temp file in the same directory,
+/// fsync, rename. Readers never observe a partial file. Creates parent
+/// directories as needed.
+void write_file_atomic(const std::string& path, std::string_view content);
+
+}  // namespace commsched

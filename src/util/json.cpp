@@ -1,0 +1,350 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <system_error>
+
+#include "util/assert.hpp"
+
+namespace commsched {
+
+namespace {
+
+[[noreturn]] void parse_fail(const std::string& what) { throw ParseError("json: " + what); }
+
+void append_u16_as_utf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) parse_fail("trailing characters after value");
+    return v;
+  }
+
+ private:
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  char next() {
+    if (pos_ >= text_.size()) parse_fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+        ++pos_;
+      else
+        break;
+    }
+  }
+
+  void expect_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      parse_fail("invalid literal at offset " + std::to_string(pos_));
+    pos_ += word.size();
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case 'n': expect_literal("null"); return JsonValue::null();
+      case 't': expect_literal("true"); return JsonValue::boolean(true);
+      case 'f': expect_literal("false"); return JsonValue::boolean(false);
+      case '"': return JsonValue::string(parse_string());
+      case '[': return parse_array();
+      case '{': return parse_object();
+      default: return parse_number();
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = next();
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else parse_fail("invalid \\u escape");
+    }
+    return v;
+  }
+
+  std::string parse_string() {
+    if (next() != '"') parse_fail("expected string");
+    std::string out;
+    for (;;) {
+      const char c = next();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        parse_fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char e = next();
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate
+            if (next() != '\\' || next() != 'u')
+              parse_fail("unpaired surrogate in \\u escape");
+            const std::uint32_t low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF)
+              parse_fail("invalid low surrogate in \\u escape");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            parse_fail("unpaired surrogate in \\u escape");
+          }
+          append_u16_as_utf8(out, cp);
+          break;
+        }
+        default: parse_fail("invalid escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (peek() < '0' || peek() > '9')
+      parse_fail("invalid value at offset " + std::to_string(start));
+    while (peek() >= '0' && peek() <= '9') ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      if (peek() < '0' || peek() > '9') parse_fail("digit required after '.'");
+      while (peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (peek() < '0' || peek() > '9') parse_fail("digit required in exponent");
+      while (peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    return JsonValue::number(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  JsonValue parse_array() {
+    (void)next();  // '['
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue::array(std::move(items));
+    }
+    for (;;) {
+      items.push_back(parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == ']') return JsonValue::array(std::move(items));
+      if (c != ',') parse_fail("expected ',' or ']' in array");
+      skip_ws();
+    }
+  }
+
+  JsonValue parse_object() {
+    (void)next();  // '{'
+    std::vector<std::pair<std::string, JsonValue>> members;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue::object(std::move(members));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      if (next() != ':') parse_fail("expected ':' after object key");
+      skip_ws();
+      members.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == '}') return JsonValue::object(std::move(members));
+      if (c != ',') parse_fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_quote(std::string_view s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+std::string json_number(double v) {
+  COMMSCHED_ASSERT_MSG(std::isfinite(v), "JSON numbers must be finite");
+  char buf[64];
+  const std::to_chars_result res = std::to_chars(buf, buf + sizeof(buf), v);
+  COMMSCHED_ASSERT_MSG(res.ec == std::errc(), "double formatting failed");
+  return std::string(buf, res.ptr);
+}
+
+JsonValue JsonValue::null() { return JsonValue(); }
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number(std::string raw) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.scalar_ = std::move(raw);
+  return v;
+}
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.scalar_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::object(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) parse_fail("value is not a boolean");
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  if (kind_ != Kind::kNumber) parse_fail("value is not a number");
+  double out = 0.0;
+  const char* first = scalar_.data();
+  const char* last = first + scalar_.size();
+  const std::from_chars_result res = std::from_chars(first, last, out);
+  if (res.ec != std::errc() || res.ptr != last)
+    parse_fail("number out of double range: " + scalar_);
+  return out;
+}
+
+std::int64_t JsonValue::as_int64() const {
+  if (kind_ != Kind::kNumber) parse_fail("value is not a number");
+  std::int64_t out = 0;
+  const char* first = scalar_.data();
+  const char* last = first + scalar_.size();
+  const std::from_chars_result res = std::from_chars(first, last, out);
+  if (res.ec != std::errc() || res.ptr != last)
+    parse_fail("number is not an int64: " + scalar_);
+  return out;
+}
+
+std::uint64_t JsonValue::as_uint64() const {
+  if (kind_ != Kind::kNumber) parse_fail("value is not a number");
+  std::uint64_t out = 0;
+  const char* first = scalar_.data();
+  const char* last = first + scalar_.size();
+  const std::from_chars_result res = std::from_chars(first, last, out);
+  if (res.ec != std::errc() || res.ptr != last)
+    parse_fail("number is not a uint64: " + scalar_);
+  return out;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) parse_fail("value is not a string");
+  return scalar_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::kArray) parse_fail("value is not an array");
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  if (kind_ != Kind::kObject) parse_fail("value is not an object");
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) parse_fail("value is not an object");
+  for (const auto& [name, value] : members_)
+    if (name == key) return &value;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) parse_fail("missing object key: " + std::string(key));
+  return *v;
+}
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace commsched

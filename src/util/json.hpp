@@ -1,0 +1,95 @@
+// Minimal JSON reading/writing for the campaign persistence layer
+// (DESIGN.md "Campaign persistence, sharding & resume").
+//
+// The campaign stream (exp/sink.hpp) and the campaign JSON emitter
+// (exp/emit.hpp) need exactly two properties from their serialization:
+//
+//   1. *Exact* round-trips. Doubles are written with the shortest
+//      representation that std::from_chars parses back to the identical
+//      bits (std::to_chars), and 64-bit integers (seeds, fingerprints) are
+//      preserved digit for digit — a resumed campaign must reproduce the
+//      uninterrupted run's reduced CSV byte for byte.
+//   2. Determinism. Writers are plain string builders (callers control
+//      field order); the parser keeps object members in document order.
+//
+// This is intentionally not a general JSON library: no DOM mutation, no
+// formatting options, no streaming. parse_json handles the full value
+// grammar (incl. \uXXXX escapes with surrogate pairs) so foreign files are
+// read correctly, and throws ParseError on malformed input.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace commsched {
+
+/// Escape a string's content for embedding inside a JSON string literal
+/// (no surrounding quotes): ", \, and control characters. Non-ASCII bytes
+/// pass through verbatim (the files are UTF-8).
+std::string json_escape(std::string_view s);
+
+/// `"escaped"` — json_escape with surrounding quotes.
+std::string json_quote(std::string_view s);
+
+/// Shortest round-trip decimal form of a finite double (std::to_chars):
+/// parse_json(...).as_double() returns the identical bits. Throws
+/// InvariantError on NaN/infinity (not representable in JSON).
+std::string json_number(double v);
+
+/// A parsed JSON value. Accessors throw ParseError when the value's kind
+/// does not match (so malformed campaign streams fail loudly, not with
+/// default-constructed garbage).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  static JsonValue null();
+  static JsonValue boolean(bool b);
+  /// `raw` is the number's source text (kept verbatim for exact integer
+  /// and double round-trips).
+  static JsonValue number(std::string raw);
+  static JsonValue string(std::string s);
+  static JsonValue array(std::vector<JsonValue> items);
+  static JsonValue object(std::vector<std::pair<std::string, JsonValue>> members);
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+
+  bool as_bool() const;
+  /// Exact bits of the source text (std::from_chars).
+  double as_double() const;
+  /// Throws unless the number is a plain base-10 integer in range.
+  std::int64_t as_int64() const;
+  std::uint64_t as_uint64() const;
+  const std::string& as_string() const;
+
+  /// Array elements (throws unless kind() == kArray).
+  const std::vector<JsonValue>& items() const;
+
+  /// Object members in document order (throws unless kind() == kObject).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+  /// First member with the given key; nullptr when absent.
+  const JsonValue* find(std::string_view key) const;
+  /// find() that throws ParseError naming the missing key.
+  const JsonValue& at(std::string_view key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string scalar_;  // number source text, or string value
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parse one complete JSON document (trailing whitespace allowed, anything
+/// else after the value throws). Throws ParseError on malformed input.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace commsched

@@ -64,8 +64,15 @@ std::string TextTable::render(int indent) const {
 }
 
 namespace {
+// RFC-4180 quoting, applied when the field contains a comma, quote, CR/LF,
+// or leading/trailing whitespace (unquoted edge whitespace is legal per the
+// RFC but silently stripped by several common readers — mix/machine/variant
+// labels like " X (extension)" must survive a round trip unchanged).
 std::string csv_escape(const std::string& s) {
-  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  const bool edge_ws =
+      !s.empty() && (s.front() == ' ' || s.back() == ' ' ||
+                     s.front() == '\t' || s.back() == '\t');
+  if (!edge_ws && s.find_first_of(",\"\n\r") == std::string::npos) return s;
   std::string out = "\"";
   for (const char c : s) {
     if (c == '"') out += "\"\"";

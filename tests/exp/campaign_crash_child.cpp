@@ -1,0 +1,98 @@
+// Subprocess body for the kill/resume integration test
+// (campaign_resume_test.cpp). Runs a small fixed campaign streaming to
+// argv[1]; when argv[3] is given, SIGKILLs itself — no destructors, no
+// flushes — the moment that many cells have been streamed. On a completed
+// (unsharded) run it merges its own stream and writes canonical JSONL and
+// reduced CSV next to argv[2], exactly what the parent diffs byte for byte
+// against an uninterrupted run.
+//
+// Usage: exp_campaign_crash_child <stream.jsonl> <out_prefix|-> [kill_after]
+// Honors COMMSCHED_SHARD / COMMSCHED_THREADS like any campaign harness.
+#include <csignal>
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "exp/campaign.hpp"
+#include "exp/emit.hpp"
+#include "exp/sink.hpp"
+#include "topology/builders.hpp"
+#include "util/file_io.hpp"
+#include "workload/synthetic.hpp"
+
+namespace commsched::exp {
+namespace {
+
+// Mirrors the tiny grid of campaign_test.cpp: 2 machines x 2 mixes x 3
+// allocators = 12 cells, milliseconds each.
+MachineCase tiny_machine(const std::string& name, std::uint64_t seed) {
+  LogProfile profile;
+  profile.name = name;
+  profile.machine_nodes = 64;
+  profile.min_exp = 1;
+  profile.max_exp = 5;
+  profile.pow2_fraction = 0.9;
+  profile.runtime_log_median = 6.0;
+  profile.runtime_sigma = 0.8;
+  profile.target_load = 0.9;
+  return MachineCase{name, make_two_level_tree(4, 16),
+                     generate_log(profile, 60, seed)};
+}
+
+CampaignSpec crash_spec() {
+  CampaignSpec spec;
+  spec.name = "crashtest";
+  spec.quiet = true;
+  spec.machines.push_back(tiny_machine("M0", 11));
+  spec.machines.push_back(tiny_machine("M1", 22));
+  spec.mixes.push_back(uniform_mix(Pattern::kRecursiveHalvingVD, 0.9, 0.8));
+  spec.mixes.push_back(uniform_mix(Pattern::kRecursiveDoubling, 0.6, 0.5));
+  spec.allocators = {AllocatorKind::kDefault, AllocatorKind::kBalanced,
+                     AllocatorKind::kAdaptive};
+  spec.base_seeds = {7};
+  return spec;
+}
+
+int child_main(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "usage: exp_campaign_crash_child <stream.jsonl> "
+                 "<out_prefix|-> [kill_after]\n";
+    return 2;
+  }
+  CampaignSpec spec = crash_spec();
+  spec.stream_path = argv[1];
+  const std::string out_prefix = argv[2];
+  if (argc > 3) {
+    const std::size_t kill_after =
+        static_cast<std::size_t>(std::stoul(argv[3]));
+    spec.on_cell_streamed = [kill_after](std::size_t streamed) {
+      // Called with the line already fsync'd: dying here loses nothing but
+      // the cells still in flight (whose partial bytes resume truncates).
+      if (streamed >= kill_after) std::raise(SIGKILL);
+    };
+  }
+
+  const CampaignResult result = CampaignRunner(spec).run();
+
+  if (out_prefix != "-" && resolve_shard(spec).count == 1) {
+    const MergedCampaign merged = merge_streams({spec.stream_path});
+    write_file_atomic(out_prefix + ".jsonl",
+                      canonical_jsonl(merged.header, merged.result));
+    write_file_atomic(out_prefix + ".csv",
+                      campaign_table(merged.result).render_csv());
+  }
+  std::cout << result.cells.size() << " cells\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace commsched::exp
+
+int main(int argc, char** argv) {
+  try {
+    return commsched::exp::child_main(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "exp_campaign_crash_child: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,171 @@
+// Durability contract of the crash-safe file primitives (util/file_io.hpp):
+// complete '\n'-terminated lines survive a kill at any instant, a partial
+// trailing line is detected (and truncatable) on resume, and atomic writes
+// never expose a half-written file.
+#include "util/file_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace commsched {
+namespace {
+
+std::filesystem::path test_dir(const std::string& name) {
+  const auto dir = std::filesystem::path(::testing::TempDir()) /
+                   ("commsched_file_io_" + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(f),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(AppendFile, AppendsLinesAndReportsSize) {
+  const auto dir = test_dir("append");
+  const std::string path = (dir / "nested" / "stream.jsonl").string();
+  AppendFile f(path);  // creates the missing parent directory
+  EXPECT_TRUE(f.is_open());
+  EXPECT_EQ(f.path(), path);
+  EXPECT_EQ(f.size(), 0u);
+  f.append_line("alpha");
+  f.append_line("");
+  f.append_line("beta");
+  f.sync();
+  EXPECT_EQ(f.size(), 12u);
+  EXPECT_EQ(slurp(path), "alpha\n\nbeta\n");
+}
+
+TEST(AppendFile, ReopensInAppendModeAndTruncatesOnRequest) {
+  const auto dir = test_dir("reopen");
+  const std::string path = (dir / "s.txt").string();
+  {
+    AppendFile f(path);
+    f.append_line("one");
+  }
+  {
+    AppendFile f(path);  // default: keep existing content
+    EXPECT_EQ(f.size(), 4u);
+    f.append_line("two");
+  }
+  EXPECT_EQ(slurp(path), "one\ntwo\n");
+  {
+    AppendFile f(path, /*truncate=*/true);
+    EXPECT_EQ(f.size(), 0u);
+    f.append_line("fresh");
+  }
+  EXPECT_EQ(slurp(path), "fresh\n");
+}
+
+TEST(AppendFile, TruncateToDropsTrailingBytes) {
+  const auto dir = test_dir("truncate");
+  const std::string path = (dir / "s.txt").string();
+  AppendFile f(path);
+  f.append_line("keep");
+  f.append_line("drop");
+  f.truncate_to(5);
+  EXPECT_EQ(f.size(), 5u);
+  f.append_line("next");
+  EXPECT_EQ(slurp(path), "keep\nnext\n");
+}
+
+TEST(AppendFile, RejectsEmbeddedNewlinesAndClosedUse) {
+  const auto dir = test_dir("misuse");
+  AppendFile f((dir / "s.txt").string());
+  EXPECT_THROW(f.append_line("a\nb"), InvariantError);
+  f.close();
+  EXPECT_FALSE(f.is_open());
+  EXPECT_THROW(f.append_line("x"), InvariantError);
+  EXPECT_THROW(f.sync(), InvariantError);
+  EXPECT_THROW((void)f.size(), InvariantError);
+}
+
+TEST(AppendFile, MoveTransfersOwnership) {
+  const auto dir = test_dir("move");
+  AppendFile a((dir / "s.txt").string());
+  a.append_line("from-a");
+  AppendFile b(std::move(a));
+  EXPECT_FALSE(a.is_open());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.is_open());
+  b.append_line("from-b");
+  AppendFile c;
+  c = std::move(b);
+  c.append_line("from-c");
+  EXPECT_EQ(slurp(dir / "s.txt"), "from-a\nfrom-b\nfrom-c\n");
+}
+
+TEST(ReadCompleteLines, DropsPartialTrailingLineAndReportsValidBytes) {
+  const auto dir = test_dir("partial");
+  const std::string path = (dir / "s.txt").string();
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "first\nsecond\npart";  // killed mid-append: no trailing '\n'
+  }
+  std::uint64_t valid = 0;
+  const std::vector<std::string> lines = read_complete_lines(path, &valid);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "first");
+  EXPECT_EQ(lines[1], "second");
+  EXPECT_EQ(valid, 13u);  // one past "second\n"
+
+  // Truncating to valid_bytes and appending resumes a clean stream.
+  AppendFile f(path);
+  f.truncate_to(valid);
+  f.append_line("third");
+  EXPECT_EQ(slurp(path), "first\nsecond\nthird\n");
+}
+
+TEST(ReadCompleteLines, HandlesEmptyAndHeaderOnlyFiles) {
+  const auto dir = test_dir("empty");
+  const std::string path = (dir / "s.txt").string();
+  { std::ofstream f(path); }
+  std::uint64_t valid = 99;
+  EXPECT_TRUE(read_complete_lines(path, &valid).empty());
+  EXPECT_EQ(valid, 0u);
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "header\n";
+  }
+  EXPECT_EQ(read_complete_lines(path).size(), 1u);
+  // A file that is nothing but a partial line yields zero valid bytes.
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << "torn-head";
+  }
+  EXPECT_TRUE(read_complete_lines(path, &valid).empty());
+  EXPECT_EQ(valid, 0u);
+}
+
+TEST(ReadCompleteLines, ThrowsOnMissingFile) {
+  const auto dir = test_dir("missing");
+  EXPECT_THROW((void)read_complete_lines((dir / "absent").string()), IoError);
+}
+
+TEST(WriteFileAtomic, WritesAndReplacesWholeFiles) {
+  const auto dir = test_dir("atomic");
+  const std::string path = (dir / "deep" / "out.json").string();
+  write_file_atomic(path, "v1\n");
+  EXPECT_EQ(slurp(path), "v1\n");
+  write_file_atomic(path, "v2 longer content\n");
+  EXPECT_EQ(slurp(path), "v2 longer content\n");
+  // No temp litter left behind next to the target.
+  std::size_t entries = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir / "deep")) {
+    (void)e;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+}  // namespace
+}  // namespace commsched

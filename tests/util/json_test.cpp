@@ -1,0 +1,125 @@
+// Round-trip contract of the minimal JSON layer (util/json.hpp): doubles
+// survive json_number -> parse -> as_double bit for bit, 64-bit integers
+// digit for digit — the crash-safe campaign stream depends on exactly this
+// to reproduce an uninterrupted run's reduced CSV byte for byte.
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace commsched {
+namespace {
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(json_escape(std::string("a\x01z")), "a\\u0001z");
+  EXPECT_EQ(json_escape("caf\xc3\xa9"), "caf\xc3\xa9");  // UTF-8 passthrough
+  EXPECT_EQ(json_quote("x,y"), "\"x,y\"");
+}
+
+TEST(JsonEscape, RoundTripsThroughParser) {
+  const std::string nasty = "A, \"B\"\nC\\D\tE\rF \x02 caf\xc3\xa9";
+  const JsonValue v = parse_json(json_quote(nasty));
+  EXPECT_EQ(v.as_string(), nasty);
+}
+
+TEST(JsonNumber, ShortestFormRoundTripsExactly) {
+  const std::vector<double> samples = {
+      0.0,
+      -0.0,
+      1.0,
+      -1.5,
+      1.0 / 3.0,
+      2.0 / 3.0,
+      0.1,
+      123456.789,
+      1e-300,
+      9.87e20,
+      std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(),
+      4503599627370497.0,  // 2^52 + 1: integer beyond float precision
+  };
+  for (const double v : samples) {
+    const std::string text = json_number(v);
+    const double back = parse_json(text).as_double();
+    EXPECT_EQ(back, v) << "via " << text;
+    // Bit-exact, not just ==: distinguishes -0.0 from 0.0.
+    EXPECT_EQ(std::signbit(back), std::signbit(v)) << "via " << text;
+  }
+}
+
+TEST(JsonNumber, RejectsNonFinite) {
+  EXPECT_THROW((void)json_number(std::numeric_limits<double>::infinity()),
+               InvariantError);
+  EXPECT_THROW((void)json_number(std::numeric_limits<double>::quiet_NaN()),
+               InvariantError);
+}
+
+TEST(JsonParse, IntegersRoundTripAtFullWidth) {
+  const std::uint64_t big = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(parse_json(std::to_string(big)).as_uint64(), big);
+  const std::int64_t neg = std::numeric_limits<std::int64_t>::min();
+  EXPECT_EQ(parse_json(std::to_string(neg)).as_int64(), neg);
+  // A fractional number is not an integer.
+  EXPECT_THROW((void)parse_json("1.5").as_uint64(), ParseError);
+  EXPECT_THROW((void)parse_json("-1").as_uint64(), ParseError);
+}
+
+TEST(JsonParse, DocumentStructure) {
+  const JsonValue v = parse_json(
+      R"({"name":"x","n":3,"ok":true,"none":null,"list":[1,2.5,"s"],)"
+      R"("nested":{"a":-7}})");
+  EXPECT_EQ(v.kind(), JsonValue::Kind::kObject);
+  EXPECT_EQ(v.at("name").as_string(), "x");
+  EXPECT_EQ(v.at("n").as_int64(), 3);
+  EXPECT_TRUE(v.at("ok").as_bool());
+  EXPECT_TRUE(v.at("none").is_null());
+  ASSERT_EQ(v.at("list").items().size(), 3u);
+  EXPECT_EQ(v.at("list").items()[1].as_double(), 2.5);
+  EXPECT_EQ(v.at("nested").at("a").as_int64(), -7);
+  EXPECT_EQ(v.find("absent"), nullptr);
+  EXPECT_THROW((void)v.at("absent"), ParseError);
+  // Members keep document order.
+  EXPECT_EQ(v.members().front().first, "name");
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  EXPECT_EQ(parse_json(R"("A")").as_string(), "A");
+  EXPECT_EQ(parse_json(R"("é")").as_string(), "\xc3\xa9");
+  EXPECT_EQ(parse_json(R"("€")").as_string(), "\xe2\x82\xac");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(parse_json(R"("😀")").as_string(), "\xf0\x9f\x98\x80");
+  EXPECT_THROW((void)parse_json(R"("\ud83d")"), ParseError);
+  EXPECT_THROW((void)parse_json(R"("\ude00")"), ParseError);
+  EXPECT_THROW((void)parse_json(R"("\uZZZZ")"), ParseError);
+}
+
+TEST(JsonParse, MalformedInputThrows) {
+  EXPECT_THROW((void)parse_json(""), ParseError);
+  EXPECT_THROW((void)parse_json("{"), ParseError);
+  EXPECT_THROW((void)parse_json("[1,]"), ParseError);
+  EXPECT_THROW((void)parse_json("{\"a\":1,}"), ParseError);
+  EXPECT_THROW((void)parse_json("\"unterminated"), ParseError);
+  EXPECT_THROW((void)parse_json("treu"), ParseError);
+  EXPECT_THROW((void)parse_json("1 2"), ParseError);
+  EXPECT_THROW((void)parse_json("01x"), ParseError);
+  EXPECT_THROW((void)parse_json("\"raw\ncontrol\""), ParseError);
+  // Kind mismatches throw instead of defaulting.
+  EXPECT_THROW((void)parse_json("3").as_string(), ParseError);
+  EXPECT_THROW((void)parse_json("\"s\"").as_double(), ParseError);
+  EXPECT_THROW((void)parse_json("[1]").members(), ParseError);
+}
+
+}  // namespace
+}  // namespace commsched

@@ -53,6 +53,23 @@ TEST(TextTableTest, CsvEscapesSpecialCharacters) {
   EXPECT_EQ(t.render_csv(), "plain,\"with,comma\",\"with\"\"quote\"\n");
 }
 
+TEST(TextTableTest, CsvEscapesNewlinesAndCarriageReturns) {
+  // Embedded line breaks (mix labels are free-form text) must be quoted, or
+  // a reader sees phantom records; bare CR is just as corrupting as LF.
+  TextTable t;
+  t.add_row({"a\nb", "c\rd", "e\r\nf"});
+  EXPECT_EQ(t.render_csv(), "\"a\nb\",\"c\rd\",\"e\r\nf\"\n");
+}
+
+TEST(TextTableTest, CsvQuotesEdgeWhitespace) {
+  // Unquoted leading/trailing blanks are legal per RFC 4180 but several
+  // common readers strip them; quoting keeps " X (extension)"-style labels
+  // intact through a round trip.
+  TextTable t;
+  t.add_row({" lead", "trail ", "\ttab", "in ner", ""});
+  EXPECT_EQ(t.render_csv(), "\" lead\",\"trail \",\"\ttab\",in ner,\n");
+}
+
 TEST(TextTableTest, CsvIncludesHeader) {
   TextTable t;
   t.set_header({"h1", "h2"});

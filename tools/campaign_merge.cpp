@@ -1,0 +1,72 @@
+// campaign_merge — combine per-shard (or resumed) campaign stream files
+// into the outputs a single uninterrupted process would produce
+// (DESIGN.md "Campaign persistence, sharding & resume").
+//
+// Usage:
+//   campaign_merge <out_prefix> <stream.jsonl> [<stream.jsonl> ...]
+//
+// Validates that every stream carries the same spec name / fingerprint /
+// cell count and that the shards cover the whole grid exactly once, then
+// writes (atomically):
+//   <out_prefix>.jsonl  canonical stream (deterministic payloads only — no
+//                       wall times), byte-identical for {1 process,
+//                       N shards, kill+resume} at any thread count
+//   <out_prefix>.csv    the long-form per-cell table (exp::campaign_table)
+//   <out_prefix>.json   the campaign JSON document (exp::campaign_json)
+//
+// Exit status: 0 on success, 1 on validation/IO failure (message on
+// stderr). The CI sharded-parity job diffs these outputs across shard
+// layouts.
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/emit.hpp"
+#include "exp/sink.hpp"
+#include "util/file_io.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "usage: campaign_merge <out_prefix> <stream.jsonl> "
+                 "[<stream.jsonl> ...]\n";
+    return 1;
+  }
+  const std::string out_prefix = argv[1];
+  std::vector<std::string> paths;
+  for (int i = 2; i < argc; ++i) paths.emplace_back(argv[i]);
+
+  const commsched::exp::MergedCampaign merged =
+      commsched::exp::merge_streams(paths);
+
+  commsched::write_file_atomic(
+      out_prefix + ".jsonl",
+      commsched::exp::canonical_jsonl(merged.header, merged.result));
+  const commsched::TextTable table =
+      commsched::exp::campaign_table(merged.result);
+  if (!table.write_csv(out_prefix + ".csv")) {
+    std::cerr << "campaign_merge: failed to write " << out_prefix << ".csv\n";
+    return 1;
+  }
+  commsched::write_file_atomic(out_prefix + ".json",
+                               commsched::exp::campaign_json(merged.result));
+
+  std::cout << "campaign_merge: " << merged.result.cells.size() << "/"
+            << merged.header.total_cells << " cells of '"
+            << merged.header.spec_name << "' from " << paths.size()
+            << " stream(s) -> " << out_prefix << ".{jsonl,csv,json}\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "campaign_merge: " << e.what() << "\n";
+    return 1;
+  }
+}
