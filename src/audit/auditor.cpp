@@ -439,6 +439,31 @@ void StateAuditor::check_state(const ClusterState& state) {
          << state.leaf_comm(leaf) << " outside [0, L_busy=" << busy << "]";
       violation(os.str());
     }
+    // The packed free index behind free_leaf_span() — the zero-copy path
+    // every allocator enumerates — must list exactly this leaf's free nodes
+    // in ascending order, judged against the auditor's own shadow ownership
+    // table (independent of ClusterState::validate()).
+    const std::span<const NodeId> free_span = state.free_leaf_span(leaf);
+    if (static_cast<int>(free_span.size()) != cap - shadow_busy) {
+      std::ostringstream os;
+      os << "leaf " << tree_->switch_name(leaf) << " free index lists "
+         << free_span.size() << " nodes but the shadow table has "
+         << (cap - shadow_busy) << " free";
+      violation(os.str());
+    }
+    NodeId prev = kInvalidNode;
+    for (const NodeId n : free_span) {
+      if (n <= prev || tree_->leaf_of(n) != leaf ||
+          shadow_owner_[static_cast<std::size_t>(n)] != kInvalidJob) {
+        std::ostringstream os;
+        os << "leaf " << tree_->switch_name(leaf)
+           << " free index corrupt at node " << n << " (prev " << prev
+           << "): must be ascending, attached to this leaf, and free in the "
+              "shadow table";
+        violation(os.str());
+      }
+      prev = n;
+    }
   }
   if (state.free_under(tree_->root()) != state.total_free()) {
     std::ostringstream os;

@@ -1,7 +1,6 @@
 #include "cluster/state.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "util/assert.hpp"
 
@@ -16,12 +15,50 @@ ClusterState::ClusterState(const Tree& tree) : tree_(&tree) {
   for (SwitchId s = 0; s < tree.switch_count(); ++s)
     switch_free_[static_cast<std::size_t>(s)] = tree.node_count_under(s);
   free_total_ = tree.node_count();
+
+  // Per-leaf free index: one contiguous segment per leaf, initially every
+  // attached node (all free), kept sorted ascending.
+  free_list_.reserve(static_cast<std::size_t>(tree.node_count()));
+  leaf_off_.assign(static_cast<std::size_t>(tree.switch_count()), -1);
+  for (const SwitchId leaf : tree.leaves()) {
+    leaf_off_[static_cast<std::size_t>(leaf)] =
+        static_cast<std::int32_t>(free_list_.size());
+    const auto nodes = tree.nodes_of_leaf(leaf);
+    free_list_.insert(free_list_.end(), nodes.begin(), nodes.end());
+    std::sort(free_list_.end() - static_cast<std::ptrdiff_t>(nodes.size()),
+              free_list_.end());
+  }
+  COMMSCHED_ASSERT_EQ_MSG(free_list_.size(),
+                          static_cast<std::size_t>(tree.node_count()),
+                          "every node must hang off exactly one leaf");
+
+  stamp_.assign(static_cast<std::size_t>(tree.node_count()), 0);
 }
 
+// hot-path: no-alloc
 void ClusterState::transition(NodeId n, JobId new_owner, bool comm, bool io,
                               int delta) {
   node_owner_[static_cast<std::size_t>(n)] = new_owner;
   const SwitchId leaf = tree_->leaf_of(n);
+
+  // Maintain the leaf's packed sorted free prefix before the counters move:
+  // leaf_free() still reflects the pre-transition free count here.
+  const std::int32_t off = leaf_off_[static_cast<std::size_t>(leaf)];
+  NodeId* seg = free_list_.data() + off;
+  const int free_before = leaf_free(leaf);
+  if (delta > 0) {
+    // Node became busy: remove it from the sorted prefix.
+    NodeId* pos = std::lower_bound(seg, seg + free_before, n);
+    COMMSCHED_ASSERT_MSG(pos != seg + free_before && *pos == n,
+                         "free index out of sync: allocated node not free");
+    std::copy(pos + 1, seg + free_before, pos);
+  } else {
+    // Node became free: insert it into the sorted prefix.
+    NodeId* pos = std::lower_bound(seg, seg + free_before, n);
+    std::copy_backward(pos, seg + free_before, seg + free_before + 1);
+    *pos = n;
+  }
+
   leaf_busy_[static_cast<std::size_t>(leaf)] += delta;
   if (comm) leaf_comm_[static_cast<std::size_t>(leaf)] += delta;
   if (io) leaf_io_[static_cast<std::size_t>(leaf)] += delta;
@@ -30,37 +67,94 @@ void ClusterState::transition(NodeId n, JobId new_owner, bool comm, bool io,
   free_total_ -= delta;
 }
 
+std::int32_t ClusterState::find_slot(JobId job) const {
+  if (job >= 0 && job < kDenseJobIds) {
+    const auto idx = static_cast<std::size_t>(job);
+    if (idx >= dense_slot_.size()) return -1;
+    return dense_slot_[idx];
+  }
+  const auto it = sparse_slot_.find(job);
+  return it == sparse_slot_.end() ? -1 : it->second;
+}
+
+std::int32_t ClusterState::claim_slot(JobId job) {
+  std::int32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::int32_t>(job_pool_.size());
+    job_pool_.emplace_back();
+  }
+  if (job >= 0 && job < kDenseJobIds) {
+    const auto idx = static_cast<std::size_t>(job);
+    if (idx >= dense_slot_.size()) dense_slot_.resize(idx + 1, -1);
+    dense_slot_[idx] = slot;
+  } else {
+    sparse_slot_.emplace(job, slot);
+  }
+  return slot;
+}
+
+void ClusterState::drop_slot(JobId job, std::int32_t slot) {
+  if (job >= 0 && job < kDenseJobIds)
+    dense_slot_[static_cast<std::size_t>(job)] = -1;
+  else
+    sparse_slot_.erase(job);
+  JobRec& rec = job_pool_[static_cast<std::size_t>(slot)];
+  rec.live = false;
+  rec.id = kInvalidJob;
+  rec.nodes.clear();  // capacity survives for the next occupant
+  free_slots_.push_back(slot);
+}
+
 void ClusterState::allocate(JobId job, bool comm_intensive,
                             std::span<const NodeId> nodes,
                             bool io_intensive) {
   COMMSCHED_ASSERT_MSG(job != kInvalidJob, "invalid job id");
-  COMMSCHED_ASSERT_MSG(!jobs_.contains(job), "job id already allocated");
+  COMMSCHED_ASSERT_MSG(find_slot(job) < 0, "job id already allocated");
   COMMSCHED_ASSERT_MSG(!nodes.empty(), "allocation must contain nodes");
   // Check before mutating so a failed precondition leaves state untouched.
-  std::unordered_set<NodeId> seen;
+  // Epoch stamping replaces a per-call hash set for the duplicate check.
+  if (++epoch_ == 0) {
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
+  }
   for (const NodeId n : nodes) {
     COMMSCHED_ASSERT_MSG(n >= 0 && n < tree_->node_count(),
                          "node id out of range");
-    COMMSCHED_ASSERT_MSG(seen.insert(n).second, "duplicate node in allocation");
+    COMMSCHED_ASSERT_MSG(stamp_[static_cast<std::size_t>(n)] != epoch_,
+                         "duplicate node in allocation");
+    stamp_[static_cast<std::size_t>(n)] = epoch_;
     COMMSCHED_ASSERT_MSG(is_free(n), "node already allocated");
   }
-  JobRec rec;
+  const std::int32_t slot = claim_slot(job);
+  JobRec& rec = job_pool_[static_cast<std::size_t>(slot)];
+  rec.id = job;
+  rec.live = true;
   rec.comm_intensive = comm_intensive;
   rec.io_intensive = io_intensive;
   rec.nodes.assign(nodes.begin(), nodes.end());
   for (const NodeId n : nodes)
     transition(n, job, comm_intensive, io_intensive, +1);
-  jobs_.emplace(job, std::move(rec));
+  ++live_jobs_;
+}
+
+// hot-path: no-alloc
+void ClusterState::release_into(JobId job, std::vector<NodeId>& out) {
+  const std::int32_t slot = find_slot(job);
+  COMMSCHED_ASSERT_MSG(slot >= 0, "releasing unknown job");
+  JobRec& rec = job_pool_[static_cast<std::size_t>(slot)];
+  out.assign(rec.nodes.begin(), rec.nodes.end());
+  for (const NodeId n : out)
+    transition(n, kInvalidJob, rec.comm_intensive, rec.io_intensive, -1);
+  drop_slot(job, slot);
+  --live_jobs_;
 }
 
 std::vector<NodeId> ClusterState::release(JobId job) {
-  const auto it = jobs_.find(job);
-  COMMSCHED_ASSERT_MSG(it != jobs_.end(), "releasing unknown job");
-  std::vector<NodeId> freed = std::move(it->second.nodes);
-  for (const NodeId n : freed)
-    transition(n, kInvalidJob, it->second.comm_intensive,
-               it->second.io_intensive, -1);
-  jobs_.erase(it);
+  std::vector<NodeId> freed;
+  release_into(job, freed);
   return freed;
 }
 
@@ -71,18 +165,18 @@ JobId ClusterState::owner(NodeId n) const {
   return node_owner_[static_cast<std::size_t>(n)];
 }
 
-bool ClusterState::has_job(JobId job) const { return jobs_.contains(job); }
+bool ClusterState::has_job(JobId job) const { return find_slot(job) >= 0; }
 
 std::span<const NodeId> ClusterState::job_nodes(JobId job) const {
-  const auto it = jobs_.find(job);
-  COMMSCHED_ASSERT_MSG(it != jobs_.end(), "unknown job");
-  return it->second.nodes;
+  const std::int32_t slot = find_slot(job);
+  COMMSCHED_ASSERT_MSG(slot >= 0, "unknown job");
+  return job_pool_[static_cast<std::size_t>(slot)].nodes;
 }
 
 bool ClusterState::job_is_comm(JobId job) const {
-  const auto it = jobs_.find(job);
-  COMMSCHED_ASSERT_MSG(it != jobs_.end(), "unknown job");
-  return it->second.comm_intensive;
+  const std::int32_t slot = find_slot(job);
+  COMMSCHED_ASSERT_MSG(slot >= 0, "unknown job");
+  return job_pool_[static_cast<std::size_t>(slot)].comm_intensive;
 }
 
 int ClusterState::leaf_nodes(SwitchId leaf) const {
@@ -111,11 +205,16 @@ int ClusterState::free_under(SwitchId s) const {
 }
 
 std::vector<NodeId> ClusterState::free_nodes_of_leaf(SwitchId leaf) const {
+  const std::span<const NodeId> seg = free_leaf_span(leaf);
+  return {seg.begin(), seg.end()};
+}
+
+// hot-path: no-alloc
+std::span<const NodeId> ClusterState::free_leaf_span(SwitchId leaf) const {
   COMMSCHED_ASSERT_MSG(tree_->is_leaf(leaf), "not a leaf switch");
-  std::vector<NodeId> out;
-  for (const NodeId n : tree_->nodes_of_leaf(leaf))
-    if (is_free(n)) out.push_back(n);
-  return out;
+  const std::int32_t off = leaf_off_[static_cast<std::size_t>(leaf)];
+  return {free_list_.data() + off,
+          static_cast<std::size_t>(leaf_free(leaf))};
 }
 
 void ClusterState::validate() const {
@@ -127,16 +226,18 @@ void ClusterState::validate() const {
   for (NodeId n = 0; n < tree_->node_count(); ++n) {
     const JobId j = node_owner_[static_cast<std::size_t>(n)];
     if (j == kInvalidJob) continue;
-    const auto it = jobs_.find(j);
-    COMMSCHED_ASSERT_MSG(it != jobs_.end(), "node owned by unknown job");
+    const std::int32_t slot = find_slot(j);
+    COMMSCHED_ASSERT_MSG(slot >= 0, "node owned by unknown job");
+    const JobRec& rec = job_pool_[static_cast<std::size_t>(slot)];
+    COMMSCHED_ASSERT_MSG(rec.live && rec.id == j,
+                         "job slot table out of sync");
     COMMSCHED_ASSERT_MSG(
-        std::find(it->second.nodes.begin(), it->second.nodes.end(), n) !=
-            it->second.nodes.end(),
+        std::find(rec.nodes.begin(), rec.nodes.end(), n) != rec.nodes.end(),
         "node/job ownership tables disagree");
     const SwitchId leaf = tree_->leaf_of(n);
     ++busy[static_cast<std::size_t>(leaf)];
-    if (it->second.comm_intensive) ++comm[static_cast<std::size_t>(leaf)];
-    if (it->second.io_intensive) ++io[static_cast<std::size_t>(leaf)];
+    if (rec.comm_intensive) ++comm[static_cast<std::size_t>(leaf)];
+    if (rec.io_intensive) ++io[static_cast<std::size_t>(leaf)];
     ++total_busy;
   }
   COMMSCHED_ASSERT_EQ(free_total_, tree_->node_count() - total_busy);
@@ -155,8 +256,41 @@ void ClusterState::validate() const {
                   busy[static_cast<std::size_t>(leaf)];
     COMMSCHED_ASSERT_EQ(switch_free_[static_cast<std::size_t>(s)], free_sub);
   }
+
+  // Per-leaf free index: the packed prefix must list exactly the leaf's
+  // free nodes, sorted ascending, at the leaf's recorded offset.
+  for (const SwitchId leaf : tree_->leaves()) {
+    const std::int32_t off = leaf_off_[static_cast<std::size_t>(leaf)];
+    COMMSCHED_ASSERT_MSG(off >= 0, "leaf missing from the free index");
+    const int expect_free =
+        static_cast<int>(tree_->nodes_of_leaf(leaf).size()) -
+        busy[static_cast<std::size_t>(leaf)];
+    const std::span<const NodeId> seg{
+        free_list_.data() + off, static_cast<std::size_t>(expect_free)};
+    NodeId prev = -1;
+    for (const NodeId n : seg) {
+      COMMSCHED_ASSERT_MSG(n > prev,
+                           "free index not sorted ascending / duplicated");
+      COMMSCHED_ASSERT_MSG(tree_->leaf_of(n) == leaf,
+                           "free index lists a node of another leaf");
+      COMMSCHED_ASSERT_MSG(node_owner_[static_cast<std::size_t>(n)] ==
+                               kInvalidJob,
+                           "free index lists an allocated node");
+      prev = n;
+    }
+  }
+
   std::size_t nodes_in_jobs = 0;
-  for (const auto& [id, rec] : jobs_) nodes_in_jobs += rec.nodes.size();
+  std::size_t live = 0;
+  for (const JobRec& rec : job_pool_) {
+    if (!rec.live) continue;
+    ++live;
+    nodes_in_jobs += rec.nodes.size();
+    COMMSCHED_ASSERT_EQ_MSG(find_slot(rec.id),
+                            static_cast<std::int32_t>(&rec - job_pool_.data()),
+                            "job id table does not point at the live slot");
+  }
+  COMMSCHED_ASSERT_EQ(live, live_jobs_);
   COMMSCHED_ASSERT_EQ(nodes_in_jobs, static_cast<std::size_t>(total_busy));
 }
 

@@ -6,8 +6,19 @@
 //   L_busy  — nodes currently allocated on the leaf,
 //   L_comm  — nodes running communication-intensive jobs on the leaf,
 // plus per-switch subtree free counts for the lowest-level-switch search.
-// All counters are updated incrementally in O(depth) per node transition;
-// validate() recomputes them from scratch for tests.
+//
+// Million-job scale (DESIGN.md "Million-job event loop"): on top of the
+// counters, every leaf keeps a packed sorted *free-node index* — a segment
+// of one backing array whose prefix lists the leaf's free nodes in
+// ascending id order. Enumerating or taking free nodes is therefore O(nodes
+// touched) instead of scanning every attached node with is_free(), and
+// free_leaf_span() exposes the prefix without copying. Job records live in
+// a slot pool indexed by a dense JobId table (scheduler ids are log index +
+// 1), so steady-state allocate/release perform no hashing and recycle node
+// vectors instead of reallocating them.
+//
+// All structures are updated incrementally in O(depth + leaf size) per node
+// transition; validate() recomputes everything from scratch for tests.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +53,11 @@ class ClusterState {
   /// Precondition: the job is allocated.
   std::vector<NodeId> release(JobId job);
 
+  /// Allocation-free release for hot loops: assigns the freed node set (in
+  /// allocation order) into `out`, reusing its capacity, and recycles the
+  /// job's record. Precondition: the job is allocated.
+  void release_into(JobId job, std::vector<NodeId>& out);
+
   bool is_free(NodeId n) const;
   JobId owner(NodeId n) const;  ///< kInvalidJob when free
 
@@ -49,7 +65,7 @@ class ClusterState {
   /// Nodes held by `job`, in allocation order.
   std::span<const NodeId> job_nodes(JobId job) const;
   bool job_is_comm(JobId job) const;
-  std::size_t job_count() const noexcept { return jobs_.size(); }
+  std::size_t job_count() const noexcept { return live_jobs_; }
 
   int total_nodes() const noexcept { return tree_->node_count(); }
   int total_free() const noexcept { return free_total_; }
@@ -67,8 +83,13 @@ class ClusterState {
   /// Free nodes on a leaf switch, in ascending node-id order.
   std::vector<NodeId> free_nodes_of_leaf(SwitchId leaf) const;
 
-  /// Recompute all counters from the per-node table and compare with the
-  /// incremental ones. Throws InvariantError on mismatch (test hook).
+  /// Zero-copy view of the leaf's free nodes, ascending node-id order
+  /// (the per-leaf free index). Invalidated by any allocate/release.
+  std::span<const NodeId> free_leaf_span(SwitchId leaf) const;
+
+  /// Recompute all counters and the per-leaf free index from the per-node
+  /// table and compare with the incremental ones. Throws InvariantError on
+  /// mismatch (test hook).
   void validate() const;
 
  private:
@@ -76,12 +97,21 @@ class ClusterState {
   friend struct ClusterStateTestPeer;
 
   struct JobRec {
+    JobId id = kInvalidJob;
     bool comm_intensive = false;
     bool io_intensive = false;
-    std::vector<NodeId> nodes;
+    bool live = false;
+    std::vector<NodeId> nodes;  // capacity survives slot recycling
   };
 
+  // JobIds below this bound index dense_slot_ directly; anything else
+  // (huge or negative ids from ad-hoc callers) falls back to the hash map.
+  static constexpr JobId kDenseJobIds = JobId{1} << 26;
+
   void transition(NodeId n, JobId new_owner, bool comm, bool io, int delta);
+  std::int32_t find_slot(JobId job) const;  ///< -1 when absent
+  std::int32_t claim_slot(JobId job);
+  void drop_slot(JobId job, std::int32_t slot);
 
   const Tree* tree_;
   std::vector<JobId> node_owner_;       // per node
@@ -90,7 +120,24 @@ class ClusterState {
   std::vector<int> leaf_io_;            // per switch (leaves used)
   std::vector<int> switch_free_;        // per switch, subtree free count
   int free_total_ = 0;
-  std::unordered_map<JobId, JobRec> jobs_;
+
+  // Per-leaf free index: free_list_[leaf_off_[leaf] .. +leaf_free(leaf))
+  // holds the leaf's free nodes sorted ascending; the rest of the segment
+  // (up to leaf_nodes(leaf)) is scratch.
+  std::vector<NodeId> free_list_;
+  std::vector<std::int32_t> leaf_off_;  // per switch; -1 for internal
+
+  // Job records: slot pool + dense id table (+ sparse overflow).
+  std::vector<JobRec> job_pool_;
+  std::vector<std::int32_t> free_slots_;
+  std::vector<std::int32_t> dense_slot_;  // JobId -> slot index, -1 absent
+  std::unordered_map<JobId, std::int32_t> sparse_slot_;
+  std::size_t live_jobs_ = 0;
+
+  // Duplicate-node check scratch for allocate(): epoch stamping avoids a
+  // per-call hash set.
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
 };
 
 }  // namespace commsched

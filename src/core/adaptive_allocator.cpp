@@ -12,25 +12,30 @@ AdaptiveAllocator::AdaptiveAllocator(CostOptions cost_options,
   if (!cache_) cache_ = std::make_shared<CommCache>(double{1 << 20});
 }
 
-std::optional<std::vector<NodeId>> AdaptiveAllocator::select(
-    const ClusterState& state, const AllocationRequest& request) const {
-  auto greedy_pick = greedy_.select(state, request);
-  auto balanced_pick = balanced_.select(state, request);
-  if (!greedy_pick && !balanced_pick) return std::nullopt;
-  if (!greedy_pick || !balanced_pick) {
-    auto& only = greedy_pick ? greedy_pick : balanced_pick;
-    last_chose_balanced_ = !greedy_pick;
+bool AdaptiveAllocator::select_into(const ClusterState& state,
+                                    const AllocationRequest& request,
+                                    std::vector<NodeId>& out) const {
+  const bool have_greedy = greedy_.select_into(state, request, greedy_pick_);
+  const bool have_balanced =
+      balanced_.select_into(state, request, balanced_pick_);
+  if (!have_greedy && !have_balanced) {
+    out.clear();
+    return false;
+  }
+  if (!have_greedy || !have_balanced) {
+    last_chose_balanced_ = !have_greedy;
     last_cost_ = 0.0;
-    return only;
+    out = have_greedy ? greedy_pick_ : balanced_pick_;
+    return true;
   }
 
   const CostModel model(state.tree(), cost_options_);
   const double greedy_cost =
-      profiled_candidate_cost(model, *cache_, state, *greedy_pick,
+      profiled_candidate_cost(model, *cache_, state, greedy_pick_,
                               request.comm_intensive, request.pattern,
                               workspace_);
   const double balanced_cost =
-      profiled_candidate_cost(model, *cache_, state, *balanced_pick,
+      profiled_candidate_cost(model, *cache_, state, balanced_pick_,
                               request.comm_intensive, request.pattern,
                               workspace_);
 
@@ -45,7 +50,8 @@ std::optional<std::vector<NodeId>> AdaptiveAllocator::select(
 
   last_chose_balanced_ = choose_balanced;
   last_cost_ = choose_balanced ? balanced_cost : greedy_cost;
-  return choose_balanced ? std::move(balanced_pick) : std::move(greedy_pick);
+  out = choose_balanced ? balanced_pick_ : greedy_pick_;
+  return true;
 }
 
 }  // namespace commsched

@@ -33,8 +33,9 @@ class AdaptiveAllocator final : public Allocator {
 
   const char* name() const noexcept override { return "adaptive"; }
 
-  std::optional<std::vector<NodeId>> select(
-      const ClusterState& state, const AllocationRequest& request) const override;
+  bool select_into(const ClusterState& state,
+                   const AllocationRequest& request,
+                   std::vector<NodeId>& out) const override;
 
   /// Cost of the candidate chosen by the last select() call, and whether
   /// balanced won (diagnostics for the benches; meaningful only directly
@@ -55,6 +56,11 @@ class AdaptiveAllocator final : public Allocator {
   mutable double last_cost_ = 0.0;
   // workspace: see last_cost_.
   mutable bool last_chose_balanced_ = false;
+  // workspace: candidate buffers reused across const select_into() calls;
+  // overwritten by the nested policies on entry, never observable.
+  mutable std::vector<NodeId> greedy_pick_;
+  // workspace: see greedy_pick_.
+  mutable std::vector<NodeId> balanced_pick_;
 };
 
 }  // namespace commsched

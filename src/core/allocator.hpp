@@ -45,11 +45,24 @@ class Allocator {
   /// Human-readable policy name ("default", "greedy", ...).
   virtual const char* name() const noexcept = 0;
 
-  /// Select request.num_nodes free nodes. Returns std::nullopt when the
-  /// cluster cannot satisfy the request right now (the job must wait).
-  /// Never mutates `state`; never returns an occupied or duplicated node.
-  virtual std::optional<std::vector<NodeId>> select(
-      const ClusterState& state, const AllocationRequest& request) const = 0;
+  /// Select request.num_nodes free nodes into `out` (cleared first) and
+  /// return true; return false, leaving `out` empty, when the cluster cannot
+  /// satisfy the request right now (the job must wait). Never mutates
+  /// `state`; never writes an occupied or duplicated node. This is the
+  /// simulator's hot path: implementations reuse `out`'s capacity and keep
+  /// any internal scratch in mutable members, so concurrent calls on one
+  /// instance are not safe (each campaign cell owns its allocators).
+  virtual bool select_into(const ClusterState& state,
+                           const AllocationRequest& request,
+                           std::vector<NodeId>& out) const = 0;
+
+  /// Convenience wrapper over select_into() returning a fresh vector.
+  std::optional<std::vector<NodeId>> select(
+      const ClusterState& state, const AllocationRequest& request) const {
+    std::vector<NodeId> out;
+    if (!select_into(state, request, out)) return std::nullopt;
+    return out;
+  }
 };
 
 }  // namespace commsched

@@ -23,13 +23,12 @@ void take_free_nodes(const ClusterState& state, SwitchId leaf, int count,
                      std::vector<NodeId>& out) {
   COMMSCHED_ASSERT_GE(count, 0);
   if (count == 0) return;
-  int taken = 0;
-  for (const NodeId n : state.tree().nodes_of_leaf(leaf)) {
-    if (!state.is_free(n)) continue;
-    out.push_back(n);
-    if (++taken == count) return;
-  }
-  COMMSCHED_ASSERT_MSG(false, "leaf has fewer free nodes than requested");
+  // The per-leaf free index lists the leaf's free nodes ascending, which is
+  // exactly the order the old is_free() scan over nodes_of_leaf() produced.
+  const std::span<const NodeId> free = state.free_leaf_span(leaf);
+  COMMSCHED_ASSERT_MSG(static_cast<std::size_t>(count) <= free.size(),
+                       "leaf has fewer free nodes than requested");
+  out.insert(out.end(), free.begin(), free.begin() + count);
 }
 
 double communication_ratio(const ClusterState& state, SwitchId leaf) {

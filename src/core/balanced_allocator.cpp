@@ -7,23 +7,24 @@
 
 namespace commsched {
 
-std::optional<std::vector<NodeId>> BalancedAllocator::select(
-    const ClusterState& state, const AllocationRequest& request) const {
+bool BalancedAllocator::select_into(const ClusterState& state,
+                                    const AllocationRequest& request,
+                                    std::vector<NodeId>& out) const {
+  out.clear();
   const SwitchId top = find_lowest_level_switch(state, request.num_nodes);
-  if (top == kInvalidSwitch) return std::nullopt;
+  if (top == kInvalidSwitch) return false;
 
-  std::vector<NodeId> alloc;
-  alloc.reserve(static_cast<std::size_t>(request.num_nodes));
+  out.reserve(static_cast<std::size_t>(request.num_nodes));
   // Algorithm 2 lines 3-5.
   if (state.tree().is_leaf(top)) {
-    take_free_nodes(state, top, request.num_nodes, alloc);
-    return alloc;
+    take_free_nodes(state, top, request.num_nodes, out);
+    return true;
   }
 
-  std::vector<SwitchId> leaf_order(state.tree().leaves_under(top).begin(),
-                                   state.tree().leaves_under(top).end());
-  std::erase_if(leaf_order,
-                [&](SwitchId l) { return state.leaf_free(l) == 0; });
+  auto& leaf_order = leaf_order_;
+  leaf_order.clear();
+  for (const SwitchId l : state.tree().leaves_under(top))
+    if (state.leaf_free(l) > 0) leaf_order.push_back(l);
 
   if (request.comm_intensive) {
     // Lines 9-10: leaves in decreasing free-node order.
@@ -35,13 +36,11 @@ std::optional<std::vector<NodeId>> BalancedAllocator::select(
                        return a < b;
                      });
 
-    // Per-leaf free node lists with a cursor, so the top-up pass cannot
+    // Per-leaf cursors over the zero-copy free spans (select never mutates
+    // the state, so the spans stay valid), so the top-up pass cannot
     // re-take nodes granted in the power-of-two pass.
-    std::vector<std::vector<NodeId>> free_nodes;
-    std::vector<std::size_t> cursor(leaf_order.size(), 0);
-    free_nodes.reserve(leaf_order.size());
-    for (const SwitchId leaf : leaf_order)
-      free_nodes.push_back(state.free_nodes_of_leaf(leaf));
+    auto& cursor = cursor_;
+    cursor.assign(leaf_order.size(), 0);
 
     // Lines 12-21: halve the chunk size S until it fits each leaf; allocate
     // the largest power of two the leaf can hold. S persists across leaves
@@ -49,30 +48,34 @@ std::optional<std::vector<NodeId>> BalancedAllocator::select(
     int remaining = request.num_nodes;
     int chunk = request.num_nodes;
     for (std::size_t li = 0; li < leaf_order.size() && remaining > 0; ++li) {
-      const int free = static_cast<int>(free_nodes[li].size());
+      const std::span<const NodeId> free_nodes =
+          state.free_leaf_span(leaf_order[li]);
+      const int free = static_cast<int>(free_nodes.size());
       while (chunk > free) chunk /= 2;
       if (chunk == 0) break;  // leaf smaller than any power-of-two chunk
       const int take = std::min(chunk, remaining);
       for (int t = 0; t < take; ++t)
-        alloc.push_back(free_nodes[li][cursor[li]++]);
+        out.push_back(free_nodes[cursor[li]++]);
       remaining -= take;
     }
 
     // Lines 22-27: top up from the leftover free nodes, reverse order.
     if (remaining > 0) {
       for (std::size_t li = leaf_order.size(); li-- > 0 && remaining > 0;) {
+        const std::span<const NodeId> free_nodes =
+            state.free_leaf_span(leaf_order[li]);
         const int avail =
-            static_cast<int>(free_nodes[li].size() - cursor[li]);
+            static_cast<int>(free_nodes.size() - cursor[li]);
         const int take = std::min(avail, remaining);
         for (int t = 0; t < take; ++t)
-          alloc.push_back(free_nodes[li][cursor[li]++]);
+          out.push_back(free_nodes[cursor[li]++]);
         remaining -= take;
       }
     }
     COMMSCHED_ASSERT_EQ_MSG(remaining, 0,
                             "lowest-level switch reported enough free nodes "
                             "but leaves did not provide them");
-    return alloc;
+    return true;
   }
 
   // Lines 30-35: compute-intensive jobs fill leaves in increasing free-node
@@ -87,14 +90,14 @@ std::optional<std::vector<NodeId>> BalancedAllocator::select(
   int remaining = request.num_nodes;
   for (const SwitchId leaf : leaf_order) {
     const int take = std::min(state.leaf_free(leaf), remaining);
-    take_free_nodes(state, leaf, take, alloc);
+    take_free_nodes(state, leaf, take, out);
     remaining -= take;
-    if (remaining == 0) return alloc;
+    if (remaining == 0) return true;
   }
   COMMSCHED_ASSERT_MSG(false,
                        "lowest-level switch reported enough free nodes but "
                        "leaves did not provide them");
-  return std::nullopt;
+  return false;
 }
 
 }  // namespace commsched

@@ -18,8 +18,17 @@ class BalancedAllocator final : public Allocator {
  public:
   const char* name() const noexcept override { return "balanced"; }
 
-  std::optional<std::vector<NodeId>> select(
-      const ClusterState& state, const AllocationRequest& request) const override;
+  bool select_into(const ClusterState& state,
+                   const AllocationRequest& request,
+                   std::vector<NodeId>& out) const override;
+
+ private:
+  // workspace: leaf-ordering scratch reused across const select_into()
+  // calls; cleared on entry, never observable.
+  mutable std::vector<SwitchId> leaf_order_;
+  // workspace: per-leaf take cursors for the power-of-two + top-up passes;
+  // reassigned on entry, never observable.
+  mutable std::vector<std::size_t> cursor_;
 };
 
 }  // namespace commsched

@@ -7,24 +7,25 @@
 
 namespace commsched {
 
-std::optional<std::vector<NodeId>> DefaultAllocator::select(
-    const ClusterState& state, const AllocationRequest& request) const {
+bool DefaultAllocator::select_into(const ClusterState& state,
+                                   const AllocationRequest& request,
+                                   std::vector<NodeId>& out) const {
+  out.clear();
   const SwitchId root_switch = find_lowest_level_switch(state, request.num_nodes);
-  if (root_switch == kInvalidSwitch) return std::nullopt;
+  if (root_switch == kInvalidSwitch) return false;
 
-  std::vector<NodeId> alloc;
-  alloc.reserve(static_cast<std::size_t>(request.num_nodes));
+  out.reserve(static_cast<std::size_t>(request.num_nodes));
   if (state.tree().is_leaf(root_switch)) {
-    take_free_nodes(state, root_switch, request.num_nodes, alloc);
-    return alloc;
+    take_free_nodes(state, root_switch, request.num_nodes, out);
+    return true;
   }
 
   // Best-fit across the leaves under the chosen switch: fewest free nodes
   // first, so large contiguous blocks stay available for later jobs.
-  std::vector<SwitchId> leaf_order(state.tree().leaves_under(root_switch).begin(),
-                                   state.tree().leaves_under(root_switch).end());
-  std::erase_if(leaf_order,
-                [&](SwitchId l) { return state.leaf_free(l) == 0; });
+  auto& leaf_order = leaf_order_;
+  leaf_order.clear();
+  for (const SwitchId l : state.tree().leaves_under(root_switch))
+    if (state.leaf_free(l) > 0) leaf_order.push_back(l);
   std::stable_sort(leaf_order.begin(), leaf_order.end(),
                    [&](SwitchId a, SwitchId b) {
                      const int fa = state.leaf_free(a);
@@ -36,14 +37,14 @@ std::optional<std::vector<NodeId>> DefaultAllocator::select(
   int remaining = request.num_nodes;
   for (const SwitchId leaf : leaf_order) {
     const int take = std::min(state.leaf_free(leaf), remaining);
-    take_free_nodes(state, leaf, take, alloc);
+    take_free_nodes(state, leaf, take, out);
     remaining -= take;
-    if (remaining == 0) return alloc;
+    if (remaining == 0) return true;
   }
   COMMSCHED_ASSERT_MSG(false,
                        "lowest-level switch reported enough free nodes but "
                        "leaves did not provide them");
-  return std::nullopt;
+  return false;
 }
 
 }  // namespace commsched

@@ -12,8 +12,14 @@ class DefaultAllocator final : public Allocator {
  public:
   const char* name() const noexcept override { return "default"; }
 
-  std::optional<std::vector<NodeId>> select(
-      const ClusterState& state, const AllocationRequest& request) const override;
+  bool select_into(const ClusterState& state,
+                   const AllocationRequest& request,
+                   std::vector<NodeId>& out) const override;
+
+ private:
+  // workspace: leaf-ordering scratch reused across const select_into()
+  // calls; cleared on entry, never observable.
+  mutable std::vector<SwitchId> leaf_order_;
 };
 
 }  // namespace commsched

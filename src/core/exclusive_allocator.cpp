@@ -7,11 +7,12 @@
 
 namespace commsched {
 
-std::optional<std::vector<NodeId>> ExclusiveAllocator::select(
-    const ClusterState& state, const AllocationRequest& request) const {
+bool ExclusiveAllocator::select_into(const ClusterState& state,
+                                     const AllocationRequest& request,
+                                     std::vector<NodeId>& out) const {
   const Tree& tree = state.tree();
-  std::vector<NodeId> alloc;
-  alloc.reserve(static_cast<std::size_t>(request.num_nodes));
+  out.clear();
+  out.reserve(static_cast<std::size_t>(request.num_nodes));
 
   // Small jobs: a completely idle leaf that fits the whole request keeps
   // the job isolated without fragmenting several leaves. Pick the
@@ -25,14 +26,15 @@ std::optional<std::vector<NodeId>> ExclusiveAllocator::select(
       best_leaf = leaf;
   }
   if (best_leaf != kInvalidSwitch) {
-    take_free_nodes(state, best_leaf, request.num_nodes, alloc);
-    return alloc;
+    take_free_nodes(state, best_leaf, request.num_nodes, out);
+    return true;
   }
 
   // Large jobs: gather whole idle leaves (largest first, to use as few
   // switches as possible) until the request is covered. The last leaf may
   // be partially used, but remains dedicated to this job regardless.
-  std::vector<SwitchId> idle;
+  auto& idle = idle_;
+  idle.clear();
   for (const SwitchId leaf : tree.leaves())
     if (state.leaf_busy(leaf) == 0) idle.push_back(leaf);
   std::stable_sort(idle.begin(), idle.end(), [&](SwitchId a, SwitchId b) {
@@ -43,17 +45,17 @@ std::optional<std::vector<NodeId>> ExclusiveAllocator::select(
   });
   int available = 0;
   for (const SwitchId leaf : idle) available += state.leaf_nodes(leaf);
-  if (available < request.num_nodes) return std::nullopt;  // must wait
+  if (available < request.num_nodes) return false;  // must wait
 
   int remaining = request.num_nodes;
   for (const SwitchId leaf : idle) {
     const int take = std::min(state.leaf_nodes(leaf), remaining);
-    take_free_nodes(state, leaf, take, alloc);
+    take_free_nodes(state, leaf, take, out);
     remaining -= take;
-    if (remaining == 0) return alloc;
+    if (remaining == 0) return true;
   }
   COMMSCHED_ASSERT_MSG(false, "idle-leaf capacity changed mid-selection");
-  return std::nullopt;
+  return false;
 }
 
 }  // namespace commsched

@@ -22,8 +22,14 @@ class ExclusiveAllocator final : public Allocator {
  public:
   const char* name() const noexcept override { return "exclusive"; }
 
-  std::optional<std::vector<NodeId>> select(
-      const ClusterState& state, const AllocationRequest& request) const override;
+  bool select_into(const ClusterState& state,
+                   const AllocationRequest& request,
+                   std::vector<NodeId>& out) const override;
+
+ private:
+  // workspace: idle-leaf ordering scratch reused across const select_into()
+  // calls; cleared on entry, never observable.
+  mutable std::vector<SwitchId> idle_;
 };
 
 }  // namespace commsched

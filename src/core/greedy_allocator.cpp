@@ -7,25 +7,26 @@
 
 namespace commsched {
 
-std::optional<std::vector<NodeId>> GreedyAllocator::select(
-    const ClusterState& state, const AllocationRequest& request) const {
+bool GreedyAllocator::select_into(const ClusterState& state,
+                                  const AllocationRequest& request,
+                                  std::vector<NodeId>& out) const {
+  out.clear();
   const SwitchId top = find_lowest_level_switch(state, request.num_nodes);
-  if (top == kInvalidSwitch) return std::nullopt;
+  if (top == kInvalidSwitch) return false;
 
-  std::vector<NodeId> alloc;
-  alloc.reserve(static_cast<std::size_t>(request.num_nodes));
+  out.reserve(static_cast<std::size_t>(request.num_nodes));
   // Algorithm 1 lines 3-5: a single leaf satisfies the whole request.
   if (state.tree().is_leaf(top)) {
-    take_free_nodes(state, top, request.num_nodes, alloc);
-    return alloc;
+    take_free_nodes(state, top, request.num_nodes, out);
+    return true;
   }
 
   // Lines 7-10: order leaves by communication ratio; ascending for
   // communication-intensive jobs, descending otherwise.
-  std::vector<SwitchId> leaf_order(state.tree().leaves_under(top).begin(),
-                                   state.tree().leaves_under(top).end());
-  std::erase_if(leaf_order,
-                [&](SwitchId l) { return state.leaf_free(l) == 0; });
+  auto& leaf_order = leaf_order_;
+  leaf_order.clear();
+  for (const SwitchId l : state.tree().leaves_under(top))
+    if (state.leaf_free(l) > 0) leaf_order.push_back(l);
   std::stable_sort(leaf_order.begin(), leaf_order.end(),
                    [&](SwitchId a, SwitchId b) {
                      const double ra = communication_ratio(state, a);
@@ -39,14 +40,14 @@ std::optional<std::vector<NodeId>> GreedyAllocator::select(
   int remaining = request.num_nodes;
   for (const SwitchId leaf : leaf_order) {
     const int take = std::min(state.leaf_free(leaf), remaining);
-    take_free_nodes(state, leaf, take, alloc);
+    take_free_nodes(state, leaf, take, out);
     remaining -= take;
-    if (remaining == 0) return alloc;
+    if (remaining == 0) return true;
   }
   COMMSCHED_ASSERT_MSG(false,
                        "lowest-level switch reported enough free nodes but "
                        "leaves did not provide them");
-  return std::nullopt;
+  return false;
 }
 
 }  // namespace commsched

@@ -15,8 +15,14 @@ class GreedyAllocator final : public Allocator {
  public:
   const char* name() const noexcept override { return "greedy"; }
 
-  std::optional<std::vector<NodeId>> select(
-      const ClusterState& state, const AllocationRequest& request) const override;
+  bool select_into(const ClusterState& state,
+                   const AllocationRequest& request,
+                   std::vector<NodeId>& out) const override;
+
+ private:
+  // workspace: leaf-ordering scratch reused across const select_into()
+  // calls; cleared on entry, never observable.
+  mutable std::vector<SwitchId> leaf_order_;
 };
 
 }  // namespace commsched

@@ -16,14 +16,27 @@ IoAwareAllocator::IoAwareAllocator(CostOptions cost_options,
 
 std::optional<std::vector<NodeId>> IoAwareAllocator::spread_candidate(
     const ClusterState& state, int num_nodes) {
+  std::vector<NodeId> out;
+  std::vector<SwitchId> order;
+  std::vector<int> desired;
+  if (!spread_into(state, num_nodes, out, order, desired)) return std::nullopt;
+  return out;
+}
+
+bool IoAwareAllocator::spread_into(const ClusterState& state, int num_nodes,
+                                   std::vector<NodeId>& out,
+                                   std::vector<SwitchId>& order,
+                                   std::vector<int>& desired) {
   COMMSCHED_ASSERT_GE(num_nodes, 1);
-  if (state.total_free() < num_nodes) return std::nullopt;
+  out.clear();
+  if (state.total_free() < num_nodes) return false;
   const Tree& tree = state.tree();
 
   // Leaves in ascending I/O-load order (fraction of nodes doing I/O),
   // ties by more free nodes, then id.
-  std::vector<SwitchId> order(tree.leaves().begin(), tree.leaves().end());
-  std::erase_if(order, [&](SwitchId l) { return state.leaf_free(l) == 0; });
+  order.clear();
+  for (const SwitchId l : tree.leaves())
+    if (state.leaf_free(l) > 0) order.push_back(l);
   std::stable_sort(order.begin(), order.end(), [&](SwitchId a, SwitchId b) {
     const double ia = static_cast<double>(state.leaf_io(a)) / state.leaf_nodes(a);
     const double ib = static_cast<double>(state.leaf_io(b)) / state.leaf_nodes(b);
@@ -38,7 +51,7 @@ std::optional<std::vector<NodeId>> IoAwareAllocator::spread_candidate(
   // pushed onto the later (more loaded) leaves. Blocks stay contiguous in
   // rank space so the communication term is not wrecked by interleaving.
   const auto k = order.size();
-  std::vector<int> desired(k, 0);
+  desired.assign(k, 0);
   const int base = num_nodes / static_cast<int>(k);
   int extra = num_nodes % static_cast<int>(k);
   for (std::size_t i = 0; i < k; ++i) {
@@ -63,42 +76,44 @@ std::optional<std::vector<NodeId>> IoAwareAllocator::spread_candidate(
   }
   COMMSCHED_ASSERT_EQ_MSG(deficit, 0, "free-node accounting out of sync");
 
-  std::vector<NodeId> alloc;
-  alloc.reserve(static_cast<std::size_t>(num_nodes));
+  out.reserve(static_cast<std::size_t>(num_nodes));
   for (std::size_t i = 0; i < k; ++i) {
-    int taken = 0;
-    for (const NodeId n : tree.nodes_of_leaf(order[i])) {
-      if (taken == desired[i]) break;
-      if (state.is_free(n)) {
-        alloc.push_back(n);
-        ++taken;
-      }
-    }
-    COMMSCHED_ASSERT_EQ(taken, desired[i]);
+    // The free index lists exactly the leaf's free nodes ascending — the
+    // same prefix the old is_free() scan over nodes_of_leaf() took.
+    const std::span<const NodeId> free = state.free_leaf_span(order[i]);
+    COMMSCHED_ASSERT_GE(static_cast<int>(free.size()), desired[i]);
+    out.insert(out.end(), free.begin(), free.begin() + desired[i]);
   }
-  return alloc;
+  return true;
 }
 
-std::optional<std::vector<NodeId>> IoAwareAllocator::select(
-    const ClusterState& state, const AllocationRequest& request) const {
+bool IoAwareAllocator::select_into(const ClusterState& state,
+                                   const AllocationRequest& request,
+                                   std::vector<NodeId>& out) const {
   // Candidates.
-  auto greedy_pick = greedy_.select(state, request);
-  auto balanced_pick = balanced_.select(state, request);
-  auto spread_pick = spread_candidate(state, request.num_nodes);
-  const auto default_pick = default_.select(state, request);
-  if (!default_pick) return std::nullopt;  // nothing fits at all
+  const bool have_greedy = greedy_.select_into(state, request, greedy_pick_);
+  const bool have_balanced =
+      balanced_.select_into(state, request, balanced_pick_);
+  const bool have_spread = spread_into(state, request.num_nodes, spread_pick_,
+                                       spread_order_, spread_desired_);
+  const bool have_default =
+      default_.select_into(state, request, default_pick_);
+  if (!have_default) {  // nothing fits at all
+    out.clear();
+    return false;
+  }
 
   const CostModel comm_model(state.tree(), cost_options_);
   const IoModel io_model(state.tree());
 
   const double comm_base =
       (request.comm_intensive && request.num_nodes >= 2)
-          ? profiled_candidate_cost(comm_model, *cache_, state, *default_pick,
+          ? profiled_candidate_cost(comm_model, *cache_, state, default_pick_,
                                     request.comm_intensive, request.pattern,
                                     workspace_)
           : 0.0;
   const double io_base =
-      io_model.candidate_cost(state, *default_pick, request.io_intensive);
+      io_model.candidate_cost(state, default_pick_, request.io_intensive);
 
   const auto score = [&](const std::vector<NodeId>& nodes) {
     double s = 0.0;
@@ -117,18 +132,24 @@ std::optional<std::vector<NodeId>> IoAwareAllocator::select(
     return s;
   };
 
-  std::optional<std::vector<NodeId>> best;
+  const std::vector<NodeId>* best = nullptr;
   double best_score = 0.0;
-  for (auto* candidate : {&greedy_pick, &balanced_pick, &spread_pick}) {
-    if (!candidate->has_value()) continue;
-    const double s = score(**candidate);
-    if (!best || s < best_score) {
+  const std::pair<bool, const std::vector<NodeId>*> candidates[] = {
+      {have_greedy, &greedy_pick_},
+      {have_balanced, &balanced_pick_},
+      {have_spread, &spread_pick_},
+  };
+  for (const auto& [have, candidate] : candidates) {
+    if (!have) continue;
+    const double s = score(*candidate);
+    if (best == nullptr || s < best_score) {
       best_score = s;
-      best = std::move(*candidate);
+      best = candidate;
     }
   }
-  if (!best) return default_pick;  // no candidate: fall back to stock
-  return best;
+  // No candidate: fall back to stock.
+  out = best != nullptr ? *best : default_pick_;
+  return true;
 }
 
 }  // namespace commsched

@@ -37,8 +37,9 @@ class IoAwareAllocator final : public Allocator {
 
   const char* name() const noexcept override { return "io_aware"; }
 
-  std::optional<std::vector<NodeId>> select(
-      const ClusterState& state, const AllocationRequest& request) const override;
+  bool select_into(const ClusterState& state,
+                   const AllocationRequest& request,
+                   std::vector<NodeId>& out) const override;
 
   /// The I/O-spread candidate by itself (exposed for tests/benches):
   /// near-equal contiguous blocks over the least-I/O-loaded leaves, so the
@@ -47,6 +48,12 @@ class IoAwareAllocator final : public Allocator {
       const ClusterState& state, int num_nodes);
 
  private:
+  /// spread_candidate core; `order`/`desired` are caller-provided scratch.
+  static bool spread_into(const ClusterState& state, int num_nodes,
+                          std::vector<NodeId>& out,
+                          std::vector<SwitchId>& order,
+                          std::vector<int>& desired);
+
   GreedyAllocator greedy_;
   BalancedAllocator balanced_;
   DefaultAllocator default_;
@@ -55,6 +62,19 @@ class IoAwareAllocator final : public Allocator {
   // workspace: cost-kernel scratch reused across const select() calls;
   // observable state is untouched (CostModel itself is stateless).
   mutable CostWorkspace workspace_;
+  // workspace: candidate buffers and spread scratch reused across const
+  // select_into() calls; overwritten on entry, never observable.
+  mutable std::vector<NodeId> greedy_pick_;
+  // workspace: see greedy_pick_.
+  mutable std::vector<NodeId> balanced_pick_;
+  // workspace: see greedy_pick_.
+  mutable std::vector<NodeId> spread_pick_;
+  // workspace: see greedy_pick_.
+  mutable std::vector<NodeId> default_pick_;
+  // workspace: see greedy_pick_.
+  mutable std::vector<SwitchId> spread_order_;
+  // workspace: see greedy_pick_.
+  mutable std::vector<int> spread_desired_;
 };
 
 }  // namespace commsched

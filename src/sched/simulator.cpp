@@ -10,6 +10,7 @@
 #include "core/default_allocator.hpp"
 #include "core/io_model.hpp"
 #include "util/assert.hpp"
+#include "util/index_set.hpp"
 
 namespace commsched {
 
@@ -27,6 +28,23 @@ struct Completion {
 struct RunningInfo {
   double est_end = 0.0;  // start + walltime: what the scheduler believes
   int num_nodes = 0;
+};
+
+// Fast-engine running-set entry, kept sorted by (est_end, num_nodes, idx).
+// That order is consistent with the reference engine's std::sort over
+// (est_end, num_nodes) pairs: entries equal in both keys contribute
+// identically to the head-reservation accumulation scan, so the extra idx
+// tie-break changes nothing observable while making the order total (needed
+// for the binary-search erase on completion).
+struct RunEntry {
+  double est_end = 0.0;
+  int num_nodes = 0;
+  std::size_t idx = 0;
+  bool operator<(const RunEntry& other) const {
+    if (est_end != other.est_end) return est_end < other.est_end;
+    if (num_nodes != other.num_nodes) return num_nodes < other.num_nodes;
+    return idx < other.idx;
+  }
 };
 
 class Simulation {
@@ -49,6 +67,18 @@ class Simulation {
         auditor_(tree, options.audit.value_or(audit_level_from_env())) {
     results_.resize(log.size());
     running_info_.resize(log.size());
+    // At most one outstanding completion per running job, and each job holds
+    // at least one node, so the heap never outgrows the machine (or the log).
+    std::vector<Completion> heap;
+    heap.reserve(std::min(log.size(),
+                          static_cast<std::size_t>(tree.node_count())));
+    completions_ = decltype(completions_)(std::greater<Completion>{},
+                                          std::move(heap));
+    if (options_.engine == SimEngine::kFast) {
+      running_sorted_.reserve(
+          std::min(log.size(), static_cast<std::size_t>(tree.node_count())));
+      build_queue_ranks();
+    }
   }
 
   SimResult run() {
@@ -57,7 +87,7 @@ class Simulation {
     double makespan = 0.0;
 
     while (next_submit < log_.size() || !completions_.empty() ||
-           !pending_.empty()) {
+           !queue_empty()) {
       // Next event: completions win ties so freed nodes are visible to jobs
       // submitted at the same instant.
       double t;
@@ -75,12 +105,12 @@ class Simulation {
       while (!completions_.empty() && completions_.top().time <= t) {
         const Completion c = completions_.top();
         completions_.pop();
-        const std::vector<NodeId> freed = state_.release(job_id(c.job_index));
+        state_.release_into(job_id(c.job_index), freed_scratch_);
         if (auditor_.enabled()) {
           auditor_.on_event(c.time, "end job", log_[c.job_index].id);
-          auditor_.on_release(state_, job_id(c.job_index), freed);
+          auditor_.on_release(state_, job_id(c.job_index), freed_scratch_);
         }
-        std::erase(running_, c.job_index);
+        running_remove(c.job_index);
         makespan = std::max(makespan, c.time);
         emit(TraceEvent::Kind::kEnd, c.time, c.job_index);
       }
@@ -91,10 +121,13 @@ class Simulation {
                             log_[next_submit].id);
         emit(TraceEvent::Kind::kSubmit, log_[next_submit].submit_time,
              next_submit);
-        pending_.push_back(next_submit);
+        queue_push(next_submit);
         ++next_submit;
       }
-      try_schedule(t);
+      if (options_.engine == SimEngine::kFast)
+        try_schedule_fast(t);
+      else
+        try_schedule_reference(t);
       auditor_.check_state(state_);  // no-op below AuditLevel::kFull
     }
 
@@ -142,12 +175,88 @@ class Simulation {
     }
   }
 
-  // Ask the policy for nodes. The count pre-check is only an optimization:
-  // policies such as `exclusive` may refuse a job the count test admits.
-  std::optional<std::vector<NodeId>> try_select(std::size_t idx) {
+  // ---- Queue structure, engine-dispatched --------------------------------
+  //
+  // The reference engine keeps the original deque re-sorted with
+  // std::stable_sort on every scheduling pass. The fast engine exploits the
+  // fact that the ordering keys (walltime / node count) never change: the
+  // repeated stable sort converges to the static total order by
+  // (key, log index), so one upfront stable sort fixes every job's queue
+  // rank for the whole run, and the pending queue shrinks to a hierarchical
+  // bitmap over those ranks — O(log64 n) insert/erase/successor and zero
+  // steady-state allocation, with iteration order bit-identical to the
+  // reference deque after its re-sort (new submissions always carry larger
+  // log indices than anything already pending, so stability ≡ index order).
+
+  bool queue_empty() const {
+    return options_.engine == SimEngine::kFast ? pending_set_.empty()
+                                               : pending_.empty();
+  }
+
+  void queue_push(std::size_t idx) {
+    if (options_.engine == SimEngine::kFast)
+      pending_set_.insert(rank_of_[idx]);
+    else
+      pending_.push_back(idx);
+  }
+
+  void build_queue_ranks() {
+    const std::size_t n = log_.size();
+    idx_of_rank_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) idx_of_rank_[i] = i;
+    if (options_.queue_policy != QueuePolicy::kFifo) {
+      std::stable_sort(
+          idx_of_rank_.begin(), idx_of_rank_.end(),
+          [&](std::size_t a, std::size_t b) {
+            if (options_.queue_policy == QueuePolicy::kShortestJobFirst)
+              return log_[a].walltime < log_[b].walltime;
+            return log_[a].num_nodes < log_[b].num_nodes;
+          });
+    }
+    rank_of_.resize(n);
+    for (std::size_t r = 0; r < n; ++r) rank_of_[idx_of_rank_[r]] = r;
+    pending_set_.reset(n);
+  }
+
+  // ---- Running set, engine-dispatched ------------------------------------
+
+  void running_add(std::size_t idx, double est_end, int num_nodes) {
+    running_info_[idx] = {est_end, num_nodes};
+    if (options_.engine == SimEngine::kFast) {
+      const RunEntry entry{est_end, num_nodes, idx};
+      const auto pos = std::lower_bound(running_sorted_.begin(),
+                                        running_sorted_.end(), entry);
+      running_sorted_.insert(pos, entry);
+    } else {
+      running_.push_back(idx);
+    }
+  }
+
+  void running_remove(std::size_t idx) {
+    if (options_.engine == SimEngine::kFast) {
+      const RunEntry entry{running_info_[idx].est_end,
+                           running_info_[idx].num_nodes, idx};
+      const auto pos = std::lower_bound(running_sorted_.begin(),
+                                        running_sorted_.end(), entry);
+      COMMSCHED_ASSERT_MSG(pos != running_sorted_.end() && pos->idx == idx,
+                           "running set out of sync with completion");
+      running_sorted_.erase(pos);
+    } else {
+      std::erase(running_, idx);
+    }
+  }
+
+  // Ask the policy for nodes into the reusable scratch buffer. The count
+  // pre-check is only an optimization: policies such as `exclusive` may
+  // refuse a job the count test admits.
+  // hot-path: no-alloc
+  bool try_select_into(std::size_t idx, std::vector<NodeId>& out) {
     const JobRecord& job = log_[idx];
-    if (state_.total_free() < job.num_nodes) return std::nullopt;
-    return allocator_->select(state_, request_for(idx));
+    if (state_.total_free() < job.num_nodes) {
+      out.clear();
+      return false;
+    }
+    return allocator_->select_into(state_, request_for(idx), out);
   }
 
   AllocationRequest request_for(std::size_t idx) const {
@@ -164,6 +273,8 @@ class Simulation {
     return request;
   }
 
+  // ---- Reference engine: the original O(n log n)-per-event loop ----------
+
   // Reorder the pending queue per the configured policy. FIFO keeps submit
   // order; the alternatives sort stably so equal keys stay FIFO.
   void apply_queue_policy() {
@@ -176,29 +287,28 @@ class Simulation {
         });
   }
 
-  void try_schedule(double t) {
+  void try_schedule_reference(double t) {
     apply_queue_policy();
     // FIFO phase: start queue-head jobs while the policy grants them nodes.
     while (!pending_.empty()) {
       const std::size_t head = pending_.front();
-      auto nodes = try_select(head);
-      if (!nodes) break;
-      start_job(head, t, std::move(*nodes));
+      if (!try_select_into(head, select_scratch_)) break;
+      start_job(head, t, select_scratch_);
       pending_.pop_front();
     }
     if (pending_.empty() || !options_.easy_backfill) return;
-    backfill(t);
+    backfill_reference(t);
   }
 
   // EASY backfill: reserve the head job's start, then let later jobs jump
   // ahead only when they cannot delay that reservation.
-  void backfill(double t) {
+  void backfill_reference(double t) {
     int examined = 0;
     // The head reservation depends only on the running set and the free-node
     // count, both of which change within this pass only when a backfilled
     // job actually starts — so compute it once and refresh after starts
     // instead of re-sorting the running jobs per examined candidate.
-    auto reservation = head_reservation();
+    auto reservation = head_reservation_reference();
     for (std::size_t qi = 1; qi < pending_.size();) {
       if (++examined > options_.backfill_depth) break;
       const auto [shadow_time, extra_nodes] = reservation;
@@ -206,14 +316,13 @@ class Simulation {
       const JobRecord& job = log_[idx];
       const bool harmless = (t + job.walltime <= shadow_time) ||
                             (job.num_nodes <= extra_nodes);
-      std::optional<std::vector<NodeId>> nodes;
-      if (harmless) nodes = try_select(idx);
-      if (nodes) {
+      const bool started = harmless && try_select_into(idx, select_scratch_);
+      if (started) {
         auditor_.check_backfill(t, job_id(idx), job.walltime, job.num_nodes,
                                 shadow_time, extra_nodes);
-        start_job(idx, t, std::move(*nodes));
+        start_job(idx, t, select_scratch_);
         pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(qi));
-        reservation = head_reservation();
+        reservation = head_reservation_reference();
       } else {
         ++qi;
       }
@@ -222,7 +331,7 @@ class Simulation {
 
   // When (by walltime estimates) the queue head can start, and how many
   // nodes beyond its need will be free at that time.
-  std::pair<double, int> head_reservation() {
+  std::pair<double, int> head_reservation_reference() {
     const int needed = log_[pending_.front()].num_nodes;
     std::vector<std::pair<double, int>> ends;  // (est_end, nodes)
     ends.reserve(running_.size());
@@ -240,20 +349,85 @@ class Simulation {
     return {0.0, 0};
   }
 
-  void start_job(std::size_t idx, double t, std::vector<NodeId> selected) {
+  // ---- Fast engine: indexed queue + incremental reservation --------------
+
+  // hot-path: no-alloc
+  void try_schedule_fast(double t) {
+    // FIFO phase over the rank bitmap: identical visit order to the
+    // reference deque after its re-sort (see build_queue_ranks).
+    while (!pending_set_.empty()) {
+      const std::size_t head_rank = pending_set_.first();
+      const std::size_t head = idx_of_rank_[head_rank];
+      if (!try_select_into(head, select_scratch_)) break;
+      start_job(head, t, select_scratch_);
+      pending_set_.erase(head_rank);
+    }
+    if (pending_set_.empty() || !options_.easy_backfill) return;
+    backfill_fast(t);
+  }
+
+  // hot-path: no-alloc
+  void backfill_fast(double t) {
+    int examined = 0;
+    auto reservation = head_reservation_fast();
+    const std::size_t head_rank = pending_set_.first();
+    std::size_t r = pending_set_.next(head_rank);
+    while (r != IndexSet::npos) {
+      if (++examined > options_.backfill_depth) break;
+      const auto [shadow_time, extra_nodes] = reservation;
+      const std::size_t idx = idx_of_rank_[r];
+      const JobRecord& job = log_[idx];
+      const bool harmless = (t + job.walltime <= shadow_time) ||
+                            (job.num_nodes <= extra_nodes);
+      const bool started = harmless && try_select_into(idx, select_scratch_);
+      if (started) {
+        auditor_.check_backfill(t, job_id(idx), job.walltime, job.num_nodes,
+                                shadow_time, extra_nodes);
+        start_job(idx, t, select_scratch_);
+        // Successor before erase: the erased rank's next is the candidate
+        // the reference engine's position-preserving erase lands on.
+        const std::size_t nr = pending_set_.next(r);
+        pending_set_.erase(r);
+        r = nr;
+        reservation = head_reservation_fast();
+      } else {
+        r = pending_set_.next(r);
+      }
+    }
+  }
+
+  // Incremental variant of head_reservation_reference: running_sorted_ is
+  // maintained in (est_end, num_nodes, idx) order across starts and ends,
+  // so the reservation is a prefix scan instead of a copy + sort.
+  // hot-path: no-alloc
+  std::pair<double, int> head_reservation_fast() {
+    const int needed = log_[idx_of_rank_[pending_set_.first()]].num_nodes;
+    int available = state_.total_free();
+    for (const RunEntry& entry : running_sorted_) {
+      available += entry.num_nodes;
+      if (available >= needed) return {entry.est_end, available - needed};
+    }
+    COMMSCHED_ASSERT_MSG(false,
+                         "head job cannot start even with an empty machine");
+    return {0.0, 0};
+  }
+
+  // ---- Shared job-start path (pricing + commit), both engines ------------
+
+  void start_job(std::size_t idx, double t, const std::vector<NodeId>& nodes) {
     const JobRecord& job = log_[idx];
     const AllocationRequest request = request_for(idx);
-    const std::optional<std::vector<NodeId>> nodes(std::move(selected));
     const bool is_default = options_.allocator == AllocatorKind::kDefault;
     const bool price_comm = job.comm_intensive && job.num_nodes >= 2;
     const bool price_io = job.io_intensive && job.io_fraction > 0.0;
 
     // What stock SLURM would have done with this very state — the Eq. 7
     // baseline for both the communication and the I/O terms.
-    std::optional<std::vector<NodeId>> default_nodes;
+    const std::vector<NodeId>& default_nodes = default_scratch_;
     if (!is_default && (price_comm || price_io)) {
-      default_nodes = default_allocator_.select(state_, request);
-      COMMSCHED_ASSERT(default_nodes.has_value());
+      const bool have_default =
+          default_allocator_.select_into(state_, request, default_scratch_);
+      COMMSCHED_ASSERT(have_default);
     }
 
     double cost = 0.0;
@@ -264,34 +438,34 @@ class Simulation {
       // One canonical-shape profile per allocation serves both pricing
       // models (and the auditor's consistency check below).
       profile = &comm_cache_->profile(job.pattern, /*ranks_per_node=*/1,
-                                      make_shape_key(tree_, *nodes));
+                                      make_shape_key(tree_, nodes));
       // Recorded metric: the paper's unweighted Eq. 6 cost (Figure 8).
-      cost = metric_model_.candidate_cost(state_, *nodes, job.comm_intensive,
+      cost = metric_model_.candidate_cost(state_, nodes, job.comm_intensive,
                                           *profile, workspace_);
       if (is_default) {
         cost_default = cost;
       } else {
         const LeafCommProfile& default_profile = comm_cache_->profile(
             job.pattern, /*ranks_per_node=*/1,
-            make_shape_key(tree_, *default_nodes));
+            make_shape_key(tree_, default_nodes));
         cost_default = metric_model_.candidate_cost(
-            state_, *default_nodes, job.comm_intensive, default_profile,
+            state_, default_nodes, job.comm_intensive, default_profile,
             workspace_);
         // Runtime ratio uses the (possibly msize-weighted) pricing metric.
-        priced = pricing_model_.candidate_cost(state_, *nodes,
+        priced = pricing_model_.candidate_cost(state_, nodes,
                                                job.comm_intensive, *profile,
                                                workspace_);
         priced_default = pricing_model_.candidate_cost(
-            state_, *default_nodes, job.comm_intensive, default_profile,
+            state_, default_nodes, job.comm_intensive, default_profile,
             workspace_);
       }
     }
     double io_cost = 0.0, io_cost_default = 0.0;
     if (price_io) {
-      io_cost = io_model_.candidate_cost(state_, *nodes, job.io_intensive);
+      io_cost = io_model_.candidate_cost(state_, nodes, job.io_intensive);
       io_cost_default =
           is_default ? io_cost
-                     : io_model_.candidate_cost(state_, *default_nodes,
+                     : io_model_.candidate_cost(state_, default_nodes,
                                                 job.io_intensive);
     }
 
@@ -308,25 +482,24 @@ class Simulation {
       hit_walltime = true;
     }
 
-    state_.allocate(request.job, job.comm_intensive, *nodes,
+    state_.allocate(request.job, job.comm_intensive, nodes,
                     job.io_intensive);
     if (auditor_.enabled()) {
       auditor_.on_event(t, "start job", job.id);
-      auditor_.on_allocate(state_, request.job, *nodes);
+      auditor_.on_allocate(state_, request.job, nodes);
       if (price_comm) {
         auditor_.check_cost(cost, request.job, "Eq. 6 cost");
         auditor_.check_cost(cost_default, request.job, "Eq. 6 default cost");
-        auditor_.check_cost_symmetry(metric_model_, state_, *nodes,
+        auditor_.check_cost_symmetry(metric_model_, state_, nodes,
                                      request.job);
-        auditor_.check_profile(job.pattern, *profile, *nodes, request.job);
+        auditor_.check_profile(job.pattern, *profile, nodes, request.job);
       }
       if (price_io) {
         auditor_.check_cost(io_cost, request.job, "I/O cost");
         auditor_.check_cost(io_cost_default, request.job, "I/O default cost");
       }
     }
-    running_.push_back(idx);
-    running_info_[idx] = {t + job.walltime, job.num_nodes};
+    running_add(idx, t + job.walltime, job.num_nodes);
     completions_.push({t + actual_runtime, idx});
     emit(TraceEvent::Kind::kStart, t, idx);
 
@@ -363,13 +536,26 @@ class Simulation {
   CostWorkspace workspace_;  // cost-kernel scratch for the pricing models
   StateAuditor auditor_;     // runtime invariant checks (src/audit)
 
-  std::deque<std::size_t> pending_;  // log indices, FIFO
+  // Reference engine queue/running structures.
+  std::deque<std::size_t> pending_;  // log indices, queue order
   std::vector<std::size_t> running_;
+
+  // Fast engine queue/running structures (see build_queue_ranks).
+  IndexSet pending_set_;                  // pending jobs, by queue rank
+  std::vector<std::size_t> idx_of_rank_;  // queue rank -> log index
+  std::vector<std::size_t> rank_of_;      // log index -> queue rank
+  std::vector<RunEntry> running_sorted_;  // (est_end, nodes, idx) ascending
+
+  // Shared state and steady-state scratch (reused capacity, no per-event
+  // allocation once warm).
   std::vector<RunningInfo> running_info_;
   std::priority_queue<Completion, std::vector<Completion>,
                       std::greater<Completion>>
       completions_;
   std::vector<JobResult> results_;
+  std::vector<NodeId> select_scratch_;   // policy picks
+  std::vector<NodeId> default_scratch_;  // Eq. 7 baseline picks
+  std::vector<NodeId> freed_scratch_;    // release_into target
 };
 
 }  // namespace

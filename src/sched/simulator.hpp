@@ -41,6 +41,19 @@ enum class QueuePolicy : std::uint8_t {
   kSmallestJobFirst,  ///< ascending node count
 };
 
+/// Event-loop engine (DESIGN.md "Million-job event loop"). kFast is the
+/// production core: the pending queue is a hierarchical bitmap over
+/// precomputed queue ranks (O(log n) insert/erase/successor instead of a
+/// stable sort per event), the head reservation is a prefix scan over an
+/// incrementally sorted running set, and the steady state allocates
+/// nothing. kReference keeps the original per-event-sort loop as the
+/// differential baseline; both produce bit-identical SimResults (pinned by
+/// tests/sched/engine_diff_test).
+enum class SimEngine : std::uint8_t {
+  kFast,       ///< indexed million-job core (default)
+  kReference,  ///< original loop, kept as the differential oracle
+};
+
 struct SchedOptions {
   AllocatorKind allocator = AllocatorKind::kDefault;
   /// Pricing metric for the Eq. 7 runtime ratio and the adaptive policy's
@@ -59,6 +72,9 @@ struct SchedOptions {
   int backfill_depth = 200;
   /// Queue ordering (FIFO in the paper).
   QueuePolicy queue_policy = QueuePolicy::kFifo;
+  /// Event-loop implementation; kReference is the bit-identical oracle for
+  /// differential tests and should not be needed outside them.
+  SimEngine engine = SimEngine::kFast;
   /// Kill jobs at their requested walltime, as production SLURM does. Off
   /// by default: the paper's Eq. 7 lets degraded placements overrun their
   /// logged runtime, and killing them would hide that signal.

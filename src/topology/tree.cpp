@@ -27,11 +27,9 @@ std::span<const SwitchId> Tree::children(SwitchId s) const {
   return switches_[static_cast<std::size_t>(s)].children;
 }
 
-std::vector<SwitchId> Tree::switches_at_level(int lvl) const {
-  std::vector<SwitchId> out;
-  for (SwitchId s = 0; s < switch_count(); ++s)
-    if (switches_[static_cast<std::size_t>(s)].level == lvl) out.push_back(s);
-  return out;
+std::span<const SwitchId> Tree::switches_at_level(int lvl) const {
+  if (lvl < 1 || static_cast<std::size_t>(lvl) > levels_.size()) return {};
+  return levels_[static_cast<std::size_t>(lvl) - 1];
 }
 
 std::span<const SwitchId> Tree::leaves_under(SwitchId s) const {
@@ -194,6 +192,16 @@ Tree TreeBuilder::build() {
       tree_.switches_[static_cast<std::size_t>(root)].subtree_nodes ==
           tree_.node_count(),
       "root does not span all nodes — disconnected topology");
+
+  // Per-level switch lists (id order), so the allocators' level scans are
+  // allocation-free span iterations.
+  tree_.levels_.assign(static_cast<std::size_t>(tree_.depth_), {});
+  for (SwitchId s = 0; s < tree_.switch_count(); ++s) {
+    const int lvl = tree_.switches_[static_cast<std::size_t>(s)].level;
+    COMMSCHED_ASSERT_MSG(lvl >= 1 && lvl <= tree_.depth_,
+                         "switch level outside [1, depth]");
+    tree_.levels_[static_cast<std::size_t>(lvl) - 1].push_back(s);
+  }
 
   // Precompute the dense leaf×leaf LCA/distance tables. Root-first ancestor
   // chains are walked once per leaf pair here — O(L² · depth) at build time —

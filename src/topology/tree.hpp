@@ -51,8 +51,10 @@ class Tree {
   /// All leaf switches, in id order.
   std::span<const SwitchId> leaves() const noexcept { return leaves_; }
 
-  /// All switches with the given level (1 = leaves).
-  std::vector<SwitchId> switches_at_level(int lvl) const;
+  /// All switches with the given level (1 = leaves), precomputed in build()
+  /// so the allocators' per-select lowest-level-switch search allocates
+  /// nothing. Levels outside [1, depth()] yield an empty span.
+  std::span<const SwitchId> switches_at_level(int lvl) const;
 
   /// Leaf switches in the subtree rooted at `s` (s itself if a leaf).
   std::span<const SwitchId> leaves_under(SwitchId s) const;
@@ -108,6 +110,8 @@ class Tree {
 
   std::vector<SwitchRec> switches_;
   std::vector<SwitchId> leaves_;
+  // levels_[lvl - 1] = switches at that level, id order (built in build()).
+  std::vector<std::vector<SwitchId>> levels_;
   std::vector<std::string> node_names_;
   std::vector<SwitchId> node_leaf_;
   // Per switch: dense leaf index, or -1 for internal switches.

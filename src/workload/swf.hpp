@@ -27,15 +27,39 @@ struct SwfOptions {
   std::size_t max_jobs = 0;
   /// Drop jobs whose runtime or processor count is missing/non-positive.
   bool drop_invalid = true;
+  /// Drop jobs wider than this many nodes (after the cores_per_node
+  /// conversion; 0 = keep everything). Archive logs occasionally contain
+  /// jobs wider than the modelled machine, which the simulator rejects —
+  /// set this to the tree's node count to replay such logs. Drops are
+  /// counted in SwfLoadStats::dropped_too_wide, never silent.
+  int max_nodes = 0;
+  /// Stably sort the result by submit time. Archive logs are usually
+  /// sorted already, but a handful of out-of-order records would otherwise
+  /// trip the simulator's sorted-log precondition. Stable: equal submit
+  /// times keep file order.
+  bool sort_by_submit = false;
+};
+
+/// Where the jobs of a parse went: kept + dropped counts per reason.
+/// parsed == kept + dropped_invalid + dropped_too_wide (+ not_reached when
+/// max_jobs cut the parse short, which leaves parsed at the cut).
+struct SwfLoadStats {
+  std::size_t parsed = 0;            ///< well-formed job lines seen
+  std::size_t kept = 0;              ///< jobs returned in the log
+  std::size_t dropped_invalid = 0;   ///< non-positive runtime/processors
+  std::size_t dropped_too_wide = 0;  ///< wider than options.max_nodes
 };
 
 /// Parse an SWF stream. Throws ParseError on malformed lines (field count
 /// or non-numeric fields); invalid-but-well-formed jobs are dropped or kept
-/// per options.drop_invalid.
-JobLog parse_swf(std::istream& in, const SwfOptions& options = {});
+/// per options.drop_invalid. `stats`, when given, receives the kept/dropped
+/// accounting.
+JobLog parse_swf(std::istream& in, const SwfOptions& options = {},
+                 SwfLoadStats* stats = nullptr);
 
 /// Parse an SWF file from disk. Throws ParseError if unreadable.
-JobLog load_swf(const std::string& path, const SwfOptions& options = {});
+JobLog load_swf(const std::string& path, const SwfOptions& options = {},
+                SwfLoadStats* stats = nullptr);
 
 /// Render a JobLog as SWF text (fields we do not model are written as -1).
 /// Node counts are multiplied back by cores_per_node.

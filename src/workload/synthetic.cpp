@@ -58,6 +58,16 @@ std::vector<LogProfile> paper_profiles() {
   return {intrepid_profile(), theta_profile(), mira_profile()};
 }
 
+LogProfile scale_profile(LogProfile profile, int machine_nodes) {
+  COMMSCHED_ASSERT(machine_nodes >= 1);
+  profile.machine_nodes = machine_nodes;
+  int max_exp = 0;
+  while ((1 << (max_exp + 1)) <= machine_nodes) ++max_exp;
+  profile.max_exp = std::min(profile.max_exp, max_exp);
+  profile.min_exp = std::min(profile.min_exp, profile.max_exp);
+  return profile;
+}
+
 JobLog generate_log(const LogProfile& profile, int n_jobs, std::uint64_t seed) {
   COMMSCHED_ASSERT(n_jobs >= 0);
   COMMSCHED_ASSERT(profile.machine_nodes >= (1 << profile.max_exp));

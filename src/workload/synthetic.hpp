@@ -69,6 +69,13 @@ LogProfile mira_profile();
 /// All three paper profiles, in paper row order (Intrepid, Theta, Mira).
 std::vector<LogProfile> paper_profiles();
 
+/// Shrink a profile onto a smaller machine: clamps machine_nodes and the
+/// power-of-two request range so every generated job fits, while keeping
+/// the runtime/walltime/arrival marginals (and target load) unchanged.
+/// Lets the million-job replay benches run a paper profile's workload shape
+/// on a tree small enough to build quickly.
+LogProfile scale_profile(LogProfile profile, int machine_nodes);
+
 /// Generate `n_jobs` jobs deterministically from `seed`. Jobs are returned
 /// in submit-time order with ids 1..n; communication attributes are left for
 /// the mix builders (workload/mixes.hpp).

@@ -33,7 +33,23 @@ struct ClusterStateTestPeer {
     s.node_owner_[static_cast<std::size_t>(n)] = owner;
   }
   static void drop_job_node(ClusterState& s, JobId job) {
-    s.jobs_.at(job).nodes.pop_back();
+    const std::int32_t slot = s.find_slot(job);
+    COMMSCHED_ASSERT_GE_MSG(slot, 0, "corrupting a job that is not live");
+    s.job_pool_[static_cast<std::size_t>(slot)].nodes.pop_back();
+  }
+  // Swap the first two entries of a leaf's free index (breaks the ascending
+  // order without touching any counter). Requires leaf_free(leaf) >= 2.
+  static void corrupt_free_index_order(ClusterState& s, SwitchId leaf) {
+    const auto off =
+        static_cast<std::size_t>(s.leaf_off_[static_cast<std::size_t>(leaf)]);
+    std::swap(s.free_list_[off], s.free_list_[off + 1]);
+  }
+  // Overwrite the first free-index entry of a leaf with an arbitrary node.
+  static void corrupt_free_index_entry(ClusterState& s, SwitchId leaf,
+                                       NodeId n) {
+    const auto off =
+        static_cast<std::size_t>(s.leaf_off_[static_cast<std::size_t>(leaf)]);
+    s.free_list_[off] = n;
   }
 };
 
@@ -219,6 +235,41 @@ TEST_F(ClusterStateCorruptionTest, OwnershipTableDisagreementFires) {
   // lists it.
   ClusterStateTestPeer::drop_job_node(state_, 1);
   EXPECT_THROW(state_.validate(), InvariantError);
+}
+
+TEST_F(ClusterStateCorruptionTest, FreeIndexOutOfOrderFires) {
+  // s1 has nodes {4..7}, node 4 busy -> free prefix {5, 6, 7}.
+  ClusterStateTestPeer::corrupt_free_index_order(
+      state_, *tree_.switch_by_name("s1"));
+  EXPECT_THROW(state_.validate(), InvariantError);
+}
+
+TEST_F(ClusterStateCorruptionTest, FreeIndexForeignNodeFires) {
+  // Put one of s0's nodes into s1's free index.
+  ClusterStateTestPeer::corrupt_free_index_entry(
+      state_, *tree_.switch_by_name("s1"), /*n=*/3);
+  EXPECT_THROW(state_.validate(), InvariantError);
+}
+
+TEST_F(ClusterStateCorruptionTest, FreeIndexAllocatedNodeFires) {
+  // Node 4 belongs to job 1; listing it as free must fire. 4 is below every
+  // genuinely free node of s1, so the ascending-order check stays quiet and
+  // the is-free check is what trips.
+  ClusterStateTestPeer::corrupt_free_index_entry(
+      state_, *tree_.switch_by_name("s1"), /*n=*/4);
+  EXPECT_THROW(state_.validate(), InvariantError);
+}
+
+TEST_F(ClusterStateCorruptionTest, FreeIndexDesyncTripsTransition) {
+  // An allocation over a node the free index no longer lists must fire the
+  // transition-time cross-check, not corrupt the index silently. Overwriting
+  // the first entry (node 5) evicts it from the index while node_owner_
+  // still says free, so allocating node 5 passes the is_free precondition
+  // and trips inside transition().
+  ClusterStateTestPeer::corrupt_free_index_entry(
+      state_, *tree_.switch_by_name("s1"), /*n=*/4);
+  EXPECT_THROW(state_.allocate(2, false, std::vector<NodeId>{5}),
+               InvariantError);
 }
 
 TEST_F(ClusterStateCorruptionTest, ViolationMessageCarriesValues) {

@@ -1,0 +1,193 @@
+// Differential lockdown of the two event-loop engines (DESIGN.md
+// "Million-job event loop"): SimEngine::kFast must reproduce
+// SimEngine::kReference bit for bit — every JobResult field, the makespan
+// and the cache counters — across fuzzed logs, allocators, queue policies,
+// backfill settings and walltime enforcement. Any divergence means the
+// indexed fast path changed a scheduling decision, which is a bug by
+// definition regardless of which answer looks better.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/allocator_factory.hpp"
+#include "sched/simulator.hpp"
+#include "topology/builders.hpp"
+#include "workload/mixes.hpp"
+#include "workload/synthetic.hpp"
+
+namespace commsched {
+namespace {
+
+void expect_identical(const SimResult& fast, const SimResult& ref,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(fast.jobs.size(), ref.jobs.size());
+  EXPECT_EQ(fast.allocator_name, ref.allocator_name);
+  EXPECT_EQ(fast.makespan, ref.makespan);  // exact, not near
+  for (std::size_t i = 0; i < ref.jobs.size(); ++i) {
+    const JobResult& f = fast.jobs[i];
+    const JobResult& r = ref.jobs[i];
+    SCOPED_TRACE("job index " + std::to_string(i));
+    EXPECT_EQ(f.id, r.id);
+    EXPECT_EQ(f.num_nodes, r.num_nodes);
+    EXPECT_EQ(f.comm_intensive, r.comm_intensive);
+    EXPECT_EQ(f.pattern, r.pattern);
+    EXPECT_EQ(f.submit_time, r.submit_time);
+    EXPECT_EQ(f.start_time, r.start_time);
+    EXPECT_EQ(f.end_time, r.end_time);
+    EXPECT_EQ(f.original_runtime, r.original_runtime);
+    EXPECT_EQ(f.actual_runtime, r.actual_runtime);
+    EXPECT_EQ(f.cost, r.cost);
+    EXPECT_EQ(f.cost_default, r.cost_default);
+    EXPECT_EQ(f.io_cost, r.io_cost);
+    EXPECT_EQ(f.io_cost_default, r.io_cost_default);
+    EXPECT_EQ(f.hit_walltime, r.hit_walltime);
+  }
+  // Same decisions => same pricing calls => same cache traffic.
+  EXPECT_EQ(fast.cache_stats.schedule_hits, ref.cache_stats.schedule_hits);
+  EXPECT_EQ(fast.cache_stats.schedule_misses,
+            ref.cache_stats.schedule_misses);
+  EXPECT_EQ(fast.cache_stats.profile_hits, ref.cache_stats.profile_hits);
+  EXPECT_EQ(fast.cache_stats.profile_misses,
+            ref.cache_stats.profile_misses);
+}
+
+void run_both_and_compare(const Tree& tree, const JobLog& log,
+                          SchedOptions options, const std::string& label) {
+  options.engine = SimEngine::kFast;
+  const SimResult fast = run_continuous(tree, log, options);
+  options.engine = SimEngine::kReference;
+  const SimResult ref = run_continuous(tree, log, options);
+  expect_identical(fast, ref, label);
+}
+
+JobLog fuzz_log(const Tree& tree, int n_jobs, std::uint64_t seed,
+                double comm_percent = 0.9) {
+  // A backlogged profile shrunk onto the test tree keeps the queue deep, so
+  // backfill and reservation logic is exercised constantly.
+  const LogProfile profile =
+      scale_profile(theta_profile(), tree.node_count());
+  JobLog log = generate_log(profile, n_jobs, seed);
+  apply_mix(log, uniform_mix(Pattern::kRecursiveDoubling, comm_percent),
+            seed ^ 0x9E3779B97F4A7C15ull);
+  return log;
+}
+
+TEST(EngineDiffTest, FuzzedLogsAcrossAllocators) {
+  const Tree tree = make_two_level_tree(4, 8);
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    const JobLog log = fuzz_log(tree, 160, seed);
+    for (const AllocatorKind kind : kAllAllocatorKinds) {
+      SchedOptions options;
+      options.allocator = kind;
+      run_both_and_compare(tree, log, options,
+                           std::string("seed ") + std::to_string(seed) +
+                               " allocator " + allocator_kind_name(kind));
+    }
+  }
+}
+
+TEST(EngineDiffTest, QueuePoliciesTimesBackfill) {
+  const Tree tree = make_figure2_tree();
+  const JobLog log = fuzz_log(tree, 120, 7);
+  for (const QueuePolicy policy :
+       {QueuePolicy::kFifo, QueuePolicy::kShortestJobFirst,
+        QueuePolicy::kSmallestJobFirst}) {
+    for (const bool backfill : {false, true}) {
+      for (const int depth : {1, 3, 200}) {
+        if (!backfill && depth != 200) continue;  // depth is a no-op then
+        SchedOptions options;
+        options.queue_policy = policy;
+        options.easy_backfill = backfill;
+        options.backfill_depth = depth;
+        run_both_and_compare(
+            tree, log, options,
+            "policy " + std::to_string(static_cast<int>(policy)) +
+                " backfill " + std::to_string(backfill) + " depth " +
+                std::to_string(depth));
+      }
+    }
+  }
+}
+
+TEST(EngineDiffTest, EnforcedWalltimeAndComputeOnlyLogs) {
+  const Tree tree = make_two_level_tree(4, 8);
+  for (const double comm_percent : {0.0, 0.6}) {
+    const JobLog log = fuzz_log(tree, 140, 99, comm_percent);
+    SchedOptions options;
+    options.allocator = AllocatorKind::kBalanced;
+    options.enforce_walltime = true;
+    run_both_and_compare(tree, log, options,
+                         "enforce_walltime comm_percent " +
+                             std::to_string(comm_percent));
+  }
+}
+
+TEST(EngineDiffTest, ExclusiveAndIoAwareAllocators) {
+  const Tree tree = make_two_level_tree(4, 8);
+  JobLog log = generate_log(scale_profile(theta_profile(), tree.node_count()),
+                            120, 5);
+  MixSpec mix = uniform_mix(Pattern::kRecursiveDoubling, 0.7);
+  mix.io_percent = 0.4;
+  mix.io_fraction = 0.3;
+  apply_mix(log, mix, 17);
+  for (const AllocatorKind kind :
+       {AllocatorKind::kExclusive, AllocatorKind::kIoAware}) {
+    SchedOptions options;
+    options.allocator = kind;
+    run_both_and_compare(tree, log, options,
+                         std::string("allocator ") +
+                             allocator_kind_name(kind));
+  }
+}
+
+// Degenerate shapes the indexed structures must not trip on: empty log,
+// single job, all jobs identical (maximal tie-breaking pressure), and every
+// job full-machine width (running set of size one, no backfill ever fits).
+TEST(EngineDiffTest, DegenerateShapes) {
+  const Tree tree = make_figure2_tree();
+  run_both_and_compare(tree, JobLog{}, SchedOptions{}, "empty log");
+
+  JobRecord one;
+  one.id = 1;
+  one.submit_time = 10.0;
+  one.num_nodes = tree.node_count();
+  one.runtime = 60.0;
+  one.walltime = 90.0;
+  run_both_and_compare(tree, JobLog{one}, SchedOptions{}, "single job");
+
+  JobLog ties;
+  for (int i = 0; i < 40; ++i) {
+    JobRecord j;
+    j.id = i + 1;
+    j.submit_time = 0.0;
+    j.num_nodes = 2;
+    j.runtime = 100.0;
+    j.walltime = 100.0;
+    ties.push_back(j);
+  }
+  for (const QueuePolicy policy :
+       {QueuePolicy::kFifo, QueuePolicy::kShortestJobFirst,
+        QueuePolicy::kSmallestJobFirst}) {
+    SchedOptions options;
+    options.queue_policy = policy;
+    run_both_and_compare(tree, ties, options,
+                         "identical jobs, policy " +
+                             std::to_string(static_cast<int>(policy)));
+  }
+
+  JobLog wide;
+  for (int i = 0; i < 20; ++i) {
+    JobRecord j;
+    j.id = i + 1;
+    j.submit_time = static_cast<double>(i);
+    j.num_nodes = tree.node_count();
+    j.runtime = 50.0 + i;
+    j.walltime = 60.0 + i;
+    wide.push_back(j);
+  }
+  run_both_and_compare(tree, wide, SchedOptions{}, "full-machine jobs");
+}
+
+}  // namespace
+}  // namespace commsched

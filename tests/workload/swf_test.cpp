@@ -78,6 +78,101 @@ TEST(SwfParseTest, MissingRequestedTimeGetsDefault) {
   EXPECT_DOUBLE_EQ(log[0].walltime, 1500.0);
 }
 
+TEST(SwfParseTest, MaxNodesDropsWideJobs) {
+  // Cap 128: keeps jobs 1 (64) and 2 (128), drops job 4 (256 nodes).
+  const JobLog log = parse(kSample, SwfOptions{.max_nodes = 128});
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].id, 1);
+  EXPECT_EQ(log[1].id, 2);
+}
+
+TEST(SwfParseTest, MaxNodesAppliesAfterCoreConversion) {
+  // 128 procs / 4 cores-per-node = 32 nodes, which fits a 32-node cap even
+  // though the raw processor count does not.
+  const JobLog log =
+      parse(kSample, SwfOptions{.cores_per_node = 4, .max_nodes = 32});
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[1].num_nodes, 32);
+}
+
+TEST(SwfParseTest, SortBySubmitIsStable) {
+  const std::string text =
+      "3 200 0 100 8 -1 -1 8 200 -1 1 1 1 -1 1 -1 -1 -1\n"
+      "1 100 0 100 8 -1 -1 8 200 -1 1 1 1 -1 1 -1 -1 -1\n"
+      "2 100 0 100 8 -1 -1 8 200 -1 1 1 1 -1 1 -1 -1 -1\n";
+  const JobLog unsorted = parse(text);
+  EXPECT_EQ(unsorted[0].id, 3);  // file order preserved by default
+  const JobLog sorted = parse(text, SwfOptions{.sort_by_submit = true});
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].id, 1);  // ties at t=100 keep file order (stable)
+  EXPECT_EQ(sorted[1].id, 2);
+  EXPECT_EQ(sorted[2].id, 3);
+}
+
+TEST(SwfParseTest, StatsAccountForEveryParsedLine) {
+  std::istringstream in(kSample);
+  SwfLoadStats stats;
+  const JobLog log = parse_swf(in, SwfOptions{.max_nodes = 100}, &stats);
+  EXPECT_EQ(stats.parsed, 4u);
+  EXPECT_EQ(stats.kept, log.size());
+  EXPECT_EQ(stats.kept, 1u);              // only job 1 (64 nodes) survives
+  EXPECT_EQ(stats.dropped_invalid, 1u);   // job 3, runtime -1
+  EXPECT_EQ(stats.dropped_too_wide, 2u);  // jobs 2 (128) and 4 (256) > 100
+  EXPECT_EQ(stats.parsed,
+            stats.kept + stats.dropped_invalid + stats.dropped_too_wide);
+}
+
+TEST(SwfParseTest, StatsStopAtMaxJobs) {
+  std::istringstream in(kSample);
+  SwfLoadStats stats;
+  const JobLog log = parse_swf(in, SwfOptions{.max_jobs = 1}, &stats);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(stats.parsed, 1u);  // the parse stopped at the cut
+  EXPECT_EQ(stats.kept, 1u);
+}
+
+TEST(SwfFileTest, BundledRawTraceLoadsCleanly) {
+  // The bundled raw trace is deliberately messy (out-of-order submits, one
+  // too-wide job, one invalid runtime); the robustness flags must leave a
+  // simulator-ready log and account for every drop.
+  SwfLoadStats stats;
+  const JobLog log = load_swf(
+      std::string(COMMSCHED_DATA_DIR) + "/demo-raw-trace.swf",
+      SwfOptions{.max_nodes = 64, .sort_by_submit = true}, &stats);
+  EXPECT_EQ(stats.parsed, 12u);
+  EXPECT_EQ(stats.dropped_invalid, 1u);   // record 8
+  EXPECT_EQ(stats.dropped_too_wide, 1u);  // record 6, 96 > 64
+  ASSERT_EQ(log.size(), 10u);
+  EXPECT_EQ(stats.kept, 10u);
+  for (std::size_t i = 1; i < log.size(); ++i)
+    EXPECT_LE(log[i - 1].submit_time, log[i].submit_time);
+  for (const JobRecord& j : log) {
+    EXPECT_LE(j.num_nodes, 64);
+    EXPECT_GT(j.runtime, 0.0);
+  }
+  // Record 5 (submit 380) sorts between 3 (submit 300) and 4 (submit 450).
+  EXPECT_EQ(log[2].id, 3);
+  EXPECT_EQ(log[3].id, 5);
+  EXPECT_EQ(log[4].id, 4);
+}
+
+TEST(SwfFileTest, RawTraceRoundTripsAfterCleaning) {
+  const SwfOptions opts{.max_nodes = 64, .sort_by_submit = true};
+  const std::string path =
+      std::string(COMMSCHED_DATA_DIR) + "/demo-raw-trace.swf";
+  const JobLog cleaned = load_swf(path, opts);
+  std::istringstream in(write_swf(cleaned));
+  const JobLog reparsed = parse_swf(in, opts);  // sorted input: no-op sort
+  ASSERT_EQ(reparsed.size(), cleaned.size());
+  for (std::size_t i = 0; i < cleaned.size(); ++i) {
+    EXPECT_EQ(reparsed[i].id, cleaned[i].id);
+    EXPECT_DOUBLE_EQ(reparsed[i].submit_time, cleaned[i].submit_time);
+    EXPECT_EQ(reparsed[i].num_nodes, cleaned[i].num_nodes);
+    EXPECT_DOUBLE_EQ(reparsed[i].runtime, cleaned[i].runtime);
+    EXPECT_DOUBLE_EQ(reparsed[i].walltime, cleaned[i].walltime);
+  }
+}
+
 TEST(SwfParseTest, RejectsShortLines) {
   EXPECT_THROW(parse("1 2 3\n"), ParseError);
 }
