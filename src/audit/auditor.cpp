@@ -62,6 +62,8 @@ std::string StateAuditor::context() const {
   return os.str();
 }
 
+// contract-trusted: no-alloc: opt-in run auditing (enabled() gate in the
+// simulator); invariant checks allocate for shadow state and diagnostics
 void StateAuditor::on_event(double time, std::string_view what, JobId job) {
   if (!enabled()) return;
   ++checks_;
@@ -88,6 +90,8 @@ void StateAuditor::on_event(double time, std::string_view what, JobId job) {
   saw_event_ = true;
 }
 
+// contract-trusted: no-alloc: opt-in run auditing (enabled() gate in the
+// simulator); invariant checks allocate for shadow state and diagnostics
 void StateAuditor::on_allocate(const ClusterState& state, JobId job,
                                std::span<const NodeId> nodes) {
   if (!enabled()) return;
@@ -189,6 +193,8 @@ void StateAuditor::on_release(const ClusterState& state, JobId job,
   }
 }
 
+// contract-trusted: no-alloc: opt-in run auditing (enabled() gate in the
+// simulator); invariant checks allocate for shadow state and diagnostics
 void StateAuditor::check_backfill(double now, JobId job, double walltime,
                                   int num_nodes, double shadow_time,
                                   int extra_nodes) {
@@ -206,6 +212,8 @@ void StateAuditor::check_backfill(double now, JobId job, double walltime,
   }
 }
 
+// contract-trusted: no-alloc: opt-in run auditing (enabled() gate in the
+// simulator); invariant checks allocate for shadow state and diagnostics
 void StateAuditor::check_cost(double cost, JobId job,
                               std::string_view metric) {
   if (!enabled()) return;
@@ -218,6 +226,8 @@ void StateAuditor::check_cost(double cost, JobId job,
   }
 }
 
+// contract-trusted: no-alloc: opt-in run auditing (enabled() gate in the
+// simulator); invariant checks allocate for shadow state and diagnostics
 void StateAuditor::check_cost_symmetry(const CostModel& model,
                                        const ClusterState& state,
                                        std::span<const NodeId> nodes,
@@ -251,6 +261,8 @@ void StateAuditor::check_cost_symmetry(const CostModel& model,
   }
 }
 
+// contract-trusted: no-alloc: opt-in run auditing (enabled() gate in the
+// simulator); invariant checks allocate for shadow state and diagnostics
 void StateAuditor::check_profile(Pattern pattern,
                                  const LeafCommProfile& profile,
                                  std::span<const NodeId> nodes, JobId job) {
@@ -393,7 +405,16 @@ void StateAuditor::check_state(const ClusterState& state) {
        << " jobs, auditor saw " << live_.size();
     violation(os.str());
   }
-  for (const auto& [job, shadow_nodes] : live_) {
+  // Visit shadow jobs sorted by id: unordered_map hash order would leak
+  // into which divergence report fires first, making audit failures
+  // non-reproducible across libstdc++ versions.
+  std::vector<JobId> live_jobs;
+  live_jobs.reserve(live_.size());
+  // contract-trusted: determinism: keys are sorted below before any output
+  for (const auto& kv : live_) live_jobs.push_back(kv.first);
+  std::sort(live_jobs.begin(), live_jobs.end());
+  for (const JobId job : live_jobs) {
+    const std::vector<NodeId>& shadow_nodes = live_.at(job);
     if (!state.has_job(job))
       violation("job " + std::to_string(job) +
                 " is live in the shadow table but unknown to the cluster");

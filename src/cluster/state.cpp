@@ -67,6 +67,7 @@ void ClusterState::transition(NodeId n, JobId new_owner, bool comm, bool io,
   free_total_ -= delta;
 }
 
+// hot-path: no-alloc
 std::int32_t ClusterState::find_slot(JobId job) const {
   if (job >= 0 && job < kDenseJobIds) {
     const auto idx = static_cast<std::size_t>(job);
@@ -77,6 +78,7 @@ std::int32_t ClusterState::find_slot(JobId job) const {
   return it == sparse_slot_.end() ? -1 : it->second;
 }
 
+// hot-path: no-alloc
 std::int32_t ClusterState::claim_slot(JobId job) {
   std::int32_t slot;
   if (!free_slots_.empty()) {
@@ -84,18 +86,25 @@ std::int32_t ClusterState::claim_slot(JobId job) {
     free_slots_.pop_back();
   } else {
     slot = static_cast<std::int32_t>(job_pool_.size());
+    // contract-trusted: no-alloc: slot pool grows to the peak live-job
+    // count, then slots recycle through free_slots_
     job_pool_.emplace_back();
   }
   if (job >= 0 && job < kDenseJobIds) {
     const auto idx = static_cast<std::size_t>(job);
+    // contract-trusted: no-alloc: dense id->slot table grows once up to
+    // the largest dense job id, then stays
     if (idx >= dense_slot_.size()) dense_slot_.resize(idx + 1, -1);
     dense_slot_[idx] = slot;
   } else {
+    // contract-trusted: no-alloc: out-of-range ids are rare (SWF traces
+    // stay under kDenseJobIds); bounded by live sparse jobs
     sparse_slot_.emplace(job, slot);
   }
   return slot;
 }
 
+// hot-path: no-alloc
 void ClusterState::drop_slot(JobId job, std::int32_t slot) {
   if (job >= 0 && job < kDenseJobIds)
     dense_slot_[static_cast<std::size_t>(job)] = -1;
@@ -105,9 +114,12 @@ void ClusterState::drop_slot(JobId job, std::int32_t slot) {
   rec.live = false;
   rec.id = kInvalidJob;
   rec.nodes.clear();  // capacity survives for the next occupant
+  // contract-trusted: no-alloc: free list capacity is bounded by the
+  // peak live-job count the pool already reached
   free_slots_.push_back(slot);
 }
 
+// hot-path: no-alloc
 void ClusterState::allocate(JobId job, bool comm_intensive,
                             std::span<const NodeId> nodes,
                             bool io_intensive) {
@@ -145,6 +157,7 @@ void ClusterState::release_into(JobId job, std::vector<NodeId>& out) {
   const std::int32_t slot = find_slot(job);
   COMMSCHED_ASSERT_MSG(slot >= 0, "releasing unknown job");
   JobRec& rec = job_pool_[static_cast<std::size_t>(slot)];
+  // contract-trusted: no-alloc: caller scratch reuses reserved capacity
   out.assign(rec.nodes.begin(), rec.nodes.end());
   for (const NodeId n : out)
     transition(n, kInvalidJob, rec.comm_intensive, rec.io_intensive, -1);
@@ -158,8 +171,10 @@ std::vector<NodeId> ClusterState::release(JobId job) {
   return freed;
 }
 
+// hot-path: no-alloc
 bool ClusterState::is_free(NodeId n) const { return owner(n) == kInvalidJob; }
 
+// hot-path: no-alloc
 JobId ClusterState::owner(NodeId n) const {
   COMMSCHED_ASSERT_MSG(n >= 0 && n < tree_->node_count(), "node id out of range");
   return node_owner_[static_cast<std::size_t>(n)];
@@ -179,26 +194,31 @@ bool ClusterState::job_is_comm(JobId job) const {
   return job_pool_[static_cast<std::size_t>(slot)].comm_intensive;
 }
 
+// hot-path: no-alloc
 int ClusterState::leaf_nodes(SwitchId leaf) const {
   COMMSCHED_ASSERT_MSG(tree_->is_leaf(leaf), "not a leaf switch");
   return static_cast<int>(tree_->nodes_of_leaf(leaf).size());
 }
 
+// hot-path: no-alloc
 int ClusterState::leaf_busy(SwitchId leaf) const {
   COMMSCHED_ASSERT_MSG(tree_->is_leaf(leaf), "not a leaf switch");
   return leaf_busy_[static_cast<std::size_t>(leaf)];
 }
 
+// hot-path: no-alloc
 int ClusterState::leaf_comm(SwitchId leaf) const {
   COMMSCHED_ASSERT_MSG(tree_->is_leaf(leaf), "not a leaf switch");
   return leaf_comm_[static_cast<std::size_t>(leaf)];
 }
 
+// hot-path: no-alloc
 int ClusterState::leaf_io(SwitchId leaf) const {
   COMMSCHED_ASSERT_MSG(tree_->is_leaf(leaf), "not a leaf switch");
   return leaf_io_[static_cast<std::size_t>(leaf)];
 }
 
+// hot-path: no-alloc
 int ClusterState::free_under(SwitchId s) const {
   COMMSCHED_ASSERT(s >= 0 && s < tree_->switch_count());
   return switch_free_[static_cast<std::size_t>(s)];

@@ -75,6 +75,7 @@ class ClusterState {
   int leaf_busy(SwitchId leaf) const;   ///< L_busy
   int leaf_comm(SwitchId leaf) const;   ///< L_comm
   int leaf_io(SwitchId leaf) const;     ///< L_io (§7 I/O-aware extension)
+  // hot-path: no-alloc
   int leaf_free(SwitchId leaf) const { return leaf_nodes(leaf) - leaf_busy(leaf); }
 
   /// Free nodes in the subtree of any switch (== leaf_free for leaves).

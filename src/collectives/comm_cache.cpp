@@ -7,6 +7,9 @@
 
 namespace commsched {
 
+// contract-trusted: no-alloc: key construction is bounded by job-start
+// pricing (a handful of candidate shapes per start), never the per-leaf
+// selection loops; its vectors are leaf/node sized and die with the call
 ShapeKey make_shape_key(const Tree& tree, std::span<const NodeId> nodes) {
   ShapeKey key;
   key.total_nodes = static_cast<int>(nodes.size());
@@ -147,6 +150,9 @@ const CommSchedule& CommCache::schedule(Pattern pattern, int nprocs) {
       .first->second;
 }
 
+// contract-trusted: no-alloc: memoizing run-wide cache; allocates only on
+// the first sighting of a (pattern, shape) pair, steady-state lookups are
+// hit-only (see stats_.profile_hits)
 const LeafCommProfile& CommCache::profile(Pattern pattern, int ranks_per_node,
                                           const ShapeKey& shape) {
   ProfileKey key{pattern, ranks_per_node, shape};

@@ -12,6 +12,7 @@ AdaptiveAllocator::AdaptiveAllocator(CostOptions cost_options,
   if (!cache_) cache_ = std::make_shared<CommCache>(double{1 << 20});
 }
 
+// hot-path: no-alloc
 bool AdaptiveAllocator::select_into(const ClusterState& state,
                                     const AllocationRequest& request,
                                     std::vector<NodeId>& out) const {

@@ -4,6 +4,7 @@
 
 namespace commsched {
 
+// hot-path: no-alloc
 SwitchId find_lowest_level_switch(const ClusterState& state, int num_nodes) {
   COMMSCHED_ASSERT_GE_MSG(num_nodes, 1, "request must be positive");
   const Tree& tree = state.tree();
@@ -19,6 +20,7 @@ SwitchId find_lowest_level_switch(const ClusterState& state, int num_nodes) {
   return kInvalidSwitch;
 }
 
+// hot-path: no-alloc
 void take_free_nodes(const ClusterState& state, SwitchId leaf, int count,
                      std::vector<NodeId>& out) {
   COMMSCHED_ASSERT_GE(count, 0);
@@ -28,9 +30,11 @@ void take_free_nodes(const ClusterState& state, SwitchId leaf, int count,
   const std::span<const NodeId> free = state.free_leaf_span(leaf);
   COMMSCHED_ASSERT_MSG(static_cast<std::size_t>(count) <= free.size(),
                        "leaf has fewer free nodes than requested");
+  // contract-trusted: no-alloc: caller scratch reuses reserved capacity
   out.insert(out.end(), free.begin(), free.begin() + count);
 }
 
+// hot-path: no-alloc
 double communication_ratio(const ClusterState& state, SwitchId leaf) {
   const double nodes = state.leaf_nodes(leaf);
   const double busy = state.leaf_busy(leaf);
@@ -39,6 +43,7 @@ double communication_ratio(const ClusterState& state, SwitchId leaf) {
   return contention_term + busy / nodes;
 }
 
+// hot-path: no-alloc
 double profiled_candidate_cost(const CostModel& model, CommCache& cache,
                                const ClusterState& state,
                                std::span<const NodeId> nodes,

@@ -7,6 +7,7 @@
 
 namespace commsched {
 
+// hot-path: no-alloc
 bool BalancedAllocator::select_into(const ClusterState& state,
                                     const AllocationRequest& request,
                                     std::vector<NodeId>& out) const {
@@ -14,6 +15,7 @@ bool BalancedAllocator::select_into(const ClusterState& state,
   const SwitchId top = find_lowest_level_switch(state, request.num_nodes);
   if (top == kInvalidSwitch) return false;
 
+  // contract-trusted: no-alloc: caller scratch reuses reserved capacity
   out.reserve(static_cast<std::size_t>(request.num_nodes));
   // Algorithm 2 lines 3-5.
   if (state.tree().is_leaf(top)) {
@@ -24,6 +26,7 @@ bool BalancedAllocator::select_into(const ClusterState& state,
   auto& leaf_order = leaf_order_;
   leaf_order.clear();
   for (const SwitchId l : state.tree().leaves_under(top))
+    // contract-trusted: no-alloc: member scratch reuses capacity across calls
     if (state.leaf_free(l) > 0) leaf_order.push_back(l);
 
   if (request.comm_intensive) {
@@ -40,6 +43,7 @@ bool BalancedAllocator::select_into(const ClusterState& state,
     // the state, so the spans stay valid), so the top-up pass cannot
     // re-take nodes granted in the power-of-two pass.
     auto& cursor = cursor_;
+    // contract-trusted: no-alloc: member scratch reuses capacity across calls
     cursor.assign(leaf_order.size(), 0);
 
     // Lines 12-21: halve the chunk size S until it fits each leaf; allocate
@@ -54,6 +58,7 @@ bool BalancedAllocator::select_into(const ClusterState& state,
       while (chunk > free) chunk /= 2;
       if (chunk == 0) break;  // leaf smaller than any power-of-two chunk
       const int take = std::min(chunk, remaining);
+      // contract-trusted: no-alloc: caller scratch reuses reserved capacity
       for (int t = 0; t < take; ++t)
         out.push_back(free_nodes[cursor[li]++]);
       remaining -= take;
@@ -67,6 +72,7 @@ bool BalancedAllocator::select_into(const ClusterState& state,
         const int avail =
             static_cast<int>(free_nodes.size() - cursor[li]);
         const int take = std::min(avail, remaining);
+        // contract-trusted: no-alloc: caller scratch reuses reserved capacity
         for (int t = 0; t < take; ++t)
           out.push_back(free_nodes[cursor[li]++]);
         remaining -= take;

@@ -9,23 +9,29 @@ namespace commsched {
 LeafOverlay::LeafOverlay(const Tree& tree)
     : extra_(static_cast<std::size_t>(tree.switch_count()), 0) {}
 
+// hot-path: no-alloc
 void LeafOverlay::add_nodes(const Tree& tree, std::span<const NodeId> nodes,
                             int copies) {
   COMMSCHED_ASSERT_GE(copies, 1);
   const auto n_switches = static_cast<std::size_t>(tree.switch_count());
+  // contract-trusted: no-alloc: overlay sized to the topology's switch
+  // count on first use; reused across candidates
   if (extra_.size() < n_switches) extra_.resize(n_switches, 0);
   for (const NodeId n : nodes) {
     const SwitchId leaf = tree.leaf_of(n);
+    // contract-trusted: no-alloc: bounded by leaf count; reused capacity
     if (extra_[static_cast<std::size_t>(leaf)] == 0) touched_.push_back(leaf);
     extra_[static_cast<std::size_t>(leaf)] += copies;
   }
 }
 
+// hot-path: no-alloc
 void LeafOverlay::clear() {
   for (const SwitchId s : touched_) extra_[static_cast<std::size_t>(s)] = 0;
   touched_.clear();
 }
 
+// hot-path: no-alloc
 int LeafOverlay::extra_comm(SwitchId leaf) const {
   const auto i = static_cast<std::size_t>(leaf);
   return i < extra_.size() ? extra_[i] : 0;
@@ -47,6 +53,7 @@ CostModel::CostModel(const Tree& tree, CostOptions options)
 
 namespace {
 
+// hot-path: no-alloc
 double leaf_comm_fraction(const ClusterState& state, SwitchId leaf,
                           const LeafOverlay* overlay) {
   const double comm =
@@ -66,6 +73,7 @@ CostWorkspace& tls_workspace() {
 
 }  // namespace
 
+// hot-path: no-alloc
 double CostModel::contention(const ClusterState& state, NodeId i, NodeId j,
                              const LeafOverlay* overlay) const {
   const SwitchId li = tree_->leaf_of(i);
@@ -84,6 +92,7 @@ double CostModel::contention(const ClusterState& state, NodeId i, NodeId j,
   return ci / ni + cj / nj + 0.5 * (ci + cj) / (ni + nj);
 }
 
+// hot-path: no-alloc
 double CostModel::effective_hops(const ClusterState& state, NodeId i, NodeId j,
                                  const LeafOverlay* overlay) const {
   if (i == j) return 0.0;
@@ -91,6 +100,7 @@ double CostModel::effective_hops(const ClusterState& state, NodeId i, NodeId j,
   return d * (1.0 + contention(state, i, j, overlay));  // Eq. 5
 }
 
+// hot-path: no-alloc
 std::size_t CostModel::map_leaves(const ClusterState& state,
                                   std::span<const NodeId> nodes,
                                   const LeafOverlay* overlay,
@@ -122,11 +132,13 @@ std::size_t CostModel::map_leaves(const ClusterState& state,
   return ws.call_leaves_.size();
 }
 
+// hot-path: no-alloc
 void CostModel::release_slots(CostWorkspace& ws) const {
   for (const SwitchId leaf : ws.call_leaves_)
     ws.leaf_slot_[static_cast<std::size_t>(tree_->leaf_index(leaf))] = -1;
 }
 
+// hot-path: no-alloc
 double CostModel::slot_hops(const Tree& tree, CostWorkspace& ws,
                             std::size_t sa, std::size_t sb, std::size_t k) {
   double& memo = ws.pair_hops_[sa * k + sb];
@@ -154,6 +166,7 @@ double CostModel::slot_hops(const Tree& tree, CostWorkspace& ws,
 // Each rank pair after the first with the same leaf pair is a single array
 // load, and the arithmetic matches cost_impl_reference operation-for-
 // operation so the two paths agree bit-for-bit.
+// hot-path: no-alloc
 double CostModel::cost_impl(const ClusterState& state,
                             std::span<const NodeId> nodes,
                             const CommSchedule& schedule,
@@ -200,6 +213,7 @@ double CostModel::cost_impl(const ClusterState& state,
 // starting value), and the summation below visits steps in the identical
 // order with identical per-step arithmetic, so the result is bit-for-bit
 // equal to cost_impl / cost_impl_reference on the expanded rank list.
+// hot-path: no-alloc
 double CostModel::cost_profile_impl(const ClusterState& state,
                                     std::span<const NodeId> nodes,
                                     const LeafCommProfile& profile,
@@ -275,6 +289,7 @@ double CostModel::allocation_cost(const ClusterState& state,
   return allocation_cost(state, nodes, schedule, tls_workspace());
 }
 
+// hot-path: no-alloc
 double CostModel::candidate_cost(const ClusterState& state,
                                  std::span<const NodeId> nodes,
                                  bool comm_intensive,
@@ -290,6 +305,7 @@ double CostModel::candidate_cost(const ClusterState& state,
   return cost;
 }
 
+// hot-path: no-alloc
 double CostModel::candidate_cost(const ClusterState& state,
                                  std::span<const NodeId> nodes,
                                  bool comm_intensive,
@@ -311,6 +327,7 @@ double CostModel::allocation_cost(const ClusterState& state,
   return allocation_cost(state, nodes, profile, tls_workspace());
 }
 
+// hot-path: no-alloc
 double CostModel::candidate_cost(const ClusterState& state,
                                  std::span<const NodeId> nodes,
                                  bool comm_intensive,
@@ -328,6 +345,7 @@ double CostModel::candidate_cost(const ClusterState& state,
   return cost;
 }
 
+// hot-path: no-alloc
 double CostModel::candidate_cost(const ClusterState& state,
                                  std::span<const NodeId> nodes,
                                  bool comm_intensive,

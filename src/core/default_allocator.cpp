@@ -7,6 +7,7 @@
 
 namespace commsched {
 
+// hot-path: no-alloc
 bool DefaultAllocator::select_into(const ClusterState& state,
                                    const AllocationRequest& request,
                                    std::vector<NodeId>& out) const {
@@ -14,6 +15,7 @@ bool DefaultAllocator::select_into(const ClusterState& state,
   const SwitchId root_switch = find_lowest_level_switch(state, request.num_nodes);
   if (root_switch == kInvalidSwitch) return false;
 
+  // contract-trusted: no-alloc: caller scratch reuses reserved capacity
   out.reserve(static_cast<std::size_t>(request.num_nodes));
   if (state.tree().is_leaf(root_switch)) {
     take_free_nodes(state, root_switch, request.num_nodes, out);
@@ -25,6 +27,7 @@ bool DefaultAllocator::select_into(const ClusterState& state,
   auto& leaf_order = leaf_order_;
   leaf_order.clear();
   for (const SwitchId l : state.tree().leaves_under(root_switch))
+    // contract-trusted: no-alloc: member scratch reuses capacity across calls
     if (state.leaf_free(l) > 0) leaf_order.push_back(l);
   std::stable_sort(leaf_order.begin(), leaf_order.end(),
                    [&](SwitchId a, SwitchId b) {

@@ -7,11 +7,13 @@
 
 namespace commsched {
 
+// hot-path: no-alloc
 bool ExclusiveAllocator::select_into(const ClusterState& state,
                                      const AllocationRequest& request,
                                      std::vector<NodeId>& out) const {
   const Tree& tree = state.tree();
   out.clear();
+  // contract-trusted: no-alloc: caller scratch reuses reserved capacity
   out.reserve(static_cast<std::size_t>(request.num_nodes));
 
   // Small jobs: a completely idle leaf that fits the whole request keeps
@@ -36,6 +38,7 @@ bool ExclusiveAllocator::select_into(const ClusterState& state,
   auto& idle = idle_;
   idle.clear();
   for (const SwitchId leaf : tree.leaves())
+    // contract-trusted: no-alloc: member scratch reuses capacity across calls
     if (state.leaf_busy(leaf) == 0) idle.push_back(leaf);
   std::stable_sort(idle.begin(), idle.end(), [&](SwitchId a, SwitchId b) {
     const int na = state.leaf_nodes(a);

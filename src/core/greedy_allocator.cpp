@@ -7,6 +7,7 @@
 
 namespace commsched {
 
+// hot-path: no-alloc
 bool GreedyAllocator::select_into(const ClusterState& state,
                                   const AllocationRequest& request,
                                   std::vector<NodeId>& out) const {
@@ -14,6 +15,7 @@ bool GreedyAllocator::select_into(const ClusterState& state,
   const SwitchId top = find_lowest_level_switch(state, request.num_nodes);
   if (top == kInvalidSwitch) return false;
 
+  // contract-trusted: no-alloc: caller scratch reuses reserved capacity
   out.reserve(static_cast<std::size_t>(request.num_nodes));
   // Algorithm 1 lines 3-5: a single leaf satisfies the whole request.
   if (state.tree().is_leaf(top)) {
@@ -26,6 +28,7 @@ bool GreedyAllocator::select_into(const ClusterState& state,
   auto& leaf_order = leaf_order_;
   leaf_order.clear();
   for (const SwitchId l : state.tree().leaves_under(top))
+    // contract-trusted: no-alloc: member scratch reuses capacity across calls
     if (state.leaf_free(l) > 0) leaf_order.push_back(l);
   std::stable_sort(leaf_order.begin(), leaf_order.end(),
                    [&](SwitchId a, SwitchId b) {

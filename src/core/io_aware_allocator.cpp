@@ -23,6 +23,7 @@ std::optional<std::vector<NodeId>> IoAwareAllocator::spread_candidate(
   return out;
 }
 
+// hot-path: no-alloc
 bool IoAwareAllocator::spread_into(const ClusterState& state, int num_nodes,
                                    std::vector<NodeId>& out,
                                    std::vector<SwitchId>& order,
@@ -36,6 +37,7 @@ bool IoAwareAllocator::spread_into(const ClusterState& state, int num_nodes,
   // ties by more free nodes, then id.
   order.clear();
   for (const SwitchId l : tree.leaves())
+    // contract-trusted: no-alloc: caller scratch reuses reserved capacity
     if (state.leaf_free(l) > 0) order.push_back(l);
   std::stable_sort(order.begin(), order.end(), [&](SwitchId a, SwitchId b) {
     const double ia = static_cast<double>(state.leaf_io(a)) / state.leaf_nodes(a);
@@ -51,6 +53,7 @@ bool IoAwareAllocator::spread_into(const ClusterState& state, int num_nodes,
   // pushed onto the later (more loaded) leaves. Blocks stay contiguous in
   // rank space so the communication term is not wrecked by interleaving.
   const auto k = order.size();
+  // contract-trusted: no-alloc: caller scratch reuses reserved capacity
   desired.assign(k, 0);
   const int base = num_nodes / static_cast<int>(k);
   int extra = num_nodes % static_cast<int>(k);
@@ -76,17 +79,20 @@ bool IoAwareAllocator::spread_into(const ClusterState& state, int num_nodes,
   }
   COMMSCHED_ASSERT_EQ_MSG(deficit, 0, "free-node accounting out of sync");
 
+  // contract-trusted: no-alloc: caller scratch reuses reserved capacity
   out.reserve(static_cast<std::size_t>(num_nodes));
   for (std::size_t i = 0; i < k; ++i) {
     // The free index lists exactly the leaf's free nodes ascending — the
     // same prefix the old is_free() scan over nodes_of_leaf() took.
     const std::span<const NodeId> free = state.free_leaf_span(order[i]);
     COMMSCHED_ASSERT_GE(static_cast<int>(free.size()), desired[i]);
+    // contract-trusted: no-alloc: caller scratch reuses reserved capacity
     out.insert(out.end(), free.begin(), free.begin() + desired[i]);
   }
   return true;
 }
 
+// hot-path: no-alloc
 bool IoAwareAllocator::select_into(const ClusterState& state,
                                    const AllocationRequest& request,
                                    std::vector<NodeId>& out) const {

@@ -6,6 +6,7 @@ namespace commsched {
 
 IoModel::IoModel(const Tree& tree) : tree_(&tree) {}
 
+// hot-path: no-alloc
 double IoModel::contention(const ClusterState& state, NodeId n,
                            const LeafOverlay* overlay) const {
   const SwitchId leaf = tree_->leaf_of(n);
@@ -14,6 +15,7 @@ double IoModel::contention(const ClusterState& state, NodeId n,
   return io / static_cast<double>(state.leaf_nodes(leaf));
 }
 
+// hot-path: no-alloc
 double IoModel::allocation_cost(const ClusterState& state,
                                 std::span<const NodeId> nodes) const {
   const double d_io = 2.0 * tree_->depth();
@@ -23,6 +25,7 @@ double IoModel::allocation_cost(const ClusterState& state,
   return total;
 }
 
+// hot-path: no-alloc
 double IoModel::candidate_cost(const ClusterState& state,
                                std::span<const NodeId> nodes,
                                bool io_intensive) const {
@@ -36,6 +39,7 @@ double IoModel::candidate_cost(const ClusterState& state,
   return total;
 }
 
+// hot-path: no-alloc
 double modified_runtime_with_io(double runtime, double comm_fraction,
                                 double comm_ratio_num, double comm_ratio_den,
                                 double io_fraction, double io_ratio_num,

@@ -265,15 +265,20 @@ CampaignResult CampaignRunner::run() {
     ThreadPool pool(spec_.threads);
     std::atomic<std::size_t> done{0};
     std::mutex io_mutex;
+    // contract-trusted: determinism: progress timing only; raw-stream
+    // wall_s and stderr progress, never canonical output (see sink.hpp)
     const auto start = std::chrono::steady_clock::now();
     for (const std::size_t i : order) {
       if (slots[i].has_value()) continue;  // resumed from the stream
       pool.submit([this, &coords, &slots, &errors, &done, &io_mutex, &sink,
                    start, to_run, quiet, i] {
         try {
+          // contract-trusted: determinism: per-cell wall_s is a
+          // raw-stream-only field, excluded from canonical output
           const auto cell_start = std::chrono::steady_clock::now();
           CellResult cell = run_cell(spec_, coords[i]);
           const double wall =
+              // contract-trusted: determinism: raw-stream wall_s only
               std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                             cell_start)
                   .count();
@@ -285,6 +290,7 @@ CampaignResult CampaignRunner::run() {
         const std::size_t finished = done.fetch_add(1) + 1;
         if (!quiet) {
           const double elapsed =
+              // contract-trusted: determinism: stderr progress line only
               std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                             start)
                   .count();

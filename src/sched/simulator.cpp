@@ -220,14 +220,19 @@ class Simulation {
 
   // ---- Running set, engine-dispatched ------------------------------------
 
+  // hot-path: no-alloc
   void running_add(std::size_t idx, double est_end, int num_nodes) {
     running_info_[idx] = {est_end, num_nodes};
     if (options_.engine == SimEngine::kFast) {
       const RunEntry entry{est_end, num_nodes, idx};
       const auto pos = std::lower_bound(running_sorted_.begin(),
                                         running_sorted_.end(), entry);
+      // contract-trusted: no-alloc: capacity reserved up front to the
+      // trace's peak concurrency (see the constructor's reserve)
       running_sorted_.insert(pos, entry);
     } else {
+      // contract-trusted: no-alloc: reference engine; bounded by peak
+      // concurrent jobs, capacity reused across the run
       running_.push_back(idx);
     }
   }
@@ -259,6 +264,7 @@ class Simulation {
     return allocator_->select_into(state_, request_for(idx), out);
   }
 
+  // hot-path: no-alloc
   AllocationRequest request_for(std::size_t idx) const {
     const JobRecord& job = log_[idx];
     AllocationRequest request;
@@ -414,6 +420,7 @@ class Simulation {
 
   // ---- Shared job-start path (pricing + commit), both engines ------------
 
+  // hot-path: no-alloc
   void start_job(std::size_t idx, double t, const std::vector<NodeId>& nodes) {
     const JobRecord& job = log_[idx];
     const AllocationRequest request = request_for(idx);

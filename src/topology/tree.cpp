@@ -7,52 +7,62 @@
 namespace commsched {
 
 namespace {
+// hot-path: no-alloc
 void check_switch(const Tree& t, SwitchId s) {
   COMMSCHED_ASSERT_MSG(s >= 0 && s < t.switch_count(), "switch id out of range");
 }
 }  // namespace
 
+// hot-path: no-alloc
 int Tree::level(SwitchId s) const {
   check_switch(*this, s);
   return switches_[static_cast<std::size_t>(s)].level;
 }
 
+// hot-path: no-alloc
 SwitchId Tree::parent(SwitchId s) const {
   check_switch(*this, s);
   return switches_[static_cast<std::size_t>(s)].parent;
 }
 
+// hot-path: no-alloc
 std::span<const SwitchId> Tree::children(SwitchId s) const {
   check_switch(*this, s);
   return switches_[static_cast<std::size_t>(s)].children;
 }
 
+// hot-path: no-alloc
 std::span<const SwitchId> Tree::switches_at_level(int lvl) const {
   if (lvl < 1 || static_cast<std::size_t>(lvl) > levels_.size()) return {};
   return levels_[static_cast<std::size_t>(lvl) - 1];
 }
 
+// hot-path: no-alloc
 std::span<const SwitchId> Tree::leaves_under(SwitchId s) const {
   check_switch(*this, s);
   return switches_[static_cast<std::size_t>(s)].leaves_below;
 }
 
+// hot-path: no-alloc
 std::span<const NodeId> Tree::nodes_of_leaf(SwitchId s) const {
   check_switch(*this, s);
   COMMSCHED_ASSERT_MSG(is_leaf(s), "nodes_of_leaf on a non-leaf switch");
   return switches_[static_cast<std::size_t>(s)].nodes;
 }
 
+// hot-path: no-alloc
 int Tree::node_count_under(SwitchId s) const {
   check_switch(*this, s);
   return switches_[static_cast<std::size_t>(s)].subtree_nodes;
 }
 
+// hot-path: no-alloc
 SwitchId Tree::leaf_of(NodeId n) const {
   COMMSCHED_ASSERT_MSG(n >= 0 && n < node_count(), "node id out of range");
   return node_leaf_[static_cast<std::size_t>(n)];
 }
 
+// hot-path: no-alloc
 int Tree::leaf_index(SwitchId s) const {
   check_switch(*this, s);
   const std::int32_t idx = leaf_index_[static_cast<std::size_t>(s)];
@@ -60,26 +70,31 @@ int Tree::leaf_index(SwitchId s) const {
   return idx;
 }
 
+// hot-path: no-alloc
 SwitchId Tree::leaf_lca(SwitchId la, SwitchId lb) const {
   const auto row = static_cast<std::size_t>(leaf_index(la));
   const auto col = static_cast<std::size_t>(leaf_index(lb));
   return leaf_lca_[row * static_cast<std::size_t>(leaf_count()) + col];
 }
 
+// hot-path: no-alloc
 int Tree::leaf_distance(SwitchId la, SwitchId lb) const {
   const auto row = static_cast<std::size_t>(leaf_index(la));
   const auto col = static_cast<std::size_t>(leaf_index(lb));
   return leaf_dist_[row * static_cast<std::size_t>(leaf_count()) + col];
 }
 
+// hot-path: no-alloc
 SwitchId Tree::lowest_common_switch(NodeId a, NodeId b) const {
   return leaf_lca(leaf_of(a), leaf_of(b));
 }
 
+// hot-path: no-alloc
 int Tree::lca_level(NodeId a, NodeId b) const {
   return leaf_distance(leaf_of(a), leaf_of(b)) / 2;
 }
 
+// hot-path: no-alloc
 int Tree::distance(NodeId a, NodeId b) const {
   if (a == b) return 0;
   return leaf_distance(leaf_of(a), leaf_of(b));

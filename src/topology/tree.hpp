@@ -43,6 +43,7 @@ class Tree {
 
   SwitchId root() const noexcept { return root_; }
 
+  // hot-path: no-alloc
   bool is_leaf(SwitchId s) const { return level(s) == 1; }
   int level(SwitchId s) const;
   SwitchId parent(SwitchId s) const;  ///< kInvalidSwitch for the root

@@ -13,6 +13,7 @@ Torus::Torus(int x, int y, int z) : x_(x), y_(y), z_(z) {
                        "torus dimensions must be positive");
 }
 
+// hot-path: no-alloc
 TorusCoord Torus::coord_of(TorusNodeId n) const {
   COMMSCHED_ASSERT(n >= 0 && n < node_count());
   TorusCoord c;
@@ -30,11 +31,13 @@ TorusNodeId Torus::id_of(const TorusCoord& c) const {
   return wrap(c.x, x_) + wrap(c.y, y_) * x_ + wrap(c.z, z_) * x_ * y_;
 }
 
+// hot-path: no-alloc
 int Torus::ring_distance(int a, int b, int dim) {
   const int direct = std::abs(a - b);
   return std::min(direct, dim - direct);
 }
 
+// hot-path: no-alloc
 int Torus::distance(TorusNodeId a, TorusNodeId b) const {
   const TorusCoord ca = coord_of(a);
   const TorusCoord cb = coord_of(b);

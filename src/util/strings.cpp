@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
-#include <cstdio>
+
+#include "util/assert.hpp"
 
 namespace commsched {
 
@@ -203,9 +204,16 @@ std::string compress_hostlist(const std::vector<std::string>& hosts) {
 }
 
 std::string format_double(double v, int precision) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
-  return buf;
+  // std::to_chars is locale-independent; snprintf("%.*f") reads LC_NUMERIC
+  // and would change the decimal point under e.g. de_DE, breaking
+  // byte-stable CSV/JSONL output. Fixed notation needs up to ~310 digits
+  // before the point, plus the requested fraction digits.
+  char buf[1200];
+  const int p = std::clamp(precision, 0, 800);
+  const auto res = std::to_chars(buf, buf + sizeof buf, v,
+                                 std::chars_format::fixed, p);
+  COMMSCHED_ASSERT(res.ec == std::errc());
+  return std::string(buf, res.ptr);
 }
 
 }  // namespace commsched

@@ -207,6 +207,22 @@ TEST_F(AuditorTest, CheckStateNodeSetDivergenceFires) {
   EXPECT_NE(msg.find("node sets diverged"), std::string::npos);
 }
 
+TEST_F(AuditorTest, CheckStateReportsLowestDivergedJobFirst) {
+  // Three jobs diverge at once; the report must name the smallest id, not
+  // whichever the shadow table's hash order visits first — audit failures
+  // have to reproduce identically across libstdc++ versions.
+  for (const JobId job : {7, 3, 5}) {
+    state_.allocate(job, true, std::vector<NodeId>{NodeId(job % 3)});
+    auditor_.on_allocate(state_, job, state_.job_nodes(job));
+  }
+  for (const JobId job : {7, 3, 5}) state_.release(job);
+  for (const JobId job : {7, 3, 5})
+    state_.allocate(job, true, std::vector<NodeId>{NodeId(job % 3 + 4)});
+  const std::string msg =
+      violation_message([&] { auditor_.check_state(state_); });
+  EXPECT_NE(msg.find("job 3 node sets diverged"), std::string::npos);
+}
+
 TEST_F(AuditorTest, ProfileConsistencyPassesOnHonestProfile) {
   const std::vector<NodeId> nodes{0, 1, 4, 5};
   for (const Pattern pattern :

@@ -1,0 +1,15 @@
+#include <vector>
+
+namespace commsched {
+
+void append_twice(std::vector<int>& out, int v) {
+  out.push_back(v);
+  out.push_back(v + 1);
+}
+
+// hot-path: no-alloc
+void hot_entry(std::vector<int>& out, int v) {
+  append_twice(out, v);
+}
+
+}  // namespace commsched

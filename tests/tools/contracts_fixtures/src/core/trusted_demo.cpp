@@ -1,0 +1,19 @@
+#include <vector>
+
+namespace commsched {
+
+// contract-trusted: no-alloc: scratch reuses capacity reserved at startup
+void absorb(std::vector<int>& out, int v) { out.push_back(v); }
+
+// The blank padding above the next signature keeps absorb's trust comment
+// outside the annotation window — annotations attach to the signature at
+// most ANNOTATION_WINDOW lines below them.
+//
+// hot-path: no-alloc
+void hot_trusted_entry(std::vector<int>& out, int v) {
+  // contract-trusted: no-alloc: capacity reserved by the caller
+  out.push_back(v);
+  absorb(out, v);
+}
+
+}  // namespace commsched

@@ -1,0 +1,27 @@
+#include <vector>
+
+namespace commsched {
+
+class Picker {
+ public:
+  virtual ~Picker() = default;
+  virtual void select_into(std::vector<int>& out) const = 0;
+};
+
+class ReusingPicker : public Picker {
+ public:
+  // hot-path: no-alloc
+  void select_into(std::vector<int>& out) const override { out.clear(); }
+};
+
+class GrowingPicker : public Picker {
+ public:
+  void select_into(std::vector<int>& out) const override {
+    out.push_back(1);
+  }
+};
+
+// hot-path: no-alloc
+void drive(const Picker& p, std::vector<int>& out) { p.select_into(out); }
+
+}  // namespace commsched

@@ -1,0 +1,14 @@
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace commsched {
+
+void collect_names(const std::unordered_map<int, std::string>& table,
+                   std::vector<std::string>& out) {
+  for (const auto& kv : table) {
+    out.push_back(kv.second);
+  }
+}
+
+}  // namespace commsched

@@ -1,0 +1,24 @@
+namespace commsched {
+
+int bump_counter() {
+  static int counter = 0;
+  ++counter;
+  return counter;
+}
+
+class Tally {
+ public:
+  int peek() const { return hits_; }
+
+ private:
+  mutable int hits_ = 0;
+};
+
+void run_cell(int cell) {
+  Tally t;
+  bump_counter();
+  (void)cell;
+  (void)t.peek();
+}
+
+}  // namespace commsched

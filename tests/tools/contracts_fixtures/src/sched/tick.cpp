@@ -1,0 +1,10 @@
+#include <chrono>
+
+namespace commsched {
+
+double tick_seconds() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+}  // namespace commsched

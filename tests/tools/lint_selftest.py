@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Self-test for tools/lint.py against known-bad fixtures.
+
+The fixtures under tests/tools/fixtures/ mirror a miniature repo tree
+(src/util/, src/core/, ...) with a `.fix` suffix appended so the real
+lint run over tests/ skips them (they are deliberately bad). The driver
+copies lint.py plus the fixtures into a temporary fake repo root —
+lint.py derives REPO_ROOT from its own location, so the copy makes the
+fixture tree *the* repo — runs it, and diffs the findings against
+`// expect-lint: <rule>[, <rule>...]` markers placed on the exact lines
+the rules report at.
+
+Exit 0 on success; nonzero with a diff of missing/unexpected findings.
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+from collections import Counter
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent.parent
+FIXTURES = REPO / "tests" / "tools" / "fixtures"
+EXPECT_RE = re.compile(r"//\s*expect-lint:\s*([\w\-, ]+?)\s*$")
+FINDING_RE = re.compile(r"^(.+?):(\d+): \[([\w-]+)\]")
+
+
+def install_fixtures(tmp: Path) -> Counter:
+    """Copy lint.py + fixtures (stripping `.fix`) into the fake repo;
+    return the expected multiset of (relative path, line, rule)."""
+    (tmp / "tools").mkdir()
+    shutil.copyfile(REPO / "tools" / "lint.py", tmp / "tools" / "lint.py")
+    expected: Counter = Counter()
+    for fix in sorted(FIXTURES.rglob("*.fix")):
+        rel = fix.relative_to(FIXTURES).with_suffix("")
+        dest = tmp / rel
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(fix, dest)  # byte-exact: whitespace rules matter
+        for lineno, line in enumerate(fix.read_text().split("\n"), start=1):
+            m = EXPECT_RE.search(line.rstrip())
+            if m:
+                for rule in m.group(1).split(","):
+                    expected[(rel.as_posix(), lineno, rule.strip())] += 1
+    return expected
+
+
+def run_lint(tmp: Path, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(tmp / "tools" / "lint.py"), *args],
+        capture_output=True, text=True)
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="lint_selftest_"))
+    failures: list[str] = []
+    try:
+        expected = install_fixtures(tmp)
+        if not expected:
+            print("lint_selftest: no expectations found in fixtures",
+                  file=sys.stderr)
+            return 2
+
+        proc = run_lint(tmp, "src")
+        actual: Counter = Counter()
+        for line in proc.stdout.splitlines():
+            m = FINDING_RE.match(line)
+            if m:
+                actual[(m.group(1), int(m.group(2)), m.group(3))] += 1
+
+        for key, count in sorted(expected.items()):
+            got = actual.get(key, 0)
+            if got != count:
+                failures.append(
+                    f"expected {count}x {key[0]}:{key[1]} [{key[2]}], "
+                    f"lint reported {got}")
+        for key in sorted(set(actual) - set(expected)):
+            failures.append(
+                f"unexpected finding {key[0]}:{key[1]} [{key[2]}]")
+        if proc.returncode != 1:
+            failures.append(
+                f"full fixture run exited {proc.returncode}, expected 1")
+
+        # A clean file on its own must produce no findings and exit 0.
+        clean = run_lint(tmp, str(tmp / "src" / "util" / "clean.cpp"))
+        if clean.returncode != 0 or clean.stdout.strip():
+            failures.append(
+                "clean fixture was not clean: "
+                f"exit {clean.returncode}, output {clean.stdout!r}")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    for f in failures:
+        print(f"lint_selftest: {f}", file=sys.stderr)
+    total = sum(expected.values())
+    if not failures:
+        print(f"lint_selftest: ok ({total} expected findings matched)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <string>
+
 namespace commsched {
 namespace {
 
@@ -121,6 +124,49 @@ TEST(FormatDoubleTest, Precision) {
   EXPECT_EQ(format_double(3.14159, 2), "3.14");
   EXPECT_EQ(format_double(2.0, 0), "2");
   EXPECT_EQ(format_double(-1.005, 1), "-1.0");
+}
+
+TEST(FormatDoubleTest, LocaleIndependentDecimalPoint) {
+  // A comma-decimal LC_NUMERIC must not leak into the output: the emit
+  // layer's golden files pin "3.14", never "3,14" (this is why the
+  // implementation uses std::to_chars, not snprintf "%.*f").
+  const char* saved = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string original = saved != nullptr ? saved : "C";
+  bool have_comma_locale = false;
+  for (const char* name :
+       {"de_DE.UTF-8", "de_DE.utf8", "de_DE", "fr_FR.UTF-8", "fr_FR.utf8"}) {
+    if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+      have_comma_locale = true;
+      break;
+    }
+  }
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-0.5, 3), "-0.500");
+  std::setlocale(LC_NUMERIC, original.c_str());
+  if (!have_comma_locale)
+    GTEST_SKIP() << "no comma-decimal locale installed; checked under \""
+                 << original << "\" only";
+}
+
+TEST(FormatDoubleTest, RoundTripsExactlyAtHighPrecision) {
+  for (const double v :
+       {0.1, 1.0 / 3.0, 2.5e-3, 123456.789, 9.99999999999, -7.25}) {
+    const auto parsed = parse_double(format_double(v, 17));
+    ASSERT_TRUE(parsed.has_value()) << v;
+    EXPECT_EQ(*parsed, v) << v;
+  }
+}
+
+TEST(FormatDoubleTest, ExtremeValuesAndPrecisionClamp) {
+  // Fixed notation of 1e308 spans ~309 digits before the point; the
+  // formatter must hold it even at the clamped maximum precision instead
+  // of falling back to scientific notation or truncating.
+  const std::string big = format_double(1e308, 800);
+  EXPECT_EQ(big.find('e'), std::string::npos);
+  EXPECT_GT(big.size(), 300u);
+  // Out-of-range precisions clamp instead of overflowing the buffer.
+  EXPECT_EQ(format_double(2.75, -3), "3");
+  EXPECT_EQ(format_double(-0.0, 2), "-0.00");
 }
 
 }  // namespace

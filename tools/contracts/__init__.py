@@ -1,0 +1,3 @@
+# tools/contracts — call-graph-aware effect-contract analyzer.
+#
+# See DESIGN.md "Effect contracts" and tools/contracts/analyze.py --help.

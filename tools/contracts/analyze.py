@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Call-graph-aware contract analyzer for commsched.
+
+Quick start (from the repo root, after any cmake configure):
+
+    python3 tools/contracts/analyze.py --build build
+
+Extracts a whole-program call graph plus per-function effect facts from
+src/ and enforces three contract families transitively (DESIGN.md "Effect
+contracts"): no-alloc below `// hot-path: no-alloc` roots, thread-safety
+below concurrent entry points, and determinism inside src/{sched,core,
+collectives,exp}. Emits a machine-readable report (contracts_report.json)
+plus a human summary, and compares findings against the checked-in
+baseline — new violations exit nonzero, which is how the ctest entry and
+the CI `contracts` job gate merges.
+
+The compile database (--build <dir>/compile_commands.json) supplies the
+translation-unit list; headers are discovered next to their sources. When
+no build directory exists yet the analyzer falls back to globbing src/
+directly, so `--build` only gates on configured trees in CI (where the
+database also pins exactly what is compiled).
+
+Exit codes: 0 clean (or only baselined findings), 1 new violations,
+2 usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from callgraph import build_program  # noqa: E402
+from checks import (check_determinism, check_no_alloc,  # noqa: E402
+                    check_thread_safety)
+from model import Effect  # noqa: E402
+from parser import parse_program  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+
+def discover_sources(repo_root: Path, build_dir: Path | None) -> list[Path]:
+    """src/ translation units + headers. The compile database, when
+    present, is authoritative for .cpp files (it reflects what the build
+    actually compiles); headers are globbed because effects live in inline
+    definitions too."""
+    sources: set[Path] = set()
+    if build_dir is not None:
+        db = build_dir / "compile_commands.json"
+        if not db.is_file():
+            raise SystemExit(
+                f"analyze.py: no compile_commands.json under {build_dir} — "
+                "run `cmake -B <build> -S .` first (exit 2)")
+        for entry in json.loads(db.read_text()):
+            p = Path(entry["file"])
+            if not p.is_absolute():
+                p = Path(entry["directory"]) / p
+            p = p.resolve()
+            try:
+                rel = p.relative_to(repo_root)
+            except ValueError:
+                continue
+            if rel.parts[0] == "src" and p.suffix == ".cpp":
+                sources.add(p)
+    else:
+        sources.update((repo_root / "src").rglob("*.cpp"))
+    sources.update((repo_root / "src").rglob("*.hpp"))
+    return sorted(sources)
+
+
+def analyze(repo_root: Path, files: list[Path]) -> dict:
+    tus = parse_program(files, repo_root)
+    prog = build_program(tus)
+
+    na_viol, na_trust, na_roots = check_no_alloc(prog)
+    ts_viol, ts_trust, ts_roots = check_thread_safety(prog)
+    dt_viol, dt_trust, dt_scope = check_determinism(prog)
+
+    violations = na_viol + ts_viol + dt_viol
+    violations.sort(key=lambda v: (v.rule, v.function, v.location))
+    trusted = na_trust + ts_trust + dt_trust
+    trusted.sort(key=lambda t: (t.family, t.function, t.location))
+
+    effect_counts: dict[str, int] = {}
+    for fn in prog.functions.values():
+        for fact in fn.facts:
+            effect_counts[fact.effect.value] = \
+                effect_counts.get(fact.effect.value, 0) + 1
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "stats": {
+            "files": len(files),
+            "functions": len(prog.functions),
+            "call_edges": sum(len(v) for v in prog.edges.values()),
+            "classes": len(prog.classes),
+            "effect_facts": dict(sorted(effect_counts.items())),
+        },
+        "roots": {
+            "no-alloc": na_roots,
+            "thread-safe": ts_roots,
+            "determinism-scope": list(dt_scope),
+        },
+        "violations": [v.to_json() for v in violations],
+        "trusted": [t.to_json() for t in trusted],
+    }
+
+
+def load_baseline(path: Path) -> set[str]:
+    if not path.is_file():
+        return set()
+    data = json.loads(path.read_text())
+    return set(data.get("violations", []))
+
+
+def human_summary(report: dict, new_keys: set[str], stale: set[str],
+                  out=sys.stdout) -> None:
+    s = report["stats"]
+    print(f"contracts: {s['files']} files, {s['functions']} functions, "
+          f"{s['call_edges']} call edges", file=out)
+    print(f"  roots: {len(report['roots']['no-alloc'])} hot-path, "
+          f"{len(report['roots']['thread-safe'])} thread entry points; "
+          f"determinism scope {', '.join(report['roots']['determinism-scope'])}",
+          file=out)
+    print(f"  trusted escapes: {len(report['trusted'])} "
+          "(inventoried in the report)", file=out)
+    viols = report["violations"]
+    if not viols:
+        print("  violations: none", file=out)
+    for v in viols:
+        marker = "NEW " if v["key"] in new_keys else "baselined "
+        print(f"  {marker}[{v['rule']}] {v['location']}: {v['function']}",
+              file=out)
+        print(f"      {v['message']}", file=out)
+        if len(v["chain"]) > 1:
+            print("      via " + "\n        -> ".join(v["chain"]), file=out)
+    if stale:
+        print(f"  note: {len(stale)} baseline entr"
+              f"{'y is' if len(stale) == 1 else 'ies are'} no longer "
+              "firing — prune the baseline:", file=out)
+        for k in sorted(stale):
+            print(f"    {k}", file=out)
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--build", type=Path, default=None,
+                    help="build dir containing compile_commands.json "
+                         "(default: glob src/ directly)")
+    ap.add_argument("--repo-root", type=Path,
+                    default=Path(__file__).resolve().parent.parent.parent,
+                    help="repository root (tests point this at fixture trees)")
+    ap.add_argument("--output", type=Path, default=None,
+                    help="write the JSON report here "
+                         "(default: <repo-root>/contracts_report.json)")
+    ap.add_argument("--baseline", type=Path, default=None,
+                    help="baseline file of accepted violation keys (default: "
+                         "tools/contracts/baseline.json under --repo-root; "
+                         "missing file = empty baseline)")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline to the current findings")
+    ap.add_argument("--quiet", action="store_true",
+                    help="suppress the human summary (exit code still gates)")
+    args = ap.parse_args(argv)
+
+    repo_root = args.repo_root.resolve()
+    if not (repo_root / "src").is_dir():
+        print(f"analyze.py: {repo_root} has no src/ directory",
+              file=sys.stderr)
+        return 2
+    build_dir = args.build
+    if build_dir is not None and not build_dir.is_absolute():
+        build_dir = repo_root / build_dir
+
+    files = discover_sources(repo_root, build_dir)
+    report = analyze(repo_root, files)
+
+    baseline_path = args.baseline if args.baseline is not None else \
+        repo_root / "tools" / "contracts" / "baseline.json"
+    baseline = load_baseline(baseline_path)
+    found_keys = {v["key"] for v in report["violations"]}
+    new_keys = found_keys - baseline
+    stale = baseline - found_keys
+    report["baseline"] = {
+        "path": str(baseline_path),
+        "entries": len(baseline),
+        "new": sorted(new_keys),
+        "stale": sorted(stale),
+    }
+
+    out_path = args.output if args.output is not None else \
+        repo_root / "contracts_report.json"
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+
+    if args.update_baseline:
+        baseline_path.write_text(json.dumps(
+            {"comment": "Accepted contract violations; keep at zero — prefer "
+                        "fixing or `// contract-trusted:` with a reason.",
+             "violations": sorted(found_keys)}, indent=2) + "\n")
+        print(f"analyze.py: baseline updated ({len(found_keys)} entries)",
+              file=sys.stderr)
+
+    if not args.quiet:
+        human_summary(report, new_keys, stale)
+        print(f"analyze.py: report written to {out_path}", file=sys.stderr)
+
+    if new_keys and not args.update_baseline:
+        print(f"analyze.py: {len(new_keys)} new contract violation(s) not in "
+              f"the baseline ({baseline_path})", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,176 @@
+"""Data model for the contract analyzer: functions, effects, call sites.
+
+The analyzer (DESIGN.md "Effect contracts") reduces every translation unit
+to a set of Function records. Each record carries
+
+  * identity   — qualified name, file, line, enclosing class;
+  * contracts  — the annotations attached to the definition
+                 (`hot-path: no-alloc`, `thread-safe:`, `contract-trusted:`);
+  * facts      — the *direct* effects its body performs (Effect values,
+                 each with the line and a short evidence string);
+  * calls      — the call sites its body contains, to be resolved against
+                 the whole-program index by callgraph.py.
+
+Effects deliberately over-approximate: a fact means "the analyzer cannot
+prove this body avoids the effect", not "the effect certainly happens at
+runtime". The `contract-trusted:` escape hatch exists exactly for the cases
+where a human argues the over-approximation away (warm caches, reserved
+capacity, audit-gated paths); every use is inventoried in the report.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Effect(enum.Enum):
+    """Direct per-function effect facts extracted from a body."""
+
+    #: Unconditional heap allocation: an owning container constructed by
+    #: value, make_unique/make_shared, std::to_string, string concatenation.
+    ALLOC = "allocates"
+    #: Amortized / capacity-dependent allocation: growth calls
+    #: (push_back, insert, resize, ...) on an allocating container. Clean in
+    #: a warm steady state with reserved capacity, but only a human can
+    #: argue that — hot-path code must trust or restructure these.
+    ALLOC_AMORTIZED = "allocates-amortized"
+    #: Acquires a lock (std::mutex & friends). Not a violation by itself;
+    #: recorded because it is positive thread-safety evidence and a latency
+    #: hazard worth seeing in hot-path reports.
+    TAKES_LOCK = "takes-lock"
+    #: Declares (and therefore mutates) non-const static / thread_local
+    #: state without a `// thread-safe:` justification.
+    MUTATES_STATIC = "mutates-static"
+    #: Reads a wall clock (steady/system/high_resolution ::now, time(),
+    #: gettimeofday, ...).
+    READS_CLOCK = "reads-wall-clock"
+    #: Uses a nondeterministic random source (std::random_device, rand()).
+    #: Seeded deterministic engines (util/rng) do not count.
+    USES_RAND = "uses-rand"
+    #: Locale-dependent formatting or parsing (printf %f family, stod,
+    #: strtod, std::locale, setlocale, imbue).
+    USES_LOCALE = "uses-locale"
+    #: Performs I/O (streams, FILE*, filesystem). Informational: surfaced
+    #: in the report, enforced only through the other families.
+    DOES_IO = "does-io"
+    #: Iterates an unordered associative container (range-for or explicit
+    #: begin()); iteration order is unspecified, so this must never feed
+    #: emitted output in determinism-scoped directories.
+    UNORDERED_ITER = "unordered-iteration"
+
+
+#: Contract families enforced transitively.
+FAMILY_NO_ALLOC = "no-alloc"
+FAMILY_THREAD_SAFE = "thread-safe"
+FAMILY_DETERMINISM = "determinism"
+FAMILIES = (FAMILY_NO_ALLOC, FAMILY_THREAD_SAFE, FAMILY_DETERMINISM)
+
+#: Which family a fact-level `contract-trusted` waiver must name to cover
+#: an effect (Effect values not listed here are informational only).
+EFFECT_FAMILY = {
+    Effect.ALLOC: FAMILY_NO_ALLOC,
+    Effect.ALLOC_AMORTIZED: FAMILY_NO_ALLOC,
+    Effect.MUTATES_STATIC: FAMILY_THREAD_SAFE,
+    Effect.READS_CLOCK: FAMILY_DETERMINISM,
+    Effect.USES_RAND: FAMILY_DETERMINISM,
+    Effect.USES_LOCALE: FAMILY_DETERMINISM,
+    Effect.UNORDERED_ITER: FAMILY_DETERMINISM,
+}
+
+
+@dataclass
+class Fact:
+    """One direct effect observation inside a function body."""
+
+    effect: Effect
+    line: int
+    evidence: str  # short source-level justification, e.g. "std::vector<int> tmp"
+    #: reason from a `// contract-trusted: <family>: <reason>` comment on
+    #: the fact's own line (or directly above): waives this fact only,
+    #: unlike function-level trust which prunes the whole subtree.
+    trusted: str | None = None
+
+    def to_json(self) -> dict:
+        return {"effect": self.effect.value, "line": self.line,
+                "evidence": self.evidence, "trusted": self.trusted}
+
+
+@dataclass
+class CallSite:
+    """An unresolved call found in a body.
+
+    `name` is the simple callee name; `qualifier` the textual qualification
+    as written (`std`, a class name, a receiver variable, ...), used by the
+    resolver to narrow candidates. `receiver_type` is the declared type of
+    the receiver variable when the parser could determine it ("" otherwise).
+    """
+
+    name: str
+    qualifier: str
+    receiver_type: str
+    line: int
+
+
+@dataclass
+class Annotations:
+    """Contract annotations attached to one function definition."""
+
+    hot_path: bool = False          # // hot-path: no-alloc
+    thread_safe: str | None = None  # // thread-safe: <reason>
+    #: family -> reason, from // contract-trusted: <family>: <reason>
+    trusted: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class Function:
+    """One function or method definition (or pure-virtual declaration)."""
+
+    qualified_name: str          # e.g. commsched::CostModel::candidate_cost
+    simple_name: str             # candidate_cost
+    class_name: str | None       # enclosing class qualified name, or None
+    file: str                    # repo-relative path
+    line: int                    # line of the definition's signature
+    is_const_method: bool = False
+    is_virtual: bool = False     # declared virtual / override / final
+    is_static_method: bool = False
+    has_body: bool = False
+    annotations: Annotations = field(default_factory=Annotations)
+    facts: list[Fact] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+
+    #: Unique key: several definitions may share a qualified name
+    #: (overloads); they are merged conservatively by the call graph, so a
+    #: per-record key keeps the function table addressable.
+    def key(self) -> str:
+        return f"{self.qualified_name}@{self.file}:{self.line}"
+
+    def location(self) -> str:
+        return f"{self.file}:{self.line}"
+
+
+@dataclass
+class ClassInfo:
+    """Class hierarchy + member info needed by the checkers."""
+
+    qualified_name: str
+    file: str
+    line: int
+    bases: list[str] = field(default_factory=list)       # simple/qualified names
+    virtual_methods: set[str] = field(default_factory=set)
+    #: member name -> declared type (textual, template args stripped to one
+    #: level), for receiver typing and unordered-member detection
+    member_types: dict[str, str] = field(default_factory=dict)
+    #: mutable members lacking a `// workspace:` justification
+    unjustified_mutables: list[tuple[str, int]] = field(default_factory=list)
+    #: mutable members that do carry the justification (inventoried)
+    justified_mutables: list[tuple[str, int]] = field(default_factory=list)
+
+
+@dataclass
+class TranslationUnit:
+    """Parse result for one source file."""
+
+    file: str
+    functions: list[Function] = field(default_factory=list)
+    classes: list[ClassInfo] = field(default_factory=list)
