@@ -34,6 +34,7 @@ StateAuditor::StateAuditor(const Tree& tree, AuditLevel level)
   shadow_owner_.assign(static_cast<std::size_t>(tree.node_count()),
                        kInvalidJob);
   shadow_free_ = tree.node_count();
+  shadow_leaf_load_.assign(static_cast<std::size_t>(tree.leaf_count()), 0);
 }
 
 void StateAuditor::violation(const std::string& detail) const {
@@ -93,10 +94,13 @@ void StateAuditor::on_event(double time, std::string_view what, JobId job) {
 // contract-trusted: no-alloc: opt-in run auditing (enabled() gate in the
 // simulator); invariant checks allocate for shadow state and diagnostics
 void StateAuditor::on_allocate(const ClusterState& state, JobId job,
-                               std::span<const NodeId> nodes) {
+                               std::span<const NodeId> nodes, LoadUnits load) {
   if (!enabled()) return;
   ++checks_;
   if (job == kInvalidJob) violation("allocation uses the invalid job id");
+  if (load < 0)
+    violation("job " + std::to_string(job) + " carries negative load " +
+              std::to_string(load));
   if (live_.contains(job))
     violation("job " + std::to_string(job) +
               " allocated twice without an intervening release");
@@ -135,14 +139,28 @@ void StateAuditor::on_allocate(const ClusterState& state, JobId job,
       violation(os.str());
     }
     shadow_owner_[static_cast<std::size_t>(n)] = job;
+    shadow_leaf_load_[static_cast<std::size_t>(
+        tree_->leaf_index(tree_->leaf_of(n)))] += load;
   }
   shadow_free_ -= static_cast<int>(nodes.size());
-  live_.emplace(job, std::vector<NodeId>(nodes.begin(), nodes.end()));
+  shadow_load_total_ += load * static_cast<LoadUnits>(nodes.size());
+  live_.emplace(job,
+                LiveJob{std::vector<NodeId>(nodes.begin(), nodes.end()), load});
   if (state.total_free() != shadow_free_) {
     std::ostringstream os;
     os << "free-node count diverged after allocating job " << job
        << ": cluster reports " << state.total_free()
        << ", shadow table expects " << shadow_free_;
+    violation(os.str());
+  }
+  // Cheap O(1) aggregate: the machine-wide load accumulator must track the
+  // shadow ledger after every allocation (per-leaf divergence is full-level,
+  // in check_state).
+  if (state.total_load() != shadow_load_total_) {
+    std::ostringstream os;
+    os << "communication-load total diverged after allocating job " << job
+       << ": cluster reports " << state.total_load()
+       << ", shadow ledger expects " << shadow_load_total_;
     violation(os.str());
   }
 }
@@ -159,10 +177,10 @@ void StateAuditor::on_release(const ClusterState& state, JobId job,
   // an honest release matches the stored copy element-for-element. Only on a
   // mismatch pay for the order-insensitive comparison — the invariant is set
   // equality, not ordering.
-  if (!std::equal(freed.begin(), freed.end(), it->second.begin(),
-                  it->second.end())) {
+  if (!std::equal(freed.begin(), freed.end(), it->second.nodes.begin(),
+                  it->second.nodes.end())) {
     std::vector<NodeId> got(freed.begin(), freed.end());
-    std::vector<NodeId> expected = it->second;
+    std::vector<NodeId> expected = it->second.nodes;
     std::sort(got.begin(), got.end());
     std::sort(expected.begin(), expected.end());
     if (got != expected) {
@@ -172,6 +190,7 @@ void StateAuditor::on_release(const ClusterState& state, JobId job,
       violation(os.str());
     }
   }
+  const LoadUnits load = it->second.load;
   for (const NodeId n : freed) {
     // Symmetric to on_allocate: the per-node is_free() round-trip into the
     // cluster is full-level; cheap keeps the local shadow bookkeeping.
@@ -181,14 +200,65 @@ void StateAuditor::on_release(const ClusterState& state, JobId job,
       violation(os.str());
     }
     shadow_owner_[static_cast<std::size_t>(n)] = kInvalidJob;
+    shadow_leaf_load_[static_cast<std::size_t>(
+        tree_->leaf_index(tree_->leaf_of(n)))] -= load;
   }
   shadow_free_ += static_cast<int>(freed.size());
+  shadow_load_total_ -= load * static_cast<LoadUnits>(freed.size());
   live_.erase(it);
+  scheduled_end_.erase(job);
   if (state.total_free() != shadow_free_) {
     std::ostringstream os;
     os << "free-node count diverged after releasing job " << job
        << ": cluster reports " << state.total_free()
        << ", shadow table expects " << shadow_free_;
+    violation(os.str());
+  }
+  if (state.total_load() != shadow_load_total_) {
+    std::ostringstream os;
+    os << "communication-load total diverged after releasing job " << job
+       << ": cluster reports " << state.total_load()
+       << ", shadow ledger expects " << shadow_load_total_;
+    violation(os.str());
+  }
+}
+
+// contract-trusted: no-alloc: opt-in run auditing (enabled() gate in the
+// simulator); invariant checks allocate for shadow state and diagnostics
+void StateAuditor::on_end_scheduled(JobId job, double end_time) {
+  if (!enabled()) return;
+  ++checks_;
+  if (!std::isfinite(end_time)) {
+    std::ostringstream os;
+    os << "job " << job << " scheduled a non-finite end time " << end_time;
+    violation(os.str());
+  }
+  scheduled_end_[job] = end_time;
+  saw_schedule_ = true;
+}
+
+// contract-trusted: no-alloc: opt-in run auditing (enabled() gate in the
+// simulator); invariant checks allocate for shadow state and diagnostics
+void StateAuditor::check_end_event(const ClusterState& state, JobId job,
+                                   double time) {
+  if (!enabled() || !saw_schedule_) return;
+  ++checks_;
+  if (!live_.contains(job))
+    violation("completion event for job " + std::to_string(job) +
+              " which the shadow table does not hold as running");
+  if (!state.has_job(job))
+    violation("completion event for job " + std::to_string(job) +
+              " which the cluster no longer occupies");
+  const auto it = scheduled_end_.find(job);
+  if (it == scheduled_end_.end())
+    violation("completion event for job " + std::to_string(job) +
+              " with no end on record (on_end_scheduled never called)");
+  // Exact equality on purpose: a re-evaluation updates the stored end and
+  // the heap key from the same double, so any mismatch is a stale event.
+  if (it->second != time) {
+    std::ostringstream os;
+    os << "stale completion event for job " << job << ": popped at t=" << time
+       << " but the last scheduled end is t=" << it->second;
     violation(os.str());
   }
 }
@@ -414,7 +484,7 @@ void StateAuditor::check_state(const ClusterState& state) {
   for (const auto& kv : live_) live_jobs.push_back(kv.first);
   std::sort(live_jobs.begin(), live_jobs.end());
   for (const JobId job : live_jobs) {
-    const std::vector<NodeId>& shadow_nodes = live_.at(job);
+    const std::vector<NodeId>& shadow_nodes = live_.at(job).nodes;
     if (!state.has_job(job))
       violation("job " + std::to_string(job) +
                 " is live in the shadow table but unknown to the cluster");
@@ -491,6 +561,47 @@ void StateAuditor::check_state(const ClusterState& state) {
     os << "root subtree free count " << state.free_under(tree_->root())
        << " != total_free " << state.total_free();
     violation(os.str());
+  }
+
+  // Communication-load ledger: every per-leaf accumulator, plus the subtree
+  // aggregate at the root, must match the shadow built from allocations.
+  for (const SwitchId leaf : tree_->leaves()) {
+    ++checks_;
+    const LoadUnits shadow =
+        shadow_leaf_load_[static_cast<std::size_t>(tree_->leaf_index(leaf))];
+    if (state.leaf_load(leaf) != shadow) {
+      std::ostringstream os;
+      os << "leaf " << tree_->switch_name(leaf) << " L_load="
+         << state.leaf_load(leaf) << " diverged from the shadow ledger ("
+         << shadow << ")";
+      violation(os.str());
+    }
+  }
+  if (state.total_load() != shadow_load_total_ ||
+      state.load_under(tree_->root()) != shadow_load_total_) {
+    std::ostringstream os;
+    os << "machine load diverged: total_load=" << state.total_load()
+       << ", root subtree load=" << state.load_under(tree_->root())
+       << ", shadow ledger expects " << shadow_load_total_;
+    violation(os.str());
+  }
+
+  // End-event bookkeeping: once any end was scheduled, exactly the live jobs
+  // must have one (a missing entry would make its completion unverifiable; a
+  // leftover entry is a leak from a release that skipped cleanup).
+  if (saw_schedule_ && scheduled_end_.size() != live_.size()) {
+    std::ostringstream os;
+    os << "scheduled-end table holds " << scheduled_end_.size()
+       << " jobs but " << live_.size() << " are running";
+    violation(os.str());
+  }
+  if (saw_schedule_) {
+    for (const JobId job : live_jobs) {
+      ++checks_;
+      if (!scheduled_end_.contains(job))
+        violation("running job " + std::to_string(job) +
+                  " has no scheduled end on record");
+    }
   }
 }
 

@@ -14,7 +14,14 @@
 //     backwards;
 //   - cost sanity: Eq. 5/6 values are finite and non-negative, and
 //     Hops(i,j) == Hops(j,i) (full level samples pairs per allocation);
-//   - release() returns exactly the node set the job allocated.
+//   - release() returns exactly the node set the job allocated;
+//   - communication-load accounting: the per-leaf L_load accumulators match
+//     a shadow ledger built from the allocation event stream (cheap checks
+//     the machine total, full every leaf and the subtree aggregates);
+//   - end-event/occupancy consistency: every completion event must carry
+//     the end time most recently scheduled (on_end_scheduled) for a job the
+//     cluster still occupies — a stale end event left behind by a runtime
+//     re-evaluation bug fires at cheap level.
 //
 // A violation throws InvariantError whose message carries the offending
 // job/event context (event number, kind, simulated time, expected vs actual
@@ -62,15 +69,29 @@ class StateAuditor {
   /// Audit a committed allocation: `job` must be new, `nodes` disjoint from
   /// every live allocation (shadow table), and the free-node count must drop
   /// by exactly nodes.size(). At kFull each node is additionally
-  /// cross-checked as owned by `job` in `state`.
+  /// cross-checked as owned by `job` in `state`. `load` is the job's
+  /// per-node communication load, fed into the shadow load ledger that
+  /// cross-checks the cluster's L_load accumulators.
   void on_allocate(const ClusterState& state, JobId job,
-                   std::span<const NodeId> nodes);
+                   std::span<const NodeId> nodes, LoadUnits load = 0);
 
   /// Audit a release: `freed` must be exactly the node set `job` allocated
   /// and the free count must grow by exactly freed.size(). At kFull every
   /// freed node is additionally cross-checked as free again in `state`.
   void on_release(const ClusterState& state, JobId job,
                   std::span<const NodeId> freed);
+
+  /// Record the end time the simulator scheduled (or re-scheduled) for a
+  /// running job's completion event. check_end_event later requires the
+  /// popped event to carry exactly the last recorded time.
+  void on_end_scheduled(JobId job, double end_time);
+
+  /// Audit a completion event about to be processed at `time`: the job must
+  /// still occupy nodes in both the shadow ledger and `state`, must have a
+  /// scheduled end on record, and that end must equal `time` exactly — a
+  /// stale heap entry (a re-evaluation that forgot the heap fix-up, or a
+  /// fix-up that forgot the bookkeeping) fails here at cheap level.
+  void check_end_event(const ClusterState& state, JobId job, double time);
 
   /// Audit an EASY-backfill start decision: the backfilled job must be
   /// harmless to the head reservation — finish by `shadow_time` or fit in
@@ -117,10 +138,26 @@ class StateAuditor {
   // Shadow of ClusterState, maintained from the on_allocate/on_release
   // event stream only, so divergence catches bugs in either bookkeeping.
   std::vector<JobId> shadow_owner_;  // per node
-  // job -> its nodes in allocation order (release must echo this order on
-  // the fast path; set equality is re-checked on any ordering mismatch).
-  std::unordered_map<JobId, std::vector<NodeId>> live_;
+  struct LiveJob {
+    // Nodes in allocation order (release must echo this order on the fast
+    // path; set equality is re-checked on any ordering mismatch).
+    std::vector<NodeId> nodes;
+    LoadUnits load = 0;  // per-node load fed into the shadow ledger
+  };
+  std::unordered_map<JobId, LiveJob> live_;
   int shadow_free_ = 0;
+
+  // Shadow of the cluster's communication-load accumulators, per leaf plus
+  // the machine total, rebuilt from on_allocate/on_release alone.
+  std::vector<LoadUnits> shadow_leaf_load_;
+  LoadUnits shadow_load_total_ = 0;
+
+  // job -> the end time most recently announced via on_end_scheduled.
+  std::unordered_map<JobId, double> scheduled_end_;
+  // Whether any end was ever scheduled: engines that never call
+  // on_end_scheduled (none today, but the hook is optional) skip the
+  // end-event cross-check instead of failing on an empty table.
+  bool saw_schedule_ = false;
 
   double last_time_ = 0.0;
   bool saw_event_ = false;

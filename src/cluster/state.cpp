@@ -15,6 +15,8 @@ ClusterState::ClusterState(const Tree& tree) : tree_(&tree) {
   for (SwitchId s = 0; s < tree.switch_count(); ++s)
     switch_free_[static_cast<std::size_t>(s)] = tree.node_count_under(s);
   free_total_ = tree.node_count();
+  leaf_load_.assign(static_cast<std::size_t>(tree.switch_count()), 0);
+  switch_load_.assign(static_cast<std::size_t>(tree.switch_count()), 0);
 
   // Per-leaf free index: one contiguous segment per leaf, initially every
   // attached node (all free), kept sorted ascending.
@@ -37,7 +39,7 @@ ClusterState::ClusterState(const Tree& tree) : tree_(&tree) {
 
 // hot-path: no-alloc
 void ClusterState::transition(NodeId n, JobId new_owner, bool comm, bool io,
-                              int delta) {
+                              LoadUnits load, int delta) {
   node_owner_[static_cast<std::size_t>(n)] = new_owner;
   const SwitchId leaf = tree_->leaf_of(n);
 
@@ -62,9 +64,14 @@ void ClusterState::transition(NodeId n, JobId new_owner, bool comm, bool io,
   leaf_busy_[static_cast<std::size_t>(leaf)] += delta;
   if (comm) leaf_comm_[static_cast<std::size_t>(leaf)] += delta;
   if (io) leaf_io_[static_cast<std::size_t>(leaf)] += delta;
-  for (SwitchId s = leaf; s != kInvalidSwitch; s = tree_->parent(s))
+  const LoadUnits load_delta = load * delta;
+  leaf_load_[static_cast<std::size_t>(leaf)] += load_delta;
+  for (SwitchId s = leaf; s != kInvalidSwitch; s = tree_->parent(s)) {
     switch_free_[static_cast<std::size_t>(s)] -= delta;
+    switch_load_[static_cast<std::size_t>(s)] += load_delta;
+  }
   free_total_ -= delta;
+  load_total_ += load_delta;
 }
 
 // hot-path: no-alloc
@@ -122,10 +129,11 @@ void ClusterState::drop_slot(JobId job, std::int32_t slot) {
 // hot-path: no-alloc
 void ClusterState::allocate(JobId job, bool comm_intensive,
                             std::span<const NodeId> nodes,
-                            bool io_intensive) {
+                            bool io_intensive, LoadUnits comm_load) {
   COMMSCHED_ASSERT_MSG(job != kInvalidJob, "invalid job id");
   COMMSCHED_ASSERT_MSG(find_slot(job) < 0, "job id already allocated");
   COMMSCHED_ASSERT_MSG(!nodes.empty(), "allocation must contain nodes");
+  COMMSCHED_ASSERT_GE_MSG(comm_load, 0, "negative communication load");
   // Check before mutating so a failed precondition leaves state untouched.
   // Epoch stamping replaces a per-call hash set for the duplicate check.
   if (++epoch_ == 0) {
@@ -146,9 +154,10 @@ void ClusterState::allocate(JobId job, bool comm_intensive,
   rec.live = true;
   rec.comm_intensive = comm_intensive;
   rec.io_intensive = io_intensive;
+  rec.load = comm_load;
   rec.nodes.assign(nodes.begin(), nodes.end());
   for (const NodeId n : nodes)
-    transition(n, job, comm_intensive, io_intensive, +1);
+    transition(n, job, comm_intensive, io_intensive, comm_load, +1);
   ++live_jobs_;
 }
 
@@ -160,7 +169,8 @@ void ClusterState::release_into(JobId job, std::vector<NodeId>& out) {
   // contract-trusted: no-alloc: caller scratch reuses reserved capacity
   out.assign(rec.nodes.begin(), rec.nodes.end());
   for (const NodeId n : out)
-    transition(n, kInvalidJob, rec.comm_intensive, rec.io_intensive, -1);
+    transition(n, kInvalidJob, rec.comm_intensive, rec.io_intensive, rec.load,
+               -1);
   drop_slot(job, slot);
   --live_jobs_;
 }
@@ -182,6 +192,7 @@ JobId ClusterState::owner(NodeId n) const {
 
 bool ClusterState::has_job(JobId job) const { return find_slot(job) >= 0; }
 
+// hot-path: no-alloc
 std::span<const NodeId> ClusterState::job_nodes(JobId job) const {
   const std::int32_t slot = find_slot(job);
   COMMSCHED_ASSERT_MSG(slot >= 0, "unknown job");
@@ -192,6 +203,13 @@ bool ClusterState::job_is_comm(JobId job) const {
   const std::int32_t slot = find_slot(job);
   COMMSCHED_ASSERT_MSG(slot >= 0, "unknown job");
   return job_pool_[static_cast<std::size_t>(slot)].comm_intensive;
+}
+
+// hot-path: no-alloc
+LoadUnits ClusterState::job_load(JobId job) const {
+  const std::int32_t slot = find_slot(job);
+  COMMSCHED_ASSERT_MSG(slot >= 0, "unknown job");
+  return job_pool_[static_cast<std::size_t>(slot)].load;
 }
 
 // hot-path: no-alloc
@@ -224,6 +242,18 @@ int ClusterState::free_under(SwitchId s) const {
   return switch_free_[static_cast<std::size_t>(s)];
 }
 
+// hot-path: no-alloc
+LoadUnits ClusterState::leaf_load(SwitchId leaf) const {
+  COMMSCHED_ASSERT_MSG(tree_->is_leaf(leaf), "not a leaf switch");
+  return leaf_load_[static_cast<std::size_t>(leaf)];
+}
+
+// hot-path: no-alloc
+LoadUnits ClusterState::load_under(SwitchId s) const {
+  COMMSCHED_ASSERT(s >= 0 && s < tree_->switch_count());
+  return switch_load_[static_cast<std::size_t>(s)];
+}
+
 std::vector<NodeId> ClusterState::free_nodes_of_leaf(SwitchId leaf) const {
   const std::span<const NodeId> seg = free_leaf_span(leaf);
   return {seg.begin(), seg.end()};
@@ -242,7 +272,10 @@ void ClusterState::validate() const {
   std::vector<int> busy(static_cast<std::size_t>(tree_->switch_count()), 0);
   std::vector<int> comm(static_cast<std::size_t>(tree_->switch_count()), 0);
   std::vector<int> io(static_cast<std::size_t>(tree_->switch_count()), 0);
+  std::vector<LoadUnits> load(static_cast<std::size_t>(tree_->switch_count()),
+                              0);
   int total_busy = 0;
+  LoadUnits total_load = 0;
   for (NodeId n = 0; n < tree_->node_count(); ++n) {
     const JobId j = node_owner_[static_cast<std::size_t>(n)];
     if (j == kInvalidJob) continue;
@@ -258,9 +291,13 @@ void ClusterState::validate() const {
     ++busy[static_cast<std::size_t>(leaf)];
     if (rec.comm_intensive) ++comm[static_cast<std::size_t>(leaf)];
     if (rec.io_intensive) ++io[static_cast<std::size_t>(leaf)];
+    COMMSCHED_ASSERT_GE_MSG(rec.load, 0, "job carries a negative load");
+    load[static_cast<std::size_t>(leaf)] += rec.load;
+    total_load += rec.load;
     ++total_busy;
   }
   COMMSCHED_ASSERT_EQ(free_total_, tree_->node_count() - total_busy);
+  COMMSCHED_ASSERT_EQ(load_total_, total_load);
   for (const SwitchId leaf : tree_->leaves()) {
     COMMSCHED_ASSERT_EQ(leaf_busy_[static_cast<std::size_t>(leaf)],
                         busy[static_cast<std::size_t>(leaf)]);
@@ -268,13 +305,19 @@ void ClusterState::validate() const {
                         comm[static_cast<std::size_t>(leaf)]);
     COMMSCHED_ASSERT_EQ(leaf_io_[static_cast<std::size_t>(leaf)],
                         io[static_cast<std::size_t>(leaf)]);
+    COMMSCHED_ASSERT_EQ(leaf_load_[static_cast<std::size_t>(leaf)],
+                        load[static_cast<std::size_t>(leaf)]);
   }
   for (SwitchId s = 0; s < tree_->switch_count(); ++s) {
     int free_sub = 0;
-    for (const SwitchId leaf : tree_->leaves_under(s))
+    LoadUnits load_sub = 0;
+    for (const SwitchId leaf : tree_->leaves_under(s)) {
       free_sub += static_cast<int>(tree_->nodes_of_leaf(leaf).size()) -
                   busy[static_cast<std::size_t>(leaf)];
+      load_sub += load[static_cast<std::size_t>(leaf)];
+    }
     COMMSCHED_ASSERT_EQ(switch_free_[static_cast<std::size_t>(s)], free_sub);
+    COMMSCHED_ASSERT_EQ(switch_load_[static_cast<std::size_t>(s)], load_sub);
   }
 
   // Per-leaf free index: the packed prefix must list exactly the leaf's

@@ -7,6 +7,16 @@
 //   L_comm  — nodes running communication-intensive jobs on the leaf,
 // plus per-switch subtree free counts for the lowest-level-switch search.
 //
+// Dynamic interference (DESIGN.md "Dynamic interference"): alongside the
+// boolean L_comm count, every leaf carries a *communication-load
+// accumulator* L_load — the sum of the per-node load units of the jobs
+// occupying its nodes — and every switch the subtree aggregate, so the
+// degradation model (src/core/degradation_model) and the colocation queue
+// policy can read "who shares links right now" in O(1) per leaf. Loads are
+// integers (LoadUnits, kLoadUnitScale units == intensity 1.0) so the
+// incremental accounting is exact: validate() and the StateAuditor compare
+// with == rather than an epsilon.
+//
 // Million-job scale (DESIGN.md "Million-job event loop"): on top of the
 // counters, every leaf keeps a packed sorted *free-node index* — a segment
 // of one backing array whose prefix lists the leaf's free nodes in
@@ -33,6 +43,13 @@ namespace commsched {
 using JobId = std::int64_t;
 inline constexpr JobId kInvalidJob = -1;
 
+/// Per-node communication-load units. A job contributes `load` units to
+/// every leaf it occupies a node on, where kLoadUnitScale units correspond
+/// to comm intensity 1.0 (T_comm == T). Integer units keep the incremental
+/// per-leaf accumulators exactly recomputable.
+using LoadUnits = std::int64_t;
+inline constexpr LoadUnits kLoadUnitScale = 1024;
+
 /// Mutable allocation state over an immutable Tree. The Tree must outlive
 /// the ClusterState.
 class ClusterState {
@@ -45,8 +62,12 @@ class ClusterState {
   /// every node is currently free, and `nodes` has no duplicates.
   /// `io_intensive` feeds the L_io counter of the I/O-aware extension
   /// (paper §7 future work); it is independent of the communication class.
+  /// `comm_load` is the job's per-node communication load (>= 0), added to
+  /// the L_load accumulator of every leaf the job touches; 0 (the default,
+  /// and the only sensible value for compute-bound jobs) leaves the load
+  /// accounting untouched.
   void allocate(JobId job, bool comm_intensive, std::span<const NodeId> nodes,
-                bool io_intensive = false);
+                bool io_intensive = false, LoadUnits comm_load = 0);
 
   /// Free every node held by `job` and return exactly the node set the job
   /// allocated (in allocation order) — the audit layer cross-checks it.
@@ -65,6 +86,8 @@ class ClusterState {
   /// Nodes held by `job`, in allocation order.
   std::span<const NodeId> job_nodes(JobId job) const;
   bool job_is_comm(JobId job) const;
+  /// Per-node load units `job` was allocated with.
+  LoadUnits job_load(JobId job) const;
   std::size_t job_count() const noexcept { return live_jobs_; }
 
   int total_nodes() const noexcept { return tree_->node_count(); }
@@ -80,6 +103,21 @@ class ClusterState {
 
   /// Free nodes in the subtree of any switch (== leaf_free for leaves).
   int free_under(SwitchId s) const;
+
+  // --- Dynamic-interference load accounting ------------------------------
+  /// L_load: total per-node load units of the jobs on the leaf's nodes.
+  LoadUnits leaf_load(SwitchId leaf) const;
+  /// Subtree load aggregate for any switch (== leaf_load for leaves): the
+  /// per-link-level view the degradation model reads for upper tree levels.
+  LoadUnits load_under(SwitchId s) const;
+  /// Machine-wide load (== load_under(root)).
+  LoadUnits total_load() const noexcept { return load_total_; }
+  /// Zero-copy per-switch views, indexed by SwitchId (internal switches are
+  /// always 0 in leaf_loads). Invalidated by any allocate/release.
+  std::span<const LoadUnits> leaf_loads() const noexcept { return leaf_load_; }
+  std::span<const LoadUnits> switch_loads() const noexcept {
+    return switch_load_;
+  }
 
   /// Free nodes on a leaf switch, in ascending node-id order.
   std::vector<NodeId> free_nodes_of_leaf(SwitchId leaf) const;
@@ -102,6 +140,7 @@ class ClusterState {
     bool comm_intensive = false;
     bool io_intensive = false;
     bool live = false;
+    LoadUnits load = 0;         // per-node communication load units
     std::vector<NodeId> nodes;  // capacity survives slot recycling
   };
 
@@ -109,7 +148,8 @@ class ClusterState {
   // (huge or negative ids from ad-hoc callers) falls back to the hash map.
   static constexpr JobId kDenseJobIds = JobId{1} << 26;
 
-  void transition(NodeId n, JobId new_owner, bool comm, bool io, int delta);
+  void transition(NodeId n, JobId new_owner, bool comm, bool io,
+                  LoadUnits load, int delta);
   std::int32_t find_slot(JobId job) const;  ///< -1 when absent
   std::int32_t claim_slot(JobId job);
   void drop_slot(JobId job, std::int32_t slot);
@@ -121,6 +161,12 @@ class ClusterState {
   std::vector<int> leaf_io_;            // per switch (leaves used)
   std::vector<int> switch_free_;        // per switch, subtree free count
   int free_total_ = 0;
+
+  // Dynamic-interference load accumulators, mirrored over the same switch
+  // indexing as the busy/free counters.
+  std::vector<LoadUnits> leaf_load_;    // per switch (leaves used)
+  std::vector<LoadUnits> switch_load_;  // per switch, subtree load sum
+  LoadUnits load_total_ = 0;
 
   // Per-leaf free index: free_list_[leaf_off_[leaf] .. +leaf_free(leaf))
   // holds the leaf's free nodes sorted ascending; the rest of the segment

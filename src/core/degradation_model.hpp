@@ -1,0 +1,91 @@
+// Colocation degradation model (DESIGN.md "Dynamic interference").
+//
+// The paper's Eq. 7 freezes a job's contention penalty at allocation time,
+// but Eqs. 2-3 define contention in terms of *who shares links right now*.
+// This model closes that gap: it maps a job's own communication intensity
+// plus the co-located communication load on the leaves it occupies (the
+// ClusterState L_load accumulators) to a runtime inflation factor
+//
+//   factor = clamp(1 + alpha * intensity * external, 1, max_ratio)
+//
+// where `intensity` is the job's per-node load in [0, 1] (comm_fraction,
+// quantized to LoadUnits), `external` is the node-weighted mean of the
+// *other* jobs' load per attached node across the job's leaves, and the
+// upper clamp reuses RuntimeModelOptions::max_ratio (the same guard Eq. 7
+// applies to its cost ratio). With no co-located load the factor is exactly
+// 1 and the simulator's runtime is the paper's static Eq. 7 value — the
+// static model is recovered as the zero-dynamic-load special case.
+//
+// The shape follows the real SLURM colocation plugin's degradation model
+// (felippezacarias/slurm: sched/colocation + model/degradation_model.py),
+// which predicts slowdown from the aggregate pressure of co-runners, and
+// the SST scheduler/network coupling of arXiv 2501.18191.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cluster/state.hpp"
+#include "core/runtime_model.hpp"
+#include "topology/tree.hpp"
+
+namespace commsched {
+
+struct DegradationOptions {
+  /// Master switch for dynamic re-evaluation in the simulator. Off keeps
+  /// the paper's allocation-time-frozen Eq. 7 behaviour bit for bit.
+  bool enabled = false;
+  /// Sensitivity: runtime inflation per (intensity × external-load) unit.
+  /// 0 disables degradation arithmetic even when `enabled` (useful as the
+  /// re-evaluation-machinery-on, model-neutral ablation point).
+  double alpha = 1.0;
+};
+
+/// Scratch for DegradationModel::external_load — per-leaf node counts with
+/// epoch stamps so repeated evaluations allocate nothing once warm. One
+/// workspace per simulation thread; reusing it across trees is invalid.
+struct DegradationWorkspace {
+  std::vector<std::int32_t> per_leaf;     // nodes of the job on this leaf
+  std::vector<std::uint32_t> stamp;       // epoch marks, parallel to per_leaf
+  std::vector<std::int32_t> touched;      // distinct dense leaf ids this eval
+  std::uint32_t epoch = 0;
+};
+
+/// Maps co-located communication load to a runtime inflation factor.
+/// Immutable after construction; evaluation state lives in the caller's
+/// DegradationWorkspace, so one model can serve concurrent simulations.
+class DegradationModel {
+ public:
+  DegradationModel(const Tree& tree, const DegradationOptions& options,
+                   const RuntimeModelOptions& clamps);
+
+  const DegradationOptions& options() const noexcept { return options_; }
+
+  /// Quantize a job's communication intensity to per-node LoadUnits:
+  /// comm-intensive jobs contribute round(comm_fraction * kLoadUnitScale),
+  /// compute-bound jobs contribute nothing.
+  static LoadUnits quantize_load(bool comm_intensive, double comm_fraction);
+
+  /// Node-weighted mean external load per attached node over the leaves of
+  /// `nodes`, in load-fraction units (1.0 == every co-located node fully
+  /// communication-bound). `own_load` is subtracted from each shared leaf's
+  /// accumulator — pass the job's own per-node load when `nodes` is already
+  /// committed to `state`, or 0 when pricing a prospective placement.
+  double external_load(const ClusterState& state,
+                       std::span<const NodeId> nodes, LoadUnits own_load,
+                       DegradationWorkspace& ws) const;
+
+  /// The inflation factor for a *committed* allocation: >= 1, monotone
+  /// non-decreasing in every co-located job's load, exactly 1 at zero
+  /// external load, clamped to RuntimeModelOptions::max_ratio above.
+  double factor(const ClusterState& state, std::span<const NodeId> nodes,
+                LoadUnits own_load, DegradationWorkspace& ws) const;
+
+ private:
+  const Tree* tree_;
+  DegradationOptions options_;
+  double max_factor_;  // RuntimeModelOptions::max_ratio
+};
+
+}  // namespace commsched

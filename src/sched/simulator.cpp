@@ -1,8 +1,8 @@
 #include "sched/simulator.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <deque>
-#include <queue>
 
 #include "audit/auditor.hpp"
 #include "cluster/state.hpp"
@@ -19,15 +19,109 @@ namespace {
 struct Completion {
   double time = 0.0;
   std::size_t job_index = 0;  // index into the log
-  bool operator>(const Completion& other) const {
-    if (time != other.time) return time > other.time;
-    return job_index > other.job_index;  // deterministic tie-break
+  bool operator<(const Completion& other) const {
+    if (time != other.time) return time < other.time;
+    return job_index < other.job_index;  // deterministic tie-break
   }
+};
+
+// Indexed min-heap over completion events, replacing std::priority_queue so
+// dynamic re-evaluation can reschedule a running job's end in O(log n)
+// (sift the one moved entry) instead of rebuilding the queue. The key order
+// (time, job_index) is total, so the pop sequence is fully determined by the
+// heap's *contents* — both engines produce bit-identical event streams no
+// matter in which order they fixed up the entries.
+class CompletionHeap {
+ public:
+  void reset(std::size_t n_jobs, std::size_t capacity) {
+    pos_.assign(n_jobs, kNone);
+    heap_.reserve(capacity);
+  }
+  bool empty() const { return heap_.empty(); }
+  const Completion& top() const { return heap_.front(); }
+
+  // hot-path: no-alloc
+  void push(double time, std::size_t job_index) {
+    COMMSCHED_ASSERT_MSG(pos_[job_index] == kNone,
+                         "job already has a completion scheduled");
+    // contract-trusted: no-alloc: capacity reserved up front to the trace's
+    // peak concurrency (reset() in the simulation constructor)
+    heap_.push_back({time, job_index});
+    pos_[job_index] = heap_.size() - 1;
+    sift_up(heap_.size() - 1);
+  }
+
+  // hot-path: no-alloc
+  void pop() {
+    pos_[heap_.front().job_index] = kNone;
+    if (heap_.size() > 1) {
+      heap_.front() = heap_.back();
+      pos_[heap_.front().job_index] = 0;
+    }
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+
+  /// Reschedule the pending completion of `job_index` to `time` — the
+  /// re-evaluation fix-up. The entry sifts from its tracked position.
+  // hot-path: no-alloc
+  void update(std::size_t job_index, double time) {
+    const std::size_t at = pos_[job_index];
+    COMMSCHED_ASSERT_MSG(at != kNone, "rescheduling a job with no completion");
+    const double old_time = heap_[at].time;
+    heap_[at].time = time;
+    if (time < old_time)
+      sift_up(at);
+    else if (old_time < time)
+      sift_down(at);
+  }
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  // hot-path: no-alloc
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!(heap_[i] < heap_[parent])) break;
+      swap_entries(i, parent);
+      i = parent;
+    }
+  }
+
+  // hot-path: no-alloc
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t smallest = i;
+      const std::size_t l = 2 * i + 1, r = 2 * i + 2;
+      if (l < n && heap_[l] < heap_[smallest]) smallest = l;
+      if (r < n && heap_[r] < heap_[smallest]) smallest = r;
+      if (smallest == i) return;
+      swap_entries(i, smallest);
+      i = smallest;
+    }
+  }
+
+  void swap_entries(std::size_t a, std::size_t b) {
+    std::swap(heap_[a], heap_[b]);
+    pos_[heap_[a].job_index] = a;
+    pos_[heap_[b].job_index] = b;
+  }
+
+  std::vector<Completion> heap_;
+  std::vector<std::size_t> pos_;  // log index -> heap slot (kNone if absent)
 };
 
 struct RunningInfo {
   double est_end = 0.0;  // start + walltime: what the scheduler believes
   int num_nodes = 0;
+  // Dynamic-interference state (only meaningful when degradation is on):
+  // the factor most recently applied to this job and the completion time it
+  // implies. est_end doubles as the walltime kill time, so the live heap key
+  // is min(end_dyn, est_end) under enforce_walltime.
+  double factor = 1.0;
+  double end_dyn = 0.0;
 };
 
 // Fast-engine running-set entry, kept sorted by (est_end, num_nodes, idx).
@@ -64,20 +158,35 @@ class Simulation {
                                   .include_candidate =
                                       options.cost_options.include_candidate}),
         io_model_(tree),
+        runtime_opts_(runtime_options_from_env(options.runtime_options)),
+        degrade_(tree, options.degradation, runtime_opts_),
+        dynamic_(options.degradation.enabled),
         auditor_(tree, options.audit.value_or(audit_level_from_env())) {
     results_.resize(log.size());
     running_info_.resize(log.size());
+    // Per-job communication load, the quantity the ClusterState accumulators
+    // track: comm-intensive multi-node jobs only, mirroring the price_comm
+    // predicate in start_job. Precomputed because the colocation queue order
+    // keys on it.
+    load_of_.resize(log.size());
+    for (std::size_t i = 0; i < log.size(); ++i)
+      load_of_[i] = DegradationModel::quantize_load(
+          log[i].comm_intensive && log[i].num_nodes >= 2,
+          log[i].comm_fraction);
     // At most one outstanding completion per running job, and each job holds
     // at least one node, so the heap never outgrows the machine (or the log).
-    std::vector<Completion> heap;
-    heap.reserve(std::min(log.size(),
-                          static_cast<std::size_t>(tree.node_count())));
-    completions_ = decltype(completions_)(std::greater<Completion>{},
-                                          std::move(heap));
+    completions_.reset(log.size(),
+                       std::min(log.size(),
+                                static_cast<std::size_t>(tree.node_count())));
     if (options_.engine == SimEngine::kFast) {
       running_sorted_.reserve(
           std::min(log.size(), static_cast<std::size_t>(tree.node_count())));
       build_queue_ranks();
+      if (dynamic_) {
+        leaf_jobs_.resize(static_cast<std::size_t>(tree.leaf_count()));
+        leaf_mark_.assign(static_cast<std::size_t>(tree.leaf_count()), 0);
+        job_mark_.assign(log.size(), 0);
+      }
     }
   }
 
@@ -104,13 +213,21 @@ class Simulation {
 
       while (!completions_.empty() && completions_.top().time <= t) {
         const Completion c = completions_.top();
-        completions_.pop();
-        state_.release_into(job_id(c.job_index), freed_scratch_);
         if (auditor_.enabled()) {
           auditor_.on_event(c.time, "end job", log_[c.job_index].id);
-          auditor_.on_release(state_, job_id(c.job_index), freed_scratch_);
+          auditor_.check_end_event(state_, job_id(c.job_index), c.time);
         }
+        completions_.pop();
+        if (dynamic_) finalize_dynamic(c.job_index, c.time);
+        state_.release_into(job_id(c.job_index), freed_scratch_);
+        if (auditor_.enabled())
+          auditor_.on_release(state_, job_id(c.job_index), freed_scratch_);
         running_remove(c.job_index);
+        if (dynamic_ && options_.engine == SimEngine::kFast)
+          leaf_jobs_remove(c.job_index, freed_scratch_);
+        // The freed load deflates every co-located running job: rescale
+        // their remaining time at the release instant and fix up the heap.
+        if (dynamic_) reevaluate(c.time, c.job_index, freed_scratch_);
         makespan = std::max(makespan, c.time);
         emit(TraceEvent::Kind::kEnd, c.time, c.job_index);
       }
@@ -207,11 +324,7 @@ class Simulation {
     if (options_.queue_policy != QueuePolicy::kFifo) {
       std::stable_sort(
           idx_of_rank_.begin(), idx_of_rank_.end(),
-          [&](std::size_t a, std::size_t b) {
-            if (options_.queue_policy == QueuePolicy::kShortestJobFirst)
-              return log_[a].walltime < log_[b].walltime;
-            return log_[a].num_nodes < log_[b].num_nodes;
-          });
+          [&](std::size_t a, std::size_t b) { return queue_before(a, b); });
     }
     rank_of_.resize(n);
     for (std::size_t r = 0; r < n; ++r) rank_of_[idx_of_rank_[r]] = r;
@@ -261,7 +374,20 @@ class Simulation {
       out.clear();
       return false;
     }
-    return allocator_->select_into(state_, request_for(idx), out);
+    if (!allocator_->select_into(state_, request_for(idx), out)) return false;
+    // kColocation admission gate: defer a communication-intensive job while
+    // the antagonist load already on its prospective leaves is too high
+    // (own_load = 0: the job is not committed, nothing to subtract). The
+    // deferral cannot live-lock — a positive external load implies a running
+    // job, hence a pending completion event that will lower it.
+    if (options_.queue_policy == QueuePolicy::kColocation &&
+        load_of_[idx] > 0 &&
+        degrade_.external_load(state_, out, 0, degrade_ws_) >
+            options_.coloc_max_external) {
+      out.clear();
+      return false;
+    }
+    return true;
   }
 
   // hot-path: no-alloc
@@ -286,11 +412,24 @@ class Simulation {
   void apply_queue_policy() {
     if (options_.queue_policy == QueuePolicy::kFifo) return;
     std::stable_sort(
-        pending_.begin(), pending_.end(), [&](std::size_t a, std::size_t b) {
-          if (options_.queue_policy == QueuePolicy::kShortestJobFirst)
-            return log_[a].walltime < log_[b].walltime;
-          return log_[a].num_nodes < log_[b].num_nodes;
-        });
+        pending_.begin(), pending_.end(),
+        [&](std::size_t a, std::size_t b) { return queue_before(a, b); });
+  }
+
+  // Strict-weak queue order for the non-FIFO policies; ties stay FIFO via
+  // the callers' stable sorts. kColocation ranks by quantized communication
+  // load ascending — a *static* key, so the fast engine's precomputed ranks
+  // stay valid; the dynamic half of the policy is the admission gate in
+  // try_select_into.
+  bool queue_before(std::size_t a, std::size_t b) const {
+    switch (options_.queue_policy) {
+      case QueuePolicy::kShortestJobFirst:
+        return log_[a].walltime < log_[b].walltime;
+      case QueuePolicy::kColocation:
+        return load_of_[a] < load_of_[b];
+      default:
+        return log_[a].num_nodes < log_[b].num_nodes;
+    }
   }
 
   void try_schedule_reference(double t) {
@@ -481,19 +620,25 @@ class Simulation {
       actual_runtime = modified_runtime_with_io(
           job.runtime, price_comm ? job.comm_fraction : 0.0, priced,
           priced_default, price_io ? job.io_fraction : 0.0, io_cost,
-          io_cost_default, options_.runtime_options);
+          io_cost_default, runtime_opts_);
 
+    // Static mode clamps the Eq. 7 runtime at allocation time; dynamic mode
+    // leaves the base runtime unclamped and lets the walltime cap act on the
+    // live heap key instead (effective_end), since deflation may yet bring
+    // the job back under its limit.
     bool hit_walltime = false;
-    if (options_.enforce_walltime && actual_runtime > job.walltime) {
+    if (!dynamic_ && options_.enforce_walltime &&
+        actual_runtime > job.walltime) {
       actual_runtime = job.walltime;
       hit_walltime = true;
     }
 
+    const LoadUnits load = load_of_[idx];
     state_.allocate(request.job, job.comm_intensive, nodes,
-                    job.io_intensive);
+                    job.io_intensive, load);
     if (auditor_.enabled()) {
       auditor_.on_event(t, "start job", job.id);
-      auditor_.on_allocate(state_, request.job, nodes);
+      auditor_.on_allocate(state_, request.job, nodes, load);
       if (price_comm) {
         auditor_.check_cost(cost, request.job, "Eq. 6 cost");
         auditor_.check_cost(cost_default, request.job, "Eq. 6 default cost");
@@ -507,8 +652,36 @@ class Simulation {
       }
     }
     running_add(idx, t + job.walltime, job.num_nodes);
-    completions_.push({t + actual_runtime, idx});
+
+    // Initial completion. Dynamic mode inflates the static Eq. 7 runtime by
+    // the degradation factor under the load already on the job's leaves
+    // (own contribution excluded); zero co-located load gives factor 1 and
+    // recovers the static end time bit for bit.
+    RunningInfo& info = running_info_[idx];
+    info.factor = 1.0;
+    info.end_dyn = t + actual_runtime;
+    if (dynamic_ && load > 0) {
+      info.factor = degrade_.factor(state_, nodes, load, degrade_ws_);
+      info.end_dyn = t + actual_runtime * info.factor;
+    }
+    const double end_key = dynamic_ ? effective_end(idx) : info.end_dyn;
+    completions_.push(end_key, idx);
+    auditor_.on_end_scheduled(request.job, end_key);
+    if (dynamic_ && options_.engine == SimEngine::kFast)
+      leaf_jobs_add(idx, nodes);
     emit(TraceEvent::Kind::kStart, t, idx);
+
+    // Dynamic mode records values consistent with the *initial* end key
+    // (finalize_dynamic overwrites them if the end later moves); with no
+    // effective degradation these are the static Eq. 7 values, bit for bit.
+    if (dynamic_) {
+      if (options_.enforce_walltime && info.end_dyn > info.est_end) {
+        hit_walltime = true;
+        actual_runtime = job.walltime;
+      } else if (info.factor != 1.0) {
+        actual_runtime *= info.factor;
+      }
+    }
 
     JobResult& r = results_[idx];
     r.id = job.id;
@@ -517,7 +690,7 @@ class Simulation {
     r.pattern = job.pattern;
     r.submit_time = job.submit_time;
     r.start_time = t;
-    r.end_time = t + actual_runtime;
+    r.end_time = end_key;  // dynamic mode re-finalizes at the completion pop
     r.original_runtime = job.runtime;
     r.actual_runtime = actual_runtime;
     r.cost = cost;
@@ -525,6 +698,114 @@ class Simulation {
     r.io_cost = io_cost;
     r.io_cost_default = io_cost_default;
     r.hit_walltime = hit_walltime;
+
+    // The new job's load inflates every running job sharing a leaf with it.
+    if (dynamic_ && load > 0) reevaluate(t, idx, nodes);
+  }
+
+  // ---- Dynamic interference (DESIGN.md "Dynamic interference") -----------
+
+  // The completion-heap key for a running job: its dynamic end, capped at
+  // the walltime kill time when enforcement is on.
+  // hot-path: no-alloc
+  double effective_end(std::size_t idx) const {
+    const RunningInfo& info = running_info_[idx];
+    return options_.enforce_walltime ? std::min(info.end_dyn, info.est_end)
+                                     : info.end_dyn;
+  }
+
+  // Dynamic mode defers end_time/actual_runtime to the completion pop: the
+  // end moved with every co-located allocation and release, so only the
+  // popped event time is authoritative. A job whose end never moved keeps
+  // the values computed at start — so a run with no effective degradation
+  // (zero co-located load, or alpha = 0) reproduces the static Eq. 7
+  // results bit for bit, not merely within rounding.
+  void finalize_dynamic(std::size_t idx, double time) {
+    JobResult& r = results_[idx];
+    if (time == r.end_time) return;
+    r.end_time = time;
+    r.actual_runtime = time - r.start_time;
+    r.hit_walltime = options_.enforce_walltime &&
+                     running_info_[idx].end_dyn > running_info_[idx].est_end;
+  }
+
+  // Re-evaluate the running jobs whose co-located load just changed because
+  // `changed` (occupying `changed_nodes`) started or ended. The fast engine
+  // walks the per-leaf running-job index with epoch stamps (each affected
+  // job exactly once); the reference engine scans every running job. They
+  // agree bit for bit because rescale() is a no-op whenever the recomputed
+  // factor is unchanged — which is exactly the case for every job the fast
+  // engine skips — and a genuine rescale reads only the job's own state and
+  // the settled load accumulators, so the visit order is immaterial.
+  // hot-path: no-alloc
+  void reevaluate(double now, std::size_t changed,
+                  std::span<const NodeId> changed_nodes) {
+    if (options_.engine == SimEngine::kFast) {
+      ++epoch_;
+      job_mark_[changed] = epoch_;  // the trigger itself is never rescaled
+      for (const NodeId n : changed_nodes) {
+        const auto li =
+            static_cast<std::size_t>(tree_.leaf_index(tree_.leaf_of(n)));
+        if (leaf_mark_[li] == epoch_) continue;
+        leaf_mark_[li] = epoch_;
+        for (const std::size_t j : leaf_jobs_[li]) {
+          if (job_mark_[j] == epoch_) continue;
+          job_mark_[j] = epoch_;
+          rescale(now, j);
+        }
+      }
+    } else {
+      for (const std::size_t j : running_)
+        if (j != changed) rescale(now, j);
+    }
+  }
+
+  // Rescale one running job's remaining time to the degradation factor the
+  // current load implies, and fix up its heap entry. The remaining fraction
+  // of work is preserved: remaining' = remaining * d_new / d_old.
+  // hot-path: no-alloc
+  void rescale(double now, std::size_t j) {
+    if (load_of_[j] == 0) return;  // compute-bound jobs never degrade
+    RunningInfo& info = running_info_[j];
+    const double d_new = degrade_.factor(state_, state_.job_nodes(job_id(j)),
+                                         load_of_[j], degrade_ws_);
+    if (d_new == info.factor) return;
+    const double remaining = info.end_dyn - now;
+    COMMSCHED_ASSERT_GE_MSG(remaining, 0.0,
+                            "rescaling a job past its scheduled end");
+    info.end_dyn = now + remaining * (d_new / info.factor);
+    info.factor = d_new;
+    const double end_key = effective_end(j);
+    completions_.update(j, end_key);
+    auditor_.on_end_scheduled(job_id(j), end_key);
+  }
+
+  // Per-leaf index of running jobs (fast engine): which jobs to visit when
+  // a leaf's load changes. A job appears once per distinct leaf it touches.
+  // hot-path: no-alloc
+  void leaf_jobs_add(std::size_t idx, std::span<const NodeId> nodes) {
+    ++epoch_;
+    for (const NodeId n : nodes) {
+      const auto li =
+          static_cast<std::size_t>(tree_.leaf_index(tree_.leaf_of(n)));
+      if (leaf_mark_[li] == epoch_) continue;
+      leaf_mark_[li] = epoch_;
+      // contract-trusted: no-alloc: bounded by the leaf's peak concurrent
+      // jobs; capacity is reused across the run
+      leaf_jobs_[li].push_back(idx);
+    }
+  }
+
+  // hot-path: no-alloc
+  void leaf_jobs_remove(std::size_t idx, std::span<const NodeId> nodes) {
+    ++epoch_;
+    for (const NodeId n : nodes) {
+      const auto li =
+          static_cast<std::size_t>(tree_.leaf_index(tree_.leaf_of(n)));
+      if (leaf_mark_[li] == epoch_) continue;
+      leaf_mark_[li] = epoch_;
+      std::erase(leaf_jobs_[li], idx);
+    }
   }
 
   const Tree& tree_;
@@ -540,8 +821,14 @@ class Simulation {
   CostModel pricing_model_;  // Eq. 7 ratio + adaptive comparisons
   CostModel metric_model_;   // pure Eq. 6, recorded in JobResult
   IoModel io_model_;         // §7 I/O extension
-  CostWorkspace workspace_;  // cost-kernel scratch for the pricing models
-  StateAuditor auditor_;     // runtime invariant checks (src/audit)
+  // Eq. 7 clamps after the COMMSCHED_RUNTIME_CLAMP env override; feeds both
+  // the static runtime model and the degradation model's upper clamp.
+  RuntimeModelOptions runtime_opts_;
+  DegradationModel degrade_;  // colocation degradation (DESIGN.md)
+  const bool dynamic_;        // degradation.enabled: runtime re-evaluation on
+  CostWorkspace workspace_;   // cost-kernel scratch for the pricing models
+  DegradationWorkspace degrade_ws_;  // degradation-kernel scratch
+  StateAuditor auditor_;      // runtime invariant checks (src/audit)
 
   // Reference engine queue/running structures.
   std::deque<std::size_t> pending_;  // log indices, queue order
@@ -553,12 +840,19 @@ class Simulation {
   std::vector<std::size_t> rank_of_;      // log index -> queue rank
   std::vector<RunEntry> running_sorted_;  // (est_end, nodes, idx) ascending
 
+  // Fast-engine dynamic-interference index: per-leaf running jobs, plus
+  // epoch stamps that dedupe leaves/jobs within one add/remove/reevaluate
+  // pass (a 64-bit counter cannot wrap within a run).
+  std::vector<std::vector<std::size_t>> leaf_jobs_;
+  std::vector<std::uint64_t> leaf_mark_;
+  std::vector<std::uint64_t> job_mark_;
+  std::uint64_t epoch_ = 0;
+
   // Shared state and steady-state scratch (reused capacity, no per-event
   // allocation once warm).
   std::vector<RunningInfo> running_info_;
-  std::priority_queue<Completion, std::vector<Completion>,
-                      std::greater<Completion>>
-      completions_;
+  std::vector<LoadUnits> load_of_;  // per log index, quantized comm load
+  CompletionHeap completions_;
   std::vector<JobResult> results_;
   std::vector<NodeId> select_scratch_;   // policy picks
   std::vector<NodeId> default_scratch_;  // Eq. 7 baseline picks

@@ -24,6 +24,7 @@
 #include "audit/level.hpp"
 #include "core/allocator_factory.hpp"
 #include "core/cost_model.hpp"
+#include "core/degradation_model.hpp"
 #include "core/runtime_model.hpp"
 #include "sched/result.hpp"
 #include "sched/trace.hpp"
@@ -39,6 +40,13 @@ enum class QueuePolicy : std::uint8_t {
   kFifo,              ///< submit order (the paper's configuration)
   kShortestJobFirst,  ///< ascending walltime estimate
   kSmallestJobFirst,  ///< ascending node count
+  /// Colocation-aware (DESIGN.md "Dynamic interference"): light
+  /// communication loads first (they pack with anything), FIFO within equal
+  /// loads, and a communication-intensive job is deferred while the
+  /// antagonist load already on its prospective leaves exceeds
+  /// SchedOptions::coloc_max_external — packing compatible jobs while
+  /// separating antagonists.
+  kColocation,
 };
 
 /// Event-loop engine (DESIGN.md "Million-job event loop"). kFast is the
@@ -65,7 +73,23 @@ struct SchedOptions {
   /// (§6.1). JobResult.cost / cost_default always record the *unweighted*
   /// Eq. 6 cost, as plotted in Figure 8.
   CostOptions cost_options{.hop_bytes = true};
+  /// Eq. 7 ratio clamps. The simulator resolves these through
+  /// runtime_options_from_env(), so COMMSCHED_RUNTIME_CLAMP ("min:max")
+  /// overrides whatever is set here — mirroring the COMMSCHED_AUDIT knob.
   RuntimeModelOptions runtime_options{};
+  /// Dynamic interference (DESIGN.md "Dynamic interference"): when
+  /// degradation.enabled, every running communication-intensive job's
+  /// remaining time is rescaled whenever an allocation or release changes
+  /// the co-located load on a leaf it touches, and its end event is
+  /// rescheduled. Off reproduces the paper's allocation-time-frozen Eq. 7
+  /// bit for bit.
+  DegradationOptions degradation{};
+  /// QueuePolicy::kColocation admission threshold: a communication-intensive
+  /// job is deferred while the external load on its prospective leaves
+  /// (DegradationModel::external_load, 1.0 == fully loaded neighbours)
+  /// exceeds this. Deferral is live-lock free: a nonzero external load
+  /// implies a running job, hence a pending completion event.
+  double coloc_max_external = 0.25;
   /// EASY backfilling on/off (off = plain FIFO, blocks on the head job).
   bool easy_backfill = true;
   /// Max queued jobs examined per backfill pass (SLURM's bf_max_job_test).

@@ -51,6 +51,8 @@ SlurmConf parse_slurm_conf(std::istream& in) {
         conf.sched.queue_policy = QueuePolicy::kShortestJobFirst;
       else if (value == "priority/smallest")
         conf.sched.queue_policy = QueuePolicy::kSmallestJobFirst;
+      else if (value == "priority/colocation")
+        conf.sched.queue_policy = QueuePolicy::kColocation;
       else bad_value(key, value, lineno);
     } else if (key == "JobAware") {
       const auto kind = allocator_kind_from_string(value);
@@ -92,6 +94,9 @@ std::string write_slurm_conf(const SlurmConf& conf) {
       break;
     case QueuePolicy::kSmallestJobFirst:
       out << "PriorityType=priority/smallest\n";
+      break;
+    case QueuePolicy::kColocation:
+      out << "PriorityType=priority/colocation\n";
       break;
   }
   out << "JobAware=" << allocator_kind_name(conf.sched.allocator) << "\n";

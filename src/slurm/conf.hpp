@@ -7,7 +7,8 @@
 //   SchedulerType      = sched/backfill | sched/builtin
 //   SelectType         = select/linear            (only supported value)
 //   TopologyPlugin     = topology/tree | topology/none
-//   PriorityType       = priority/fifo | priority/sjf | priority/smallest
+//   PriorityType       = priority/fifo | priority/sjf | priority/smallest |
+//                        priority/colocation
 //   JobAware           = default | greedy | balanced | adaptive | exclusive
 //   BackfillDepth      = <int>
 //   EnforceWallTime    = yes | no

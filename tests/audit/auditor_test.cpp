@@ -344,6 +344,106 @@ TEST_F(AuditorTest, CheapLevelSkipsFullChecks) {
   EXPECT_GT(cheap.checks_run(), 0u);
 }
 
+TEST_F(AuditorTest, LoadLedgerDivergenceOnAllocateFires) {
+  // The cluster books 512 load units per node but the auditor is told 256:
+  // the O(1) machine-total cross-check fires at allocation time.
+  state_.allocate(1, true, std::vector<NodeId>{0, 1}, false,
+                  /*comm_load=*/512);
+  const std::string msg = violation_message([&] {
+    auditor_.on_allocate(state_, 1, state_.job_nodes(1), /*load=*/256);
+  });
+  EXPECT_NE(msg.find("communication-load total diverged"), std::string::npos);
+}
+
+TEST_F(AuditorTest, LoadLedgerHappyPathAndReleaseRoundTrip) {
+  state_.allocate(1, true, std::vector<NodeId>{0, 1}, false, 512);
+  EXPECT_NO_THROW(auditor_.on_allocate(state_, 1, state_.job_nodes(1), 512));
+  state_.allocate(2, true, std::vector<NodeId>{4}, false, 1024);
+  EXPECT_NO_THROW(auditor_.on_allocate(state_, 2, state_.job_nodes(2), 1024));
+  EXPECT_NO_THROW(auditor_.check_state(state_));
+  const std::vector<NodeId> freed = state_.release(1);
+  EXPECT_NO_THROW(auditor_.on_release(state_, 1, freed));
+  EXPECT_NO_THROW(auditor_.check_state(state_));
+}
+
+TEST_F(AuditorTest, NegativeLoadReportFires) {
+  state_.allocate(1, true, std::vector<NodeId>{0});
+  const std::string msg = violation_message(
+      [&] { auditor_.on_allocate(state_, 1, state_.job_nodes(1), -5); });
+  EXPECT_NE(msg.find("negative load"), std::string::npos);
+}
+
+TEST_F(AuditorTest, LoadLedgerDivergenceOnReleaseFires) {
+  // The auditor recorded the allocation-time load, so a release only fires
+  // if the cluster's accumulators drifted in between — simulate the drift
+  // by releasing a cluster-side job the auditor never saw carry load.
+  state_.allocate(1, true, std::vector<NodeId>{0, 1}, false, 512);
+  auditor_.on_allocate(state_, 1, state_.job_nodes(1), 512);
+  state_.allocate(2, true, std::vector<NodeId>{4}, false, 256);
+  auditor_.on_allocate(state_, 2, state_.job_nodes(2), 256);
+  // Cluster releases job 2 (load 256 leaves the accumulators); the auditor
+  // is told job 1 came back instead: totals disagree by 2*512 - 256.
+  state_.release(2);
+  state_.release(1);
+  const std::vector<NodeId> freed{0, 1};
+  const std::string msg = violation_message(
+      [&] { auditor_.on_release(state_, 1, freed); });
+  EXPECT_NE(msg.find("diverged"), std::string::npos);
+}
+
+TEST_F(AuditorTest, StaleEndEventFires) {
+  state_.allocate(1, true, std::vector<NodeId>{0, 1});
+  auditor_.on_allocate(state_, 1, state_.job_nodes(1));
+  auditor_.on_end_scheduled(1, 50.0);
+  // A re-evaluation moved the end to 60 but a stale heap entry pops at 50.
+  auditor_.on_end_scheduled(1, 60.0);
+  const std::string msg = violation_message(
+      [&] { auditor_.check_end_event(state_, 1, 50.0); });
+  EXPECT_NE(msg.find("stale completion event"), std::string::npos);
+  // The rescheduled time itself passes.
+  EXPECT_NO_THROW(auditor_.check_end_event(state_, 1, 60.0));
+}
+
+TEST_F(AuditorTest, EndEventForUnknownOrReleasedJobFires) {
+  state_.allocate(1, true, std::vector<NodeId>{0});
+  auditor_.on_allocate(state_, 1, state_.job_nodes(1));
+  auditor_.on_end_scheduled(1, 50.0);
+  // A completion for a job the shadow table never saw running.
+  const std::string unknown = violation_message(
+      [&] { auditor_.check_end_event(state_, 9, 50.0); });
+  EXPECT_NE(unknown.find("does not hold as running"), std::string::npos);
+  // After release the scheduled end is cleaned up too: a late completion
+  // event for the released job fires.
+  const std::vector<NodeId> freed = state_.release(1);
+  auditor_.on_release(state_, 1, freed);
+  EXPECT_THROW(auditor_.check_end_event(state_, 1, 50.0), InvariantError);
+}
+
+TEST_F(AuditorTest, EndEventWithoutScheduleFires) {
+  state_.allocate(1, true, std::vector<NodeId>{0});
+  auditor_.on_allocate(state_, 1, state_.job_nodes(1));
+  state_.allocate(2, true, std::vector<NodeId>{1});
+  auditor_.on_allocate(state_, 2, state_.job_nodes(2));
+  auditor_.on_end_scheduled(1, 50.0);  // job 2 never announced an end
+  const std::string msg = violation_message(
+      [&] { auditor_.check_end_event(state_, 2, 50.0); });
+  EXPECT_NE(msg.find("no end on record"), std::string::npos);
+  // check_state also flags the count mismatch between running jobs and
+  // scheduled ends.
+  const std::string state_msg =
+      violation_message([&] { auditor_.check_state(state_); });
+  EXPECT_NE(state_msg.find("scheduled-end table"), std::string::npos);
+}
+
+TEST_F(AuditorTest, EndEventCheckSkippedWhenNeverScheduled) {
+  // An engine that never calls on_end_scheduled opts out of the end-event
+  // invariant instead of tripping on an empty table.
+  state_.allocate(1, true, std::vector<NodeId>{0});
+  auditor_.on_allocate(state_, 1, state_.job_nodes(1));
+  EXPECT_NO_THROW(auditor_.check_end_event(state_, 1, 123.0));
+  EXPECT_NO_THROW(auditor_.check_state(state_));
+}
+
 TEST(AuditLevelTest, NamesRoundTrip) {
   for (const AuditLevel level :
        {AuditLevel::kOff, AuditLevel::kCheap, AuditLevel::kFull})

@@ -51,6 +51,17 @@ struct ClusterStateTestPeer {
         static_cast<std::size_t>(s.leaf_off_[static_cast<std::size_t>(leaf)]);
     s.free_list_[off] = n;
   }
+  static void corrupt_leaf_load(ClusterState& s, SwitchId leaf,
+                                LoadUnits delta) {
+    s.leaf_load_[static_cast<std::size_t>(leaf)] += delta;
+  }
+  static void corrupt_switch_load(ClusterState& s, SwitchId sw,
+                                  LoadUnits delta) {
+    s.switch_load_[static_cast<std::size_t>(sw)] += delta;
+  }
+  static void corrupt_load_total(ClusterState& s, LoadUnits delta) {
+    s.load_total_ += delta;
+  }
 };
 
 namespace {
@@ -92,6 +103,54 @@ TEST_F(ClusterStateTest, AllocateUpdatesCounters) {
   EXPECT_EQ(state_.free_under(tree_.root()), 5);
   EXPECT_EQ(state_.free_under(s0), 2);
   state_.validate();
+}
+
+TEST_F(ClusterStateTest, LoadAccumulatorsTrackAllocations) {
+  const SwitchId s0 = *tree_.switch_by_name("s0");
+  const SwitchId s1 = *tree_.switch_by_name("s1");
+  state_.allocate(1, /*comm_intensive=*/true, std::vector<NodeId>{0, 1, 4},
+                  /*io_intensive=*/false, /*comm_load=*/800);
+  state_.allocate(2, /*comm_intensive=*/true, std::vector<NodeId>{2, 3},
+                  /*io_intensive=*/false, /*comm_load=*/300);
+  EXPECT_EQ(state_.job_load(1), 800);
+  EXPECT_EQ(state_.job_load(2), 300);
+  EXPECT_EQ(state_.leaf_load(s0), 2 * 800 + 2 * 300);  // nodes 0,1 + 2,3
+  EXPECT_EQ(state_.leaf_load(s1), 800);                // node 4
+  EXPECT_EQ(state_.load_under(s0), 2 * 800 + 2 * 300);
+  EXPECT_EQ(state_.load_under(tree_.root()), 3 * 800 + 2 * 300);
+  EXPECT_EQ(state_.total_load(), 3 * 800 + 2 * 300);
+  state_.validate();
+  state_.release(1);
+  EXPECT_EQ(state_.leaf_load(s0), 2 * 300);
+  EXPECT_EQ(state_.leaf_load(s1), 0);
+  EXPECT_EQ(state_.total_load(), 2 * 300);
+  state_.release(2);
+  EXPECT_EQ(state_.total_load(), 0);
+  for (const SwitchId leaf : tree_.leaves()) {
+    EXPECT_EQ(state_.leaf_load(leaf), 0);
+  }
+  state_.validate();
+}
+
+TEST_F(ClusterStateTest, LoadViewsAreZeroCopyAndConsistent) {
+  state_.allocate(9, /*comm_intensive=*/true, std::vector<NodeId>{0, 5},
+                  /*io_intensive=*/false, /*comm_load=*/1024);
+  const std::span<const LoadUnits> leaves = state_.leaf_loads();
+  const std::span<const LoadUnits> switches = state_.switch_loads();
+  LoadUnits leaf_sum = 0;
+  for (const SwitchId leaf : tree_.leaves()) {
+    EXPECT_EQ(leaves[static_cast<std::size_t>(leaf)], state_.leaf_load(leaf));
+    leaf_sum += leaves[static_cast<std::size_t>(leaf)];
+  }
+  EXPECT_EQ(leaf_sum, state_.total_load());
+  EXPECT_EQ(switches[static_cast<std::size_t>(tree_.root())],
+            state_.total_load());
+}
+
+TEST_F(ClusterStateTest, NegativeLoadThrows) {
+  EXPECT_THROW(state_.allocate(1, true, std::vector<NodeId>{0},
+                               /*io_intensive=*/false, /*comm_load=*/-1),
+               InvariantError);
 }
 
 TEST_F(ClusterStateTest, ComputeJobDoesNotCountAsComm) {
@@ -193,7 +252,7 @@ class ClusterStateCorruptionTest : public ClusterStateTest {
  protected:
   ClusterStateCorruptionTest() {
     state_.allocate(1, /*comm_intensive=*/true, std::vector<NodeId>{0, 1, 4},
-                    /*io_intensive=*/true);
+                    /*io_intensive=*/true, /*comm_load=*/512);
     state_.validate();  // clean before each test corrupts one counter
     leaf_ = *tree_.switch_by_name("s0");
   }
@@ -222,6 +281,21 @@ TEST_F(ClusterStateCorruptionTest, CorruptSubtreeFreeFires) {
 
 TEST_F(ClusterStateCorruptionTest, CorruptFreeTotalFires) {
   ClusterStateTestPeer::corrupt_free_total(state_, +1);
+  EXPECT_THROW(state_.validate(), InvariantError);
+}
+
+TEST_F(ClusterStateCorruptionTest, CorruptLeafLoadFires) {
+  ClusterStateTestPeer::corrupt_leaf_load(state_, leaf_, +1);
+  EXPECT_THROW(state_.validate(), InvariantError);
+}
+
+TEST_F(ClusterStateCorruptionTest, CorruptSubtreeLoadFires) {
+  ClusterStateTestPeer::corrupt_switch_load(state_, tree_.root(), -512);
+  EXPECT_THROW(state_.validate(), InvariantError);
+}
+
+TEST_F(ClusterStateCorruptionTest, CorruptLoadTotalFires) {
+  ClusterStateTestPeer::corrupt_load_total(state_, +512);
   EXPECT_THROW(state_.validate(), InvariantError);
 }
 

@@ -141,6 +141,54 @@ TEST(EngineDiffTest, ExclusiveAndIoAwareAllocators) {
   }
 }
 
+// Dynamic interference axes (DESIGN.md "Dynamic interference"): runtime
+// re-evaluation on/off × colocation policy × walltime enforcement. The fast
+// engine reschedules ends incrementally through the per-leaf running-job
+// index and the completion-heap fix-ups; the reference engine rescales by
+// scanning every running job. Bit-identical results pin that the two
+// strategies rescale exactly the same jobs to exactly the same times.
+TEST(EngineDiffTest, DynamicInterferenceTimesColocation) {
+  const Tree tree = make_two_level_tree(4, 8);
+  for (const std::uint64_t seed : {3ull, 44ull}) {
+    const JobLog log = fuzz_log(tree, 140, seed);
+    for (const bool dynamic : {false, true}) {
+      for (const QueuePolicy policy :
+           {QueuePolicy::kFifo, QueuePolicy::kColocation}) {
+        for (const bool walltime : {false, true}) {
+          SchedOptions options;
+          options.allocator = AllocatorKind::kBalanced;
+          options.degradation.enabled = dynamic;
+          options.degradation.alpha = 2.0;  // bite hard: many re-evaluations
+          options.queue_policy = policy;
+          options.enforce_walltime = walltime;
+          run_both_and_compare(
+              tree, log, options,
+              "seed " + std::to_string(seed) + " dynamic " +
+                  std::to_string(dynamic) + " policy " +
+                  std::to_string(static_cast<int>(policy)) + " walltime " +
+                  std::to_string(walltime));
+        }
+      }
+    }
+  }
+}
+
+// The same dynamic axes under full auditing: every event additionally runs
+// the shadow load ledger, the end-event/occupancy consistency check and the
+// from-scratch ClusterState::validate(), so a re-evaluation that desyncs
+// the heap from the bookkeeping throws instead of silently diverging.
+TEST(EngineDiffTest, DynamicInterferenceUnderFullAudit) {
+  const Tree tree = make_figure2_tree();
+  const JobLog log = fuzz_log(tree, 80, 21);
+  SchedOptions options;
+  options.allocator = AllocatorKind::kBalanced;
+  options.degradation.enabled = true;
+  options.degradation.alpha = 2.0;
+  options.queue_policy = QueuePolicy::kColocation;
+  options.audit = AuditLevel::kFull;
+  run_both_and_compare(tree, log, options, "dynamic colocation, full audit");
+}
+
 // Degenerate shapes the indexed structures must not trip on: empty log,
 // single job, all jobs identical (maximal tie-breaking pressure), and every
 // job full-machine width (running set of size one, no backfill ever fits).
