@@ -30,6 +30,12 @@ int main() {
   exp::CampaignSpec spec;
   spec.name = "fig6";
   spec.machines = exp::paper_machines();
+  // The paper's four policies plus our search-based extension as a fifth
+  // column (sa anneals from the greedy/balanced seeds, so its gains bound
+  // the constructive policies from above).
+  spec.allocators = {AllocatorKind::kDefault, AllocatorKind::kGreedy,
+                     AllocatorKind::kBalanced, AllocatorKind::kAdaptive,
+                     AllocatorKind::kSa};
   for (const char set : {'A', 'B', 'C', 'D', 'E'})
     spec.mixes.push_back(experiment_set(set));
   // Extension mix (ours): an MPI_Alltoall-dominated mix — the FFTW/CPMD
@@ -49,7 +55,7 @@ int main() {
 
   TextTable theta_table;
   theta_table.set_header({"Set", "Mix", "Impr%(greedy)", "Impr%(bal)",
-                          "Impr%(adap)", "Impr%(avg)"});
+                          "Impr%(adap)", "Impr%(sa)", "Impr%(avg)"});
   TextTable others;
   others.set_header({"Log", "Set", "Impr%(avg over algorithms)"});
 
@@ -59,17 +65,19 @@ int main() {
       const exp::CellResult* def = result.find(m, x, 0);
       if (def == nullptr) continue;  // filtered out
       std::vector<double> gains;
-      for (std::size_t a = 1; a < 4; ++a)
+      for (std::size_t a = 1; a < 5; ++a)
         gains.push_back(
             improvement_percent(def->summary.total_exec_hours,
                                 result.at(m, x, a).summary.total_exec_hours));
+      // The paper's quoted average stays over its three proposed policies;
+      // the sa extension gets its own column.
       const double avg = (gains[0] + gains[1] + gains[2]) / 3.0;
       const std::string set_label =
           x < kNumSets ? std::string(1, static_cast<char>('A' + x)) : "X";
       if (def->machine == "Theta")
         theta_table.add_row({set_label, def->mix, cell(gains[0], 2),
                              cell(gains[1], 2), cell(gains[2], 2),
-                             cell(avg, 2)});
+                             cell(gains[3], 2), cell(avg, 2)});
       else if (x < kNumSets)
         others.add_row({def->machine, set_label, cell(avg, 2)});
     }

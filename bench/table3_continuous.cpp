@@ -26,6 +26,10 @@ int main() {
   for (const Pattern pattern :
        {Pattern::kRecursiveHalvingVD, Pattern::kRecursiveDoubling})
     spec.mixes.push_back(uniform_mix(pattern, 0.9, 0.8));
+  // Paper policies plus the search-based sa extension as a fifth column.
+  spec.allocators = {AllocatorKind::kDefault, AllocatorKind::kGreedy,
+                     AllocatorKind::kBalanced, AllocatorKind::kAdaptive,
+                     AllocatorKind::kSa};
 
   exp::CampaignRunner runner(std::move(spec));
   const exp::CampaignResult result = runner.run();
@@ -34,16 +38,18 @@ int main() {
   TextTable table;
   table.set_header({"Log", "Pattern",
                     "Exec(def)", "Exec(greedy)", "Exec(bal)", "Exec(adap)",
-                    "Wait(def)", "Wait(greedy)", "Wait(bal)", "Wait(adap)"});
+                    "Exec(sa)",
+                    "Wait(def)", "Wait(greedy)", "Wait(bal)", "Wait(adap)",
+                    "Wait(sa)"});
   TextTable impr;
   impr.set_header({"Log", "Pattern", "ExecImpr%(greedy)", "ExecImpr%(bal)",
-                   "ExecImpr%(adap)", "WaitImpr%(greedy)", "WaitImpr%(bal)",
-                   "WaitImpr%(adap)"});
+                   "ExecImpr%(adap)", "ExecImpr%(sa)", "WaitImpr%(greedy)",
+                   "WaitImpr%(bal)", "WaitImpr%(adap)", "WaitImpr%(sa)"});
 
   for (std::size_t m = 0; m < grid.machines.size(); ++m) {
     for (std::size_t x = 0; x < grid.mixes.size(); ++x) {
       std::vector<const RunSummary*> s;
-      for (std::size_t a = 0; a < 4; ++a)
+      for (std::size_t a = 0; a < 5; ++a)
         s.push_back(&result.at(m, x, a).summary);
 
       const RunSummary& d = *s[0];
@@ -52,10 +58,12 @@ int main() {
                      cell(s[1]->total_exec_hours, 0),
                      cell(s[2]->total_exec_hours, 0),
                      cell(s[3]->total_exec_hours, 0),
+                     cell(s[4]->total_exec_hours, 0),
                      cell(d.total_wait_hours, 0),
                      cell(s[1]->total_wait_hours, 0),
                      cell(s[2]->total_wait_hours, 0),
-                     cell(s[3]->total_wait_hours, 0)});
+                     cell(s[3]->total_wait_hours, 0),
+                     cell(s[4]->total_wait_hours, 0)});
       impr.add_row(
           {grid.machines[m].name, grid.mixes[x].name,
            cell(improvement_percent(d.total_exec_hours,
@@ -64,12 +72,16 @@ int main() {
                                     s[2]->total_exec_hours), 1),
            cell(improvement_percent(d.total_exec_hours,
                                     s[3]->total_exec_hours), 1),
+           cell(improvement_percent(d.total_exec_hours,
+                                    s[4]->total_exec_hours), 1),
            cell(improvement_percent(d.total_wait_hours,
                                     s[1]->total_wait_hours), 1),
            cell(improvement_percent(d.total_wait_hours,
                                     s[2]->total_wait_hours), 1),
            cell(improvement_percent(d.total_wait_hours,
-                                    s[3]->total_wait_hours), 1)});
+                                    s[3]->total_wait_hours), 1),
+           cell(improvement_percent(d.total_wait_hours,
+                                    s[4]->total_wait_hours), 1)});
     }
   }
 

@@ -445,6 +445,30 @@ void StateAuditor::check_profile(Pattern pattern,
   }
 }
 
+// contract-trusted: no-alloc: opt-in run auditing (enabled() gate in the
+// simulator); the full-recompute cross-check allocates only for its private
+// workspace warm-up and on the failure path
+void StateAuditor::check_sa_cost(const CostModel& model,
+                                 const ClusterState& state,
+                                 std::span<const NodeId> nodes,
+                                 bool comm_intensive,
+                                 const LeafCommProfile& profile,
+                                 double claimed, JobId job) {
+  if (!enabled()) return;
+  ++checks_;
+  const double full =
+      model.candidate_cost(state, nodes, comm_intensive, profile, cost_ws_);
+  if (full != claimed) {
+    std::ostringstream os;
+    os << "search allocator's delta-evaluated cost diverges from the full "
+          "recompute for job "
+       << job << ": claimed " << std::hexfloat << claimed << " ("
+       << std::defaultfloat << claimed << "), full kernel " << std::hexfloat
+       << full << " (" << std::defaultfloat << full << ")";
+    violation(os.str());
+  }
+}
+
 void StateAuditor::check_flow(double remaining, double rate, double latency,
                               int job) {
   if (level_ != AuditLevel::kFull) return;

@@ -118,6 +118,17 @@ class StateAuditor {
   void check_profile(Pattern pattern, const LeafCommProfile& profile,
                      std::span<const NodeId> nodes, JobId job);
 
+  /// Cheap level and up: re-derive a search allocator's claimed Eq. 6 cost
+  /// for the placement it returned — an independent full candidate_cost
+  /// through `model` must reproduce `claimed` bit for bit (the allocator's
+  /// delta-evaluation session may never drift from the full kernel). Call
+  /// *before* the allocation is committed: `claimed` prices the
+  /// pre-allocation state.
+  void check_sa_cost(const CostModel& model, const ClusterState& state,
+                     std::span<const NodeId> nodes, bool comm_intensive,
+                     const LeafCommProfile& profile, double claimed,
+                     JobId job);
+
   /// Full level: audit one netsim flow after a max-min rate computation —
   /// bytes remaining, rate, and startup latency must be finite and must not
   /// go (materially) negative.
@@ -158,6 +169,10 @@ class StateAuditor {
   // on_end_scheduled (none today, but the hook is optional) skip the
   // end-event cross-check instead of failing on an empty table.
   bool saw_schedule_ = false;
+
+  // Private cost-kernel scratch for check_sa_cost's full recompute, so the
+  // audit never touches the workspace the simulator prices with.
+  CostWorkspace cost_ws_;
 
   double last_time_ = 0.0;
   bool saw_event_ = false;

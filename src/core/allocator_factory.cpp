@@ -21,23 +21,30 @@ const char* allocator_kind_name(AllocatorKind kind) {
     case AllocatorKind::kAdaptive: return "adaptive";
     case AllocatorKind::kExclusive: return "exclusive";
     case AllocatorKind::kIoAware: return "io_aware";
+    case AllocatorKind::kSa: return "sa";
   }
   return "?";
 }
 
 std::optional<AllocatorKind> allocator_kind_from_string(const std::string& s) {
-  if (s == "default") return AllocatorKind::kDefault;
-  if (s == "greedy") return AllocatorKind::kGreedy;
-  if (s == "balanced") return AllocatorKind::kBalanced;
-  if (s == "adaptive") return AllocatorKind::kAdaptive;
-  if (s == "exclusive") return AllocatorKind::kExclusive;
-  if (s == "io_aware") return AllocatorKind::kIoAware;
+  for (const AllocatorKind kind : kAllRegisteredAllocatorKinds)
+    if (s == allocator_kind_name(kind)) return kind;
   return std::nullopt;
+}
+
+std::string allocator_kind_names() {
+  std::string names;
+  for (const AllocatorKind kind : kAllRegisteredAllocatorKinds) {
+    if (!names.empty()) names += '/';
+    names += allocator_kind_name(kind);
+  }
+  return names;
 }
 
 std::unique_ptr<Allocator> make_allocator(AllocatorKind kind,
                                           CostOptions cost_options,
-                                          std::shared_ptr<CommCache> cache) {
+                                          std::shared_ptr<CommCache> cache,
+                                          const SaOptions& sa) {
   switch (kind) {
     case AllocatorKind::kDefault:
       return std::make_unique<DefaultAllocator>();
@@ -53,6 +60,9 @@ std::unique_ptr<Allocator> make_allocator(AllocatorKind kind,
     case AllocatorKind::kIoAware:
       return std::make_unique<IoAwareAllocator>(cost_options,
                                                 std::move(cache));
+    case AllocatorKind::kSa:
+      return std::make_unique<SaAllocator>(cost_options, sa,
+                                           std::move(cache));
   }
   COMMSCHED_ASSERT_MSG(false, "unknown allocator kind");
   return nullptr;
@@ -65,8 +75,8 @@ AllocatorKind allocator_kind_from_env() {
   if (s == "1") return AllocatorKind::kAdaptive;
   const auto kind = allocator_kind_from_string(s);
   COMMSCHED_ASSERT_MSG(kind.has_value(),
-                       "JOBAWARE must be unset, 1, or one of "
-                       "default/greedy/balanced/adaptive (got '" + s + "')");
+                       "JOBAWARE must be unset, 1, or one of " +
+                           allocator_kind_names() + " (got '" + s + "')");
   return *kind;
 }
 

@@ -10,6 +10,7 @@
 #include "collectives/comm_cache.hpp"
 #include "core/allocator.hpp"
 #include "core/cost_model.hpp"
+#include "core/sa_allocator.hpp"
 
 namespace commsched {
 
@@ -25,6 +26,10 @@ enum class AllocatorKind : int {
   /// §7 future work: combines the communication cost model with the I/O
   /// contention model. Also outside kAllAllocatorKinds.
   kIoAware = 5,
+  /// Search-based extension (DESIGN.md "Delta-cost evaluation & search
+  /// allocators"): greedy/balanced seeding + simulated annealing over slot
+  /// moves. Outside kAllAllocatorKinds (not a paper policy).
+  kSa = 6,
 };
 
 /// The paper's four policies (Tables 3-4, Figures 6-9 iterate over these).
@@ -32,18 +37,32 @@ inline constexpr AllocatorKind kAllAllocatorKinds[] = {
     AllocatorKind::kDefault, AllocatorKind::kGreedy, AllocatorKind::kBalanced,
     AllocatorKind::kAdaptive};
 
+/// Every registered policy, paper and extensions alike — the source of truth
+/// for name listings and exhaustiveness tests.
+inline constexpr AllocatorKind kAllRegisteredAllocatorKinds[] = {
+    AllocatorKind::kDefault,   AllocatorKind::kGreedy,
+    AllocatorKind::kBalanced,  AllocatorKind::kAdaptive,
+    AllocatorKind::kExclusive, AllocatorKind::kIoAware,
+    AllocatorKind::kSa};
+
 const char* allocator_kind_name(AllocatorKind kind);
 
-/// Parse "default" / "greedy" / "balanced" / "adaptive" (case-sensitive).
+/// Parse a registered policy name, e.g. "default" / "adaptive" / "sa"
+/// (case-sensitive; the full list is allocator_kind_names()).
 std::optional<AllocatorKind> allocator_kind_from_string(const std::string& s);
 
-/// Instantiate a policy. `cost_options` only affects the adaptive and
-/// I/O-aware policies' candidate pricing. `cache` is the run-wide
-/// schedule/profile cache those policies should share with their caller
-/// (e.g. the simulator); when null, pricing policies create a private one.
+/// Comma-separated list of every registered policy name (for error
+/// messages; derived from kAllRegisteredAllocatorKinds).
+std::string allocator_kind_names();
+
+/// Instantiate a policy. `cost_options` only affects the pricing policies
+/// (adaptive, I/O-aware, sa); `sa` only the sa policy. `cache` is the
+/// run-wide schedule/profile cache those policies should share with their
+/// caller (e.g. the simulator); when null, pricing policies create a
+/// private one.
 std::unique_ptr<Allocator> make_allocator(
     AllocatorKind kind, CostOptions cost_options = {},
-    std::shared_ptr<CommCache> cache = nullptr);
+    std::shared_ptr<CommCache> cache = nullptr, const SaOptions& sa = {});
 
 /// The paper's JOBAWARE switch: reads the JOBAWARE environment variable.
 /// Unset or empty -> kDefault; "1" -> kAdaptive (the paper's best policy);

@@ -24,6 +24,7 @@
 // All three agree bit-for-bit on the same inputs.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -78,6 +79,21 @@ class LeafOverlay {
 std::vector<NodeId> expand_ranks_per_node(std::span<const NodeId> nodes,
                                           int ranks_per_node);
 
+/// One tentative relocation priced by CostModel::cost_delta: every node of
+/// leaf slot `slot` of the current delta session's allocation moves to leaf
+/// `leaf`. The target leaf must not be occupied by any other slot of the
+/// session (ShapeKey slots are distinct leaves, and keeping them distinct is
+/// what lets one cached LeafCommProfile price every move), and the cost model
+/// does not check free capacity — that is the proposing allocator's job.
+struct SlotMove {
+  std::int32_t slot = -1;
+  SwitchId leaf = kInvalidSwitch;
+};
+
+/// Most slots one cost_delta call may relocate at once (1 = reassignment,
+/// 2 = a leaf swap expressed as two simultaneous moves).
+inline constexpr std::size_t kMaxDeltaMoves = 2;
+
 /// Per-call scratch for CostModel's fast kernels. A CostModel holds no
 /// mutable state; every evaluation writes only into the workspace the caller
 /// passes (or a thread-local default), so one CostModel is safe to share
@@ -101,6 +117,68 @@ class CostWorkspace {
   std::vector<double> pair_hops_;        // slot×slot memo, -1 unset
   std::vector<double> class_worst_;      // per profile step class: max hops
   LeafOverlay overlay_;                  // candidate_cost scratch
+
+ public:
+  // --- Delta-cost session (CostModel::delta_begin / cost_delta /
+  // delta_commit) -----------------------------------------------------------
+  // One session prices many tentative SlotMoves against a frozen
+  // (state, allocation, profile) base without re-running the full profile
+  // kernel: begin materializes every class pair's Eq. 5 hops plus each
+  // class's max and top-3 pairs; an eval recomputes only the pairs touching
+  // the moved slots (epoch-stamped tentative rows, never mutating the
+  // committed base) and closes each affected class's max over the untouched
+  // pairs through the top-3 shortcut — O(affected leaf pairs) per move
+  // instead of O(all pairs).
+  struct DeltaTop {
+    double v = -1.0;               // Eq. 5 hops; < 0 marks an empty entry
+    std::int32_t a = -1, b = -1;   // the pair's leaf slots
+  };
+  struct DeltaSession {
+    bool active = false;                ///< delta_begin has primed the session
+    bool pending = false;               ///< a cost_delta awaits delta_commit
+    bool overlayed = false;             ///< candidate overlay in force
+    const LeafCommProfile* profile = nullptr;
+    const ClusterState* state = nullptr;
+    int free_at_begin = 0;              // tripwire: state must stay frozen
+    int rpn = 1;
+    std::int32_t k = 0;                 // leaf slots of the session's shape
+
+    // Committed base: per-slot placement + frozen contention inputs, the
+    // k×k hops memo (valid on class pairs), and per-class max / top-3.
+    std::vector<SwitchId> slot_leaf;
+    std::vector<std::int32_t> slot_nnodes;
+    std::vector<double> slot_comm;      // L_comm (+ overlay), per slot
+    std::vector<double> slot_nodes;     // L_nodes, per slot
+    std::vector<double> hops;
+    std::vector<double> class_worst;
+    std::vector<std::array<DeltaTop, 3>> top;
+    double total = 0.0;                 // committed Eq. 6 total
+
+    // Per-profile move index, rebuilt by every delta_begin: CSR slot ->
+    // classes touching it, the flattened class pair lists, and CSR
+    // (class, slot) -> ids of the class's pairs touching that slot.
+    std::vector<std::int32_t> slot_class_off, slot_classes;
+    std::vector<std::int32_t> class_pair_off;
+    std::vector<std::int32_t> pair_a, pair_b;
+    std::vector<std::int32_t> class_slot_pair_off, class_slot_pairs;
+    std::vector<std::int32_t> index_cursor;  // build scratch
+    std::vector<std::int32_t> slot_seen;     // build scratch (class dedupe)
+
+    // Tentative evaluation rows, valid where the stamp equals move_epoch.
+    std::uint64_t move_epoch = 0;
+    std::vector<std::uint64_t> slot_stamp;
+    std::vector<SwitchId> tent_leaf;
+    std::vector<double> tent_comm, tent_nodes;
+    std::vector<std::uint64_t> class_stamp;
+    std::vector<double> tent_class_worst;
+    std::vector<std::int32_t> touched_classes;
+    std::array<SlotMove, kMaxDeltaMoves> last_moves{};
+    std::size_t last_move_count = 0;
+    double last_total = 0.0;
+  };
+
+ private:
+  DeltaSession delta_;
 };
 
 /// Evaluator bound to one topology. Eq. 6 evaluations run through
@@ -167,6 +245,46 @@ class CostModel {
   double candidate_cost(const ClusterState& state,
                         std::span<const NodeId> nodes, bool comm_intensive,
                         const LeafCommProfile& profile) const;
+
+  // --- Delta-cost evaluation (DESIGN.md "Delta-cost evaluation & search
+  // allocators") ------------------------------------------------------------
+  // Move-evaluation contract: delta_begin freezes (state, nodes, profile)
+  // as the session base and returns the full candidate cost (bit-for-bit
+  // equal to candidate_cost on the same inputs). Each cost_delta prices the
+  // base with the given slots tentatively relocated and returns the total a
+  // fresh candidate_cost would compute for the moved allocation — again bit
+  // for bit — in O(pairs touching the moved slots). delta_commit makes the
+  // LAST evaluated move set the new base. The ClusterState must not change
+  // between delta_begin and the session's last call; every move must keep
+  // the session's slots on pairwise-distinct leaves (asserted).
+
+  /// Prime a delta session for a candidate allocation and return its full
+  /// cost. Per options_.include_candidate the candidate's nodes are overlaid
+  /// when `comm_intensive` (exactly like candidate_cost).
+  double delta_begin(const ClusterState& state, std::span<const NodeId> nodes,
+                     bool comm_intensive, const LeafCommProfile& profile,
+                     CostWorkspace& workspace) const;
+
+  /// Price the committed base with `moves` applied tentatively (1 move =
+  /// leaf reassignment, 2 = swap). Does not change the base; only the last
+  /// evaluation can be committed.
+  double cost_delta(const ClusterState& state, std::span<const SlotMove> moves,
+                    CostWorkspace& workspace) const;
+
+  /// Apply the last cost_delta's moves to the session base.
+  void delta_commit(CostWorkspace& workspace) const;
+
+  /// Committed total of the active session (== the value a full
+  /// candidate_cost would return for the current base).
+  double delta_total(const CostWorkspace& workspace) const;
+
+  /// Committed leaf of a session slot (for callers mirroring the placement).
+  SwitchId delta_slot_leaf(const CostWorkspace& workspace,
+                           std::int32_t slot) const;
+
+  /// Node count of a session slot (invariant across moves).
+  int delta_slot_nnodes(const CostWorkspace& workspace,
+                        std::int32_t slot) const;
 
   /// Pair-by-pair Eq. 6 evaluation (one effective_hops call per rank pair,
   /// no memoization). Kept for differential testing of the fast kernels; the

@@ -1,0 +1,95 @@
+#include "core/proposal_policy.hpp"
+
+namespace commsched {
+
+namespace {
+
+/// Share of proposals that are two-slot swaps (when >= 2 slots exist).
+/// Swaps explore placement permutations capacity-neutrally; reassignments
+/// explore new leaves. A fixed split keeps both move kinds in play at every
+/// temperature.
+constexpr double kSwapProbability = 0.25;
+
+/// Rejection-sampling attempts for the locality bias before falling back to
+/// the last uniform draw. Bounded so one propose() call stays O(1).
+constexpr int kLocalityTries = 8;
+
+// hot-path: no-alloc
+bool propose_swap(const SaMoveContext& ctx, Rng& rng, MoveProposal& out) {
+  const auto k = static_cast<std::int64_t>(ctx.slot_leaf.size());
+  if (k < 2) return false;
+  const auto s1 = rng.uniform_int(0, k - 1);
+  auto s2 = rng.uniform_int(0, k - 2);
+  if (s2 >= s1) ++s2;  // uniform over the other slots
+  out.moves[0] = {static_cast<std::int32_t>(s1),
+                  ctx.slot_leaf[static_cast<std::size_t>(s2)]};
+  out.moves[1] = {static_cast<std::int32_t>(s2),
+                  ctx.slot_leaf[static_cast<std::size_t>(s1)]};
+  out.count = 2;
+  return true;
+}
+
+// hot-path: no-alloc
+bool want_swap(const SaMoveContext& ctx, Rng& rng) {
+  if (ctx.slot_leaf.size() < 2) return false;
+  if (ctx.candidate_leaves.empty()) return true;  // only swaps remain
+  return rng.bernoulli(kSwapProbability);
+}
+
+}  // namespace
+
+void ProposalPolicy::on_accept(const SaMoveContext& /*ctx*/,
+                               const MoveProposal& /*accepted*/) {}
+
+void UniformProposalPolicy::begin(const SaMoveContext& /*ctx*/) {}
+
+// hot-path: no-alloc
+bool UniformProposalPolicy::propose(const SaMoveContext& ctx, Rng& rng,
+                                    MoveProposal& out) {
+  const auto k = static_cast<std::int64_t>(ctx.slot_leaf.size());
+  if (k == 0) return false;
+  if (ctx.candidate_leaves.empty() && k < 2) return false;
+  if (want_swap(ctx, rng)) return propose_swap(ctx, rng, out);
+  const auto s = rng.uniform_int(0, k - 1);
+  const auto t = rng.uniform_int(
+      0, static_cast<std::int64_t>(ctx.candidate_leaves.size()) - 1);
+  out.moves[0] = {static_cast<std::int32_t>(s),
+                  ctx.candidate_leaves[static_cast<std::size_t>(t)]};
+  out.count = 1;
+  return true;
+}
+
+void LocalityProposalPolicy::begin(const SaMoveContext& /*ctx*/) {}
+
+// hot-path: no-alloc
+bool LocalityProposalPolicy::propose(const SaMoveContext& ctx, Rng& rng,
+                                     MoveProposal& out) {
+  const auto k = static_cast<std::int64_t>(ctx.slot_leaf.size());
+  if (k == 0) return false;
+  if (ctx.candidate_leaves.empty() && k < 2) return false;
+  if (want_swap(ctx, rng)) return propose_swap(ctx, rng, out);
+  const auto s = rng.uniform_int(0, k - 1);
+  // Anchor: another slot of the job when one exists (keep the job together),
+  // else the moving slot itself (prefer nearby leaves over far ones).
+  auto anchor = s;
+  if (k > 1) {
+    anchor = rng.uniform_int(0, k - 2);
+    if (anchor >= s) ++anchor;
+  }
+  const SwitchId anchor_leaf = ctx.slot_leaf[static_cast<std::size_t>(anchor)];
+  const auto n_cand = static_cast<std::int64_t>(ctx.candidate_leaves.size());
+  SwitchId target = kInvalidSwitch;
+  for (int attempt = 0; attempt < kLocalityTries; ++attempt) {
+    target = ctx.candidate_leaves[
+        static_cast<std::size_t>(rng.uniform_int(0, n_cand - 1))];
+    // d(anchor, anchor) == 2, so same-leaf/nearby targets accept with
+    // probability 1 and the probability halves per extra hop level.
+    const double d = ctx.tree->leaf_distance(anchor_leaf, target);
+    if (rng.bernoulli(2.0 / d)) break;
+  }
+  out.moves[0] = {static_cast<std::int32_t>(s), target};
+  out.count = 1;
+  return true;
+}
+
+}  // namespace commsched

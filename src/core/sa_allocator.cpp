@@ -1,0 +1,308 @@
+#include "core/sa_allocator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "core/allocator_common.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace commsched {
+
+const char* sa_proposal_kind_name(SaProposalKind kind) {
+  switch (kind) {
+    case SaProposalKind::kUniform: return "uniform";
+    case SaProposalKind::kLocality: return "locality";
+  }
+  return "?";
+}
+
+std::optional<SaProposalKind> sa_proposal_kind_from_string(
+    const std::string& s) {
+  if (s == "uniform") return SaProposalKind::kUniform;
+  if (s == "locality") return SaProposalKind::kLocality;
+  return std::nullopt;
+}
+
+SaAllocator::SaAllocator(CostOptions cost_options, SaOptions options,
+                         std::shared_ptr<CommCache> cache)
+    : cost_options_(cost_options),
+      options_(options),
+      cache_(std::move(cache)) {
+  COMMSCHED_ASSERT_MSG(options_.cooling > 0.0 && options_.cooling <= 1.0,
+                       "sa cooling factor must be in (0, 1]");
+  COMMSCHED_ASSERT_GE(options_.init_temp_frac, 0.0);
+  COMMSCHED_ASSERT_GE(options_.patience, 0);
+  COMMSCHED_ASSERT_GE(options_.verify_stride, 0);
+  if (!cache_) cache_ = std::make_shared<CommCache>(double{1 << 20});
+  switch (options_.proposal) {
+    case SaProposalKind::kUniform:
+      policy_ = std::make_unique<UniformProposalPolicy>();
+      break;
+    case SaProposalKind::kLocality:
+      policy_ = std::make_unique<LocalityProposalPolicy>();
+      break;
+  }
+  COMMSCHED_ASSERT_MSG(policy_ != nullptr, "unknown SA proposal kind");
+}
+
+SaAllocator::~SaAllocator() = default;
+
+void SaAllocator::set_proposal_policy(std::unique_ptr<ProposalPolicy> policy) {
+  COMMSCHED_ASSERT_MSG(policy != nullptr, "proposal policy must not be null");
+  policy_ = std::move(policy);
+}
+
+// hot-path: no-alloc
+bool SaAllocator::select_into(const ClusterState& state,
+                              const AllocationRequest& request,
+                              std::vector<NodeId>& out) const {
+  last_has_cost_ = false;
+  last_cost_ = 0.0;
+  last_proposals_ = 0;
+  last_accepts_ = 0;
+  const bool have_greedy = greedy_.select_into(state, request, greedy_pick_);
+  const bool have_balanced =
+      balanced_.select_into(state, request, balanced_pick_);
+  if (!have_greedy && !have_balanced) {
+    out.clear();
+    return false;
+  }
+
+  const CostModel model(state.tree(), cost_options_);
+  if (!request.comm_intensive) {
+    // Compute-intensive: adaptive's rule (§4.3) — take the pricier
+    // candidate so the cheap placement stays free for communicating jobs
+    // (ties to balanced). No anneal: the job is placement-insensitive.
+    if (!have_greedy || !have_balanced) {
+      out = have_greedy ? greedy_pick_ : balanced_pick_;
+      return true;
+    }
+    const double greedy_cost =
+        profiled_candidate_cost(model, *cache_, state, greedy_pick_,
+                                /*comm_intensive=*/false, request.pattern,
+                                workspace_);
+    const double balanced_cost =
+        profiled_candidate_cost(model, *cache_, state, balanced_pick_,
+                                /*comm_intensive=*/false, request.pattern,
+                                workspace_);
+    out = balanced_cost >= greedy_cost ? balanced_pick_ : greedy_pick_;
+    return true;
+  }
+
+  // Communication-intensive: keep the cheaper seed (ties to balanced,
+  // mirroring adaptive), then anneal from it.
+  const std::vector<NodeId>* seed = nullptr;
+  double seed_cost = 0.0;
+  if (have_greedy && have_balanced) {
+    const double greedy_cost =
+        profiled_candidate_cost(model, *cache_, state, greedy_pick_,
+                                /*comm_intensive=*/true, request.pattern,
+                                workspace_);
+    const double balanced_cost =
+        profiled_candidate_cost(model, *cache_, state, balanced_pick_,
+                                /*comm_intensive=*/true, request.pattern,
+                                workspace_);
+    const bool choose_balanced = balanced_cost <= greedy_cost;
+    seed = choose_balanced ? &balanced_pick_ : &greedy_pick_;
+    seed_cost = choose_balanced ? balanced_cost : greedy_cost;
+  } else {
+    seed = have_greedy ? &greedy_pick_ : &balanced_pick_;
+    seed_cost = profiled_candidate_cost(model, *cache_, state, *seed,
+                                        /*comm_intensive=*/true,
+                                        request.pattern, workspace_);
+  }
+  last_cost_ = seed_cost;
+  last_has_cost_ = true;
+
+  // contract-trusted: no-alloc: ShapeKey derivation and one-time profile
+  // construction are the same cached pricing path every profiled policy
+  // uses (allocator_common::profiled_candidate_cost)
+  const ShapeKey shape = make_shape_key(state.tree(), *seed);
+  const LeafCommProfile& profile =
+      cache_->profile(request.pattern, /*ranks_per_node=*/1, shape);
+  if (options_.budget <= 0 || profile.steps.empty()) {
+    out = *seed;
+    return true;
+  }
+  anneal(state, request, model, profile, shape, *seed, seed_cost, out);
+  return true;
+}
+
+// hot-path: no-alloc
+void SaAllocator::anneal(const ClusterState& state,
+                         const AllocationRequest& request,
+                         const CostModel& model,
+                         const LeafCommProfile& profile, const ShapeKey& shape,
+                         const std::vector<NodeId>& seed, double seed_cost,
+                         std::vector<NodeId>& out) const {
+  const Tree& tree = state.tree();
+  const double begin_cost =
+      model.delta_begin(state, seed, /*comm_intensive=*/true, profile,
+                        workspace_);
+  COMMSCHED_ASSERT_EQ_MSG(begin_cost, seed_cost,
+                          "delta_begin diverged from the seed's full cost");
+
+  // Mirror the session's slot assignment (first-appearance slot order). The
+  // per-slot mirrors and the candidate-leaf pool below are bounded by the
+  // topology's leaf count and reuse capacity across select() calls.
+  const auto k = static_cast<std::size_t>(profile.num_slots);
+  // contract-trusted: no-alloc: k-bounded, capacity reused
+  cur_leaf_.resize(k);
+  // contract-trusted: no-alloc: k-bounded, capacity reused
+  slot_nnodes_.resize(k);
+  int min_nodes = std::numeric_limits<int>::max();
+  for (std::size_t s = 0; s < k; ++s) {
+    const auto slot = static_cast<std::int32_t>(s);
+    cur_leaf_[s] = model.delta_slot_leaf(workspace_, slot);
+    slot_nnodes_[s] = model.delta_slot_nnodes(workspace_, slot);
+    min_nodes = std::min(min_nodes, static_cast<int>(slot_nnodes_[s]));
+  }
+  // contract-trusted: no-alloc: k-bounded, capacity reused
+  orig_leaf_.assign(cur_leaf_.begin(), cur_leaf_.end());
+  // contract-trusted: no-alloc: k-bounded, capacity reused
+  best_leaf_.assign(cur_leaf_.begin(), cur_leaf_.end());
+
+  cand_leaves_.clear();
+  for (const SwitchId leaf : tree.leaves())
+    if (state.leaf_free(leaf) >= min_nodes)
+      // contract-trusted: no-alloc: leaf-count-bounded, capacity reused
+      cand_leaves_.push_back(leaf);
+
+  const SaMoveContext ctx{&state, &tree, cur_leaf_, slot_nnodes_,
+                          cand_leaves_};
+  policy_->begin(ctx);
+  // Stateless per-job stream: the anneal's randomness depends only on
+  // (options seed, job id), never on prior select() calls — what keeps the
+  // fast and reference engines (and any thread count) bit-identical.
+  Rng rng(splitmix64(options_.seed ^
+                     splitmix64(static_cast<std::uint64_t>(request.job))));
+
+  double current = begin_cost;
+  double best = begin_cost;
+  double temp = options_.init_temp_frac * begin_cost;
+  int since_best = 0;
+  MoveProposal prop;
+  for (int it = 0; it < options_.budget; ++it) {
+    if (options_.patience > 0 && since_best >= options_.patience) break;
+    if (!policy_->propose(ctx, rng, prop)) break;
+    ++last_proposals_;
+    bool new_best = false;
+    if (move_feasible(state, prop)) {
+      const double cand = model.cost_delta(
+          state, std::span<const SlotMove>(prop.moves.data(), prop.count),
+          workspace_);
+      bool accept = cand <= current;
+      if (!accept && temp > 0.0)
+        accept =
+            rng.uniform_real(0.0, 1.0) < std::exp((current - cand) / temp);
+      if (accept) {
+        model.delta_commit(workspace_);
+        for (std::size_t m = 0; m < prop.count; ++m)
+          cur_leaf_[static_cast<std::size_t>(prop.moves[m].slot)] =
+              prop.moves[m].leaf;
+        current = cand;
+        ++last_accepts_;
+        policy_->on_accept(ctx, prop);
+        if (options_.verify_stride > 0 &&
+            last_accepts_ % options_.verify_stride == 0) {
+          // Sampled oracle: the delta-maintained total must equal a full
+          // recompute of the materialized placement, bit for bit.
+          materialize(state, shape, seed, cur_leaf_, verify_nodes_);
+          const double full = model.candidate_cost(
+              state, verify_nodes_, /*comm_intensive=*/true, profile,
+              workspace_);
+          COMMSCHED_ASSERT_EQ_MSG(full, current,
+                                  "delta-maintained SA total diverged from "
+                                  "the full recompute");
+        }
+        if (cand < best) {
+          best = cand;
+          // contract-trusted: no-alloc: snapshot into capacity reserved by
+          // the k-sized assign at anneal entry
+          best_leaf_.assign(cur_leaf_.begin(), cur_leaf_.end());
+          new_best = true;
+        }
+      }
+    }
+    since_best = new_best ? 0 : since_best + 1;
+    temp *= options_.cooling;
+  }
+
+  // Return the best placement *seen* — never costlier than the seed.
+  materialize(state, shape, seed, best_leaf_, out);
+  last_cost_ = best;
+}
+
+// hot-path: no-alloc
+bool SaAllocator::move_feasible(const ClusterState& state,
+                                const MoveProposal& prop) const {
+  const auto k = static_cast<std::int32_t>(cur_leaf_.size());
+  if (prop.count == 0 || prop.count > kMaxDeltaMoves) return false;
+  for (std::size_t m = 0; m < prop.count; ++m) {
+    const SlotMove& mv = prop.moves[m];
+    if (mv.slot < 0 || mv.slot >= k || mv.leaf == kInvalidSwitch) return false;
+  }
+  if (prop.count == 2) {
+    const SlotMove& a = prop.moves[0];
+    const SlotMove& b = prop.moves[1];
+    // Swap contract: targets are each other's current leaves, so the
+    // one-slot-per-leaf invariant is preserved by construction.
+    if (a.slot == b.slot) return false;
+    if (a.leaf != cur_leaf_[static_cast<std::size_t>(b.slot)] ||
+        b.leaf != cur_leaf_[static_cast<std::size_t>(a.slot)])
+      return false;
+    return state.leaf_free(a.leaf) >=
+               slot_nnodes_[static_cast<std::size_t>(a.slot)] &&
+           state.leaf_free(b.leaf) >=
+               slot_nnodes_[static_cast<std::size_t>(b.slot)];
+  }
+  const SlotMove& mv = prop.moves[0];
+  const auto s = static_cast<std::size_t>(mv.slot);
+  if (mv.leaf == cur_leaf_[s]) return false;  // no-op
+  for (const SwitchId leaf : cur_leaf_)
+    if (leaf == mv.leaf) return false;  // occupied by another slot
+  return state.leaf_free(mv.leaf) >= slot_nnodes_[s];
+}
+
+// Rebuild the node list for a (possibly moved) slot assignment: unmoved
+// slots keep their seed nodes; a moved slot takes the first free nodes of
+// its leaf in ascending id order, consumed run by run. The emitted leaf
+// sequence replays the shape's runs with an injective slot -> leaf map in
+// the original first-appearance order, so the canonical ShapeKey — and with
+// it the cached profile — is preserved by construction.
+// hot-path: no-alloc
+void SaAllocator::materialize(const ClusterState& state, const ShapeKey& shape,
+                              const std::vector<NodeId>& seed,
+                              std::span<const SwitchId> leaf_assign,
+                              std::vector<NodeId>& out) const {
+  out.clear();
+  // contract-trusted: no-alloc: output and cursor buffers bounded by the
+  // request's node count / slot count; capacity reused across calls
+  slot_cursor_.assign(leaf_assign.size(), 0);
+  std::size_t pos = 0;
+  for (const auto& [slot, count] : shape.runs) {
+    const auto s = static_cast<std::size_t>(slot);
+    if (leaf_assign[s] == orig_leaf_[s]) {
+      for (std::int32_t c = 0; c < count; ++c)
+        // contract-trusted: no-alloc: out's capacity is bounded by the
+        // request's node count and reused across select() calls
+        out.push_back(seed[pos + static_cast<std::size_t>(c)]);
+    } else {
+      const std::span<const NodeId> free_span =
+          state.free_leaf_span(leaf_assign[s]);
+      std::int32_t& cur = slot_cursor_[s];
+      COMMSCHED_ASSERT_LE_MSG(
+          static_cast<std::size_t>(cur) + static_cast<std::size_t>(count),
+          free_span.size(), "moved slot does not fit its target leaf");
+      for (std::int32_t c = 0; c < count; ++c)
+        // contract-trusted: no-alloc: see the seed-copy branch above
+        out.push_back(free_span[static_cast<std::size_t>(cur++)]);
+    }
+    pos += static_cast<std::size_t>(count);
+  }
+}
+
+}  // namespace commsched

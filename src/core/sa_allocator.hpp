@@ -1,0 +1,155 @@
+// Simulated-annealing allocation (DESIGN.md "Delta-cost evaluation & search
+// allocators").
+//
+// The paper's policies (greedy/balanced/adaptive, §4) are one-shot
+// constructive heuristics. This allocator treats placement as a search
+// problem: it seeds from the greedy and balanced candidates, keeps the
+// cheaper one (Eq. 6 over the job's collective schedule), and then anneals
+// over leaf reassignments and two-slot swaps, pricing every move with
+// CostModel::cost_delta — O(affected leaf pairs) per evaluation, which is
+// what makes thousands of candidate evaluations per select() affordable.
+// The final answer is the best placement *seen* during the walk, so for
+// communication-intensive jobs the result is never costlier than the better
+// of its seeds (bit-for-bit: seed and anneal price through the same kernel).
+//
+// Moves relocate whole leaf slots (every node of one ShapeKey slot to a
+// currently slot-free leaf), which preserves the allocation's canonical
+// shape — one cached LeafCommProfile prices the entire anneal. Determinism:
+// each select() draws from a private Rng seeded by
+// splitmix64(options.seed ^ splitmix64(job)), so results depend only on
+// (options, state, request) — identical across engines, thread counts, and
+// repeated runs. The budget is iterations, never wall clock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "collectives/comm_cache.hpp"
+#include "core/allocator.hpp"
+#include "core/balanced_allocator.hpp"
+#include "core/cost_model.hpp"
+#include "core/greedy_allocator.hpp"
+#include "core/proposal_policy.hpp"
+
+namespace commsched {
+
+/// Built-in proposal policies (SaOptions::proposal; a custom policy can be
+/// injected via SaAllocator::set_proposal_policy).
+enum class SaProposalKind : std::uint8_t {
+  kUniform = 0,
+  kLocality = 1,
+};
+
+const char* sa_proposal_kind_name(SaProposalKind kind);
+std::optional<SaProposalKind> sa_proposal_kind_from_string(
+    const std::string& s);
+
+/// Annealing knobs (slurm.conf: SelectTypeParameters=sa,sa_budget=...).
+struct SaOptions {
+  /// Proposals (cost evaluations) per communication-intensive select().
+  /// <= 0 disables the anneal: the allocator returns its cheaper seed.
+  int budget = 1200;
+  /// Base seed; each job's stream is splitmix64(seed ^ splitmix64(job)), so
+  /// per-job randomness is stateless across select() calls.
+  std::uint64_t seed = 20200817;  // the paper's submission date
+  /// Initial temperature as a fraction of the seed placement's cost.
+  double init_temp_frac = 0.08;
+  /// Geometric cooling factor applied per proposal.
+  double cooling = 0.995;
+  /// Stop after this many proposals without a new best (0 = run out the
+  /// budget).
+  int patience = 250;
+  SaProposalKind proposal = SaProposalKind::kLocality;
+  /// > 0: every Nth accepted move, re-derive the delta-maintained total with
+  /// a full candidate_cost and fail loudly on any bitwise divergence. The
+  /// simulator raises this with the audit level (cheap -> sampled, full ->
+  /// every accept); 0 trusts the delta kernel.
+  int verify_stride = 0;
+};
+
+/// Search-based allocator: greedy/balanced seeding + simulated annealing
+/// over slot moves, priced through the delta-cost session.
+class SaAllocator final : public Allocator {
+ public:
+  explicit SaAllocator(CostOptions cost_options = {}, SaOptions options = {},
+                       std::shared_ptr<CommCache> cache = nullptr);
+  ~SaAllocator() override;
+
+  const char* name() const noexcept override { return "sa"; }
+  const SaOptions& options() const noexcept { return options_; }
+
+  bool select_into(const ClusterState& state, const AllocationRequest& request,
+                   std::vector<NodeId>& out) const override;
+
+  /// Replace the move generator (the neural-SA drop-in point). Must not be
+  /// called concurrently with select().
+  void set_proposal_policy(std::unique_ptr<ProposalPolicy> policy);
+  const ProposalPolicy& proposal_policy() const noexcept { return *policy_; }
+
+  /// Eq. 6 cost of the placement returned by the last select(), when it
+  /// priced one (communication-intensive requests). The simulator's auditor
+  /// cross-checks this against a full recompute of the committed placement.
+  double last_cost() const noexcept { return last_cost_; }
+  bool last_has_cost() const noexcept { return last_has_cost_; }
+  /// Anneal diagnostics of the last select() (bench reporting).
+  int last_proposals() const noexcept { return last_proposals_; }
+  int last_accepts() const noexcept { return last_accepts_; }
+
+ private:
+  void anneal(const ClusterState& state, const AllocationRequest& request,
+              const CostModel& model, const LeafCommProfile& profile,
+              const ShapeKey& shape, const std::vector<NodeId>& seed,
+              double seed_cost, std::vector<NodeId>& out) const;
+  bool move_feasible(const ClusterState& state,
+                     const MoveProposal& prop) const;
+  void materialize(const ClusterState& state, const ShapeKey& shape,
+                   const std::vector<NodeId>& seed,
+                   std::span<const SwitchId> leaf_assign,
+                   std::vector<NodeId>& out) const;
+
+  GreedyAllocator greedy_;
+  BalancedAllocator balanced_;
+  CostOptions cost_options_;
+  SaOptions options_;
+  std::shared_ptr<CommCache> cache_;
+  std::unique_ptr<ProposalPolicy> policy_;
+
+  // workspace: cost-kernel + delta-session scratch reused across const
+  // select() calls; observable state is untouched (CostModel is stateless).
+  mutable CostWorkspace workspace_;
+  // workspace: seed candidate buffers, overwritten by the nested policies on
+  // every select_into() entry.
+  mutable std::vector<NodeId> greedy_pick_;
+  // workspace: see greedy_pick_.
+  mutable std::vector<NodeId> balanced_pick_;
+  // workspace: per-anneal slot state (current/original/best leaf per slot,
+  // node counts), rebuilt at every anneal entry.
+  mutable std::vector<SwitchId> cur_leaf_;
+  // workspace: see cur_leaf_.
+  mutable std::vector<SwitchId> orig_leaf_;
+  // workspace: see cur_leaf_.
+  mutable std::vector<SwitchId> best_leaf_;
+  // workspace: see cur_leaf_.
+  mutable std::vector<std::int32_t> slot_nnodes_;
+  // workspace: candidate target leaves, rebuilt per anneal.
+  mutable std::vector<SwitchId> cand_leaves_;
+  // workspace: per-slot cursor into the target leaf's free span during
+  // materialize().
+  mutable std::vector<std::int32_t> slot_cursor_;
+  // workspace: verify_stride full-recompute node scratch.
+  mutable std::vector<NodeId> verify_nodes_;
+  // workspace: post-hoc diagnostics of the last select(), written once per
+  // call and only read back through the accessors above.
+  mutable double last_cost_ = 0.0;
+  // workspace: see last_cost_.
+  mutable bool last_has_cost_ = false;
+  // workspace: see last_cost_.
+  mutable int last_proposals_ = 0;
+  // workspace: see last_cost_.
+  mutable int last_accepts_ = 0;
+};
+
+}  // namespace commsched

@@ -95,6 +95,10 @@ CellResult run_cell(const CampaignSpec& spec, const CellCoord& c) {
 
   SchedOptions options = variant.options;
   options.allocator = kind;
+  // The SA policy's anneal stream is decorrelated per cell the same way the
+  // workload is: identical cells replay identically, different cells never
+  // share an anneal trajectory.
+  options.sa.seed = mix64(options.sa.seed ^ out.cell_seed);
   out.sim = run_continuous(machine.tree, log, options);
   out.summary = summarize(out.sim);
   return out;
@@ -324,6 +328,9 @@ SimResult run_one(const MachineCase& machine, const MixSpec& mix,
   apply_mix(log, mix, derive_mix_seed(seed, machine.name, mix.name));
   SchedOptions options = base != nullptr ? *base : SchedOptions{};
   options.allocator = kind;
+  options.sa.seed = mix64(
+      options.sa.seed ^
+      derive_cell_seed(seed, machine.name, mix.name, allocator_kind_name(kind)));
   return run_continuous(machine.tree, log, options);
 }
 

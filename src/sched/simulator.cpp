@@ -141,6 +141,21 @@ struct RunEntry {
   }
 };
 
+// The SA allocator's in-anneal delta-vs-full verification rides on the audit
+// level: cheap samples every 64th accepted move, full re-derives every one.
+// An explicit nonzero stride in the options wins over the bump.
+SaOptions sa_options_for(const SchedOptions& options) {
+  SaOptions sa = options.sa;
+  if (sa.verify_stride == 0) {
+    switch (options.audit.value_or(audit_level_from_env())) {
+      case AuditLevel::kOff: break;
+      case AuditLevel::kCheap: sa.verify_stride = 64; break;
+      case AuditLevel::kFull: sa.verify_stride = 1; break;
+    }
+  }
+  return sa;
+}
+
 class Simulation {
  public:
   Simulation(const Tree& tree, const JobLog& log, const SchedOptions& options)
@@ -151,7 +166,8 @@ class Simulation {
         comm_cache_(std::make_shared<CommCache>(
             log.empty() ? double{1 << 20} : log.front().msize)),
         allocator_(make_allocator(options.allocator, options.cost_options,
-                                  comm_cache_)),
+                                  comm_cache_, sa_options_for(options))),
+        sa_allocator_(dynamic_cast<const SaAllocator*>(allocator_.get())),
         pricing_model_(tree, options.cost_options),
         metric_model_(tree,
                       CostOptions{.hop_bytes = false,
@@ -606,6 +622,14 @@ class Simulation {
             workspace_);
       }
     }
+    // Cross-check the SA allocator's delta-evaluated claim against an
+    // independent full recompute while the pre-allocation state (what the
+    // anneal priced) is still intact.
+    if (sa_allocator_ != nullptr && price_comm && auditor_.enabled() &&
+        sa_allocator_->last_has_cost())
+      auditor_.check_sa_cost(pricing_model_, state_, nodes,
+                             job.comm_intensive, *profile,
+                             sa_allocator_->last_cost(), request.job);
     double io_cost = 0.0, io_cost_default = 0.0;
     if (price_io) {
       io_cost = io_model_.candidate_cost(state_, nodes, job.io_intensive);
@@ -817,6 +841,9 @@ class Simulation {
   // per simulation run.
   std::shared_ptr<CommCache> comm_cache_;
   std::unique_ptr<Allocator> allocator_;
+  // Non-owning view of allocator_ when it is the SA policy (null otherwise):
+  // start_job reads the anneal's claimed cost for the auditor cross-check.
+  const SaAllocator* sa_allocator_ = nullptr;
   DefaultAllocator default_allocator_;
   CostModel pricing_model_;  // Eq. 7 ratio + adaptive comparisons
   CostModel metric_model_;   // pure Eq. 6, recorded in JobResult

@@ -90,6 +90,12 @@ struct SchedOptions {
   /// exceeds this. Deferral is live-lock free: a nonzero external load
   /// implies a running job, hence a pending completion event.
   double coloc_max_external = 0.25;
+  /// AllocatorKind::kSa annealing knobs (ignored by the other policies).
+  /// The simulator bumps sa.verify_stride with the audit level (cheap ->
+  /// sampled delta-vs-full checks, full -> every accepted move) unless it is
+  /// already nonzero, and the auditor re-derives the SA allocator's claimed
+  /// cost after every communication-intensive start.
+  SaOptions sa{};
   /// EASY backfilling on/off (off = plain FIFO, blocks on the head job).
   bool easy_backfill = true;
   /// Max queued jobs examined per backfill pass (SLURM's bf_max_job_test).

@@ -15,6 +15,60 @@ namespace {
                    ": unsupported value '" + value + "' for " + key);
 }
 
+constexpr const char* kSaParams =
+    "sa, sa_budget=<int>, sa_seed=<int>, sa_t0=<float>, sa_cooling=<float>, "
+    "sa_patience=<int>, sa_proposal=uniform|locality, sa_verify=<int>";
+
+/// One SelectTypeParameters token: `sa` selects the SA policy, the sa_*
+/// knobs map onto SaOptions.
+void apply_select_param(SlurmConf& conf, const std::string& tok, int lineno) {
+  if (tok == "sa") {
+    conf.sched.allocator = AllocatorKind::kSa;
+    return;
+  }
+  const auto eq = tok.find('=');
+  if (eq == std::string::npos)
+    throw ParseError("slurm.conf:" + std::to_string(lineno) +
+                     ": unknown SelectTypeParameters token '" + tok +
+                     "' (expected " + kSaParams + ")");
+  const std::string pkey(trim(tok.substr(0, eq)));
+  const std::string pval(trim(tok.substr(eq + 1)));
+  SaOptions& sa = conf.sched.sa;
+  if (pkey == "sa_budget") {
+    const auto v = parse_int(pval);
+    if (!v) bad_value(pkey, pval, lineno);
+    sa.budget = static_cast<int>(*v);
+  } else if (pkey == "sa_seed") {
+    const auto v = parse_int(pval);
+    if (!v) bad_value(pkey, pval, lineno);
+    sa.seed = static_cast<std::uint64_t>(*v);
+  } else if (pkey == "sa_t0") {
+    const auto v = parse_double(pval);
+    if (!v || *v < 0.0) bad_value(pkey, pval, lineno);
+    sa.init_temp_frac = *v;
+  } else if (pkey == "sa_cooling") {
+    const auto v = parse_double(pval);
+    if (!v || *v <= 0.0 || *v > 1.0) bad_value(pkey, pval, lineno);
+    sa.cooling = *v;
+  } else if (pkey == "sa_patience") {
+    const auto v = parse_int(pval);
+    if (!v || *v < 0) bad_value(pkey, pval, lineno);
+    sa.patience = static_cast<int>(*v);
+  } else if (pkey == "sa_proposal") {
+    const auto kind = sa_proposal_kind_from_string(pval);
+    if (!kind) bad_value(pkey, pval, lineno);
+    sa.proposal = *kind;
+  } else if (pkey == "sa_verify") {
+    const auto v = parse_int(pval);
+    if (!v || *v < 0) bad_value(pkey, pval, lineno);
+    sa.verify_stride = static_cast<int>(*v);
+  } else {
+    throw ParseError("slurm.conf:" + std::to_string(lineno) +
+                     ": unknown SelectTypeParameters token '" + tok +
+                     "' (expected " + kSaParams + ")");
+  }
+}
+
 }  // namespace
 
 SlurmConf parse_slurm_conf(std::istream& in) {
@@ -56,8 +110,17 @@ SlurmConf parse_slurm_conf(std::istream& in) {
       else bad_value(key, value, lineno);
     } else if (key == "JobAware") {
       const auto kind = allocator_kind_from_string(value);
-      if (!kind) bad_value(key, value, lineno);
+      if (!kind)
+        throw ParseError("slurm.conf:" + std::to_string(lineno) +
+                         ": unsupported value '" + value +
+                         "' for JobAware (expected one of " +
+                         allocator_kind_names() + ")");
       conf.sched.allocator = *kind;
+    } else if (key == "SelectTypeParameters") {
+      for (const auto& raw : split(value, ',')) {
+        const std::string tok(trim(raw));
+        if (!tok.empty()) apply_select_param(conf, tok, lineno);
+      }
     } else if (key == "BackfillDepth") {
       const auto depth = parse_int(value);
       if (!depth || *depth < 1) bad_value(key, value, lineno);
@@ -100,6 +163,42 @@ std::string write_slurm_conf(const SlurmConf& conf) {
       break;
   }
   out << "JobAware=" << allocator_kind_name(conf.sched.allocator) << "\n";
+  // SelectTypeParameters: the `sa` selector rides on JobAware above; the
+  // knobs are emitted only when they differ from the defaults, so a
+  // write/parse round trip reproduces the SaOptions exactly.
+  {
+    const SaOptions def{};
+    const SaOptions& sa = conf.sched.sa;
+    std::ostringstream params;
+    const char* sep = "";
+    const auto add = [&](const std::string& token) {
+      params << sep << token;
+      sep = ",";
+    };
+    if (conf.sched.allocator == AllocatorKind::kSa) add("sa");
+    if (sa.budget != def.budget) add("sa_budget=" + std::to_string(sa.budget));
+    if (sa.seed != def.seed) add("sa_seed=" + std::to_string(sa.seed));
+    if (sa.init_temp_frac != def.init_temp_frac) {
+      std::ostringstream v;
+      v.precision(17);
+      v << "sa_t0=" << sa.init_temp_frac;
+      add(v.str());
+    }
+    if (sa.cooling != def.cooling) {
+      std::ostringstream v;
+      v.precision(17);
+      v << "sa_cooling=" << sa.cooling;
+      add(v.str());
+    }
+    if (sa.patience != def.patience)
+      add("sa_patience=" + std::to_string(sa.patience));
+    if (sa.proposal != def.proposal)
+      add(std::string("sa_proposal=") + sa_proposal_kind_name(sa.proposal));
+    if (sa.verify_stride != def.verify_stride)
+      add("sa_verify=" + std::to_string(sa.verify_stride));
+    const std::string rendered = params.str();
+    if (!rendered.empty()) out << "SelectTypeParameters=" << rendered << "\n";
+  }
   out << "BackfillDepth=" << conf.sched.backfill_depth << "\n";
   out << "EnforceWallTime=" << (conf.sched.enforce_walltime ? "yes" : "no")
       << "\n";

@@ -9,7 +9,13 @@
 //   TopologyPlugin     = topology/tree | topology/none
 //   PriorityType       = priority/fifo | priority/sjf | priority/smallest |
 //                        priority/colocation
-//   JobAware           = default | greedy | balanced | adaptive | exclusive
+//   JobAware           = any registered policy name (default, greedy,
+//                        balanced, adaptive, exclusive, io_aware, sa)
+//   SelectTypeParameters = comma list tuning the sa policy: `sa` selects it
+//                        (same as JobAware=sa); sa_budget=<int>,
+//                        sa_seed=<int>, sa_t0=<float>, sa_cooling=<float>,
+//                        sa_patience=<int>, sa_proposal=uniform|locality,
+//                        sa_verify=<int> map onto SaOptions
 //   BackfillDepth      = <int>
 //   EnforceWallTime    = yes | no
 // Unknown keys are ignored (slurm.conf carries dozens we do not model).

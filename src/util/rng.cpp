@@ -10,18 +10,16 @@ constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
   return (x << k) | (x >> (64 - k));
 }
 
-std::uint64_t splitmix64(std::uint64_t& s) noexcept {
-  s += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = s;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) noexcept {
+  // SplitMix64 stream seeded at `seed` (the stateless mixer in rng.hpp is
+  // exactly one step of this stream).
   std::uint64_t s = seed;
-  for (auto& word : state_) word = splitmix64(s);
+  for (auto& word : state_) {
+    word = splitmix64(s);
+    s += 0x9e3779b97f4a7c15ULL;
+  }
 }
 
 std::uint64_t Rng::operator()() noexcept {
@@ -83,6 +81,7 @@ double Rng::weibull(double shape, double scale) {
   return scale * std::pow(-std::log(u), 1.0 / shape);
 }
 
+// hot-path: no-alloc
 bool Rng::bernoulli(double p) {
   COMMSCHED_ASSERT(p >= 0.0 && p <= 1.0);
   return uniform_real(0.0, 1.0) < p;

@@ -15,6 +15,18 @@
 
 namespace commsched {
 
+/// One SplitMix64 step as a stateless mixer: advance `x` by the golden-gamma
+/// increment and return the finalized output. Used to derive decorrelated
+/// child seeds from a base seed plus an index (e.g. one SA stream per job:
+/// `splitmix64(base ^ splitmix64(job))`), so per-entity randomness is
+/// reproducible without any shared generator state.
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  std::uint64_t z = x + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// Deterministic PRNG (xoshiro256**) with distribution helpers.
 ///
 /// Satisfies UniformRandomBitGenerator so it can also be handed to

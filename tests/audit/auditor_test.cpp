@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -450,6 +451,57 @@ TEST(AuditLevelTest, NamesRoundTrip) {
     EXPECT_EQ(audit_level_from_string(audit_level_name(level)), level);
   EXPECT_EQ(audit_level_from_string("verbose"), std::nullopt);
   EXPECT_EQ(audit_level_from_string(""), std::nullopt);
+}
+
+TEST_F(AuditorTest, SaCostCrossCheckPassesOnHonestClaim) {
+  // The claimed cost the search allocator reports is the full Eq. 6 price of
+  // the placement on the pre-allocation state; re-deriving it through an
+  // independent workspace must agree bit for bit.
+  state_.allocate(1, true, std::vector<NodeId>{0, 1});
+  const CostModel model(tree_, CostOptions{.hop_bytes = true});
+  const std::vector<NodeId> nodes{2, 4, 5};
+  const LeafCommProfile profile = make_leaf_comm_profile(
+      Pattern::kPairwiseAlltoall, double{1 << 20},
+      make_shape_key(tree_, nodes), 1);
+  CostWorkspace ws;
+  const double honest =
+      model.candidate_cost(state_, nodes, true, profile, ws);
+  const std::uint64_t before = auditor_.checks_run();
+  EXPECT_NO_THROW(auditor_.check_sa_cost(model, state_, nodes, true, profile,
+                                         honest, 7));
+  EXPECT_GT(auditor_.checks_run(), before);
+}
+
+TEST_F(AuditorTest, SaCostDivergenceFires) {
+  const CostModel model(tree_, CostOptions{.hop_bytes = true});
+  const std::vector<NodeId> nodes{0, 1, 4};
+  const LeafCommProfile profile = make_leaf_comm_profile(
+      Pattern::kPairwiseAlltoall, double{1 << 20},
+      make_shape_key(tree_, nodes), 1);
+  CostWorkspace ws;
+  const double honest =
+      model.candidate_cost(state_, nodes, true, profile, ws);
+  // Even a one-ulp drift is a violation: the delta kernel's contract is
+  // bit-for-bit agreement, not approximate agreement.
+  const double drifted =
+      std::nextafter(honest, std::numeric_limits<double>::infinity());
+  const std::string msg = violation_message([&] {
+    auditor_.check_sa_cost(model, state_, nodes, true, profile, drifted, 7);
+  });
+  EXPECT_NE(msg.find("delta-evaluated cost diverges"), std::string::npos);
+  EXPECT_NE(msg.find("job 7"), std::string::npos);
+}
+
+TEST_F(AuditorTest, SaCostCheckSkippedWhenOff) {
+  StateAuditor off(tree_, AuditLevel::kOff);
+  const CostModel model(tree_, CostOptions{.hop_bytes = true});
+  const std::vector<NodeId> nodes{0, 1};
+  const LeafCommProfile profile = make_leaf_comm_profile(
+      Pattern::kPairwiseAlltoall, double{1 << 20},
+      make_shape_key(tree_, nodes), 1);
+  EXPECT_NO_THROW(
+      off.check_sa_cost(model, state_, nodes, true, profile, -123.0, 7));
+  EXPECT_EQ(off.checks_run(), 0u);
 }
 
 TEST(AuditLevelTest, EnvSelectsLevel) {

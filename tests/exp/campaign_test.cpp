@@ -105,6 +105,29 @@ TEST(CampaignRunner, ParityAcrossThreadCounts) {
                                  "worker count";
 }
 
+TEST(CampaignRunner, SaAllocatorParityAcrossThreadCounts) {
+  // The search allocator's anneal seed is re-mixed per cell from the cell
+  // seed, so placements — and therefore the whole reduced table — must be
+  // bit-identical at any worker count. One machine/mix keeps the grid small:
+  // the anneal makes each cell ~an order of magnitude pricier than greedy.
+  CampaignSpec spec;
+  spec.name = "sa-parity";
+  spec.quiet = true;
+  spec.machines.push_back(tiny_machine("M0", 11));
+  spec.mixes.push_back(uniform_mix(Pattern::kPairwiseAlltoall, 0.9, 0.8));
+  spec.allocators = {AllocatorKind::kGreedy, AllocatorKind::kSa};
+  spec.base_seeds = {7};
+
+  CampaignSpec serial_spec = spec;
+  serial_spec.threads = 1;
+  CampaignSpec parallel_spec = spec;
+  parallel_spec.threads = 8;
+  const std::string serial = run_csv(std::move(serial_spec));
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, run_csv(std::move(parallel_spec)))
+      << "sa placements must not depend on the worker count";
+}
+
 TEST(CampaignRunner, InvariantUnderSubmissionOrder) {
   const std::string natural = run_csv(tiny_spec(4));
   CampaignSpec shuffled = tiny_spec(4);

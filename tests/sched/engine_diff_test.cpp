@@ -141,6 +141,36 @@ TEST(EngineDiffTest, ExclusiveAndIoAwareAllocators) {
   }
 }
 
+// The search-based allocator (DESIGN.md "Delta-cost evaluation & search
+// allocators") under both engines: the anneal runs per select_into and must
+// be a pure function of (options, state, request), so the fast engine's
+// reordered bookkeeping cannot perturb a single placement. Exercised across
+// proposal policies and with the in-anneal delta-vs-full verification on.
+TEST(EngineDiffTest, SimulatedAnnealingAllocator) {
+  const Tree tree = make_two_level_tree(4, 8);
+  for (const std::uint64_t seed : {13ull, 29ull}) {
+    const JobLog log = fuzz_log(tree, 140, seed);
+    for (const SaProposalKind proposal :
+         {SaProposalKind::kUniform, SaProposalKind::kLocality}) {
+      SchedOptions options;
+      options.allocator = AllocatorKind::kSa;
+      options.sa.budget = 300;  // keep the diff test fast; plenty of accepts
+      options.sa.proposal = proposal;
+      run_both_and_compare(tree, log, options,
+                           "seed " + std::to_string(seed) + " proposal " +
+                               sa_proposal_kind_name(proposal));
+    }
+  }
+  // Full audit layers the auditor's from-scratch claimed-cost cross-check
+  // and verify_stride=1 in-anneal recomputes on top of the engine diff.
+  const JobLog log = fuzz_log(tree, 60, 5);
+  SchedOptions options;
+  options.allocator = AllocatorKind::kSa;
+  options.sa.budget = 200;
+  options.audit = AuditLevel::kFull;
+  run_both_and_compare(tree, log, options, "sa under full audit");
+}
+
 // Dynamic interference axes (DESIGN.md "Dynamic interference"): runtime
 // re-evaluation on/off × colocation policy × walltime enforcement. The fast
 // engine reschedules ends incrementally through the per-leaf running-job

@@ -50,7 +50,8 @@ TEST(SlurmConfTest, PriorityPlugins) {
 
 TEST(SlurmConfTest, AllAllocatorValues) {
   for (const char* name :
-       {"default", "greedy", "balanced", "adaptive", "exclusive"}) {
+       {"default", "greedy", "balanced", "adaptive", "exclusive", "io_aware",
+        "sa"}) {
     const SlurmConf conf = parse(std::string("JobAware=") + name + "\n");
     EXPECT_STREQ(allocator_kind_name(conf.sched.allocator), name);
   }
@@ -81,6 +82,84 @@ TEST(SlurmConfTest, Rejections) {
   EXPECT_THROW(parse("BackfillDepth=0\n"), ParseError);
   EXPECT_THROW(parse("EnforceWallTime=maybe\n"), ParseError);
   EXPECT_THROW(parse("not a key value line\n"), ParseError);
+}
+
+TEST(SlurmConfTest, SelectTypeParametersConfigureTheSaAllocator) {
+  const SlurmConf conf = parse(
+      "JobAware=sa\n"
+      "SelectTypeParameters=sa_budget=5000, sa_seed=7, sa_t0=0.25,"
+      "sa_cooling=0.9,sa_patience=100,sa_proposal=uniform,sa_verify=16\n");
+  EXPECT_EQ(conf.sched.allocator, AllocatorKind::kSa);
+  EXPECT_EQ(conf.sched.sa.budget, 5000);
+  EXPECT_EQ(conf.sched.sa.seed, 7u);
+  EXPECT_EQ(conf.sched.sa.init_temp_frac, 0.25);
+  EXPECT_EQ(conf.sched.sa.cooling, 0.9);
+  EXPECT_EQ(conf.sched.sa.patience, 100);
+  EXPECT_EQ(conf.sched.sa.proposal, SaProposalKind::kUniform);
+  EXPECT_EQ(conf.sched.sa.verify_stride, 16);
+
+  // The bare `sa` token alone selects the policy (knobs stay default).
+  const SlurmConf bare = parse("SelectTypeParameters=sa\n");
+  EXPECT_EQ(bare.sched.allocator, AllocatorKind::kSa);
+  EXPECT_EQ(bare.sched.sa.budget, SaOptions{}.budget);
+}
+
+TEST(SlurmConfTest, SelectTypeParametersRejections) {
+  EXPECT_THROW(parse("SelectTypeParameters=cr_core\n"), ParseError);
+  EXPECT_THROW(parse("SelectTypeParameters=sa_budget=lots\n"), ParseError);
+  EXPECT_THROW(parse("SelectTypeParameters=sa_cooling=0\n"), ParseError);
+  EXPECT_THROW(parse("SelectTypeParameters=sa_cooling=1.5\n"), ParseError);
+  EXPECT_THROW(parse("SelectTypeParameters=sa_t0=-0.1\n"), ParseError);
+  EXPECT_THROW(parse("SelectTypeParameters=sa_patience=-1\n"), ParseError);
+  EXPECT_THROW(parse("SelectTypeParameters=sa_proposal=anneal\n"),
+               ParseError);
+  EXPECT_THROW(parse("SelectTypeParameters=sa_verify=-2\n"), ParseError);
+  // Unknown-token errors teach the valid vocabulary.
+  try {
+    parse("SelectTypeParameters=cr_core\n");
+    FAIL() << "unknown token must throw";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("sa_proposal=uniform|locality"),
+              std::string::npos);
+  }
+}
+
+TEST(SlurmConfTest, UnknownJobAwareErrorListsRegisteredPolicies) {
+  try {
+    parse("JobAware=psychic\n");
+    FAIL() << "unknown policy must throw";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(allocator_kind_names()), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("sa"), std::string::npos);
+  }
+}
+
+TEST(SlurmConfTest, SaKnobsRoundTripThroughWrite) {
+  SlurmConf conf;
+  conf.sched.allocator = AllocatorKind::kSa;
+  conf.sched.sa.budget = 4321;
+  conf.sched.sa.seed = 99;
+  conf.sched.sa.init_temp_frac = 0.125;
+  conf.sched.sa.cooling = 0.875;
+  conf.sched.sa.patience = 33;
+  conf.sched.sa.proposal = SaProposalKind::kUniform;
+  conf.sched.sa.verify_stride = 8;
+  const SlurmConf parsed = parse(write_slurm_conf(conf));
+  EXPECT_EQ(parsed.sched.allocator, AllocatorKind::kSa);
+  EXPECT_EQ(parsed.sched.sa.budget, conf.sched.sa.budget);
+  EXPECT_EQ(parsed.sched.sa.seed, conf.sched.sa.seed);
+  EXPECT_EQ(parsed.sched.sa.init_temp_frac, conf.sched.sa.init_temp_frac);
+  EXPECT_EQ(parsed.sched.sa.cooling, conf.sched.sa.cooling);
+  EXPECT_EQ(parsed.sched.sa.patience, conf.sched.sa.patience);
+  EXPECT_EQ(parsed.sched.sa.proposal, conf.sched.sa.proposal);
+  EXPECT_EQ(parsed.sched.sa.verify_stride, conf.sched.sa.verify_stride);
+
+  // Defaults stay silent: a default-constructed conf emits no
+  // SelectTypeParameters line at all.
+  EXPECT_EQ(write_slurm_conf(SlurmConf{}).find("SelectTypeParameters"),
+            std::string::npos);
 }
 
 TEST(SlurmConfTest, WriteThenParseRoundTrips) {
