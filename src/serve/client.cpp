@@ -1,0 +1,114 @@
+#include "serve/client.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace commsched::serve {
+
+Client::~Client() { close(); }
+
+bool Client::fail(const std::string& message) {
+  error_ = message;
+  close();
+  return false;
+}
+
+bool Client::connect(const std::string& socket_path) {
+  close();
+  if (socket_path.empty() ||
+      socket_path.size() >= sizeof(sockaddr_un{}.sun_path))
+    return fail("invalid socket path: " + socket_path);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0)
+    return fail("socket() failed: " + std::string(std::strerror(errno)));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size());
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0)
+    return fail("connect(" + socket_path +
+                ") failed: " + std::string(std::strerror(errno)));
+  error_.clear();
+  recv_buf_.clear();
+  recv_offset_ = 0;
+  return true;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::send_request(const Request& request) {
+  if (fd_ < 0) return fail("not connected");
+  send_buf_.clear();
+  encode_request(request, send_buf_);
+  std::size_t off = 0;
+  while (off < send_buf_.size()) {
+    const ssize_t n = ::send(fd_, send_buf_.data() + off,
+                             send_buf_.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return fail("send failed: " + std::string(std::strerror(errno)));
+  }
+  return true;
+}
+
+bool Client::recv_reply(Reply& out, int timeout_ms) {
+  if (fd_ < 0) return fail("not connected");
+  for (;;) {
+    // Try to peel a complete frame from what we already buffered.
+    std::span<const std::uint8_t> payload;
+    const DecodeResult framed = peel_frame(recv_buf_, recv_offset_, payload);
+    if (framed == DecodeResult::kOk) {
+      const DecodeResult decoded = decode_reply(payload, out);
+      if (recv_offset_ == recv_buf_.size()) {
+        recv_buf_.clear();
+        recv_offset_ = 0;
+      }
+      if (decoded != DecodeResult::kOk)
+        return fail(std::string("bad reply frame: ") +
+                    decode_result_name(decoded));
+      return true;
+    }
+    if (framed != DecodeResult::kNeedMore)
+      return fail(std::string("bad reply framing: ") +
+                  decode_result_name(framed));
+    if (timeout_ms >= 0) {
+      pollfd p{};
+      p.fd = fd_;
+      p.events = POLLIN;
+      const int ready = ::poll(&p, 1, timeout_ms);
+      if (ready == 0) return fail("recv timeout");
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return fail("poll failed: " + std::string(std::strerror(errno)));
+      }
+    }
+    std::uint8_t chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n == 0) return fail("connection closed by server");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail("recv failed: " + std::string(std::strerror(errno)));
+    }
+    recv_buf_.insert(recv_buf_.end(), chunk, chunk + n);
+  }
+}
+
+bool Client::call(const Request& request, Reply& out, int timeout_ms) {
+  if (!send_request(request)) return false;
+  return recv_reply(out, timeout_ms);
+}
+
+}  // namespace commsched::serve

@@ -1,0 +1,288 @@
+#include "serve/protocol.hpp"
+
+#include "util/wire.hpp"
+
+namespace commsched::serve {
+
+namespace {
+
+constexpr std::uint8_t kFlagComm = 1;
+constexpr std::uint8_t kFlagIo = 2;
+
+bool valid_pattern(std::uint8_t p) {
+  return p <= static_cast<std::uint8_t>(Pattern::kPairwiseAlltoall);
+}
+
+bool valid_status(std::uint8_t s) {
+  return s <= static_cast<std::uint8_t>(ServeStatus::kDraining);
+}
+
+}  // namespace
+
+const char* msg_type_name(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::kHello: return "hello";
+    case MsgType::kHelloAck: return "hello_ack";
+    case MsgType::kAlloc: return "alloc";
+    case MsgType::kAllocReply: return "alloc_reply";
+    case MsgType::kRelease: return "release";
+    case MsgType::kReleaseReply: return "release_reply";
+    case MsgType::kQuery: return "query";
+    case MsgType::kQueryReply: return "query_reply";
+    case MsgType::kDrain: return "drain";
+    case MsgType::kDrainReply: return "drain_reply";
+    case MsgType::kErrorReply: return "error_reply";
+  }
+  return "unknown";
+}
+
+const char* serve_status_name(ServeStatus s) noexcept {
+  switch (s) {
+    case ServeStatus::kOk: return "ok";
+    case ServeStatus::kNoFit: return "no_fit";
+    case ServeStatus::kRejected: return "rejected";
+    case ServeStatus::kTimeout: return "timeout";
+    case ServeStatus::kUnknownJob: return "unknown_job";
+    case ServeStatus::kDuplicateJob: return "duplicate_job";
+    case ServeStatus::kBadRequest: return "bad_request";
+    case ServeStatus::kDraining: return "draining";
+  }
+  return "unknown";
+}
+
+const char* decode_result_name(DecodeResult r) noexcept {
+  switch (r) {
+    case DecodeResult::kOk: return "ok";
+    case DecodeResult::kNeedMore: return "need_more";
+    case DecodeResult::kTruncated: return "truncated";
+    case DecodeResult::kOversized: return "oversized";
+    case DecodeResult::kBadType: return "bad_type";
+    case DecodeResult::kBadValue: return "bad_value";
+    case DecodeResult::kTrailing: return "trailing";
+  }
+  return "unknown";
+}
+
+MsgType reply_type_for(MsgType request) noexcept {
+  switch (request) {
+    case MsgType::kHello: return MsgType::kHelloAck;
+    case MsgType::kAlloc: return MsgType::kAllocReply;
+    case MsgType::kRelease: return MsgType::kReleaseReply;
+    case MsgType::kQuery: return MsgType::kQueryReply;
+    case MsgType::kDrain: return MsgType::kDrainReply;
+    default: return MsgType::kErrorReply;
+  }
+}
+
+void encode_request(const Request& request, std::vector<std::uint8_t>& out) {
+  const std::size_t len_at = out.size();
+  WireWriter w(out);
+  w.u32(0);  // patched below
+  w.u8(static_cast<std::uint8_t>(request.type));
+  w.u64(request.req_id);
+  switch (request.type) {
+    case MsgType::kHello:
+      w.u32(request.version);
+      break;
+    case MsgType::kAlloc: {
+      w.i64(request.job);
+      w.u32(static_cast<std::uint32_t>(request.num_nodes));
+      w.u8(request.allocator);
+      std::uint8_t flags = 0;
+      if (request.comm_intensive) flags |= kFlagComm;
+      if (request.io_intensive) flags |= kFlagIo;
+      w.u8(flags);
+      w.u8(static_cast<std::uint8_t>(request.pattern));
+      w.u32(request.deadline_ms);
+      w.f64(request.msize);
+      w.f64(request.comm_fraction);
+      w.f64(request.io_fraction);
+      break;
+    }
+    case MsgType::kRelease:
+      w.i64(request.job);
+      w.u32(request.deadline_ms);
+      break;
+    case MsgType::kQuery:
+    case MsgType::kDrain:
+      break;
+    default:
+      break;  // reply types never encode as requests; callers pass requests
+  }
+  const std::uint32_t payload =
+      static_cast<std::uint32_t>(out.size() - len_at - 4);
+  out[len_at] = static_cast<std::uint8_t>(payload);
+  out[len_at + 1] = static_cast<std::uint8_t>(payload >> 8);
+  out[len_at + 2] = static_cast<std::uint8_t>(payload >> 16);
+  out[len_at + 3] = static_cast<std::uint8_t>(payload >> 24);
+}
+
+void encode_reply(const Reply& reply, std::vector<std::uint8_t>& out) {
+  const std::size_t len_at = out.size();
+  WireWriter w(out);
+  w.u32(0);  // patched below
+  w.u8(static_cast<std::uint8_t>(reply.type));
+  w.u64(reply.req_id);
+  w.u8(static_cast<std::uint8_t>(reply.status));
+  switch (reply.type) {
+    case MsgType::kHelloAck:
+      w.u32(reply.version);
+      w.u32(reply.max_frame);
+      break;
+    case MsgType::kAllocReply:
+      w.f64(reply.cost);
+      w.u32(static_cast<std::uint32_t>(reply.nodes.size()));
+      for (const std::uint32_t n : reply.nodes) w.u32(n);
+      break;
+    case MsgType::kReleaseReply:
+      w.u32(reply.freed);
+      break;
+    case MsgType::kQueryReply:
+      w.u32(reply.total_nodes);
+      w.u32(reply.free_nodes);
+      w.u32(reply.running_jobs);
+      w.u64(reply.served);
+      w.u64(reply.allocs);
+      w.u64(reply.releases);
+      w.u64(reply.no_fit);
+      w.u64(reply.idempotent_hits);
+      w.u64(reply.bad_requests);
+      w.u64(reply.rejected);
+      w.u64(reply.timeouts);
+      break;
+    case MsgType::kDrainReply:
+    case MsgType::kErrorReply:
+      break;
+    default:
+      break;  // request types never encode as replies
+  }
+  const std::uint32_t payload =
+      static_cast<std::uint32_t>(out.size() - len_at - 4);
+  out[len_at] = static_cast<std::uint8_t>(payload);
+  out[len_at + 1] = static_cast<std::uint8_t>(payload >> 8);
+  out[len_at + 2] = static_cast<std::uint8_t>(payload >> 16);
+  out[len_at + 3] = static_cast<std::uint8_t>(payload >> 24);
+}
+
+DecodeResult peel_frame(std::span<const std::uint8_t> buffer,
+                        std::size_t& offset,
+                        std::span<const std::uint8_t>& payload) {
+  if (buffer.size() - offset < 4) return DecodeResult::kNeedMore;
+  std::uint32_t len = 0;
+  for (int i = 3; i >= 0; --i) len = (len << 8) | buffer[offset + i];
+  if (len > kMaxFramePayload) return DecodeResult::kOversized;
+  if (buffer.size() - offset - 4 < len) return DecodeResult::kNeedMore;
+  payload = buffer.subspan(offset + 4, len);
+  offset += 4 + static_cast<std::size_t>(len);
+  return DecodeResult::kOk;
+}
+
+DecodeResult decode_request(std::span<const std::uint8_t> payload,
+                            Request& out) {
+  WireReader r(payload);
+  const std::uint8_t type = r.u8();
+  out.req_id = r.u64();
+  if (!r.ok()) return DecodeResult::kTruncated;
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kHello:
+      out.type = MsgType::kHello;
+      out.version = r.u32();
+      break;
+    case MsgType::kAlloc: {
+      out.type = MsgType::kAlloc;
+      out.job = r.i64();
+      out.num_nodes = static_cast<std::int32_t>(r.u32());
+      out.allocator = r.u8();
+      const std::uint8_t flags = r.u8();
+      out.comm_intensive = (flags & kFlagComm) != 0;
+      out.io_intensive = (flags & kFlagIo) != 0;
+      const std::uint8_t pattern = r.u8();
+      out.deadline_ms = r.u32();
+      out.msize = r.f64();
+      out.comm_fraction = r.f64();
+      out.io_fraction = r.f64();
+      if (!r.ok()) return DecodeResult::kTruncated;
+      if (!valid_pattern(pattern) || (flags & ~(kFlagComm | kFlagIo)) != 0)
+        return DecodeResult::kBadValue;
+      out.pattern = static_cast<Pattern>(pattern);
+      break;
+    }
+    case MsgType::kRelease:
+      out.type = MsgType::kRelease;
+      out.job = r.i64();
+      out.deadline_ms = r.u32();
+      break;
+    case MsgType::kQuery:
+      out.type = MsgType::kQuery;
+      break;
+    case MsgType::kDrain:
+      out.type = MsgType::kDrain;
+      break;
+    default:
+      return DecodeResult::kBadType;
+  }
+  if (!r.ok()) return DecodeResult::kTruncated;
+  if (r.remaining() != 0) return DecodeResult::kTrailing;
+  return DecodeResult::kOk;
+}
+
+DecodeResult decode_reply(std::span<const std::uint8_t> payload, Reply& out) {
+  WireReader r(payload);
+  const std::uint8_t type = r.u8();
+  out.req_id = r.u64();
+  const std::uint8_t status = r.u8();
+  if (!r.ok()) return DecodeResult::kTruncated;
+  if (!valid_status(status)) return DecodeResult::kBadValue;
+  out.status = static_cast<ServeStatus>(status);
+  out.nodes.clear();
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kHelloAck:
+      out.type = MsgType::kHelloAck;
+      out.version = r.u32();
+      out.max_frame = r.u32();
+      break;
+    case MsgType::kAllocReply: {
+      out.type = MsgType::kAllocReply;
+      out.cost = r.f64();
+      const std::uint32_t count = r.u32();
+      if (!r.ok()) return DecodeResult::kTruncated;
+      // Each node id takes 4 bytes; a count beyond the remaining payload is
+      // a truncated (or corrupt) frame — check before reserving anything.
+      if (r.remaining() / 4 < count) return DecodeResult::kTruncated;
+      out.nodes.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) out.nodes.push_back(r.u32());
+      break;
+    }
+    case MsgType::kReleaseReply:
+      out.type = MsgType::kReleaseReply;
+      out.freed = r.u32();
+      break;
+    case MsgType::kQueryReply:
+      out.type = MsgType::kQueryReply;
+      out.total_nodes = r.u32();
+      out.free_nodes = r.u32();
+      out.running_jobs = r.u32();
+      out.served = r.u64();
+      out.allocs = r.u64();
+      out.releases = r.u64();
+      out.no_fit = r.u64();
+      out.idempotent_hits = r.u64();
+      out.bad_requests = r.u64();
+      out.rejected = r.u64();
+      out.timeouts = r.u64();
+      break;
+    case MsgType::kDrainReply:
+      out.type = MsgType::kDrainReply;
+      break;
+    case MsgType::kErrorReply:
+      out.type = MsgType::kErrorReply;
+      break;
+    default:
+      return DecodeResult::kBadType;
+  }
+  if (!r.ok()) return DecodeResult::kTruncated;
+  if (r.remaining() != 0) return DecodeResult::kTrailing;
+  return DecodeResult::kOk;
+}
+
+}  // namespace commsched::serve

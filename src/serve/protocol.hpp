@@ -1,0 +1,157 @@
+// Allocator-service wire protocol (DESIGN.md "Allocator service").
+//
+// Length-prefixed binary frames over a local stream socket:
+//
+//   frame   := u32 payload_len (LE) payload
+//   payload := u8 msg_type  u64 req_id  <type-specific fields>
+//
+// The message surface is select-plugin-shaped, mirroring the boundary a
+// SLURM select plugin sees (cf. select/bluegene's bg_job_place and the
+// colocation wrapper in the related repos): an opaque job descriptor goes
+// in (job id, node count, communication class, dominant collective, message
+// size, I/O class), an ordered node set plus its Eq. 6 cost comes out.
+// Request ids are the idempotency keys: the service remembers recent
+// replies, so a client that re-sends a request id after a connection error
+// gets the original answer instead of a double allocation.
+//
+// Decoding is total: any byte sequence produces either a message or a
+// DecodeResult error code — never an exception, never a partial write into
+// the output struct that the caller might mistake for a message. Framing
+// errors (oversized/garbage) are connection-fatal; value errors inside a
+// well-formed frame are answered with ServeStatus::kBadRequest.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "collectives/schedule.hpp"
+
+namespace commsched::serve {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Upper bound on one frame's payload. Large enough for a full-machine
+/// allocation reply on any tree we build (64k nodes ~ 256 KiB), small
+/// enough that a corrupt length field cannot make the reader buffer GBs.
+inline constexpr std::size_t kMaxFramePayload = 1u << 20;
+/// AllocRequest::allocator value selecting the server's configured policy.
+inline constexpr std::uint8_t kServerAllocator = 0xff;
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,      ///< version handshake (client -> server)
+  kHelloAck = 2,
+  kAlloc = 3,      ///< allocate nodes for a job descriptor
+  kAllocReply = 4,
+  kRelease = 5,    ///< free a job's nodes
+  kReleaseReply = 6,
+  kQuery = 7,      ///< server/state counters snapshot
+  kQueryReply = 8,
+  kDrain = 9,      ///< request graceful shutdown
+  kDrainReply = 10,
+  kErrorReply = 11,  ///< server-side framing error (connection-fatal)
+};
+
+enum class ServeStatus : std::uint8_t {
+  kOk = 0,
+  kNoFit = 1,         ///< cluster cannot satisfy the request right now
+  kRejected = 2,      ///< admission queue full — retry later
+  kTimeout = 3,       ///< deadline expired before the request was served
+  kUnknownJob = 4,    ///< release of a job that holds no nodes
+  kDuplicateJob = 5,  ///< alloc of a job id that already holds nodes
+  kBadRequest = 6,    ///< malformed values in a well-formed frame
+  kDraining = 7,      ///< server is shutting down
+};
+
+const char* msg_type_name(MsgType t) noexcept;
+const char* serve_status_name(ServeStatus s) noexcept;
+
+/// Client -> server message (tagged by `type`; unrelated fields ignored).
+struct Request {
+  MsgType type = MsgType::kAlloc;
+  std::uint64_t req_id = 0;
+
+  // kAlloc / kRelease
+  std::int64_t job = 0;
+  // kAlloc: the opaque job descriptor (paper §4 job parameters).
+  std::int32_t num_nodes = 0;
+  std::uint8_t allocator = kServerAllocator;  ///< AllocatorKind or 0xff
+  bool comm_intensive = false;
+  bool io_intensive = false;
+  Pattern pattern = Pattern::kRecursiveDoubling;
+  double msize = double{1 << 20};
+  double comm_fraction = 0.5;
+  double io_fraction = 0.0;
+  /// Per-request deadline in milliseconds from arrival; 0 = server default.
+  std::uint32_t deadline_ms = 0;
+
+  // kHello
+  std::uint32_t version = kProtocolVersion;
+};
+
+/// Server -> client message (tagged by `type`).
+struct Reply {
+  MsgType type = MsgType::kAllocReply;
+  std::uint64_t req_id = 0;
+  ServeStatus status = ServeStatus::kOk;
+
+  // kAllocReply (status kOk)
+  double cost = 0.0;                   ///< unweighted Eq. 6 candidate cost
+  std::vector<std::uint32_t> nodes;    ///< rank r runs on nodes[r]
+
+  // kReleaseReply (status kOk)
+  std::uint32_t freed = 0;
+
+  // kQueryReply
+  std::uint32_t total_nodes = 0;
+  std::uint32_t free_nodes = 0;
+  std::uint32_t running_jobs = 0;
+  std::uint64_t served = 0;            ///< requests answered by the service
+  std::uint64_t allocs = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t no_fit = 0;
+  std::uint64_t idempotent_hits = 0;
+  std::uint64_t bad_requests = 0;
+  std::uint64_t rejected = 0;          ///< admission-control rejections
+  std::uint64_t timeouts = 0;          ///< deadline expiries
+
+  // kHelloAck
+  std::uint32_t version = kProtocolVersion;
+  std::uint32_t max_frame = static_cast<std::uint32_t>(kMaxFramePayload);
+};
+
+enum class DecodeResult : std::uint8_t {
+  kOk = 0,
+  kNeedMore,    ///< buffer holds a frame prefix only — read more bytes
+  kTruncated,   ///< payload ended mid-field
+  kOversized,   ///< length prefix exceeds kMaxFramePayload
+  kBadType,     ///< unknown or out-of-place message type
+  kBadValue,    ///< enum field outside its domain
+  kTrailing,    ///< well-formed message followed by extra payload bytes
+};
+
+const char* decode_result_name(DecodeResult r) noexcept;
+
+/// The reply type answering a request type (kAlloc -> kAllocReply, ...).
+MsgType reply_type_for(MsgType request) noexcept;
+
+/// Append one length-prefixed frame for the message to `out`.
+void encode_request(const Request& request, std::vector<std::uint8_t>& out);
+void encode_reply(const Reply& reply, std::vector<std::uint8_t>& out);
+
+/// Extract the next frame from `buffer` starting at `offset`. On kOk,
+/// `payload` refers into `buffer` and `offset` advances past the frame.
+/// kNeedMore leaves `offset` untouched; kOversized is connection-fatal.
+DecodeResult peel_frame(std::span<const std::uint8_t> buffer,
+                        std::size_t& offset,
+                        std::span<const std::uint8_t>& payload);
+
+/// Decode one frame payload. On any error the output struct contents are
+/// unspecified but the object is valid; req_id is filled whenever the
+/// header decoded, so errors can be answered. Only client -> server types
+/// decode as requests and only server -> client types as replies.
+DecodeResult decode_request(std::span<const std::uint8_t> payload,
+                            Request& out);
+DecodeResult decode_reply(std::span<const std::uint8_t> payload, Reply& out);
+
+}  // namespace commsched::serve

@@ -1,0 +1,376 @@
+#include "serve/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <span>
+#include <utility>
+
+namespace commsched::serve {
+
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Reply quick_reply(MsgType request_type, std::uint64_t req_id,
+                  ServeStatus status) {
+  Reply r;
+  r.type = reply_type_for(request_type);
+  r.req_id = req_id;
+  r.status = status;
+  return r;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+Server::Server(const Tree& tree, ServiceOptions service_options,
+               ServerOptions options)
+    : service_(tree, service_options),
+      options_(std::move(options)),
+      pool_(options_.threads) {}
+
+Server::~Server() { drain(); }
+
+bool Server::start() {
+  if (options_.socket_path.empty() ||
+      options_.socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    error_ = "invalid socket path: " + options_.socket_path;
+    return false;
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    error_ = "socket() failed: " + std::string(std::strerror(errno));
+    return false;
+  }
+  ::unlink(options_.socket_path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    error_ = "bind(" + options_.socket_path +
+             ") failed: " + std::string(std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) < 0) {
+    error_ = "listen() failed: " + std::string(std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+    return false;
+  }
+  set_nonblocking(listen_fd_);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Server::drain() {
+  stopping_.store(true);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+  }
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conns.swap(conns_);
+  }
+  // Stop readers (no new admissions), serve what was already admitted,
+  // then release the sockets.
+  for (const auto& conn : conns)
+    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RD);
+  for (const auto& conn : conns)
+    if (conn->reader.joinable()) conn->reader.join();
+  pool_.wait_idle();
+  for (const auto& conn : conns) {
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  running_.store(false);
+  request_drain();
+}
+
+void Server::wait_drain_requested() {
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drain_cv_.wait(lock, [this] { return drain_requested_; });
+}
+
+void Server::request_drain() {
+  {
+    std::lock_guard<std::mutex> lock(drain_mutex_);
+    drain_requested_ = true;
+  }
+  drain_cv_.notify_all();
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.connections_accepted = connections_accepted_.load();
+  s.connections_dropped = connections_dropped_.load();
+  s.frames_in = frames_in_.load();
+  s.rejected = rejected_.load();
+  s.timeouts = timeouts_.load();
+  s.decode_errors = decode_errors_.load();
+  return s;
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load()) {
+    pollfd p{};
+    p.fd = listen_fd_;
+    p.events = POLLIN;
+    const int ready = ::poll(&p, 1, 100);
+    reap_finished_readers();
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    set_nonblocking(fd);
+    if (options_.send_buffer_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.send_buffer_bytes,
+                   sizeof(options_.send_buffer_bytes));
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      conns_.push_back(conn);
+    }
+    connections_accepted_.fetch_add(1);
+    conn->reader = std::thread([this, conn] { reader_loop(conn); });
+  }
+}
+
+void Server::reap_finished_readers() {
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  for (std::size_t i = 0; i < conns_.size();) {
+    const std::shared_ptr<Connection>& conn = conns_[i];
+    bool settled = conn->reader_done.load();
+    if (settled) {
+      std::lock_guard<std::mutex> conn_lock(conn->mutex);
+      settled = !conn->strand_active && conn->pending.empty();
+    }
+    if (!settled) {
+      ++i;
+      continue;
+    }
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+    conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+}
+
+void Server::reader_loop(const std::shared_ptr<Connection>& conn) {
+  std::vector<std::uint8_t> buf;
+  std::size_t offset = 0;
+  std::uint32_t idle_ms = 0;
+  constexpr int kTickMs = 100;
+  Request req;
+  while (!stopping_.load() && !conn->dead.load()) {
+    pollfd p{};
+    p.fd = conn->fd;
+    p.events = POLLIN;
+    const int ready = ::poll(&p, 1, kTickMs);
+    if (ready == 0) {
+      idle_ms += static_cast<std::uint32_t>(kTickMs);
+      if (options_.idle_timeout_ms > 0 && idle_ms >= options_.idle_timeout_ms) {
+        conn->dead.store(true);
+        ::shutdown(conn->fd, SHUT_RDWR);
+        connections_dropped_.fetch_add(1);
+        break;
+      }
+      continue;
+    }
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    std::uint8_t chunk[4096];
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof chunk, 0);
+    if (n == 0) break;  // peer closed (or drain shut the read side)
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      break;
+    }
+    idle_ms = 0;
+    buf.insert(buf.end(), chunk, chunk + n);
+    bool fatal = false;
+    for (;;) {
+      std::span<const std::uint8_t> payload;
+      const DecodeResult framed = peel_frame(buf, offset, payload);
+      if (framed == DecodeResult::kNeedMore) break;
+      if (framed == DecodeResult::kOversized) {
+        decode_errors_.fetch_add(1);
+        write_reply(*conn, quick_reply(MsgType::kHello, /*req_id=*/0,
+                                       ServeStatus::kBadRequest));
+        fatal = true;
+        break;
+      }
+      frames_in_.fetch_add(1);
+      const DecodeResult decoded = decode_request(payload, req);
+      if (decoded != DecodeResult::kOk) {
+        decode_errors_.fetch_add(1);
+        Reply err = quick_reply(MsgType::kHello, req.req_id,
+                                ServeStatus::kBadRequest);
+        err.type = MsgType::kErrorReply;
+        write_reply(*conn, err);
+        // A value error sits inside a well-formed frame — the stream is
+        // still in sync. Anything else means corruption: close.
+        if (decoded != DecodeResult::kBadValue) {
+          fatal = true;
+          break;
+        }
+        continue;
+      }
+      admit(conn, req);
+    }
+    if (offset > 0) {
+      buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(offset));
+      offset = 0;
+    }
+    if (fatal) {
+      conn->dead.store(true);
+      ::shutdown(conn->fd, SHUT_RDWR);
+      connections_dropped_.fetch_add(1);
+      break;
+    }
+  }
+  conn->reader_done.store(true);
+}
+
+void Server::admit(const std::shared_ptr<Connection>& conn,
+                   const Request& request) {
+  PendingRequest pending;
+  pending.request = request;
+  const std::uint32_t deadline_ms = request.deadline_ms != 0
+                                        ? request.deadline_ms
+                                        : options_.default_deadline_ms;
+  pending.deadline_ns =
+      deadline_ms != 0
+          ? now_ns() + static_cast<std::int64_t>(deadline_ms) * 1000000
+          : std::numeric_limits<std::int64_t>::max();
+  const std::size_t admitted = pending_total_.fetch_add(1);
+  if (admitted >= options_.queue_depth) {
+    pending_total_.fetch_sub(1);
+    rejected_.fetch_add(1);
+    write_reply(*conn, quick_reply(request.type, request.req_id,
+                                   ServeStatus::kRejected));
+    return;
+  }
+  bool spawn = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->pending.push_back(std::move(pending));
+    if (!conn->strand_active) {
+      conn->strand_active = true;
+      spawn = true;
+    }
+  }
+  if (spawn)
+    pool_.submit([this, conn] { run_strand(conn); });
+}
+
+void Server::run_strand(std::shared_ptr<Connection> conn) {
+  std::vector<PendingRequest> batch;
+  Reply reply;
+  for (;;) {
+    batch.clear();
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex);
+      while (conn->pending_head < conn->pending.size() &&
+             batch.size() < options_.batch)
+        batch.push_back(std::move(conn->pending[conn->pending_head++]));
+      if (conn->pending_head == conn->pending.size()) {
+        conn->pending.clear();
+        conn->pending_head = 0;
+      }
+      if (batch.empty()) {
+        conn->strand_active = false;
+        return;
+      }
+    }
+    if (options_.test_delay) options_.test_delay();
+    bool drain_after = false;
+    for (PendingRequest& item : batch) {
+      if (now_ns() > item.deadline_ns) {
+        // Expired before service — answered without touching any state,
+        // so a client retry with the same request id is safe.
+        timeouts_.fetch_add(1);
+        reply = quick_reply(item.request.type, item.request.req_id,
+                            ServeStatus::kTimeout);
+      } else {
+        std::lock_guard<std::mutex> service_lock(service_mutex_);
+        service_.handle(item.request, reply);
+        if (reply.type == MsgType::kQueryReply) {
+          reply.rejected = rejected_.load();
+          reply.timeouts = timeouts_.load();
+        }
+      }
+      write_reply(*conn, reply);
+      if (item.request.type == MsgType::kDrain) drain_after = true;
+      pending_total_.fetch_sub(1);
+    }
+    if (drain_after) request_drain();
+  }
+}
+
+bool Server::write_reply(Connection& conn, const Reply& reply) {
+  std::lock_guard<std::mutex> lock(conn.write_mutex);
+  if (conn.fd < 0 || conn.dead.load()) return false;
+  conn.write_buf.clear();
+  encode_reply(reply, conn.write_buf);
+  std::size_t off = 0;
+  while (off < conn.write_buf.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.write_buf.data() + off,
+               conn.write_buf.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd p{};
+      p.fd = conn.fd;
+      p.events = POLLOUT;
+      const int ready =
+          ::poll(&p, 1, static_cast<int>(options_.write_timeout_ms));
+      if (ready > 0) continue;  // writable (or error — send will tell)
+    }
+    // Stalled past write_timeout_ms or hard error: a slow client must not
+    // wedge a strand worker. Drop the connection.
+    conn.dead.store(true);
+    ::shutdown(conn.fd, SHUT_RDWR);
+    connections_dropped_.fetch_add(1);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace commsched::serve

@@ -69,6 +69,54 @@ void apply_select_param(SlurmConf& conf, const std::string& tok, int lineno) {
   }
 }
 
+constexpr const char* kAllocdParams =
+    "socket=<path>, threads=<int>, queue=<int>, batch=<int>, "
+    "deadline_ms=<int>, idle_ms=<int>, write_ms=<int>";
+
+/// One AllocdParameters token: allocator-daemon knobs (ServeConf).
+void apply_allocd_param(SlurmConf& conf, const std::string& tok, int lineno) {
+  const auto eq = tok.find('=');
+  if (eq == std::string::npos)
+    throw ParseError("slurm.conf:" + std::to_string(lineno) +
+                     ": unknown AllocdParameters token '" + tok +
+                     "' (expected " + kAllocdParams + ")");
+  const std::string pkey(trim(tok.substr(0, eq)));
+  const std::string pval(trim(tok.substr(eq + 1)));
+  ServeConf& serve = conf.serve;
+  if (pkey == "socket") {
+    if (pval.empty()) bad_value(pkey, pval, lineno);
+    serve.socket_path = pval;
+  } else if (pkey == "threads") {
+    const auto v = parse_int(pval);
+    if (!v || *v < 0) bad_value(pkey, pval, lineno);
+    serve.threads = static_cast<int>(*v);
+  } else if (pkey == "queue") {
+    const auto v = parse_int(pval);
+    if (!v || *v < 1) bad_value(pkey, pval, lineno);
+    serve.queue_depth = static_cast<int>(*v);
+  } else if (pkey == "batch") {
+    const auto v = parse_int(pval);
+    if (!v || *v < 1) bad_value(pkey, pval, lineno);
+    serve.batch = static_cast<int>(*v);
+  } else if (pkey == "deadline_ms") {
+    const auto v = parse_int(pval);
+    if (!v || *v < 0) bad_value(pkey, pval, lineno);
+    serve.default_deadline_ms = static_cast<int>(*v);
+  } else if (pkey == "idle_ms") {
+    const auto v = parse_int(pval);
+    if (!v || *v < 0) bad_value(pkey, pval, lineno);
+    serve.idle_timeout_ms = static_cast<int>(*v);
+  } else if (pkey == "write_ms") {
+    const auto v = parse_int(pval);
+    if (!v || *v < 0) bad_value(pkey, pval, lineno);
+    serve.write_timeout_ms = static_cast<int>(*v);
+  } else {
+    throw ParseError("slurm.conf:" + std::to_string(lineno) +
+                     ": unknown AllocdParameters token '" + tok +
+                     "' (expected " + kAllocdParams + ")");
+  }
+}
+
 }  // namespace
 
 SlurmConf parse_slurm_conf(std::istream& in) {
@@ -120,6 +168,11 @@ SlurmConf parse_slurm_conf(std::istream& in) {
       for (const auto& raw : split(value, ',')) {
         const std::string tok(trim(raw));
         if (!tok.empty()) apply_select_param(conf, tok, lineno);
+      }
+    } else if (key == "AllocdParameters") {
+      for (const auto& raw : split(value, ',')) {
+        const std::string tok(trim(raw));
+        if (!tok.empty()) apply_allocd_param(conf, tok, lineno);
       }
     } else if (key == "BackfillDepth") {
       const auto depth = parse_int(value);
@@ -198,6 +251,33 @@ std::string write_slurm_conf(const SlurmConf& conf) {
       add("sa_verify=" + std::to_string(sa.verify_stride));
     const std::string rendered = params.str();
     if (!rendered.empty()) out << "SelectTypeParameters=" << rendered << "\n";
+  }
+  // AllocdParameters: daemon knobs, emitted only when they differ from the
+  // defaults, so a write/parse round trip reproduces the ServeConf exactly.
+  {
+    const ServeConf def{};
+    const ServeConf& serve = conf.serve;
+    std::ostringstream params;
+    const char* sep = "";
+    const auto add = [&](const std::string& token) {
+      params << sep << token;
+      sep = ",";
+    };
+    if (serve.socket_path != def.socket_path)
+      add("socket=" + serve.socket_path);
+    if (serve.threads != def.threads)
+      add("threads=" + std::to_string(serve.threads));
+    if (serve.queue_depth != def.queue_depth)
+      add("queue=" + std::to_string(serve.queue_depth));
+    if (serve.batch != def.batch) add("batch=" + std::to_string(serve.batch));
+    if (serve.default_deadline_ms != def.default_deadline_ms)
+      add("deadline_ms=" + std::to_string(serve.default_deadline_ms));
+    if (serve.idle_timeout_ms != def.idle_timeout_ms)
+      add("idle_ms=" + std::to_string(serve.idle_timeout_ms));
+    if (serve.write_timeout_ms != def.write_timeout_ms)
+      add("write_ms=" + std::to_string(serve.write_timeout_ms));
+    const std::string rendered = params.str();
+    if (!rendered.empty()) out << "AllocdParameters=" << rendered << "\n";
   }
   out << "BackfillDepth=" << conf.sched.backfill_depth << "\n";
   out << "EnforceWallTime=" << (conf.sched.enforce_walltime ? "yes" : "no")

@@ -18,6 +18,10 @@
 //                        sa_verify=<int> map onto SaOptions
 //   BackfillDepth      = <int>
 //   EnforceWallTime    = yes | no
+//   AllocdParameters   = comma list configuring the allocator daemon
+//                        (tools/allocd, src/serve): socket=<path>,
+//                        threads=<int>, queue=<int>, batch=<int>,
+//                        deadline_ms=<int>, idle_ms=<int>, write_ms=<int>
 // Unknown keys are ignored (slurm.conf carries dozens we do not model).
 #pragma once
 
@@ -28,9 +32,22 @@
 
 namespace commsched {
 
+/// AllocdParameters: knobs for the allocator-as-a-service daemon. Defaults
+/// mirror serve::ServerOptions so an empty key is the stock daemon.
+struct ServeConf {
+  std::string socket_path;      ///< socket=<path>; empty = daemon default
+  int threads = 0;              ///< 0 = COMMSCHED_THREADS / hw concurrency
+  int queue_depth = 1024;       ///< admission bound (queue=<int>)
+  int batch = 16;               ///< max requests per strand pass
+  int default_deadline_ms = 0;  ///< deadline for requests that carry none
+  int idle_timeout_ms = 30000;  ///< drop connections silent this long
+  int write_timeout_ms = 5000;  ///< drop clients stalling reply writes
+};
+
 struct SlurmConf {
   SchedOptions sched;          ///< derived scheduling options
   bool topology_aware = true;  ///< TopologyPlugin=topology/tree
+  ServeConf serve;             ///< AllocdParameters (allocator daemon)
 };
 
 /// Parse slurm.conf text. Throws ParseError on malformed lines or

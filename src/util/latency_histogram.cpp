@@ -1,0 +1,69 @@
+#include "util/latency_histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace commsched {
+
+std::size_t LatencyHistogram::bucket_of(std::uint64_t value) noexcept {
+  if (value < kLinear) return static_cast<std::size_t>(value);
+  // v in [2^e, 2^(e+1)): range index (e - kLinearBits), sub-bucket from the
+  // kLinearBits bits below the leading one.
+  const int e = std::bit_width(value) - 1;  // >= kLinearBits
+  const std::uint64_t sub = (value >> (e - kLinearBits)) & (kLinear - 1);
+  return kLinear +
+         static_cast<std::size_t>(e - kLinearBits) * kLinear +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t LatencyHistogram::bucket_upper(std::size_t bucket) noexcept {
+  if (bucket < kLinear) return bucket;
+  const std::size_t range = (bucket - kLinear) / kLinear;
+  const std::uint64_t sub = (bucket - kLinear) % kLinear;
+  const int e = static_cast<int>(range) + kLinearBits;
+  const std::uint64_t lower =
+      (std::uint64_t{1} << e) + (sub << (e - kLinearBits));
+  const std::uint64_t width = std::uint64_t{1} << (e - kLinearBits);
+  return lower + width - 1;
+}
+
+void LatencyHistogram::record(std::uint64_t value) noexcept {
+  ++counts_[bucket_of(value)];
+  ++count_;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  sum_ += static_cast<double>(value);
+}
+
+double LatencyHistogram::mean() const noexcept {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+std::uint64_t LatencyHistogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double want = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t target =
+      static_cast<std::uint64_t>(std::ceil(want));
+  if (target == 0) target = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += counts_[b];
+    if (seen >= target)
+      return std::clamp(bucket_upper(b), min_, max_);
+  }
+  return max_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) noexcept {
+  for (std::size_t b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+  count_ += other.count_;
+  if (other.count_) {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  sum_ += other.sum_;
+}
+
+}  // namespace commsched

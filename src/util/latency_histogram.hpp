@@ -1,0 +1,60 @@
+// Log-linear latency histogram (DESIGN.md "Allocator service").
+//
+// HDR-histogram-style binning over unsigned nanosecond values: exact counts
+// below 32 ns, then 32 linear sub-buckets per power-of-two range, giving a
+// worst-case quantile error of ~3% at any magnitude with a fixed ~2 KB
+// footprint. record() is a couple of shifts — cheap enough to sit on the
+// load generator's per-response path at millions of requests — and
+// histograms merge exactly, so per-connection recorders reduce to one
+// machine-wide distribution without resampling.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace commsched {
+
+class LatencyHistogram {
+ public:
+  /// Record one sample (any u64; typically nanoseconds).
+  void record(std::uint64_t value) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+  std::uint64_t max() const noexcept { return count_ ? max_ : 0; }
+  /// Mean of the exact recorded values (sums are kept exactly).
+  double mean() const noexcept;
+
+  /// Smallest recorded-bucket upper bound covering at least p percent of
+  /// the samples (p in [0, 100]; p = 0 returns min()). The true sample
+  /// quantile lies within one sub-bucket (~3%) below the returned value.
+  /// Returns 0 on an empty histogram.
+  std::uint64_t percentile(double p) const noexcept;
+
+  /// Exact pointwise sum of two histograms.
+  void merge(const LatencyHistogram& other) noexcept;
+
+  /// Bucket count of the fixed layout (for tests).
+  static constexpr std::size_t bucket_count() noexcept { return kBuckets; }
+
+ private:
+  // Values < kLinear are their own bucket; value v >= kLinear with bit
+  // width w lands in range (w - kLinearBits) at sub-bucket
+  // (v >> (w - kLinearBits - 1)) & (kLinear/2 - 1)... see bucket_of.
+  static constexpr std::uint64_t kLinear = 32;   // exact region bound
+  static constexpr int kLinearBits = 5;          // log2(kLinear)
+  static constexpr std::size_t kBuckets =
+      kLinear + (64 - kLinearBits) * kLinear;
+
+  static std::size_t bucket_of(std::uint64_t value) noexcept;
+  static std::uint64_t bucket_upper(std::size_t bucket) noexcept;
+
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace commsched

@@ -1,0 +1,66 @@
+#include "util/wire.hpp"
+
+#include <limits>
+
+namespace commsched {
+
+void WireWriter::u16(std::uint16_t v) {
+  out_->push_back(static_cast<std::uint8_t>(v));
+  out_->push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  out_->push_back(static_cast<std::uint8_t>(v));
+  out_->push_back(static_cast<std::uint8_t>(v >> 8));
+  out_->push_back(static_cast<std::uint8_t>(v >> 16));
+  out_->push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out_->push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void WireWriter::bytes(std::span<const std::uint8_t> data) {
+  out_->insert(out_->end(), data.begin(), data.end());
+}
+
+std::size_t WireReader::take(std::size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return std::numeric_limits<std::size_t>::max();
+  }
+  const std::size_t at = pos_;
+  pos_ += n;
+  return at;
+}
+
+std::uint8_t WireReader::u8() {
+  const std::size_t at = take(1);
+  return ok_ ? data_[at] : 0;
+}
+
+std::uint16_t WireReader::u16() {
+  const std::size_t at = take(2);
+  if (!ok_) return 0;
+  return static_cast<std::uint16_t>(data_[at] |
+                                    (std::uint16_t{data_[at + 1]} << 8));
+}
+
+std::uint32_t WireReader::u32() {
+  const std::size_t at = take(4);
+  if (!ok_) return 0;
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | data_[at + i];
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  const std::size_t at = take(8);
+  if (!ok_) return 0;
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | data_[at + i];
+  return v;
+}
+
+}  // namespace commsched

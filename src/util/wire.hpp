@@ -1,0 +1,75 @@
+// Byte-level wire encoding for the allocator service protocol
+// (DESIGN.md "Allocator service").
+//
+// Fixed-width little-endian primitives appended to a caller-owned byte
+// vector (WireWriter) and read back with bounds checking (WireReader).
+// The reader uses a *sticky failure* model: the first out-of-bounds read
+// marks the reader failed, every subsequent read returns zero, and the
+// caller checks ok() once at the end — decoding a torn or malicious frame
+// can therefore never read past the buffer, throw, or leave the caller
+// guessing which field failed mid-struct.
+//
+// Doubles travel as their IEEE-754 bit pattern (bit_cast via u64), so a
+// decode(encode(x)) round trip is bit-exact — the allocator service's
+// determinism contract compares response costs bitwise.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace commsched {
+
+/// Appends little-endian primitives to a byte vector owned by the caller.
+class WireWriter {
+ public:
+  explicit WireWriter(std::vector<std::uint8_t>& out) : out_(&out) {}
+
+  void u8(std::uint8_t v) { out_->push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  /// IEEE-754 bit pattern; round-trips bit-exactly (NaNs included).
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void bytes(std::span<const std::uint8_t> data);
+
+  std::size_t size() const noexcept { return out_->size(); }
+
+ private:
+  std::vector<std::uint8_t>* out_;
+};
+
+/// Bounds-checked little-endian reads over a fixed buffer with sticky
+/// failure: after the first short read every accessor returns 0 and ok()
+/// stays false.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  /// True while every read so far was in bounds.
+  bool ok() const noexcept { return ok_; }
+  /// Bytes not yet consumed (0 after a failure).
+  std::size_t remaining() const noexcept {
+    return ok_ ? data_.size() - pos_ : 0;
+  }
+
+ private:
+  /// Reserve `n` bytes: returns the read offset, or marks the reader
+  /// failed and returns npos.
+  std::size_t take(std::size_t n);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace commsched

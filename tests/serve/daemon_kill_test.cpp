@@ -1,0 +1,203 @@
+// Fault-injection against the real allocd binary (wired in via the
+// COMMSCHED_ALLOCD_BIN compile definition): SIGKILL the daemon mid-burst
+// — the client surfaces connection errors instead of hanging — then
+// restart it with the same arguments and replay the full stream; every
+// re-sent idempotent request id gets a reply byte-identical to the
+// inline-oracle log, because the restarted service is the same
+// deterministic state machine. A drain request makes the daemon exit 0.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <fcntl.h>
+#include <string>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+#include "slurm/conf.hpp"
+#include "topology/builders.hpp"
+
+namespace commsched::serve {
+namespace {
+
+constexpr int kLeaves = 4;
+constexpr int kNodesPerLeaf = 8;
+
+std::string unique_socket(const std::string& tag) {
+  return std::string(::testing::TempDir()) + "/commsched_kill_" + tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+// Fork/exec allocd on `socket_path` with the fixed test topology. The
+// child's stdout goes to /dev/null so its banner stays out of the test
+// log.
+pid_t spawn_allocd(const std::string& socket_path) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  const int devnull = ::open("/dev/null", O_WRONLY);
+  if (devnull >= 0) {
+    ::dup2(devnull, STDOUT_FILENO);
+    ::close(devnull);
+  }
+  ::execl(COMMSCHED_ALLOCD_BIN, "allocd", "--socket", socket_path.c_str(),
+          "--leaves", "4", "--nodes-per-leaf", "8", "--threads", "2",
+          static_cast<char*>(nullptr));
+  _exit(127);
+}
+
+bool connect_with_retry(Client& client, const std::string& socket_path) {
+  for (int i = 0; i < 500; ++i) {
+    if (client.connect(socket_path)) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return false;
+}
+
+// The inline oracle must be configured exactly as allocd configures
+// itself from a default slurm.conf.
+ServiceOptions allocd_service_options() {
+  const SlurmConf conf;
+  ServiceOptions options;
+  options.default_allocator = conf.sched.allocator;
+  options.cost_options = conf.sched.cost_options;
+  options.sa = conf.sched.sa;
+  return options;
+}
+
+LoadStream stream_slice(const LoadStream& stream, std::size_t begin,
+                        std::size_t end) {
+  LoadStream out;
+  out.requests.assign(stream.requests.begin() +
+                          static_cast<std::ptrdiff_t>(begin),
+                      stream.requests.begin() +
+                          static_cast<std::ptrdiff_t>(end));
+  out.send_time.assign(stream.send_time.begin() +
+                           static_cast<std::ptrdiff_t>(begin),
+                       stream.send_time.begin() +
+                           static_cast<std::ptrdiff_t>(end));
+  return out;
+}
+
+std::string joined(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(DaemonKill, SigkillMidBurstThenRestartServesIdenticalReplies) {
+  const Tree tree = make_two_level_tree(kLeaves, kNodesPerLeaf);
+  LoadSpec spec;
+  spec.requests = 600;
+  const LoadStream stream = build_stream(spec, tree.node_count());
+  const std::string oracle =
+      joined(reference_log(stream, tree, allocd_service_options()));
+
+  const std::string socket_path = unique_socket("restart");
+  pid_t pid = spawn_allocd(socket_path);
+  ASSERT_GT(pid, 0);
+  Client client;
+  ASSERT_TRUE(connect_with_retry(client, socket_path)) << client.error();
+
+  // Phase 1: the first half of the burst lands normally.
+  const ReplayResult half =
+      replay(client, stream_slice(stream, 0, 300), ReplayOptions{});
+  ASSERT_TRUE(half.complete) << client.error();
+
+  // Phase 2: put requests in flight, then SIGKILL the daemon under them.
+  for (std::size_t i = 300; i < 350; ++i)
+    ASSERT_TRUE(client.send_request(stream.requests[i]));
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+      << "daemon status " << status;
+
+  // The client must surface the dead connection as errors, not hang.
+  const ReplayResult torn =
+      replay(client, stream_slice(stream, 350, 600), ReplayOptions{});
+  EXPECT_FALSE(torn.complete);
+  EXPECT_GT(torn.io_errors, 0u);
+  EXPECT_FALSE(client.connected());
+  EXPECT_FALSE(client.error().empty());
+  client.close();
+
+  // Phase 3: restart with the same arguments and replay the FULL stream —
+  // the re-sent ids from phases 1 and 2 included. A fresh daemon is the
+  // same deterministic state machine, so the complete reply log matches
+  // the inline oracle byte for byte.
+  pid = spawn_allocd(socket_path);
+  ASSERT_GT(pid, 0);
+  Client fresh;
+  ASSERT_TRUE(connect_with_retry(fresh, socket_path)) << fresh.error();
+  ReplayOptions replay_options;
+  replay_options.collect_log = true;
+  const ReplayResult full = replay(fresh, stream, replay_options);
+  ASSERT_TRUE(full.complete) << fresh.error();
+  EXPECT_EQ(joined(full.log), oracle);
+
+  // Phase 4: graceful shutdown — drain is acknowledged, daemon exits 0.
+  Request drain;
+  drain.type = MsgType::kDrain;
+  drain.req_id = 999999;
+  Reply reply;
+  ASSERT_TRUE(fresh.call(drain, reply, 10000)) << fresh.error();
+  EXPECT_EQ(reply.type, MsgType::kDrainReply);
+  EXPECT_EQ(reply.status, ServeStatus::kOk);
+  fresh.close();
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << "daemon status " << status;
+}
+
+TEST(DaemonKill, RestartedDaemonAnswersResentIdempotentIds) {
+  // The narrow restart contract by itself: ids answered before the kill,
+  // re-sent to the restarted daemon as part of a full replay, get the
+  // same node sets and costs the first daemon handed out.
+  const Tree tree = make_two_level_tree(kLeaves, kNodesPerLeaf);
+  LoadSpec spec;
+  spec.requests = 120;
+  spec.seed = 7;
+  const LoadStream stream = build_stream(spec, tree.node_count());
+
+  const std::string socket_path = unique_socket("idem");
+  pid_t pid = spawn_allocd(socket_path);
+  ASSERT_GT(pid, 0);
+  Client client;
+  ASSERT_TRUE(connect_with_retry(client, socket_path)) << client.error();
+  ReplayOptions replay_options;
+  replay_options.collect_log = true;
+  const ReplayResult before = replay(client, stream, replay_options);
+  ASSERT_TRUE(before.complete) << client.error();
+  client.close();
+
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+
+  pid = spawn_allocd(socket_path);
+  ASSERT_GT(pid, 0);
+  Client fresh;
+  ASSERT_TRUE(connect_with_retry(fresh, socket_path)) << fresh.error();
+  const ReplayResult after = replay(fresh, stream, replay_options);
+  ASSERT_TRUE(after.complete) << fresh.error();
+  EXPECT_EQ(after.log, before.log);
+
+  Request drain;
+  drain.type = MsgType::kDrain;
+  drain.req_id = 1;
+  Reply reply;
+  ASSERT_TRUE(fresh.call(drain, reply, 10000)) << fresh.error();
+  fresh.close();
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+}
+
+}  // namespace
+}  // namespace commsched::serve

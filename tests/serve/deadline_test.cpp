@@ -1,0 +1,282 @@
+// Deadlines, admission control and slow-client backpressure: an expired
+// request gets kTimeout without touching allocator state; admission-queue
+// overflow is answered kRejected with exact accounting; a client that
+// stalls mid-frame or stops reading replies is dropped without wedging a
+// strand worker.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/allocator_factory.hpp"
+#include "serve/client.hpp"
+#include "topology/builders.hpp"
+
+namespace commsched::serve {
+namespace {
+
+std::string unique_socket(const std::string& tag) {
+  return std::string(::testing::TempDir()) + "/commsched_dl_" + tag + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+Request alloc_request(std::uint64_t req_id, std::int64_t job, int nodes) {
+  Request req;
+  req.type = MsgType::kAlloc;
+  req.req_id = req_id;
+  req.job = job;
+  req.num_nodes = nodes;
+  req.comm_intensive = true;
+  return req;
+}
+
+// Poll `predicate` until true or ~5 s elapsed.
+bool eventually(const std::function<bool()>& predicate) {
+  for (int i = 0; i < 500; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return predicate();
+}
+
+int raw_connect(const std::string& path, int rcvbuf_bytes = 0) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (rcvbuf_bytes > 0)
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                 sizeof(rcvbuf_bytes));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size());
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST(Deadline, ExpiredRequestTimesOutWithoutStateMutation) {
+  const Tree tree = make_two_level_tree(4, 8);
+  std::atomic<bool> slow{true};
+  ServerOptions server_options;
+  server_options.socket_path = unique_socket("timeout");
+  server_options.threads = 1;
+  server_options.test_delay = [&slow] {
+    if (slow.load())
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  };
+  Server server(tree, ServiceOptions{}, server_options);
+  ASSERT_TRUE(server.start()) << server.error();
+  Client client;
+  ASSERT_TRUE(client.connect(server_options.socket_path)) << client.error();
+
+  Request req = alloc_request(1, 1, 4);
+  req.deadline_ms = 1;  // expires inside the strand's 50 ms stall
+  Reply reply;
+  ASSERT_TRUE(client.call(req, reply, 5000)) << client.error();
+  EXPECT_EQ(reply.status, ServeStatus::kTimeout);
+  EXPECT_EQ(server.stats().timeouts, 1u);
+
+  // The timed-out request never touched the cluster and was never cached:
+  // the retried id gets a real allocation.
+  slow.store(false);
+  req.deadline_ms = 0;
+  ASSERT_TRUE(client.call(req, reply, 5000)) << client.error();
+  EXPECT_EQ(reply.status, ServeStatus::kOk);
+  EXPECT_EQ(reply.nodes.size(), 4u);
+  client.close();
+  server.drain();
+  EXPECT_EQ(server.service().state().job_count(), 1u);
+}
+
+TEST(Deadline, SlowSaRequestExpiresQueuedSuccessor) {
+  // An sa request occupies the strand while a 1 ms deadline on the
+  // request queued behind it runs out; the successor must expire at
+  // dequeue — answered kTimeout, never a hung worker, never a state
+  // mutation. The first batch's test_delay stall makes the head-of-line
+  // blocking long enough to be deterministic on any machine.
+  const Tree tree = make_two_level_tree(8, 16);  // 128 nodes
+  ServiceOptions service_options;
+  service_options.default_allocator = AllocatorKind::kSa;
+  service_options.sa.budget = 50000;
+  std::atomic<int> batches{0};
+  ServerOptions server_options;
+  server_options.socket_path = unique_socket("sa");
+  server_options.threads = 1;
+  server_options.batch = 1;  // successor dequeues after sa finishes
+  server_options.test_delay = [&batches] {
+    if (batches.fetch_add(1) == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  };
+  Server server(tree, service_options, server_options);
+  ASSERT_TRUE(server.start()) << server.error();
+  Client client;
+  ASSERT_TRUE(client.connect(server_options.socket_path)) << client.error();
+
+  Request slow_req = alloc_request(1, 1, 64);
+  ASSERT_TRUE(client.send_request(slow_req));
+  Request fast_req = alloc_request(2, 2, 4);
+  fast_req.deadline_ms = 1;
+  ASSERT_TRUE(client.send_request(fast_req));
+
+  Reply first, second;
+  ASSERT_TRUE(client.recv_reply(first, 30000)) << client.error();
+  ASSERT_TRUE(client.recv_reply(second, 30000)) << client.error();
+  EXPECT_EQ(first.req_id, 1u);
+  EXPECT_EQ(first.status, ServeStatus::kOk);
+  EXPECT_EQ(second.req_id, 2u);
+  EXPECT_EQ(second.status, ServeStatus::kTimeout);
+  client.close();
+  server.drain();
+  EXPECT_EQ(server.service().state().job_count(), 1u)
+      << "the timed-out alloc must not have mutated the cluster";
+}
+
+TEST(Admission, OverflowRejectionAccountingIsExact) {
+  const Tree tree = make_two_level_tree(4, 8);
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  ServerOptions server_options;
+  server_options.socket_path = unique_socket("reject");
+  server_options.threads = 1;
+  server_options.queue_depth = 4;
+  server_options.batch = 1;
+  server_options.test_delay = [&] {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return gate_open; });
+  };
+  Server server(tree, ServiceOptions{}, server_options);
+  ASSERT_TRUE(server.start()) << server.error();
+  Client client;
+  ASSERT_TRUE(client.connect(server_options.socket_path)) << client.error();
+
+  constexpr int kTotal = 32;
+  for (int i = 0; i < kTotal; ++i)
+    ASSERT_TRUE(client.send_request(
+        alloc_request(static_cast<std::uint64_t>(i + 1), i + 1, 1)));
+
+  // With the strand gated, exactly queue_depth requests are admitted
+  // (queued or in service); every later arrival is rejected by the reader.
+  ASSERT_TRUE(eventually([&] { return server.stats().frames_in == kTotal; }));
+  EXPECT_EQ(server.stats().rejected,
+            static_cast<std::uint64_t>(kTotal) - 4);
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+
+  int ok = 0, rejected = 0, other = 0;
+  Reply reply;
+  for (int i = 0; i < kTotal; ++i) {
+    ASSERT_TRUE(client.recv_reply(reply, 10000)) << client.error();
+    if (reply.status == ServeStatus::kOk) ++ok;
+    else if (reply.status == ServeStatus::kRejected) ++rejected;
+    else ++other;
+  }
+  EXPECT_EQ(ok, 4);
+  EXPECT_EQ(rejected, kTotal - 4);
+  EXPECT_EQ(other, 0);
+  client.close();
+  server.drain();
+  // The service only ever saw the admitted requests.
+  EXPECT_EQ(server.service().counters().served, 4u);
+  EXPECT_EQ(server.stats().rejected, static_cast<std::uint64_t>(kTotal) - 4);
+}
+
+TEST(SlowClient, StallingWriterIsDroppedOthersUnaffected) {
+  const Tree tree = make_two_level_tree(4, 8);
+  ServerOptions server_options;
+  server_options.socket_path = unique_socket("stallwrite");
+  server_options.idle_timeout_ms = 200;
+  Server server(tree, ServiceOptions{}, server_options);
+  ASSERT_TRUE(server.start()) << server.error();
+
+  // A client that sends half a frame and then goes silent.
+  const int staller = raw_connect(server_options.socket_path);
+  ASSERT_GE(staller, 0);
+  const std::uint8_t torn[2] = {0x40, 0x00};  // first half of a length
+  ASSERT_EQ(::send(staller, torn, sizeof(torn), 0),
+            static_cast<ssize_t>(sizeof(torn)));
+
+  EXPECT_TRUE(
+      eventually([&] { return server.stats().connections_dropped >= 1; }))
+      << "idle timeout should drop the stalled connection";
+
+  // A healthy client on the same server is unaffected.
+  Client client;
+  ASSERT_TRUE(client.connect(server_options.socket_path)) << client.error();
+  Reply reply;
+  ASSERT_TRUE(client.call(alloc_request(1, 1, 4), reply, 5000))
+      << client.error();
+  EXPECT_EQ(reply.status, ServeStatus::kOk);
+  ::close(staller);
+  client.close();
+  server.drain();
+}
+
+TEST(SlowClient, StalledReaderIsDroppedWithoutWedgingWorkers) {
+  const Tree tree = make_two_level_tree(4, 8);
+  ServerOptions server_options;
+  server_options.socket_path = unique_socket("stallread");
+  server_options.threads = 2;
+  server_options.write_timeout_ms = 200;
+  server_options.send_buffer_bytes = 4096;  // make backpressure cheap to hit
+  Server server(tree, ServiceOptions{}, server_options);
+  ASSERT_TRUE(server.start()) << server.error();
+
+  // Flood queries from a client that never reads its replies; reply bytes
+  // pile up until the write times out and the connection is dropped.
+  const int hog = raw_connect(server_options.socket_path, 2048);
+  ASSERT_GE(hog, 0);
+  std::vector<std::uint8_t> frames;
+  for (std::uint64_t i = 1; i <= 5000; ++i) {
+    Request query;
+    query.type = MsgType::kQuery;
+    query.req_id = i;
+    encode_request(query, frames);
+  }
+  // Push bytes until the server stops absorbing them (our own send buffer
+  // fills once the server's reply writes stall) or everything is written.
+  std::size_t off = 0;
+  while (off < frames.size()) {
+    const ssize_t n = ::send(hog, frames.data() + off,
+                             std::min<std::size_t>(frames.size() - off, 4096),
+                             MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  EXPECT_TRUE(
+      eventually([&] { return server.stats().connections_dropped >= 1; }))
+      << "write timeout should drop the never-reading client";
+
+  // Both strand workers are still alive and serving.
+  Client client;
+  ASSERT_TRUE(client.connect(server_options.socket_path)) << client.error();
+  Reply reply;
+  ASSERT_TRUE(client.call(alloc_request(1, 77, 4), reply, 5000))
+      << client.error();
+  EXPECT_EQ(reply.status, ServeStatus::kOk);
+  ::close(hog);
+  client.close();
+  server.drain();
+}
+
+}  // namespace
+}  // namespace commsched::serve

@@ -1,0 +1,285 @@
+// AllocatorService semantics: outcome statuses, idempotency window,
+// counters, and equivalence with an inline Allocator::select() +
+// CostModel::candidate_cost() on the same state (the in-process half of
+// the daemon determinism contract; the socket half lives in
+// server_diff_test.cpp).
+#include "serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "collectives/comm_cache.hpp"
+#include "core/allocator_factory.hpp"
+#include "core/degradation_model.hpp"
+#include "serve/loadgen.hpp"
+#include "topology/builders.hpp"
+
+namespace commsched::serve {
+namespace {
+
+ServiceOptions quiet_options() {
+  ServiceOptions options;
+  options.audit = AuditLevel::kFull;  // tests always audit
+  return options;
+}
+
+Request alloc_request(std::uint64_t req_id, std::int64_t job, int nodes) {
+  Request req;
+  req.type = MsgType::kAlloc;
+  req.req_id = req_id;
+  req.job = job;
+  req.num_nodes = nodes;
+  req.comm_intensive = true;
+  req.pattern = Pattern::kRecursiveDoubling;
+  return req;
+}
+
+Request release_request(std::uint64_t req_id, std::int64_t job) {
+  Request req;
+  req.type = MsgType::kRelease;
+  req.req_id = req_id;
+  req.job = job;
+  return req;
+}
+
+TEST(AllocatorService, AllocReleaseLifecycle) {
+  const Tree tree = make_two_level_tree(4, 8);
+  AllocatorService service(tree, quiet_options());
+  Reply reply;
+
+  service.handle(alloc_request(1, 10, 8), reply);
+  ASSERT_EQ(reply.status, ServeStatus::kOk);
+  EXPECT_EQ(reply.type, MsgType::kAllocReply);
+  EXPECT_EQ(reply.nodes.size(), 8u);
+  EXPECT_GT(reply.cost, 0.0);
+  EXPECT_EQ(service.state().job_count(), 1u);
+  EXPECT_EQ(service.state().total_free(), 24);
+
+  service.handle(release_request(2, 10), reply);
+  ASSERT_EQ(reply.status, ServeStatus::kOk);
+  EXPECT_EQ(reply.type, MsgType::kReleaseReply);
+  EXPECT_EQ(reply.freed, 8u);
+  EXPECT_EQ(service.state().job_count(), 0u);
+  EXPECT_EQ(service.state().total_free(), 32);
+}
+
+TEST(AllocatorService, ReplyMatchesInlineSelect) {
+  // The service's answer for each allocator byte must equal what calling
+  // the allocator + cost model inline on an identical state produces.
+  const Tree tree = make_two_level_tree(4, 8);
+  for (const AllocatorKind kind :
+       {AllocatorKind::kDefault, AllocatorKind::kGreedy,
+        AllocatorKind::kBalanced, AllocatorKind::kAdaptive,
+        AllocatorKind::kSa}) {
+    ServiceOptions options = quiet_options();
+    options.sa.budget = 32;
+    AllocatorService service(tree, options);
+
+    auto cache = std::make_shared<CommCache>(options.base_msize);
+    const auto allocator =
+        make_allocator(kind, options.cost_options, cache, options.sa);
+    CostModel metric_model(
+        tree, CostOptions{.hop_bytes = false,
+                          .include_candidate =
+                              options.cost_options.include_candidate});
+    ClusterState state(tree);
+    CostWorkspace workspace;
+
+    for (int i = 0; i < 6; ++i) {
+      Request req = alloc_request(static_cast<std::uint64_t>(i + 1), i + 1,
+                                  1 << (i % 3 + 1));
+      req.allocator = static_cast<std::uint8_t>(kind);
+      Reply reply;
+      service.handle(req, reply);
+
+      AllocationRequest areq;
+      areq.job = req.job;
+      areq.num_nodes = req.num_nodes;
+      areq.comm_intensive = req.comm_intensive;
+      areq.pattern = req.pattern;
+      areq.msize = req.msize;
+      areq.comm_fraction = req.comm_fraction;
+      std::vector<NodeId> nodes;
+      const bool fit = allocator->select_into(state, areq, nodes);
+      ASSERT_EQ(reply.status == ServeStatus::kOk, fit) << "job " << req.job;
+      if (!fit) continue;
+      ASSERT_EQ(reply.nodes.size(), nodes.size());
+      for (std::size_t r = 0; r < nodes.size(); ++r)
+        EXPECT_EQ(reply.nodes[r], static_cast<std::uint32_t>(nodes[r]))
+            << allocator_kind_name(kind) << " rank " << r;
+      const LeafCommProfile& profile =
+          cache->profile(req.pattern, 1, make_shape_key(tree, nodes));
+      const double cost = metric_model.candidate_cost(
+          state, nodes, true, profile, workspace);
+      EXPECT_EQ(reply.cost, cost) << allocator_kind_name(kind);
+      state.allocate(req.job, req.comm_intensive, nodes, req.io_intensive,
+                     DegradationModel::quantize_load(
+                         req.comm_intensive && req.num_nodes >= 2,
+                         req.comm_fraction));
+    }
+  }
+}
+
+TEST(AllocatorService, OutcomeStatuses) {
+  const Tree tree = make_two_level_tree(2, 4);  // 8 nodes
+  AllocatorService service(tree, quiet_options());
+  Reply reply;
+
+  service.handle(alloc_request(1, 1, 16), reply);
+  EXPECT_EQ(reply.status, ServeStatus::kNoFit) << "larger than the machine";
+
+  service.handle(alloc_request(2, 1, 4), reply);
+  ASSERT_EQ(reply.status, ServeStatus::kOk);
+  service.handle(alloc_request(3, 1, 2), reply);
+  EXPECT_EQ(reply.status, ServeStatus::kDuplicateJob);
+
+  service.handle(release_request(4, 999), reply);
+  EXPECT_EQ(reply.status, ServeStatus::kUnknownJob);
+
+  Request hello;
+  hello.type = MsgType::kHello;
+  hello.req_id = 5;
+  service.handle(hello, reply);
+  EXPECT_EQ(reply.type, MsgType::kHelloAck);
+  EXPECT_EQ(reply.status, ServeStatus::kOk);
+  hello.req_id = 6;
+  hello.version = kProtocolVersion + 1;
+  service.handle(hello, reply);
+  EXPECT_EQ(reply.status, ServeStatus::kBadRequest);
+}
+
+TEST(AllocatorService, BadRequestsAreRejectedAndNeverCached) {
+  const Tree tree = make_two_level_tree(2, 4);
+  AllocatorService service(tree, quiet_options());
+  Reply reply;
+
+  Request bad = alloc_request(1, 1, 0);  // num_nodes <= 0
+  service.handle(bad, reply);
+  EXPECT_EQ(reply.status, ServeStatus::kBadRequest);
+
+  bad = alloc_request(1, -5, 2);  // negative job
+  service.handle(bad, reply);
+  EXPECT_EQ(reply.status, ServeStatus::kBadRequest);
+
+  bad = alloc_request(1, 1, 2);
+  bad.allocator = 42;  // not a kind, not kServerAllocator
+  service.handle(bad, reply);
+  EXPECT_EQ(reply.status, ServeStatus::kBadRequest);
+
+  bad = alloc_request(1, 1, 2);
+  bad.comm_fraction = 1.5;
+  service.handle(bad, reply);
+  EXPECT_EQ(reply.status, ServeStatus::kBadRequest);
+
+  bad = alloc_request(1, 1, 2);
+  bad.msize = std::nan("");
+  service.handle(bad, reply);
+  EXPECT_EQ(reply.status, ServeStatus::kBadRequest);
+
+  EXPECT_EQ(service.counters().bad_requests, 5u);
+  EXPECT_EQ(service.counters().idempotent_hits, 0u);
+
+  // The same req_id with valid contents now gets the real answer: bad
+  // requests never enter the idempotency window.
+  service.handle(alloc_request(1, 1, 2), reply);
+  EXPECT_EQ(reply.status, ServeStatus::kOk);
+  EXPECT_EQ(service.counters().idempotent_hits, 0u);
+}
+
+TEST(AllocatorService, IdempotentRetryReturnsStoredReply) {
+  const Tree tree = make_two_level_tree(4, 8);
+  AllocatorService service(tree, quiet_options());
+  Reply first, retry;
+
+  service.handle(alloc_request(1, 1, 4), first);
+  ASSERT_EQ(first.status, ServeStatus::kOk);
+  service.handle(alloc_request(1, 1, 4), retry);
+  EXPECT_EQ(retry.status, first.status);
+  EXPECT_EQ(retry.nodes, first.nodes);
+  EXPECT_EQ(retry.cost, first.cost);
+  EXPECT_EQ(service.state().job_count(), 1u) << "no double allocation";
+  EXPECT_EQ(service.counters().idempotent_hits, 1u);
+
+  // A release retried after the connection 'broke' must not report
+  // kUnknownJob for its own job.
+  service.handle(release_request(2, 1), first);
+  ASSERT_EQ(first.status, ServeStatus::kOk);
+  service.handle(release_request(2, 1), retry);
+  EXPECT_EQ(retry.status, ServeStatus::kOk);
+  EXPECT_EQ(retry.freed, first.freed);
+  EXPECT_EQ(service.counters().idempotent_hits, 2u);
+
+  // kNoFit outcomes are remembered too (the answer, not the attempt).
+  service.handle(alloc_request(3, 7, 1024), first);
+  ASSERT_EQ(first.status, ServeStatus::kNoFit);
+  service.handle(alloc_request(3, 7, 1024), retry);
+  EXPECT_EQ(retry.status, ServeStatus::kNoFit);
+  EXPECT_EQ(service.counters().no_fit, 1u) << "counted once, replayed once";
+}
+
+TEST(AllocatorService, IdempotencyWindowEvictsFifo) {
+  const Tree tree = make_two_level_tree(4, 8);
+  ServiceOptions options = quiet_options();
+  options.idempotency_window = 2;
+  AllocatorService service(tree, options);
+  Reply reply;
+
+  service.handle(alloc_request(1, 1, 2), reply);
+  service.handle(alloc_request(2, 2, 2), reply);
+  service.handle(alloc_request(3, 3, 2), reply);  // evicts req 1
+
+  // Req 1 fell out of the window: the retry is treated as a fresh request
+  // and sees the duplicate-job guard instead of the stored reply.
+  service.handle(alloc_request(1, 1, 2), reply);
+  EXPECT_EQ(reply.status, ServeStatus::kDuplicateJob);
+  EXPECT_EQ(service.counters().idempotent_hits, 0u);
+
+  // Req 3 is still inside the window.
+  service.handle(alloc_request(3, 3, 2), reply);
+  EXPECT_EQ(reply.status, ServeStatus::kOk);
+  EXPECT_EQ(service.counters().idempotent_hits, 1u);
+}
+
+TEST(AllocatorService, QueryReportsCountersAndOccupancy) {
+  const Tree tree = make_two_level_tree(4, 8);
+  AllocatorService service(tree, quiet_options());
+  Reply reply;
+
+  service.handle(alloc_request(1, 1, 4), reply);
+  service.handle(alloc_request(2, 2, 8), reply);
+  service.handle(release_request(3, 1), reply);
+  service.handle(alloc_request(4, 9, 1024), reply);  // no fit
+
+  Request query;
+  query.type = MsgType::kQuery;
+  query.req_id = 5;
+  service.handle(query, reply);
+  EXPECT_EQ(reply.type, MsgType::kQueryReply);
+  EXPECT_EQ(reply.total_nodes, 32u);
+  EXPECT_EQ(reply.free_nodes, 24u);
+  EXPECT_EQ(reply.running_jobs, 1u);
+  EXPECT_EQ(reply.allocs, 2u);
+  EXPECT_EQ(reply.releases, 1u);
+  EXPECT_EQ(reply.no_fit, 1u);
+  EXPECT_EQ(reply.served, 4u) << "query itself not yet counted";
+}
+
+TEST(AllocatorService, ReplayIsDeterministic) {
+  // Same stream, two fresh services -> byte-identical canonical logs
+  // (the restart-determinism half of the kill test, without the daemon).
+  const Tree tree = make_two_level_tree(4, 8);
+  LoadSpec spec;
+  spec.requests = 400;
+  const LoadStream stream = build_stream(spec, tree.node_count());
+  const ServiceOptions options = quiet_options();
+  const std::vector<std::string> a = reference_log(stream, tree, options);
+  const std::vector<std::string> b = reference_log(stream, tree, options);
+  ASSERT_EQ(a.size(), stream.requests.size());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace commsched::serve

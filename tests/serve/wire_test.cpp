@@ -1,0 +1,342 @@
+// Wire framing + protocol codec: round-trip every message type, then the
+// adversarial cases — truncated, torn, oversized, trailing and garbage
+// frames must come back as clean error codes with no corruption of the
+// output structs' invariants (run under ASan/UBSan in the sanitizer
+// matrix; the server path gets a TSan leg via server_diff_test).
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/wire.hpp"
+
+namespace commsched::serve {
+namespace {
+
+// Encode, peel the single frame, decode. Expects a full round trip.
+Request request_round_trip(const Request& in) {
+  std::vector<std::uint8_t> bytes;
+  encode_request(in, bytes);
+  std::size_t offset = 0;
+  std::span<const std::uint8_t> payload;
+  EXPECT_EQ(peel_frame(bytes, offset, payload), DecodeResult::kOk);
+  EXPECT_EQ(offset, bytes.size());
+  Request out;
+  EXPECT_EQ(decode_request(payload, out), DecodeResult::kOk);
+  return out;
+}
+
+Reply reply_round_trip(const Reply& in) {
+  std::vector<std::uint8_t> bytes;
+  encode_reply(in, bytes);
+  std::size_t offset = 0;
+  std::span<const std::uint8_t> payload;
+  EXPECT_EQ(peel_frame(bytes, offset, payload), DecodeResult::kOk);
+  Reply out;
+  EXPECT_EQ(decode_reply(payload, out), DecodeResult::kOk);
+  return out;
+}
+
+TEST(Wire, PrimitivesRoundTrip) {
+  std::vector<std::uint8_t> bytes;
+  WireWriter w(bytes);
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.f64(3.14159);
+  WireReader r(bytes);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Wire, ReaderUnderflowIsSticky) {
+  const std::vector<std::uint8_t> bytes{1, 2};
+  WireReader r(bytes);
+  EXPECT_EQ(r.u32(), 0u);  // only 2 bytes available
+  EXPECT_FALSE(r.ok());
+  // Still failed after more (otherwise valid) reads.
+  EXPECT_EQ(r.u8(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Protocol, AllocRequestRoundTrip) {
+  Request in;
+  in.type = MsgType::kAlloc;
+  in.req_id = 0xfeedfacecafeULL;
+  in.job = 123456789;
+  in.num_nodes = 64;
+  in.allocator = 6;  // sa
+  in.comm_intensive = true;
+  in.io_intensive = true;
+  in.pattern = Pattern::kPairwiseAlltoall;
+  in.msize = 1048576.5;
+  in.comm_fraction = 0.75;
+  in.io_fraction = 0.125;
+  in.deadline_ms = 250;
+  const Request out = request_round_trip(in);
+  EXPECT_EQ(out.type, in.type);
+  EXPECT_EQ(out.req_id, in.req_id);
+  EXPECT_EQ(out.job, in.job);
+  EXPECT_EQ(out.num_nodes, in.num_nodes);
+  EXPECT_EQ(out.allocator, in.allocator);
+  EXPECT_EQ(out.comm_intensive, in.comm_intensive);
+  EXPECT_EQ(out.io_intensive, in.io_intensive);
+  EXPECT_EQ(out.pattern, in.pattern);
+  EXPECT_EQ(out.msize, in.msize);
+  EXPECT_EQ(out.comm_fraction, in.comm_fraction);
+  EXPECT_EQ(out.io_fraction, in.io_fraction);
+  EXPECT_EQ(out.deadline_ms, in.deadline_ms);
+}
+
+TEST(Protocol, OtherRequestTypesRoundTrip) {
+  for (const MsgType type :
+       {MsgType::kHello, MsgType::kRelease, MsgType::kQuery,
+        MsgType::kDrain}) {
+    Request in;
+    in.type = type;
+    in.req_id = 77;
+    in.job = 3141;
+    in.deadline_ms = 9;
+    const Request out = request_round_trip(in);
+    EXPECT_EQ(out.type, type);
+    EXPECT_EQ(out.req_id, 77u);
+    if (type == MsgType::kRelease) {
+      EXPECT_EQ(out.job, 3141);
+      EXPECT_EQ(out.deadline_ms, 9u);
+    }
+    if (type == MsgType::kHello) {
+      EXPECT_EQ(out.version, kProtocolVersion);
+    }
+  }
+}
+
+TEST(Protocol, AllocReplyRoundTrip) {
+  Reply in;
+  in.type = MsgType::kAllocReply;
+  in.req_id = 99;
+  in.status = ServeStatus::kOk;
+  in.cost = 12.625;
+  in.nodes = {5, 17, 255, 1023};
+  const Reply out = reply_round_trip(in);
+  EXPECT_EQ(out.type, in.type);
+  EXPECT_EQ(out.req_id, in.req_id);
+  EXPECT_EQ(out.status, in.status);
+  EXPECT_EQ(out.cost, in.cost);
+  EXPECT_EQ(out.nodes, in.nodes);
+}
+
+TEST(Protocol, OtherReplyTypesRoundTrip) {
+  Reply hello;
+  hello.type = MsgType::kHelloAck;
+  hello.req_id = 1;
+  EXPECT_EQ(reply_round_trip(hello).version, kProtocolVersion);
+
+  Reply release;
+  release.type = MsgType::kReleaseReply;
+  release.req_id = 2;
+  release.freed = 32;
+  EXPECT_EQ(reply_round_trip(release).freed, 32u);
+
+  Reply query;
+  query.type = MsgType::kQueryReply;
+  query.req_id = 3;
+  query.total_nodes = 512;
+  query.free_nodes = 100;
+  query.running_jobs = 7;
+  query.served = 1000;
+  query.allocs = 600;
+  query.releases = 390;
+  query.no_fit = 4;
+  query.idempotent_hits = 3;
+  query.bad_requests = 2;
+  query.rejected = 1;
+  query.timeouts = 5;
+  const Reply q = reply_round_trip(query);
+  EXPECT_EQ(q.total_nodes, 512u);
+  EXPECT_EQ(q.free_nodes, 100u);
+  EXPECT_EQ(q.running_jobs, 7u);
+  EXPECT_EQ(q.served, 1000u);
+  EXPECT_EQ(q.rejected, 1u);
+  EXPECT_EQ(q.timeouts, 5u);
+
+  for (const MsgType type : {MsgType::kDrainReply, MsgType::kErrorReply}) {
+    Reply in;
+    in.type = type;
+    in.req_id = 4;
+    in.status = ServeStatus::kDraining;
+    const Reply out = reply_round_trip(in);
+    EXPECT_EQ(out.type, type);
+    EXPECT_EQ(out.status, ServeStatus::kDraining);
+  }
+}
+
+TEST(Protocol, TornFrameNeedsMore) {
+  Request req;
+  req.type = MsgType::kAlloc;
+  req.req_id = 5;
+  req.job = 1;
+  req.num_nodes = 2;
+  std::vector<std::uint8_t> bytes;
+  encode_request(req, bytes);
+  // Every strict prefix is kNeedMore, never an error, never a message.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(bytes.data(), cut);
+    std::size_t offset = 0;
+    std::span<const std::uint8_t> payload;
+    EXPECT_EQ(peel_frame(prefix, offset, payload), DecodeResult::kNeedMore)
+        << "cut at " << cut;
+    EXPECT_EQ(offset, 0u);
+  }
+}
+
+TEST(Protocol, TruncatedPayloadIsError) {
+  Request req;
+  req.type = MsgType::kAlloc;
+  req.req_id = 6;
+  req.job = 1;
+  req.num_nodes = 2;
+  std::vector<std::uint8_t> bytes;
+  encode_request(req, bytes);
+  // Shrink the payload by 4 bytes and patch the length prefix: the frame
+  // is complete but a field ends early.
+  bytes.resize(bytes.size() - 4);
+  const std::uint32_t len = static_cast<std::uint32_t>(bytes.size() - 4);
+  bytes[0] = static_cast<std::uint8_t>(len);
+  bytes[1] = static_cast<std::uint8_t>(len >> 8);
+  bytes[2] = static_cast<std::uint8_t>(len >> 16);
+  bytes[3] = static_cast<std::uint8_t>(len >> 24);
+  std::size_t offset = 0;
+  std::span<const std::uint8_t> payload;
+  ASSERT_EQ(peel_frame(bytes, offset, payload), DecodeResult::kOk);
+  Request out;
+  EXPECT_EQ(decode_request(payload, out), DecodeResult::kTruncated);
+}
+
+TEST(Protocol, OversizedFrameIsFatal) {
+  std::vector<std::uint8_t> bytes(8, 0);
+  const std::uint32_t len = static_cast<std::uint32_t>(kMaxFramePayload) + 1;
+  bytes[0] = static_cast<std::uint8_t>(len);
+  bytes[1] = static_cast<std::uint8_t>(len >> 8);
+  bytes[2] = static_cast<std::uint8_t>(len >> 16);
+  bytes[3] = static_cast<std::uint8_t>(len >> 24);
+  std::size_t offset = 0;
+  std::span<const std::uint8_t> payload;
+  EXPECT_EQ(peel_frame(bytes, offset, payload), DecodeResult::kOversized);
+  EXPECT_EQ(offset, 0u);
+}
+
+TEST(Protocol, GarbageTypeAndValuesAreErrors) {
+  // Unknown message type.
+  std::vector<std::uint8_t> payload;
+  WireWriter w(payload);
+  w.u8(99);
+  w.u64(1);
+  Request out;
+  EXPECT_EQ(decode_request(payload, out), DecodeResult::kBadType);
+
+  // A reply type arriving where a request is expected.
+  payload.clear();
+  w.u8(static_cast<std::uint8_t>(MsgType::kAllocReply));
+  w.u64(1);
+  EXPECT_EQ(decode_request(payload, out), DecodeResult::kBadType);
+
+  // Out-of-domain pattern byte inside a well-formed alloc frame.
+  Request req;
+  req.type = MsgType::kAlloc;
+  req.req_id = 7;
+  req.job = 1;
+  req.num_nodes = 2;
+  std::vector<std::uint8_t> frame;
+  encode_request(req, frame);
+  // payload layout: u8 type, u64 req_id, i64 job, u32 nodes, u8 allocator,
+  // u8 flags, u8 pattern -> pattern byte at payload offset 23.
+  frame[4 + 23] = 200;
+  std::size_t offset = 0;
+  std::span<const std::uint8_t> peeled;
+  ASSERT_EQ(peel_frame(frame, offset, peeled), DecodeResult::kOk);
+  EXPECT_EQ(decode_request(peeled, out), DecodeResult::kBadValue);
+  EXPECT_EQ(out.req_id, 7u) << "req_id must decode so the error is answerable";
+
+  // Unknown flag bits.
+  frame.clear();
+  encode_request(req, frame);
+  frame[4 + 22] = 0xf0;
+  offset = 0;
+  ASSERT_EQ(peel_frame(frame, offset, peeled), DecodeResult::kOk);
+  EXPECT_EQ(decode_request(peeled, out), DecodeResult::kBadValue);
+}
+
+TEST(Protocol, TrailingBytesAreErrors) {
+  Request req;
+  req.type = MsgType::kQuery;
+  req.req_id = 8;
+  std::vector<std::uint8_t> bytes;
+  encode_request(req, bytes);
+  bytes.push_back(0x5a);  // extra payload byte
+  const std::uint32_t len = static_cast<std::uint32_t>(bytes.size() - 4);
+  bytes[0] = static_cast<std::uint8_t>(len);
+  bytes[1] = static_cast<std::uint8_t>(len >> 8);
+  bytes[2] = static_cast<std::uint8_t>(len >> 16);
+  bytes[3] = static_cast<std::uint8_t>(len >> 24);
+  std::size_t offset = 0;
+  std::span<const std::uint8_t> payload;
+  ASSERT_EQ(peel_frame(bytes, offset, payload), DecodeResult::kOk);
+  Request out;
+  EXPECT_EQ(decode_request(payload, out), DecodeResult::kTrailing);
+}
+
+TEST(Protocol, AllocReplyCountBeyondPayloadIsTruncated) {
+  // A corrupt node count must not drive a huge reserve or out-of-bounds
+  // reads: the decoder checks count against the remaining payload first.
+  Reply reply;
+  reply.type = MsgType::kAllocReply;
+  reply.req_id = 9;
+  reply.nodes = {1, 2, 3};
+  std::vector<std::uint8_t> bytes;
+  encode_reply(reply, bytes);
+  // count field: u8 type, u64 req_id, u8 status, f64 cost -> offset 18.
+  bytes[4 + 18] = 0xff;
+  bytes[4 + 19] = 0xff;
+  bytes[4 + 20] = 0xff;
+  bytes[4 + 21] = 0x7f;
+  std::size_t offset = 0;
+  std::span<const std::uint8_t> payload;
+  ASSERT_EQ(peel_frame(bytes, offset, payload), DecodeResult::kOk);
+  Reply out;
+  EXPECT_EQ(decode_reply(payload, out), DecodeResult::kTruncated);
+}
+
+TEST(Protocol, MultipleFramesPeelInSequence) {
+  std::vector<std::uint8_t> bytes;
+  for (int i = 0; i < 5; ++i) {
+    Request req;
+    req.type = MsgType::kRelease;
+    req.req_id = static_cast<std::uint64_t>(i + 1);
+    req.job = i;
+    encode_request(req, bytes);
+  }
+  std::size_t offset = 0;
+  for (int i = 0; i < 5; ++i) {
+    std::span<const std::uint8_t> payload;
+    ASSERT_EQ(peel_frame(bytes, offset, payload), DecodeResult::kOk);
+    Request out;
+    ASSERT_EQ(decode_request(payload, out), DecodeResult::kOk);
+    EXPECT_EQ(out.req_id, static_cast<std::uint64_t>(i + 1));
+  }
+  std::span<const std::uint8_t> payload;
+  EXPECT_EQ(peel_frame(bytes, offset, payload), DecodeResult::kNeedMore);
+}
+
+}  // namespace
+}  // namespace commsched::serve

@@ -1,0 +1,104 @@
+// LatencyHistogram: exact small values, log-linear bucketing above, merge
+// and percentile semantics (the bench/serve latency accounting).
+#include "util/latency_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace commsched {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50.0), 0u);
+  EXPECT_EQ(h.percentile(99.0), 0u);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 32; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 32u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 31u);
+  // Values below 32 land in exact buckets: every percentile is a real
+  // recorded value.
+  EXPECT_EQ(h.percentile(50.0), 15u);
+  EXPECT_EQ(h.percentile(100.0), 31u);
+}
+
+TEST(LatencyHistogram, SingleValue) {
+  LatencyHistogram h;
+  h.record(12345);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 12345u);
+  EXPECT_EQ(h.max(), 12345u);
+  EXPECT_EQ(h.mean(), 12345.0);
+  // Percentiles clamp into [min, max], so a single sample reports itself.
+  EXPECT_EQ(h.percentile(1.0), 12345u);
+  EXPECT_EQ(h.percentile(50.0), 12345u);
+  EXPECT_EQ(h.percentile(99.9), 12345u);
+}
+
+TEST(LatencyHistogram, PercentileWithinRelativeErrorBound) {
+  // Log-linear with 32 sub-buckets per power of two: any percentile is
+  // within 1/32 relative error of the true order statistic.
+  Rng rng(7);
+  std::vector<std::uint64_t> values;
+  LatencyHistogram h;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v =
+        static_cast<std::uint64_t>(rng.uniform_int(1, 50'000'000));
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double p : {50.0, 90.0, 95.0, 99.0, 99.9}) {
+    const std::size_t rank = std::min(
+        values.size() - 1,
+        static_cast<std::size_t>(p / 100.0 * values.size()));
+    const double exact = static_cast<double>(values[rank]);
+    const double approx = static_cast<double>(h.percentile(p));
+    EXPECT_NEAR(approx, exact, exact / 16.0)
+        << "p" << p << ": approx " << approx << " vs exact " << exact;
+  }
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedRecording) {
+  Rng rng(11);
+  LatencyHistogram a, b, combined;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
+    if (i % 2 == 0) a.record(v);
+    else b.record(v);
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_EQ(a.mean(), combined.mean());
+  for (const double p : {10.0, 50.0, 95.0, 99.0})
+    EXPECT_EQ(a.percentile(p), combined.percentile(p)) << "p" << p;
+}
+
+TEST(LatencyHistogram, HugeValuesDoNotOverflow) {
+  LatencyHistogram h;
+  h.record(~std::uint64_t{0});
+  h.record(1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), ~std::uint64_t{0});
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.percentile(100.0), ~std::uint64_t{0});
+}
+
+}  // namespace
+}  // namespace commsched

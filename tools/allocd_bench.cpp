@@ -1,0 +1,129 @@
+// allocd_bench — open-loop load generator for a running allocd daemon.
+//
+// Builds a deterministic request stream (serve/loadgen.hpp) sized to the
+// daemon's machine (discovered via kQuery), replays it over one
+// connection with a bounded pipeline window, and prints the latency
+// histogram percentiles plus the per-status outcome counts.
+//
+// Usage:
+//   allocd_bench --socket <path> [--requests N] [--seed S] [--window W]
+//                [--rate R] [--burstiness B] [--deadline-ms D]
+//                [--allocator <name>]
+//
+// --rate > 0 paces sends open-loop at R requests/sec (with optional
+// sinusoidal burstiness in [0,1)); the default replays as fast as the
+// window allows. Exit status: 0 when every request got a reply, 1 on
+// connection failure or bad arguments.
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "core/allocator_factory.hpp"
+#include "serve/loadgen.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: allocd_bench --socket <path> [--requests N] "
+               "[--seed S] [--window W] [--rate R] [--burstiness B] "
+               "[--deadline-ms D] [--allocator <name>]\n";
+  return 1;
+}
+
+int run(int argc, char** argv) {
+  std::string socket_path;
+  commsched::serve::LoadSpec spec;
+  commsched::serve::ReplayOptions replay_options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--socket" && (value = next()) != nullptr) {
+      socket_path = value;
+    } else if (arg == "--requests" && (value = next()) != nullptr) {
+      const auto v = commsched::parse_int(value);
+      if (!v || *v < 1) return usage();
+      spec.requests = static_cast<std::size_t>(*v);
+    } else if (arg == "--seed" && (value = next()) != nullptr) {
+      const auto v = commsched::parse_int(value);
+      if (!v) return usage();
+      spec.seed = static_cast<std::uint64_t>(*v);
+    } else if (arg == "--window" && (value = next()) != nullptr) {
+      const auto v = commsched::parse_int(value);
+      if (!v || *v < 1) return usage();
+      replay_options.window = static_cast<std::size_t>(*v);
+    } else if (arg == "--rate" && (value = next()) != nullptr) {
+      const auto v = commsched::parse_double(value);
+      if (!v || *v < 0.0) return usage();
+      spec.arrival_rate = *v;
+      replay_options.paced = *v > 0.0;
+    } else if (arg == "--burstiness" && (value = next()) != nullptr) {
+      const auto v = commsched::parse_double(value);
+      if (!v || *v < 0.0 || *v >= 1.0) return usage();
+      spec.burstiness = *v;
+    } else if (arg == "--deadline-ms" && (value = next()) != nullptr) {
+      const auto v = commsched::parse_int(value);
+      if (!v || *v < 0) return usage();
+      spec.deadline_ms = static_cast<std::uint32_t>(*v);
+    } else if (arg == "--allocator" && (value = next()) != nullptr) {
+      const auto kind = commsched::allocator_kind_from_string(value);
+      if (!kind) return usage();
+      spec.allocator = static_cast<std::uint8_t>(*kind);
+    } else {
+      return usage();
+    }
+  }
+  if (socket_path.empty()) return usage();
+
+  commsched::serve::Client client;
+  if (!client.connect(socket_path)) {
+    std::cerr << "allocd_bench: " << client.error() << "\n";
+    return 1;
+  }
+  commsched::serve::Request query;
+  query.type = commsched::serve::MsgType::kQuery;
+  query.req_id = 0;
+  commsched::serve::Reply reply;
+  if (!client.call(query, reply, 10000)) {
+    std::cerr << "allocd_bench: query failed: " << client.error() << "\n";
+    return 1;
+  }
+  const int machine_nodes = static_cast<int>(reply.total_nodes);
+
+  const commsched::serve::LoadStream stream =
+      commsched::serve::build_stream(spec, machine_nodes);
+  const commsched::serve::ReplayResult result =
+      commsched::serve::replay(client, stream, replay_options);
+
+  const commsched::LatencyHistogram& h = result.latency;
+  std::cout << "allocd_bench: " << stream.requests.size() << " requests to "
+            << socket_path << " (" << machine_nodes << " nodes)\n"
+            << "  latency us: p50=" << h.percentile(50.0)
+            << " p95=" << h.percentile(95.0) << " p99=" << h.percentile(99.0)
+            << " max=" << h.max() << "\n"
+            << "  outcomes: ok=" << result.ok << " no_fit=" << result.no_fit
+            << " rejected=" << result.rejected
+            << " timeout=" << result.timeouts << " bad=" << result.bad
+            << " other=" << result.other
+            << " io_errors=" << result.io_errors << "\n";
+  if (!result.complete) {
+    std::cerr << "allocd_bench: incomplete replay: " << client.error()
+              << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "allocd_bench: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -188,6 +188,14 @@ def thread_roots(prog: Program) -> list[str]:
             roots.append(key)
         elif cls_simple == "CostModel" and fn.is_const_method:
             roots.append(key)
+        # The allocator daemon's request handlers run on pool workers and
+        # per-connection reader threads: everything they reach must hold
+        # the same no-unjustified-static discipline.
+        elif cls_simple == "Server" and fn.simple_name in (
+                "run_strand", "reader_loop", "admit", "write_reply"):
+            roots.append(key)
+        elif cls_simple == "AllocatorService" and fn.simple_name == "handle":
+            roots.append(key)
     return sorted(roots)
 
 
